@@ -1,0 +1,114 @@
+// Shared setup for the figure-reproduction benches: the paper's micro-benchmark testbed
+// (4x p4de = 32 A100s, all in context parallelism), attention-op spec (GQA, 8 query heads,
+// 2 KV groups, head dim 128 — the per-TP-rank view of the 32-head model), 131072-token
+// global batches, and dataset scaling knobs (§7.1).
+#ifndef DCP_BENCH_BENCH_COMMON_H_
+#define DCP_BENCH_BENCH_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "baselines/static_planner.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "core/planner.h"
+#include "data/batching.h"
+#include "data/dataset.h"
+#include "runtime/sim_engine.h"
+
+namespace dcp {
+
+struct MicroBenchConfig {
+  ClusterSpec cluster = ClusterSpec::MicroBenchTestbed();
+  DatasetKind dataset = DatasetKind::kLongDataCollections;
+  double length_scale = 1.0;
+  int64_t token_budget = 131072;
+  int64_t max_seq_len = 131072;
+  int num_batches = 12;  // The paper averages over 200 batches; 12 keeps benches snappy
+                         // while the skewed length distribution is already well covered.
+  int64_t block_size = 2048;
+  uint64_t seed = 42;
+
+  PlannerOptions MakePlannerOptions() const {
+    PlannerOptions options;
+    options.block_size = block_size;
+    options.num_groups = 2;
+    options.heads_per_group = 4;
+    options.head_dim = 128;
+    return options;
+  }
+
+  std::vector<Batch> MakeBatches() const {
+    DatasetConfig data;
+    data.kind = dataset;
+    data.length_scale = length_scale;
+    data.max_seq_len = max_seq_len;
+    data.seed = seed;
+    BatchingConfig batching;
+    batching.token_budget = token_budget;
+    BatchStream stream{LengthSampler(data), batching};
+    return stream.NextBatches(num_batches);
+  }
+};
+
+struct FwBwTime {
+  double fw_ms = 0.0;
+  double bw_ms = 0.0;
+  double total_ms() const { return fw_ms + bw_ms; }
+};
+
+// Average simulated attention time of DCP over the config's batches.
+inline FwBwTime MeasureDcpAttention(const MicroBenchConfig& config,
+                                    const MaskSpec& mask_spec) {
+  const PlannerOptions options = config.MakePlannerOptions();
+  SimEngine sim{CostModel(config.cluster)};
+  RunningStats fw;
+  RunningStats bw;
+  for (const Batch& batch : config.MakeBatches()) {
+    std::vector<SequenceMask> masks = BuildBatchMasks(mask_spec, batch.seqlens);
+    BatchPlan plan = PlanBatch(batch.seqlens, masks, config.cluster, options);
+    fw.Add(sim.Simulate(plan, false).makespan * 1e3);
+    bw.Add(sim.Simulate(plan, true).makespan * 1e3);
+  }
+  return {fw.mean(), bw.mean()};
+}
+
+// Average simulated attention time of a static baseline. LoongTrain's padded batches
+// execute as several sequential waves under the token budget; their times sum.
+inline FwBwTime MeasureBaselineAttention(BaselineKind kind, const MicroBenchConfig& config,
+                                         const MaskSpec& mask_spec) {
+  const PlannerOptions options = config.MakePlannerOptions();
+  SimEngine sim{CostModel(config.cluster)};
+  RunningStats fw;
+  RunningStats bw;
+  for (const Batch& batch : config.MakeBatches()) {
+    double batch_fw = 0.0;
+    double batch_bw = 0.0;
+    for (const BaselineResult& wave :
+         PlanBaselineWaves(kind, batch.seqlens, mask_spec, config.cluster, options,
+                           config.token_budget)) {
+      batch_fw += sim.Simulate(wave.plan, false).makespan * 1e3;
+      batch_bw += sim.Simulate(wave.plan, true).makespan * 1e3;
+    }
+    fw.Add(batch_fw);
+    bw.Add(batch_bw);
+  }
+  return {fw.mean(), bw.mean()};
+}
+
+inline std::string ScaleName(double scale) {
+  if (scale == 0.5) {
+    return "0.5";
+  }
+  if (scale == 1.0) {
+    return "1";
+  }
+  if (scale == 2.0) {
+    return "2";
+  }
+  return Table::Num(scale, 1);
+}
+
+}  // namespace dcp
+
+#endif  // DCP_BENCH_BENCH_COMMON_H_

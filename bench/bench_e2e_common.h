@@ -1,0 +1,68 @@
+// Shared driver for the end-to-end figures (15, 16): per-iteration training time of the
+// 8B GPT under MLM (Megatron + enhanced TransformerEngine CP) vs DCP, across masks and
+// maximum sequence lengths, on the 64-GPU testbed (8 nodes, TP=4 -> 16 CP ranks).
+#ifndef DCP_BENCH_BENCH_E2E_COMMON_H_
+#define DCP_BENCH_BENCH_E2E_COMMON_H_
+
+#include <cstdio>
+
+#include "baselines/static_planner.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "core/planner.h"
+#include "data/batching.h"
+#include "e2e/iteration_model.h"
+
+namespace dcp {
+
+inline PlannerOptions E2ePlannerOptions() {
+  // Per TP rank the 32-head/8-KV-group model exposes 8 query heads and 2 KV groups.
+  PlannerOptions options;
+  options.block_size = 2048;
+  options.num_groups = 2;
+  options.heads_per_group = 4;
+  options.head_dim = 128;
+  return options;
+}
+
+inline void RunEndToEndFigure(const char* figure, DatasetKind dataset) {
+  const ClusterSpec cluster = ClusterSpec::EndToEndTestbed();
+  const ModelSpec model = ModelSpec::Gpt8B();
+  const PlannerOptions options = E2ePlannerOptions();
+  std::printf("%s: end-to-end iteration time (s), GPT-8B, 64 GPUs (8 nodes, TP=4, 16-way "
+              "CP), dataset %s\n\n",
+              figure, DatasetKindName(dataset).c_str());
+  Table table({"MaxSeqLen", "Mask", "MLM (s)", "DCP (s)", "Speedup"});
+  for (int64_t max_len : {16384ll, 32768ll, 65536ll, 131072ll}) {
+    for (MaskKind kind : AllMaskKinds()) {
+      DatasetConfig data;
+      data.kind = dataset;
+      data.max_seq_len = max_len;
+      BatchingConfig batching;
+      batching.token_budget = 131072;
+      BatchStream stream{LengthSampler(data), batching};
+      const MaskSpec mask = MaskSpec::ForKind(kind);
+      RunningStats mlm_time;
+      RunningStats dcp_time;
+      for (const Batch& batch : stream.NextBatches(5)) {
+        BaselineResult mlm = PlanBaseline(BaselineKind::kTransformerEngine, batch.seqlens,
+                                          mask, cluster, options);
+        mlm_time.Add(ModelIteration(model, cluster, mlm.plan).Total());
+        std::vector<SequenceMask> masks = BuildBatchMasks(mask, batch.seqlens);
+        BatchPlan plan = PlanBatch(batch.seqlens, masks, cluster, options);
+        dcp_time.Add(ModelIteration(model, cluster, plan).Total());
+      }
+      table.AddRow({std::to_string(max_len), MaskKindName(kind),
+                    Table::Num(mlm_time.mean(), 3), Table::Num(dcp_time.mean(), 3),
+                    Table::Num(mlm_time.mean() / dcp_time.mean()) + "x"});
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nPaper reference: up to 1.16x speedup with causal, 1.00x~1.46x with sparse masks; "
+      "causal speedups are higher at smaller max lengths (more short sequences).\n");
+}
+
+}  // namespace dcp
+
+#endif  // DCP_BENCH_BENCH_E2E_COMMON_H_

@@ -1,0 +1,7 @@
+// Figure 15: end-to-end training performance on the LongAlign dataset.
+#include "bench_e2e_common.h"
+
+int main() {
+  dcp::RunEndToEndFigure("Figure 15", dcp::DatasetKind::kLongAlign);
+  return 0;
+}

@@ -1,0 +1,7 @@
+// Figure 16: end-to-end training performance on the LongDataCollections dataset.
+#include "bench_e2e_common.h"
+
+int main() {
+  dcp::RunEndToEndFigure("Figure 16", dcp::DatasetKind::kLongDataCollections);
+  return 0;
+}

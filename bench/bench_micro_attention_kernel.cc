@@ -1,0 +1,100 @@
+// Microbenchmark: the CPU blockwise attention kernels (forward tile, backward tile,
+// softmax merge) across tile sizes and mask kinds.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "runtime/attention_kernel.h"
+
+namespace dcp {
+namespace {
+
+struct TileFixture {
+  std::vector<float> q;
+  std::vector<float> kv;
+  std::vector<float> acc;
+  SequenceMask mask;
+  TileArgs args;
+
+  TileFixture(int64_t tile, int heads, int dim, MaskKind kind)
+      : mask(SequenceMask::Build(MaskSpec::ForKind(kind),
+                                 MakeSequenceInfo(MaskSpec::ForKind(kind), tile))) {
+    Rng rng(5);
+    q.resize(static_cast<size_t>(heads * tile * dim));
+    kv.resize(static_cast<size_t>(2 * tile * dim));
+    acc.resize(static_cast<size_t>(heads * tile * dim + 2 * heads * tile));
+    for (float& v : q) {
+      v = static_cast<float>(rng.NextUniform(-1, 1));
+    }
+    for (float& v : kv) {
+      v = static_cast<float>(rng.NextUniform(-1, 1));
+    }
+    args = TileArgs{heads, tile, dim, 0, tile, 0, tile, false};
+  }
+
+  void ResetAcc(int heads, int64_t tile, int dim) {
+    std::fill(acc.begin(), acc.end(), 0.0f);
+    for (int64_t i = heads * tile * dim; i < heads * tile * (dim + 1); ++i) {
+      acc[static_cast<size_t>(i)] = -std::numeric_limits<float>::infinity();
+    }
+  }
+};
+
+void BM_AttentionTileForward(benchmark::State& state) {
+  const int64_t tile = state.range(0);
+  constexpr int kHeads = 4;
+  constexpr int kDim = 128;
+  TileFixture fixture(tile, kHeads, kDim, MaskKind::kCausal);
+  for (auto _ : state) {
+    fixture.ResetAcc(kHeads, tile, kDim);
+    AttentionTileForward(fixture.mask, fixture.args, fixture.q, fixture.kv, fixture.acc);
+    benchmark::DoNotOptimize(fixture.acc.data());
+  }
+  const double pairs = 0.5 * static_cast<double>(tile) * static_cast<double>(tile + 1);
+  state.SetItemsProcessed(static_cast<int64_t>(pairs) * kHeads *
+                          static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_AttentionTileForward)->Arg(64)->Arg(128)->Arg(256)->Unit(benchmark::kMicrosecond);
+
+void BM_AttentionTileBackward(benchmark::State& state) {
+  const int64_t tile = state.range(0);
+  constexpr int kHeads = 4;
+  constexpr int kDim = 128;
+  TileFixture fixture(tile, kHeads, kDim, MaskKind::kCausal);
+  fixture.ResetAcc(kHeads, tile, kDim);
+  AttentionTileForward(fixture.mask, fixture.args, fixture.q, fixture.kv, fixture.acc);
+  std::vector<float> out(static_cast<size_t>(kHeads * tile * kDim));
+  FinalizeOutput(fixture.acc, out, kHeads, tile, kDim, tile);
+  std::vector<float> dout = fixture.q;  // Any payload of the right shape.
+  std::vector<float> delta(static_cast<size_t>(kHeads * tile));
+  ComputeDelta(dout, out, delta, kHeads, tile, kDim, tile);
+  std::vector<float> dq(static_cast<size_t>(kHeads * tile * kDim));
+  std::vector<float> dkv(static_cast<size_t>(2 * tile * kDim));
+  for (auto _ : state) {
+    std::fill(dq.begin(), dq.end(), 0.0f);
+    std::fill(dkv.begin(), dkv.end(), 0.0f);
+    AttentionTileBackward(fixture.mask, fixture.args, fixture.q, fixture.kv, fixture.acc,
+                          dout, delta, dq, dkv);
+    benchmark::DoNotOptimize(dq.data());
+  }
+}
+BENCHMARK(BM_AttentionTileBackward)->Arg(64)->Arg(128)->Arg(256)->Unit(benchmark::kMicrosecond);
+
+void BM_MergeSoftmaxAccumulators(benchmark::State& state) {
+  const int64_t tile = state.range(0);
+  constexpr int kHeads = 4;
+  constexpr int kDim = 128;
+  TileFixture a(tile, kHeads, kDim, MaskKind::kCausal);
+  TileFixture b(tile, kHeads, kDim, MaskKind::kCausal);
+  a.ResetAcc(kHeads, tile, kDim);
+  b.ResetAcc(kHeads, tile, kDim);
+  AttentionTileForward(a.mask, a.args, a.q, a.kv, a.acc);
+  AttentionTileForward(b.mask, b.args, b.q, b.kv, b.acc);
+  for (auto _ : state) {
+    MergeSoftmaxAccumulators(a.acc, b.acc, kHeads, tile, kDim, tile);
+    benchmark::DoNotOptimize(a.acc.data());
+  }
+}
+BENCHMARK(BM_MergeSoftmaxAccumulators)->Arg(128)->Arg(512)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace dcp

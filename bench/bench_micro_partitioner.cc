@@ -1,0 +1,85 @@
+// Microbenchmark: multilevel vs greedy hypergraph partitioning throughput and quality on
+// clustered random hypergraphs (the partitioner ablation DESIGN.md calls out).
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "hypergraph/metrics.h"
+#include "hypergraph/partitioner.h"
+
+namespace dcp {
+namespace {
+
+Hypergraph MakeClustered(int k, int per_group, uint64_t seed) {
+  Rng rng(seed);
+  Hypergraph hg;
+  for (int v = 0; v < k * per_group; ++v) {
+    hg.AddVertex(1.0 + rng.NextDouble(), 1.0 + rng.NextDouble());
+  }
+  for (int g = 0; g < k; ++g) {
+    for (int e = 0; e < per_group * 2; ++e) {
+      std::vector<VertexId> pins;
+      const int size = 2 + static_cast<int>(rng.NextBounded(4));
+      const bool cross = rng.NextDouble() < 0.15;
+      for (int p = 0; p < size; ++p) {
+        const int group = cross && p == 0 ? (g + 1) % k : g;
+        pins.push_back(group * per_group +
+                       static_cast<int>(rng.NextBounded(static_cast<uint64_t>(per_group))));
+      }
+      std::sort(pins.begin(), pins.end());
+      pins.erase(std::unique(pins.begin(), pins.end()), pins.end());
+      if (pins.size() >= 2) {
+        hg.AddEdge(1.0 + rng.NextDouble() * 3.0, pins);
+      }
+    }
+  }
+  hg.Finalize();
+  return hg;
+}
+
+void BM_MultilevelPartition(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const int per_group = static_cast<int>(state.range(1));
+  Hypergraph hg = MakeClustered(k, per_group, 11);
+  PartitionConfig config;
+  config.k = k;
+  config.eps = {0.25, 0.25};
+  auto partitioner = MakeMultilevelPartitioner();
+  double cost = 0.0;
+  for (auto _ : state) {
+    PartitionResult result = partitioner->Run(hg, config);
+    cost = result.connectivity_cost;
+    benchmark::DoNotOptimize(result.part.data());
+  }
+  state.counters["connectivity"] = cost;
+  state.counters["vertices"] = hg.num_vertices();
+}
+BENCHMARK(BM_MultilevelPartition)
+    ->Args({4, 64})
+    ->Args({8, 128})
+    ->Args({16, 256})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_GreedyPartition(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const int per_group = static_cast<int>(state.range(1));
+  Hypergraph hg = MakeClustered(k, per_group, 11);
+  PartitionConfig config;
+  config.k = k;
+  config.eps = {0.25, 0.25};
+  auto partitioner = MakeGreedyPartitioner();
+  double cost = 0.0;
+  for (auto _ : state) {
+    PartitionResult result = partitioner->Run(hg, config);
+    cost = result.connectivity_cost;
+    benchmark::DoNotOptimize(result.part.data());
+  }
+  state.counters["connectivity"] = cost;
+}
+BENCHMARK(BM_GreedyPartition)
+    ->Args({4, 64})
+    ->Args({8, 128})
+    ->Args({16, 256})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dcp

@@ -1,0 +1,82 @@
+// Microbenchmark: end-to-end planner throughput across block sizes and masks, plus the
+// division-count (T) ablation and hierarchical-vs-flat placement ablation.
+#include <benchmark/benchmark.h>
+
+#include "baselines/static_planner.h"
+#include "core/planner.h"
+#include "data/batching.h"
+#include "runtime/sim_engine.h"
+
+namespace dcp {
+namespace {
+
+Batch MakeBatch(uint64_t seed) {
+  DatasetConfig data;
+  data.kind = DatasetKind::kLongDataCollections;
+  data.max_seq_len = 131072;
+  data.seed = seed;
+  BatchingConfig batching;
+  batching.token_budget = 131072;
+  BatchStream stream{LengthSampler(data), batching};
+  return stream.NextBatch();
+}
+
+PlannerOptions Options(int64_t block_size) {
+  PlannerOptions options;
+  options.block_size = block_size;
+  options.num_groups = 2;
+  options.heads_per_group = 4;
+  options.head_dim = 128;
+  return options;
+}
+
+void BM_PlanBatch(benchmark::State& state) {
+  const ClusterSpec cluster = ClusterSpec::MicroBenchTestbed();
+  const Batch batch = MakeBatch(7);
+  const PlannerOptions options = Options(state.range(0));
+  std::vector<SequenceMask> masks = BuildBatchMasks(MaskSpec::Causal(), batch.seqlens);
+  for (auto _ : state) {
+    BatchPlan plan = PlanBatch(batch.seqlens, masks, cluster, options);
+    benchmark::DoNotOptimize(plan.stats.total_comm_bytes);
+  }
+}
+BENCHMARK(BM_PlanBatch)->Arg(512)->Arg(1024)->Arg(2048)->Arg(4096)->Unit(benchmark::kMillisecond);
+
+// Ablation: number of divisions T (the paper fixes 4). Reports simulated attention time
+// as a counter so the throughput/overlap trade-off is visible.
+void BM_DivisionsAblation(benchmark::State& state) {
+  const ClusterSpec cluster = ClusterSpec::MicroBenchTestbed();
+  const Batch batch = MakeBatch(9);
+  PlannerOptions options = Options(2048);
+  options.divisions = static_cast<int>(state.range(0));
+  std::vector<SequenceMask> masks = BuildBatchMasks(MaskSpec::Causal(), batch.seqlens);
+  SimEngine sim{CostModel(cluster)};
+  double simulated_ms = 0.0;
+  for (auto _ : state) {
+    BatchPlan plan = PlanBatch(batch.seqlens, masks, cluster, options);
+    simulated_ms = sim.Simulate(plan, false).makespan * 1e3;
+    benchmark::DoNotOptimize(simulated_ms);
+  }
+  state.counters["sim_fw_ms"] = simulated_ms;
+}
+BENCHMARK(BM_DivisionsAblation)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+// Ablation: hierarchical (node-level then device-level) vs flat placement.
+void BM_HierarchicalVsFlat(benchmark::State& state) {
+  const ClusterSpec cluster = ClusterSpec::MicroBenchTestbed();
+  const Batch batch = MakeBatch(11);
+  PlannerOptions options = Options(2048);
+  options.hierarchical = state.range(0) != 0;
+  std::vector<SequenceMask> masks = BuildBatchMasks(MaskSpec::Causal(), batch.seqlens);
+  Bytes inter_node = 0;
+  for (auto _ : state) {
+    BatchPlan plan = PlanBatch(batch.seqlens, masks, cluster, options);
+    inter_node = plan.stats.inter_node_comm_bytes;
+    benchmark::DoNotOptimize(inter_node);
+  }
+  state.counters["inter_node_MiB"] = static_cast<double>(inter_node) / (1 << 20);
+}
+BENCHMARK(BM_HierarchicalVsFlat)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dcp

@@ -1,0 +1,154 @@
+// dcpctl — command-line front end to the DCP planner and simulator. Useful for poking at
+// parallelization configurations without writing code:
+//
+//   dcpctl plan     --seqlens 65536,32768,8192 --mask lambda --nodes 4 --devices 8
+//   dcpctl simulate --seqlens 65536,32768      --mask causal --block 2048
+//   dcpctl tune     --seqlens 40960,24576      --mask shared_question
+//
+// `plan` prints the plan summary and per-device stats; `simulate` prices fw+bw and prints
+// the decomposition; `tune` runs the paper's block-size search.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/planner.h"
+#include "masks/mask.h"
+#include "runtime/plan_validate.h"
+#include "runtime/sim_engine.h"
+
+using namespace dcp;
+
+namespace {
+
+std::vector<int64_t> ParseSeqlens(const std::string& csv) {
+  std::vector<int64_t> out;
+  size_t pos = 0;
+  while (pos < csv.size()) {
+    size_t comma = csv.find(',', pos);
+    if (comma == std::string::npos) {
+      comma = csv.size();
+    }
+    out.push_back(std::stoll(csv.substr(pos, comma - pos)));
+    pos = comma + 1;
+  }
+  return out;
+}
+
+MaskSpec ParseMask(const std::string& name) {
+  if (name == "causal") {
+    return MaskSpec::Causal();
+  }
+  if (name == "lambda") {
+    return MaskSpec::Lambda();
+  }
+  if (name == "causal_blockwise" || name == "blockwise") {
+    return MaskSpec::CausalBlockwise();
+  }
+  if (name == "shared_question" || name == "sharedq") {
+    return MaskSpec::SharedQuestion();
+  }
+  std::fprintf(stderr, "unknown mask '%s' (causal|lambda|blockwise|shared_question)\n",
+               name.c_str());
+  std::exit(2);
+}
+
+struct Args {
+  std::string command;
+  std::vector<int64_t> seqlens = {65536, 32768, 16384, 16384};
+  MaskSpec mask = MaskSpec::Causal();
+  int nodes = 4;
+  int devices = 8;
+  int64_t block = 2048;
+  bool verbose = false;
+};
+
+Args Parse(int argc, char** argv) {
+  Args args;
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: dcpctl plan|simulate|tune [--seqlens a,b,c] "
+                         "[--mask causal|lambda|blockwise|shared_question] "
+                         "[--nodes N] [--devices D] [--block B] [--verbose]\n");
+    std::exit(2);
+  }
+  args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", argv[i]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--seqlens") == 0) {
+      args.seqlens = ParseSeqlens(next());
+    } else if (std::strcmp(argv[i], "--mask") == 0) {
+      args.mask = ParseMask(next());
+    } else if (std::strcmp(argv[i], "--nodes") == 0) {
+      args.nodes = std::stoi(next());
+    } else if (std::strcmp(argv[i], "--devices") == 0) {
+      args.devices = std::stoi(next());
+    } else if (std::strcmp(argv[i], "--block") == 0) {
+      args.block = std::stoll(next());
+    } else if (std::strcmp(argv[i], "--verbose") == 0) {
+      args.verbose = true;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = Parse(argc, argv);
+  ClusterSpec cluster;
+  cluster.num_nodes = args.nodes;
+  cluster.devices_per_node = args.devices;
+  PlannerOptions options;
+  options.block_size = args.block;
+  options.num_groups = 2;
+  options.heads_per_group = 4;
+  options.head_dim = 128;
+  std::vector<SequenceMask> masks = BuildBatchMasks(args.mask, args.seqlens);
+
+  if (args.command == "plan") {
+    BatchPlan plan = PlanBatch(args.seqlens, masks, cluster, options);
+    const PlanValidation validation = ValidatePlan(plan);
+    std::printf("%s\n", PlanToString(plan, args.verbose ? 64 : 4).c_str());
+    std::printf("validation: %s\n", validation.Summary().c_str());
+    std::printf("planning: %.1f ms, comm %.1f MiB (%.1f inter-node), "
+                "owned-bytes balance %.2f\n",
+                plan.stats.planning_seconds * 1e3,
+                static_cast<double>(plan.stats.total_comm_bytes) / (1 << 20),
+                static_cast<double>(plan.stats.inter_node_comm_bytes) / (1 << 20),
+                static_cast<double>(plan.stats.max_device_owned_bytes) /
+                    std::max<Bytes>(1, plan.stats.min_device_owned_bytes));
+    return validation.ok ? 0 : 1;
+  }
+  if (args.command == "simulate") {
+    BatchPlan plan = PlanBatch(args.seqlens, masks, cluster, options);
+    SimEngine sim{CostModel(cluster)};
+    const SimResult fw = sim.Simulate(plan, false);
+    const SimResult bw = sim.Simulate(plan, true);
+    std::printf("attention fw %.3f ms, bw %.3f ms\n", fw.makespan * 1e3,
+                bw.makespan * 1e3);
+    std::printf("fw: compute %.3f ms, exposed comm %.3f ms, overlapped %.3f ms\n",
+                fw.MeanAttentionCompute() * 1e3, fw.MeanExposedComm() * 1e3,
+                fw.MeanOverlappedComm() * 1e3);
+    return 0;
+  }
+  if (args.command == "tune") {
+    const BlockSizeSearchResult result =
+        SearchBlockSize(args.seqlens, masks, cluster, options);
+    for (const auto& [block, seconds] : result.candidates) {
+      std::printf("block %5lld: fw+bw %.3f ms%s\n", static_cast<long long>(block),
+                  seconds * 1e3, block == result.best_block_size ? "  <= best" : "");
+    }
+    return 0;
+  }
+  std::fprintf(stderr, "unknown command '%s'\n", args.command.c_str());
+  return 2;
+}

@@ -1,0 +1,75 @@
+// Quickstart: the paper's Listing-2 workflow end to end.
+//
+// Builds a small variable-length batch, lets the DCP data loader plan it (blocks ->
+// hypergraph placement -> division schedule -> instruction streams), executes the plan
+// numerically across 4 simulated devices, and checks the result against a single-device
+// reference attention.
+//
+//   ./examples/quickstart
+#include <cstdio>
+
+#include "core/api.h"
+#include "runtime/reference_attention.h"
+
+using namespace dcp;
+
+int main() {
+  // --- Cluster: 2 nodes x 2 devices. ---
+  ClusterSpec cluster;
+  cluster.num_nodes = 2;
+  cluster.devices_per_node = 2;
+
+  // --- Dataset + batching: variable-length sequences, 4096-token global batches. ---
+  DatasetConfig dataset;
+  dataset.kind = DatasetKind::kLongDataCollections;
+  dataset.max_seq_len = 2048;
+  dataset.min_seq_len = 128;
+  BatchingConfig batching;
+  batching.token_budget = 4096;
+
+  // --- Attention spec + planner options. ---
+  PlannerOptions options;
+  options.block_size = 256;
+  options.num_groups = 2;      // GQA: 2 KV groups...
+  options.heads_per_group = 2; // ...serving 4 query heads.
+  options.head_dim = 32;
+
+  // The data loader plans look-ahead iterations on background threads (paper §6.1).
+  DcpDataLoader loader(BatchStream{LengthSampler(dataset), batching},
+                       MaskSpec::Causal(), cluster, options, /*lookahead=*/2);
+  DcpExecutor executor;  // Shared across all "layers" (here: one attention op).
+
+  Rng rng(1);
+  for (int iteration = 0; iteration < 3; ++iteration) {
+    PlannedIteration it = loader.Next();
+    std::printf("iteration %d: %d sequences, %lld tokens, comm %.2f MiB "
+                "(%.2f MiB inter-node), planned in %.2f ms\n",
+                iteration, it.batch.NumSequences(),
+                static_cast<long long>(it.batch.TotalTokens()),
+                static_cast<double>(it.plan.stats.total_comm_bytes) / (1 << 20),
+                static_cast<double>(it.plan.stats.inter_node_comm_bytes) / (1 << 20),
+                it.plan.stats.planning_seconds * 1e3);
+
+    executor.Prepare(it.plan, it.masks);
+
+    // Random Q/K/V per sequence; in a real model these come from the QKV projection.
+    std::vector<SeqTensors> inputs;
+    for (int64_t len : it.batch.seqlens) {
+      inputs.push_back(SeqTensors::Random(4, 2, len, options.head_dim, rng));
+    }
+    std::vector<Tensor> outputs = DcpAttention::Forward(executor, inputs);
+
+    // Verify against the exact single-device reference.
+    float worst = 0.0f;
+    for (size_t s = 0; s < inputs.size(); ++s) {
+      Tensor reference = ReferenceAttentionForward(inputs[s], it.masks[s]);
+      worst = std::max(worst, Tensor::MaxAbsDiff(outputs[s], reference));
+    }
+    std::printf("  max |DCP - reference| = %.2e  %s\n", worst,
+                worst < 1e-4f ? "(OK)" : "(MISMATCH!)");
+  }
+
+  std::printf("\nDone. See examples/rlhf_shared_question.cpp for sparse masks and\n"
+              "examples/cluster_simulation.cpp for the timing simulator.\n");
+  return 0;
+}

@@ -1,0 +1,20 @@
+// LoongTrain traits (paper baseline (ii), [20]): 2D head + sequence parallelism with the
+// double-ring communication schedule. Head-parallel degree is set to the number of KV
+// groups (the paper's choice minimizing its communication). LoongTrain does not support
+// variable-length inputs, so every sequence is padded to the batch's maximum length —
+// the padding cost the paper observes at small sequence-length scales emerges from this.
+// The inner/outer ring split is a NIC-utilization refinement of the same volume; the
+// node-level NIC contention model absorbs its effect, so it is not modelled separately.
+#include "baselines/static_planner.h"
+
+namespace dcp {
+
+BaselineTraits LoongTrainTraits(int num_groups) {
+  BaselineTraits traits;
+  traits.head_parallel = num_groups;
+  traits.zigzag = true;
+  traits.pad_to_max = true;
+  return traits;
+}
+
+}  // namespace dcp

@@ -1,0 +1,24 @@
+// RingFlashAttention traits (paper baseline (i), [49]): sequence-dimension-only context
+// parallelism. Ring places the r-th contiguous band of every sequence on device r; ZigZag
+// splits each sequence into 2R bands and pairs band i with band 2R-1-i so causal compute
+// balances. No head parallelism: every device exchanges the KV of *all* head groups each
+// ring step, which is why RFA carries the highest communication volume of the baselines.
+#include "baselines/static_planner.h"
+
+namespace dcp {
+
+BaselineTraits RfaRingTraits() {
+  BaselineTraits traits;
+  traits.head_parallel = 1;
+  traits.zigzag = false;
+  return traits;
+}
+
+BaselineTraits RfaZigZagTraits() {
+  BaselineTraits traits;
+  traits.head_parallel = 1;
+  traits.zigzag = true;
+  return traits;
+}
+
+}  // namespace dcp

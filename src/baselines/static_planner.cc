@@ -1,0 +1,200 @@
+#include "baselines/static_planner.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "core/block_gen.h"
+#include "core/plan_compile.h"
+#include "core/schedule.h"
+
+namespace dcp {
+
+std::string BaselineKindName(BaselineKind kind) {
+  switch (kind) {
+    case BaselineKind::kRfaRing:
+      return "RFA(Ring)";
+    case BaselineKind::kRfaZigZag:
+      return "RFA(ZigZag)";
+    case BaselineKind::kLoongTrain:
+      return "LoongTrain";
+    case BaselineKind::kTransformerEngine:
+      return "TransformerEngine";
+  }
+  return "Unknown";
+}
+
+const std::vector<BaselineKind>& AllBaselineKinds() {
+  static const std::vector<BaselineKind> kinds = {
+      BaselineKind::kRfaRing, BaselineKind::kRfaZigZag, BaselineKind::kLoongTrain,
+      BaselineKind::kTransformerEngine};
+  return kinds;
+}
+
+namespace {
+
+// Band (= ring position) of chunk c out of n chunks, over `columns` ring positions.
+int RingColumn(int c, int n, int columns) {
+  return std::min(static_cast<int>(static_cast<int64_t>(c) * columns / n), columns - 1);
+}
+
+// Zig-zag: 2*columns bands; band i and band 2*columns-1-i both map to column i, so every
+// column gets one early and one late band of each sequence (causal balance, paper §2.2).
+int ZigZagColumn(int c, int n, int columns) {
+  const int band =
+      std::min(static_cast<int>(static_cast<int64_t>(c) * 2 * columns / n), 2 * columns - 1);
+  return std::min(band, 2 * columns - 1 - band);
+}
+
+}  // namespace
+
+BaselineResult PlanBaseline(BaselineKind kind, const std::vector<int64_t>& seqlens,
+                            const MaskSpec& mask_spec, const ClusterSpec& cluster,
+                            const PlannerOptions& options) {
+  const BaselineTraits traits = TraitsFor(kind, options.num_groups);
+  const int num_devices = cluster.num_devices();
+  const int hp = traits.head_parallel;
+  DCP_CHECK_EQ(num_devices % hp, 0);
+  DCP_CHECK_EQ(options.num_groups % hp, 0);
+  const int columns = num_devices / hp;  // Ring length in the sequence dimension.
+
+  BaselineResult result;
+  result.planned_seqlens = seqlens;
+  if (traits.pad_to_max) {
+    int64_t longest = 0;
+    for (int64_t len : seqlens) {
+      longest = std::max(longest, len);
+    }
+    for (int64_t& len : result.planned_seqlens) {
+      len = longest;
+    }
+  }
+  result.masks = BuildBatchMasks(mask_spec, result.planned_seqlens);
+
+  const BatchLayout layout = options.MakeLayout(result.planned_seqlens);
+  const BlockGraph graph = GenerateBlocks(layout, result.masks);
+
+  // --- Static placement. ---
+  PlacementResult placement;
+  placement.chunk_device.resize(static_cast<size_t>(graph.num_chunks()));
+  std::vector<int> chunk_column(static_cast<size_t>(graph.num_chunks()));
+  for (int gc = 0; gc < graph.num_chunks(); ++gc) {
+    const TokenChunk& chunk = graph.chunks[static_cast<size_t>(gc)];
+    const int n = layout.NumChunks(chunk.seq);
+    const int col = traits.zigzag ? ZigZagColumn(chunk.chunk, n, columns)
+                                  : RingColumn(chunk.chunk, n, columns);
+    chunk_column[static_cast<size_t>(gc)] = col;
+    // Within a column the hp devices share the tokens round-robin (they all need every
+    // chunk's data for their own head groups; the home only decides who stores it).
+    placement.chunk_device[static_cast<size_t>(gc)] = col * hp + gc % hp;
+  }
+  placement.comp_device.resize(static_cast<size_t>(graph.num_comp_blocks()));
+  for (int i = 0; i < graph.num_comp_blocks(); ++i) {
+    const CompBlock& block = graph.comp_blocks[static_cast<size_t>(i)];
+    const int q_gc = layout.GlobalChunkId(block.seq, block.q_chunk);
+    const int col = chunk_column[static_cast<size_t>(q_gc)];
+    placement.comp_device[static_cast<size_t>(i)] = col * hp + block.group % hp;
+  }
+  placement.balanced = true;
+  placement.device_level_cost = 0.0;
+
+  // --- Ring-step schedule: division = ring distance between q and kv columns. ---
+  ScheduleResult schedule;
+  schedule.divisions.assign(
+      static_cast<size_t>(num_devices),
+      std::vector<std::vector<int>>(static_cast<size_t>(columns)));
+  for (int i = 0; i < graph.num_comp_blocks(); ++i) {
+    const CompBlock& block = graph.comp_blocks[static_cast<size_t>(i)];
+    const int q_col = chunk_column[static_cast<size_t>(
+        layout.GlobalChunkId(block.seq, block.q_chunk))];
+    const int kv_col = chunk_column[static_cast<size_t>(
+        layout.GlobalChunkId(block.seq, block.kv_chunk))];
+    const int step = (q_col - kv_col + columns) % columns;
+    const DeviceId device = placement.comp_device[static_cast<size_t>(i)];
+    schedule.divisions[static_cast<size_t>(device)][static_cast<size_t>(step)].push_back(i);
+  }
+
+  // Static rings circulate every KV partition through every ring position, whether or not
+  // the local mask needs it — the redundant communication of the paper's Fig. 7. Force
+  // those fetches: at step s, device (col, h) receives the KV of column (col - s) for its
+  // head groups.
+  schedule.forced_kv_keys.assign(
+      static_cast<size_t>(num_devices),
+      std::vector<std::vector<int64_t>>(static_cast<size_t>(columns)));
+  for (int d = 0; d < num_devices; ++d) {
+    const int col = d / hp;
+    const int head_slot = d % hp;
+    for (int step = 1; step < columns; ++step) {
+      const int src_col = (col - step + columns) % columns;
+      auto& keys = schedule.forced_kv_keys[static_cast<size_t>(d)][static_cast<size_t>(step)];
+      for (int gc = 0; gc < graph.num_chunks(); ++gc) {
+        if (chunk_column[static_cast<size_t>(gc)] != src_col) {
+          continue;
+        }
+        for (GroupId g = 0; g < layout.num_groups; ++g) {
+          if (g % hp == head_slot) {
+            keys.push_back(static_cast<int64_t>(gc) * layout.num_groups + g);
+          }
+        }
+      }
+    }
+  }
+
+  result.plan = CompilePlan(graph, placement, schedule, cluster);
+  // Charge the baseline's per-step host overhead (varlen argument construction, tensor
+  // reordering) on every attention step.
+  if (traits.per_step_seq_overhead_us > 0.0) {
+    const double overhead =
+        traits.per_step_seq_overhead_us * 1e-6 * static_cast<double>(seqlens.size());
+    for (DevicePlan& dev : result.plan.devices) {
+      for (auto* stream : {&dev.instructions, &dev.backward_instructions}) {
+        for (Instruction& instr : *stream) {
+          if (instr.kind == InstrKind::kBlockwiseAttention) {
+            instr.host_overhead = overhead;
+          }
+        }
+      }
+    }
+  }
+  result.plan.stats.planning_seconds = 0.0;
+  return result;
+}
+
+std::vector<BaselineResult> PlanBaselineWaves(BaselineKind kind,
+                                              const std::vector<int64_t>& seqlens,
+                                              const MaskSpec& mask_spec,
+                                              const ClusterSpec& cluster,
+                                              const PlannerOptions& options,
+                                              int64_t token_budget) {
+  const BaselineTraits traits = TraitsFor(kind, options.num_groups);
+  if (!traits.pad_to_max) {
+    return {PlanBaseline(kind, seqlens, mask_spec, cluster, options)};
+  }
+  // Greedy wave packing in arrival order: a wave's footprint is (max length so far) x
+  // (sequences so far); open a new wave when adding the next sequence would overflow.
+  std::vector<std::vector<int64_t>> waves;
+  std::vector<int64_t> current;
+  int64_t current_max = 0;
+  for (int64_t len : seqlens) {
+    const int64_t new_max = std::max(current_max, len);
+    const int64_t padded =
+        new_max * (static_cast<int64_t>(current.size()) + 1);
+    if (!current.empty() && padded > token_budget) {
+      waves.push_back(current);
+      current.clear();
+      current_max = 0;
+    }
+    current.push_back(len);
+    current_max = std::max(current_max, len);
+  }
+  if (!current.empty()) {
+    waves.push_back(current);
+  }
+  std::vector<BaselineResult> results;
+  results.reserve(waves.size());
+  for (const auto& wave : waves) {
+    results.push_back(PlanBaseline(kind, wave, mask_spec, cluster, options));
+  }
+  return results;
+}
+
+}  // namespace dcp

@@ -1,0 +1,74 @@
+// Static context-parallel baselines (paper §7.1): RingFlashAttention with Ring and ZigZag
+// placements, LoongTrain-style 2D head+sequence parallelism with padding, and
+// TransformerEngine-style head+zigzag-ring with variable-length support.
+//
+// Each baseline is expressed as a *static* placement + ring-step schedule over the same
+// block/ISA machinery DCP uses, then compiled by the same plan compiler. This means every
+// baseline runs on the same numeric executor (correctness-checked against the reference)
+// and the same discrete-event simulator (timing), exactly mirroring the paper's setup where
+// all systems execute on the same GPUs. Ring communication is modelled as fetch-from-owner
+// per ring step: per step each device still sends one KV partition and receives one, so
+// per-step and total volumes match the ring; only the link choice differs, which the
+// node-level NIC contention model absorbs.
+#ifndef DCP_BASELINES_STATIC_PLANNER_H_
+#define DCP_BASELINES_STATIC_PLANNER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/planner.h"
+#include "masks/mask.h"
+#include "runtime/cluster.h"
+#include "runtime/instructions.h"
+
+namespace dcp {
+
+enum class BaselineKind {
+  kRfaRing,             // RingFlashAttention, contiguous ring placement.
+  kRfaZigZag,           // RingFlashAttention, zig-zag placement (causal load balance).
+  kLoongTrain,          // Head x sequence 2D, double-ring; pads to the batch max length.
+  kTransformerEngine,   // Head x sequence 2D, zigzag; variable-length capable.
+};
+
+std::string BaselineKindName(BaselineKind kind);
+const std::vector<BaselineKind>& AllBaselineKinds();
+
+// Structural description of a baseline's parallelization.
+struct BaselineTraits {
+  int head_parallel = 1;   // Devices splitting the KV-group dimension.
+  bool zigzag = false;     // Zig-zag (vs contiguous) band placement.
+  bool pad_to_max = false; // Pad every sequence to the batch max (LoongTrain).
+  // Extra per-attention-step host overhead per sequence (TransformerEngine's tensor
+  // reordering and varlen argument construction, paper §7.1 discussion).
+  double per_step_seq_overhead_us = 0.0;
+};
+BaselineTraits TraitsFor(BaselineKind kind, int num_groups);
+
+struct BaselineResult {
+  BatchPlan plan;
+  // Masks the plan was built against (rebuilt on padded lengths for LoongTrain).
+  std::vector<SequenceMask> masks;
+  std::vector<int64_t> planned_seqlens;
+};
+
+// Builds the baseline's static plan for a batch. `options` supplies the attention-op spec
+// (groups/heads/dim) and the chunk granularity used to form bands.
+BaselineResult PlanBaseline(BaselineKind kind, const std::vector<int64_t>& seqlens,
+                            const MaskSpec& mask_spec, const ClusterSpec& cluster,
+                            const PlannerOptions& options);
+
+// Padding-aware variant: LoongTrain pads every sequence to the longest in the batch, and
+// padded tokens count against the token budget — so one logical batch executes as several
+// sequential "waves", each holding the sequences whose padded lengths fit the budget.
+// Non-padding baselines return a single wave. The measured batch time is the sum over
+// waves.
+std::vector<BaselineResult> PlanBaselineWaves(BaselineKind kind,
+                                              const std::vector<int64_t>& seqlens,
+                                              const MaskSpec& mask_spec,
+                                              const ClusterSpec& cluster,
+                                              const PlannerOptions& options,
+                                              int64_t token_budget);
+
+}  // namespace dcp
+
+#endif  // DCP_BASELINES_STATIC_PLANNER_H_

@@ -1,0 +1,41 @@
+// TransformerEngine traits (paper baseline (iii), [30]), as enhanced by the paper: 2D
+// head + zigzag-sequence parallelism with variable-length support and per-step local
+// masks (the paper adds mask support using DCP's kernels without changing TE's
+// communication pattern — which is exactly what this construction does). TE's per-step
+// host work (reordering tensors between head and ring parallelism, building varlen
+// arguments) scales with the number of sequences; the paper observes it dominating at
+// small sequence-length scales (§7.1), modelled here as a per-step, per-sequence fixed
+// overhead.
+#include "baselines/static_planner.h"
+
+namespace dcp {
+
+BaselineTraits TransformerEngineTraits(int num_groups) {
+  BaselineTraits traits;
+  traits.head_parallel = num_groups;
+  traits.zigzag = true;
+  traits.pad_to_max = false;
+  traits.per_step_seq_overhead_us = 6.0;
+  return traits;
+}
+
+// Dispatch lives here so each baseline's description stays in its own translation unit.
+BaselineTraits RfaRingTraits();
+BaselineTraits RfaZigZagTraits();
+BaselineTraits LoongTrainTraits(int num_groups);
+
+BaselineTraits TraitsFor(BaselineKind kind, int num_groups) {
+  switch (kind) {
+    case BaselineKind::kRfaRing:
+      return RfaRingTraits();
+    case BaselineKind::kRfaZigZag:
+      return RfaZigZagTraits();
+    case BaselineKind::kLoongTrain:
+      return LoongTrainTraits(num_groups);
+    case BaselineKind::kTransformerEngine:
+      return TransformerEngineTraits(num_groups);
+  }
+  return BaselineTraits{};
+}
+
+}  // namespace dcp

@@ -1,0 +1,14 @@
+#include "common/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dcp {
+
+void CheckFailed(const char* file, int line, const char* expr, const std::string& msg) {
+  std::fprintf(stderr, "DCP_CHECK failed at %s:%d: %s %s\n", file, line, expr, msg.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace dcp

@@ -1,0 +1,59 @@
+// Invariant-checking macros. DCP_CHECK* are always on (planning correctness depends on them
+// and their cost is negligible next to tensor math); DCP_DCHECK* compile out in NDEBUG builds.
+#ifndef DCP_COMMON_CHECK_H_
+#define DCP_COMMON_CHECK_H_
+
+#include <sstream>
+#include <string>
+
+namespace dcp {
+
+// Aborts the process after printing `msg` with source location. Never returns.
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& msg);
+
+namespace internal {
+
+// Stream-style message collector so call sites can write DCP_CHECK(x) << "detail " << v;
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+  [[noreturn]] ~CheckMessageBuilder() { CheckFailed(file_, line_, expr_, stream_.str()); }
+
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace dcp
+
+#define DCP_CHECK(cond)                                              \
+  if (cond) {                                                        \
+  } else                                                             \
+    ::dcp::internal::CheckMessageBuilder(__FILE__, __LINE__, #cond)
+
+#define DCP_CHECK_OP(a, op, b) DCP_CHECK((a)op(b)) << "(" << (a) << " vs " << (b) << ") "
+#define DCP_CHECK_EQ(a, b) DCP_CHECK_OP(a, ==, b)
+#define DCP_CHECK_NE(a, b) DCP_CHECK_OP(a, !=, b)
+#define DCP_CHECK_LT(a, b) DCP_CHECK_OP(a, <, b)
+#define DCP_CHECK_LE(a, b) DCP_CHECK_OP(a, <=, b)
+#define DCP_CHECK_GT(a, b) DCP_CHECK_OP(a, >, b)
+#define DCP_CHECK_GE(a, b) DCP_CHECK_OP(a, >=, b)
+
+#ifdef NDEBUG
+#define DCP_DCHECK(cond) DCP_CHECK(true)
+#else
+#define DCP_DCHECK(cond) DCP_CHECK(cond)
+#endif
+
+#endif  // DCP_COMMON_CHECK_H_

@@ -1,0 +1,29 @@
+// Markdown-style table printer so every bench binary emits the same row/series layout the
+// paper's figures report.
+#ifndef DCP_COMMON_TABLE_H_
+#define DCP_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace dcp {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+  // Convenience: formats doubles with the given precision.
+  static std::string Num(double value, int precision = 2);
+
+  std::string ToString() const;
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dcp
+
+#endif  // DCP_COMMON_TABLE_H_

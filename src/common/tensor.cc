@@ -1,0 +1,106 @@
+#include "common/tensor.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace dcp {
+
+Tensor::Tensor(std::vector<int64_t> shape) : shape_(std::move(shape)) {
+  int64_t n = 1;
+  for (int64_t d : shape_) {
+    DCP_CHECK_GE(d, 0);
+    n *= d;
+  }
+  data_.assign(static_cast<size_t>(n), 0.0f);
+}
+
+Tensor Tensor::Zeros(std::vector<int64_t> shape) { return Tensor(std::move(shape)); }
+
+Tensor Tensor::Full(std::vector<int64_t> shape, float value) {
+  Tensor t(std::move(shape));
+  t.Fill(value);
+  return t;
+}
+
+Tensor Tensor::Random(std::vector<int64_t> shape, Rng& rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  for (float& v : t.data_) {
+    v = static_cast<float>(rng.NextUniform(lo, hi));
+  }
+  return t;
+}
+
+int64_t Tensor::FlatIndex(std::initializer_list<int64_t> idx) const {
+  DCP_CHECK_EQ(static_cast<int>(idx.size()), ndim());
+  int64_t flat = 0;
+  int i = 0;
+  for (int64_t v : idx) {
+    DCP_DCHECK(v >= 0 && v < shape_[static_cast<size_t>(i)]);
+    flat = flat * shape_[static_cast<size_t>(i)] + v;
+    ++i;
+  }
+  return flat;
+}
+
+float& Tensor::at(std::initializer_list<int64_t> idx) {
+  return data_[static_cast<size_t>(FlatIndex(idx))];
+}
+
+float Tensor::at(std::initializer_list<int64_t> idx) const {
+  return data_[static_cast<size_t>(FlatIndex(idx))];
+}
+
+void Tensor::Fill(float value) {
+  for (float& v : data_) {
+    v = value;
+  }
+}
+
+void Tensor::Add(const Tensor& other) {
+  DCP_CHECK_EQ(numel(), other.numel());
+  for (size_t i = 0; i < data_.size(); ++i) {
+    data_[i] += other.data_[i];
+  }
+}
+
+void Tensor::Scale(float s) {
+  for (float& v : data_) {
+    v *= s;
+  }
+}
+
+float Tensor::MaxAbsDiff(const Tensor& a, const Tensor& b) {
+  DCP_CHECK_EQ(a.numel(), b.numel());
+  float worst = 0.0f;
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    worst = std::max(worst, std::fabs(a.data()[i] - b.data()[i]));
+  }
+  return worst;
+}
+
+double Tensor::RelativeL2(const Tensor& a, const Tensor& b) {
+  DCP_CHECK_EQ(a.numel(), b.numel());
+  double diff2 = 0.0;
+  double ref2 = 0.0;
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    const double d = static_cast<double>(a.data()[i]) - static_cast<double>(b.data()[i]);
+    diff2 += d * d;
+    ref2 += static_cast<double>(b.data()[i]) * static_cast<double>(b.data()[i]);
+  }
+  return std::sqrt(diff2) / std::max(std::sqrt(ref2), 1e-12);
+}
+
+std::string Tensor::ShapeString() const {
+  std::ostringstream out;
+  out << "[";
+  for (size_t i = 0; i < shape_.size(); ++i) {
+    out << (i == 0 ? "" : ", ") << shape_[i];
+  }
+  out << "]";
+  return out.str();
+}
+
+}  // namespace dcp

@@ -1,0 +1,62 @@
+// A minimal dense fp32 tensor for the numeric executor and trainer. Row-major, owning,
+// up to 4 dimensions. This is intentionally simple: the executor addresses data through
+// block tables, so no view/stride machinery is required.
+#ifndef DCP_COMMON_TENSOR_H_
+#define DCP_COMMON_TENSOR_H_
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace dcp {
+
+class Rng;
+
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(std::vector<int64_t> shape);
+
+  static Tensor Zeros(std::vector<int64_t> shape);
+  static Tensor Full(std::vector<int64_t> shape, float value);
+  // I.i.d. uniform in [lo, hi).
+  static Tensor Random(std::vector<int64_t> shape, Rng& rng, float lo = -1.0f, float hi = 1.0f);
+
+  const std::vector<int64_t>& shape() const { return shape_; }
+  int64_t dim(int i) const { return shape_[static_cast<size_t>(i)]; }
+  int ndim() const { return static_cast<int>(shape_.size()); }
+  int64_t numel() const { return static_cast<int64_t>(data_.size()); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::span<float> span() { return data_; }
+  std::span<const float> span() const { return data_; }
+
+  float& at(std::initializer_list<int64_t> idx);
+  float at(std::initializer_list<int64_t> idx) const;
+
+  void Fill(float value);
+  // this += other (shapes must match).
+  void Add(const Tensor& other);
+  // this *= s.
+  void Scale(float s);
+
+  // Largest absolute element difference; shapes must match.
+  static float MaxAbsDiff(const Tensor& a, const Tensor& b);
+  // Relative L2 error ||a-b|| / max(||b||, eps).
+  static double RelativeL2(const Tensor& a, const Tensor& b);
+
+  std::string ShapeString() const;
+
+ private:
+  int64_t FlatIndex(std::initializer_list<int64_t> idx) const;
+
+  std::vector<int64_t> shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace dcp
+
+#endif  // DCP_COMMON_TENSOR_H_

@@ -1,0 +1,42 @@
+#include "common/thread_pool.h"
+
+#include "common/check.h"
+
+namespace dcp {
+
+ThreadPool::ThreadPool(int num_threads) {
+  DCP_CHECK_GT(num_threads, 0);
+  workers_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this]() { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this]() { return stopping_ || !jobs_.empty(); });
+      if (jobs_.empty()) {
+        return;  // stopping_ and drained.
+      }
+      job = std::move(jobs_.front());
+      jobs_.pop_front();
+    }
+    job();
+  }
+}
+
+}  // namespace dcp

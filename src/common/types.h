@@ -1,0 +1,29 @@
+// Shared scalar types and small helpers used across all DCP subsystems.
+#ifndef DCP_COMMON_TYPES_H_
+#define DCP_COMMON_TYPES_H_
+
+#include <cstdint>
+
+namespace dcp {
+
+using DeviceId = int32_t;  // Global device rank in [0, num_devices).
+using NodeId = int32_t;    // Machine index in [0, num_nodes).
+using SeqId = int32_t;     // Sequence index within a batch.
+using GroupId = int32_t;   // KV-head-group index.
+using ChunkId = int32_t;   // Token-chunk index within a sequence.
+using BlockId = int32_t;   // Index into a per-batch block table.
+using Flops = double;      // Floating point operation count.
+using Bytes = int64_t;     // Data size in bytes.
+
+inline constexpr BlockId kInvalidBlock = -1;
+inline constexpr DeviceId kInvalidDevice = -1;
+
+// Integer ceil-division for non-negative values.
+template <typename T>
+constexpr T CeilDiv(T a, T b) {
+  return (a + b - 1) / b;
+}
+
+}  // namespace dcp
+
+#endif  // DCP_COMMON_TYPES_H_

@@ -1,0 +1,39 @@
+#include "core/api.h"
+
+#include "common/check.h"
+
+namespace dcp {
+
+void DcpExecutor::Prepare(const BatchPlan& plan, std::vector<SequenceMask> masks) {
+  plan_ = plan;
+  masks_ = std::move(masks);
+  exec_ = std::make_unique<NumericExecutor>(&plan_, &masks_);
+}
+
+const BatchPlan& DcpExecutor::plan() const {
+  DCP_CHECK(exec_ != nullptr) << "DcpExecutor::Prepare not called";
+  return plan_;
+}
+
+NumericExecutor& DcpExecutor::numeric() {
+  DCP_CHECK(exec_ != nullptr) << "DcpExecutor::Prepare not called";
+  return *exec_;
+}
+
+std::vector<Tensor> DcpAttention::Forward(DcpExecutor& executor,
+                                          const std::vector<SeqTensors>& inputs) {
+  NumericExecutor& exec = executor.numeric();
+  exec.LoadInputs(inputs);
+  exec.RunForward();
+  return exec.GatherOutputs();
+}
+
+std::vector<SeqGrads> DcpAttention::Backward(DcpExecutor& executor,
+                                             const std::vector<Tensor>& douts) {
+  NumericExecutor& exec = executor.numeric();
+  exec.LoadOutputGrads(douts);
+  exec.RunBackward();
+  return exec.GatherInputGrads();
+}
+
+}  // namespace dcp

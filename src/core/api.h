@@ -1,0 +1,54 @@
+// User-facing facade mirroring the paper's Listing 2:
+//
+//   DcpDataLoader loader(stream, mask_spec, cluster, options);   // dataset + mask_fn
+//   DcpExecutor executor;                                        // shared across layers
+//   for (...) {
+//     PlannedIteration it = loader.Next();
+//     executor.Prepare(it.plan, it.masks);                       // set plan, make buffers
+//     auto out = DcpAttention::Forward(executor, inputs);        // inside the model
+//     auto grads = DcpAttention::Backward(executor, dout);
+//   }
+#ifndef DCP_CORE_API_H_
+#define DCP_CORE_API_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/dataloader.h"
+#include "runtime/executor.h"
+
+namespace dcp {
+
+// Holds the current iteration's execution plan and device buffers; the model calls
+// attention through it (one instance shared by all layers, as in the paper).
+class DcpExecutor {
+ public:
+  DcpExecutor() = default;
+
+  // Installs the plan for the upcoming iteration and (re)creates block buffers.
+  void Prepare(const BatchPlan& plan, std::vector<SequenceMask> masks);
+
+  bool ready() const { return exec_ != nullptr; }
+  const BatchPlan& plan() const;
+  NumericExecutor& numeric();
+
+ private:
+  BatchPlan plan_;
+  std::vector<SequenceMask> masks_;
+  std::unique_ptr<NumericExecutor> exec_;
+};
+
+// The drop-in attention op (paper Listing 2, DCPAttn.apply).
+class DcpAttention {
+ public:
+  // inputs[s] holds Q/K/V of sequence s; returns O per sequence.
+  static std::vector<Tensor> Forward(DcpExecutor& executor,
+                                     const std::vector<SeqTensors>& inputs);
+  // douts[s] is dL/dO of sequence s; returns input gradients per sequence.
+  static std::vector<SeqGrads> Backward(DcpExecutor& executor,
+                                        const std::vector<Tensor>& douts);
+};
+
+}  // namespace dcp
+
+#endif  // DCP_CORE_API_H_

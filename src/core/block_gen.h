@@ -1,0 +1,54 @@
+// Block generation (paper §4.1): cuts a batch into token chunks (the placement units) and
+// computation blocks (one per non-empty Q-chunk x KV-chunk tile per KV group). Tiles whose
+// mask region is entirely zero are never constructed — this is where mask sparsity becomes
+// structural.
+#ifndef DCP_CORE_BLOCK_GEN_H_
+#define DCP_CORE_BLOCK_GEN_H_
+
+#include <vector>
+
+#include "masks/mask.h"
+#include "runtime/layout.h"
+
+namespace dcp {
+
+// The placement unit: B consecutive tokens of one sequence. All of the chunk's data blocks
+// (Q/KV/O of every KV group) are co-located on the chunk's device (paper §4.1 constraint).
+struct TokenChunk {
+  SeqId seq = 0;
+  ChunkId chunk = 0;
+  int64_t begin = 0;
+  int64_t end = 0;
+  Bytes bytes = 0;  // Total footprint of the chunk's data blocks (all groups, Q+KV+O).
+
+  int64_t length() const { return end - begin; }
+};
+
+// One attention tile: Q chunk x KV chunk for one KV group.
+struct CompBlock {
+  SeqId seq = 0;
+  GroupId group = 0;
+  ChunkId q_chunk = 0;
+  ChunkId kv_chunk = 0;
+  int64_t pairs = 0;  // Attended (q, kv) token pairs in the tile.
+  Flops flops = 0.0;  // Forward FLOPs over all heads of the group.
+  bool full = false;  // Tile has no masked entries.
+};
+
+struct BlockGraph {
+  BatchLayout layout;
+  std::vector<TokenChunk> chunks;      // Indexed by layout.GlobalChunkId(seq, chunk).
+  std::vector<CompBlock> comp_blocks;
+
+  int num_chunks() const { return static_cast<int>(chunks.size()); }
+  int num_comp_blocks() const { return static_cast<int>(comp_blocks.size()); }
+  Flops TotalFlops() const;
+};
+
+// Generates chunks and non-empty computation blocks for the batch. masks[s] must match
+// layout.seqlens[s].
+BlockGraph GenerateBlocks(const BatchLayout& layout, const std::vector<SequenceMask>& masks);
+
+}  // namespace dcp
+
+#endif  // DCP_CORE_BLOCK_GEN_H_

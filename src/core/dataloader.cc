@@ -1,0 +1,55 @@
+#include "core/dataloader.h"
+
+#include "common/check.h"
+
+namespace dcp {
+
+DcpDataLoader::DcpDataLoader(BatchStream stream, MaskSpec mask_spec, ClusterSpec cluster,
+                             PlannerOptions options, int lookahead, int planner_threads)
+    : stream_(std::move(stream)),
+      mask_spec_(mask_spec),
+      cluster_(cluster),
+      options_(options),
+      lookahead_(lookahead) {
+  DCP_CHECK_GE(lookahead, 0);
+  pool_ = std::make_unique<ThreadPool>(std::max(1, planner_threads));
+  for (int i = 0; i <= lookahead_; ++i) {
+    EnqueueOne();
+  }
+}
+
+DcpDataLoader::~DcpDataLoader() {
+  // Drain in-flight planning jobs before tearing down the pool.
+  for (auto& fut : pending_) {
+    fut.wait();
+  }
+}
+
+void DcpDataLoader::EnqueueOne() {
+  // Sampling the batch is cheap and must stay deterministic, so it happens on the calling
+  // thread; only the planning runs on the pool.
+  Batch batch = stream_.NextBatch();
+  MaskSpec mask_spec = mask_spec_;
+  ClusterSpec cluster = cluster_;
+  PlannerOptions options = options_;
+  pending_.push_back(pool_->Submit([batch = std::move(batch), mask_spec, cluster,
+                                    options]() mutable {
+    PlannedIteration iteration;
+    iteration.masks = BuildBatchMasks(mask_spec, batch.seqlens);
+    iteration.plan = PlanBatch(batch.seqlens, iteration.masks, cluster, options);
+    iteration.batch = std::move(batch);
+    return iteration;
+  }));
+}
+
+PlannedIteration DcpDataLoader::Next() {
+  DCP_CHECK(!pending_.empty());
+  std::future<PlannedIteration> front = std::move(pending_.front());
+  pending_.pop_front();
+  EnqueueOne();
+  return front.get();
+}
+
+int DcpDataLoader::PendingPlans() const { return static_cast<int>(pending_.size()); }
+
+}  // namespace dcp

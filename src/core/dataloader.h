@@ -1,0 +1,55 @@
+// The DCP data loader (paper §3.1 + §6.1): batches sequences, builds masks, and plans
+// look-ahead iterations asynchronously on a thread pool so planning overlaps "model
+// execution". Mirrors the paper's DCPDataloader(dataset, mask_fn) interface.
+#ifndef DCP_CORE_DATALOADER_H_
+#define DCP_CORE_DATALOADER_H_
+
+#include <deque>
+#include <future>
+#include <memory>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/planner.h"
+#include "data/batching.h"
+#include "masks/mask.h"
+#include "runtime/cluster.h"
+
+namespace dcp {
+
+// One planned training iteration, ready for the executor.
+struct PlannedIteration {
+  Batch batch;
+  std::vector<SequenceMask> masks;
+  BatchPlan plan;
+};
+
+class DcpDataLoader {
+ public:
+  // `lookahead` is the paper's kappa: iterations planned ahead of consumption.
+  // `planner_threads` parallelizes planning across iterations (paper §6.1).
+  DcpDataLoader(BatchStream stream, MaskSpec mask_spec, ClusterSpec cluster,
+                PlannerOptions options, int lookahead = 2, int planner_threads = 2);
+  ~DcpDataLoader();
+
+  // Blocks until the next iteration's plan is ready (usually instant once warmed up).
+  PlannedIteration Next();
+
+  // True while the look-ahead window is fully planned (for tests/diagnostics).
+  int PendingPlans() const;
+
+ private:
+  void EnqueueOne();
+
+  BatchStream stream_;
+  MaskSpec mask_spec_;
+  ClusterSpec cluster_;
+  PlannerOptions options_;
+  int lookahead_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::deque<std::future<PlannedIteration>> pending_;
+};
+
+}  // namespace dcp
+
+#endif  // DCP_CORE_DATALOADER_H_

@@ -1,0 +1,33 @@
+// Lowers a BlockGraph into the paper's placement hypergraph (§4.2):
+//  - one vertex per token chunk, weight [0, chunk bytes] — the placement unit;
+//  - one vertex per computation block, weight [flops, 0];
+//  - one hyperedge per data block, weight = its byte size, connecting the owning chunk
+//    vertex with every computation block that consumes (Q, KV) or produces (O) it.
+// Q and O blocks of a (chunk, group) have identical pin sets (the tiles of that q chunk),
+// so they are emitted as a single hyperedge with the summed weight; the connectivity
+// objective then counts both the Q fetch and the O return per remote device, exactly like
+// the paper's volume formula.
+#ifndef DCP_CORE_HYPERGRAPH_BUILD_H_
+#define DCP_CORE_HYPERGRAPH_BUILD_H_
+
+#include "core/block_gen.h"
+#include "hypergraph/hypergraph.h"
+
+namespace dcp {
+
+struct BuiltHypergraph {
+  Hypergraph hg;
+  // Vertex ids: [0, num_chunks) are token chunks (id == global chunk id);
+  // [num_chunks, num_chunks + num_comp_blocks) are computation blocks in BlockGraph order.
+  int num_chunk_vertices = 0;
+
+  VertexId ChunkVertex(int global_chunk) const { return global_chunk; }
+  VertexId CompVertex(int comp_index) const { return num_chunk_vertices + comp_index; }
+  bool IsChunkVertex(VertexId v) const { return v < num_chunk_vertices; }
+};
+
+BuiltHypergraph BuildPlacementHypergraph(const BlockGraph& graph);
+
+}  // namespace dcp
+
+#endif  // DCP_CORE_HYPERGRAPH_BUILD_H_

@@ -1,0 +1,130 @@
+#include "core/placement.h"
+
+#include <memory>
+
+#include "common/check.h"
+
+namespace dcp {
+namespace {
+
+std::unique_ptr<Partitioner> MakePartitioner(const PlacementOptions& options) {
+  return options.use_multilevel ? MakeMultilevelPartitioner() : MakeGreedyPartitioner();
+}
+
+// Extracts the sub-hypergraph induced by the vertices with sub_index >= 0. Edges keep only
+// in-subset pins; edges left with < 2 pins are dropped (they can no longer be cut).
+Hypergraph InducedSubgraph(const Hypergraph& hg, const std::vector<int32_t>& sub_index,
+                           int sub_count) {
+  Hypergraph sub;
+  std::vector<VertexWeight> weights(static_cast<size_t>(sub_count));
+  for (VertexId v = 0; v < hg.num_vertices(); ++v) {
+    const int32_t idx = sub_index[static_cast<size_t>(v)];
+    if (idx >= 0) {
+      weights[static_cast<size_t>(idx)] = hg.vertex_weight(v);
+    }
+  }
+  for (const VertexWeight& w : weights) {
+    sub.AddVertex(w[0], w[1]);
+  }
+  std::vector<VertexId> pins;
+  for (EdgeId e = 0; e < hg.num_edges(); ++e) {
+    pins.clear();
+    auto [pbegin, pend] = hg.EdgePins(e);
+    for (const VertexId* pp = pbegin; pp != pend; ++pp) {
+      const int32_t idx = sub_index[static_cast<size_t>(*pp)];
+      if (idx >= 0) {
+        pins.push_back(idx);
+      }
+    }
+    if (pins.size() >= 2) {
+      sub.AddEdge(hg.edge_weight(e), pins);
+    }
+  }
+  sub.Finalize();
+  return sub;
+}
+
+}  // namespace
+
+PlacementResult PlaceBlocks(const BlockGraph& graph, const BuiltHypergraph& built,
+                            const PlacementOptions& options) {
+  const Hypergraph& hg = built.hg;
+  const int num_devices = options.num_nodes * options.devices_per_node;
+  DCP_CHECK_GE(num_devices, 1);
+  auto partitioner = MakePartitioner(options);
+
+  // Vertex -> global device.
+  std::vector<DeviceId> device(static_cast<size_t>(hg.num_vertices()), 0);
+  double total_cost = 0.0;
+  bool balanced = true;
+
+  if (num_devices == 1) {
+    // Single device: nothing to place.
+  } else if (!options.hierarchical || options.num_nodes == 1 ||
+             options.devices_per_node == 1) {
+    PartitionConfig config;
+    config.k = num_devices;
+    config.eps = {options.num_nodes == 1 ? options.eps_intra : options.eps_inter,
+                  options.eps_data};
+    config.seed = options.seed;
+    PartitionResult result = partitioner->Run(hg, config);
+    for (VertexId v = 0; v < hg.num_vertices(); ++v) {
+      device[static_cast<size_t>(v)] = result.part[static_cast<size_t>(v)];
+    }
+    total_cost = result.connectivity_cost;
+    balanced = result.balanced;
+  } else {
+    // Level 1: machines.
+    PartitionConfig node_config;
+    node_config.k = options.num_nodes;
+    node_config.eps = {options.eps_inter, options.eps_data};
+    node_config.seed = options.seed;
+    PartitionResult node_result = partitioner->Run(hg, node_config);
+    total_cost += node_result.connectivity_cost;
+    balanced = node_result.balanced;
+
+    // Level 2: devices within each machine.
+    for (int node = 0; node < options.num_nodes; ++node) {
+      std::vector<int32_t> sub_index(static_cast<size_t>(hg.num_vertices()), -1);
+      std::vector<VertexId> members;
+      for (VertexId v = 0; v < hg.num_vertices(); ++v) {
+        if (node_result.part[static_cast<size_t>(v)] == node) {
+          sub_index[static_cast<size_t>(v)] = static_cast<int32_t>(members.size());
+          members.push_back(v);
+        }
+      }
+      if (members.empty()) {
+        continue;
+      }
+      Hypergraph sub = InducedSubgraph(hg, sub_index, static_cast<int>(members.size()));
+      PartitionConfig dev_config;
+      dev_config.k = options.devices_per_node;
+      dev_config.eps = {options.eps_intra, options.eps_data};
+      dev_config.seed = options.seed + static_cast<uint64_t>(node) + 1;
+      PartitionResult dev_result = partitioner->Run(sub, dev_config);
+      total_cost += dev_result.connectivity_cost;
+      balanced = balanced && dev_result.balanced;
+      for (size_t i = 0; i < members.size(); ++i) {
+        device[static_cast<size_t>(members[i])] =
+            node * options.devices_per_node + dev_result.part[i];
+      }
+    }
+  }
+
+  PlacementResult result;
+  result.device_level_cost = total_cost;
+  result.balanced = balanced;
+  result.chunk_device.resize(static_cast<size_t>(graph.num_chunks()));
+  for (int gc = 0; gc < graph.num_chunks(); ++gc) {
+    result.chunk_device[static_cast<size_t>(gc)] =
+        device[static_cast<size_t>(built.ChunkVertex(gc))];
+  }
+  result.comp_device.resize(static_cast<size_t>(graph.num_comp_blocks()));
+  for (int i = 0; i < graph.num_comp_blocks(); ++i) {
+    result.comp_device[static_cast<size_t>(i)] =
+        device[static_cast<size_t>(built.CompVertex(i))];
+  }
+  return result;
+}
+
+}  // namespace dcp

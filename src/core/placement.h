@@ -1,0 +1,41 @@
+// Hierarchical data/computation placement (paper §4.2): partition the hypergraph across
+// machines first (minimizing the expensive inter-node traffic, with a loose compute
+// tolerance), then partition each machine's sub-hypergraph across its devices (tight
+// tolerance).
+#ifndef DCP_CORE_PLACEMENT_H_
+#define DCP_CORE_PLACEMENT_H_
+
+#include <vector>
+
+#include "core/block_gen.h"
+#include "core/hypergraph_build.h"
+#include "hypergraph/partitioner.h"
+
+namespace dcp {
+
+struct PlacementOptions {
+  int num_nodes = 4;
+  int devices_per_node = 8;
+  // Compute-imbalance tolerances (paper defaults: inter-node 0.4, intra-node 0.1).
+  double eps_inter = 0.4;
+  double eps_intra = 0.1;
+  // Data blocks are kept "as balanced as possible" (paper): a tight fixed tolerance.
+  double eps_data = 0.15;
+  bool hierarchical = true;   // false: flat partition straight into all devices.
+  bool use_multilevel = true; // false: greedy partitioner (ablation baseline).
+  uint64_t seed = 1;
+};
+
+struct PlacementResult {
+  std::vector<DeviceId> chunk_device;  // Per global chunk id.
+  std::vector<DeviceId> comp_device;   // Per computation block index.
+  double device_level_cost = 0.0;      // Sum of connectivity objectives actually solved.
+  bool balanced = true;
+};
+
+PlacementResult PlaceBlocks(const BlockGraph& graph, const BuiltHypergraph& built,
+                            const PlacementOptions& options);
+
+}  // namespace dcp
+
+#endif  // DCP_CORE_PLACEMENT_H_

@@ -1,0 +1,25 @@
+// Plan compilation: lowers (blocks, placement, divisions) into per-device instruction
+// streams over buffer slots — the executable form of a parallelization configuration
+// (paper §4.3 end + §5). Emits both the forward and the backward program:
+//
+//   forward:  [launch div1 | compute div0 | wait div1 | launch div2 | compute div1 | ...]
+//             then partial-accumulator returns, softmax merges and output finalization;
+//   backward: delta computation, the same pipeline with Q/dO/delta/stats + KV refetches,
+//             then dQ/dKV partial returns and sum reductions.
+#ifndef DCP_CORE_PLAN_COMPILE_H_
+#define DCP_CORE_PLAN_COMPILE_H_
+
+#include "core/block_gen.h"
+#include "core/placement.h"
+#include "core/schedule.h"
+#include "runtime/cluster.h"
+#include "runtime/instructions.h"
+
+namespace dcp {
+
+BatchPlan CompilePlan(const BlockGraph& graph, const PlacementResult& placement,
+                      const ScheduleResult& schedule, const ClusterSpec& cluster);
+
+}  // namespace dcp
+
+#endif  // DCP_CORE_PLAN_COMPILE_H_

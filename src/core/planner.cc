@@ -1,0 +1,86 @@
+#include "core/planner.h"
+
+#include <chrono>
+
+#include "common/check.h"
+#include "core/block_gen.h"
+#include "core/hypergraph_build.h"
+#include "core/plan_compile.h"
+#include "core/schedule.h"
+#include "runtime/plan_validate.h"
+#include "runtime/sim_engine.h"
+
+namespace dcp {
+
+BatchLayout PlannerOptions::MakeLayout(const std::vector<int64_t>& seqlens) const {
+  BatchLayout layout;
+  layout.seqlens = seqlens;
+  layout.block_size = block_size;
+  layout.num_groups = num_groups;
+  layout.heads_per_group = heads_per_group;
+  layout.head_dim = head_dim;
+  layout.bytes_per_element = bytes_per_element;
+  return layout;
+}
+
+BatchPlan PlanBatch(const std::vector<int64_t>& seqlens,
+                    const std::vector<SequenceMask>& masks, const ClusterSpec& cluster,
+                    const PlannerOptions& options) {
+  const auto start = std::chrono::steady_clock::now();
+
+  const BatchLayout layout = options.MakeLayout(seqlens);
+  const BlockGraph graph = GenerateBlocks(layout, masks);
+  const BuiltHypergraph built = BuildPlacementHypergraph(graph);
+
+  PlacementOptions placement_options;
+  placement_options.num_nodes = cluster.num_nodes;
+  placement_options.devices_per_node = cluster.devices_per_node;
+  placement_options.eps_inter = options.eps_inter;
+  placement_options.eps_intra = options.eps_intra;
+  placement_options.eps_data = options.eps_data;
+  placement_options.hierarchical = options.hierarchical;
+  placement_options.use_multilevel = options.use_multilevel;
+  placement_options.seed = options.seed;
+  const PlacementResult placement = PlaceBlocks(graph, built, placement_options);
+
+  ScheduleOptions schedule_options;
+  schedule_options.divisions = options.divisions;
+  const ScheduleResult schedule =
+      ScheduleBlocks(graph, placement, cluster.num_devices(), schedule_options);
+
+  BatchPlan plan = CompilePlan(graph, placement, schedule, cluster);
+  plan.stats.partition_cost = placement.device_level_cost;
+
+  const PlanValidation validation = ValidatePlan(plan);
+  DCP_CHECK(validation.ok) << "planner produced an invalid plan: " << validation.Summary();
+
+  plan.stats.planning_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return plan;
+}
+
+BlockSizeSearchResult SearchBlockSize(const std::vector<int64_t>& seqlens,
+                                      const std::vector<SequenceMask>& masks,
+                                      const ClusterSpec& cluster,
+                                      const PlannerOptions& base_options,
+                                      const std::vector<int64_t>& block_sizes) {
+  DCP_CHECK(!block_sizes.empty());
+  SimEngine sim{CostModel(cluster)};
+  BlockSizeSearchResult result;
+  for (int64_t block_size : block_sizes) {
+    PlannerOptions options = base_options;
+    options.block_size = block_size;
+    BatchPlan plan = PlanBatch(seqlens, masks, cluster, options);
+    const double seconds =
+        sim.Simulate(plan, false).makespan + sim.Simulate(plan, true).makespan;
+    result.candidates.emplace_back(block_size, seconds);
+    if (result.best_block_size == 0 || seconds < result.best_fwbw_seconds) {
+      result.best_block_size = block_size;
+      result.best_fwbw_seconds = seconds;
+      result.best_plan = std::move(plan);
+    }
+  }
+  return result;
+}
+
+}  // namespace dcp

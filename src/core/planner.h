@@ -1,0 +1,60 @@
+// The DCP planner (paper §3, "Planner" box): block generation -> hypergraph placement ->
+// division scheduling -> plan compilation, with planning time measured for the Fig. 18
+// experiment.
+#ifndef DCP_CORE_PLANNER_H_
+#define DCP_CORE_PLANNER_H_
+
+#include <vector>
+
+#include "core/placement.h"
+#include "masks/mask.h"
+#include "runtime/cluster.h"
+#include "runtime/instructions.h"
+
+namespace dcp {
+
+struct PlannerOptions {
+  // Block partitioning (paper §7.1 searches {512, 1024, 2048, 4096}).
+  int64_t block_size = 1024;
+  // Attention operator spec (paper: GQA, 8 query heads, 2 KV groups, head dim 128).
+  int num_groups = 2;
+  int heads_per_group = 4;
+  int head_dim = 128;
+  int bytes_per_element = 2;
+  // Scheduling (paper fixes 4 divisions).
+  int divisions = 4;
+  // Placement tolerances (paper: inter-node 0.4, intra-node 0.1).
+  double eps_inter = 0.4;
+  double eps_intra = 0.1;
+  double eps_data = 0.15;
+  bool hierarchical = true;
+  bool use_multilevel = true;
+  uint64_t seed = 1;
+
+  BatchLayout MakeLayout(const std::vector<int64_t>& seqlens) const;
+};
+
+// Plans one batch: returns per-device forward+backward instruction streams plus stats.
+// The returned plan is structurally validated (see runtime/plan_validate.h).
+BatchPlan PlanBatch(const std::vector<int64_t>& seqlens,
+                    const std::vector<SequenceMask>& masks, const ClusterSpec& cluster,
+                    const PlannerOptions& options);
+
+// Block-size search (paper §7.1: "we search through block sizes 512, 1024, 2048, 4096 and
+// report the best performance"): plans the batch at each candidate block size, prices
+// forward+backward on the simulator, and returns the fastest plan.
+struct BlockSizeSearchResult {
+  int64_t best_block_size = 0;
+  double best_fwbw_seconds = 0.0;
+  BatchPlan best_plan;
+  std::vector<std::pair<int64_t, double>> candidates;  // (block size, simulated seconds).
+};
+
+BlockSizeSearchResult SearchBlockSize(
+    const std::vector<int64_t>& seqlens, const std::vector<SequenceMask>& masks,
+    const ClusterSpec& cluster, const PlannerOptions& base_options,
+    const std::vector<int64_t>& block_sizes = {512, 1024, 2048, 4096});
+
+}  // namespace dcp
+
+#endif  // DCP_CORE_PLANNER_H_

@@ -1,0 +1,189 @@
+#include "core/schedule.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace dcp {
+namespace {
+
+// Key of a fetchable data block on a device: (global chunk, group, kv?).
+int64_t FetchKey(int gc, GroupId g, bool kv, int num_groups) {
+  return (static_cast<int64_t>(gc) * num_groups + g) * 2 + (kv ? 1 : 0);
+}
+
+struct DeviceState {
+  std::vector<int> blocks;                       // Comp blocks assigned to this device.
+  std::unordered_set<int64_t> fetched;           // Remote blocks already scheduled to fetch.
+  std::vector<double> comm_required;             // Total bytes to fetch, per source device.
+  std::vector<double> div_comm;                  // Bytes scheduled this division, per source.
+  std::vector<char> scheduled;                   // Parallel to `blocks`.
+  Flops load = 0.0;                              // Compute already scheduled.
+};
+
+}  // namespace
+
+ScheduleResult ScheduleBlocks(const BlockGraph& graph, const PlacementResult& placement,
+                              int num_devices, const ScheduleOptions& options) {
+  const int t_count = options.divisions;
+  DCP_CHECK_GE(t_count, 1);
+  const BatchLayout& layout = graph.layout;
+
+  ScheduleResult result;
+  result.divisions.assign(
+      static_cast<size_t>(num_devices),
+      std::vector<std::vector<int>>(static_cast<size_t>(t_count)));
+
+  std::vector<DeviceState> state(static_cast<size_t>(num_devices));
+  for (auto& dev : state) {
+    dev.comm_required.assign(static_cast<size_t>(num_devices), 0.0);
+    dev.div_comm.assign(static_cast<size_t>(num_devices), 0.0);
+  }
+  for (int i = 0; i < graph.num_comp_blocks(); ++i) {
+    state[static_cast<size_t>(placement.comp_device[static_cast<size_t>(i)])]
+        .blocks.push_back(i);
+  }
+
+  // Returns the new fetches block `i` would require on device `d` right now:
+  // {src_device, bytes, key} per not-yet-fetched remote input.
+  struct Fetch {
+    DeviceId src;
+    double bytes;
+    int64_t key;
+  };
+  auto new_fetches = [&](int d, int i, std::vector<Fetch>& out) {
+    out.clear();
+    const CompBlock& block = graph.comp_blocks[static_cast<size_t>(i)];
+    const int q_gc = layout.GlobalChunkId(block.seq, block.q_chunk);
+    const int kv_gc = layout.GlobalChunkId(block.seq, block.kv_chunk);
+    const DeviceId q_home = placement.chunk_device[static_cast<size_t>(q_gc)];
+    const DeviceId kv_home = placement.chunk_device[static_cast<size_t>(kv_gc)];
+    auto& dev = state[static_cast<size_t>(d)];
+    if (q_home != d) {
+      const int64_t key = FetchKey(q_gc, block.group, false, layout.num_groups);
+      if (!dev.fetched.contains(key)) {
+        out.push_back({q_home,
+                       static_cast<double>(layout.QBlockBytes(
+                           graph.chunks[static_cast<size_t>(q_gc)].length())),
+                       key});
+      }
+    }
+    if (kv_home != d) {
+      const int64_t key = FetchKey(kv_gc, block.group, true, layout.num_groups);
+      if (!dev.fetched.contains(key)) {
+        out.push_back({kv_home,
+                       static_cast<double>(layout.KvBlockBytes(
+                           graph.chunks[static_cast<size_t>(kv_gc)].length())),
+                       key});
+      }
+    }
+  };
+
+  // Pass 1: total communication requirement per device (dedup in canonical block order).
+  std::vector<Fetch> fetches;
+  for (int d = 0; d < num_devices; ++d) {
+    auto& dev = state[static_cast<size_t>(d)];
+    for (int i : dev.blocks) {
+      new_fetches(d, i, fetches);
+      for (const Fetch& f : fetches) {
+        dev.comm_required[static_cast<size_t>(f.src)] += f.bytes;
+        dev.fetched.insert(f.key);
+      }
+    }
+    dev.fetched.clear();
+    dev.scheduled.assign(dev.blocks.size(), 0);
+  }
+
+  auto schedule_block = [&](int d, int t, size_t pos) {
+    auto& dev = state[static_cast<size_t>(d)];
+    const int i = dev.blocks[pos];
+    new_fetches(d, i, fetches);
+    for (const Fetch& f : fetches) {
+      dev.div_comm[static_cast<size_t>(f.src)] += f.bytes;
+      dev.fetched.insert(f.key);
+    }
+    result.divisions[static_cast<size_t>(d)][static_cast<size_t>(t)].push_back(i);
+    dev.scheduled[pos] = 1;
+    dev.load += graph.comp_blocks[static_cast<size_t>(i)].flops;
+  };
+
+  if (t_count == 1) {
+    for (int d = 0; d < num_devices; ++d) {
+      for (size_t pos = 0; pos < state[static_cast<size_t>(d)].blocks.size(); ++pos) {
+        schedule_block(d, 0, pos);
+      }
+    }
+    return result;
+  }
+
+  // Division 0: communication-free blocks.
+  for (int d = 0; d < num_devices; ++d) {
+    auto& dev = state[static_cast<size_t>(d)];
+    for (size_t pos = 0; pos < dev.blocks.size(); ++pos) {
+      new_fetches(d, dev.blocks[pos], fetches);
+      if (fetches.empty()) {
+        schedule_block(d, 0, pos);
+      }
+    }
+  }
+
+  // Middle divisions: devices in ascending scheduled-compute order, each filled under the
+  // per-division communication budget (comm_required / T per source device).
+  for (int t = 1; t < t_count - 1; ++t) {
+    std::vector<char> processed(static_cast<size_t>(num_devices), 0);
+    for (int round = 0; round < num_devices; ++round) {
+      int d = -1;
+      Flops least = std::numeric_limits<Flops>::max();
+      for (int cand = 0; cand < num_devices; ++cand) {
+        if (!processed[static_cast<size_t>(cand)] &&
+            state[static_cast<size_t>(cand)].load < least) {
+          least = state[static_cast<size_t>(cand)].load;
+          d = cand;
+        }
+      }
+      processed[static_cast<size_t>(d)] = 1;
+      auto& dev = state[static_cast<size_t>(d)];
+      std::fill(dev.div_comm.begin(), dev.div_comm.end(), 0.0);
+      for (size_t pos = 0; pos < dev.blocks.size(); ++pos) {
+        if (dev.scheduled[pos]) {
+          continue;
+        }
+        new_fetches(d, dev.blocks[pos], fetches);
+        bool fits = true;
+        for (size_t fi = 0; fi < fetches.size() && fits; ++fi) {
+          const Fetch& f = fetches[fi];
+          // Cumulative within the block: both of a block's fetches may share a source.
+          double pending = f.bytes;
+          for (size_t fj = 0; fj < fi; ++fj) {
+            if (fetches[fj].src == f.src) {
+              pending += fetches[fj].bytes;
+            }
+          }
+          const double limit =
+              dev.comm_required[static_cast<size_t>(f.src)] / t_count + 1.0;
+          if (dev.div_comm[static_cast<size_t>(f.src)] + pending > limit) {
+            fits = false;
+          }
+        }
+        if (fits) {
+          schedule_block(d, t, pos);
+        }
+      }
+    }
+  }
+
+  // Last division: everything that remains.
+  for (int d = 0; d < num_devices; ++d) {
+    auto& dev = state[static_cast<size_t>(d)];
+    for (size_t pos = 0; pos < dev.blocks.size(); ++pos) {
+      if (!dev.scheduled[pos]) {
+        schedule_block(d, t_count - 1, pos);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace dcp

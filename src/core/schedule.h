@@ -1,0 +1,41 @@
+// Computation/communication division scheduling (paper §4.3, Listing 3): groups each
+// device's computation blocks into T divisions so that the communication of division t+1
+// overlaps the computation of division t. Division 0 holds the communication-free blocks;
+// middle divisions are filled greedily under a per-division communication budget
+// (total-required-communication / T, per source device); the last division takes the rest.
+#ifndef DCP_CORE_SCHEDULE_H_
+#define DCP_CORE_SCHEDULE_H_
+
+#include <vector>
+
+#include "core/block_gen.h"
+#include "core/placement.h"
+
+namespace dcp {
+
+struct ScheduleOptions {
+  int divisions = 4;  // The paper fixes T = 4.
+};
+
+struct ScheduleResult {
+  // divisions[device][t] = computation block indices (into BlockGraph::comp_blocks).
+  std::vector<std::vector<std::vector<int>>> divisions;
+
+  // Optional: KV blocks force-fetched in a division regardless of whether any scheduled
+  // tile consumes them. Static ring baselines circulate *every* KV partition through every
+  // ring position — including blocks the local mask never touches; this is the redundant
+  // communication the paper's Fig. 7 counts and DCP eliminates. Keys are encoded as
+  // global_chunk * num_groups + group. Empty when unused (DCP plans).
+  std::vector<std::vector<std::vector<int64_t>>> forced_kv_keys;
+
+  int num_divisions() const {
+    return divisions.empty() ? 0 : static_cast<int>(divisions.front().size());
+  }
+};
+
+ScheduleResult ScheduleBlocks(const BlockGraph& graph, const PlacementResult& placement,
+                              int num_devices, const ScheduleOptions& options);
+
+}  // namespace dcp
+
+#endif  // DCP_CORE_SCHEDULE_H_

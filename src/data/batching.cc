@@ -1,0 +1,60 @@
+#include "data/batching.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace dcp {
+
+int64_t Batch::TotalTokens() const {
+  int64_t total = 0;
+  for (int64_t len : seqlens) {
+    total += len;
+  }
+  return total;
+}
+
+int64_t Batch::MaxSeqLen() const {
+  int64_t longest = 0;
+  for (int64_t len : seqlens) {
+    longest = std::max(longest, len);
+  }
+  return longest;
+}
+
+BatchStream::BatchStream(LengthSampler sampler, const BatchingConfig& config)
+    : sampler_(std::move(sampler)), config_(config) {
+  DCP_CHECK_GT(config_.token_budget, 0);
+}
+
+Batch BatchStream::NextBatch() {
+  Batch batch;
+  int64_t used = 0;
+  while (true) {
+    int64_t len = carry_ != 0 ? carry_ : sampler_.Next();
+    carry_ = 0;
+    len = std::min(len, config_.token_budget);
+    if (used + len > config_.token_budget) {
+      carry_ = len;
+      break;
+    }
+    batch.seqlens.push_back(len);
+    used += len;
+    if (used == config_.token_budget) {
+      break;
+    }
+  }
+  DCP_CHECK(!batch.seqlens.empty());
+  return batch;
+}
+
+std::vector<Batch> BatchStream::NextBatches(int count) {
+  std::vector<Batch> batches;
+  batches.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    batches.push_back(NextBatch());
+  }
+  return batches;
+}
+
+}  // namespace dcp

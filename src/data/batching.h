@@ -1,0 +1,44 @@
+// Token-budget batching: packs variable-length sequences into global batches of a fixed
+// token budget (the paper uses 131072 tokens per iteration).
+#ifndef DCP_DATA_BATCHING_H_
+#define DCP_DATA_BATCHING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace dcp {
+
+// One training batch: the sequence lengths it contains, in arrival order.
+struct Batch {
+  std::vector<int64_t> seqlens;
+
+  int64_t TotalTokens() const;
+  int64_t MaxSeqLen() const;
+  int NumSequences() const { return static_cast<int>(seqlens.size()); }
+};
+
+struct BatchingConfig {
+  int64_t token_budget = 131072;
+};
+
+// Greedy first-fit packer over a length stream: sequences are appended in sample order
+// until the next one would overflow the budget (it then opens the following batch).
+// A sequence longer than the budget is truncated to the budget.
+class BatchStream {
+ public:
+  BatchStream(LengthSampler sampler, const BatchingConfig& config);
+
+  Batch NextBatch();
+  std::vector<Batch> NextBatches(int count);
+
+ private:
+  LengthSampler sampler_;
+  BatchingConfig config_;
+  int64_t carry_ = 0;  // Sequence sampled but not yet placed (would have overflowed).
+};
+
+}  // namespace dcp
+
+#endif  // DCP_DATA_BATCHING_H_

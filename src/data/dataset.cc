@@ -1,0 +1,68 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace dcp {
+
+std::string DatasetKindName(DatasetKind kind) {
+  switch (kind) {
+    case DatasetKind::kLongAlign:
+      return "LongAlign";
+    case DatasetKind::kLongDataCollections:
+      return "LongDataCollections";
+  }
+  return "Unknown";
+}
+
+LengthSampler::LengthSampler(const DatasetConfig& config)
+    : config_(config), rng_(config.seed) {
+  DCP_CHECK_GT(config_.max_seq_len, 0);
+  DCP_CHECK_GT(config_.min_seq_len, 0);
+  DCP_CHECK_GT(config_.length_scale, 0.0);
+}
+
+int64_t LengthSampler::Next() {
+  // Log-normal mixtures fit to the paper's Fig. 2 histograms. Parameters are of the
+  // underlying normal (mu = ln(median)).
+  double raw = 0.0;
+  switch (config_.kind) {
+    case DatasetKind::kLongAlign: {
+      // Longer mean, fewer short sequences; occasional very long documents.
+      const double u = rng_.NextDouble();
+      if (u < 0.85) {
+        raw = rng_.NextLogNormal(std::log(9000.0), 0.85);
+      } else {
+        raw = rng_.NextLogNormal(std::log(52000.0), 0.55);
+      }
+      break;
+    }
+    case DatasetKind::kLongDataCollections: {
+      // Dominated by short sequences with a long tail.
+      const double u = rng_.NextDouble();
+      if (u < 0.90) {
+        raw = rng_.NextLogNormal(std::log(2600.0), 1.15);
+      } else {
+        raw = rng_.NextLogNormal(std::log(38000.0), 0.75);
+      }
+      break;
+    }
+  }
+  raw *= config_.length_scale;
+  int64_t length = static_cast<int64_t>(std::llround(raw));
+  length = std::clamp(length, config_.min_seq_len, config_.max_seq_len);
+  return length;
+}
+
+std::vector<int64_t> LengthSampler::Sample(int count) {
+  std::vector<int64_t> lengths;
+  lengths.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    lengths.push_back(Next());
+  }
+  return lengths;
+}
+
+}  // namespace dcp

@@ -1,0 +1,52 @@
+// Synthetic sequence-length datasets.
+//
+// The paper evaluates on LongAlign and LongDataCollections, both exhibiting skewed,
+// long-tailed length distributions (paper Fig. 2). Those datasets are not available here;
+// we substitute log-normal mixture samplers fit to the figure: LongDataCollections is
+// dominated by short sequences with a long tail, LongAlign has a longer mean and fewer
+// short sequences. All experiments depend on the data only through this distribution.
+#ifndef DCP_DATA_DATASET_H_
+#define DCP_DATA_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace dcp {
+
+enum class DatasetKind {
+  kLongAlign,
+  kLongDataCollections,
+};
+
+std::string DatasetKindName(DatasetKind kind);
+
+struct DatasetConfig {
+  DatasetKind kind = DatasetKind::kLongDataCollections;
+  // The paper's sequence-length scale knob (0.5 / 1 / 2 / 4): every sampled length is
+  // multiplied by this before capping.
+  double length_scale = 1.0;
+  int64_t max_seq_len = 131072;  // Lengths are capped here (paper caps at 131072).
+  int64_t min_seq_len = 64;
+  uint64_t seed = 42;
+};
+
+// Infinite deterministic stream of sequence lengths.
+class LengthSampler {
+ public:
+  explicit LengthSampler(const DatasetConfig& config);
+
+  int64_t Next();
+  std::vector<int64_t> Sample(int count);
+  const DatasetConfig& config() const { return config_; }
+
+ private:
+  DatasetConfig config_;
+  Rng rng_;
+};
+
+}  // namespace dcp
+
+#endif  // DCP_DATA_DATASET_H_

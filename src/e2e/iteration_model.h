@@ -1,0 +1,43 @@
+// End-to-end iteration-time model (paper §7.2): prices one training iteration of the 8B
+// model as per-layer attention (from the discrete-event simulator, forward + backward) plus
+// context-independent compute, tensor-parallel collectives, gradient synchronization and
+// the optimizer step. The non-attention components are identical between DCP and the MLM
+// baseline, exactly as in the paper's decomposition (Fig. 22) — only the attention plan
+// differs.
+#ifndef DCP_E2E_ITERATION_MODEL_H_
+#define DCP_E2E_ITERATION_MODEL_H_
+
+#include "e2e/model_spec.h"
+#include "runtime/sim_engine.h"
+
+namespace dcp {
+
+struct IterationBreakdown {
+  // Attention operator, summed over layers (from the simulator).
+  double attn_compute = 0.0;       // Kernel busy time on the critical device.
+  double attn_exposed_comm = 0.0;  // Non-overlapped CP communication.
+  double attn_overlap_comm = 0.0;  // CP communication hidden under compute.
+  double attn_overhead = 0.0;      // Kernel-launch / per-step fixed costs.
+  // Everything else ("Others" in the paper's figures).
+  double dense_compute = 0.0;
+  double tp_comm = 0.0;
+  double grad_sync = 0.0;
+  double optimizer = 0.0;
+
+  double AttentionTotal() const;
+  double Others() const;
+  double Total() const;
+};
+
+// `plan` is the attention plan of one global batch (DCP's or a baseline's); the model
+// reuses it for every layer (all layers share the same structure, paper §8).
+IterationBreakdown ModelIteration(const ModelSpec& model, const ClusterSpec& cluster,
+                                  const BatchPlan& plan);
+
+// Max tokens owned by any device under the plan's placement (drives the dense-op time on
+// the critical path).
+int64_t MaxDeviceTokens(const BatchPlan& plan);
+
+}  // namespace dcp
+
+#endif  // DCP_E2E_ITERATION_MODEL_H_

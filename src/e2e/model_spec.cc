@@ -1,0 +1,24 @@
+#include "e2e/model_spec.h"
+
+namespace dcp {
+
+ModelSpec ModelSpec::Gpt8B() { return ModelSpec{}; }
+
+int64_t ModelSpec::LayerMatmulParams() const {
+  const int64_t kv_hidden = static_cast<int64_t>(num_kv_groups) * head_dim;
+  const int64_t q_proj = hidden * hidden;
+  const int64_t kv_proj = 2 * hidden * kv_hidden;
+  const int64_t o_proj = hidden * hidden;
+  const int64_t ffn = 3 * hidden * ffn_hidden;  // Gated FFN: up, gate, down.
+  return q_proj + kv_proj + o_proj + ffn;
+}
+
+int64_t ModelSpec::TotalParams() const {
+  return static_cast<int64_t>(num_layers) * LayerMatmulParams() + 2 * vocab * hidden;
+}
+
+Flops ModelSpec::DenseLayerForwardFlops(int64_t tokens) const {
+  return 2.0 * static_cast<Flops>(LayerMatmulParams()) * static_cast<Flops>(tokens);
+}
+
+}  // namespace dcp

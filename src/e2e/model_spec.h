@@ -1,0 +1,36 @@
+// Transformer model specification for the end-to-end experiments: the paper trains a GPT
+// 8B with 32 layers, hidden 4096, 32 heads, 8 KV groups, head dim 128, FFN hidden 14336
+// (Llama3-8B shape) under 4-way tensor parallelism + 16-way context parallelism.
+#ifndef DCP_E2E_MODEL_SPEC_H_
+#define DCP_E2E_MODEL_SPEC_H_
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace dcp {
+
+struct ModelSpec {
+  int num_layers = 32;
+  int64_t hidden = 4096;
+  int num_heads = 32;
+  int num_kv_groups = 8;
+  int64_t head_dim = 128;
+  int64_t ffn_hidden = 14336;
+  int64_t vocab = 128256;
+  int tensor_parallel = 4;
+
+  static ModelSpec Gpt8B();
+
+  // Parameters of one transformer layer's matmuls (attention projections + FFN).
+  int64_t LayerMatmulParams() const;
+  // Total parameter count (layers + embedding/unembedding).
+  int64_t TotalParams() const;
+  // Forward FLOPs of the context-independent (non-attention-score) ops for `tokens`
+  // tokens of one layer: 2 * params * tokens.
+  Flops DenseLayerForwardFlops(int64_t tokens) const;
+};
+
+}  // namespace dcp
+
+#endif  // DCP_E2E_MODEL_SPEC_H_

@@ -1,0 +1,420 @@
+#include "e2e/trainer.h"
+
+#include <cmath>
+#include <memory>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "core/api.h"
+#include "runtime/reference_attention.h"
+
+namespace dcp {
+namespace {
+
+// --- Minimal dense linear algebra on row-major float buffers. ---
+
+// C[m, n] += A[m, k] * B[k, n].
+void MatMulAcc(const float* a, const float* b, float* c, int64_t m, int64_t k, int64_t n) {
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = a[i * k + p];
+      if (av == 0.0f) {
+        continue;
+      }
+      const float* b_row = b + p * n;
+      float* c_row = c + i * n;
+      for (int64_t j = 0; j < n; ++j) {
+        c_row[j] += av * b_row[j];
+      }
+    }
+  }
+}
+
+// C[m, n] += A^T[m, k] * B[k, n] where A is stored [k, m].
+void MatMulAtAcc(const float* a, const float* b, float* c, int64_t m, int64_t k,
+                 int64_t n) {
+  for (int64_t p = 0; p < k; ++p) {
+    const float* a_row = a + p * m;
+    const float* b_row = b + p * n;
+    for (int64_t i = 0; i < m; ++i) {
+      const float av = a_row[i];
+      if (av == 0.0f) {
+        continue;
+      }
+      float* c_row = c + i * n;
+      for (int64_t j = 0; j < n; ++j) {
+        c_row[j] += av * b_row[j];
+      }
+    }
+  }
+}
+
+// C[m, k] += A[m, n] * B^T[n, k] where B is stored [k, n].
+void MatMulBtAcc(const float* a, const float* b, float* c, int64_t m, int64_t n,
+                 int64_t k) {
+  for (int64_t i = 0; i < m; ++i) {
+    const float* a_row = a + i * n;
+    float* c_row = c + i * k;
+    for (int64_t j = 0; j < k; ++j) {
+      const float* b_row = b + j * n;
+      float dot = 0.0f;
+      for (int64_t p = 0; p < n; ++p) {
+        dot += a_row[p] * b_row[p];
+      }
+      c_row[j] += dot;
+    }
+  }
+}
+
+// --- Attention engine abstraction. ---
+
+class AttentionEngine {
+ public:
+  virtual ~AttentionEngine() = default;
+  virtual std::vector<Tensor> Forward(const std::vector<SeqTensors>& inputs) = 0;
+  virtual std::vector<SeqGrads> Backward(const std::vector<Tensor>& douts) = 0;
+};
+
+class ReferenceEngine final : public AttentionEngine {
+ public:
+  explicit ReferenceEngine(const std::vector<SequenceMask>* masks) : masks_(masks) {}
+
+  std::vector<Tensor> Forward(const std::vector<SeqTensors>& inputs) override {
+    inputs_ = inputs;
+    outputs_.clear();
+    for (size_t s = 0; s < inputs.size(); ++s) {
+      outputs_.push_back(ReferenceAttentionForward(inputs[s], (*masks_)[s]));
+    }
+    return outputs_;
+  }
+
+  std::vector<SeqGrads> Backward(const std::vector<Tensor>& douts) override {
+    std::vector<SeqGrads> grads;
+    for (size_t s = 0; s < douts.size(); ++s) {
+      grads.push_back(
+          ReferenceAttentionBackward(inputs_[s], (*masks_)[s], outputs_[s], douts[s]));
+    }
+    return grads;
+  }
+
+ private:
+  const std::vector<SequenceMask>* masks_;
+  std::vector<SeqTensors> inputs_;
+  std::vector<Tensor> outputs_;
+};
+
+class DcpEngine final : public AttentionEngine {
+ public:
+  DcpEngine(const TrainerConfig& config, const std::vector<SequenceMask>& masks) {
+    PlannerOptions options;
+    options.block_size = config.block_size;
+    options.num_groups = config.num_kv_groups;
+    options.heads_per_group = config.num_heads / config.num_kv_groups;
+    options.head_dim = config.head_dim;
+    BatchPlan plan = PlanBatch(config.seqlens, masks, config.cluster, options);
+    executor_.Prepare(plan, masks);
+  }
+
+  std::vector<Tensor> Forward(const std::vector<SeqTensors>& inputs) override {
+    return DcpAttention::Forward(executor_, inputs);
+  }
+
+  std::vector<SeqGrads> Backward(const std::vector<Tensor>& douts) override {
+    return DcpAttention::Backward(executor_, douts);
+  }
+
+ private:
+  DcpExecutor executor_;
+};
+
+// --- The tiny GPT. ---
+
+struct Parameters {
+  // All matrices row-major: embed [vocab, d], wq [d, d], wk/wv [d, g*dh], wo [d, d],
+  // w1 [d, f], w2 [f, d], unembed [d, vocab].
+  Tensor embed, wq, wk, wv, wo, w1, w2, unembed;
+
+  static Parameters Init(const TrainerConfig& config, Rng& rng) {
+    const int64_t d = static_cast<int64_t>(config.num_heads) * config.head_dim;
+    const int64_t kv = static_cast<int64_t>(config.num_kv_groups) * config.head_dim;
+    const float scale = 0.3f;
+    Parameters p;
+    p.embed = Tensor::Random({config.vocab, d}, rng, -scale, scale);
+    p.wq = Tensor::Random({d, d}, rng, -scale, scale);
+    p.wk = Tensor::Random({d, kv}, rng, -scale, scale);
+    p.wv = Tensor::Random({d, kv}, rng, -scale, scale);
+    p.wo = Tensor::Random({d, d}, rng, -scale, scale);
+    p.w1 = Tensor::Random({d, config.ffn_hidden}, rng, -scale, scale);
+    p.w2 = Tensor::Random({config.ffn_hidden, d}, rng, -scale, scale);
+    p.unembed = Tensor::Random({d, config.vocab}, rng, -scale, scale);
+    return p;
+  }
+
+  static Parameters ZerosLike(const Parameters& other) {
+    Parameters p;
+    p.embed = Tensor::Zeros(other.embed.shape());
+    p.wq = Tensor::Zeros(other.wq.shape());
+    p.wk = Tensor::Zeros(other.wk.shape());
+    p.wv = Tensor::Zeros(other.wv.shape());
+    p.wo = Tensor::Zeros(other.wo.shape());
+    p.w1 = Tensor::Zeros(other.w1.shape());
+    p.w2 = Tensor::Zeros(other.w2.shape());
+    p.unembed = Tensor::Zeros(other.unembed.shape());
+    return p;
+  }
+
+  void SgdStep(const Parameters& grads, float lr) {
+    auto update = [lr](Tensor& w, const Tensor& g) {
+      for (int64_t i = 0; i < w.numel(); ++i) {
+        w.data()[i] -= lr * g.data()[i];
+      }
+    };
+    update(embed, grads.embed);
+    update(wq, grads.wq);
+    update(wk, grads.wk);
+    update(wv, grads.wv);
+    update(wo, grads.wo);
+    update(w1, grads.w1);
+    update(w2, grads.w2);
+    update(unembed, grads.unembed);
+  }
+};
+
+// Synthetic bigram-chain data: next token is a deterministic function of the current one
+// with probability 0.8, uniform otherwise — learnable structure so the loss decreases.
+std::vector<std::vector<int>> MakeTokens(const TrainerConfig& config, Rng& rng) {
+  std::vector<std::vector<int>> sequences;
+  for (int64_t len : config.seqlens) {
+    std::vector<int> tokens(static_cast<size_t>(len));
+    tokens[0] = static_cast<int>(rng.NextBounded(static_cast<uint64_t>(config.vocab)));
+    for (int64_t t = 1; t < len; ++t) {
+      if (rng.NextDouble() < 0.8) {
+        tokens[static_cast<size_t>(t)] =
+            (tokens[static_cast<size_t>(t - 1)] * 7 + 3) % config.vocab;
+      } else {
+        tokens[static_cast<size_t>(t)] =
+            static_cast<int>(rng.NextBounded(static_cast<uint64_t>(config.vocab)));
+      }
+    }
+    sequences.push_back(std::move(tokens));
+  }
+  return sequences;
+}
+
+}  // namespace
+
+std::vector<double> TrainLossCurve(const TrainerConfig& config,
+                                   AttentionEngineKind engine_kind) {
+  DCP_CHECK_EQ(config.num_heads % config.num_kv_groups, 0);
+  const int64_t d = static_cast<int64_t>(config.num_heads) * config.head_dim;
+  const int64_t kv_d = static_cast<int64_t>(config.num_kv_groups) * config.head_dim;
+  const int64_t f = config.ffn_hidden;
+  const int heads = config.num_heads;
+  const int groups = config.num_kv_groups;
+  const int dh = config.head_dim;
+
+  std::vector<SequenceMask> masks;
+  for (int64_t len : config.seqlens) {
+    masks.push_back(SequenceMask::Build(config.mask, MakeSequenceInfo(config.mask, len)));
+  }
+  std::unique_ptr<AttentionEngine> engine;
+  if (engine_kind == AttentionEngineKind::kReference) {
+    engine = std::make_unique<ReferenceEngine>(&masks);
+  } else {
+    engine = std::make_unique<DcpEngine>(config, masks);
+  }
+
+  Rng rng(config.seed);
+  Parameters params = Parameters::Init(config, rng);
+  const std::vector<std::vector<int>> data = MakeTokens(config, rng);
+  const size_t num_seqs = data.size();
+
+  std::vector<double> losses;
+  losses.reserve(static_cast<size_t>(config.iterations));
+
+  for (int iter = 0; iter < config.iterations; ++iter) {
+    Parameters grads = Parameters::ZerosLike(params);
+    double loss_sum = 0.0;
+    int64_t loss_count = 0;
+
+    // --- Forward (all sequences) ---
+    std::vector<Tensor> xs;          // [L, d] embedded inputs.
+    std::vector<SeqTensors> attn_in; // Q/K/V per sequence.
+    for (size_t s = 0; s < num_seqs; ++s) {
+      const int64_t len = config.seqlens[s];
+      Tensor x = Tensor::Zeros({len, d});
+      for (int64_t t = 0; t < len; ++t) {
+        const float* row = params.embed.data() + data[s][static_cast<size_t>(t)] * d;
+        std::copy(row, row + d, x.data() + t * d);
+      }
+      Tensor q2 = Tensor::Zeros({len, d});
+      Tensor k2 = Tensor::Zeros({len, kv_d});
+      Tensor v2 = Tensor::Zeros({len, kv_d});
+      MatMulAcc(x.data(), params.wq.data(), q2.data(), len, d, d);
+      MatMulAcc(x.data(), params.wk.data(), k2.data(), len, d, kv_d);
+      MatMulAcc(x.data(), params.wv.data(), v2.data(), len, d, kv_d);
+      // Reshape [L, H*dh] -> [H, L, dh] (and [L, G*dh] -> [G, L, dh]).
+      SeqTensors in;
+      in.q = Tensor::Zeros({heads, len, dh});
+      in.k = Tensor::Zeros({groups, len, dh});
+      in.v = Tensor::Zeros({groups, len, dh});
+      for (int64_t t = 0; t < len; ++t) {
+        for (int h = 0; h < heads; ++h) {
+          std::copy(q2.data() + t * d + h * dh, q2.data() + t * d + (h + 1) * dh,
+                    in.q.data() + (static_cast<int64_t>(h) * len + t) * dh);
+        }
+        for (int g = 0; g < groups; ++g) {
+          std::copy(k2.data() + t * kv_d + g * dh, k2.data() + t * kv_d + (g + 1) * dh,
+                    in.k.data() + (static_cast<int64_t>(g) * len + t) * dh);
+          std::copy(v2.data() + t * kv_d + g * dh, v2.data() + t * kv_d + (g + 1) * dh,
+                    in.v.data() + (static_cast<int64_t>(g) * len + t) * dh);
+        }
+      }
+      xs.push_back(std::move(x));
+      attn_in.push_back(std::move(in));
+    }
+
+    const std::vector<Tensor> attn_out = engine->Forward(attn_in);  // [H, L, dh] each.
+
+    // Per-sequence head: residual + MLP + unembed + loss; collect dA for the engine.
+    std::vector<Tensor> douts;
+    std::vector<Tensor> y1s;   // Saved activations for the attention-input gradient path.
+    std::vector<Tensor> dy1s;
+    for (size_t s = 0; s < num_seqs; ++s) {
+      const int64_t len = config.seqlens[s];
+      // A_flat [L, d] from [H, L, dh].
+      Tensor a_flat = Tensor::Zeros({len, d});
+      for (int h = 0; h < heads; ++h) {
+        for (int64_t t = 0; t < len; ++t) {
+          std::copy(attn_out[s].data() + (static_cast<int64_t>(h) * len + t) * dh,
+                    attn_out[s].data() + (static_cast<int64_t>(h) * len + t + 1) * dh,
+                    a_flat.data() + t * d + h * dh);
+        }
+      }
+      // Y1 = X + A Wo.
+      Tensor y1 = xs[s];
+      MatMulAcc(a_flat.data(), params.wo.data(), y1.data(), len, d, d);
+      // MLP: pre = Y1 W1; H = relu(pre); Y2 = Y1 + H W2.
+      Tensor pre = Tensor::Zeros({len, f});
+      MatMulAcc(y1.data(), params.w1.data(), pre.data(), len, d, f);
+      Tensor hidden = pre;
+      for (int64_t i = 0; i < hidden.numel(); ++i) {
+        hidden.data()[i] = std::max(0.0f, hidden.data()[i]);
+      }
+      Tensor y2 = y1;
+      MatMulAcc(hidden.data(), params.w2.data(), y2.data(), len, f, d);
+      // Logits + softmax cross-entropy on next-token targets.
+      Tensor logits = Tensor::Zeros({len, config.vocab});
+      MatMulAcc(y2.data(), params.unembed.data(), logits.data(), len, d, config.vocab);
+      Tensor dlogits = Tensor::Zeros({len, config.vocab});
+      for (int64_t t = 0; t + 1 < len; ++t) {
+        float* row = logits.data() + t * config.vocab;
+        float max_logit = row[0];
+        for (int v = 1; v < config.vocab; ++v) {
+          max_logit = std::max(max_logit, row[v]);
+        }
+        double denom = 0.0;
+        for (int v = 0; v < config.vocab; ++v) {
+          denom += std::exp(static_cast<double>(row[v] - max_logit));
+        }
+        const int target = data[s][static_cast<size_t>(t + 1)];
+        const double log_prob = row[target] - max_logit - std::log(denom);
+        loss_sum -= log_prob;
+        ++loss_count;
+        float* drow = dlogits.data() + t * config.vocab;
+        for (int v = 0; v < config.vocab; ++v) {
+          drow[v] =
+              static_cast<float>(std::exp(static_cast<double>(row[v] - max_logit)) / denom);
+        }
+        drow[target] -= 1.0f;
+      }
+      // --- Backward through the head. ---
+      // dUnembed += Y2^T dlogits; dY2 = dlogits Unembed^T.
+      MatMulAtAcc(y2.data(), dlogits.data(), grads.unembed.data(), d, len, config.vocab);
+      Tensor dy2 = Tensor::Zeros({len, d});
+      MatMulBtAcc(dlogits.data(), params.unembed.data(), dy2.data(), len, config.vocab, d);
+      // MLP backward: dW2 += H^T dY2; dH = dY2 W2^T; dpre = dH * relu'; dW1 += Y1^T dpre;
+      // dY1 = dY2 + dpre W1^T.
+      MatMulAtAcc(hidden.data(), dy2.data(), grads.w2.data(), f, len, d);
+      Tensor dhidden = Tensor::Zeros({len, f});
+      MatMulBtAcc(dy2.data(), params.w2.data(), dhidden.data(), len, d, f);
+      for (int64_t i = 0; i < dhidden.numel(); ++i) {
+        if (pre.data()[i] <= 0.0f) {
+          dhidden.data()[i] = 0.0f;
+        }
+      }
+      MatMulAtAcc(y1.data(), dhidden.data(), grads.w1.data(), d, len, f);
+      Tensor dy1 = dy2;
+      MatMulBtAcc(dhidden.data(), params.w1.data(), dy1.data(), len, f, d);
+      // Attention output projection: dWo += A^T dY1; dA_flat = dY1 Wo^T.
+      MatMulAtAcc(a_flat.data(), dy1.data(), grads.wo.data(), d, len, d);
+      Tensor da_flat = Tensor::Zeros({len, d});
+      MatMulBtAcc(dy1.data(), params.wo.data(), da_flat.data(), len, d, d);
+      // Reshape to [H, L, dh] for the engine.
+      Tensor dout = Tensor::Zeros({heads, len, dh});
+      for (int h = 0; h < heads; ++h) {
+        for (int64_t t = 0; t < len; ++t) {
+          std::copy(da_flat.data() + t * d + h * dh, da_flat.data() + t * d + (h + 1) * dh,
+                    dout.data() + (static_cast<int64_t>(h) * len + t) * dh);
+        }
+      }
+      douts.push_back(std::move(dout));
+      y1s.push_back(std::move(y1));
+      dy1s.push_back(std::move(dy1));
+    }
+
+    const std::vector<SeqGrads> attn_grads = engine->Backward(douts);
+
+    // Input path: projections and embedding.
+    for (size_t s = 0; s < num_seqs; ++s) {
+      const int64_t len = config.seqlens[s];
+      // Flatten attention grads back to [L, d] / [L, kv_d].
+      Tensor dq2 = Tensor::Zeros({len, d});
+      Tensor dk2 = Tensor::Zeros({len, kv_d});
+      Tensor dv2 = Tensor::Zeros({len, kv_d});
+      for (int64_t t = 0; t < len; ++t) {
+        for (int h = 0; h < heads; ++h) {
+          std::copy(attn_grads[s].dq.data() + (static_cast<int64_t>(h) * len + t) * dh,
+                    attn_grads[s].dq.data() + (static_cast<int64_t>(h) * len + t + 1) * dh,
+                    dq2.data() + t * d + h * dh);
+        }
+        for (int g = 0; g < groups; ++g) {
+          std::copy(attn_grads[s].dk.data() + (static_cast<int64_t>(g) * len + t) * dh,
+                    attn_grads[s].dk.data() + (static_cast<int64_t>(g) * len + t + 1) * dh,
+                    dk2.data() + t * kv_d + g * dh);
+          std::copy(attn_grads[s].dv.data() + (static_cast<int64_t>(g) * len + t) * dh,
+                    attn_grads[s].dv.data() + (static_cast<int64_t>(g) * len + t + 1) * dh,
+                    dv2.data() + t * kv_d + g * dh);
+        }
+      }
+      // dWq += X^T dQ2 etc.; dX = dY1 (residual) + dQ2 Wq^T + dK2 Wk^T + dV2 Wv^T.
+      MatMulAtAcc(xs[s].data(), dq2.data(), grads.wq.data(), d, len, d);
+      MatMulAtAcc(xs[s].data(), dk2.data(), grads.wk.data(), d, len, kv_d);
+      MatMulAtAcc(xs[s].data(), dv2.data(), grads.wv.data(), d, len, kv_d);
+      Tensor dx = dy1s[s];
+      MatMulBtAcc(dq2.data(), params.wq.data(), dx.data(), len, d, d);
+      MatMulBtAcc(dk2.data(), params.wk.data(), dx.data(), len, kv_d, d);
+      MatMulBtAcc(dv2.data(), params.wv.data(), dx.data(), len, kv_d, d);
+      // Embedding grads.
+      for (int64_t t = 0; t < len; ++t) {
+        float* erow = grads.embed.data() + data[s][static_cast<size_t>(t)] * d;
+        const float* dxrow = dx.data() + t * d;
+        for (int64_t c = 0; c < d; ++c) {
+          erow[c] += dxrow[c];
+        }
+      }
+    }
+
+    // Mean-loss scaling and SGD.
+    const float inv_count = 1.0f / static_cast<float>(loss_count);
+    for (Tensor* g : {&grads.embed, &grads.wq, &grads.wk, &grads.wv, &grads.wo, &grads.w1,
+                      &grads.w2, &grads.unembed}) {
+      g->Scale(inv_count);
+    }
+    params.SgdStep(grads, config.learning_rate);
+    losses.push_back(loss_sum / static_cast<double>(loss_count));
+  }
+  return losses;
+}
+
+}  // namespace dcp

@@ -1,0 +1,50 @@
+// Tiny numeric GPT trainer for the precision experiment (paper Fig. 21): trains a small
+// transformer on synthetic bigram data with the attention op provided either by the
+// single-device reference implementation (the "MLM baseline") or by the full DCP
+// planner+executor pipeline, and records the loss curve. All other ops (embedding,
+// projections, gated MLP, cross-entropy) are computed identically with manual gradients,
+// so any loss divergence is attributable to the attention execution order — the same claim
+// the paper's figure makes.
+#ifndef DCP_E2E_TRAINER_H_
+#define DCP_E2E_TRAINER_H_
+
+#include <vector>
+
+#include "masks/mask.h"
+#include "runtime/cluster.h"
+
+namespace dcp {
+
+enum class AttentionEngineKind {
+  kReference,  // Exact softmax attention on one device (baseline).
+  kDcp,        // Planner + multi-device numeric executor.
+};
+
+struct TrainerConfig {
+  int vocab = 64;
+  int num_heads = 4;
+  int num_kv_groups = 2;
+  int head_dim = 8;          // Model width = num_heads * head_dim.
+  int64_t ffn_hidden = 64;
+  int iterations = 200;
+  float learning_rate = 0.2f;
+  MaskSpec mask = MaskSpec::Causal();
+  std::vector<int64_t> seqlens = {48, 33, 24};
+  uint64_t seed = 7;
+
+  // DCP engine configuration.
+  int64_t block_size = 16;
+  ClusterSpec cluster;  // Defaults to 2 nodes x 2 devices below.
+
+  TrainerConfig() {
+    cluster.num_nodes = 2;
+    cluster.devices_per_node = 2;
+  }
+};
+
+// Trains for config.iterations steps and returns the per-iteration training loss.
+std::vector<double> TrainLossCurve(const TrainerConfig& config, AttentionEngineKind engine);
+
+}  // namespace dcp
+
+#endif  // DCP_E2E_TRAINER_H_

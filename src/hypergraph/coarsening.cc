@@ -1,0 +1,162 @@
+// Heavy-connectivity clustering coarsening (hMETIS/KaHyPar family). Each pass visits
+// vertices in random order and merges each into the neighbouring cluster with the highest
+// connectivity score sum(w_e / (|e| - 1)), subject to a cluster weight cap that keeps the
+// coarsest graph partitionable within the balance tolerance.
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "hypergraph/internal.h"
+
+namespace dcp {
+namespace {
+
+// Hash for dedup of coarse edges with identical pin sets.
+struct PinSetHash {
+  size_t operator()(const std::vector<VertexId>& pins) const {
+    size_t h = 0x9E3779B97F4A7C15ull;
+    for (VertexId v : pins) {
+      h ^= static_cast<size_t>(v) + 0x9E3779B9ull + (h << 6) + (h >> 2);
+    }
+    return h;
+  }
+};
+
+}  // namespace
+
+CoarseLevel CoarsenOnce(const Hypergraph& hg, const PartitionConfig& config, Rng& rng) {
+  const int n = hg.num_vertices();
+  const VertexWeight total = hg.TotalWeight();
+  const std::array<double, 2> cluster_cap = {
+      total[0] / config.k * config.max_cluster_weight_frac,
+      total[1] / config.k * config.max_cluster_weight_frac,
+  };
+
+  // Union-find-free clustering: cluster id per vertex, cluster weights tracked directly.
+  std::vector<VertexId> cluster(static_cast<size_t>(n));
+  std::iota(cluster.begin(), cluster.end(), 0);
+  std::vector<VertexWeight> cluster_weight(static_cast<size_t>(n));
+  for (VertexId v = 0; v < n; ++v) {
+    cluster_weight[static_cast<size_t>(v)] = hg.vertex_weight(v);
+  }
+
+  std::vector<VertexId> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  rng.Shuffle(order);
+
+  // Representative lookup with path compression (clusters form short chains as
+  // representatives themselves merge later in the pass).
+  auto find_rep = [&cluster](VertexId v) {
+    VertexId rep = v;
+    while (cluster[static_cast<size_t>(rep)] != rep) {
+      rep = cluster[static_cast<size_t>(rep)];
+    }
+    while (cluster[static_cast<size_t>(v)] != rep) {
+      VertexId next = cluster[static_cast<size_t>(v)];
+      cluster[static_cast<size_t>(v)] = rep;
+      v = next;
+    }
+    return rep;
+  };
+
+  // Scratch: connectivity score per candidate cluster (sparse accumulation).
+  std::unordered_map<VertexId, double> score;
+  int merges = 0;
+  for (VertexId v : order) {
+    if (cluster[static_cast<size_t>(v)] != v) {
+      continue;  // Already merged into another cluster this pass.
+    }
+    score.clear();
+    auto [ebegin, eend] = hg.VertexEdges(v);
+    for (const EdgeId* ep = ebegin; ep != eend; ++ep) {
+      const int size = hg.EdgeSize(*ep);
+      if (size <= 1 || size > 512) {
+        continue;  // Singleton edges carry no clustering signal; huge edges are noise.
+      }
+      const double edge_score = hg.edge_weight(*ep) / (size - 1);
+      auto [pbegin, pend] = hg.EdgePins(*ep);
+      for (const VertexId* pp = pbegin; pp != pend; ++pp) {
+        const VertexId c = find_rep(*pp);
+        if (c != v) {
+          score[c] += edge_score;
+        }
+      }
+    }
+    VertexId best = -1;
+    double best_score = 0.0;
+    const VertexWeight& vw = cluster_weight[static_cast<size_t>(v)];
+    for (const auto& [candidate, s] : score) {
+      const VertexWeight& cw = cluster_weight[static_cast<size_t>(candidate)];
+      if (cw[0] + vw[0] > cluster_cap[0] || cw[1] + vw[1] > cluster_cap[1]) {
+        continue;
+      }
+      if (s > best_score || (s == best_score && candidate < best)) {
+        best = candidate;
+        best_score = s;
+      }
+    }
+    if (best >= 0) {
+      cluster[static_cast<size_t>(v)] = best;
+      cluster_weight[static_cast<size_t>(best)][0] += vw[0];
+      cluster_weight[static_cast<size_t>(best)][1] += vw[1];
+      ++merges;
+    }
+  }
+
+  CoarseLevel level;
+  level.fine_to_coarse.assign(static_cast<size_t>(n), -1);
+  if (merges == 0) {
+    return level;  // Caller detects empty mapping => no contraction possible.
+  }
+
+  // Compact cluster ids. Cluster representatives are vertices with cluster[v] == v; others
+  // point directly at their representative (single-level chains by construction).
+  std::vector<VertexId> compact(static_cast<size_t>(n), -1);
+  VertexId next_id = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    if (cluster[static_cast<size_t>(v)] == v) {
+      compact[static_cast<size_t>(v)] = next_id++;
+    }
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    level.fine_to_coarse[static_cast<size_t>(v)] = compact[static_cast<size_t>(find_rep(v))];
+    DCP_CHECK_GE(level.fine_to_coarse[static_cast<size_t>(v)], 0);
+  }
+
+  // Coarse vertex weights.
+  std::vector<VertexWeight> coarse_weights(static_cast<size_t>(next_id),
+                                           VertexWeight{0.0, 0.0});
+  for (VertexId v = 0; v < n; ++v) {
+    const VertexId c = level.fine_to_coarse[static_cast<size_t>(v)];
+    coarse_weights[static_cast<size_t>(c)][0] += hg.vertex_weight(v)[0];
+    coarse_weights[static_cast<size_t>(c)][1] += hg.vertex_weight(v)[1];
+  }
+  for (const VertexWeight& w : coarse_weights) {
+    level.coarse.AddVertex(w[0], w[1]);
+  }
+
+  // Coarse edges: remap pins, dedupe within an edge, drop singletons, merge identical edges.
+  std::unordered_map<std::vector<VertexId>, double, PinSetHash> merged_edges;
+  std::vector<VertexId> pins;
+  for (EdgeId e = 0; e < hg.num_edges(); ++e) {
+    pins.clear();
+    auto [pbegin, pend] = hg.EdgePins(e);
+    for (const VertexId* pp = pbegin; pp != pend; ++pp) {
+      pins.push_back(level.fine_to_coarse[static_cast<size_t>(*pp)]);
+    }
+    std::sort(pins.begin(), pins.end());
+    pins.erase(std::unique(pins.begin(), pins.end()), pins.end());
+    if (pins.size() <= 1) {
+      continue;  // Fully internal edge: can never be cut again.
+    }
+    merged_edges[pins] += hg.edge_weight(e);
+  }
+  for (auto& [pin_set, weight] : merged_edges) {
+    level.coarse.AddEdge(weight, pin_set);
+  }
+  level.coarse.Finalize();
+  return level;
+}
+
+}  // namespace dcp

@@ -1,0 +1,158 @@
+// Initial partitioning portfolio for the coarsest hypergraph: several randomized runs of
+// greedy affinity placement plus random balanced assignments, each polished with one FM
+// pass; the best feasible candidate wins.
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+#include "hypergraph/internal.h"
+#include "hypergraph/metrics.h"
+
+namespace dcp {
+namespace {
+
+Partition RandomBalanced(const Hypergraph& hg, const PartitionConfig& config, Rng& rng) {
+  // Random order, round-robin over parts weighted by remaining capacity in the dominant
+  // dimension. Crude but diverse, which is its purpose in the portfolio.
+  const int k = config.k;
+  const VertexWeight total = hg.TotalWeight();
+  const std::array<double, 2> target = {total[0] / k, total[1] / k};
+  std::vector<VertexId> order(static_cast<size_t>(hg.num_vertices()));
+  for (VertexId v = 0; v < hg.num_vertices(); ++v) {
+    order[static_cast<size_t>(v)] = v;
+  }
+  rng.Shuffle(order);
+  Partition part(static_cast<size_t>(hg.num_vertices()), 0);
+  std::vector<VertexWeight> loads(static_cast<size_t>(k), VertexWeight{0.0, 0.0});
+  for (VertexId v : order) {
+    int best = 0;
+    double least = std::numeric_limits<double>::max();
+    for (int p = 0; p < k; ++p) {
+      const auto& load = loads[static_cast<size_t>(p)];
+      const double norm =
+          std::max(target[0] > 0 ? load[0] / target[0] : 0.0,
+                   target[1] > 0 ? load[1] / target[1] : 0.0);
+      if (norm < least) {
+        least = norm;
+        best = p;
+      }
+    }
+    part[static_cast<size_t>(v)] = best;
+    loads[static_cast<size_t>(best)][0] += hg.vertex_weight(v)[0];
+    loads[static_cast<size_t>(best)][1] += hg.vertex_weight(v)[1];
+  }
+  return part;
+}
+
+}  // namespace
+
+Partition ComponentPackingPartition(const Hypergraph& hg, const PartitionConfig& config,
+                                    Rng& rng) {
+  const int n = hg.num_vertices();
+  // Connected components via union-find over edge pins.
+  std::vector<VertexId> parent(static_cast<size_t>(n));
+  for (VertexId v = 0; v < n; ++v) {
+    parent[static_cast<size_t>(v)] = v;
+  }
+  auto find = [&parent](VertexId v) {
+    while (parent[static_cast<size_t>(v)] != v) {
+      parent[static_cast<size_t>(v)] =
+          parent[static_cast<size_t>(parent[static_cast<size_t>(v)])];
+      v = parent[static_cast<size_t>(v)];
+    }
+    return v;
+  };
+  for (EdgeId e = 0; e < hg.num_edges(); ++e) {
+    auto [pb, pe] = hg.EdgePins(e);
+    if (pb == pe) {
+      continue;
+    }
+    const VertexId root = find(*pb);
+    for (const VertexId* p = pb + 1; p != pe; ++p) {
+      parent[static_cast<size_t>(find(*p))] = root;
+    }
+  }
+  // Component weights.
+  std::vector<VertexId> comp_of(static_cast<size_t>(n));
+  std::vector<VertexWeight> comp_weight;
+  std::vector<VertexId> comp_id(static_cast<size_t>(n), -1);
+  for (VertexId v = 0; v < n; ++v) {
+    const VertexId root = find(v);
+    if (comp_id[static_cast<size_t>(root)] < 0) {
+      comp_id[static_cast<size_t>(root)] = static_cast<VertexId>(comp_weight.size());
+      comp_weight.push_back({0.0, 0.0});
+    }
+    comp_of[static_cast<size_t>(v)] = comp_id[static_cast<size_t>(root)];
+    comp_weight[static_cast<size_t>(comp_of[static_cast<size_t>(v)])][0] +=
+        hg.vertex_weight(v)[0];
+    comp_weight[static_cast<size_t>(comp_of[static_cast<size_t>(v)])][1] +=
+        hg.vertex_weight(v)[1];
+  }
+  // FFD over components by max normalized weight, into the least-loaded part.
+  const int k = config.k;
+  const VertexWeight total = hg.TotalWeight();
+  const std::array<double, 2> target = {total[0] / k, total[1] / k};
+  std::vector<int> order(comp_weight.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    order[i] = static_cast<int>(i);
+  }
+  auto norm = [&](const VertexWeight& w) {
+    return std::max(target[0] > 0 ? w[0] / target[0] : 0.0,
+                    target[1] > 0 ? w[1] / target[1] : 0.0);
+  };
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return norm(comp_weight[static_cast<size_t>(a)]) >
+           norm(comp_weight[static_cast<size_t>(b)]);
+  });
+  std::vector<PartId> comp_part(comp_weight.size(), 0);
+  std::vector<VertexWeight> loads(static_cast<size_t>(k), VertexWeight{0.0, 0.0});
+  for (int c : order) {
+    int best = 0;
+    double least = std::numeric_limits<double>::max();
+    for (int p = 0; p < k; ++p) {
+      const double load = norm(loads[static_cast<size_t>(p)]);
+      if (load < least) {
+        least = load;
+        best = p;
+      }
+    }
+    comp_part[static_cast<size_t>(c)] = best;
+    loads[static_cast<size_t>(best)][0] += comp_weight[static_cast<size_t>(c)][0];
+    loads[static_cast<size_t>(best)][1] += comp_weight[static_cast<size_t>(c)][1];
+  }
+  Partition part(static_cast<size_t>(n));
+  for (VertexId v = 0; v < n; ++v) {
+    part[static_cast<size_t>(v)] = comp_part[static_cast<size_t>(comp_of[static_cast<size_t>(v)])];
+  }
+  // Rebalance (splits oversized components if needed) + refine.
+  FmRefine(hg, config, part, rng);
+  return part;
+}
+
+Partition ComputeInitialPartition(const Hypergraph& hg, const PartitionConfig& config,
+                                  Rng& rng) {
+  DCP_CHECK_GE(config.initial_tries, 1);
+  Partition best;
+  double best_cost = std::numeric_limits<double>::max();
+  bool best_balanced = false;
+  for (int attempt = 0; attempt < config.initial_tries; ++attempt) {
+    Rng attempt_rng = rng.Fork();
+    Partition candidate = (attempt % 2 == 0)
+                              ? GreedyAffinityPartition(hg, config, attempt_rng)
+                              : RandomBalanced(hg, config, attempt_rng);
+    FmRefine(hg, config, candidate, attempt_rng);
+    const double cost = ConnectivityMinusOne(hg, candidate, config.k);
+    const bool balanced = IsBalanced(hg, candidate, config.k, config.eps);
+    // Feasibility first, then objective.
+    const bool better = best.empty() || (balanced && !best_balanced) ||
+                        (balanced == best_balanced && cost < best_cost);
+    if (better) {
+      best = std::move(candidate);
+      best_cost = cost;
+      best_balanced = balanced;
+    }
+  }
+  return best;
+}
+
+}  // namespace dcp

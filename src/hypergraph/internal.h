@@ -1,0 +1,46 @@
+// Internal building blocks shared between the partitioner translation units. Not part of
+// the public API.
+#ifndef DCP_HYPERGRAPH_INTERNAL_H_
+#define DCP_HYPERGRAPH_INTERNAL_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "hypergraph/partitioner.h"
+
+namespace dcp {
+
+// First-fit-decreasing with edge affinity (defined in greedy_partitioner.cc).
+Partition GreedyAffinityPartition(const Hypergraph& hg, const PartitionConfig& config,
+                                  Rng& rng);
+
+// One coarsening level: clusters of fine vertices and the coarse hypergraph they induce.
+struct CoarseLevel {
+  Hypergraph coarse;
+  std::vector<VertexId> fine_to_coarse;  // size = fine vertex count.
+};
+
+// Heavy-connectivity clustering pass (defined in coarsening.cc). Respects the per-cluster
+// weight cap from `config`. Returns nullopt-equivalent empty result if no contraction was
+// possible (coarse vertex count == fine vertex count).
+CoarseLevel CoarsenOnce(const Hypergraph& hg, const PartitionConfig& config, Rng& rng);
+
+// Portfolio initial partitioning on the (coarsest) hypergraph (initial_partition.cc).
+Partition ComputeInitialPartition(const Hypergraph& hg, const PartitionConfig& config,
+                                  Rng& rng);
+
+// Greedy K-way FM-style boundary refinement, in place (refinement.cc). Returns the
+// improvement in connectivity cost (>= 0).
+double FmRefine(const Hypergraph& hg, const PartitionConfig& config, Partition& part,
+                Rng& rng);
+
+// Packs whole connected components (first-fit-decreasing on the dominant weight
+// dimension), then rebalances/refines. When the batch decomposes into many independent
+// sequences this finds the zero-communication data-parallel-style placement directly
+// (paper Fig. 5b/5c territory). Defined in initial_partition.cc.
+Partition ComponentPackingPartition(const Hypergraph& hg, const PartitionConfig& config,
+                                    Rng& rng);
+
+}  // namespace dcp
+
+#endif  // DCP_HYPERGRAPH_INTERNAL_H_

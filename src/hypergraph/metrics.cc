@@ -1,0 +1,80 @@
+#include "hypergraph/metrics.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace dcp {
+
+int EdgeConnectivity(const Hypergraph& hg, const Partition& part, int k, EdgeId e) {
+  // Edges are small-to-medium; use a stack bitmap for k <= 64, else a vector.
+  auto [begin, end] = hg.EdgePins(e);
+  if (k <= 64) {
+    uint64_t seen = 0;
+    for (const VertexId* p = begin; p != end; ++p) {
+      seen |= uint64_t{1} << part[static_cast<size_t>(*p)];
+    }
+    return __builtin_popcountll(seen);
+  }
+  std::vector<char> seen(static_cast<size_t>(k), 0);
+  int count = 0;
+  for (const VertexId* p = begin; p != end; ++p) {
+    char& flag = seen[static_cast<size_t>(part[static_cast<size_t>(*p)])];
+    if (flag == 0) {
+      flag = 1;
+      ++count;
+    }
+  }
+  return count;
+}
+
+double ConnectivityMinusOne(const Hypergraph& hg, const Partition& part, int k) {
+  DCP_CHECK_EQ(static_cast<int>(part.size()), hg.num_vertices());
+  double total = 0.0;
+  for (EdgeId e = 0; e < hg.num_edges(); ++e) {
+    total += hg.edge_weight(e) * (EdgeConnectivity(hg, part, k, e) - 1);
+  }
+  return total;
+}
+
+std::vector<VertexWeight> PartWeights(const Hypergraph& hg, const Partition& part, int k) {
+  std::vector<VertexWeight> weights(static_cast<size_t>(k), VertexWeight{0.0, 0.0});
+  for (VertexId v = 0; v < hg.num_vertices(); ++v) {
+    const PartId p = part[static_cast<size_t>(v)];
+    DCP_CHECK(p >= 0 && p < k);
+    weights[static_cast<size_t>(p)][0] += hg.vertex_weight(v)[0];
+    weights[static_cast<size_t>(p)][1] += hg.vertex_weight(v)[1];
+  }
+  return weights;
+}
+
+std::array<double, 2> MaxImbalancePerDim(const Hypergraph& hg, const Partition& part, int k) {
+  const VertexWeight total = hg.TotalWeight();
+  const auto weights = PartWeights(hg, part, k);
+  std::array<double, 2> worst = {0.0, 0.0};
+  for (int d = 0; d < 2; ++d) {
+    const double target = total[static_cast<size_t>(d)] / k;
+    if (target <= 0.0) {
+      worst[static_cast<size_t>(d)] = 1.0;
+      continue;
+    }
+    for (const VertexWeight& w : weights) {
+      worst[static_cast<size_t>(d)] =
+          std::max(worst[static_cast<size_t>(d)], w[static_cast<size_t>(d)] / target);
+    }
+  }
+  return worst;
+}
+
+double MaxImbalance(const Hypergraph& hg, const Partition& part, int k) {
+  const auto per_dim = MaxImbalancePerDim(hg, part, k);
+  return std::max(per_dim[0], per_dim[1]);
+}
+
+bool IsBalanced(const Hypergraph& hg, const Partition& part, int k,
+                const std::array<double, 2>& eps) {
+  const auto per_dim = MaxImbalancePerDim(hg, part, k);
+  return per_dim[0] <= 1.0 + eps[0] + 1e-9 && per_dim[1] <= 1.0 + eps[1] + 1e-9;
+}
+
+}  // namespace dcp

@@ -1,0 +1,33 @@
+// Partition quality metrics: the connectivity-minus-one objective (== total communication
+// volume of the represented placement, paper §4.2) and 2-dimensional balance.
+#ifndef DCP_HYPERGRAPH_METRICS_H_
+#define DCP_HYPERGRAPH_METRICS_H_
+
+#include <vector>
+
+#include "hypergraph/hypergraph.h"
+
+namespace dcp {
+
+// Sum over edges of w_e * (lambda_e - 1), lambda_e = number of distinct parts among pins.
+double ConnectivityMinusOne(const Hypergraph& hg, const Partition& part, int k);
+
+// Number of distinct parts spanned by edge e.
+int EdgeConnectivity(const Hypergraph& hg, const Partition& part, int k, EdgeId e);
+
+// Total vertex weight per part.
+std::vector<VertexWeight> PartWeights(const Hypergraph& hg, const Partition& part, int k);
+
+// Maximum over parts and weight dimensions of w(P_i)[d] / (total[d] / k).
+// 1.0 == perfectly balanced in the heavier dimension.
+double MaxImbalance(const Hypergraph& hg, const Partition& part, int k);
+// Per-dimension variant.
+std::array<double, 2> MaxImbalancePerDim(const Hypergraph& hg, const Partition& part, int k);
+
+// Checks w(P_i)[d] <= (1 + eps[d]) * total[d] / k for all parts/dims.
+bool IsBalanced(const Hypergraph& hg, const Partition& part, int k,
+                const std::array<double, 2>& eps);
+
+}  // namespace dcp
+
+#endif  // DCP_HYPERGRAPH_METRICS_H_

@@ -1,0 +1,50 @@
+// Balanced k-way hypergraph partitioning interface. Two implementations:
+//  - GreedyPartitioner: fast first-fit-decreasing with affinity (baseline / fallback).
+//  - MultilevelPartitioner: coarsening + initial-partition portfolio + K-way FM refinement,
+//    the stand-in for KaHyPar used by the paper (§4.2).
+#ifndef DCP_HYPERGRAPH_PARTITIONER_H_
+#define DCP_HYPERGRAPH_PARTITIONER_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "hypergraph/hypergraph.h"
+
+namespace dcp {
+
+struct PartitionConfig {
+  int k = 2;
+  // Balance tolerance per weight dimension: [compute, data]. The paper uses epsilon for
+  // compute (0.4 inter-node, 0.1 intra-node) and keeps data "as balanced as possible";
+  // we default data tolerance to 0.1.
+  std::array<double, 2> eps = {0.1, 0.1};
+  uint64_t seed = 1;
+
+  // Multilevel knobs.
+  int coarsen_until_per_part = 24;  // Stop coarsening near k * this many vertices.
+  double max_cluster_weight_frac = 0.5;  // Cluster cap as fraction of total/k, per dim.
+  int initial_tries = 6;
+  int refinement_passes = 6;
+};
+
+struct PartitionResult {
+  Partition part;
+  double connectivity_cost = 0.0;  // Connectivity-minus-one objective.
+  bool balanced = false;
+};
+
+class Partitioner {
+ public:
+  virtual ~Partitioner() = default;
+  virtual PartitionResult Run(const Hypergraph& hg, const PartitionConfig& config) const = 0;
+  virtual std::string name() const = 0;
+};
+
+std::unique_ptr<Partitioner> MakeGreedyPartitioner();
+std::unique_ptr<Partitioner> MakeMultilevelPartitioner();
+
+}  // namespace dcp
+
+#endif  // DCP_HYPERGRAPH_PARTITIONER_H_

@@ -1,0 +1,246 @@
+// Greedy K-way FM-style refinement on the connectivity-minus-one objective.
+//
+// Maintains per-edge pin counts per part (phi), so the gain of moving a vertex v from part
+// a to part b is computed exactly:
+//   gain = sum_e w_e * ( [phi(e,a) == 1 && phi(e,b) > 0]  -  [phi(e,a) > 1 && phi(e,b) == 0] )
+// Each pass visits boundary vertices in random order and applies the best feasible
+// positive-gain move (or a zero-gain balance-improving move). A rebalance sweep first fixes
+// infeasible inputs by moving vertices out of overloaded parts at minimal cost.
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "common/check.h"
+#include "hypergraph/internal.h"
+#include "hypergraph/metrics.h"
+
+namespace dcp {
+namespace {
+
+class RefinementState {
+ public:
+  RefinementState(const Hypergraph& hg, const PartitionConfig& config, Partition& part)
+      : hg_(hg), config_(config), part_(part), k_(config.k) {
+    phi_.assign(static_cast<size_t>(hg.num_edges()) * static_cast<size_t>(k_), 0);
+    for (EdgeId e = 0; e < hg.num_edges(); ++e) {
+      auto [pbegin, pend] = hg.EdgePins(e);
+      for (const VertexId* pp = pbegin; pp != pend; ++pp) {
+        ++PhiRef(e, part[static_cast<size_t>(*pp)]);
+      }
+    }
+    loads_ = PartWeights(hg, part, k_);
+    const VertexWeight total = hg.TotalWeight();
+    target_ = {total[0] / k_, total[1] / k_};
+    limit_ = {(1.0 + config.eps[0]) * target_[0] + 1e-9,
+              (1.0 + config.eps[1]) * target_[1] + 1e-9};
+  }
+
+  int32_t Phi(EdgeId e, PartId p) const {
+    return phi_[static_cast<size_t>(e) * static_cast<size_t>(k_) + static_cast<size_t>(p)];
+  }
+
+  bool IsBoundary(VertexId v) const {
+    auto [ebegin, eend] = hg_.VertexEdges(v);
+    const PartId a = part_[static_cast<size_t>(v)];
+    for (const EdgeId* ep = ebegin; ep != eend; ++ep) {
+      auto [pbegin, pend] = hg_.EdgePins(*ep);
+      if (Phi(*ep, a) < pend - pbegin) {
+        return true;  // Some pin of this edge lives elsewhere.
+      }
+    }
+    return false;
+  }
+
+  // Gain of moving v to part b (b != current part).
+  double MoveGain(VertexId v, PartId b) const {
+    const PartId a = part_[static_cast<size_t>(v)];
+    double gain = 0.0;
+    auto [ebegin, eend] = hg_.VertexEdges(v);
+    for (const EdgeId* ep = ebegin; ep != eend; ++ep) {
+      const double w = hg_.edge_weight(*ep);
+      const int32_t pa = Phi(*ep, a);
+      const int32_t pb = Phi(*ep, b);
+      if (pa == 1 && pb > 0) {
+        gain += w;
+      } else if (pa > 1 && pb == 0) {
+        gain -= w;
+      }
+    }
+    return gain;
+  }
+
+  bool FitsIn(VertexId v, PartId b) const {
+    const VertexWeight& w = hg_.vertex_weight(v);
+    const auto& load = loads_[static_cast<size_t>(b)];
+    return load[0] + w[0] <= limit_[0] && load[1] + w[1] <= limit_[1];
+  }
+
+  double NormLoad(PartId p) const {
+    const auto& load = loads_[static_cast<size_t>(p)];
+    return std::max(target_[0] > 0 ? load[0] / target_[0] : 0.0,
+                    target_[1] > 0 ? load[1] / target_[1] : 0.0);
+  }
+
+  // Strictly improves the pairwise balance between v's part and b.
+  bool ImprovesBalance(VertexId v, PartId b) const {
+    const PartId a = part_[static_cast<size_t>(v)];
+    const VertexWeight& w = hg_.vertex_weight(v);
+    const double before = std::max(NormLoad(a), NormLoad(b));
+    const auto& la = loads_[static_cast<size_t>(a)];
+    const auto& lb = loads_[static_cast<size_t>(b)];
+    const double after_a = std::max(target_[0] > 0 ? (la[0] - w[0]) / target_[0] : 0.0,
+                                    target_[1] > 0 ? (la[1] - w[1]) / target_[1] : 0.0);
+    const double after_b = std::max(target_[0] > 0 ? (lb[0] + w[0]) / target_[0] : 0.0,
+                                    target_[1] > 0 ? (lb[1] + w[1]) / target_[1] : 0.0);
+    return std::max(after_a, after_b) + 1e-12 < before;
+  }
+
+  void Apply(VertexId v, PartId b) {
+    const PartId a = part_[static_cast<size_t>(v)];
+    DCP_CHECK_NE(a, b);
+    auto [ebegin, eend] = hg_.VertexEdges(v);
+    for (const EdgeId* ep = ebegin; ep != eend; ++ep) {
+      --PhiRef(*ep, a);
+      ++PhiRef(*ep, b);
+      DCP_DCHECK(Phi(*ep, a) >= 0);
+    }
+    const VertexWeight& w = hg_.vertex_weight(v);
+    loads_[static_cast<size_t>(a)][0] -= w[0];
+    loads_[static_cast<size_t>(a)][1] -= w[1];
+    loads_[static_cast<size_t>(b)][0] += w[0];
+    loads_[static_cast<size_t>(b)][1] += w[1];
+    part_[static_cast<size_t>(v)] = b;
+  }
+
+  bool PartOverloaded(PartId p) const {
+    const auto& load = loads_[static_cast<size_t>(p)];
+    return load[0] > limit_[0] || load[1] > limit_[1];
+  }
+
+  bool AnyOverloaded() const {
+    for (PartId p = 0; p < k_; ++p) {
+      if (PartOverloaded(p)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  int k() const { return k_; }
+  const Partition& part() const { return part_; }
+
+ private:
+  int32_t& PhiRef(EdgeId e, PartId p) {
+    return phi_[static_cast<size_t>(e) * static_cast<size_t>(k_) + static_cast<size_t>(p)];
+  }
+
+  const Hypergraph& hg_;
+  const PartitionConfig& config_;
+  Partition& part_;
+  const int k_;
+  std::vector<int32_t> phi_;
+  std::vector<VertexWeight> loads_;
+  std::array<double, 2> target_;
+  std::array<double, 2> limit_;
+};
+
+// Moves vertices out of overloaded parts at minimum connectivity cost until feasible (or no
+// further progress). Bounded by 2 * num_vertices moves.
+void RebalancePass(const Hypergraph& hg, RefinementState& state, Rng& rng) {
+  if (!state.AnyOverloaded()) {
+    return;
+  }
+  std::vector<VertexId> order(static_cast<size_t>(hg.num_vertices()));
+  std::iota(order.begin(), order.end(), 0);
+  rng.Shuffle(order);
+  int moves_left = 2 * hg.num_vertices();
+  bool progress = true;
+  while (state.AnyOverloaded() && progress && moves_left > 0) {
+    progress = false;
+    for (VertexId v : order) {
+      const PartId a = state.part()[static_cast<size_t>(v)];
+      if (!state.PartOverloaded(a)) {
+        continue;
+      }
+      PartId best = -1;
+      double best_gain = -std::numeric_limits<double>::max();
+      for (PartId b = 0; b < state.k(); ++b) {
+        if (b == a || !state.FitsIn(v, b)) {
+          continue;
+        }
+        const double gain = state.MoveGain(v, b);
+        if (gain > best_gain) {
+          best_gain = gain;
+          best = b;
+        }
+      }
+      if (best >= 0) {
+        state.Apply(v, best);
+        progress = true;
+        if (--moves_left == 0) {
+          return;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+double FmRefine(const Hypergraph& hg, const PartitionConfig& config, Partition& part,
+                Rng& rng) {
+  DCP_CHECK(hg.finalized());
+  DCP_CHECK_EQ(static_cast<int>(part.size()), hg.num_vertices());
+  if (config.k <= 1 || hg.num_vertices() == 0) {
+    return 0.0;
+  }
+  RefinementState state(hg, config, part);
+  RebalancePass(hg, state, rng);
+
+  double total_improvement = 0.0;
+  std::vector<VertexId> order(static_cast<size_t>(hg.num_vertices()));
+  std::iota(order.begin(), order.end(), 0);
+  for (int pass = 0; pass < config.refinement_passes; ++pass) {
+    rng.Shuffle(order);
+    double pass_improvement = 0.0;
+    for (VertexId v : order) {
+      if (!state.IsBoundary(v)) {
+        continue;
+      }
+      const PartId a = state.part()[static_cast<size_t>(v)];
+      PartId best = -1;
+      double best_gain = 0.0;
+      bool best_improves_balance = false;
+      for (PartId b = 0; b < state.k(); ++b) {
+        if (b == a || !state.FitsIn(v, b)) {
+          continue;
+        }
+        const double gain = state.MoveGain(v, b);
+        if (gain < 0.0) {
+          continue;
+        }
+        const bool improves_balance = state.ImprovesBalance(v, b);
+        if (gain == 0.0 && !improves_balance) {
+          continue;
+        }
+        if (best < 0 || gain > best_gain ||
+            (gain == best_gain && improves_balance && !best_improves_balance)) {
+          best = b;
+          best_gain = gain;
+          best_improves_balance = improves_balance;
+        }
+      }
+      if (best >= 0 && (best_gain > 0.0 || best_improves_balance)) {
+        state.Apply(v, best);
+        pass_improvement += best_gain;
+      }
+    }
+    total_improvement += pass_improvement;
+    if (pass_improvement <= 0.0) {
+      break;
+    }
+  }
+  return total_improvement;
+}
+
+}  // namespace dcp

@@ -1,0 +1,184 @@
+#include "masks/mask.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/types.h"
+
+namespace dcp {
+
+int64_t RangePair::OverlapWith(int64_t lo, int64_t hi) const {
+  const int64_t o0 = std::max<int64_t>(0, std::min(end0, hi) - std::max(begin0, lo));
+  const int64_t o1 = std::max<int64_t>(0, std::min(end1, hi) - std::max(begin1, lo));
+  return o0 + o1;
+}
+
+RangePair NormalizeRanges(int64_t b0, int64_t e0, int64_t b1, int64_t e1) {
+  // Drop empty ranges.
+  if (e0 <= b0) {
+    b0 = b1;
+    e0 = e1;
+    b1 = 0;
+    e1 = 0;
+  }
+  if (e1 <= b1) {
+    b1 = 0;
+    e1 = 0;
+  }
+  RangePair out;
+  if (e0 <= b0) {
+    return out;  // both empty
+  }
+  if (e1 > b1 && b1 < b0) {
+    std::swap(b0, b1);
+    std::swap(e0, e1);
+  }
+  // Merge if overlapping or adjacent.
+  if (e1 > b1 && b1 <= e0) {
+    e0 = std::max(e0, e1);
+    b1 = 0;
+    e1 = 0;
+  }
+  out.begin0 = b0;
+  out.end0 = e0;
+  out.begin1 = b1;
+  out.end1 = e1;
+  return out;
+}
+
+namespace {
+
+std::vector<RangePair> BuildCausal(int64_t length) {
+  std::vector<RangePair> ranges(static_cast<size_t>(length));
+  for (int64_t q = 0; q < length; ++q) {
+    ranges[static_cast<size_t>(q)] = NormalizeRanges(0, q + 1, 0, 0);
+  }
+  return ranges;
+}
+
+std::vector<RangePair> BuildLambda(const MaskSpec& spec, int64_t length) {
+  std::vector<RangePair> ranges(static_cast<size_t>(length));
+  for (int64_t q = 0; q < length; ++q) {
+    const int64_t sink_end = std::min(spec.sink_tokens, q + 1);
+    const int64_t win_begin = std::max<int64_t>(0, q + 1 - spec.window_tokens);
+    ranges[static_cast<size_t>(q)] = NormalizeRanges(0, sink_end, win_begin, q + 1);
+  }
+  return ranges;
+}
+
+std::vector<RangePair> BuildCausalBlockwise(const MaskSpec& spec, int64_t length) {
+  const int64_t bt = spec.icl_block_tokens;
+  DCP_CHECK_GT(bt, 0);
+  const int64_t num_blocks = CeilDiv(length, bt);
+  std::vector<RangePair> ranges(static_cast<size_t>(length));
+  for (int64_t q = 0; q < length; ++q) {
+    const int64_t block = q / bt;
+    if (block >= num_blocks - spec.test_blocks) {
+      // Final test block attends to everything before it (plus itself, causally).
+      ranges[static_cast<size_t>(q)] = NormalizeRanges(0, q + 1, 0, 0);
+      continue;
+    }
+    const int64_t sink_end = std::min(spec.sink_blocks * bt, q + 1);
+    const int64_t win_begin =
+        std::max<int64_t>(0, (block - spec.window_blocks + 1) * bt);
+    ranges[static_cast<size_t>(q)] = NormalizeRanges(0, sink_end, win_begin, q + 1);
+  }
+  return ranges;
+}
+
+std::vector<RangePair> BuildSharedQuestion(const SequenceInfo& info) {
+  const int64_t length = info.length;
+  std::vector<RangePair> ranges(static_cast<size_t>(length));
+  const int64_t qlen = info.question_len;
+  // Question region: plain causal.
+  for (int64_t q = 0; q < std::min(qlen, length); ++q) {
+    ranges[static_cast<size_t>(q)] = NormalizeRanges(0, q + 1, 0, 0);
+  }
+  // Each answer: attends the question plus itself causally; not the other answers.
+  int64_t pos = qlen;
+  for (int64_t alen : info.answer_lens) {
+    for (int64_t q = pos; q < pos + alen; ++q) {
+      ranges[static_cast<size_t>(q)] = NormalizeRanges(0, qlen, pos, q + 1);
+    }
+    pos += alen;
+  }
+  DCP_CHECK_EQ(pos, length);
+  return ranges;
+}
+
+}  // namespace
+
+SequenceMask::SequenceMask(MaskKind kind, std::vector<RangePair> ranges)
+    : kind_(kind), ranges_(std::move(ranges)) {}
+
+SequenceMask SequenceMask::Build(const MaskSpec& spec, const SequenceInfo& info) {
+  DCP_CHECK_GT(info.length, 0);
+  switch (spec.kind) {
+    case MaskKind::kCausal:
+      return SequenceMask(spec.kind, BuildCausal(info.length));
+    case MaskKind::kLambda:
+      return SequenceMask(spec.kind, BuildLambda(spec, info.length));
+    case MaskKind::kCausalBlockwise:
+      return SequenceMask(spec.kind, BuildCausalBlockwise(spec, info.length));
+    case MaskKind::kSharedQuestion: {
+      if (info.answer_lens.empty()) {
+        return SequenceMask(spec.kind, BuildCausal(info.length));
+      }
+      return SequenceMask(spec.kind, BuildSharedQuestion(info));
+    }
+  }
+  return SequenceMask(MaskKind::kCausal, BuildCausal(info.length));
+}
+
+int64_t SequenceMask::CountPairs(int64_t qb, int64_t qe, int64_t kb, int64_t ke) const {
+  DCP_CHECK(qb >= 0 && qe <= length() && qb <= qe);
+  int64_t pairs = 0;
+  for (int64_t q = qb; q < qe; ++q) {
+    pairs += ranges(q).OverlapWith(kb, ke);
+  }
+  return pairs;
+}
+
+BlockCoverage SequenceMask::Classify(int64_t qb, int64_t qe, int64_t kb, int64_t ke,
+                                     int64_t* pairs_out) const {
+  const int64_t pairs = CountPairs(qb, qe, kb, ke);
+  if (pairs_out != nullptr) {
+    *pairs_out = pairs;
+  }
+  if (pairs == 0) {
+    return BlockCoverage::kEmpty;
+  }
+  if (pairs == (qe - qb) * (ke - kb)) {
+    return BlockCoverage::kFull;
+  }
+  return BlockCoverage::kPartial;
+}
+
+int64_t SequenceMask::TotalPairs() const {
+  if (cached_total_pairs_ < 0) {
+    int64_t total = 0;
+    for (const RangePair& r : ranges_) {
+      total += r.TotalLength();
+    }
+    cached_total_pairs_ = total;
+  }
+  return cached_total_pairs_;
+}
+
+double SequenceMask::SparsityVsCausal() const {
+  const int64_t n = length();
+  const double causal_pairs = 0.5 * static_cast<double>(n) * static_cast<double>(n + 1);
+  return static_cast<double>(TotalPairs()) / causal_pairs;
+}
+
+std::vector<SequenceMask> BuildBatchMasks(const MaskSpec& spec,
+                                          const std::vector<int64_t>& seqlens) {
+  std::vector<SequenceMask> masks;
+  masks.reserve(seqlens.size());
+  for (int64_t len : seqlens) {
+    masks.push_back(SequenceMask::Build(spec, MakeSequenceInfo(spec, len)));
+  }
+  return masks;
+}
+
+}  // namespace dcp

@@ -1,0 +1,83 @@
+// Materialized per-sequence attention masks.
+//
+// Every supported mask is represented as at most two disjoint half-open kv ranges per query
+// token (the paper's executor limitation, §5 "Blockwise Attention"). This gives O(1) point
+// queries, O(block) pair counting, and exact block classification for block generation.
+#ifndef DCP_MASKS_MASK_H_
+#define DCP_MASKS_MASK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "masks/mask_spec.h"
+
+namespace dcp {
+
+// Two disjoint, sorted, half-open ranges of kv indices a query token attends to.
+// An unused range is encoded as begin == end == 0.
+struct RangePair {
+  int64_t begin0 = 0;
+  int64_t end0 = 0;
+  int64_t begin1 = 0;
+  int64_t end1 = 0;
+
+  int64_t TotalLength() const { return (end0 - begin0) + (end1 - begin1); }
+  bool Contains(int64_t k) const {
+    return (k >= begin0 && k < end0) || (k >= begin1 && k < end1);
+  }
+  // Number of positions in the intersection with [lo, hi).
+  int64_t OverlapWith(int64_t lo, int64_t hi) const;
+};
+
+// Builds a normalized RangePair from up to two raw ranges (merges overlaps, drops empties,
+// sorts). Raw ranges may be unsorted or overlapping.
+RangePair NormalizeRanges(int64_t b0, int64_t e0, int64_t b1, int64_t e1);
+
+enum class BlockCoverage {
+  kEmpty,    // No (q, k) pair in the tile is attended: block never constructed.
+  kPartial,  // Some pairs masked: kernel applies the range mask.
+  kFull,     // Dense tile: kernel can skip mask checks.
+};
+
+// A fully materialized mask for one sequence: one RangePair per query token.
+class SequenceMask {
+ public:
+  // Builds the mask for `info` under `spec`. O(length) time and memory.
+  static SequenceMask Build(const MaskSpec& spec, const SequenceInfo& info);
+
+  int64_t length() const { return static_cast<int64_t>(ranges_.size()); }
+  MaskKind kind() const { return kind_; }
+  const RangePair& ranges(int64_t q) const { return ranges_[static_cast<size_t>(q)]; }
+
+  // Point query: does token q attend to kv position k?
+  bool Attends(int64_t q, int64_t k) const { return ranges(q).Contains(k); }
+
+  // Number of attended (q, k) pairs in the tile [qb, qe) x [kb, ke). O(qe - qb).
+  int64_t CountPairs(int64_t qb, int64_t qe, int64_t kb, int64_t ke) const;
+
+  // Classification of the tile plus its pair count in one pass.
+  BlockCoverage Classify(int64_t qb, int64_t qe, int64_t kb, int64_t ke,
+                         int64_t* pairs_out) const;
+
+  // Total attended pairs over the whole sequence (cached after first call).
+  int64_t TotalPairs() const;
+
+  // FLOPs ratio of this mask relative to a causal mask of the same length
+  // (the paper's "mask sparsity" metric in Fig. 19; causal == 1.0).
+  double SparsityVsCausal() const;
+
+ private:
+  SequenceMask(MaskKind kind, std::vector<RangePair> ranges);
+
+  MaskKind kind_;
+  std::vector<RangePair> ranges_;
+  mutable int64_t cached_total_pairs_ = -1;
+};
+
+// Convenience: build masks for a whole batch of sequence lengths.
+std::vector<SequenceMask> BuildBatchMasks(const MaskSpec& spec,
+                                          const std::vector<int64_t>& seqlens);
+
+}  // namespace dcp
+
+#endif  // DCP_MASKS_MASK_H_

@@ -1,0 +1,99 @@
+#include "masks/mask_spec.h"
+
+#include "common/check.h"
+
+namespace dcp {
+
+std::string MaskKindName(MaskKind kind) {
+  switch (kind) {
+    case MaskKind::kCausal:
+      return "Causal";
+    case MaskKind::kLambda:
+      return "Lambda";
+    case MaskKind::kCausalBlockwise:
+      return "CausalBlockwise";
+    case MaskKind::kSharedQuestion:
+      return "SharedQuestion";
+  }
+  return "Unknown";
+}
+
+const std::vector<MaskKind>& AllMaskKinds() {
+  static const std::vector<MaskKind> kinds = {
+      MaskKind::kCausal, MaskKind::kLambda, MaskKind::kCausalBlockwise,
+      MaskKind::kSharedQuestion};
+  return kinds;
+}
+
+MaskSpec MaskSpec::Causal() { return MaskSpec{}; }
+
+MaskSpec MaskSpec::Lambda(int64_t sink, int64_t window) {
+  MaskSpec spec;
+  spec.kind = MaskKind::kLambda;
+  spec.sink_tokens = sink;
+  spec.window_tokens = window;
+  return spec;
+}
+
+MaskSpec MaskSpec::CausalBlockwise(int64_t block, int64_t window_blocks, int64_t sink_blocks,
+                                   int64_t test_blocks) {
+  MaskSpec spec;
+  spec.kind = MaskKind::kCausalBlockwise;
+  spec.icl_block_tokens = block;
+  spec.window_blocks = window_blocks;
+  spec.sink_blocks = sink_blocks;
+  spec.test_blocks = test_blocks;
+  return spec;
+}
+
+MaskSpec MaskSpec::SharedQuestion(int num_answers, double answer_fraction) {
+  MaskSpec spec;
+  spec.kind = MaskKind::kSharedQuestion;
+  spec.num_answers = num_answers;
+  spec.answer_fraction = answer_fraction;
+  return spec;
+}
+
+MaskSpec MaskSpec::ForKind(MaskKind kind) {
+  switch (kind) {
+    case MaskKind::kCausal:
+      return Causal();
+    case MaskKind::kLambda:
+      return Lambda();
+    case MaskKind::kCausalBlockwise:
+      return CausalBlockwise();
+    case MaskKind::kSharedQuestion:
+      return SharedQuestion();
+  }
+  return Causal();
+}
+
+SequenceInfo MakeSequenceInfo(const MaskSpec& spec, int64_t length) {
+  DCP_CHECK_GT(length, 0);
+  SequenceInfo info;
+  info.length = length;
+  if (spec.kind == MaskKind::kSharedQuestion) {
+    DCP_CHECK_GT(spec.num_answers, 0);
+    DCP_CHECK_GT(spec.answer_fraction, 0.0);
+    DCP_CHECK_LT(spec.answer_fraction * spec.num_answers, 1.0 + 1e-9);
+    int64_t answer_len = static_cast<int64_t>(
+        static_cast<double>(length) * spec.answer_fraction);
+    // Very short sequences degenerate gracefully: at least 1 token per answer, and the
+    // question keeps at least 1 token.
+    answer_len = std::max<int64_t>(answer_len, 1);
+    while (answer_len * spec.num_answers >= length && answer_len > 1) {
+      --answer_len;
+    }
+    int64_t total_answers = answer_len * spec.num_answers;
+    if (total_answers >= length) {
+      // length too small to host all answers; collapse to pure causal composition.
+      info.question_len = length;
+      return info;
+    }
+    info.question_len = length - total_answers;
+    info.answer_lens.assign(static_cast<size_t>(spec.num_answers), answer_len);
+  }
+  return info;
+}
+
+}  // namespace dcp

@@ -1,0 +1,56 @@
+// CPU blockwise attention kernels: the numeric backend of the DCP executor. Forward uses
+// the online-softmax update of FlashAttention; backward uses the saved (m, l) statistics
+// and the delta = rowsum(dO * O) trick, so partial results from different devices combine
+// exactly like the fused GPU kernels the paper builds on.
+#ifndef DCP_RUNTIME_ATTENTION_KERNEL_H_
+#define DCP_RUNTIME_ATTENTION_KERNEL_H_
+
+#include <span>
+
+#include "masks/mask.h"
+#include "runtime/layout.h"
+
+namespace dcp {
+
+// Geometry of one tile invocation; spans index [heads_per_group, block_size, head_dim].
+struct TileArgs {
+  int heads = 0;            // heads_per_group
+  int64_t block_size = 0;   // Slot stride in tokens.
+  int head_dim = 0;
+  int64_t q_begin = 0;      // Global token ranges within the sequence.
+  int64_t q_end = 0;
+  int64_t kv_begin = 0;
+  int64_t kv_end = 0;
+  bool full = false;        // No masked entries inside the tile.
+};
+
+// Forward tile: acc (U, m, l) += attention(q, kv) under the mask. `acc` has the kAcc slot
+// layout (see buffers.h). Token t of the chunk lives at local row (t - q_begin).
+void AttentionTileForward(const SequenceMask& mask, const TileArgs& args,
+                          std::span<const float> q, std::span<const float> kv,
+                          std::span<float> acc);
+
+// Merge a partial accumulator `src` into `dst` (both kAcc layout, token_count valid rows).
+void MergeSoftmaxAccumulators(std::span<float> dst, std::span<const float> src, int heads,
+                              int64_t block_size, int head_dim, int64_t token_count);
+
+// O = U / l for the first token_count rows; rows with l == 0 produce zeros.
+void FinalizeOutput(std::span<const float> acc, std::span<float> out, int heads,
+                    int64_t block_size, int head_dim, int64_t token_count);
+
+// delta[h, t] = sum_d dout[h, t, d] * out[h, t, d].
+void ComputeDelta(std::span<const float> dout, std::span<const float> out,
+                  std::span<float> delta, int heads, int64_t block_size, int head_dim,
+                  int64_t token_count);
+
+// Backward tile: accumulates dq (q chunk) and dkv (kv chunk) given dout/delta and the
+// *final* softmax stats (m, l) of the q chunk, recomputing probabilities on the fly.
+void AttentionTileBackward(const SequenceMask& mask, const TileArgs& args,
+                           std::span<const float> q, std::span<const float> kv,
+                           std::span<const float> acc_stats,  // kAcc slot with final m, l.
+                           std::span<const float> dout, std::span<const float> delta,
+                           std::span<float> dq, std::span<float> dkv);
+
+}  // namespace dcp
+
+#endif  // DCP_RUNTIME_ATTENTION_KERNEL_H_

@@ -1,0 +1,92 @@
+#include "runtime/buffers.h"
+
+#include <limits>
+
+#include "common/check.h"
+
+namespace dcp {
+
+DeviceBuffers::DeviceBuffers(const BatchLayout& layout,
+                             const std::array<int32_t, kNumBufKinds>& num_slots)
+    : layout_(layout), num_slots_(num_slots) {
+  for (int k = 0; k < kNumBufKinds; ++k) {
+    const auto kind = static_cast<BufKind>(k);
+    arenas_[static_cast<size_t>(k)].assign(
+        static_cast<size_t>(SlotElems(kind)) * static_cast<size_t>(num_slots[static_cast<size_t>(k)]),
+        0.0f);
+  }
+  ResetAccumulators();
+}
+
+int64_t DeviceBuffers::SlotElems(BufKind kind) const {
+  const int64_t hg = layout_.heads_per_group;
+  const int64_t b = layout_.block_size;
+  const int64_t d = layout_.head_dim;
+  switch (kind) {
+    case BufKind::kQ:
+    case BufKind::kO:
+    case BufKind::kDO:
+    case BufKind::kDQ:
+      return hg * b * d;
+    case BufKind::kKV:
+    case BufKind::kDKV:
+      return 2 * b * d;
+    case BufKind::kAcc:
+      return hg * b * d + 2 * hg * b;
+    case BufKind::kDelta:
+      return hg * b;
+    case BufKind::kNumKinds:
+      break;
+  }
+  DCP_CHECK(false) << "bad buffer kind";
+  return 0;
+}
+
+int32_t DeviceBuffers::NumSlots(BufKind kind) const {
+  return num_slots_[static_cast<size_t>(kind)];
+}
+
+std::span<float> DeviceBuffers::Slot(const BlockRef& ref) {
+  DCP_CHECK(ref.slot >= 0 && ref.slot < NumSlots(ref.kind))
+      << BufKindName(ref.kind) << " slot " << ref.slot << " of " << NumSlots(ref.kind);
+  const int64_t elems = SlotElems(ref.kind);
+  auto& arena = arenas_[static_cast<size_t>(ref.kind)];
+  return std::span<float>(arena.data() + static_cast<int64_t>(ref.slot) * elems,
+                          static_cast<size_t>(elems));
+}
+
+std::span<const float> DeviceBuffers::Slot(const BlockRef& ref) const {
+  return const_cast<DeviceBuffers*>(this)->Slot(ref);
+}
+
+int64_t DeviceBuffers::AccStatsOffsetM() const {
+  return static_cast<int64_t>(layout_.heads_per_group) * layout_.block_size *
+         layout_.head_dim;
+}
+
+int64_t DeviceBuffers::AccStatsOffsetL() const {
+  return AccStatsOffsetM() +
+         static_cast<int64_t>(layout_.heads_per_group) * layout_.block_size;
+}
+
+void DeviceBuffers::ResetAccumulators() {
+  auto& acc = arenas_[static_cast<size_t>(BufKind::kAcc)];
+  const int64_t elems = SlotElems(BufKind::kAcc);
+  const int64_t m_off = AccStatsOffsetM();
+  const int64_t l_off = AccStatsOffsetL();
+  for (int32_t s = 0; s < NumSlots(BufKind::kAcc); ++s) {
+    float* base = acc.data() + static_cast<int64_t>(s) * elems;
+    std::fill(base, base + m_off, 0.0f);  // U
+    std::fill(base + m_off, base + l_off, -std::numeric_limits<float>::infinity());  // m
+    std::fill(base + l_off, base + elems, 0.0f);  // l
+  }
+}
+
+void DeviceBuffers::ResetGradients() {
+  for (BufKind kind : {BufKind::kDQ, BufKind::kDKV, BufKind::kDelta}) {
+    auto& arena = arenas_[static_cast<size_t>(kind)];
+    std::fill(arena.begin(), arena.end(), 0.0f);
+  }
+}
+
+}  // namespace dcp

@@ -1,0 +1,52 @@
+// Per-device block buffers (paper §5): one contiguous fp32 arena per buffer kind, addressed
+// by slot index. Slot geometry is fixed by the batch layout; ragged (last) chunks use a
+// prefix of their slot.
+//
+// Slot layouts (row-major):
+//   kQ / kO / kDO / kDQ : [heads_per_group, block_size, head_dim]
+//   kKV / kDKV          : [2, block_size, head_dim]          (K then V)
+//   kAcc                : [heads_per_group, block_size, head_dim] unnormalized output U,
+//                         then [heads_per_group, block_size] m, then same for l
+//   kDelta              : [heads_per_group, block_size]
+#ifndef DCP_RUNTIME_BUFFERS_H_
+#define DCP_RUNTIME_BUFFERS_H_
+
+#include <span>
+#include <vector>
+
+#include "common/tensor.h"
+#include "runtime/instructions.h"
+#include "runtime/layout.h"
+
+namespace dcp {
+
+class DeviceBuffers {
+ public:
+  DeviceBuffers(const BatchLayout& layout,
+                const std::array<int32_t, kNumBufKinds>& num_slots);
+
+  std::span<float> Slot(const BlockRef& ref);
+  std::span<const float> Slot(const BlockRef& ref) const;
+  int64_t SlotElems(BufKind kind) const;
+  int32_t NumSlots(BufKind kind) const;
+
+  // Resets accumulators to the online-softmax identity (U=0, m=-inf, l=0) and gradient
+  // buffers to zero. Called by the executor before each forward/backward run.
+  void ResetAccumulators();
+  void ResetGradients();
+
+  const BatchLayout& layout() const { return layout_; }
+
+  // Offsets into a kAcc slot.
+  int64_t AccStatsOffsetM() const;  // Start of the m array.
+  int64_t AccStatsOffsetL() const;  // Start of the l array.
+
+ private:
+  BatchLayout layout_;
+  std::array<int32_t, kNumBufKinds> num_slots_;
+  std::array<std::vector<float>, kNumBufKinds> arenas_;
+};
+
+}  // namespace dcp
+
+#endif  // DCP_RUNTIME_BUFFERS_H_

@@ -1,0 +1,26 @@
+#include "runtime/cluster.h"
+
+namespace dcp {
+
+ClusterSpec ClusterSpec::MicroBenchTestbed() {
+  ClusterSpec spec;
+  spec.num_nodes = 4;
+  spec.devices_per_node = 8;
+  return spec;
+}
+
+ClusterSpec ClusterSpec::EndToEndTestbed() {
+  // 8 nodes x 8 GPUs with 4-way tensor parallelism: each CP rank is one TP group, so the
+  // context-parallel "devices" seen by DCP are 16 ranks, 2 per node. A TP group aggregates
+  // the NVSwitch bandwidth of its GPUs for CP transfers, but the node NIC is still shared.
+  ClusterSpec spec;
+  spec.num_nodes = 8;
+  spec.devices_per_node = 2;
+  spec.device_tflops = 150.0 * 4;  // 4 GPUs per TP rank work on the same attention op.
+  spec.dense_tflops = 220.0 * 4;
+  spec.intra_node_gbps = 250.0;
+  spec.node_nic_gbps = 50.0;
+  return spec;
+}
+
+}  // namespace dcp

@@ -1,0 +1,28 @@
+#include "runtime/cost_model.h"
+
+namespace dcp {
+
+double CostModel::ChannelBandwidth(DeviceId src, DeviceId dst) const {
+  if (cluster_.SameNode(src, dst)) {
+    return cluster_.intra_node_gbps * 1e9;
+  }
+  // A single P2P stream between nodes can use the full node NIC if uncontended; the
+  // simulator serializes concurrent transfers on the NIC.
+  return cluster_.node_nic_gbps * 1e9;
+}
+
+double CostModel::ChannelLatencySeconds(DeviceId src, DeviceId dst) const {
+  return (cluster_.SameNode(src, dst) ? cluster_.intra_latency_us
+                                      : cluster_.inter_latency_us) *
+         1e-6;
+}
+
+double CostModel::TransferSeconds(Bytes bytes, DeviceId src, DeviceId dst) const {
+  if (src == dst || bytes == 0) {
+    return 0.0;
+  }
+  return ChannelLatencySeconds(src, dst) +
+         static_cast<double>(bytes) / ChannelBandwidth(src, dst);
+}
+
+}  // namespace dcp

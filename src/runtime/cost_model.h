@@ -1,0 +1,46 @@
+// Converts FLOPs and bytes into seconds under a ClusterSpec. Shared by the discrete-event
+// simulator and the end-to-end iteration model.
+#ifndef DCP_RUNTIME_COST_MODEL_H_
+#define DCP_RUNTIME_COST_MODEL_H_
+
+#include "common/types.h"
+#include "runtime/cluster.h"
+
+namespace dcp {
+
+// FLOPs of one attended (query, key) pair per head: QK^T and PV are 2*D MACs = 4*D flops.
+inline Flops AttentionPairFlops(int head_dim) { return 4.0 * head_dim; }
+// Backward recomputes the score matrix and produces dQ/dK/dV: ~2.5x the forward matmuls.
+inline constexpr double kBackwardFlopsFactor = 2.5;
+
+class CostModel {
+ public:
+  explicit CostModel(const ClusterSpec& cluster) : cluster_(cluster) {}
+
+  const ClusterSpec& cluster() const { return cluster_; }
+
+  // Pure compute time for an attention tile batch (no fixed overheads).
+  double AttentionSeconds(Flops flops) const {
+    return flops / (cluster_.device_tflops * 1e12);
+  }
+  double DenseSeconds(Flops flops) const { return flops / (cluster_.dense_tflops * 1e12); }
+
+  // Point-to-point message time, excluding queueing (the simulator adds contention).
+  double TransferSeconds(Bytes bytes, DeviceId src, DeviceId dst) const;
+  // Bandwidth of the channel between src and dst in bytes/second.
+  double ChannelBandwidth(DeviceId src, DeviceId dst) const;
+  double ChannelLatencySeconds(DeviceId src, DeviceId dst) const;
+
+  double KernelLaunchSeconds() const { return cluster_.kernel_launch_us * 1e-6; }
+  double AttnStepOverheadSeconds(bool backward) const {
+    return (backward ? cluster_.attn_bw_step_overhead_us : cluster_.attn_step_overhead_us) *
+           1e-6;
+  }
+
+ private:
+  ClusterSpec cluster_;
+};
+
+}  // namespace dcp
+
+#endif  // DCP_RUNTIME_COST_MODEL_H_

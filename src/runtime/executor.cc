@@ -1,0 +1,330 @@
+#include "runtime/executor.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/check.h"
+#include "runtime/attention_kernel.h"
+
+namespace dcp {
+
+NumericExecutor::NumericExecutor(const BatchPlan* plan,
+                                 const std::vector<SequenceMask>* masks)
+    : plan_(plan), masks_(masks) {
+  DCP_CHECK(plan != nullptr && masks != nullptr);
+  DCP_CHECK_EQ(static_cast<int>(masks->size()), plan->layout.num_sequences());
+  buffers_.reserve(plan->devices.size());
+  for (const DevicePlan& dev : plan->devices) {
+    buffers_.emplace_back(plan->layout, dev.num_slots);
+  }
+}
+
+void NumericExecutor::LoadInputs(const std::vector<SeqTensors>& sequences) {
+  const BatchLayout& layout = plan_->layout;
+  DCP_CHECK_EQ(static_cast<int>(sequences.size()), layout.num_sequences());
+  const int hg = layout.heads_per_group;
+  const int64_t bs = layout.block_size;
+  const int d = layout.head_dim;
+  for (int dev = 0; dev < plan_->num_devices(); ++dev) {
+    DeviceBuffers& buf = buffers_[static_cast<size_t>(dev)];
+    for (const LocalChunk& chunk : plan_->devices[static_cast<size_t>(dev)].local_chunks) {
+      const SeqTensors& seq = sequences[static_cast<size_t>(chunk.seq)];
+      const int64_t begin = layout.ChunkBegin(chunk.seq, chunk.chunk);
+      const int64_t len = layout.ChunkLen(chunk.seq, chunk.chunk);
+      const int64_t seq_len = seq.length();
+      std::span<float> q_slot = buf.Slot({BufKind::kQ, chunk.q_slot});
+      for (int h = 0; h < hg; ++h) {
+        const int64_t global_head = static_cast<int64_t>(chunk.group) * hg + h;
+        const float* src = seq.q.data() + (global_head * seq_len + begin) * d;
+        float* dst = q_slot.data() + static_cast<int64_t>(h) * bs * d;
+        std::memcpy(dst, src, static_cast<size_t>(len * d) * sizeof(float));
+      }
+      std::span<float> kv_slot = buf.Slot({BufKind::kKV, chunk.kv_slot});
+      const float* k_src =
+          seq.k.data() + (static_cast<int64_t>(chunk.group) * seq_len + begin) * d;
+      const float* v_src =
+          seq.v.data() + (static_cast<int64_t>(chunk.group) * seq_len + begin) * d;
+      std::memcpy(kv_slot.data(), k_src, static_cast<size_t>(len * d) * sizeof(float));
+      std::memcpy(kv_slot.data() + bs * d, v_src,
+                  static_cast<size_t>(len * d) * sizeof(float));
+    }
+  }
+}
+
+void NumericExecutor::RunForward() {
+  for (DeviceBuffers& buf : buffers_) {
+    buf.ResetAccumulators();
+  }
+  RunProgram(/*backward=*/false);
+}
+
+void NumericExecutor::RunBackward() {
+  for (DeviceBuffers& buf : buffers_) {
+    buf.ResetGradients();
+  }
+  RunProgram(/*backward=*/true);
+}
+
+void NumericExecutor::RunProgram(bool backward) {
+  wire_.clear();
+  const int num_devices = plan_->num_devices();
+  std::vector<size_t> pc(static_cast<size_t>(num_devices), 0);
+  int done = 0;
+  std::vector<const std::vector<Instruction>*> programs;
+  programs.reserve(static_cast<size_t>(num_devices));
+  for (const DevicePlan& dev : plan_->devices) {
+    programs.push_back(backward ? &dev.backward_instructions : &dev.instructions);
+    if (programs.back()->empty()) {
+      ++done;
+    }
+  }
+  while (done < num_devices) {
+    bool progress = false;
+    for (int dev = 0; dev < num_devices; ++dev) {
+      const auto& program = *programs[static_cast<size_t>(dev)];
+      size_t& counter = pc[static_cast<size_t>(dev)];
+      while (counter < program.size()) {
+        if (!TryExecute(dev, program[counter])) {
+          break;  // Blocked on a transfer; try other devices.
+        }
+        ++counter;
+        progress = true;
+        if (counter == program.size()) {
+          ++done;
+        }
+      }
+    }
+    DCP_CHECK(progress || done >= num_devices)
+        << "executor deadlock: no device can make progress (backward=" << backward << ")";
+  }
+}
+
+bool NumericExecutor::TryExecute(DeviceId device, const Instruction& instr) {
+  switch (instr.kind) {
+    case InstrKind::kBlockwiseAttention:
+      ExecuteAttention(device, instr);
+      return true;
+    case InstrKind::kBlockwiseReduction:
+      ExecuteReduction(device, instr);
+      return true;
+    case InstrKind::kBlockwiseCopy:
+      ExecuteCopy(device, instr);
+      return true;
+    case InstrKind::kCommLaunch:
+      ExecuteCommLaunch(device, instr);
+      return true;
+    case InstrKind::kCommWait:
+      return TryCommWait(device, instr);
+  }
+  DCP_CHECK(false) << "bad instruction kind";
+  return false;
+}
+
+void NumericExecutor::ExecuteAttention(DeviceId device, const Instruction& instr) {
+  const BatchLayout& layout = plan_->layout;
+  DeviceBuffers& buf = buffers_[static_cast<size_t>(device)];
+  for (const AttentionWorkItem& item : instr.attn_items) {
+    const SequenceMask& mask = (*masks_)[static_cast<size_t>(item.seq)];
+    TileArgs args;
+    args.heads = layout.heads_per_group;
+    args.block_size = layout.block_size;
+    args.head_dim = layout.head_dim;
+    args.q_begin = item.q_begin;
+    args.q_end = item.q_end;
+    args.kv_begin = item.kv_begin;
+    args.kv_end = item.kv_end;
+    args.full = item.full;
+    if (!instr.backward) {
+      AttentionTileForward(mask, args, buf.Slot(item.q), buf.Slot(item.kv),
+                           buf.Slot(item.acc));
+    } else {
+      AttentionTileBackward(mask, args, buf.Slot(item.q), buf.Slot(item.kv),
+                            buf.Slot(item.acc), buf.Slot(item.dout), buf.Slot(item.delta),
+                            buf.Slot(item.dq), buf.Slot(item.dkv));
+    }
+  }
+}
+
+void NumericExecutor::ExecuteReduction(DeviceId device, const Instruction& instr) {
+  const BatchLayout& layout = plan_->layout;
+  DeviceBuffers& buf = buffers_[static_cast<size_t>(device)];
+  const int hg = layout.heads_per_group;
+  const int64_t bs = layout.block_size;
+  const int d = layout.head_dim;
+  for (const ReduceItem& item : instr.reduce_items) {
+    switch (item.mode) {
+      case ReduceMode::kMergeSoftmax:
+        MergeSoftmaxAccumulators(buf.Slot(item.dst), buf.Slot(item.src0), hg, bs, d,
+                                 item.token_count);
+        break;
+      case ReduceMode::kFinalize:
+        FinalizeOutput(buf.Slot(item.src0), buf.Slot(item.dst), hg, bs, d,
+                       item.token_count);
+        break;
+      case ReduceMode::kSum: {
+        std::span<float> dst = buf.Slot(item.dst);
+        std::span<const float> src = buf.Slot(item.src0);
+        DCP_CHECK_EQ(dst.size(), src.size());
+        for (size_t i = 0; i < dst.size(); ++i) {
+          dst[i] += src[i];
+        }
+        break;
+      }
+      case ReduceMode::kComputeDelta:
+        ComputeDelta(buf.Slot(item.src0), buf.Slot(item.src1), buf.Slot(item.dst), hg, bs,
+                     d, item.token_count);
+        break;
+    }
+  }
+}
+
+void NumericExecutor::ExecuteCopy(DeviceId device, const Instruction& instr) {
+  DeviceBuffers& buf = buffers_[static_cast<size_t>(device)];
+  for (const CopyItem& item : instr.copy_items) {
+    std::span<float> dst = buf.Slot(item.dst);
+    std::span<const float> src = buf.Slot(item.src);
+    DCP_CHECK_EQ(dst.size(), src.size());
+    std::memcpy(dst.data(), src.data(), src.size() * sizeof(float));
+  }
+}
+
+void NumericExecutor::ExecuteCommLaunch(DeviceId device, const Instruction& instr) {
+  WireMessage& msg = wire_[instr.transfer_id];
+  if (instr.is_send) {
+    DCP_CHECK(!msg.sent) << "transfer " << instr.transfer_id << " sent twice";
+    DeviceBuffers& buf = buffers_[static_cast<size_t>(device)];
+    for (const TransferBlock& block : instr.blocks) {
+      std::span<const float> slot = buf.Slot(block.ref);
+      msg.payload.insert(msg.payload.end(), slot.begin(), slot.end());
+    }
+    msg.sent = true;
+  } else {
+    DCP_CHECK(!msg.recv_launched) << "transfer " << instr.transfer_id << " recv twice";
+    msg.recv_launched = true;
+    msg.recv_device = device;
+    msg.recv_blocks = instr.blocks;
+  }
+}
+
+bool NumericExecutor::TryCommWait(DeviceId device, const Instruction& instr) {
+  auto it = wire_.find(instr.transfer_id);
+  DCP_CHECK(it != wire_.end()) << "CommWait before any CommLaunch for transfer "
+                               << instr.transfer_id;
+  WireMessage& msg = it->second;
+  if (msg.recv_device != device) {
+    // Sender-side wait: our cooperative sends complete instantly once launched.
+    return msg.sent;
+  }
+  if (!msg.sent) {
+    return false;  // Peer has not produced the payload yet.
+  }
+  if (!msg.delivered) {
+    DeviceBuffers& buf = buffers_[static_cast<size_t>(device)];
+    size_t offset = 0;
+    for (const TransferBlock& block : msg.recv_blocks) {
+      std::span<float> slot = buf.Slot(block.ref);
+      DCP_CHECK_LE(offset + slot.size(), msg.payload.size());
+      std::memcpy(slot.data(), msg.payload.data() + offset, slot.size() * sizeof(float));
+      offset += slot.size();
+    }
+    DCP_CHECK_EQ(offset, msg.payload.size());
+    msg.delivered = true;
+  }
+  return true;
+}
+
+std::vector<Tensor> NumericExecutor::GatherOutputs() const {
+  const BatchLayout& layout = plan_->layout;
+  const int hg = layout.heads_per_group;
+  const int64_t bs = layout.block_size;
+  const int d = layout.head_dim;
+  std::vector<Tensor> outputs;
+  outputs.reserve(layout.seqlens.size());
+  for (int64_t len : layout.seqlens) {
+    outputs.push_back(Tensor::Zeros({layout.num_query_heads(), len, d}));
+  }
+  for (int dev = 0; dev < plan_->num_devices(); ++dev) {
+    const DeviceBuffers& buf = buffers_[static_cast<size_t>(dev)];
+    for (const LocalChunk& chunk : plan_->devices[static_cast<size_t>(dev)].local_chunks) {
+      const int64_t begin = layout.ChunkBegin(chunk.seq, chunk.chunk);
+      const int64_t len = layout.ChunkLen(chunk.seq, chunk.chunk);
+      const int64_t seq_len = layout.seqlens[static_cast<size_t>(chunk.seq)];
+      std::span<const float> o_slot = buf.Slot({BufKind::kO, chunk.q_slot});
+      Tensor& out = outputs[static_cast<size_t>(chunk.seq)];
+      for (int h = 0; h < hg; ++h) {
+        const int64_t global_head = static_cast<int64_t>(chunk.group) * hg + h;
+        float* dst = out.data() + (global_head * seq_len + begin) * d;
+        const float* src = o_slot.data() + static_cast<int64_t>(h) * bs * d;
+        std::memcpy(dst, src, static_cast<size_t>(len * d) * sizeof(float));
+      }
+    }
+  }
+  return outputs;
+}
+
+void NumericExecutor::LoadOutputGrads(const std::vector<Tensor>& douts) {
+  const BatchLayout& layout = plan_->layout;
+  DCP_CHECK_EQ(douts.size(), layout.seqlens.size());
+  const int hg = layout.heads_per_group;
+  const int64_t bs = layout.block_size;
+  const int d = layout.head_dim;
+  for (int dev = 0; dev < plan_->num_devices(); ++dev) {
+    DeviceBuffers& buf = buffers_[static_cast<size_t>(dev)];
+    for (const LocalChunk& chunk : plan_->devices[static_cast<size_t>(dev)].local_chunks) {
+      const int64_t begin = layout.ChunkBegin(chunk.seq, chunk.chunk);
+      const int64_t len = layout.ChunkLen(chunk.seq, chunk.chunk);
+      const int64_t seq_len = layout.seqlens[static_cast<size_t>(chunk.seq)];
+      std::span<float> do_slot = buf.Slot({BufKind::kDO, chunk.q_slot});
+      const Tensor& dout = douts[static_cast<size_t>(chunk.seq)];
+      for (int h = 0; h < hg; ++h) {
+        const int64_t global_head = static_cast<int64_t>(chunk.group) * hg + h;
+        const float* src = dout.data() + (global_head * seq_len + begin) * d;
+        float* dst = do_slot.data() + static_cast<int64_t>(h) * bs * d;
+        std::memcpy(dst, src, static_cast<size_t>(len * d) * sizeof(float));
+      }
+    }
+  }
+}
+
+std::vector<SeqGrads> NumericExecutor::GatherInputGrads() const {
+  const BatchLayout& layout = plan_->layout;
+  const int hg = layout.heads_per_group;
+  const int64_t bs = layout.block_size;
+  const int d = layout.head_dim;
+  std::vector<SeqGrads> grads;
+  grads.reserve(layout.seqlens.size());
+  for (int64_t len : layout.seqlens) {
+    SeqGrads g;
+    g.dq = Tensor::Zeros({layout.num_query_heads(), len, d});
+    g.dk = Tensor::Zeros({layout.num_groups, len, d});
+    g.dv = Tensor::Zeros({layout.num_groups, len, d});
+    grads.push_back(std::move(g));
+  }
+  for (int dev = 0; dev < plan_->num_devices(); ++dev) {
+    const DeviceBuffers& buf = buffers_[static_cast<size_t>(dev)];
+    for (const LocalChunk& chunk : plan_->devices[static_cast<size_t>(dev)].local_chunks) {
+      const int64_t begin = layout.ChunkBegin(chunk.seq, chunk.chunk);
+      const int64_t len = layout.ChunkLen(chunk.seq, chunk.chunk);
+      const int64_t seq_len = layout.seqlens[static_cast<size_t>(chunk.seq)];
+      SeqGrads& g = grads[static_cast<size_t>(chunk.seq)];
+      std::span<const float> dq_slot = buf.Slot({BufKind::kDQ, chunk.q_slot});
+      for (int h = 0; h < hg; ++h) {
+        const int64_t global_head = static_cast<int64_t>(chunk.group) * hg + h;
+        float* dst = g.dq.data() + (global_head * seq_len + begin) * d;
+        const float* src = dq_slot.data() + static_cast<int64_t>(h) * bs * d;
+        std::memcpy(dst, src, static_cast<size_t>(len * d) * sizeof(float));
+      }
+      std::span<const float> dkv_slot = buf.Slot({BufKind::kDKV, chunk.kv_slot});
+      float* dk_dst =
+          g.dk.data() + (static_cast<int64_t>(chunk.group) * seq_len + begin) * d;
+      float* dv_dst =
+          g.dv.data() + (static_cast<int64_t>(chunk.group) * seq_len + begin) * d;
+      std::memcpy(dk_dst, dkv_slot.data(), static_cast<size_t>(len * d) * sizeof(float));
+      std::memcpy(dv_dst, dkv_slot.data() + bs * d,
+                  static_cast<size_t>(len * d) * sizeof(float));
+    }
+  }
+  return grads;
+}
+
+}  // namespace dcp

@@ -1,0 +1,63 @@
+// Numeric executor: interprets a BatchPlan on real fp32 tensors, simulating every device of
+// the cluster in one process. Device instruction streams run cooperatively; transfers are
+// matched (send, recv) CommLaunch pairs moving slot payloads through an in-memory wire.
+// This is the correctness backend — the paper's fused-kernel executor with the GPU swapped
+// out for CPU math (see DESIGN.md, substitution table).
+#ifndef DCP_RUNTIME_EXECUTOR_H_
+#define DCP_RUNTIME_EXECUTOR_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "masks/mask.h"
+#include "runtime/buffers.h"
+#include "runtime/instructions.h"
+#include "runtime/reference_attention.h"
+
+namespace dcp {
+
+class NumericExecutor {
+ public:
+  // `plan` and `masks` must outlive the executor. masks[s] is sequence s's mask.
+  NumericExecutor(const BatchPlan* plan, const std::vector<SequenceMask>* masks);
+
+  // Scatters per-sequence Q/K/V into device buffers according to the plan's placement.
+  void LoadInputs(const std::vector<SeqTensors>& sequences);
+  // Runs every device's forward instruction stream to completion.
+  void RunForward();
+  // Collects the attention outputs, one [H, L, D] tensor per sequence.
+  std::vector<Tensor> GatherOutputs() const;
+
+  // Backward: scatter dO, run backward streams (requires RunForward state), gather grads.
+  void LoadOutputGrads(const std::vector<Tensor>& douts);
+  void RunBackward();
+  std::vector<SeqGrads> GatherInputGrads() const;
+
+ private:
+  struct WireMessage {
+    std::vector<float> payload;
+    bool sent = false;
+    bool recv_launched = false;
+    bool delivered = false;
+    DeviceId recv_device = kInvalidDevice;
+    std::vector<TransferBlock> recv_blocks;
+  };
+
+  void RunProgram(bool backward);
+  // Returns false if the instruction is a CommWait that cannot complete yet.
+  bool TryExecute(DeviceId device, const Instruction& instr);
+  void ExecuteAttention(DeviceId device, const Instruction& instr);
+  void ExecuteReduction(DeviceId device, const Instruction& instr);
+  void ExecuteCopy(DeviceId device, const Instruction& instr);
+  void ExecuteCommLaunch(DeviceId device, const Instruction& instr);
+  bool TryCommWait(DeviceId device, const Instruction& instr);
+
+  const BatchPlan* plan_;
+  const std::vector<SequenceMask>* masks_;
+  std::vector<DeviceBuffers> buffers_;
+  std::unordered_map<int32_t, WireMessage> wire_;
+};
+
+}  // namespace dcp
+
+#endif  // DCP_RUNTIME_EXECUTOR_H_

@@ -1,0 +1,334 @@
+#include "runtime/instructions.h"
+
+#include <sstream>
+
+#include "common/check.h"
+
+namespace dcp {
+
+std::string BufKindName(BufKind kind) {
+  switch (kind) {
+    case BufKind::kQ:
+      return "Q";
+    case BufKind::kKV:
+      return "KV";
+    case BufKind::kO:
+      return "O";
+    case BufKind::kAcc:
+      return "Acc";
+    case BufKind::kDO:
+      return "dO";
+    case BufKind::kDQ:
+      return "dQ";
+    case BufKind::kDKV:
+      return "dKV";
+    case BufKind::kDelta:
+      return "Delta";
+    case BufKind::kNumKinds:
+      break;
+  }
+  return "?";
+}
+
+std::string InstrKindName(InstrKind kind) {
+  switch (kind) {
+    case InstrKind::kBlockwiseAttention:
+      return "BlockwiseAttention";
+    case InstrKind::kBlockwiseReduction:
+      return "BlockwiseReduction";
+    case InstrKind::kBlockwiseCopy:
+      return "BlockwiseCopy";
+    case InstrKind::kCommLaunch:
+      return "CommLaunch";
+    case InstrKind::kCommWait:
+      return "CommWait";
+  }
+  return "?";
+}
+
+std::string ReduceModeName(ReduceMode mode) {
+  switch (mode) {
+    case ReduceMode::kMergeSoftmax:
+      return "MergeSoftmax";
+    case ReduceMode::kFinalize:
+      return "Finalize";
+    case ReduceMode::kSum:
+      return "Sum";
+    case ReduceMode::kComputeDelta:
+      return "ComputeDelta";
+  }
+  return "?";
+}
+
+std::string PlanToString(const BatchPlan& plan, int max_instructions_per_device) {
+  std::ostringstream out;
+  out << "BatchPlan: " << plan.num_devices() << " devices, "
+      << plan.layout.num_sequences() << " sequences, block_size=" << plan.layout.block_size
+      << ", comm=" << plan.stats.total_comm_bytes / (1 << 20) << "MiB ("
+      << plan.stats.inter_node_comm_bytes / (1 << 20) << "MiB inter-node)\n";
+  for (int d = 0; d < plan.num_devices(); ++d) {
+    const DevicePlan& dev = plan.devices[static_cast<size_t>(d)];
+    out << "  device " << d << ": " << dev.local_chunks.size() << " local chunks, "
+        << dev.instructions.size() << " fw instrs, " << dev.backward_instructions.size()
+        << " bw instrs\n";
+    int shown = 0;
+    for (const Instruction& instr : dev.instructions) {
+      if (shown++ >= max_instructions_per_device) {
+        out << "    ...\n";
+        break;
+      }
+      out << "    " << InstrKindName(instr.kind);
+      switch (instr.kind) {
+        case InstrKind::kBlockwiseAttention:
+          out << " tiles=" << instr.attn_items.size() << " flops=" << instr.flops;
+          break;
+        case InstrKind::kBlockwiseReduction:
+          out << " items=" << instr.reduce_items.size();
+          break;
+        case InstrKind::kBlockwiseCopy:
+          out << " items=" << instr.copy_items.size();
+          break;
+        case InstrKind::kCommLaunch:
+          out << (instr.is_send ? " send" : " recv") << " id=" << instr.transfer_id
+              << " peer=" << instr.peer << " bytes=" << instr.comm_bytes;
+          break;
+        case InstrKind::kCommWait:
+          out << " id=" << instr.transfer_id;
+          break;
+      }
+      out << "\n";
+    }
+  }
+  return out.str();
+}
+
+namespace {
+
+void WriteRef(std::ostream& out, const BlockRef& ref) {
+  out << " " << static_cast<int>(ref.kind) << " " << ref.slot;
+}
+
+BlockRef ReadRef(std::istream& in) {
+  int kind = 0;
+  BlockRef ref;
+  in >> kind >> ref.slot;
+  DCP_CHECK(kind >= 0 && kind < kNumBufKinds);
+  ref.kind = static_cast<BufKind>(kind);
+  return ref;
+}
+
+void WriteInstruction(std::ostream& out, const Instruction& instr) {
+  out << "I " << static_cast<int>(instr.kind) << " " << (instr.backward ? 1 : 0) << " "
+      << instr.flops << " " << instr.comm_bytes << " " << instr.mem_bytes << " "
+      << instr.host_overhead << " " << instr.transfer_id << " " << instr.peer << " "
+      << (instr.is_send ? 1 : 0) << " " << instr.attn_items.size() << " "
+      << instr.reduce_items.size() << " " << instr.copy_items.size() << " "
+      << instr.blocks.size() << "\n";
+  for (const AttentionWorkItem& item : instr.attn_items) {
+    out << "A";
+    WriteRef(out, item.q);
+    WriteRef(out, item.kv);
+    WriteRef(out, item.acc);
+    out << " " << item.seq << " " << item.group << " " << item.q_begin << " " << item.q_end
+        << " " << item.kv_begin << " " << item.kv_end << " " << (item.full ? 1 : 0);
+    WriteRef(out, item.dout);
+    WriteRef(out, item.delta);
+    WriteRef(out, item.dq);
+    WriteRef(out, item.dkv);
+    out << "\n";
+  }
+  for (const ReduceItem& item : instr.reduce_items) {
+    out << "R " << static_cast<int>(item.mode);
+    WriteRef(out, item.dst);
+    WriteRef(out, item.src0);
+    WriteRef(out, item.src1);
+    out << " " << item.token_count << "\n";
+  }
+  for (const CopyItem& item : instr.copy_items) {
+    out << "C";
+    WriteRef(out, item.dst);
+    WriteRef(out, item.src);
+    out << " " << item.token_count << "\n";
+  }
+  for (const TransferBlock& block : instr.blocks) {
+    out << "T";
+    WriteRef(out, block.ref);
+    out << " " << block.bytes << " " << block.token_count << "\n";
+  }
+}
+
+Instruction ReadInstruction(std::istream& in) {
+  std::string tag;
+  in >> tag;
+  DCP_CHECK(tag == "I") << "expected instruction tag, got '" << tag << "'";
+  Instruction instr;
+  int kind = 0;
+  int backward = 0;
+  int is_send = 0;
+  size_t num_attn = 0;
+  size_t num_reduce = 0;
+  size_t num_copy = 0;
+  size_t num_blocks = 0;
+  in >> kind >> backward >> instr.flops >> instr.comm_bytes >> instr.mem_bytes >>
+      instr.host_overhead >> instr.transfer_id >> instr.peer >> is_send >> num_attn >>
+      num_reduce >> num_copy >> num_blocks;
+  instr.kind = static_cast<InstrKind>(kind);
+  instr.backward = backward != 0;
+  instr.is_send = is_send != 0;
+  instr.attn_items.resize(num_attn);
+  for (AttentionWorkItem& item : instr.attn_items) {
+    in >> tag;
+    DCP_CHECK(tag == "A");
+    item.q = ReadRef(in);
+    item.kv = ReadRef(in);
+    item.acc = ReadRef(in);
+    int full = 0;
+    in >> item.seq >> item.group >> item.q_begin >> item.q_end >> item.kv_begin >>
+        item.kv_end >> full;
+    item.full = full != 0;
+    item.dout = ReadRef(in);
+    item.delta = ReadRef(in);
+    item.dq = ReadRef(in);
+    item.dkv = ReadRef(in);
+  }
+  instr.reduce_items.resize(num_reduce);
+  for (ReduceItem& item : instr.reduce_items) {
+    int mode = 0;
+    in >> tag;
+    DCP_CHECK(tag == "R");
+    in >> mode;
+    item.mode = static_cast<ReduceMode>(mode);
+    item.dst = ReadRef(in);
+    item.src0 = ReadRef(in);
+    item.src1 = ReadRef(in);
+    in >> item.token_count;
+  }
+  instr.copy_items.resize(num_copy);
+  for (CopyItem& item : instr.copy_items) {
+    in >> tag;
+    DCP_CHECK(tag == "C");
+    item.dst = ReadRef(in);
+    item.src = ReadRef(in);
+    in >> item.token_count;
+  }
+  instr.blocks.resize(num_blocks);
+  for (TransferBlock& block : instr.blocks) {
+    in >> tag;
+    DCP_CHECK(tag == "T");
+    block.ref = ReadRef(in);
+    in >> block.bytes >> block.token_count;
+  }
+  return instr;
+}
+
+}  // namespace
+
+std::string SerializePlan(const BatchPlan& plan) {
+  std::ostringstream out;
+  out.precision(17);
+  const BatchLayout& layout = plan.layout;
+  out << "DCPPLAN 1\n";
+  out << "LAYOUT " << layout.block_size << " " << layout.num_groups << " "
+      << layout.heads_per_group << " " << layout.head_dim << " " << layout.bytes_per_element
+      << " " << layout.seqlens.size() << "\n";
+  out << "SEQLENS";
+  for (int64_t len : layout.seqlens) {
+    out << " " << len;
+  }
+  out << "\n";
+  out << "HOME " << plan.chunk_home.size();
+  for (DeviceId d : plan.chunk_home) {
+    out << " " << d;
+  }
+  out << "\n";
+  out << "STATS " << plan.stats.total_comm_bytes << " " << plan.stats.inter_node_comm_bytes
+      << " " << plan.stats.max_device_comm_bytes << " " << plan.stats.total_flops << " "
+      << plan.stats.max_device_flops << " " << plan.stats.planning_seconds << " "
+      << plan.stats.partition_cost << "\n";
+  out << "DEVICES " << plan.devices.size() << "\n";
+  for (const DevicePlan& dev : plan.devices) {
+    out << "DEVICE";
+    for (int32_t slots : dev.num_slots) {
+      out << " " << slots;
+    }
+    out << " " << dev.local_chunks.size() << " " << dev.instructions.size() << " "
+        << dev.backward_instructions.size() << "\n";
+    for (const LocalChunk& chunk : dev.local_chunks) {
+      out << "L " << chunk.seq << " " << chunk.chunk << " " << chunk.group << " "
+          << chunk.q_slot << " " << chunk.kv_slot << "\n";
+    }
+    for (const Instruction& instr : dev.instructions) {
+      WriteInstruction(out, instr);
+    }
+    for (const Instruction& instr : dev.backward_instructions) {
+      WriteInstruction(out, instr);
+    }
+  }
+  return out.str();
+}
+
+BatchPlan DeserializePlan(const std::string& text) {
+  std::istringstream in(text);
+  std::string tag;
+  int version = 0;
+  in >> tag >> version;
+  DCP_CHECK(tag == "DCPPLAN" && version == 1) << "bad plan header";
+  BatchPlan plan;
+  BatchLayout& layout = plan.layout;
+  size_t num_seqs = 0;
+  in >> tag;
+  DCP_CHECK(tag == "LAYOUT");
+  in >> layout.block_size >> layout.num_groups >> layout.heads_per_group >>
+      layout.head_dim >> layout.bytes_per_element >> num_seqs;
+  in >> tag;
+  DCP_CHECK(tag == "SEQLENS");
+  layout.seqlens.resize(num_seqs);
+  for (int64_t& len : layout.seqlens) {
+    in >> len;
+  }
+  size_t num_chunks = 0;
+  in >> tag >> num_chunks;
+  DCP_CHECK(tag == "HOME");
+  plan.chunk_home.resize(num_chunks);
+  for (DeviceId& d : plan.chunk_home) {
+    in >> d;
+  }
+  in >> tag;
+  DCP_CHECK(tag == "STATS");
+  in >> plan.stats.total_comm_bytes >> plan.stats.inter_node_comm_bytes >>
+      plan.stats.max_device_comm_bytes >> plan.stats.total_flops >>
+      plan.stats.max_device_flops >> plan.stats.planning_seconds >>
+      plan.stats.partition_cost;
+  size_t num_devices = 0;
+  in >> tag >> num_devices;
+  DCP_CHECK(tag == "DEVICES");
+  plan.devices.resize(num_devices);
+  for (DevicePlan& dev : plan.devices) {
+    in >> tag;
+    DCP_CHECK(tag == "DEVICE");
+    for (int32_t& slots : dev.num_slots) {
+      in >> slots;
+    }
+    size_t num_local = 0;
+    size_t num_fw = 0;
+    size_t num_bw = 0;
+    in >> num_local >> num_fw >> num_bw;
+    dev.local_chunks.resize(num_local);
+    for (LocalChunk& chunk : dev.local_chunks) {
+      in >> tag;
+      DCP_CHECK(tag == "L");
+      in >> chunk.seq >> chunk.chunk >> chunk.group >> chunk.q_slot >> chunk.kv_slot;
+    }
+    dev.instructions.reserve(num_fw);
+    for (size_t i = 0; i < num_fw; ++i) {
+      dev.instructions.push_back(ReadInstruction(in));
+    }
+    dev.backward_instructions.reserve(num_bw);
+    for (size_t i = 0; i < num_bw; ++i) {
+      dev.backward_instructions.push_back(ReadInstruction(in));
+    }
+  }
+  return plan;
+}
+
+}  // namespace dcp

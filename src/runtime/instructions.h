@@ -1,0 +1,180 @@
+// The DCP instruction set (paper §5): five instruction kinds operating on block buffers.
+// Execution plans built from these instructions are consumed by both the numeric executor
+// (real tensor math) and the discrete-event simulator (timing) — the same plan, two
+// backends.
+#ifndef DCP_RUNTIME_INSTRUCTIONS_H_
+#define DCP_RUNTIME_INSTRUCTIONS_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "runtime/layout.h"
+
+namespace dcp {
+
+// Buffer kinds a block reference can point into. Forward uses Q/KV/O/Acc; backward
+// additionally uses the gradient and stats buffers.
+enum class BufKind : uint8_t {
+  kQ = 0,     // Query blocks (local + received remote).
+  kKV,        // Key/value blocks (local + received remote).
+  kO,         // Final normalized outputs (local chunks only).
+  kAcc,       // Online-softmax accumulators: unnormalized O plus (m, l) stats.
+  kDO,        // Incoming output gradients.
+  kDQ,        // Query-gradient accumulators.
+  kDKV,       // Key/value-gradient accumulators.
+  kDelta,     // Per-(head, token) rowsum(dO * O), needed by the backward kernel.
+  kNumKinds,
+};
+inline constexpr int kNumBufKinds = static_cast<int>(BufKind::kNumKinds);
+std::string BufKindName(BufKind kind);
+
+struct BlockRef {
+  BufKind kind = BufKind::kQ;
+  int32_t slot = 0;
+
+  bool operator==(const BlockRef&) const = default;
+};
+
+enum class InstrKind : uint8_t {
+  kBlockwiseAttention = 0,
+  kBlockwiseReduction,
+  kBlockwiseCopy,
+  kCommLaunch,
+  kCommWait,
+};
+std::string InstrKindName(InstrKind kind);
+
+// One attention tile: Q block x KV block -> accumulator, with the mask evaluated through
+// the sequence's range pairs. `backward` items additionally read dO/delta and accumulate
+// into dQ/dKV accumulators.
+struct AttentionWorkItem {
+  BlockRef q;
+  BlockRef kv;
+  BlockRef acc;  // Forward: kAcc accumulator of the q chunk (on this device).
+  SeqId seq = 0;
+  GroupId group = 0;
+  int64_t q_begin = 0;  // Token ranges in sequence coordinates.
+  int64_t q_end = 0;
+  int64_t kv_begin = 0;
+  int64_t kv_end = 0;
+  bool full = false;  // Dense tile: kernel may skip mask checks.
+
+  // Backward-only operands (unused when the instruction's `backward` flag is false).
+  BlockRef dout;   // kDO block of the q chunk.
+  BlockRef delta;  // kDelta block of the q chunk.
+  BlockRef dq;     // kDQ accumulator of the q chunk.
+  BlockRef dkv;    // kDKV accumulator of the kv chunk.
+};
+
+enum class ReduceMode : uint8_t {
+  kMergeSoftmax = 0,  // Merge a partial (U, m, l) accumulator into another.
+  kFinalize,          // O = U / l from an accumulator into a kO block.
+  kSum,               // Elementwise sum (gradient partials).
+  kComputeDelta,      // delta = rowsum(dO * O) for one chunk.
+};
+std::string ReduceModeName(ReduceMode mode);
+
+struct ReduceItem {
+  ReduceMode mode = ReduceMode::kMergeSoftmax;
+  BlockRef dst;
+  BlockRef src0;
+  BlockRef src1;          // kComputeDelta uses src0=dO, src1=O.
+  int64_t token_count = 0;  // Valid tokens in the (possibly ragged) chunk.
+};
+
+struct CopyItem {
+  BlockRef dst;
+  BlockRef src;
+  int64_t token_count = 0;
+};
+
+struct TransferBlock {
+  BlockRef ref;
+  Bytes bytes = 0;          // Wire size (training dtype).
+  int64_t token_count = 0;  // Valid tokens, for numeric payload sizing.
+};
+
+struct Instruction {
+  InstrKind kind = InstrKind::kBlockwiseAttention;
+
+  // kBlockwiseAttention.
+  std::vector<AttentionWorkItem> attn_items;
+  bool backward = false;
+
+  // kBlockwiseReduction.
+  std::vector<ReduceItem> reduce_items;
+
+  // kBlockwiseCopy.
+  std::vector<CopyItem> copy_items;
+
+  // kCommLaunch / kCommWait. A transfer is a matched (send, recv) CommLaunch pair sharing
+  // `transfer_id`; CommWait blocks on that id.
+  int32_t transfer_id = -1;
+  DeviceId peer = kInvalidDevice;
+  bool is_send = false;
+  std::vector<TransferBlock> blocks;
+
+  // Cost annotations for the simulator (numeric executor ignores them).
+  Flops flops = 0.0;
+  Bytes comm_bytes = 0;
+  Bytes mem_bytes = 0;  // HBM traffic of reductions/copies (memory-bound ops).
+  // Extra fixed host-side cost in seconds (e.g. TransformerEngine's per-step varlen
+  // argument construction); added to the launch overhead by the simulator.
+  double host_overhead = 0.0;
+};
+
+// Where a locally-owned data chunk lives in the device buffers, and which tokens it holds.
+// Used to scatter model inputs into buffers and gather outputs back.
+struct LocalChunk {
+  SeqId seq = 0;
+  ChunkId chunk = 0;
+  GroupId group = 0;
+  int32_t q_slot = 0;    // kQ (and same slot index in kO / kDQ / kDO / kDelta / kAcc).
+  int32_t kv_slot = 0;   // kKV (and kDKV).
+};
+
+struct DevicePlan {
+  std::vector<Instruction> instructions;
+  std::vector<Instruction> backward_instructions;
+  std::array<int32_t, kNumBufKinds> num_slots = {};
+  std::vector<LocalChunk> local_chunks;
+};
+
+// Summary statistics the planner computes for a plan (used by benches and tests).
+struct PlanStats {
+  Bytes total_comm_bytes = 0;       // Forward, sum over transfers.
+  Bytes inter_node_comm_bytes = 0;  // Forward, transfers crossing node boundaries.
+  Bytes max_device_comm_bytes = 0;  // Max per-device send+recv volume (forward).
+  Flops total_flops = 0.0;
+  Flops max_device_flops = 0.0;
+  // Memory balance (paper: data-block balance implies activation-memory balance): bytes of
+  // locally-owned data blocks per device, max and min across devices.
+  Bytes max_device_owned_bytes = 0;
+  Bytes min_device_owned_bytes = 0;
+  double planning_seconds = 0.0;
+  double partition_cost = 0.0;  // Connectivity objective value at device level.
+};
+
+struct BatchPlan {
+  BatchLayout layout;
+  std::vector<DevicePlan> devices;
+  std::vector<DeviceId> chunk_home;  // Per global chunk id: owning device.
+  PlanStats stats;
+
+  int num_devices() const { return static_cast<int>(devices.size()); }
+};
+
+// Human-readable dump (debugging aid, also exercised in tests).
+std::string PlanToString(const BatchPlan& plan, int max_instructions_per_device = 16);
+
+// Compact line-based serialization round-trip (paper §3.1: plans are serialized by the
+// planner and shipped to devices).
+std::string SerializePlan(const BatchPlan& plan);
+BatchPlan DeserializePlan(const std::string& text);
+
+}  // namespace dcp
+
+#endif  // DCP_RUNTIME_INSTRUCTIONS_H_

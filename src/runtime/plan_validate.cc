@@ -1,0 +1,184 @@
+#include "runtime/plan_validate.h"
+
+#include <map>
+#include <set>
+#include <sstream>
+#include <tuple>
+
+namespace dcp {
+
+std::string PlanValidation::Summary() const {
+  if (ok) {
+    return "plan valid";
+  }
+  std::ostringstream out;
+  out << errors.size() << " error(s):";
+  for (const std::string& error : errors) {
+    out << "\n  " << error;
+  }
+  return out.str();
+}
+
+namespace {
+
+struct TransferEnds {
+  int sends = 0;
+  int recvs = 0;
+  size_t send_blocks = 0;
+  size_t recv_blocks = 0;
+  Bytes send_bytes = 0;
+  Bytes recv_bytes = 0;
+  DeviceId send_device = kInvalidDevice;
+  DeviceId recv_device = kInvalidDevice;
+  DeviceId send_peer = kInvalidDevice;
+  DeviceId recv_peer = kInvalidDevice;
+  int waits = 0;
+};
+
+}  // namespace
+
+PlanValidation ValidatePlan(const BatchPlan& plan) {
+  PlanValidation result;
+  const BatchLayout& layout = plan.layout;
+
+  // Chunk homes.
+  size_t expected_chunks = 0;
+  for (SeqId s = 0; s < layout.num_sequences(); ++s) {
+    expected_chunks += static_cast<size_t>(layout.NumChunks(s));
+  }
+  if (plan.chunk_home.size() != expected_chunks) {
+    result.Fail("chunk_home size " + std::to_string(plan.chunk_home.size()) +
+                " != expected " + std::to_string(expected_chunks));
+  }
+  for (DeviceId home : plan.chunk_home) {
+    if (home < 0 || home >= plan.num_devices()) {
+      result.Fail("chunk home device " + std::to_string(home) + " out of range");
+      break;
+    }
+  }
+
+  // Local chunks partition the batch (per group).
+  std::set<std::tuple<SeqId, ChunkId, GroupId>> owned;
+  for (const DevicePlan& dev : plan.devices) {
+    for (const LocalChunk& chunk : dev.local_chunks) {
+      if (!owned.insert({chunk.seq, chunk.chunk, chunk.group}).second) {
+        result.Fail("chunk (" + std::to_string(chunk.seq) + "," +
+                    std::to_string(chunk.chunk) + "," + std::to_string(chunk.group) +
+                    ") owned by multiple devices");
+      }
+    }
+  }
+  if (owned.size() != expected_chunks * static_cast<size_t>(layout.num_groups)) {
+    result.Fail("local chunks cover " + std::to_string(owned.size()) + " of " +
+                std::to_string(expected_chunks * static_cast<size_t>(layout.num_groups)) +
+                " (chunk, group) pairs");
+  }
+
+  // Instruction-level checks.
+  std::map<int32_t, TransferEnds> transfers;
+  std::set<std::tuple<SeqId, GroupId, int64_t, int64_t>> forward_tiles;
+  for (int d = 0; d < plan.num_devices(); ++d) {
+    const DevicePlan& dev = plan.devices[static_cast<size_t>(d)];
+    auto check_ref = [&](const BlockRef& ref, const char* where) {
+      if (ref.slot < 0 || ref.slot >= dev.num_slots[static_cast<size_t>(ref.kind)]) {
+        result.Fail(std::string(where) + ": " + BufKindName(ref.kind) + " slot " +
+                    std::to_string(ref.slot) + " out of [0, " +
+                    std::to_string(dev.num_slots[static_cast<size_t>(ref.kind)]) +
+                    ") on device " + std::to_string(d));
+      }
+    };
+    bool forward_stream = true;
+    for (const auto* stream : {&dev.instructions, &dev.backward_instructions}) {
+      for (const Instruction& instr : *stream) {
+        switch (instr.kind) {
+          case InstrKind::kBlockwiseAttention:
+            for (const AttentionWorkItem& item : instr.attn_items) {
+              check_ref(item.q, "attention q");
+              check_ref(item.kv, "attention kv");
+              check_ref(item.acc, "attention acc");
+              if (instr.backward) {
+                check_ref(item.dout, "attention dout");
+                check_ref(item.delta, "attention delta");
+                check_ref(item.dq, "attention dq");
+                check_ref(item.dkv, "attention dkv");
+              }
+              if (forward_stream && !instr.backward) {
+                if (!forward_tiles
+                         .insert({item.seq, item.group, item.q_begin, item.kv_begin})
+                         .second) {
+                  result.Fail("tile (seq " + std::to_string(item.seq) + ", group " +
+                              std::to_string(item.group) + ", q " +
+                              std::to_string(item.q_begin) + ", kv " +
+                              std::to_string(item.kv_begin) + ") computed twice");
+                }
+              }
+            }
+            break;
+          case InstrKind::kBlockwiseReduction:
+            for (const ReduceItem& item : instr.reduce_items) {
+              check_ref(item.dst, "reduce dst");
+              check_ref(item.src0, "reduce src0");
+              if (item.mode == ReduceMode::kComputeDelta) {
+                check_ref(item.src1, "reduce src1");
+              }
+            }
+            break;
+          case InstrKind::kBlockwiseCopy:
+            for (const CopyItem& item : instr.copy_items) {
+              check_ref(item.dst, "copy dst");
+              check_ref(item.src, "copy src");
+            }
+            break;
+          case InstrKind::kCommLaunch: {
+            TransferEnds& ends = transfers[instr.transfer_id];
+            for (const TransferBlock& block : instr.blocks) {
+              check_ref(block.ref, instr.is_send ? "send block" : "recv block");
+            }
+            if (instr.is_send) {
+              ++ends.sends;
+              ends.send_blocks += instr.blocks.size();
+              ends.send_bytes = instr.comm_bytes;
+              ends.send_device = d;
+              ends.send_peer = instr.peer;
+            } else {
+              ++ends.recvs;
+              ends.recv_blocks += instr.blocks.size();
+              ends.recv_bytes = instr.comm_bytes;
+              ends.recv_device = d;
+              ends.recv_peer = instr.peer;
+            }
+            break;
+          }
+          case InstrKind::kCommWait:
+            ++transfers[instr.transfer_id].waits;
+            break;
+        }
+      }
+      forward_stream = false;
+    }
+  }
+
+  for (const auto& [id, ends] : transfers) {
+    const std::string tag = "transfer " + std::to_string(id);
+    if (ends.sends != 1 || ends.recvs != 1) {
+      result.Fail(tag + ": " + std::to_string(ends.sends) + " sends, " +
+                  std::to_string(ends.recvs) + " recvs (want 1/1)");
+      continue;
+    }
+    if (ends.send_blocks != ends.recv_blocks) {
+      result.Fail(tag + ": block count mismatch");
+    }
+    if (ends.send_bytes != ends.recv_bytes) {
+      result.Fail(tag + ": byte annotation mismatch");
+    }
+    if (ends.send_peer != ends.recv_device || ends.recv_peer != ends.send_device) {
+      result.Fail(tag + ": peer fields inconsistent");
+    }
+    if (ends.waits == 0) {
+      result.Fail(tag + ": never waited on");
+    }
+  }
+  return result;
+}
+
+}  // namespace dcp

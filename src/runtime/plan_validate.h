@@ -1,0 +1,36 @@
+// Static plan validation: structural checks a BatchPlan must pass before execution.
+// Used by tests, by the planner in debug builds, and available to downstream users who
+// construct or deserialize plans from external sources.
+#ifndef DCP_RUNTIME_PLAN_VALIDATE_H_
+#define DCP_RUNTIME_PLAN_VALIDATE_H_
+
+#include <string>
+#include <vector>
+
+#include "runtime/instructions.h"
+
+namespace dcp {
+
+struct PlanValidation {
+  bool ok = true;
+  std::vector<std::string> errors;
+
+  void Fail(std::string message) {
+    ok = false;
+    errors.push_back(std::move(message));
+  }
+  std::string Summary() const;
+};
+
+// Checks, across all devices and both instruction streams:
+//  - every BlockRef is within its buffer's slot count;
+//  - every transfer id has exactly one send and one recv launch, with matching block
+//    counts, byte totals and consistent peer fields;
+//  - every CommWait refers to a transfer that is launched somewhere;
+//  - every chunk home is a valid device and local chunks partition the batch exactly;
+//  - forward attention tiles are unique across the cluster (each computed exactly once).
+PlanValidation ValidatePlan(const BatchPlan& plan);
+
+}  // namespace dcp
+
+#endif  // DCP_RUNTIME_PLAN_VALIDATE_H_

@@ -1,0 +1,43 @@
+// Single-device O(L^2) masked attention with exact softmax, plus its analytic backward.
+// This is the correctness oracle for the DCP executor and every baseline, and the "MLM
+// baseline" attention engine of the loss-parity experiment (paper Fig. 21).
+#ifndef DCP_RUNTIME_REFERENCE_ATTENTION_H_
+#define DCP_RUNTIME_REFERENCE_ATTENTION_H_
+
+#include <vector>
+
+#include "common/tensor.h"
+#include "masks/mask.h"
+
+namespace dcp {
+
+// One sequence's attention operands. GQA layout: q is [H, L, D]; k and v are [G, L, D]
+// with H = G * heads_per_group; query head h reads KV group h / heads_per_group.
+struct SeqTensors {
+  Tensor q;
+  Tensor k;
+  Tensor v;
+
+  int64_t num_heads() const { return q.dim(0); }
+  int64_t num_groups() const { return k.dim(0); }
+  int64_t length() const { return q.dim(1); }
+  int64_t head_dim() const { return q.dim(2); }
+
+  static SeqTensors Random(int heads, int groups, int64_t length, int head_dim, Rng& rng);
+};
+
+// Returns O with shape [H, L, D].
+Tensor ReferenceAttentionForward(const SeqTensors& inputs, const SequenceMask& mask);
+
+struct SeqGrads {
+  Tensor dq;  // [H, L, D]
+  Tensor dk;  // [G, L, D]
+  Tensor dv;  // [G, L, D]
+};
+
+SeqGrads ReferenceAttentionBackward(const SeqTensors& inputs, const SequenceMask& mask,
+                                    const Tensor& out, const Tensor& dout);
+
+}  // namespace dcp
+
+#endif  // DCP_RUNTIME_REFERENCE_ATTENTION_H_

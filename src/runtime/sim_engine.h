@@ -1,0 +1,52 @@
+// Discrete-event simulator: prices a BatchPlan on the cluster cost model. Devices execute
+// their instruction streams in order; transfers start once both endpoints have posted their
+// CommLaunch and the channel is free (intra-node transfers contend per device pair, inter-
+// node transfers serialize on the source node's NIC). CommWait stalls are the *exposed*
+// (non-overlapped) communication the paper's figures decompose.
+#ifndef DCP_RUNTIME_SIM_ENGINE_H_
+#define DCP_RUNTIME_SIM_ENGINE_H_
+
+#include <vector>
+
+#include "runtime/cost_model.h"
+#include "runtime/instructions.h"
+
+namespace dcp {
+
+struct DeviceTimeBreakdown {
+  double attention = 0.0;     // Attention kernel busy time.
+  double reduction = 0.0;     // Reduction kernel busy time.
+  double copy = 0.0;          // Copy kernel busy time.
+  double overhead = 0.0;      // Kernel-launch / comm-post fixed overheads.
+  double comm_exposed = 0.0;  // Stall time at CommWait (non-overlapped communication).
+  double comm_busy = 0.0;     // Total wire time of transfers received by this device.
+  double end_time = 0.0;
+};
+
+struct SimResult {
+  double makespan = 0.0;
+  std::vector<DeviceTimeBreakdown> devices;
+
+  // Aggregates used by the figure benches.
+  double MeanExposedComm() const;
+  double MeanOverlappedComm() const;  // comm_busy - comm_exposed, clamped at 0, averaged.
+  double MeanAttentionCompute() const;
+  double MaxComputeBusy() const;
+};
+
+class SimEngine {
+ public:
+  explicit SimEngine(const CostModel& cost) : cost_(cost) {}
+
+  // Simulates the forward (or backward) instruction streams of `plan`.
+  SimResult Simulate(const BatchPlan& plan, bool backward) const;
+  // Convenience: forward + backward makespans summed, with breakdowns merged.
+  SimResult SimulateFwBw(const BatchPlan& plan) const;
+
+ private:
+  CostModel cost_;
+};
+
+}  // namespace dcp
+
+#endif  // DCP_RUNTIME_SIM_ENGINE_H_

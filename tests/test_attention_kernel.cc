@@ -1,0 +1,245 @@
+#include "runtime/attention_kernel.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "runtime/reference_attention.h"
+
+namespace dcp {
+namespace {
+
+constexpr int kHeads = 2;
+constexpr int kDim = 8;
+
+// Builds a single-chunk tile setup where the whole sequence fits one block, so one forward
+// tile + finalize must equal the reference attention.
+class SingleTileTest : public ::testing::TestWithParam<MaskKind> {};
+
+TEST_P(SingleTileTest, OneTileMatchesReference) {
+  const int64_t len = 24;
+  Rng rng(101);
+  SeqTensors inputs = SeqTensors::Random(kHeads, 1, len, kDim, rng);
+  MaskSpec spec = MaskSpec::ForKind(GetParam());
+  spec.sink_tokens = 3;
+  spec.window_tokens = 6;
+  spec.icl_block_tokens = 4;
+  SequenceMask mask = SequenceMask::Build(spec, MakeSequenceInfo(spec, len));
+
+  // Pack q/kv in slot layout: q [heads, bs, d], kv [2, bs, d], bs == len.
+  std::vector<float> q(static_cast<size_t>(kHeads * len * kDim));
+  std::vector<float> kv(static_cast<size_t>(2 * len * kDim));
+  for (int h = 0; h < kHeads; ++h) {
+    for (int64_t t = 0; t < len; ++t) {
+      for (int c = 0; c < kDim; ++c) {
+        q[static_cast<size_t>((h * len + t) * kDim + c)] = inputs.q.at({h, t, c});
+      }
+    }
+  }
+  for (int64_t t = 0; t < len; ++t) {
+    for (int c = 0; c < kDim; ++c) {
+      kv[static_cast<size_t>((0 * len + t) * kDim + c)] = inputs.k.at({0, t, c});
+      kv[static_cast<size_t>((1 * len + t) * kDim + c)] = inputs.v.at({0, t, c});
+    }
+  }
+  std::vector<float> acc(static_cast<size_t>(kHeads * len * kDim + 2 * kHeads * len), 0.0f);
+  // Initialize m to -inf.
+  for (int64_t i = kHeads * len * kDim; i < kHeads * len * kDim + kHeads * len; ++i) {
+    acc[static_cast<size_t>(i)] = -std::numeric_limits<float>::infinity();
+  }
+
+  TileArgs args;
+  args.heads = kHeads;
+  args.block_size = len;
+  args.head_dim = kDim;
+  args.q_begin = 0;
+  args.q_end = len;
+  args.kv_begin = 0;
+  args.kv_end = len;
+  args.full = false;
+  AttentionTileForward(mask, args, q, kv, acc);
+
+  std::vector<float> out(static_cast<size_t>(kHeads * len * kDim), 0.0f);
+  FinalizeOutput(acc, out, kHeads, len, kDim, len);
+
+  Tensor reference = ReferenceAttentionForward(inputs, mask);
+  for (int h = 0; h < kHeads; ++h) {
+    for (int64_t t = 0; t < len; ++t) {
+      for (int c = 0; c < kDim; ++c) {
+        EXPECT_NEAR(out[static_cast<size_t>((h * len + t) * kDim + c)],
+                    reference.at({h, t, c}), 2e-5f)
+            << "h=" << h << " t=" << t << " c=" << c;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMasks, SingleTileTest,
+                         ::testing::Values(MaskKind::kCausal, MaskKind::kLambda,
+                                           MaskKind::kCausalBlockwise,
+                                           MaskKind::kSharedQuestion),
+                         [](const ::testing::TestParamInfo<MaskKind>& info) {
+                           return MaskKindName(info.param);
+                         });
+
+TEST(AttentionKernel, SplitKvTilesMergeToSameResultAsOneTile) {
+  const int64_t len = 32;
+  Rng rng(55);
+  SeqTensors inputs = SeqTensors::Random(1, 1, len, kDim, rng);
+  MaskSpec spec = MaskSpec::Causal();
+  SequenceMask mask = SequenceMask::Build(spec, MakeSequenceInfo(spec, len));
+
+  auto pack_kv = [&](int64_t kb, int64_t ke, int64_t bs) {
+    std::vector<float> kv(static_cast<size_t>(2 * bs * kDim), 0.0f);
+    for (int64_t t = kb; t < ke; ++t) {
+      for (int c = 0; c < kDim; ++c) {
+        kv[static_cast<size_t>((t - kb) * kDim + c)] = inputs.k.at({0, t, c});
+        kv[static_cast<size_t>((bs + (t - kb)) * kDim + c)] = inputs.v.at({0, t, c});
+      }
+    }
+    return kv;
+  };
+  std::vector<float> q(static_cast<size_t>(len * kDim));
+  for (int64_t t = 0; t < len; ++t) {
+    for (int c = 0; c < kDim; ++c) {
+      q[static_cast<size_t>(t * kDim + c)] = inputs.q.at({0, t, c});
+    }
+  }
+
+  auto make_acc = [&]() {
+    std::vector<float> acc(static_cast<size_t>(len * kDim + 2 * len), 0.0f);
+    for (int64_t i = len * kDim; i < len * kDim + len; ++i) {
+      acc[static_cast<size_t>(i)] = -std::numeric_limits<float>::infinity();
+    }
+    return acc;
+  };
+
+  // Path A: one tile over all KV.
+  auto acc_a = make_acc();
+  TileArgs args{1, len, kDim, 0, len, 0, len, false};
+  AttentionTileForward(mask, args, q, pack_kv(0, len, len), acc_a);
+
+  // Path B: two half tiles into two accumulators merged afterwards (simulating partials
+  // computed on different devices).
+  auto acc_b0 = make_acc();
+  auto acc_b1 = make_acc();
+  TileArgs args0{1, len, kDim, 0, len, 0, len / 2, false};
+  TileArgs args1{1, len, kDim, 0, len, len / 2, len, false};
+  AttentionTileForward(mask, args0, q, pack_kv(0, len / 2, len), acc_b0);
+  AttentionTileForward(mask, args1, q, pack_kv(len / 2, len, len), acc_b1);
+  MergeSoftmaxAccumulators(acc_b0, acc_b1, 1, len, kDim, len);
+
+  std::vector<float> out_a(static_cast<size_t>(len * kDim));
+  std::vector<float> out_b(static_cast<size_t>(len * kDim));
+  FinalizeOutput(acc_a, out_a, 1, len, kDim, len);
+  FinalizeOutput(acc_b0, out_b, 1, len, kDim, len);
+  for (size_t i = 0; i < out_a.size(); ++i) {
+    EXPECT_NEAR(out_a[i], out_b[i], 3e-6f);
+  }
+}
+
+TEST(AttentionKernel, MergeIsCommutative) {
+  const int64_t len = 8;
+  Rng rng(77);
+  auto random_acc = [&]() {
+    std::vector<float> acc(static_cast<size_t>(len * kDim + 2 * len));
+    for (int64_t i = 0; i < len * kDim; ++i) {
+      acc[static_cast<size_t>(i)] = static_cast<float>(rng.NextUniform(-1, 1));
+    }
+    for (int64_t i = len * kDim; i < len * kDim + len; ++i) {
+      acc[static_cast<size_t>(i)] = static_cast<float>(rng.NextUniform(-2, 2));  // m
+    }
+    for (int64_t i = len * kDim + len; i < len * kDim + 2 * len; ++i) {
+      acc[static_cast<size_t>(i)] = static_cast<float>(rng.NextUniform(0.1, 3));  // l
+    }
+    return acc;
+  };
+  auto a = random_acc();
+  auto b = random_acc();
+  auto ab = a;
+  MergeSoftmaxAccumulators(ab, b, 1, len, kDim, len);
+  auto ba = b;
+  MergeSoftmaxAccumulators(ba, a, 1, len, kDim, len);
+  std::vector<float> out_ab(static_cast<size_t>(len * kDim));
+  std::vector<float> out_ba(static_cast<size_t>(len * kDim));
+  FinalizeOutput(ab, out_ab, 1, len, kDim, len);
+  FinalizeOutput(ba, out_ba, 1, len, kDim, len);
+  for (size_t i = 0; i < out_ab.size(); ++i) {
+    EXPECT_NEAR(out_ab[i], out_ba[i], 1e-5f);
+  }
+}
+
+TEST(AttentionKernel, ComputeDeltaMatchesManualRowSum) {
+  const int64_t len = 5;
+  Rng rng(31);
+  std::vector<float> dout(static_cast<size_t>(kHeads * len * kDim));
+  std::vector<float> out(static_cast<size_t>(kHeads * len * kDim));
+  for (auto* vec : {&dout, &out}) {
+    for (float& v : *vec) {
+      v = static_cast<float>(rng.NextUniform(-1, 1));
+    }
+  }
+  std::vector<float> delta(static_cast<size_t>(kHeads * len), 0.0f);
+  ComputeDelta(dout, out, delta, kHeads, len, kDim, len);
+  for (int h = 0; h < kHeads; ++h) {
+    for (int64_t t = 0; t < len; ++t) {
+      float expect = 0.0f;
+      for (int c = 0; c < kDim; ++c) {
+        expect += dout[static_cast<size_t>((h * len + t) * kDim + c)] *
+                  out[static_cast<size_t>((h * len + t) * kDim + c)];
+      }
+      EXPECT_FLOAT_EQ(delta[static_cast<size_t>(h * len + t)], expect);
+    }
+  }
+}
+
+TEST(AttentionKernel, BackwardTileMatchesReferenceGradients) {
+  const int64_t len = 16;
+  Rng rng(202);
+  SeqTensors inputs = SeqTensors::Random(1, 1, len, kDim, rng);
+  MaskSpec spec = MaskSpec::Causal();
+  SequenceMask mask = SequenceMask::Build(spec, MakeSequenceInfo(spec, len));
+
+  std::vector<float> q(static_cast<size_t>(len * kDim));
+  std::vector<float> kv(static_cast<size_t>(2 * len * kDim));
+  for (int64_t t = 0; t < len; ++t) {
+    for (int c = 0; c < kDim; ++c) {
+      q[static_cast<size_t>(t * kDim + c)] = inputs.q.at({0, t, c});
+      kv[static_cast<size_t>(t * kDim + c)] = inputs.k.at({0, t, c});
+      kv[static_cast<size_t>((len + t) * kDim + c)] = inputs.v.at({0, t, c});
+    }
+  }
+  std::vector<float> acc(static_cast<size_t>(len * kDim + 2 * len), 0.0f);
+  for (int64_t i = len * kDim; i < len * kDim + len; ++i) {
+    acc[static_cast<size_t>(i)] = -std::numeric_limits<float>::infinity();
+  }
+  TileArgs args{1, len, kDim, 0, len, 0, len, false};
+  AttentionTileForward(mask, args, q, kv, acc);
+  std::vector<float> out(static_cast<size_t>(len * kDim));
+  FinalizeOutput(acc, out, 1, len, kDim, len);
+
+  Tensor dout_tensor = Tensor::Random({1, len, kDim}, rng);
+  std::vector<float> dout(dout_tensor.data(), dout_tensor.data() + dout_tensor.numel());
+  std::vector<float> delta(static_cast<size_t>(len), 0.0f);
+  ComputeDelta(dout, out, delta, 1, len, kDim, len);
+
+  std::vector<float> dq(static_cast<size_t>(len * kDim), 0.0f);
+  std::vector<float> dkv(static_cast<size_t>(2 * len * kDim), 0.0f);
+  AttentionTileBackward(mask, args, q, kv, acc, dout, delta, dq, dkv);
+
+  Tensor out_t = ReferenceAttentionForward(inputs, mask);
+  SeqGrads reference = ReferenceAttentionBackward(inputs, mask, out_t, dout_tensor);
+  for (int64_t t = 0; t < len; ++t) {
+    for (int c = 0; c < kDim; ++c) {
+      EXPECT_NEAR(dq[static_cast<size_t>(t * kDim + c)], reference.dq.at({0, t, c}), 1e-4f);
+      EXPECT_NEAR(dkv[static_cast<size_t>(t * kDim + c)], reference.dk.at({0, t, c}), 1e-4f);
+      EXPECT_NEAR(dkv[static_cast<size_t>((len + t) * kDim + c)],
+                  reference.dv.at({0, t, c}), 1e-4f);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dcp

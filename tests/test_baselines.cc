@@ -1,0 +1,133 @@
+#include "baselines/static_planner.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "runtime/executor.h"
+#include "runtime/reference_attention.h"
+#include "runtime/sim_engine.h"
+
+namespace dcp {
+namespace {
+
+PlannerOptions SmallOptions() {
+  PlannerOptions options;
+  options.block_size = 8;
+  options.num_groups = 2;
+  options.heads_per_group = 2;
+  options.head_dim = 8;
+  return options;
+}
+
+// Baselines are numerically exact too: they compile to the same ISA and run on the same
+// executor, so their outputs must match the reference attention (on their padded lengths).
+class BaselineCorrectness : public ::testing::TestWithParam<BaselineKind> {};
+
+TEST_P(BaselineCorrectness, ForwardMatchesReference) {
+  ClusterSpec cluster;
+  cluster.num_nodes = 2;
+  cluster.devices_per_node = 2;
+  const std::vector<int64_t> seqlens = {64, 40, 25};
+  const PlannerOptions options = SmallOptions();
+  BaselineResult baseline = PlanBaseline(GetParam(), seqlens, MaskSpec::Causal(), cluster,
+                                         options);
+
+  Rng rng(99);
+  std::vector<SeqTensors> inputs;
+  for (int64_t len : baseline.planned_seqlens) {
+    inputs.push_back(SeqTensors::Random(4, 2, len, options.head_dim, rng));
+  }
+  NumericExecutor executor(&baseline.plan, &baseline.masks);
+  executor.LoadInputs(inputs);
+  executor.RunForward();
+  std::vector<Tensor> outputs = executor.GatherOutputs();
+  for (size_t s = 0; s < inputs.size(); ++s) {
+    Tensor reference = ReferenceAttentionForward(inputs[s], baseline.masks[s]);
+    EXPECT_LT(Tensor::MaxAbsDiff(outputs[s], reference), 1e-4f)
+        << BaselineKindName(GetParam()) << " sequence " << s;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBaselines, BaselineCorrectness,
+                         ::testing::ValuesIn(AllBaselineKinds()),
+                         [](const ::testing::TestParamInfo<BaselineKind>& info) {
+                           std::string name = BaselineKindName(info.param);
+                           for (char& c : name) {
+                             if (!isalnum(static_cast<unsigned char>(c))) {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+TEST(Baselines, LoongTrainPadsToMax) {
+  ClusterSpec cluster;
+  cluster.num_nodes = 1;
+  cluster.devices_per_node = 4;
+  BaselineResult lt = PlanBaseline(BaselineKind::kLoongTrain, {64, 16, 32},
+                                   MaskSpec::Causal(), cluster, SmallOptions());
+  EXPECT_EQ(lt.planned_seqlens, (std::vector<int64_t>{64, 64, 64}));
+  BaselineResult te = PlanBaseline(BaselineKind::kTransformerEngine, {64, 16, 32},
+                                   MaskSpec::Causal(), cluster, SmallOptions());
+  EXPECT_EQ(te.planned_seqlens, (std::vector<int64_t>{64, 16, 32}));
+}
+
+TEST(Baselines, RfaCommunicatesMoreThanHeadParallelBaselines) {
+  // RFA exchanges all KV groups each step; TE splits heads 2-way, halving KV traffic.
+  ClusterSpec cluster = ClusterSpec::MicroBenchTestbed();
+  PlannerOptions options;
+  options.block_size = 2048;
+  const std::vector<int64_t> seqlens = {65536, 32768, 32768};
+  BaselineResult rfa = PlanBaseline(BaselineKind::kRfaZigZag, seqlens, MaskSpec::Causal(),
+                                    cluster, options);
+  BaselineResult te = PlanBaseline(BaselineKind::kTransformerEngine, seqlens,
+                                   MaskSpec::Causal(), cluster, options);
+  EXPECT_GT(rfa.plan.stats.total_comm_bytes, te.plan.stats.total_comm_bytes);
+}
+
+TEST(Baselines, DcpCommunicatesLessThanTeOnShortSequenceBatches) {
+  // Batches of short sequences: DCP places whole sequences per device (DP-like), static CP
+  // still rotates KV — the core claim of the paper's Fig. 5/13.
+  ClusterSpec cluster = ClusterSpec::MicroBenchTestbed();
+  PlannerOptions options;
+  options.block_size = 1024;
+  std::vector<int64_t> seqlens(32, 4096);  // 32 short sequences.
+  std::vector<SequenceMask> masks = BuildBatchMasks(MaskSpec::Causal(), seqlens);
+  BatchPlan dcp = PlanBatch(seqlens, masks, cluster, options);
+  BaselineResult te = PlanBaseline(BaselineKind::kTransformerEngine, seqlens,
+                                   MaskSpec::Causal(), cluster, options);
+  EXPECT_LT(dcp.stats.total_comm_bytes, te.plan.stats.total_comm_bytes / 4);
+}
+
+TEST(Baselines, SimulatedTimesAreFiniteAndOrdered) {
+  ClusterSpec cluster = ClusterSpec::MicroBenchTestbed();
+  PlannerOptions options;
+  options.block_size = 2048;
+  const std::vector<int64_t> seqlens = {65536, 16384, 16384, 8192, 8192, 8192, 8192};
+  SimEngine sim{CostModel(cluster)};
+  for (BaselineKind kind : AllBaselineKinds()) {
+    BaselineResult baseline =
+        PlanBaseline(kind, seqlens, MaskSpec::Causal(), cluster, options);
+    SimResult result = sim.Simulate(baseline.plan, false);
+    EXPECT_GT(result.makespan, 0.0) << BaselineKindName(kind);
+    EXPECT_LT(result.makespan, 10.0) << BaselineKindName(kind);
+  }
+}
+
+TEST(Baselines, ZigZagBalancesCausalComputeBetterThanRing) {
+  ClusterSpec cluster;
+  cluster.num_nodes = 1;
+  cluster.devices_per_node = 8;
+  PlannerOptions options;
+  options.block_size = 1024;
+  const std::vector<int64_t> seqlens = {65536};
+  BaselineResult ring =
+      PlanBaseline(BaselineKind::kRfaRing, seqlens, MaskSpec::Causal(), cluster, options);
+  BaselineResult zigzag = PlanBaseline(BaselineKind::kRfaZigZag, seqlens,
+                                       MaskSpec::Causal(), cluster, options);
+  // Max per-device flops: zigzag should be closer to the mean than ring.
+  EXPECT_LT(zigzag.plan.stats.max_device_flops, ring.plan.stats.max_device_flops);
+}
+
+}  // namespace
+}  // namespace dcp

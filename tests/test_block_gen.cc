@@ -1,0 +1,114 @@
+#include "core/block_gen.h"
+
+#include <gtest/gtest.h>
+
+namespace dcp {
+namespace {
+
+BatchLayout SmallLayout(std::vector<int64_t> seqlens, int64_t block_size) {
+  BatchLayout layout;
+  layout.seqlens = std::move(seqlens);
+  layout.block_size = block_size;
+  layout.num_groups = 2;
+  layout.heads_per_group = 2;
+  layout.head_dim = 8;
+  return layout;
+}
+
+class BlockGenMaskTest : public ::testing::TestWithParam<MaskKind> {};
+
+TEST_P(BlockGenMaskTest, CompBlockPairsSumToMaskTotal) {
+  const BatchLayout layout = SmallLayout({50, 33, 64}, 16);
+  MaskSpec spec = MaskSpec::ForKind(GetParam());
+  spec.sink_tokens = 4;
+  spec.window_tokens = 12;
+  spec.icl_block_tokens = 8;
+  std::vector<SequenceMask> masks = BuildBatchMasks(spec, layout.seqlens);
+  BlockGraph graph = GenerateBlocks(layout, masks);
+
+  // Per (sequence, group): the comp-block pair counts must sum to the mask's total pairs
+  // (coverage is exact: nothing lost, nothing double-counted).
+  for (SeqId s = 0; s < layout.num_sequences(); ++s) {
+    for (GroupId g = 0; g < layout.num_groups; ++g) {
+      int64_t pairs = 0;
+      for (const CompBlock& block : graph.comp_blocks) {
+        if (block.seq == s && block.group == g) {
+          pairs += block.pairs;
+        }
+      }
+      EXPECT_EQ(pairs, masks[static_cast<size_t>(s)].TotalPairs())
+          << MaskKindName(GetParam()) << " seq " << s << " group " << g;
+    }
+  }
+}
+
+TEST_P(BlockGenMaskTest, NoEmptyBlocksAndFullFlagsAreExact) {
+  const BatchLayout layout = SmallLayout({64}, 8);
+  MaskSpec spec = MaskSpec::ForKind(GetParam());
+  spec.sink_tokens = 4;
+  spec.window_tokens = 12;
+  spec.icl_block_tokens = 8;
+  std::vector<SequenceMask> masks = BuildBatchMasks(spec, layout.seqlens);
+  BlockGraph graph = GenerateBlocks(layout, masks);
+  for (const CompBlock& block : graph.comp_blocks) {
+    EXPECT_GT(block.pairs, 0);
+    const int64_t qb = layout.ChunkBegin(block.seq, block.q_chunk);
+    const int64_t qe = layout.ChunkEnd(block.seq, block.q_chunk);
+    const int64_t kb = layout.ChunkBegin(block.seq, block.kv_chunk);
+    const int64_t ke = layout.ChunkEnd(block.seq, block.kv_chunk);
+    EXPECT_EQ(block.full, block.pairs == (qe - qb) * (ke - kb));
+    EXPECT_GT(block.flops, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMasks, BlockGenMaskTest,
+                         ::testing::ValuesIn(AllMaskKinds()),
+                         [](const ::testing::TestParamInfo<MaskKind>& info) {
+                           return MaskKindName(info.param);
+                         });
+
+TEST(BlockGen, ChunkGeometryCoversSequencesExactly) {
+  const BatchLayout layout = SmallLayout({37, 16, 9}, 16);
+  std::vector<SequenceMask> masks = BuildBatchMasks(MaskSpec::Causal(), layout.seqlens);
+  BlockGraph graph = GenerateBlocks(layout, masks);
+  ASSERT_EQ(graph.num_chunks(), 3 + 1 + 1);  // ceil(37/16)=3, 1, 1.
+  int64_t covered = 0;
+  for (const TokenChunk& chunk : graph.chunks) {
+    EXPECT_GT(chunk.length(), 0);
+    EXPECT_LE(chunk.length(), 16);
+    covered += chunk.length();
+    EXPECT_EQ(chunk.bytes, layout.TokenChunkBytes(chunk.length()));
+  }
+  EXPECT_EQ(covered, 37 + 16 + 9);
+}
+
+TEST(BlockGen, CausalMaskTileCountIsTriangular) {
+  const BatchLayout layout = SmallLayout({64}, 16);  // 4 chunks.
+  std::vector<SequenceMask> masks = BuildBatchMasks(MaskSpec::Causal(), layout.seqlens);
+  BlockGraph graph = GenerateBlocks(layout, masks);
+  // Causal: 4+3+2+1 = 10 tiles per group, x2 groups.
+  EXPECT_EQ(graph.num_comp_blocks(), 20);
+}
+
+TEST(BlockGen, SparseMaskGeneratesFewerBlocksThanCausal) {
+  const BatchLayout layout = SmallLayout({256}, 16);
+  std::vector<SequenceMask> causal = BuildBatchMasks(MaskSpec::Causal(), layout.seqlens);
+  MaskSpec lambda = MaskSpec::Lambda(/*sink=*/8, /*window=*/24);
+  std::vector<SequenceMask> sparse = BuildBatchMasks(lambda, layout.seqlens);
+  EXPECT_LT(GenerateBlocks(layout, sparse).num_comp_blocks(),
+            GenerateBlocks(layout, causal).num_comp_blocks());
+}
+
+TEST(BlockGen, TotalFlopsMatchesPairCount) {
+  const BatchLayout layout = SmallLayout({40}, 8);
+  std::vector<SequenceMask> masks = BuildBatchMasks(MaskSpec::Causal(), layout.seqlens);
+  BlockGraph graph = GenerateBlocks(layout, masks);
+  const double expected_pairs = 40 * 41 / 2.0;
+  // flops = pairs * 4 * head_dim * heads_per_group, summed over both groups.
+  EXPECT_DOUBLE_EQ(graph.TotalFlops(),
+                   expected_pairs * 4 * layout.head_dim * layout.heads_per_group *
+                       layout.num_groups);
+}
+
+}  // namespace
+}  // namespace dcp

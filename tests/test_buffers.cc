@@ -1,0 +1,92 @@
+#include "runtime/buffers.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace dcp {
+namespace {
+
+BatchLayout SmallLayout() {
+  BatchLayout layout;
+  layout.seqlens = {64};
+  layout.block_size = 16;
+  layout.num_groups = 2;
+  layout.heads_per_group = 3;
+  layout.head_dim = 8;
+  return layout;
+}
+
+TEST(DeviceBuffers, SlotSizesFollowTheLayout) {
+  const BatchLayout layout = SmallLayout();
+  std::array<int32_t, kNumBufKinds> slots = {};
+  slots.fill(2);
+  DeviceBuffers buffers(layout, slots);
+  const int64_t hg = layout.heads_per_group;
+  const int64_t bs = layout.block_size;
+  const int64_t d = layout.head_dim;
+  EXPECT_EQ(buffers.SlotElems(BufKind::kQ), hg * bs * d);
+  EXPECT_EQ(buffers.SlotElems(BufKind::kKV), 2 * bs * d);
+  EXPECT_EQ(buffers.SlotElems(BufKind::kAcc), hg * bs * d + 2 * hg * bs);
+  EXPECT_EQ(buffers.SlotElems(BufKind::kDelta), hg * bs);
+  EXPECT_EQ(buffers.SlotElems(BufKind::kDQ), buffers.SlotElems(BufKind::kQ));
+  EXPECT_EQ(buffers.SlotElems(BufKind::kDKV), buffers.SlotElems(BufKind::kKV));
+}
+
+TEST(DeviceBuffers, SlotsAreDisjointAndAddressable) {
+  const BatchLayout layout = SmallLayout();
+  std::array<int32_t, kNumBufKinds> slots = {};
+  slots.fill(3);
+  DeviceBuffers buffers(layout, slots);
+  std::span<float> a = buffers.Slot({BufKind::kQ, 0});
+  std::span<float> b = buffers.Slot({BufKind::kQ, 1});
+  EXPECT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.data() + a.size(), b.data());  // Contiguous arena.
+  a[0] = 7.0f;
+  EXPECT_EQ(buffers.Slot({BufKind::kQ, 0})[0], 7.0f);
+  EXPECT_EQ(buffers.Slot({BufKind::kQ, 1})[0], 0.0f);
+}
+
+TEST(DeviceBuffers, ResetAccumulatorsRestoresSoftmaxIdentity) {
+  const BatchLayout layout = SmallLayout();
+  std::array<int32_t, kNumBufKinds> slots = {};
+  slots.fill(1);
+  DeviceBuffers buffers(layout, slots);
+  std::span<float> acc = buffers.Slot({BufKind::kAcc, 0});
+  // Dirty everything, then reset.
+  for (float& v : acc) {
+    v = 42.0f;
+  }
+  buffers.ResetAccumulators();
+  const int64_t m_off = buffers.AccStatsOffsetM();
+  const int64_t l_off = buffers.AccStatsOffsetL();
+  for (int64_t i = 0; i < m_off; ++i) {
+    EXPECT_EQ(acc[static_cast<size_t>(i)], 0.0f) << "U not cleared at " << i;
+  }
+  for (int64_t i = m_off; i < l_off; ++i) {
+    EXPECT_TRUE(std::isinf(acc[static_cast<size_t>(i)]) && acc[static_cast<size_t>(i)] < 0)
+        << "m not -inf at " << i;
+  }
+  for (int64_t i = l_off; i < static_cast<int64_t>(acc.size()); ++i) {
+    EXPECT_EQ(acc[static_cast<size_t>(i)], 0.0f) << "l not cleared at " << i;
+  }
+}
+
+TEST(DeviceBuffers, ResetGradientsOnlyTouchesGradientKinds) {
+  const BatchLayout layout = SmallLayout();
+  std::array<int32_t, kNumBufKinds> slots = {};
+  slots.fill(1);
+  DeviceBuffers buffers(layout, slots);
+  buffers.Slot({BufKind::kQ, 0})[0] = 5.0f;
+  buffers.Slot({BufKind::kDQ, 0})[0] = 5.0f;
+  buffers.Slot({BufKind::kDKV, 0})[0] = 5.0f;
+  buffers.Slot({BufKind::kDelta, 0})[0] = 5.0f;
+  buffers.ResetGradients();
+  EXPECT_EQ(buffers.Slot({BufKind::kQ, 0})[0], 5.0f);
+  EXPECT_EQ(buffers.Slot({BufKind::kDQ, 0})[0], 0.0f);
+  EXPECT_EQ(buffers.Slot({BufKind::kDKV, 0})[0], 0.0f);
+  EXPECT_EQ(buffers.Slot({BufKind::kDelta, 0})[0], 0.0f);
+}
+
+}  // namespace
+}  // namespace dcp

@@ -1,0 +1,67 @@
+#include "core/dataloader.h"
+
+#include <gtest/gtest.h>
+
+namespace dcp {
+namespace {
+
+DatasetConfig SmallDataset() {
+  DatasetConfig config;
+  config.kind = DatasetKind::kLongDataCollections;
+  config.max_seq_len = 2048;
+  config.min_seq_len = 64;
+  config.seed = 42;
+  return config;
+}
+
+PlannerOptions SmallPlanner() {
+  PlannerOptions options;
+  options.block_size = 256;
+  options.num_groups = 2;
+  options.heads_per_group = 2;
+  options.head_dim = 16;
+  return options;
+}
+
+TEST(DcpDataLoader, ProducesPlansMatchingDirectPlanning) {
+  ClusterSpec cluster;
+  cluster.num_nodes = 2;
+  cluster.devices_per_node = 2;
+  BatchingConfig batching;
+  batching.token_budget = 4096;
+
+  DcpDataLoader loader(BatchStream{LengthSampler(SmallDataset()), batching},
+                       MaskSpec::Causal(), cluster, SmallPlanner(), /*lookahead=*/2,
+                       /*planner_threads=*/3);
+  // Reference stream with identical config.
+  BatchStream reference{LengthSampler(SmallDataset()), batching};
+
+  for (int iter = 0; iter < 6; ++iter) {
+    PlannedIteration it = loader.Next();
+    Batch expect = reference.NextBatch();
+    EXPECT_EQ(it.batch.seqlens, expect.seqlens) << "iteration " << iter;
+    EXPECT_EQ(static_cast<int>(it.masks.size()), expect.NumSequences());
+    EXPECT_EQ(it.plan.layout.seqlens, expect.seqlens);
+    EXPECT_EQ(it.plan.num_devices(), 4);
+    // Deterministic planning: replanning the same batch gives the same configuration.
+    BatchPlan replanned = PlanBatch(expect.seqlens, it.masks, cluster, SmallPlanner());
+    EXPECT_EQ(replanned.chunk_home, it.plan.chunk_home);
+    EXPECT_EQ(replanned.stats.total_comm_bytes, it.plan.stats.total_comm_bytes);
+  }
+}
+
+TEST(DcpDataLoader, MaintainsLookaheadWindow) {
+  ClusterSpec cluster;
+  cluster.num_nodes = 1;
+  cluster.devices_per_node = 2;
+  BatchingConfig batching;
+  batching.token_budget = 2048;
+  DcpDataLoader loader(BatchStream{LengthSampler(SmallDataset()), batching},
+                       MaskSpec::Lambda(), cluster, SmallPlanner(), /*lookahead=*/3);
+  EXPECT_EQ(loader.PendingPlans(), 4);  // lookahead + 1 in flight.
+  (void)loader.Next();
+  EXPECT_EQ(loader.PendingPlans(), 4);  // Refilled.
+}
+
+}  // namespace
+}  // namespace dcp

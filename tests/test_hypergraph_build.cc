@@ -1,0 +1,83 @@
+#include "core/hypergraph_build.h"
+
+#include <gtest/gtest.h>
+
+namespace dcp {
+namespace {
+
+TEST(HypergraphBuild, VertexAndEdgeStructure) {
+  BatchLayout layout;
+  layout.seqlens = {32};  // 2 chunks of 16.
+  layout.block_size = 16;
+  layout.num_groups = 1;
+  layout.heads_per_group = 2;
+  layout.head_dim = 8;
+  std::vector<SequenceMask> masks = BuildBatchMasks(MaskSpec::Causal(), layout.seqlens);
+  BlockGraph graph = GenerateBlocks(layout, masks);
+  // Causal, 2 chunks, 1 group: tiles (0,0), (1,0), (1,1).
+  ASSERT_EQ(graph.num_comp_blocks(), 3);
+  BuiltHypergraph built = BuildPlacementHypergraph(graph);
+
+  EXPECT_EQ(built.num_chunk_vertices, 2);
+  EXPECT_EQ(built.hg.num_vertices(), 2 + 3);
+  // Chunk 0: one Q/O edge (tile (0,0)), one KV edge (tiles (0,0) and (1,0)).
+  // Chunk 1: one Q/O edge (tiles (1,0), (1,1)), one KV edge (tile (1,1)).
+  EXPECT_EQ(built.hg.num_edges(), 4);
+
+  // Chunk vertices carry data weight only; comp vertices carry flops only.
+  for (int gc = 0; gc < 2; ++gc) {
+    EXPECT_DOUBLE_EQ(built.hg.vertex_weight(built.ChunkVertex(gc))[0], 0.0);
+    EXPECT_GT(built.hg.vertex_weight(built.ChunkVertex(gc))[1], 0.0);
+  }
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_GT(built.hg.vertex_weight(built.CompVertex(i))[0], 0.0);
+    EXPECT_DOUBLE_EQ(built.hg.vertex_weight(built.CompVertex(i))[1], 0.0);
+  }
+
+  // Q/O edges weigh Q+O bytes; KV edges weigh KV bytes.
+  const double qo = static_cast<double>(layout.QBlockBytes(16) + layout.OBlockBytes(16));
+  const double kv = static_cast<double>(layout.KvBlockBytes(16));
+  int qo_edges = 0;
+  int kv_edges = 0;
+  for (EdgeId e = 0; e < built.hg.num_edges(); ++e) {
+    if (built.hg.edge_weight(e) == qo) {
+      ++qo_edges;
+    } else if (built.hg.edge_weight(e) == kv) {
+      ++kv_edges;
+    }
+  }
+  EXPECT_EQ(qo_edges, 2);
+  EXPECT_EQ(kv_edges, 2);
+}
+
+TEST(HypergraphBuild, ConnectivityCostEqualsCommVolumeForAManualPlacement) {
+  BatchLayout layout;
+  layout.seqlens = {32};
+  layout.block_size = 16;
+  layout.num_groups = 1;
+  layout.heads_per_group = 2;
+  layout.head_dim = 8;
+  std::vector<SequenceMask> masks = BuildBatchMasks(MaskSpec::Causal(), layout.seqlens);
+  BlockGraph graph = GenerateBlocks(layout, masks);
+  BuiltHypergraph built = BuildPlacementHypergraph(graph);
+
+  // Place chunk0 + tile(0,0) on device 0; chunk1 + tiles (1,0),(1,1) on device 1.
+  // Only chunk0's KV block crosses (tile (1,0) needs it): cost == KV bytes.
+  Partition part = {0, 1, 0, 1, 1};
+  double cost = 0.0;
+  for (EdgeId e = 0; e < built.hg.num_edges(); ++e) {
+    auto [pb, pe] = built.hg.EdgePins(e);
+    bool has0 = false;
+    bool has1 = false;
+    for (const VertexId* p = pb; p != pe; ++p) {
+      (part[static_cast<size_t>(*p)] == 0 ? has0 : has1) = true;
+    }
+    if (has0 && has1) {
+      cost += built.hg.edge_weight(e);
+    }
+  }
+  EXPECT_DOUBLE_EQ(cost, static_cast<double>(layout.KvBlockBytes(16)));
+}
+
+}  // namespace
+}  // namespace dcp

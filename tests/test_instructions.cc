@@ -1,0 +1,83 @@
+#include "runtime/instructions.h"
+
+#include <gtest/gtest.h>
+
+#include "core/planner.h"
+#include "masks/mask.h"
+
+namespace dcp {
+namespace {
+
+BatchPlan MakeTestPlan() {
+  ClusterSpec cluster;
+  cluster.num_nodes = 2;
+  cluster.devices_per_node = 2;
+  const std::vector<int64_t> seqlens = {40, 23, 64};
+  MaskSpec spec = MaskSpec::SharedQuestion();
+  std::vector<SequenceMask> masks = BuildBatchMasks(spec, seqlens);
+  PlannerOptions options;
+  options.block_size = 16;
+  options.num_groups = 2;
+  options.heads_per_group = 2;
+  options.head_dim = 8;
+  return PlanBatch(seqlens, masks, cluster, options);
+}
+
+TEST(PlanSerialization, RoundTripPreservesEverything) {
+  BatchPlan plan = MakeTestPlan();
+  const std::string text = SerializePlan(plan);
+  BatchPlan restored = DeserializePlan(text);
+
+  EXPECT_EQ(restored.layout.seqlens, plan.layout.seqlens);
+  EXPECT_EQ(restored.layout.block_size, plan.layout.block_size);
+  EXPECT_EQ(restored.chunk_home, plan.chunk_home);
+  EXPECT_EQ(restored.stats.total_comm_bytes, plan.stats.total_comm_bytes);
+  ASSERT_EQ(restored.devices.size(), plan.devices.size());
+  for (size_t d = 0; d < plan.devices.size(); ++d) {
+    const DevicePlan& a = plan.devices[d];
+    const DevicePlan& b = restored.devices[d];
+    EXPECT_EQ(a.num_slots, b.num_slots);
+    ASSERT_EQ(a.local_chunks.size(), b.local_chunks.size());
+    ASSERT_EQ(a.instructions.size(), b.instructions.size());
+    ASSERT_EQ(a.backward_instructions.size(), b.backward_instructions.size());
+    for (size_t i = 0; i < a.instructions.size(); ++i) {
+      const Instruction& x = a.instructions[i];
+      const Instruction& y = b.instructions[i];
+      EXPECT_EQ(x.kind, y.kind);
+      EXPECT_EQ(x.attn_items.size(), y.attn_items.size());
+      EXPECT_EQ(x.reduce_items.size(), y.reduce_items.size());
+      EXPECT_EQ(x.blocks.size(), y.blocks.size());
+      EXPECT_EQ(x.transfer_id, y.transfer_id);
+      EXPECT_EQ(x.comm_bytes, y.comm_bytes);
+      EXPECT_DOUBLE_EQ(x.flops, y.flops);
+      for (size_t j = 0; j < x.attn_items.size(); ++j) {
+        EXPECT_EQ(x.attn_items[j].q, y.attn_items[j].q);
+        EXPECT_EQ(x.attn_items[j].kv, y.attn_items[j].kv);
+        EXPECT_EQ(x.attn_items[j].acc, y.attn_items[j].acc);
+        EXPECT_EQ(x.attn_items[j].q_begin, y.attn_items[j].q_begin);
+        EXPECT_EQ(x.attn_items[j].kv_end, y.attn_items[j].kv_end);
+        EXPECT_EQ(x.attn_items[j].full, y.attn_items[j].full);
+      }
+    }
+  }
+  // Serializing the restored plan reproduces the text exactly.
+  EXPECT_EQ(SerializePlan(restored), text);
+}
+
+TEST(PlanToString, MentionsDevicesAndInstructionKinds) {
+  BatchPlan plan = MakeTestPlan();
+  const std::string text = PlanToString(plan);
+  EXPECT_NE(text.find("BatchPlan: 4 devices"), std::string::npos);
+  EXPECT_NE(text.find("device 0"), std::string::npos);
+  EXPECT_NE(text.find("BlockwiseAttention"), std::string::npos);
+}
+
+TEST(Names, AllEnumsHaveNames) {
+  EXPECT_EQ(BufKindName(BufKind::kQ), "Q");
+  EXPECT_EQ(BufKindName(BufKind::kDKV), "dKV");
+  EXPECT_EQ(InstrKindName(InstrKind::kCommLaunch), "CommLaunch");
+  EXPECT_EQ(ReduceModeName(ReduceMode::kFinalize), "Finalize");
+}
+
+}  // namespace
+}  // namespace dcp

@@ -1,0 +1,69 @@
+#include "e2e/iteration_model.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/static_planner.h"
+#include "core/planner.h"
+
+namespace dcp {
+namespace {
+
+PlannerOptions E2eOptions() {
+  PlannerOptions options;
+  options.block_size = 2048;
+  options.num_groups = 8;   // Full model: 8 KV groups (TP=4 divides 32 heads -> 8 per rank,
+  options.heads_per_group = 1;  // but CP sees hidden/TP; spec-level proportions suffice).
+  options.head_dim = 128;
+  return options;
+}
+
+TEST(ModelSpec, Gpt8BHasRoughly8BParams) {
+  const ModelSpec model = ModelSpec::Gpt8B();
+  EXPECT_GT(model.TotalParams(), 7'000'000'000);
+  EXPECT_LT(model.TotalParams(), 9'000'000'000);
+}
+
+TEST(IterationModel, BreakdownComponentsArePositiveAndSumToTotal) {
+  const ClusterSpec cluster = ClusterSpec::EndToEndTestbed();
+  PlannerOptions options = E2eOptions();
+  std::vector<int64_t> seqlens = {65536, 32768, 16384, 16384};
+  std::vector<SequenceMask> masks = BuildBatchMasks(MaskSpec::Causal(), seqlens);
+  BatchPlan plan = PlanBatch(seqlens, masks, cluster, options);
+  const IterationBreakdown breakdown = ModelIteration(ModelSpec::Gpt8B(), cluster, plan);
+  EXPECT_GT(breakdown.attn_compute, 0.0);
+  EXPECT_GT(breakdown.dense_compute, 0.0);
+  EXPECT_GT(breakdown.grad_sync, 0.0);
+  EXPECT_GT(breakdown.optimizer, 0.0);
+  EXPECT_NEAR(breakdown.Total(), breakdown.AttentionTotal() + breakdown.Others(), 1e-12);
+  // Iteration times land in the paper's ballpark (hundreds of ms to seconds).
+  EXPECT_GT(breakdown.Total(), 0.05);
+  EXPECT_LT(breakdown.Total(), 30.0);
+}
+
+TEST(IterationModel, MaxDeviceTokensMatchesPlacement) {
+  const ClusterSpec cluster = ClusterSpec::EndToEndTestbed();
+  std::vector<int64_t> seqlens = {16384, 16384};
+  std::vector<SequenceMask> masks = BuildBatchMasks(MaskSpec::Causal(), seqlens);
+  BatchPlan plan = PlanBatch(seqlens, masks, cluster, E2eOptions());
+  const int64_t max_tokens = MaxDeviceTokens(plan);
+  EXPECT_GE(max_tokens, (16384 + 16384) / cluster.num_devices());
+  EXPECT_LE(max_tokens, 32768);
+}
+
+TEST(IterationModel, SparseMasksShrinkAttentionNotOthers) {
+  const ClusterSpec cluster = ClusterSpec::EndToEndTestbed();
+  std::vector<int64_t> seqlens = {65536, 65536};
+  PlannerOptions options = E2eOptions();
+  std::vector<SequenceMask> causal = BuildBatchMasks(MaskSpec::Causal(), seqlens);
+  std::vector<SequenceMask> lambda = BuildBatchMasks(MaskSpec::Lambda(), seqlens);
+  const IterationBreakdown dense_case = ModelIteration(
+      ModelSpec::Gpt8B(), cluster, PlanBatch(seqlens, causal, cluster, options));
+  const IterationBreakdown sparse_case = ModelIteration(
+      ModelSpec::Gpt8B(), cluster, PlanBatch(seqlens, lambda, cluster, options));
+  EXPECT_LT(sparse_case.AttentionTotal(), dense_case.AttentionTotal());
+  EXPECT_NEAR(sparse_case.grad_sync, dense_case.grad_sync, 1e-9);
+  EXPECT_NEAR(sparse_case.optimizer, dense_case.optimizer, 1e-9);
+}
+
+}  // namespace
+}  // namespace dcp

@@ -1,0 +1,197 @@
+#include "masks/mask.h"
+
+#include <gtest/gtest.h>
+
+namespace dcp {
+namespace {
+
+// Brute-force predicates restating each mask's definition independently of the RangePair
+// lowering, used as oracles.
+bool CausalAttends(int64_t q, int64_t k) { return k <= q; }
+
+bool LambdaAttends(const MaskSpec& spec, int64_t q, int64_t k) {
+  if (k > q) {
+    return false;
+  }
+  return k < spec.sink_tokens || k > q - spec.window_tokens;
+}
+
+bool BlockwiseAttends(const MaskSpec& spec, int64_t len, int64_t q, int64_t k) {
+  if (k > q) {
+    return false;
+  }
+  const int64_t bt = spec.icl_block_tokens;
+  const int64_t num_blocks = (len + bt - 1) / bt;
+  const int64_t qb = q / bt;
+  if (qb >= num_blocks - spec.test_blocks) {
+    return true;
+  }
+  const int64_t kb = k / bt;
+  return kb < spec.sink_blocks || kb > qb - spec.window_blocks;
+}
+
+bool SharedQuestionAttends(const SequenceInfo& info, int64_t q, int64_t k) {
+  if (k > q) {
+    return false;
+  }
+  const int64_t qlen = info.question_len;
+  if (q < qlen) {
+    return true;  // Question region: causal, k <= q < qlen.
+  }
+  if (k < qlen) {
+    return true;  // Everyone attends the question.
+  }
+  // Same answer?
+  int64_t pos = qlen;
+  for (int64_t alen : info.answer_lens) {
+    const int64_t end = pos + alen;
+    if (q >= pos && q < end) {
+      return k >= pos && k < end;
+    }
+    pos = end;
+  }
+  return false;
+}
+
+class MaskOracleTest : public ::testing::TestWithParam<std::tuple<MaskKind, int64_t>> {};
+
+TEST_P(MaskOracleTest, PointQueriesMatchBruteForceDefinition) {
+  const auto [kind, len] = GetParam();
+  MaskSpec spec = MaskSpec::ForKind(kind);
+  spec.sink_tokens = 3;
+  spec.window_tokens = 7;
+  spec.icl_block_tokens = 5;
+  const SequenceInfo info = MakeSequenceInfo(spec, len);
+  const SequenceMask mask = SequenceMask::Build(spec, info);
+  ASSERT_EQ(mask.length(), len);
+  for (int64_t q = 0; q < len; ++q) {
+    for (int64_t k = 0; k < len; ++k) {
+      bool expect = false;
+      switch (kind) {
+        case MaskKind::kCausal:
+          expect = CausalAttends(q, k);
+          break;
+        case MaskKind::kLambda:
+          expect = LambdaAttends(spec, q, k);
+          break;
+        case MaskKind::kCausalBlockwise:
+          expect = BlockwiseAttends(spec, len, q, k);
+          break;
+        case MaskKind::kSharedQuestion:
+          expect = info.answer_lens.empty() ? CausalAttends(q, k)
+                                            : SharedQuestionAttends(info, q, k);
+          break;
+      }
+      ASSERT_EQ(mask.Attends(q, k), expect) << MaskKindName(kind) << " q=" << q
+                                            << " k=" << k << " len=" << len;
+    }
+  }
+}
+
+TEST_P(MaskOracleTest, CountPairsMatchesPointQueries) {
+  const auto [kind, len] = GetParam();
+  MaskSpec spec = MaskSpec::ForKind(kind);
+  spec.sink_tokens = 3;
+  spec.window_tokens = 7;
+  spec.icl_block_tokens = 5;
+  const SequenceMask mask = SequenceMask::Build(spec, MakeSequenceInfo(spec, len));
+  // A few representative tiles, including ragged edges.
+  const int64_t step = std::max<int64_t>(1, len / 3);
+  for (int64_t qb = 0; qb < len; qb += step) {
+    const int64_t qe = std::min(len, qb + step);
+    for (int64_t kb = 0; kb < len; kb += step) {
+      const int64_t ke = std::min(len, kb + step);
+      int64_t expect = 0;
+      for (int64_t q = qb; q < qe; ++q) {
+        for (int64_t k = kb; k < ke; ++k) {
+          expect += mask.Attends(q, k) ? 1 : 0;
+        }
+      }
+      int64_t pairs = 0;
+      const BlockCoverage coverage = mask.Classify(qb, qe, kb, ke, &pairs);
+      EXPECT_EQ(pairs, expect);
+      if (expect == 0) {
+        EXPECT_EQ(coverage, BlockCoverage::kEmpty);
+      } else if (expect == (qe - qb) * (ke - kb)) {
+        EXPECT_EQ(coverage, BlockCoverage::kFull);
+      } else {
+        EXPECT_EQ(coverage, BlockCoverage::kPartial);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KindsAndLengths, MaskOracleTest,
+    ::testing::Combine(::testing::Values(MaskKind::kCausal, MaskKind::kLambda,
+                                         MaskKind::kCausalBlockwise,
+                                         MaskKind::kSharedQuestion),
+                       ::testing::Values<int64_t>(1, 7, 20, 64)),
+    [](const ::testing::TestParamInfo<std::tuple<MaskKind, int64_t>>& info) {
+      return MaskKindName(std::get<0>(info.param)) + "_len" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(NormalizeRanges, MergesOverlappingAndSortsAndDropsEmpty) {
+  RangePair r = NormalizeRanges(5, 9, 0, 3);
+  EXPECT_EQ(r.begin0, 0);
+  EXPECT_EQ(r.end0, 3);
+  EXPECT_EQ(r.begin1, 5);
+  EXPECT_EQ(r.end1, 9);
+
+  r = NormalizeRanges(0, 5, 3, 9);  // Overlap: merge.
+  EXPECT_EQ(r.begin0, 0);
+  EXPECT_EQ(r.end0, 9);
+  EXPECT_EQ(r.begin1, r.end1);
+
+  r = NormalizeRanges(4, 4, 2, 6);  // First empty.
+  EXPECT_EQ(r.begin0, 2);
+  EXPECT_EQ(r.end0, 6);
+
+  r = NormalizeRanges(0, 3, 3, 7);  // Adjacent: merge.
+  EXPECT_EQ(r.begin0, 0);
+  EXPECT_EQ(r.end0, 7);
+}
+
+TEST(MaskSparsity, CausalIsOneAndSparseMasksAreBelowOne) {
+  const int64_t len = 512;
+  const SequenceMask causal =
+      SequenceMask::Build(MaskSpec::Causal(), MakeSequenceInfo(MaskSpec::Causal(), len));
+  EXPECT_NEAR(causal.SparsityVsCausal(), 1.0, 1e-12);
+
+  MaskSpec lambda = MaskSpec::Lambda(/*sink=*/8, /*window=*/32);
+  const SequenceMask lambda_mask =
+      SequenceMask::Build(lambda, MakeSequenceInfo(lambda, len));
+  EXPECT_LT(lambda_mask.SparsityVsCausal(), 0.35);
+
+  MaskSpec sq = MaskSpec::SharedQuestion();
+  const SequenceMask sq_mask = SequenceMask::Build(sq, MakeSequenceInfo(sq, len));
+  EXPECT_LT(sq_mask.SparsityVsCausal(), 1.0);
+  EXPECT_GT(sq_mask.SparsityVsCausal(), 0.3);
+}
+
+TEST(SharedQuestionInfo, SplitsLengthIntoQuestionAndAnswers) {
+  MaskSpec spec = MaskSpec::SharedQuestion(4, 0.2);
+  SequenceInfo info = MakeSequenceInfo(spec, 1000);
+  EXPECT_EQ(info.answer_lens.size(), 4u);
+  EXPECT_EQ(info.answer_lens[0], 200);
+  EXPECT_EQ(info.question_len, 200);
+  // Degenerate tiny sequence still valid.
+  info = MakeSequenceInfo(spec, 3);
+  int64_t total = info.question_len;
+  for (int64_t a : info.answer_lens) {
+    total += a;
+  }
+  EXPECT_EQ(total, 3);
+}
+
+TEST(RangePairOverlap, CountsIntersection) {
+  RangePair r = NormalizeRanges(2, 5, 8, 11);
+  EXPECT_EQ(r.OverlapWith(0, 20), 6);
+  EXPECT_EQ(r.OverlapWith(3, 9), 3);   // {3,4} + {8}
+  EXPECT_EQ(r.OverlapWith(5, 8), 0);
+  EXPECT_EQ(r.TotalLength(), 6);
+}
+
+}  // namespace
+}  // namespace dcp

@@ -1,0 +1,140 @@
+#include "hypergraph/partitioner.h"
+
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "hypergraph/metrics.h"
+
+namespace dcp {
+namespace {
+
+// Random hypergraph with planted cluster structure: `k` groups of vertices, most edges
+// internal to a group, a few crossing. A good partitioner should recover low cost.
+Hypergraph MakeClustered(int k, int per_group, int edges_per_group, double cross_fraction,
+                         Rng& rng) {
+  Hypergraph hg;
+  for (int v = 0; v < k * per_group; ++v) {
+    hg.AddVertex(1.0 + rng.NextDouble(), 1.0 + rng.NextDouble());
+  }
+  for (int g = 0; g < k; ++g) {
+    for (int e = 0; e < edges_per_group; ++e) {
+      std::vector<VertexId> pins;
+      const int size = 2 + static_cast<int>(rng.NextBounded(4));
+      const bool cross = rng.NextDouble() < cross_fraction;
+      for (int p = 0; p < size; ++p) {
+        const int group = cross && p == 0 ? (g + 1) % k : g;
+        pins.push_back(group * per_group + static_cast<int>(rng.NextBounded(
+                                               static_cast<uint64_t>(per_group))));
+      }
+      std::sort(pins.begin(), pins.end());
+      pins.erase(std::unique(pins.begin(), pins.end()), pins.end());
+      if (pins.size() >= 2) {
+        hg.AddEdge(1.0 + rng.NextDouble() * 3.0, pins);
+      }
+    }
+  }
+  hg.Finalize();
+  return hg;
+}
+
+class PartitionerProperty
+    : public ::testing::TestWithParam<std::tuple<int, int, uint64_t>> {};
+
+TEST_P(PartitionerProperty, MultilevelIsBalancedAndValid) {
+  const auto [k, per_group, seed] = GetParam();
+  Rng rng(seed);
+  Hypergraph hg = MakeClustered(k, per_group, per_group * 2, 0.15, rng);
+  PartitionConfig config;
+  config.k = k;
+  config.eps = {0.25, 0.25};
+  config.seed = seed;
+  auto partitioner = MakeMultilevelPartitioner();
+  PartitionResult result = partitioner->Run(hg, config);
+  ASSERT_EQ(static_cast<int>(result.part.size()), hg.num_vertices());
+  for (PartId p : result.part) {
+    EXPECT_GE(p, 0);
+    EXPECT_LT(p, k);
+  }
+  EXPECT_TRUE(result.balanced) << "imbalance " << MaxImbalance(hg, result.part, k);
+  EXPECT_DOUBLE_EQ(result.connectivity_cost, ConnectivityMinusOne(hg, result.part, k));
+}
+
+TEST_P(PartitionerProperty, MultilevelBeatsOrMatchesGreedy) {
+  const auto [k, per_group, seed] = GetParam();
+  Rng rng(seed + 1000);
+  Hypergraph hg = MakeClustered(k, per_group, per_group * 2, 0.2, rng);
+  PartitionConfig config;
+  config.k = k;
+  config.eps = {0.3, 0.3};
+  config.seed = seed;
+  const double multilevel =
+      MakeMultilevelPartitioner()->Run(hg, config).connectivity_cost;
+  const double greedy = MakeGreedyPartitioner()->Run(hg, config).connectivity_cost;
+  EXPECT_LE(multilevel, greedy * 1.05 + 1e-9)
+      << "multilevel much worse than greedy: " << multilevel << " vs " << greedy;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PartitionerProperty,
+    ::testing::Combine(::testing::Values(2, 4, 8), ::testing::Values(16, 64),
+                       ::testing::Values<uint64_t>(1, 2, 3)),
+    [](const ::testing::TestParamInfo<std::tuple<int, int, uint64_t>>& info) {
+      return "k" + std::to_string(std::get<0>(info.param)) + "_n" +
+             std::to_string(std::get<1>(info.param)) + "_s" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+TEST(Partitioner, RecoversPlantedClustersWhenCrossTrafficIsZero) {
+  Rng rng(5);
+  Hypergraph hg = MakeClustered(4, 32, 80, 0.0, rng);
+  PartitionConfig config;
+  config.k = 4;
+  config.eps = {0.3, 0.3};
+  PartitionResult result = MakeMultilevelPartitioner()->Run(hg, config);
+  // With zero cross edges a perfect partition has zero cost; accept near-zero.
+  EXPECT_LE(result.connectivity_cost, 0.05 * hg.TotalEdgeWeight());
+}
+
+TEST(Partitioner, KEqualsOneIsTrivial) {
+  Rng rng(6);
+  Hypergraph hg = MakeClustered(2, 8, 10, 0.2, rng);
+  PartitionConfig config;
+  config.k = 1;
+  PartitionResult result = MakeMultilevelPartitioner()->Run(hg, config);
+  EXPECT_DOUBLE_EQ(result.connectivity_cost, 0.0);
+  EXPECT_TRUE(result.balanced);
+}
+
+TEST(Partitioner, DeterministicForFixedSeed) {
+  Rng rng(7);
+  Hypergraph hg = MakeClustered(4, 24, 50, 0.2, rng);
+  PartitionConfig config;
+  config.k = 4;
+  config.seed = 77;
+  auto partitioner = MakeMultilevelPartitioner();
+  PartitionResult a = partitioner->Run(hg, config);
+  PartitionResult b = partitioner->Run(hg, config);
+  EXPECT_EQ(a.part, b.part);
+}
+
+TEST(Partitioner, GreedyHandlesVerticesLargerThanTarget) {
+  // One vertex holds most of the weight: cannot balance, but must not crash and must
+  // produce a valid assignment.
+  Hypergraph hg;
+  hg.AddVertex(100.0, 100.0);
+  hg.AddVertex(1.0, 1.0);
+  hg.AddVertex(1.0, 1.0);
+  hg.AddEdge(1.0, {0, 1, 2});
+  hg.Finalize();
+  PartitionConfig config;
+  config.k = 2;
+  config.eps = {0.1, 0.1};
+  PartitionResult result = MakeGreedyPartitioner()->Run(hg, config);
+  EXPECT_EQ(static_cast<int>(result.part.size()), 3);
+  EXPECT_FALSE(result.balanced);  // Honestly reported as infeasible.
+}
+
+}  // namespace
+}  // namespace dcp

@@ -1,0 +1,139 @@
+#include "runtime/plan_validate.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/static_planner.h"
+#include "core/planner.h"
+
+namespace dcp {
+namespace {
+
+BatchPlan MakeValidPlan() {
+  ClusterSpec cluster;
+  cluster.num_nodes = 2;
+  cluster.devices_per_node = 2;
+  PlannerOptions options;
+  options.block_size = 16;
+  options.num_groups = 2;
+  options.heads_per_group = 2;
+  options.head_dim = 8;
+  const std::vector<int64_t> seqlens = {60, 35, 48};
+  std::vector<SequenceMask> masks = BuildBatchMasks(MaskSpec::Lambda(4, 12), seqlens);
+  return PlanBatch(seqlens, masks, cluster, options);
+}
+
+TEST(ValidatePlan, AcceptsPlannerOutput) {
+  BatchPlan plan = MakeValidPlan();
+  const PlanValidation validation = ValidatePlan(plan);
+  EXPECT_TRUE(validation.ok) << validation.Summary();
+  EXPECT_EQ(validation.Summary(), "plan valid");
+}
+
+TEST(ValidatePlan, AcceptsBaselinePlans) {
+  ClusterSpec cluster;
+  cluster.num_nodes = 2;
+  cluster.devices_per_node = 2;
+  PlannerOptions options;
+  options.block_size = 16;
+  options.num_groups = 2;
+  options.heads_per_group = 2;
+  options.head_dim = 8;
+  for (BaselineKind kind : AllBaselineKinds()) {
+    BaselineResult baseline =
+        PlanBaseline(kind, {64, 32}, MaskSpec::Causal(), cluster, options);
+    const PlanValidation validation = ValidatePlan(baseline.plan);
+    EXPECT_TRUE(validation.ok) << BaselineKindName(kind) << ": " << validation.Summary();
+  }
+}
+
+TEST(ValidatePlan, DetectsOutOfRangeSlot) {
+  BatchPlan plan = MakeValidPlan();
+  for (DevicePlan& dev : plan.devices) {
+    for (Instruction& instr : dev.instructions) {
+      if (instr.kind == InstrKind::kBlockwiseAttention && !instr.attn_items.empty()) {
+        instr.attn_items[0].q.slot = 10000;
+        const PlanValidation validation = ValidatePlan(plan);
+        EXPECT_FALSE(validation.ok);
+        EXPECT_NE(validation.Summary().find("out of"), std::string::npos);
+        return;
+      }
+    }
+  }
+  FAIL() << "no attention instruction found";
+}
+
+TEST(ValidatePlan, DetectsDroppedSend) {
+  BatchPlan plan = MakeValidPlan();
+  bool dropped = false;
+  for (DevicePlan& dev : plan.devices) {
+    auto& instrs = dev.instructions;
+    for (auto it = instrs.begin(); it != instrs.end(); ++it) {
+      if (it->kind == InstrKind::kCommLaunch && it->is_send) {
+        instrs.erase(it);
+        dropped = true;
+        break;
+      }
+    }
+    if (dropped) {
+      break;
+    }
+  }
+  ASSERT_TRUE(dropped);
+  const PlanValidation validation = ValidatePlan(plan);
+  EXPECT_FALSE(validation.ok);
+  EXPECT_NE(validation.Summary().find("sends"), std::string::npos);
+}
+
+TEST(ValidatePlan, DetectsDuplicatedTile) {
+  BatchPlan plan = MakeValidPlan();
+  for (DevicePlan& dev : plan.devices) {
+    for (Instruction& instr : dev.instructions) {
+      if (instr.kind == InstrKind::kBlockwiseAttention && !instr.attn_items.empty()) {
+        instr.attn_items.push_back(instr.attn_items[0]);
+        const PlanValidation validation = ValidatePlan(plan);
+        EXPECT_FALSE(validation.ok);
+        EXPECT_NE(validation.Summary().find("computed twice"), std::string::npos);
+        return;
+      }
+    }
+  }
+  FAIL() << "no attention instruction found";
+}
+
+TEST(ValidatePlan, DetectsChunkOwnershipGaps) {
+  BatchPlan plan = MakeValidPlan();
+  bool removed = false;
+  for (DevicePlan& dev : plan.devices) {
+    if (!dev.local_chunks.empty()) {
+      dev.local_chunks.pop_back();
+      removed = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(removed);
+  const PlanValidation validation = ValidatePlan(plan);
+  EXPECT_FALSE(validation.ok);
+}
+
+TEST(SearchBlockSize, PicksTheFastestCandidateAndReturnsItsPlan) {
+  ClusterSpec cluster = ClusterSpec::MicroBenchTestbed();
+  PlannerOptions options;
+  options.num_groups = 2;
+  options.heads_per_group = 4;
+  options.head_dim = 128;
+  const std::vector<int64_t> seqlens = {32768, 16384, 8192, 8192};
+  std::vector<SequenceMask> masks = BuildBatchMasks(MaskSpec::Causal(), seqlens);
+  const BlockSizeSearchResult result =
+      SearchBlockSize(seqlens, masks, cluster, options, {1024, 2048, 4096});
+  ASSERT_EQ(result.candidates.size(), 3u);
+  double best = result.candidates[0].second;
+  for (const auto& [block, seconds] : result.candidates) {
+    best = std::min(best, seconds);
+    EXPECT_GT(seconds, 0.0);
+  }
+  EXPECT_DOUBLE_EQ(result.best_fwbw_seconds, best);
+  EXPECT_EQ(result.best_plan.layout.block_size, result.best_block_size);
+}
+
+}  // namespace
+}  // namespace dcp

@@ -1,0 +1,91 @@
+#include "runtime/reference_attention.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace dcp {
+namespace {
+
+TEST(ReferenceAttention, RowsAreConvexCombinationsOfValues) {
+  Rng rng(7);
+  SeqTensors inputs = SeqTensors::Random(2, 1, 16, 8, rng);
+  // Make V constant per position so the output of a softmax-weighted average of a constant
+  // vector equals that vector.
+  inputs.v.Fill(0.5f);
+  SequenceMask mask = SequenceMask::Build(MaskSpec::Causal(), MakeSequenceInfo(MaskSpec::Causal(), 16));
+  Tensor out = ReferenceAttentionForward(inputs, mask);
+  for (int64_t i = 0; i < out.numel(); ++i) {
+    EXPECT_NEAR(out.data()[i], 0.5f, 1e-5f);
+  }
+}
+
+TEST(ReferenceAttention, FirstTokenCopiesFirstValueUnderCausalMask) {
+  Rng rng(11);
+  SeqTensors inputs = SeqTensors::Random(4, 2, 12, 16, rng);
+  SequenceMask mask = SequenceMask::Build(MaskSpec::Causal(), MakeSequenceInfo(MaskSpec::Causal(), 12));
+  Tensor out = ReferenceAttentionForward(inputs, mask);
+  // Token 0 attends only to kv position 0: output == V[g, 0, :].
+  for (int64_t h = 0; h < 4; ++h) {
+    const int64_t g = h / 2;
+    for (int64_t c = 0; c < 16; ++c) {
+      EXPECT_FLOAT_EQ(out.at({h, 0, c}), inputs.v.at({g, 0, c}));
+    }
+  }
+}
+
+TEST(ReferenceAttention, BackwardMatchesFiniteDifferences) {
+  Rng rng(23);
+  const int64_t len = 6;
+  const int head_dim = 4;
+  SeqTensors inputs = SeqTensors::Random(2, 1, len, head_dim, rng);
+  MaskSpec spec = MaskSpec::Lambda(/*sink=*/2, /*window=*/3);
+  SequenceMask mask = SequenceMask::Build(spec, MakeSequenceInfo(spec, len));
+
+  Tensor out = ReferenceAttentionForward(inputs, mask);
+  Tensor dout = Tensor::Random({2, len, head_dim}, rng);
+  SeqGrads grads = ReferenceAttentionBackward(inputs, mask, out, dout);
+
+  // Scalar loss L = sum(O * dout); check dL/dq against central differences.
+  auto loss = [&](const SeqTensors& in) {
+    Tensor o = ReferenceAttentionForward(in, mask);
+    double total = 0.0;
+    for (int64_t i = 0; i < o.numel(); ++i) {
+      total += static_cast<double>(o.data()[i]) * static_cast<double>(dout.data()[i]);
+    }
+    return total;
+  };
+
+  const float eps = 1e-3f;
+  for (int64_t idx : {int64_t{0}, int64_t{5}, int64_t{17}, int64_t{2 * len * head_dim - 1}}) {
+    SeqTensors probe = inputs;
+    probe.q.data()[idx] += eps;
+    const double up = loss(probe);
+    probe.q.data()[idx] -= 2 * eps;
+    const double down = loss(probe);
+    const double numeric = (up - down) / (2 * eps);
+    EXPECT_NEAR(grads.dq.data()[idx], numeric, 5e-3)
+        << "dq mismatch at flat index " << idx;
+  }
+  for (int64_t idx : {int64_t{0}, int64_t{7}, int64_t{len * head_dim - 1}}) {
+    SeqTensors probe = inputs;
+    probe.k.data()[idx] += eps;
+    const double up = loss(probe);
+    probe.k.data()[idx] -= 2 * eps;
+    const double down = loss(probe);
+    EXPECT_NEAR(grads.dk.data()[idx], (up - down) / (2 * eps), 5e-3)
+        << "dk mismatch at flat index " << idx;
+    probe = inputs;
+    probe.v.data()[idx] += eps;
+    const double vup = loss(probe);
+    probe.v.data()[idx] -= 2 * eps;
+    const double vdown = loss(probe);
+    EXPECT_NEAR(grads.dv.data()[idx], (vup - vdown) / (2 * eps), 5e-3)
+        << "dv mismatch at flat index " << idx;
+  }
+}
+
+}  // namespace
+}  // namespace dcp

@@ -1,0 +1,86 @@
+#include "runtime/sim_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "core/planner.h"
+#include "masks/mask.h"
+
+namespace dcp {
+namespace {
+
+BatchPlan PlanFor(const ClusterSpec& cluster, const std::vector<int64_t>& seqlens,
+                  MaskKind kind, int64_t block_size) {
+  MaskSpec spec = MaskSpec::ForKind(kind);
+  std::vector<SequenceMask> masks = BuildBatchMasks(spec, seqlens);
+  PlannerOptions options;
+  options.block_size = block_size;
+  return PlanBatch(seqlens, masks, cluster, options);
+}
+
+TEST(SimEngine, MakespanCoversComputeLowerBound) {
+  ClusterSpec cluster = ClusterSpec::MicroBenchTestbed();
+  BatchPlan plan = PlanFor(cluster, {65536, 32768, 16384, 17408}, MaskKind::kCausal, 2048);
+  CostModel cost(cluster);
+  SimEngine sim(cost);
+  SimResult result = sim.Simulate(plan, /*backward=*/false);
+
+  // Makespan is at least the pure compute time of the most loaded device.
+  const double compute_lower_bound = cost.AttentionSeconds(plan.stats.max_device_flops);
+  EXPECT_GE(result.makespan, compute_lower_bound);
+  EXPECT_GT(result.makespan, 0.0);
+  // And not absurdly larger than compute + full serialized comm.
+  const double comm_upper =
+      static_cast<double>(plan.stats.total_comm_bytes) / (cluster.node_nic_gbps * 1e9);
+  EXPECT_LT(result.makespan, compute_lower_bound + comm_upper + 1.0);
+}
+
+TEST(SimEngine, BackwardIsSlowerThanForward) {
+  ClusterSpec cluster = ClusterSpec::MicroBenchTestbed();
+  BatchPlan plan = PlanFor(cluster, {65536, 65536}, MaskKind::kCausal, 2048);
+  SimEngine sim{CostModel(cluster)};
+  const double fw = sim.Simulate(plan, false).makespan;
+  const double bw = sim.Simulate(plan, true).makespan;
+  EXPECT_GT(bw, fw);
+}
+
+TEST(SimEngine, DeterministicAcrossRuns) {
+  ClusterSpec cluster = ClusterSpec::MicroBenchTestbed();
+  BatchPlan plan = PlanFor(cluster, {32768, 8192, 24576}, MaskKind::kLambda, 2048);
+  SimEngine sim{CostModel(cluster)};
+  EXPECT_DOUBLE_EQ(sim.Simulate(plan, false).makespan, sim.Simulate(plan, false).makespan);
+}
+
+TEST(SimEngine, SparseMaskReducesSimulatedTime) {
+  ClusterSpec cluster = ClusterSpec::MicroBenchTestbed();
+  BatchPlan causal = PlanFor(cluster, {65536, 65536}, MaskKind::kCausal, 2048);
+  BatchPlan lambda = PlanFor(cluster, {65536, 65536}, MaskKind::kLambda, 2048);
+  SimEngine sim{CostModel(cluster)};
+  EXPECT_LT(sim.Simulate(lambda, false).makespan, sim.Simulate(causal, false).makespan);
+}
+
+TEST(SimEngine, FwBwCombinesBreakdowns) {
+  ClusterSpec cluster = ClusterSpec::MicroBenchTestbed();
+  BatchPlan plan = PlanFor(cluster, {16384, 16384}, MaskKind::kCausal, 2048);
+  SimEngine sim{CostModel(cluster)};
+  SimResult fw = sim.Simulate(plan, false);
+  SimResult bw = sim.Simulate(plan, true);
+  SimResult both = sim.SimulateFwBw(plan);
+  EXPECT_DOUBLE_EQ(both.makespan, fw.makespan + bw.makespan);
+  EXPECT_NEAR(both.MeanAttentionCompute(),
+              fw.MeanAttentionCompute() + bw.MeanAttentionCompute(), 1e-12);
+}
+
+TEST(CostModel, TransferTimesScaleWithDistanceAndSize) {
+  ClusterSpec cluster = ClusterSpec::MicroBenchTestbed();
+  CostModel cost(cluster);
+  // Intra-node is faster than inter-node for the same payload.
+  EXPECT_LT(cost.TransferSeconds(1 << 20, 0, 1), cost.TransferSeconds(1 << 20, 0, 8));
+  // Twice the bytes, more time.
+  EXPECT_LT(cost.TransferSeconds(1 << 20, 0, 8), cost.TransferSeconds(2 << 20, 0, 8));
+  // Zero bytes or self-transfer is free.
+  EXPECT_EQ(cost.TransferSeconds(0, 0, 1), 0.0);
+  EXPECT_EQ(cost.TransferSeconds(1 << 20, 3, 3), 0.0);
+}
+
+}  // namespace
+}  // namespace dcp

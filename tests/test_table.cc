@@ -1,0 +1,25 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+namespace dcp {
+namespace {
+
+TEST(Table, RendersHeaderSeparatorAndRows) {
+  Table table({"name", "value"});
+  table.AddRow({"alpha", "1.00"});
+  table.AddRow({"beta", "12.50"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("| name "), std::string::npos);
+  EXPECT_NE(out.find("| alpha"), std::string::npos);
+  EXPECT_NE(out.find("|----"), std::string::npos);
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(Table, NumFormatsPrecision) {
+  EXPECT_EQ(Table::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::Num(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace dcp

@@ -1,0 +1,46 @@
+#include "common/tensor.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace dcp {
+namespace {
+
+TEST(Tensor, ShapeAndIndexing) {
+  Tensor t({2, 3, 4});
+  EXPECT_EQ(t.numel(), 24);
+  EXPECT_EQ(t.ndim(), 3);
+  t.at({1, 2, 3}) = 7.0f;
+  EXPECT_FLOAT_EQ(t.at({1, 2, 3}), 7.0f);
+  EXPECT_FLOAT_EQ(t.at({0, 0, 0}), 0.0f);
+  EXPECT_EQ(t.ShapeString(), "[2, 3, 4]");
+}
+
+TEST(Tensor, FillAddScale) {
+  Tensor a = Tensor::Full({4}, 2.0f);
+  Tensor b = Tensor::Full({4}, 3.0f);
+  a.Add(b);
+  a.Scale(2.0f);
+  for (int64_t i = 0; i < 4; ++i) {
+    EXPECT_FLOAT_EQ(a.data()[i], 10.0f);
+  }
+}
+
+TEST(Tensor, RandomIsDeterministicPerSeed) {
+  Rng r1(5);
+  Rng r2(5);
+  Tensor a = Tensor::Random({16}, r1);
+  Tensor b = Tensor::Random({16}, r2);
+  EXPECT_EQ(Tensor::MaxAbsDiff(a, b), 0.0f);
+}
+
+TEST(Tensor, DiffMetrics) {
+  Tensor a = Tensor::Full({4}, 1.0f);
+  Tensor b = Tensor::Full({4}, 1.5f);
+  EXPECT_FLOAT_EQ(Tensor::MaxAbsDiff(a, b), 0.5f);
+  EXPECT_NEAR(Tensor::RelativeL2(a, b), 0.5 / 1.5, 1e-6);
+}
+
+}  // namespace
+}  // namespace dcp

@@ -1,0 +1,60 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <chrono>
+
+#include <gtest/gtest.h>
+
+namespace dcp {
+namespace {
+
+TEST(ThreadPool, RunsAllSubmittedJobs) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 64; ++i) {
+    futures.push_back(pool.Submit([&counter, i]() {
+      counter.fetch_add(1);
+      return i * i;
+    }));
+  }
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(futures[static_cast<size_t>(i)].get(), i * i);
+  }
+  EXPECT_EQ(counter.load(), 64);
+}
+
+TEST(ThreadPool, JobsRunConcurrently) {
+  ThreadPool pool(2);
+  std::atomic<int> inflight{0};
+  std::atomic<int> peak{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 8; ++i) {
+    futures.push_back(pool.Submit([&]() {
+      const int now = inflight.fetch_add(1) + 1;
+      int expected = peak.load();
+      while (now > expected && !peak.compare_exchange_weak(expected, now)) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      inflight.fetch_sub(1);
+    }));
+  }
+  for (auto& fut : futures) {
+    fut.wait();
+  }
+  EXPECT_GE(peak.load(), 2);
+}
+
+TEST(ThreadPool, DestructionDrainsQueue) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 16; ++i) {
+      pool.Submit([&counter]() { counter.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(counter.load(), 16);
+}
+
+}  // namespace
+}  // namespace dcp

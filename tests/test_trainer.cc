@@ -1,0 +1,48 @@
+#include "e2e/trainer.h"
+
+#include <gtest/gtest.h>
+
+namespace dcp {
+namespace {
+
+TrainerConfig QuickConfig(MaskKind kind, int iterations = 40) {
+  TrainerConfig config;
+  config.iterations = iterations;
+  config.mask = MaskSpec::ForKind(kind);
+  config.mask.sink_tokens = 4;
+  config.mask.window_tokens = 12;
+  config.mask.icl_block_tokens = 8;
+  return config;
+}
+
+TEST(Trainer, LossDecreasesWithReferenceEngine) {
+  const std::vector<double> losses =
+      TrainLossCurve(QuickConfig(MaskKind::kCausal, 60), AttentionEngineKind::kReference);
+  ASSERT_EQ(losses.size(), 60u);
+  EXPECT_LT(losses.back(), losses.front() * 0.8);
+}
+
+class TrainerParity : public ::testing::TestWithParam<MaskKind> {};
+
+TEST_P(TrainerParity, DcpLossCurveTracksReference) {
+  const TrainerConfig config = QuickConfig(GetParam());
+  const std::vector<double> reference =
+      TrainLossCurve(config, AttentionEngineKind::kReference);
+  const std::vector<double> dcp = TrainLossCurve(config, AttentionEngineKind::kDcp);
+  ASSERT_EQ(reference.size(), dcp.size());
+  // Same data, same init, same updates: curves must coincide up to kernel-order float
+  // error, which compounds slowly over iterations (paper Fig. 21 "small deviations").
+  for (size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_NEAR(dcp[i], reference[i], 0.02 + 0.02 * reference[i])
+        << "iteration " << i;
+  }
+  EXPECT_NEAR(dcp.front(), reference.front(), 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMasks, TrainerParity, ::testing::ValuesIn(AllMaskKinds()),
+                         [](const ::testing::TestParamInfo<MaskKind>& info) {
+                           return MaskKindName(info.param);
+                         });
+
+}  // namespace
+}  // namespace dcp
