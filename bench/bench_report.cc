@@ -1,0 +1,216 @@
+// Machine-readable planning-performance report. Times the hypergraph partitioner on
+// clustered micro instances and the full planner across block sizes / masks / datasets,
+// then emits BENCH_planning.json so successive PRs can track the planning-time
+// trajectory without scraping table output.
+//
+// Usage:
+//   bench_report [--smoke] [--json=PATH]
+// --smoke shrinks every instance (and is what the `ctest -L bench_smoke` label runs);
+// --json defaults to BENCH_planning.json in the current directory.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/rng.h"
+#include "hypergraph/metrics.h"
+#include "hypergraph/partitioner.h"
+
+namespace dcp {
+namespace {
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Hypergraph MakeClustered(int k, int per_group, uint64_t seed) {
+  Rng rng(seed);
+  Hypergraph hg;
+  for (int v = 0; v < k * per_group; ++v) {
+    hg.AddVertex(1.0 + rng.NextDouble(), 1.0 + rng.NextDouble());
+  }
+  for (int g = 0; g < k; ++g) {
+    for (int e = 0; e < per_group * 2; ++e) {
+      std::vector<VertexId> pins;
+      const int size = 2 + static_cast<int>(rng.NextBounded(4));
+      const bool cross = rng.NextDouble() < 0.15;
+      for (int p = 0; p < size; ++p) {
+        const int group = cross && p == 0 ? (g + 1) % k : g;
+        pins.push_back(group * per_group + static_cast<int>(rng.NextBounded(
+                                               static_cast<uint64_t>(per_group))));
+      }
+      std::sort(pins.begin(), pins.end());
+      pins.erase(std::unique(pins.begin(), pins.end()), pins.end());
+      if (pins.size() >= 2) {
+        hg.AddEdge(1.0 + rng.NextDouble() * 3.0, pins);
+      }
+    }
+  }
+  hg.Finalize();
+  return hg;
+}
+
+struct PartitionerRow {
+  int k = 0;
+  int per_group = 0;
+  int vertices = 0;
+  int repeats = 0;
+  double ms_mean = 0.0;
+  double ms_min = 0.0;
+  double connectivity = 0.0;
+  bool balanced = false;
+};
+
+PartitionerRow MeasurePartitioner(int k, int per_group, int repeats) {
+  Hypergraph hg = MakeClustered(k, per_group, 11);
+  PartitionConfig config;
+  config.k = k;
+  config.eps = {0.25, 0.25};
+  auto partitioner = MakeMultilevelPartitioner();
+  RunningStats ms;
+  PartitionResult result;
+  for (int r = 0; r < repeats; ++r) {
+    const double start = NowSeconds();
+    result = partitioner->Run(hg, config);
+    ms.Add((NowSeconds() - start) * 1e3);
+  }
+  PartitionerRow row;
+  row.k = k;
+  row.per_group = per_group;
+  row.vertices = hg.num_vertices();
+  row.repeats = repeats;
+  row.ms_mean = ms.mean();
+  row.ms_min = ms.min();
+  row.connectivity = result.connectivity_cost;
+  row.balanced = result.balanced;
+  return row;
+}
+
+struct PlanningRow {
+  std::string dataset;
+  std::string mask;
+  int64_t block_size = 0;
+  int batches = 0;
+  double planning_ms_mean = 0.0;
+  double planning_ms_max = 0.0;
+};
+
+PlanningRow MeasurePlanning(DatasetKind dataset, MaskKind mask, int64_t block_size,
+                            int num_batches, int64_t token_budget) {
+  MicroBenchConfig config;
+  config.cluster = ClusterSpec::EndToEndTestbed();
+  config.dataset = dataset;
+  config.block_size = block_size;
+  config.num_batches = num_batches;
+  config.token_budget = token_budget;
+  config.max_seq_len = token_budget;
+  const PlannerOptions options = config.MakePlannerOptions();
+  RunningStats planning_ms;
+  for (const Batch& batch : config.MakeBatches()) {
+    std::vector<SequenceMask> masks =
+        BuildBatchMasks(MaskSpec::ForKind(mask), batch.seqlens);
+    BatchPlan plan = PlanBatch(batch.seqlens, masks, config.cluster, options);
+    planning_ms.Add(plan.stats.planning_seconds * 1e3);
+  }
+  PlanningRow row;
+  row.dataset = DatasetKindName(dataset);
+  row.mask = MaskKindName(mask);
+  row.block_size = block_size;
+  row.batches = num_batches;
+  row.planning_ms_mean = planning_ms.mean();
+  row.planning_ms_max = planning_ms.max();
+  return row;
+}
+
+void WriteJson(const std::string& path, bool smoke,
+               const std::vector<PartitionerRow>& partitioner,
+               const std::vector<PlanningRow>& planning) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_report: cannot open %s for writing\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"schema\": \"dcp.bench_planning.v1\",\n");
+  std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::fprintf(f, "  \"partitioner\": [\n");
+  for (size_t i = 0; i < partitioner.size(); ++i) {
+    const PartitionerRow& r = partitioner[i];
+    std::fprintf(f,
+                 "    {\"k\": %d, \"per_group\": %d, \"vertices\": %d, \"repeats\": %d, "
+                 "\"ms_mean\": %.4f, \"ms_min\": %.4f, \"connectivity\": %.4f, "
+                 "\"balanced\": %s}%s\n",
+                 r.k, r.per_group, r.vertices, r.repeats, r.ms_mean, r.ms_min,
+                 r.connectivity, r.balanced ? "true" : "false",
+                 i + 1 < partitioner.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"planning\": [\n");
+  for (size_t i = 0; i < planning.size(); ++i) {
+    const PlanningRow& r = planning[i];
+    std::fprintf(f,
+                 "    {\"dataset\": \"%s\", \"mask\": \"%s\", \"block_size\": %lld, "
+                 "\"batches\": %d, \"planning_ms_mean\": %.4f, "
+                 "\"planning_ms_max\": %.4f}%s\n",
+                 r.dataset.c_str(), r.mask.c_str(),
+                 static_cast<long long>(r.block_size), r.batches, r.planning_ms_mean,
+                 r.planning_ms_max, i + 1 < planning.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+}
+
+int Main(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_path = "BENCH_planning.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else {
+      std::fprintf(stderr, "usage: bench_report [--smoke] [--json=PATH]\n");
+      return 2;
+    }
+  }
+
+  std::vector<PartitionerRow> partitioner;
+  if (smoke) {
+    partitioner.push_back(MeasurePartitioner(4, 16, 2));
+    partitioner.push_back(MeasurePartitioner(8, 32, 1));
+  } else {
+    partitioner.push_back(MeasurePartitioner(4, 64, 5));
+    partitioner.push_back(MeasurePartitioner(8, 128, 3));
+    partitioner.push_back(MeasurePartitioner(16, 256, 2));
+  }
+
+  std::vector<PlanningRow> planning;
+  const int batches = smoke ? 1 : 4;
+  const int64_t budget = smoke ? 16384 : 131072;
+  const std::vector<int64_t> block_sizes =
+      smoke ? std::vector<int64_t>{2048} : std::vector<int64_t>{512, 1024, 2048, 4096};
+  for (DatasetKind dataset :
+       {DatasetKind::kLongAlign, DatasetKind::kLongDataCollections}) {
+    for (int64_t block_size : block_sizes) {
+      for (MaskKind mask : AllMaskKinds()) {
+        planning.push_back(MeasurePlanning(dataset, mask, block_size, batches, budget));
+      }
+    }
+  }
+
+  WriteJson(json_path, smoke, partitioner, planning);
+  std::printf("bench_report: wrote %s (%zu partitioner rows, %zu planning rows)\n",
+              json_path.c_str(), partitioner.size(), planning.size());
+  return 0;
+}
+
+}  // namespace
+}  // namespace dcp
+
+int main(int argc, char** argv) { return dcp::Main(argc, argv); }

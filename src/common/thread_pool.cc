@@ -1,5 +1,9 @@
 #include "common/thread_pool.h"
 
+#include <algorithm>
+#include <atomic>
+#include <memory>
+
 #include "common/check.h"
 
 namespace dcp {
@@ -23,6 +27,48 @@ ThreadPool::~ThreadPool() {
   }
 }
 
+void ThreadPool::ParallelInvoke(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) {
+    return;
+  }
+  if (tasks.size() == 1) {
+    tasks[0]();
+    return;
+  }
+  struct InvokeState {
+    std::vector<std::function<void()>>* tasks;
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    std::mutex mutex;
+    std::condition_variable finished;
+  };
+  auto state = std::make_shared<InvokeState>();
+  state->tasks = &tasks;
+  const size_t total = tasks.size();
+  auto drain = [state, total]() {
+    while (true) {
+      const size_t i = state->next.fetch_add(1);
+      if (i >= total) {
+        return;
+      }
+      (*state->tasks)[i]();
+      if (state->done.fetch_add(1) + 1 == total) {
+        std::lock_guard<std::mutex> lock(state->mutex);
+        state->finished.notify_all();
+      }
+    }
+  };
+  // Helpers are hints: if the pool is saturated (or this is a nested invocation from a
+  // pool worker) they may start late or never, and the caller simply drains everything.
+  const size_t helpers = std::min(total - 1, static_cast<size_t>(num_threads()));
+  for (size_t h = 0; h < helpers; ++h) {
+    Submit(drain);
+  }
+  drain();
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->finished.wait(lock, [&]() { return state->done.load() == total; });
+}
+
 void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> job;
@@ -37,6 +83,12 @@ void ThreadPool::WorkerLoop() {
     }
     job();
   }
+}
+
+ThreadPool& GlobalThreadPool() {
+  static ThreadPool pool(
+      std::max(1, static_cast<int>(std::thread::hardware_concurrency())));
+  return pool;
 }
 
 }  // namespace dcp

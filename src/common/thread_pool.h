@@ -38,6 +38,15 @@ class ThreadPool {
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
+  // Runs every task, returning once all have finished. The calling thread participates:
+  // it claims and executes tasks alongside the pool workers, so this is safe to call
+  // from inside a pool task (nested invocations degrade to inline execution instead of
+  // deadlocking on a saturated pool) and always makes progress even with zero idle
+  // workers. Tasks must be independent; no ordering between them is guaranteed, so any
+  // determinism requirement belongs in the tasks (e.g. pre-forked RNG streams and
+  // dedicated result slots) rather than in their interleaving.
+  void ParallelInvoke(std::vector<std::function<void()>> tasks);
+
  private:
   void WorkerLoop();
 
@@ -47,6 +56,10 @@ class ThreadPool {
   std::condition_variable cv_;
   bool stopping_ = false;
 };
+
+// Process-wide pool shared by the planner's parallel phases (partitioner portfolio,
+// block-size search). Sized to the hardware concurrency; created on first use.
+ThreadPool& GlobalThreadPool();
 
 }  // namespace dcp
 

@@ -1,8 +1,10 @@
 #include "core/planner.h"
 
 #include <chrono>
+#include <functional>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 #include "core/block_gen.h"
 #include "core/hypergraph_build.h"
 #include "core/plan_compile.h"
@@ -65,19 +67,34 @@ BlockSizeSearchResult SearchBlockSize(const std::vector<int64_t>& seqlens,
                                       const PlannerOptions& base_options,
                                       const std::vector<int64_t>& block_sizes) {
   DCP_CHECK(!block_sizes.empty());
-  SimEngine sim{CostModel(cluster)};
+  // Candidate block sizes are independent: plan and price each one concurrently on the
+  // global pool, each into its own slot, then pick the winner with the same sequential
+  // scan as before (first candidate wins ties), so the result is identical to a
+  // sequential search regardless of thread count. PlanBatch itself fans its partitioner
+  // portfolio out on the same pool; ParallelInvoke nests safely.
+  std::vector<BatchPlan> plans(block_sizes.size());
+  std::vector<double> seconds(block_sizes.size(), 0.0);
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(block_sizes.size());
+  for (size_t i = 0; i < block_sizes.size(); ++i) {
+    tasks.emplace_back([&, i]() {
+      PlannerOptions options = base_options;
+      options.block_size = block_sizes[i];
+      plans[i] = PlanBatch(seqlens, masks, cluster, options);
+      SimEngine sim{CostModel(cluster)};
+      seconds[i] =
+          sim.Simulate(plans[i], false).makespan + sim.Simulate(plans[i], true).makespan;
+    });
+  }
+  GlobalThreadPool().ParallelInvoke(std::move(tasks));
+
   BlockSizeSearchResult result;
-  for (int64_t block_size : block_sizes) {
-    PlannerOptions options = base_options;
-    options.block_size = block_size;
-    BatchPlan plan = PlanBatch(seqlens, masks, cluster, options);
-    const double seconds =
-        sim.Simulate(plan, false).makespan + sim.Simulate(plan, true).makespan;
-    result.candidates.emplace_back(block_size, seconds);
-    if (result.best_block_size == 0 || seconds < result.best_fwbw_seconds) {
-      result.best_block_size = block_size;
-      result.best_fwbw_seconds = seconds;
-      result.best_plan = std::move(plan);
+  for (size_t i = 0; i < block_sizes.size(); ++i) {
+    result.candidates.emplace_back(block_sizes[i], seconds[i]);
+    if (result.best_block_size == 0 || seconds[i] < result.best_fwbw_seconds) {
+      result.best_block_size = block_sizes[i];
+      result.best_fwbw_seconds = seconds[i];
+      result.best_plan = std::move(plans[i]);
     }
   }
   return result;

@@ -2,9 +2,13 @@
 // vertices in random order and merges each into the neighbouring cluster with the highest
 // connectivity score sum(w_e / (|e| - 1)), subject to a cluster weight cap that keeps the
 // coarsest graph partitionable within the balance tolerance.
+//
+// All working memory lives in the caller-provided CoarseningScratch: score accumulation
+// uses a timestamped flat array instead of a hash map, and coarse-edge dedup sorts a flat
+// (hash, pins) edge store instead of hashing vectors, so a V-cycle's coarsening chain
+// performs no per-level allocations once the first level has sized the buffers.
 #include <algorithm>
 #include <numeric>
-#include <unordered_map>
 
 #include "common/check.h"
 #include "hypergraph/internal.h"
@@ -12,36 +16,37 @@
 namespace dcp {
 namespace {
 
-// Hash for dedup of coarse edges with identical pin sets.
-struct PinSetHash {
-  size_t operator()(const std::vector<VertexId>& pins) const {
-    size_t h = 0x9E3779B97F4A7C15ull;
-    for (VertexId v : pins) {
-      h ^= static_cast<size_t>(v) + 0x9E3779B9ull + (h << 6) + (h >> 2);
-    }
-    return h;
+uint64_t HashPins(const VertexId* begin, const VertexId* end) {
+  uint64_t h = 0x9E3779B97F4A7C15ull;
+  for (const VertexId* p = begin; p != end; ++p) {
+    h ^= static_cast<uint64_t>(*p) + 0x9E3779B9ull + (h << 6) + (h >> 2);
   }
-};
+  return h;
+}
 
 }  // namespace
 
-CoarseLevel CoarsenOnce(const Hypergraph& hg, const PartitionConfig& config, Rng& rng) {
+CoarseLevel CoarsenOnce(const Hypergraph& hg, const PartitionConfig& config, Rng& rng,
+                        CoarseningScratch& scratch, const Partition* restrict_part) {
   const int n = hg.num_vertices();
-  const VertexWeight total = hg.TotalWeight();
+  const VertexWeight& total = hg.TotalWeight();
   const std::array<double, 2> cluster_cap = {
       total[0] / config.k * config.max_cluster_weight_frac,
       total[1] / config.k * config.max_cluster_weight_frac,
   };
 
   // Union-find-free clustering: cluster id per vertex, cluster weights tracked directly.
-  std::vector<VertexId> cluster(static_cast<size_t>(n));
+  std::vector<VertexId>& cluster = scratch.cluster;
+  cluster.resize(static_cast<size_t>(n));
   std::iota(cluster.begin(), cluster.end(), 0);
-  std::vector<VertexWeight> cluster_weight(static_cast<size_t>(n));
+  std::vector<VertexWeight>& cluster_weight = scratch.cluster_weight;
+  cluster_weight.resize(static_cast<size_t>(n));
   for (VertexId v = 0; v < n; ++v) {
     cluster_weight[static_cast<size_t>(v)] = hg.vertex_weight(v);
   }
 
-  std::vector<VertexId> order(static_cast<size_t>(n));
+  std::vector<VertexId>& order = scratch.order;
+  order.resize(static_cast<size_t>(n));
   std::iota(order.begin(), order.end(), 0);
   rng.Shuffle(order);
 
@@ -60,14 +65,19 @@ CoarseLevel CoarsenOnce(const Hypergraph& hg, const PartitionConfig& config, Rng
     return rep;
   };
 
-  // Scratch: connectivity score per candidate cluster (sparse accumulation).
-  std::unordered_map<VertexId, double> score;
+  // Timestamped scratch: connectivity score per candidate cluster. An entry is live only
+  // when its stamp equals the current epoch, so resetting between vertices is one
+  // increment rather than a clear.
+  scratch.score.resize(static_cast<size_t>(n), 0.0);
+  scratch.score_stamp.resize(static_cast<size_t>(n), 0);
+  std::vector<VertexId>& touched = scratch.touched;
   int merges = 0;
   for (VertexId v : order) {
     if (cluster[static_cast<size_t>(v)] != v) {
       continue;  // Already merged into another cluster this pass.
     }
-    score.clear();
+    const uint64_t epoch = ++scratch.epoch;
+    touched.clear();
     auto [ebegin, eend] = hg.VertexEdges(v);
     for (const EdgeId* ep = ebegin; ep != eend; ++ep) {
       const int size = hg.EdgeSize(*ep);
@@ -78,15 +88,27 @@ CoarseLevel CoarsenOnce(const Hypergraph& hg, const PartitionConfig& config, Rng
       auto [pbegin, pend] = hg.EdgePins(*ep);
       for (const VertexId* pp = pbegin; pp != pend; ++pp) {
         const VertexId c = find_rep(*pp);
-        if (c != v) {
-          score[c] += edge_score;
+        if (c == v) {
+          continue;
         }
+        if (scratch.score_stamp[static_cast<size_t>(c)] != epoch) {
+          scratch.score_stamp[static_cast<size_t>(c)] = epoch;
+          scratch.score[static_cast<size_t>(c)] = 0.0;
+          touched.push_back(c);
+        }
+        scratch.score[static_cast<size_t>(c)] += edge_score;
       }
     }
     VertexId best = -1;
     double best_score = 0.0;
     const VertexWeight& vw = cluster_weight[static_cast<size_t>(v)];
-    for (const auto& [candidate, s] : score) {
+    for (VertexId candidate : touched) {
+      if (restrict_part != nullptr &&
+          (*restrict_part)[static_cast<size_t>(candidate)] !=
+              (*restrict_part)[static_cast<size_t>(v)]) {
+        continue;  // Cluster parts stay uniform: reps never change part mid-pass.
+      }
+      const double s = scratch.score[static_cast<size_t>(candidate)];
       const VertexWeight& cw = cluster_weight[static_cast<size_t>(candidate)];
       if (cw[0] + vw[0] > cluster_cap[0] || cw[1] + vw[1] > cluster_cap[1]) {
         continue;
@@ -105,14 +127,15 @@ CoarseLevel CoarsenOnce(const Hypergraph& hg, const PartitionConfig& config, Rng
   }
 
   CoarseLevel level;
-  level.fine_to_coarse.assign(static_cast<size_t>(n), -1);
   if (merges == 0) {
     return level;  // Caller detects empty mapping => no contraction possible.
   }
+  level.fine_to_coarse.assign(static_cast<size_t>(n), -1);
 
   // Compact cluster ids. Cluster representatives are vertices with cluster[v] == v; others
   // point directly at their representative (single-level chains by construction).
-  std::vector<VertexId> compact(static_cast<size_t>(n), -1);
+  std::vector<VertexId>& compact = scratch.compact;
+  compact.assign(static_cast<size_t>(n), -1);
   VertexId next_id = 0;
   for (VertexId v = 0; v < n; ++v) {
     if (cluster[static_cast<size_t>(v)] == v) {
@@ -136,9 +159,16 @@ CoarseLevel CoarsenOnce(const Hypergraph& hg, const PartitionConfig& config, Rng
     level.coarse.AddVertex(w[0], w[1]);
   }
 
-  // Coarse edges: remap pins, dedupe within an edge, drop singletons, merge identical edges.
-  std::unordered_map<std::vector<VertexId>, double, PinSetHash> merged_edges;
-  std::vector<VertexId> pins;
+  // Coarse edges: remap pins, dedupe within an edge, drop singletons. Surviving edges go
+  // into a flat (offsets, pins, weight, hash) store; identical pin sets are then merged by
+  // sorting edge indices by (hash, pins) and summing weights over equal runs. This keeps
+  // the coarse edge order deterministic across platforms (unlike hash-map iteration).
+  scratch.edge_offsets.clear();
+  scratch.edge_offsets.push_back(0);
+  scratch.edge_pins.clear();
+  scratch.edge_weights.clear();
+  scratch.edge_hashes.clear();
+  std::vector<VertexId>& pins = scratch.pin_buf;
   for (EdgeId e = 0; e < hg.num_edges(); ++e) {
     pins.clear();
     auto [pbegin, pend] = hg.EdgePins(e);
@@ -150,10 +180,48 @@ CoarseLevel CoarsenOnce(const Hypergraph& hg, const PartitionConfig& config, Rng
     if (pins.size() <= 1) {
       continue;  // Fully internal edge: can never be cut again.
     }
-    merged_edges[pins] += hg.edge_weight(e);
+    scratch.edge_pins.insert(scratch.edge_pins.end(), pins.begin(), pins.end());
+    scratch.edge_offsets.push_back(static_cast<int64_t>(scratch.edge_pins.size()));
+    scratch.edge_weights.push_back(hg.edge_weight(e));
+    scratch.edge_hashes.push_back(HashPins(pins.data(), pins.data() + pins.size()));
   }
-  for (auto& [pin_set, weight] : merged_edges) {
-    level.coarse.AddEdge(weight, pin_set);
+
+  const int32_t kept = static_cast<int32_t>(scratch.edge_weights.size());
+  scratch.edge_order.resize(static_cast<size_t>(kept));
+  std::iota(scratch.edge_order.begin(), scratch.edge_order.end(), 0);
+  auto edge_pins_of = [&scratch](int32_t i) {
+    return std::make_pair(
+        scratch.edge_pins.data() + scratch.edge_offsets[static_cast<size_t>(i)],
+        scratch.edge_pins.data() + scratch.edge_offsets[static_cast<size_t>(i) + 1]);
+  };
+  std::sort(scratch.edge_order.begin(), scratch.edge_order.end(),
+            [&](int32_t a, int32_t b) {
+              if (scratch.edge_hashes[static_cast<size_t>(a)] !=
+                  scratch.edge_hashes[static_cast<size_t>(b)]) {
+                return scratch.edge_hashes[static_cast<size_t>(a)] <
+                       scratch.edge_hashes[static_cast<size_t>(b)];
+              }
+              auto [ab, ae] = edge_pins_of(a);
+              auto [bb, be] = edge_pins_of(b);
+              return std::lexicographical_compare(ab, ae, bb, be);
+            });
+  std::vector<VertexId> merged_pins;
+  for (int32_t i = 0; i < kept;) {
+    auto [pb, pe] = edge_pins_of(scratch.edge_order[static_cast<size_t>(i)]);
+    double weight = scratch.edge_weights[static_cast<size_t>(
+        scratch.edge_order[static_cast<size_t>(i)])];
+    int32_t j = i + 1;
+    for (; j < kept; ++j) {
+      auto [qb, qe] = edge_pins_of(scratch.edge_order[static_cast<size_t>(j)]);
+      if (pe - pb != qe - qb || !std::equal(pb, pe, qb)) {
+        break;
+      }
+      weight += scratch.edge_weights[static_cast<size_t>(
+          scratch.edge_order[static_cast<size_t>(j)])];
+    }
+    merged_pins.assign(pb, pe);
+    level.coarse.AddEdge(weight, merged_pins);
+    i = j;
   }
   level.coarse.Finalize();
   return level;

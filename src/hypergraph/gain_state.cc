@@ -1,0 +1,121 @@
+#include "hypergraph/gain_state.h"
+
+#include "common/check.h"
+
+namespace dcp {
+
+KWayGainState::KWayGainState(const Hypergraph& hg, int k, Partition& part)
+    : hg_(hg), k_(k), part_(part) {
+  DCP_CHECK(hg.finalized());
+  DCP_CHECK_EQ(static_cast<int>(part.size()), hg.num_vertices());
+  const size_t n = static_cast<size_t>(hg.num_vertices());
+  const size_t m = static_cast<size_t>(hg.num_edges());
+  phi_.assign(m * static_cast<size_t>(k_), 0);
+  lambda_.assign(m, 0);
+  cut_degree_.assign(n, 0);
+  removal_.assign(n, 0.0);
+  connect_.assign(n * static_cast<size_t>(k_), 0.0);
+  incident_weight_.assign(n, 0.0);
+
+  // Parts touched by the current edge, collected while building phi.
+  std::vector<PartId> touched;
+  touched.reserve(static_cast<size_t>(k_));
+  for (EdgeId e = 0; e < hg.num_edges(); ++e) {
+    auto [pbegin, pend] = hg.EdgePins(e);
+    touched.clear();
+    for (const VertexId* pp = pbegin; pp != pend; ++pp) {
+      int32_t& count = PhiRef(e, part[static_cast<size_t>(*pp)]);
+      if (count == 0) {
+        touched.push_back(part[static_cast<size_t>(*pp)]);
+      }
+      ++count;
+    }
+    lambda_[static_cast<size_t>(e)] = static_cast<int32_t>(touched.size());
+    const double w = hg.edge_weight(e);
+    const bool cut = touched.size() > 1;
+    for (const VertexId* pp = pbegin; pp != pend; ++pp) {
+      const size_t vi = static_cast<size_t>(*pp);
+      incident_weight_[vi] += w;
+      if (Phi(e, part[vi]) == 1) {
+        removal_[vi] += w;
+      }
+      if (cut) {
+        ++cut_degree_[vi];
+      }
+      for (PartId p : touched) {
+        connect_[vi * static_cast<size_t>(k_) + static_cast<size_t>(p)] += w;
+      }
+    }
+  }
+}
+
+void KWayGainState::Apply(VertexId v, PartId b) {
+  const PartId a = part_[static_cast<size_t>(v)];
+  DCP_CHECK_NE(a, b);
+  // R(v) is defined relative to v's part, so it is rebuilt for b during the edge sweep.
+  double removal_v = 0.0;
+  auto [ebegin, eend] = hg_.VertexEdges(v);
+  for (const EdgeId* ep = ebegin; ep != eend; ++ep) {
+    const EdgeId e = *ep;
+    const double w = hg_.edge_weight(e);
+    auto [pbegin, pend] = hg_.EdgePins(e);
+
+    // --- v leaves part a. ---
+    int32_t& pa = PhiRef(e, a);
+    --pa;
+    DCP_DCHECK(pa >= 0);
+    if (pa == 0) {
+      // Part a no longer touches e: every pin loses its connection weight to a.
+      for (const VertexId* pp = pbegin; pp != pend; ++pp) {
+        connect_[static_cast<size_t>(*pp) * static_cast<size_t>(k_) +
+                 static_cast<size_t>(a)] -= w;
+      }
+      if (--lambda_[static_cast<size_t>(e)] == 1) {
+        // Edge became internal: its pins may drop out of the boundary.
+        for (const VertexId* pp = pbegin; pp != pend; ++pp) {
+          --cut_degree_[static_cast<size_t>(*pp)];
+        }
+      }
+    } else if (pa == 1) {
+      // Exactly one pin remains in a; it becomes removable for this edge.
+      for (const VertexId* pp = pbegin; pp != pend; ++pp) {
+        if (*pp != v && part_[static_cast<size_t>(*pp)] == a) {
+          removal_[static_cast<size_t>(*pp)] += w;
+          break;
+        }
+      }
+    }
+
+    // --- v enters part b. ---
+    int32_t& pb = PhiRef(e, b);
+    if (pb == 0) {
+      // Part b newly touches e: every pin gains connection weight to b.
+      for (const VertexId* pp = pbegin; pp != pend; ++pp) {
+        connect_[static_cast<size_t>(*pp) * static_cast<size_t>(k_) +
+                 static_cast<size_t>(b)] += w;
+      }
+      if (++lambda_[static_cast<size_t>(e)] == 2) {
+        for (const VertexId* pp = pbegin; pp != pend; ++pp) {
+          if (++cut_degree_[static_cast<size_t>(*pp)] == 1) {
+            activated_.push_back(*pp);
+          }
+        }
+      }
+      removal_v += w;  // v is now the sole pin of e in b.
+    } else if (pb == 1) {
+      // The previously-sole pin of e in b stops being removable. (v is still in a here,
+      // so it cannot match.)
+      for (const VertexId* pp = pbegin; pp != pend; ++pp) {
+        if (part_[static_cast<size_t>(*pp)] == b) {
+          removal_[static_cast<size_t>(*pp)] -= w;
+          break;
+        }
+      }
+    }
+    ++pb;
+  }
+  removal_[static_cast<size_t>(v)] = removal_v;
+  part_[static_cast<size_t>(v)] = b;
+}
+
+}  // namespace dcp

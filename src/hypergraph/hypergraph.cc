@@ -41,6 +41,15 @@ void Hypergraph::Finalize() {
       incident_edges_[static_cast<size_t>(cursor[static_cast<size_t>(v)]++)] = e;
     }
   }
+  total_weight_ = {0.0, 0.0};
+  for (const VertexWeight& w : vertex_weights_) {
+    total_weight_[0] += w[0];
+    total_weight_[1] += w[1];
+  }
+  total_edge_weight_ = 0.0;
+  for (double w : edge_weights_) {
+    total_edge_weight_ += w;
+  }
   finalized_ = true;
 }
 
@@ -68,21 +77,14 @@ int Hypergraph::VertexDegree(VertexId v) const {
                           vertex_offsets_[static_cast<size_t>(v)]);
 }
 
-VertexWeight Hypergraph::TotalWeight() const {
-  VertexWeight total = {0.0, 0.0};
-  for (const VertexWeight& w : vertex_weights_) {
-    total[0] += w[0];
-    total[1] += w[1];
-  }
-  return total;
+const VertexWeight& Hypergraph::TotalWeight() const {
+  DCP_DCHECK(finalized_);
+  return total_weight_;
 }
 
 double Hypergraph::TotalEdgeWeight() const {
-  double total = 0.0;
-  for (double w : edge_weights_) {
-    total += w;
-  }
-  return total;
+  DCP_DCHECK(finalized_);
+  return total_edge_weight_;
 }
 
 }  // namespace dcp

@@ -45,7 +45,10 @@ class Hypergraph {
   std::pair<const EdgeId*, const EdgeId*> VertexEdges(VertexId v) const;
   int VertexDegree(VertexId v) const;
 
-  VertexWeight TotalWeight() const;
+  // Aggregates are computed once in Finalize(); O(1) afterwards. The partitioner hot
+  // paths (greedy scoring, FM balance targets, coarsening caps) call these per vertex, so
+  // they must not rescan the weight arrays.
+  const VertexWeight& TotalWeight() const;
   double TotalEdgeWeight() const;
 
  private:
@@ -56,6 +59,8 @@ class Hypergraph {
   // Built by Finalize():
   std::vector<int64_t> vertex_offsets_;  // size V+1 into incident_edges_.
   std::vector<EdgeId> incident_edges_;
+  VertexWeight total_weight_ = {0.0, 0.0};
+  double total_edge_weight_ = 0.0;
   bool finalized_ = false;
 };
 

@@ -3,6 +3,7 @@
 #ifndef DCP_HYPERGRAPH_INTERNAL_H_
 #define DCP_HYPERGRAPH_INTERNAL_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "common/rng.h"
@@ -20,10 +21,38 @@ struct CoarseLevel {
   std::vector<VertexId> fine_to_coarse;  // size = fine vertex count.
 };
 
+// Reusable scratch for CoarsenOnce. A V-cycle coarsens many levels back to back; holding
+// these buffers across levels (they only shrink as the graph contracts) removes all
+// per-level heap churn from the clustering and edge-dedup loops. The score/stamp pair is
+// a timestamped flat accumulator: an entry is live only if its stamp matches the current
+// epoch, so clearing between vertices is O(1) instead of O(touched).
+struct CoarseningScratch {
+  std::vector<VertexId> cluster;
+  std::vector<VertexWeight> cluster_weight;
+  std::vector<VertexId> order;
+  std::vector<double> score;
+  std::vector<uint64_t> score_stamp;
+  uint64_t epoch = 0;
+  std::vector<VertexId> touched;   // Candidate clusters scored for the current vertex.
+  std::vector<VertexId> compact;   // Cluster id -> coarse vertex id.
+  std::vector<VertexId> pin_buf;   // Remapped pins of the current edge.
+  // Flat coarse-edge store for sort-based dedup of identical pin sets.
+  std::vector<int64_t> edge_offsets;
+  std::vector<VertexId> edge_pins;
+  std::vector<double> edge_weights;
+  std::vector<uint64_t> edge_hashes;
+  std::vector<int32_t> edge_order;
+};
+
 // Heavy-connectivity clustering pass (defined in coarsening.cc). Respects the per-cluster
 // weight cap from `config`. Returns nullopt-equivalent empty result if no contraction was
-// possible (coarse vertex count == fine vertex count).
-CoarseLevel CoarsenOnce(const Hypergraph& hg, const PartitionConfig& config, Rng& rng);
+// possible (coarse vertex count == fine vertex count). When `restrict_part` is non-null
+// (size = num_vertices), vertices are only merged with vertices of the same part, so an
+// existing partition projects losslessly onto the coarse graph — the building block of
+// iterated V-cycles that re-coarsen around the incumbent solution.
+CoarseLevel CoarsenOnce(const Hypergraph& hg, const PartitionConfig& config, Rng& rng,
+                        CoarseningScratch& scratch,
+                        const Partition* restrict_part = nullptr);
 
 // Portfolio initial partitioning on the (coarsest) hypergraph (initial_partition.cc).
 Partition ComputeInitialPartition(const Hypergraph& hg, const PartitionConfig& config,

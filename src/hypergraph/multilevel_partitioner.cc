@@ -1,46 +1,88 @@
 // Multilevel k-way hypergraph partitioner: coarsen with heavy-connectivity clustering,
 // partition the coarsest graph with a randomized portfolio, then uncoarsen with FM
 // refinement at every level. This is the stand-in for KaHyPar used by the paper (§4.2).
+//
+// The portfolio candidates (config.vcycles multilevel V-cycles with independent random
+// streams, a refined direct greedy solution, and component packing) are independent, so
+// they run concurrently on the global thread pool. Each candidate gets an RNG stream
+// forked from the seed in a fixed order before any task starts and writes into its own
+// result slot; the winner is then chosen by a fixed sequential scan and polished with
+// iterated (incumbent-restricted) V-cycles. The output is therefore bit-identical to a
+// sequential evaluation regardless of thread count or scheduling.
 #include <algorithm>
+#include <array>
+#include <functional>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 #include "hypergraph/internal.h"
 #include "hypergraph/metrics.h"
 
 namespace dcp {
 namespace {
 
+// A chain of coarse levels, optionally tracking an incumbent partition projected onto
+// every level (iterated V-cycles).
+struct CoarsenChain {
+  std::vector<CoarseLevel> levels;
+  std::vector<Partition> level_parts;  // Filled iff an incumbent was supplied.
+};
+
+// Coarsens until the target size or diminishing returns. When `incumbent` is non-null,
+// merges are restricted to same-part vertex pairs and the incumbent is projected onto
+// each coarse level. One CoarseningScratch is reused across the whole chain.
+CoarsenChain BuildCoarsenChain(const Hypergraph& hg, const PartitionConfig& config,
+                               Rng& rng, const Partition* incumbent) {
+  const int coarse_target = std::max(64, config.k * config.coarsen_until_per_part);
+  CoarsenChain chain;
+  CoarseningScratch scratch;
+  const Hypergraph* current = &hg;
+  const Partition* current_part = incumbent;
+  while (current->num_vertices() > coarse_target) {
+    CoarseLevel level = CoarsenOnce(*current, config, rng, scratch, current_part);
+    if (level.fine_to_coarse.empty()) {
+      break;  // No contraction possible.
+    }
+    const int before = current->num_vertices();
+    const int after = level.coarse.num_vertices();
+    if (after >= before || after > static_cast<int>(before * 0.95)) {
+      break;  // Diminishing returns.
+    }
+    if (incumbent != nullptr) {
+      Partition coarse_part(static_cast<size_t>(after));
+      for (VertexId v = 0; v < before; ++v) {
+        coarse_part[static_cast<size_t>(level.fine_to_coarse[static_cast<size_t>(v)])] =
+            (*current_part)[static_cast<size_t>(v)];
+      }
+      chain.level_parts.push_back(std::move(coarse_part));
+    }
+    chain.levels.push_back(std::move(level));
+    current = &chain.levels.back().coarse;
+    if (incumbent != nullptr) {
+      current_part = &chain.level_parts.back();
+    }
+  }
+  return chain;
+}
+
 class MultilevelPartitioner final : public Partitioner {
  public:
   // One multilevel V-cycle: coarsen, initial-partition, uncoarsen with refinement.
   static Partition VCycle(const Hypergraph& hg, const PartitionConfig& config, Rng& rng) {
-    const int coarse_target = std::max(64, config.k * config.coarsen_until_per_part);
-    std::vector<CoarseLevel> levels;
-    const Hypergraph* current = &hg;
-    while (current->num_vertices() > coarse_target) {
-      CoarseLevel level = CoarsenOnce(*current, config, rng);
-      if (level.fine_to_coarse.empty()) {
-        break;  // No contraction possible.
-      }
-      const int before = current->num_vertices();
-      const int after = level.coarse.num_vertices();
-      if (after >= before || after > static_cast<int>(before * 0.95)) {
-        break;  // Diminishing returns.
-      }
-      levels.push_back(std::move(level));
-      current = &levels.back().coarse;
-    }
+    CoarsenChain chain = BuildCoarsenChain(hg, config, rng, nullptr);
+    const Hypergraph& coarsest =
+        chain.levels.empty() ? hg : chain.levels.back().coarse;
 
-    Partition part = ComputeInitialPartition(*current, config, rng);
-    FmRefine(*current, config, part, rng);
+    Partition part = ComputeInitialPartition(coarsest, config, rng);
+    FmRefine(coarsest, config, part, rng);
 
-    for (auto it = levels.rbegin(); it != levels.rend(); ++it) {
-      const Hypergraph& finer =
-          (std::next(it) == levels.rend()) ? hg : std::next(it)->coarse;
+    for (size_t i = chain.levels.size(); i-- > 0;) {
+      const Hypergraph& finer = (i == 0) ? hg : chain.levels[i - 1].coarse;
+      const std::vector<VertexId>& map = chain.levels[i].fine_to_coarse;
       Partition projected(static_cast<size_t>(finer.num_vertices()));
       for (VertexId v = 0; v < finer.num_vertices(); ++v) {
         projected[static_cast<size_t>(v)] =
-            part[static_cast<size_t>(it->fine_to_coarse[static_cast<size_t>(v)])];
+            part[static_cast<size_t>(map[static_cast<size_t>(v)])];
       }
       part = std::move(projected);
       FmRefine(finer, config, part, rng);
@@ -48,10 +90,35 @@ class MultilevelPartitioner final : public Partitioner {
     return part;
   }
 
+  // One iterated V-cycle on an incumbent partition: coarsen with merges restricted to
+  // same-part vertex pairs (so the incumbent projects losslessly onto every level), then
+  // walk back up refining from the projected incumbent. FM only ever applies improving
+  // moves, so the result is never worse than the input; coarse-level moves relocate whole
+  // clusters at once, escaping local optima the flat refinement cannot.
+  static void IteratedVCycle(const Hypergraph& hg, const PartitionConfig& config,
+                             Partition& part, Rng& rng) {
+    CoarsenChain chain = BuildCoarsenChain(hg, config, rng, &part);
+    if (chain.levels.empty()) {
+      FmRefine(hg, config, part, rng);
+      return;
+    }
+
+    FmRefine(chain.levels.back().coarse, config, chain.level_parts.back(), rng);
+    for (size_t i = chain.levels.size(); i-- > 0;) {
+      const Hypergraph& finer = (i == 0) ? hg : chain.levels[i - 1].coarse;
+      Partition& finer_part = (i == 0) ? part : chain.level_parts[i - 1];
+      const std::vector<VertexId>& map = chain.levels[i].fine_to_coarse;
+      for (VertexId v = 0; v < finer.num_vertices(); ++v) {
+        finer_part[static_cast<size_t>(v)] =
+            chain.level_parts[i][static_cast<size_t>(map[static_cast<size_t>(v)])];
+      }
+      FmRefine(finer, config, finer_part, rng);
+    }
+  }
+
   PartitionResult Run(const Hypergraph& hg, const PartitionConfig& config) const override {
     DCP_CHECK(hg.finalized());
     DCP_CHECK_GE(config.k, 1);
-    Rng rng(config.seed);
     PartitionResult result;
     if (config.k == 1) {
       result.part.assign(static_cast<size_t>(hg.num_vertices()), 0);
@@ -60,43 +127,76 @@ class MultilevelPartitioner final : public Partitioner {
       return result;
     }
 
-    // Two V-cycles with independent random streams; coarsening randomness gives genuinely
-    // different solution-space cuts, which matters most on large fine-grained instances.
-    Partition part = VCycle(hg, config, rng);
-    {
-      Rng second_rng = rng.Fork();
-      Partition second = VCycle(hg, config, second_rng);
-      const bool first_balanced = IsBalanced(hg, part, config.k, config.eps);
-      const bool second_balanced = IsBalanced(hg, second, config.k, config.eps);
-      const double first_cost = ConnectivityMinusOne(hg, part, config.k);
-      const double second_cost = ConnectivityMinusOne(hg, second, config.k);
-      if ((second_balanced && !first_balanced) ||
-          (second_balanced == first_balanced && second_cost < first_cost)) {
-        part = std::move(second);
-      }
+    // Fork one stream per candidate in a fixed order before launching anything, so every
+    // candidate is independent of scheduling. Coarsening randomness gives each V-cycle a
+    // genuinely different solution-space cut, which matters most on large fine-grained
+    // instances; greedy + component packing guarantee the portfolio never loses to the
+    // baselines (component packing finds zero-cost data-parallel placements when the
+    // batch decomposes into independent sequences).
+    const int vcycles = std::max(1, config.vcycles);
+    Rng rng(config.seed);
+    std::vector<Rng> vcycle_rngs;
+    vcycle_rngs.reserve(static_cast<size_t>(vcycles));
+    for (int c = 0; c < vcycles; ++c) {
+      vcycle_rngs.push_back(rng.Fork());
     }
-    // Portfolio: compare the multilevel result against (a) a refined direct greedy
-    // solution and (b) component packing (which finds zero-cost data-parallel placements
-    // when the batch decomposes into independent sequences). Feasibility first, then
-    // connectivity cost. This guarantees the result never loses to the greedy baseline.
-    Partition direct = GreedyAffinityPartition(hg, config, rng);
-    FmRefine(hg, config, direct, rng);
-    Partition packed = ComponentPackingPartition(hg, config, rng);
+    Rng direct_rng = rng.Fork();
+    Rng packed_rng = rng.Fork();
+    Rng iterate_rng = rng.Fork();
 
+    std::vector<Partition> candidates(static_cast<size_t>(vcycles) + 2);
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(candidates.size());
+    for (int c = 0; c < vcycles; ++c) {
+      tasks.emplace_back([&hg, &config, &vcycle_rngs, &candidates, c]() {
+        candidates[static_cast<size_t>(c)] =
+            VCycle(hg, config, vcycle_rngs[static_cast<size_t>(c)]);
+      });
+    }
+    tasks.emplace_back([&hg, &config, &direct_rng, &candidates, vcycles]() {
+      Partition& direct = candidates[static_cast<size_t>(vcycles)];
+      direct = GreedyAffinityPartition(hg, config, direct_rng);
+      FmRefine(hg, config, direct, direct_rng);
+    });
+    tasks.emplace_back([&hg, &config, &packed_rng, &candidates, vcycles]() {
+      candidates[static_cast<size_t>(vcycles) + 1] =
+          ComponentPackingPartition(hg, config, packed_rng);
+    });
+    GlobalThreadPool().ParallelInvoke(std::move(tasks));
+
+    // Fixed-order selection: feasibility first, then connectivity cost, earlier
+    // candidate winning ties. The V-cycles are listed first so the multilevel result is
+    // preferred at equal score.
     auto score = [&](const Partition& candidate) {
       return std::make_pair(!IsBalanced(hg, candidate, config.k, config.eps),
                             ConnectivityMinusOne(hg, candidate, config.k));
     };
-    Partition* best = &part;
-    auto best_score = score(part);
-    for (Partition* candidate : {&direct, &packed}) {
-      auto candidate_score = score(*candidate);
+    Partition* best = &candidates[0];
+    auto best_score = score(candidates[0]);
+    for (size_t i = 1; i < candidates.size(); ++i) {
+      auto candidate_score = score(candidates[i]);
       if (candidate_score < best_score) {
-        best = candidate;
+        best = &candidates[i];
         best_score = candidate_score;
       }
     }
     result.part = std::move(*best);
+
+    // Iterated V-cycles on the winner: each round re-coarsens around the incumbent and
+    // re-refines from it. Kept only on strict improvement; stops as soon as a round
+    // stalls, so converged instances pay for exactly one extra (cheap) cycle.
+    for (int round = 0; round < config.vcycle_iterations; ++round) {
+      Partition trial = result.part;
+      IteratedVCycle(hg, config, trial, iterate_rng);
+      auto trial_score = score(trial);
+      if (trial_score < best_score) {
+        result.part = std::move(trial);
+        best_score = trial_score;
+      } else {
+        break;
+      }
+    }
+
     result.connectivity_cost = best_score.second;
     result.balanced = !best_score.first;
     return result;

@@ -27,6 +27,15 @@ struct PartitionConfig {
   double max_cluster_weight_frac = 0.5;  // Cluster cap as fraction of total/k, per dim.
   int initial_tries = 6;
   int refinement_passes = 6;
+  // Independent multilevel V-cycles in the portfolio. Coarsening randomness gives each
+  // cycle a genuinely different solution-space cut; they run concurrently on the global
+  // thread pool, so extra cycles cost little wall clock on multi-core hosts.
+  int vcycles = 2;
+  // Iterated V-cycles applied to the portfolio winner (KaHyPar-style): re-coarsen
+  // respecting the incumbent partition, then re-refine from the projected solution at
+  // every level. Monotone — each round keeps the incumbent unless it strictly improves —
+  // so it converts portfolio luck into convergence. Stops early when a round stalls.
+  int vcycle_iterations = 3;
 };
 
 struct PartitionResult {

@@ -1,16 +1,17 @@
 // Greedy K-way FM-style refinement on the connectivity-minus-one objective.
 //
-// Maintains per-edge pin counts per part (phi), so the gain of moving a vertex v from part
-// a to part b is computed exactly:
-//   gain = sum_e w_e * ( [phi(e,a) == 1 && phi(e,b) > 0]  -  [phi(e,a) > 1 && phi(e,b) == 0] )
-// Each pass visits boundary vertices in random order and applies the best feasible
-// positive-gain move (or a zero-gain balance-improving move). A rebalance sweep first fixes
-// infeasible inputs by moving vertices out of overloaded parts at minimal cost.
+// Gains are not recomputed per candidate move: a KWayGainState maintains the exact gain
+// of moving any vertex to any part (see gain_state.h), updated incrementally on Apply.
+// Each pass shuffles an explicit worklist of the current boundary vertices (an O(1)
+// membership query on the maintained cut-edge counts) and applies the best feasible
+// positive-gain move, or a zero-gain balance-improving move. A rebalance sweep first
+// fixes infeasible inputs by moving vertices out of overloaded parts at minimal cost,
+// visiting only the vertices that currently live in an overloaded part.
 #include <algorithm>
 #include <limits>
-#include <numeric>
 
 #include "common/check.h"
+#include "hypergraph/gain_state.h"
 #include "hypergraph/internal.h"
 #include "hypergraph/metrics.h"
 
@@ -20,54 +21,16 @@ namespace {
 class RefinementState {
  public:
   RefinementState(const Hypergraph& hg, const PartitionConfig& config, Partition& part)
-      : hg_(hg), config_(config), part_(part), k_(config.k) {
-    phi_.assign(static_cast<size_t>(hg.num_edges()) * static_cast<size_t>(k_), 0);
-    for (EdgeId e = 0; e < hg.num_edges(); ++e) {
-      auto [pbegin, pend] = hg.EdgePins(e);
-      for (const VertexId* pp = pbegin; pp != pend; ++pp) {
-        ++PhiRef(e, part[static_cast<size_t>(*pp)]);
-      }
-    }
+      : hg_(hg), k_(config.k), gains_(hg, config.k, part) {
     loads_ = PartWeights(hg, part, k_);
-    const VertexWeight total = hg.TotalWeight();
+    const VertexWeight& total = hg.TotalWeight();
     target_ = {total[0] / k_, total[1] / k_};
     limit_ = {(1.0 + config.eps[0]) * target_[0] + 1e-9,
               (1.0 + config.eps[1]) * target_[1] + 1e-9};
   }
 
-  int32_t Phi(EdgeId e, PartId p) const {
-    return phi_[static_cast<size_t>(e) * static_cast<size_t>(k_) + static_cast<size_t>(p)];
-  }
-
-  bool IsBoundary(VertexId v) const {
-    auto [ebegin, eend] = hg_.VertexEdges(v);
-    const PartId a = part_[static_cast<size_t>(v)];
-    for (const EdgeId* ep = ebegin; ep != eend; ++ep) {
-      auto [pbegin, pend] = hg_.EdgePins(*ep);
-      if (Phi(*ep, a) < pend - pbegin) {
-        return true;  // Some pin of this edge lives elsewhere.
-      }
-    }
-    return false;
-  }
-
-  // Gain of moving v to part b (b != current part).
-  double MoveGain(VertexId v, PartId b) const {
-    const PartId a = part_[static_cast<size_t>(v)];
-    double gain = 0.0;
-    auto [ebegin, eend] = hg_.VertexEdges(v);
-    for (const EdgeId* ep = ebegin; ep != eend; ++ep) {
-      const double w = hg_.edge_weight(*ep);
-      const int32_t pa = Phi(*ep, a);
-      const int32_t pb = Phi(*ep, b);
-      if (pa == 1 && pb > 0) {
-        gain += w;
-      } else if (pa > 1 && pb == 0) {
-        gain -= w;
-      }
-    }
-    return gain;
-  }
+  bool IsBoundary(VertexId v) const { return gains_.IsBoundary(v); }
+  double MoveGain(VertexId v, PartId b) const { return gains_.Gain(v, b); }
 
   bool FitsIn(VertexId v, PartId b) const {
     const VertexWeight& w = hg_.vertex_weight(v);
@@ -83,7 +46,7 @@ class RefinementState {
 
   // Strictly improves the pairwise balance between v's part and b.
   bool ImprovesBalance(VertexId v, PartId b) const {
-    const PartId a = part_[static_cast<size_t>(v)];
+    const PartId a = part()[static_cast<size_t>(v)];
     const VertexWeight& w = hg_.vertex_weight(v);
     const double before = std::max(NormLoad(a), NormLoad(b));
     const auto& la = loads_[static_cast<size_t>(a)];
@@ -96,20 +59,13 @@ class RefinementState {
   }
 
   void Apply(VertexId v, PartId b) {
-    const PartId a = part_[static_cast<size_t>(v)];
-    DCP_CHECK_NE(a, b);
-    auto [ebegin, eend] = hg_.VertexEdges(v);
-    for (const EdgeId* ep = ebegin; ep != eend; ++ep) {
-      --PhiRef(*ep, a);
-      ++PhiRef(*ep, b);
-      DCP_DCHECK(Phi(*ep, a) >= 0);
-    }
+    const PartId a = part()[static_cast<size_t>(v)];
+    gains_.Apply(v, b);
     const VertexWeight& w = hg_.vertex_weight(v);
     loads_[static_cast<size_t>(a)][0] -= w[0];
     loads_[static_cast<size_t>(a)][1] -= w[1];
     loads_[static_cast<size_t>(b)][0] += w[0];
     loads_[static_cast<size_t>(b)][1] += w[1];
-    part_[static_cast<size_t>(v)] = b;
   }
 
   bool PartOverloaded(PartId p) const {
@@ -127,40 +83,42 @@ class RefinementState {
   }
 
   int k() const { return k_; }
-  const Partition& part() const { return part_; }
+  const Partition& part() const { return gains_.part(); }
+  std::vector<VertexId>& Activated() { return gains_.activated(); }
 
  private:
-  int32_t& PhiRef(EdgeId e, PartId p) {
-    return phi_[static_cast<size_t>(e) * static_cast<size_t>(k_) + static_cast<size_t>(p)];
-  }
-
   const Hypergraph& hg_;
-  const PartitionConfig& config_;
-  Partition& part_;
   const int k_;
-  std::vector<int32_t> phi_;
+  KWayGainState gains_;
   std::vector<VertexWeight> loads_;
   std::array<double, 2> target_;
   std::array<double, 2> limit_;
 };
 
-// Moves vertices out of overloaded parts at minimum connectivity cost until feasible (or no
-// further progress). Bounded by 2 * num_vertices moves.
+// Moves vertices out of overloaded parts at minimum connectivity cost until feasible (or
+// no further progress). Bounded by 2 * num_vertices moves. Only vertices that currently
+// live in an overloaded part are candidates; the list is regathered per sweep since moves
+// drain the overloaded parts.
 void RebalancePass(const Hypergraph& hg, RefinementState& state, Rng& rng) {
   if (!state.AnyOverloaded()) {
     return;
   }
-  std::vector<VertexId> order(static_cast<size_t>(hg.num_vertices()));
-  std::iota(order.begin(), order.end(), 0);
-  rng.Shuffle(order);
   int moves_left = 2 * hg.num_vertices();
+  std::vector<VertexId> candidates;
   bool progress = true;
   while (state.AnyOverloaded() && progress && moves_left > 0) {
     progress = false;
-    for (VertexId v : order) {
+    candidates.clear();
+    for (VertexId v = 0; v < hg.num_vertices(); ++v) {
+      if (state.PartOverloaded(state.part()[static_cast<size_t>(v)])) {
+        candidates.push_back(v);
+      }
+    }
+    rng.Shuffle(candidates);
+    for (VertexId v : candidates) {
       const PartId a = state.part()[static_cast<size_t>(v)];
       if (!state.PartOverloaded(a)) {
-        continue;
+        continue;  // Earlier moves this sweep already relieved a.
       }
       PartId best = -1;
       double best_gain = -std::numeric_limits<double>::max();
@@ -198,14 +156,26 @@ double FmRefine(const Hypergraph& hg, const PartitionConfig& config, Partition& 
   RebalancePass(hg, state, rng);
 
   double total_improvement = 0.0;
-  std::vector<VertexId> order(static_cast<size_t>(hg.num_vertices()));
-  std::iota(order.begin(), order.end(), 0);
+  std::vector<VertexId> worklist;
   for (int pass = 0; pass < config.refinement_passes; ++pass) {
-    rng.Shuffle(order);
+    worklist.clear();
+    for (VertexId v = 0; v < hg.num_vertices(); ++v) {
+      if (state.IsBoundary(v)) {
+        worklist.push_back(v);
+      }
+    }
+    if (worklist.empty()) {
+      break;
+    }
+    rng.Shuffle(worklist);
+    state.Activated().clear();
     double pass_improvement = 0.0;
-    for (VertexId v : order) {
+    // The worklist grows mid-pass: moves can flip internal vertices onto the boundary,
+    // and those are appended so the pass chases the moving boundary to convergence.
+    for (size_t idx = 0; idx < worklist.size(); ++idx) {
+      const VertexId v = worklist[idx];
       if (!state.IsBoundary(v)) {
-        continue;
+        continue;  // Moved off the boundary by an earlier move this pass.
       }
       const PartId a = state.part()[static_cast<size_t>(v)];
       PartId best = -1;
@@ -233,6 +203,11 @@ double FmRefine(const Hypergraph& hg, const PartitionConfig& config, Partition& 
       if (best >= 0 && (best_gain > 0.0 || best_improves_balance)) {
         state.Apply(v, best);
         pass_improvement += best_gain;
+        if (!state.Activated().empty()) {
+          worklist.insert(worklist.end(), state.Activated().begin(),
+                          state.Activated().end());
+          state.Activated().clear();
+        }
       }
     }
     total_improvement += pass_improvement;
