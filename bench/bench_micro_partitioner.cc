@@ -57,6 +57,13 @@ BENCHMARK(BM_MultilevelPartition)
     ->Args({4, 64})
     ->Args({8, 128})
     ->Args({16, 256})
+    // Large-k rows (production cluster scale): same n = 4096 instance family, so these
+    // isolate how planning time scales with the device count.
+    ->Args({64, 64})
+    ->Args({128, 32})
+    ->Args({256, 16})
+    // Tiny large-k config for the bench_smoke ctest label.
+    ->Args({64, 4})
     ->Unit(benchmark::kMillisecond);
 
 void BM_GreedyPartition(benchmark::State& state) {
@@ -79,6 +86,9 @@ BENCHMARK(BM_GreedyPartition)
     ->Args({4, 64})
     ->Args({8, 128})
     ->Args({16, 256})
+    ->Args({64, 64})
+    ->Args({128, 32})
+    ->Args({256, 16})
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

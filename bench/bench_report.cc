@@ -95,15 +95,17 @@ struct PlanningRow {
   std::string dataset;
   std::string mask;
   int64_t block_size = 0;
+  int k = 0;  // Total context-parallel devices the plan targets.
   int batches = 0;
   double planning_ms_mean = 0.0;
   double planning_ms_max = 0.0;
 };
 
 PlanningRow MeasurePlanning(DatasetKind dataset, MaskKind mask, int64_t block_size,
-                            int num_batches, int64_t token_budget) {
+                            int num_batches, int64_t token_budget,
+                            const ClusterSpec& cluster) {
   MicroBenchConfig config;
-  config.cluster = ClusterSpec::EndToEndTestbed();
+  config.cluster = cluster;
   config.dataset = dataset;
   config.block_size = block_size;
   config.num_batches = num_batches;
@@ -121,6 +123,7 @@ PlanningRow MeasurePlanning(DatasetKind dataset, MaskKind mask, int64_t block_si
   row.dataset = DatasetKindName(dataset);
   row.mask = MaskKindName(mask);
   row.block_size = block_size;
+  row.k = config.cluster.num_devices();
   row.batches = num_batches;
   row.planning_ms_mean = planning_ms.mean();
   row.planning_ms_max = planning_ms.max();
@@ -136,7 +139,7 @@ void WriteJson(const std::string& path, bool smoke,
     std::exit(1);
   }
   std::fprintf(f, "{\n");
-  std::fprintf(f, "  \"schema\": \"dcp.bench_planning.v1\",\n");
+  std::fprintf(f, "  \"schema\": \"dcp.bench_planning.v2\",\n");
   std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
   std::fprintf(f, "  \"partitioner\": [\n");
   for (size_t i = 0; i < partitioner.size(); ++i) {
@@ -155,10 +158,10 @@ void WriteJson(const std::string& path, bool smoke,
     const PlanningRow& r = planning[i];
     std::fprintf(f,
                  "    {\"dataset\": \"%s\", \"mask\": \"%s\", \"block_size\": %lld, "
-                 "\"batches\": %d, \"planning_ms_mean\": %.4f, "
+                 "\"k\": %d, \"batches\": %d, \"planning_ms_mean\": %.4f, "
                  "\"planning_ms_max\": %.4f}%s\n",
                  r.dataset.c_str(), r.mask.c_str(),
-                 static_cast<long long>(r.block_size), r.batches, r.planning_ms_mean,
+                 static_cast<long long>(r.block_size), r.k, r.batches, r.planning_ms_mean,
                  r.planning_ms_max, i + 1 < planning.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n");
@@ -184,10 +187,16 @@ int Main(int argc, char** argv) {
   if (smoke) {
     partitioner.push_back(MeasurePartitioner(4, 16, 2));
     partitioner.push_back(MeasurePartitioner(8, 32, 1));
+    partitioner.push_back(MeasurePartitioner(64, 8, 1));  // Tiny large-k config.
   } else {
     partitioner.push_back(MeasurePartitioner(4, 64, 5));
     partitioner.push_back(MeasurePartitioner(8, 128, 3));
     partitioner.push_back(MeasurePartitioner(16, 256, 2));
+    // Large-k rows: same vertex count, scaling only the device count, so successive
+    // PRs can diff how planning time scales with k.
+    partitioner.push_back(MeasurePartitioner(64, 64, 2));
+    partitioner.push_back(MeasurePartitioner(128, 32, 2));
+    partitioner.push_back(MeasurePartitioner(256, 16, 2));
   }
 
   std::vector<PlanningRow> planning;
@@ -195,13 +204,25 @@ int Main(int argc, char** argv) {
   const int64_t budget = smoke ? 16384 : 131072;
   const std::vector<int64_t> block_sizes =
       smoke ? std::vector<int64_t>{2048} : std::vector<int64_t>{512, 1024, 2048, 4096};
+  const ClusterSpec testbed = ClusterSpec::EndToEndTestbed();
   for (DatasetKind dataset :
        {DatasetKind::kLongAlign, DatasetKind::kLongDataCollections}) {
     for (int64_t block_size : block_sizes) {
       for (MaskKind mask : AllMaskKinds()) {
-        planning.push_back(MeasurePlanning(dataset, mask, block_size, batches, budget));
+        planning.push_back(
+            MeasurePlanning(dataset, mask, block_size, batches, budget, testbed));
       }
     }
+  }
+  // End-to-end planning at production device counts: the paper's testbed topology scaled
+  // to 128 CP ranks. One row per dataset keeps the full run affordable.
+  ClusterSpec large = testbed;
+  large.num_nodes = 16;
+  large.devices_per_node = 8;
+  for (DatasetKind dataset :
+       {DatasetKind::kLongAlign, DatasetKind::kLongDataCollections}) {
+    planning.push_back(MeasurePlanning(dataset, MaskKind::kCausal, 2048, batches,
+                                       smoke ? budget : budget / 2, large));
   }
 
   WriteJson(json_path, smoke, partitioner, planning);

@@ -85,10 +85,46 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
+void ThreadPool::ParallelFor(size_t n, size_t grain,
+                             const std::function<void(size_t, size_t, size_t)>& fn) {
+  if (n == 0) {
+    return;
+  }
+  DCP_CHECK_GT(grain, 0u);
+  const size_t chunks = (n + grain - 1) / grain;
+  if (chunks == 1) {
+    fn(0, n, 0);
+    return;
+  }
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(chunks);
+  for (size_t c = 0; c < chunks; ++c) {
+    const size_t begin = c * grain;
+    const size_t end = std::min(n, begin + grain);
+    tasks.emplace_back([&fn, begin, end, c]() { fn(begin, end, c); });
+  }
+  ParallelInvoke(std::move(tasks));
+}
+
+namespace {
+std::atomic<ThreadPool*> g_pool_override{nullptr};
+}  // namespace
+
 ThreadPool& GlobalThreadPool() {
+  ThreadPool* override_pool = g_pool_override.load(std::memory_order_acquire);
+  if (override_pool != nullptr) {
+    return *override_pool;
+  }
   static ThreadPool pool(
       std::max(1, static_cast<int>(std::thread::hardware_concurrency())));
   return pool;
+}
+
+ScopedThreadPoolOverride::ScopedThreadPoolOverride(ThreadPool* pool)
+    : previous_(g_pool_override.exchange(pool, std::memory_order_acq_rel)) {}
+
+ScopedThreadPoolOverride::~ScopedThreadPoolOverride() {
+  g_pool_override.store(previous_, std::memory_order_release);
 }
 
 }  // namespace dcp

@@ -47,6 +47,13 @@ class ThreadPool {
   // dedicated result slots) rather than in their interleaving.
   void ParallelInvoke(std::vector<std::function<void()>> tasks);
 
+  // Runs fn(begin, end, chunk_index) over [0, n) split into fixed-size chunks of `grain`
+  // elements. Chunk boundaries depend only on (n, grain) — never on the pool size — so a
+  // computation whose chunks are independent produces bit-identical results for any
+  // thread count. Small inputs (a single chunk) run inline without touching the pool.
+  void ParallelFor(size_t n, size_t grain,
+                   const std::function<void(size_t, size_t, size_t)>& fn);
+
  private:
   void WorkerLoop();
 
@@ -58,8 +65,26 @@ class ThreadPool {
 };
 
 // Process-wide pool shared by the planner's parallel phases (partitioner portfolio,
-// block-size search). Sized to the hardware concurrency; created on first use.
+// block-size search, coarsening). Sized to the hardware concurrency; created on first
+// use. All parallel planner phases are bit-deterministic by construction, so swapping
+// the pool only changes wall clock, never results.
 ThreadPool& GlobalThreadPool();
+
+// Replaces the pool returned by GlobalThreadPool() for the lifetime of the override
+// (process-global; overrides do not nest across concurrent threads — establish one from
+// a single thread at a time). Determinism tests use this to run the identical workload
+// on pools of different sizes and assert bit-identical output.
+class ScopedThreadPoolOverride {
+ public:
+  explicit ScopedThreadPoolOverride(ThreadPool* pool);
+  ~ScopedThreadPoolOverride();
+
+  ScopedThreadPoolOverride(const ScopedThreadPoolOverride&) = delete;
+  ScopedThreadPoolOverride& operator=(const ScopedThreadPoolOverride&) = delete;
+
+ private:
+  ThreadPool* previous_;
+};
 
 }  // namespace dcp
 

@@ -11,6 +11,29 @@ std::unique_ptr<Partitioner> MakePartitioner(const PlacementOptions& options) {
   return options.use_multilevel ? MakeMultilevelPartitioner() : MakeGreedyPartitioner();
 }
 
+// Applies the placement-level partitioner overrides; non-positive fields keep the
+// PartitionConfig defaults (vcycle_iterations: -1 keeps, 0 disables).
+void ApplyPartitionerKnobs(const PlacementOptions& options, PartitionConfig& config) {
+  if (options.vcycles > 0) {
+    config.vcycles = options.vcycles;
+  }
+  if (options.vcycle_iterations >= 0) {
+    config.vcycle_iterations = options.vcycle_iterations;
+  }
+  if (options.refinement_passes > 0) {
+    config.refinement_passes = options.refinement_passes;
+  }
+  if (options.initial_tries > 0) {
+    config.initial_tries = options.initial_tries;
+  }
+  if (options.coarsen_until_per_part > 0) {
+    config.coarsen_until_per_part = options.coarsen_until_per_part;
+  }
+  if (options.coarsening_grain > 0) {
+    config.coarsening_grain = options.coarsening_grain;
+  }
+}
+
 // Extracts the sub-hypergraph induced by the vertices with sub_index >= 0. Edges keep only
 // in-subset pins; edges left with < 2 pins are dropped (they can no longer be cut).
 Hypergraph InducedSubgraph(const Hypergraph& hg, const std::vector<int32_t>& sub_index,
@@ -67,6 +90,7 @@ PlacementResult PlaceBlocks(const BlockGraph& graph, const BuiltHypergraph& buil
     config.eps = {options.num_nodes == 1 ? options.eps_intra : options.eps_inter,
                   options.eps_data};
     config.seed = options.seed;
+    ApplyPartitionerKnobs(options, config);
     PartitionResult result = partitioner->Run(hg, config);
     for (VertexId v = 0; v < hg.num_vertices(); ++v) {
       device[static_cast<size_t>(v)] = result.part[static_cast<size_t>(v)];
@@ -79,6 +103,7 @@ PlacementResult PlaceBlocks(const BlockGraph& graph, const BuiltHypergraph& buil
     node_config.k = options.num_nodes;
     node_config.eps = {options.eps_inter, options.eps_data};
     node_config.seed = options.seed;
+    ApplyPartitionerKnobs(options, node_config);
     PartitionResult node_result = partitioner->Run(hg, node_config);
     total_cost += node_result.connectivity_cost;
     balanced = node_result.balanced;
@@ -101,6 +126,7 @@ PlacementResult PlaceBlocks(const BlockGraph& graph, const BuiltHypergraph& buil
       dev_config.k = options.devices_per_node;
       dev_config.eps = {options.eps_intra, options.eps_data};
       dev_config.seed = options.seed + static_cast<uint64_t>(node) + 1;
+      ApplyPartitionerKnobs(options, dev_config);
       PartitionResult dev_result = partitioner->Run(sub, dev_config);
       total_cost += dev_result.connectivity_cost;
       balanced = balanced && dev_result.balanced;

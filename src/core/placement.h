@@ -24,6 +24,14 @@ struct PlacementOptions {
   bool hierarchical = true;   // false: flat partition straight into all devices.
   bool use_multilevel = true; // false: greedy partitioner (ablation baseline).
   uint64_t seed = 1;
+  // Partitioner overrides (see PlannerOptions); non-positive keeps the default
+  // (vcycle_iterations uses -1 as "default" so 0 can disable the polish rounds).
+  int vcycles = 0;
+  int vcycle_iterations = -1;
+  int refinement_passes = 0;
+  int initial_tries = 0;
+  int coarsen_until_per_part = 0;
+  int coarsening_grain = 0;
 };
 
 struct PlacementResult {

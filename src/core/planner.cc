@@ -43,6 +43,12 @@ BatchPlan PlanBatch(const std::vector<int64_t>& seqlens,
   placement_options.hierarchical = options.hierarchical;
   placement_options.use_multilevel = options.use_multilevel;
   placement_options.seed = options.seed;
+  placement_options.vcycles = options.partition_vcycles;
+  placement_options.vcycle_iterations = options.partition_vcycle_iterations;
+  placement_options.refinement_passes = options.partition_refinement_passes;
+  placement_options.initial_tries = options.partition_initial_tries;
+  placement_options.coarsen_until_per_part = options.partition_coarsen_until_per_part;
+  placement_options.coarsening_grain = options.partition_coarsening_grain;
   const PlacementResult placement = PlaceBlocks(graph, built, placement_options);
 
   ScheduleOptions schedule_options;

@@ -30,6 +30,16 @@ struct PlannerOptions {
   bool hierarchical = true;
   bool use_multilevel = true;
   uint64_t seed = 1;
+  // Partitioner knobs surfaced for large-k clusters (k = total devices). Defaults match
+  // the paper-scale configuration; large-k deployments typically trade portfolio width
+  // (vcycles, initial_tries) for replanning latency. Non-positive values keep the
+  // PartitionConfig default.
+  int partition_vcycles = 0;
+  int partition_vcycle_iterations = -1;  // -1: default; 0 disables iterated V-cycles.
+  int partition_refinement_passes = 0;
+  int partition_initial_tries = 0;
+  int partition_coarsen_until_per_part = 0;
+  int partition_coarsening_grain = 0;
 
   BatchLayout MakeLayout(const std::vector<int64_t>& seqlens) const;
 };

@@ -1,16 +1,33 @@
-// Heavy-connectivity clustering coarsening (hMETIS/KaHyPar family). Each pass visits
-// vertices in random order and merges each into the neighbouring cluster with the highest
-// connectivity score sum(w_e / (|e| - 1)), subject to a cluster weight cap that keeps the
-// coarsest graph partitionable within the balance tolerance.
+// Heavy-connectivity clustering coarsening (hMETIS/KaHyPar family), run as synchronous
+// rounds so the expensive part parallelizes deterministically:
+//
+//  Phase 1 (parallel, read-only): every still-unmerged cluster representative scores the
+//  neighbouring clusters by summed connectivity sum(w_e / (|e| - 1)) over its incident
+//  edges — against an immutable snapshot of the current clustering — and records its
+//  preferred merge target (ties to the lowest cluster id). The phase splits over
+//  fixed-size vertex ranges on the thread pool; chunk boundaries depend on the vertex
+//  count and config.coarsening_grain, never on the pool size, so the result is
+//  bit-identical for any thread count.
+//
+//  Phase 2 (serial, cheap): representatives are visited in random order and merged into
+//  their preferred target's current cluster, subject to a cluster weight cap that keeps
+//  the coarsest graph partitionable within the balance tolerance.
+//
+// Rounds repeat (bounded) until merges dry up. The rounds recover what vertex-by-vertex
+// sequential clustering got from seeing earlier merges immediately: preference conflicts
+// (many vertices electing the same hub) resolve in the next round against the updated
+// clustering instead of stalling contraction.
 //
 // All working memory lives in the caller-provided CoarseningScratch: score accumulation
-// uses a timestamped flat array instead of a hash map, and coarse-edge dedup sorts a flat
-// (hash, pins) edge store instead of hashing vectors, so a V-cycle's coarsening chain
-// performs no per-level allocations once the first level has sized the buffers.
+// uses per-chunk timestamped flat arrays instead of hash maps, and coarse-edge dedup
+// sorts a flat (hash, pins) edge store instead of hashing vectors, so a V-cycle's
+// coarsening chain performs no per-level allocations once the first level has sized the
+// buffers.
 #include <algorithm>
 #include <numeric>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 #include "hypergraph/internal.h"
 
 namespace dcp {
@@ -24,6 +41,79 @@ uint64_t HashPins(const VertexId* begin, const VertexId* end) {
   return h;
 }
 
+// Edges this large carry no clustering signal and would make scoring quadratic.
+constexpr int kMaxScoredEdgeSize = 512;
+
+// Synchronous matching rounds per level; contraction usually saturates in two.
+constexpr int kMaxRounds = 4;
+
+// Phase 1 worker: fills preference[v] for representatives in [begin, end) against the
+// (frozen) cluster snapshot, using its own accumulator. `cluster` must be fully path
+// compressed, so cluster[u] IS u's representative.
+void ScoreRange(const Hypergraph& hg, const Partition* restrict_part,
+                const std::vector<VertexId>& cluster,
+                const std::vector<VertexWeight>& cluster_weight,
+                const std::array<double, 2>& cluster_cap, size_t begin, size_t end,
+                ScoreAccumulator& accum, std::vector<VertexId>& preference,
+                const std::vector<uint8_t>* retry) {
+  const size_t n = static_cast<size_t>(hg.num_vertices());
+  accum.score.resize(n, 0.0);
+  accum.stamp.resize(n, 0);
+  for (size_t vi = begin; vi < end; ++vi) {
+    const VertexId v = static_cast<VertexId>(vi);
+    if (retry != nullptr && !(*retry)[vi]) {
+      continue;  // Keeps its round-1 outcome; only conflict losers re-score.
+    }
+    preference[vi] = -1;
+    if (cluster[vi] != v) {
+      continue;  // Not a representative: already merged in an earlier round.
+    }
+    const uint64_t epoch = ++accum.epoch;
+    accum.touched.clear();
+    auto [ebegin, eend] = hg.VertexEdges(v);
+    for (const EdgeId* ep = ebegin; ep != eend; ++ep) {
+      const int size = hg.EdgeSize(*ep);
+      if (size <= 1 || size > kMaxScoredEdgeSize) {
+        continue;
+      }
+      const double edge_score = hg.edge_weight(*ep) / (size - 1);
+      auto [pbegin, pend] = hg.EdgePins(*ep);
+      for (const VertexId* pp = pbegin; pp != pend; ++pp) {
+        const VertexId c = cluster[static_cast<size_t>(*pp)];
+        if (c == v) {
+          continue;
+        }
+        if (restrict_part != nullptr &&
+            (*restrict_part)[static_cast<size_t>(c)] !=
+                (*restrict_part)[static_cast<size_t>(v)]) {
+          continue;  // Merges must preserve the incumbent partition.
+        }
+        if (accum.stamp[static_cast<size_t>(c)] != epoch) {
+          accum.stamp[static_cast<size_t>(c)] = epoch;
+          accum.score[static_cast<size_t>(c)] = 0.0;
+          accum.touched.push_back(c);
+        }
+        accum.score[static_cast<size_t>(c)] += edge_score;
+      }
+    }
+    VertexId best = -1;
+    double best_score = 0.0;
+    const VertexWeight& vw = cluster_weight[vi];
+    for (VertexId candidate : accum.touched) {
+      const VertexWeight& cw = cluster_weight[static_cast<size_t>(candidate)];
+      if (cw[0] + vw[0] > cluster_cap[0] || cw[1] + vw[1] > cluster_cap[1]) {
+        continue;  // Snapshot prefilter; phase 2 re-checks against live weights.
+      }
+      const double s = accum.score[static_cast<size_t>(candidate)];
+      if (s > best_score || (s == best_score && best >= 0 && candidate < best)) {
+        best = candidate;
+        best_score = s;
+      }
+    }
+    preference[vi] = best;
+  }
+}
+
 }  // namespace
 
 CoarseLevel CoarsenOnce(const Hypergraph& hg, const PartitionConfig& config, Rng& rng,
@@ -35,7 +125,6 @@ CoarseLevel CoarsenOnce(const Hypergraph& hg, const PartitionConfig& config, Rng
       total[1] / config.k * config.max_cluster_weight_frac,
   };
 
-  // Union-find-free clustering: cluster id per vertex, cluster weights tracked directly.
   std::vector<VertexId>& cluster = scratch.cluster;
   cluster.resize(static_cast<size_t>(n));
   std::iota(cluster.begin(), cluster.end(), 0);
@@ -51,7 +140,7 @@ CoarseLevel CoarsenOnce(const Hypergraph& hg, const PartitionConfig& config, Rng
   rng.Shuffle(order);
 
   // Representative lookup with path compression (clusters form short chains as
-  // representatives themselves merge later in the pass).
+  // representatives themselves merge later in a round).
   auto find_rep = [&cluster](VertexId v) {
     VertexId rep = v;
     while (cluster[static_cast<size_t>(rep)] != rep) {
@@ -65,64 +154,65 @@ CoarseLevel CoarsenOnce(const Hypergraph& hg, const PartitionConfig& config, Rng
     return rep;
   };
 
-  // Timestamped scratch: connectivity score per candidate cluster. An entry is live only
-  // when its stamp equals the current epoch, so resetting between vertices is one
-  // increment rather than a clear.
-  scratch.score.resize(static_cast<size_t>(n), 0.0);
-  scratch.score_stamp.resize(static_cast<size_t>(n), 0);
-  std::vector<VertexId>& touched = scratch.touched;
+  std::vector<VertexId>& preference = scratch.preference;
+  preference.resize(static_cast<size_t>(n));
+  std::vector<uint8_t>& retry = scratch.retry;
+  retry.assign(static_cast<size_t>(n), 0);
+  const size_t grain = static_cast<size_t>(std::max(64, config.coarsening_grain));
+  const size_t chunks = (static_cast<size_t>(n) + grain - 1) / grain;
+  if (scratch.accumulators.size() < chunks) {
+    scratch.accumulators.resize(chunks);
+  }
+
   int merges = 0;
-  for (VertexId v : order) {
-    if (cluster[static_cast<size_t>(v)] != v) {
-      continue;  // Already merged into another cluster this pass.
+  for (int round = 0; round < kMaxRounds; ++round) {
+    // Full path compression so phase 1 can read representatives with one load.
+    for (VertexId v = 0; v < n; ++v) {
+      find_rep(v);
     }
-    const uint64_t epoch = ++scratch.epoch;
-    touched.clear();
-    auto [ebegin, eend] = hg.VertexEdges(v);
-    for (const EdgeId* ep = ebegin; ep != eend; ++ep) {
-      const int size = hg.EdgeSize(*ep);
-      if (size <= 1 || size > 512) {
-        continue;  // Singleton edges carry no clustering signal; huge edges are noise.
+
+    // --- Phase 1: parallel preference scoring over fixed vertex ranges. ---
+    // Rounds after the first only re-score representatives whose merge failed last
+    // round (preference conflicts, weight-cap collisions): everyone else either merged,
+    // or had no viable candidate — and candidates only get heavier as clusters grow.
+    const std::vector<uint8_t>* retry_filter = round == 0 ? nullptr : &retry;
+    GlobalThreadPool().ParallelFor(
+        static_cast<size_t>(n), grain,
+        [&](size_t begin, size_t end, size_t chunk) {
+          ScoreRange(hg, restrict_part, cluster, cluster_weight, cluster_cap, begin, end,
+                     scratch.accumulators[chunk], preference, retry_filter);
+        });
+
+    // --- Phase 2: serial random-order merging against live cluster weights. ---
+    int round_merges = 0;
+    for (VertexId v : order) {
+      retry[static_cast<size_t>(v)] = 0;
+      if (cluster[static_cast<size_t>(v)] != v) {
+        continue;  // Merged in an earlier round (or earlier this round).
       }
-      const double edge_score = hg.edge_weight(*ep) / (size - 1);
-      auto [pbegin, pend] = hg.EdgePins(*ep);
-      for (const VertexId* pp = pbegin; pp != pend; ++pp) {
-        const VertexId c = find_rep(*pp);
-        if (c == v) {
-          continue;
-        }
-        if (scratch.score_stamp[static_cast<size_t>(c)] != epoch) {
-          scratch.score_stamp[static_cast<size_t>(c)] = epoch;
-          scratch.score[static_cast<size_t>(c)] = 0.0;
-          touched.push_back(c);
-        }
-        scratch.score[static_cast<size_t>(c)] += edge_score;
-      }
-    }
-    VertexId best = -1;
-    double best_score = 0.0;
-    const VertexWeight& vw = cluster_weight[static_cast<size_t>(v)];
-    for (VertexId candidate : touched) {
-      if (restrict_part != nullptr &&
-          (*restrict_part)[static_cast<size_t>(candidate)] !=
-              (*restrict_part)[static_cast<size_t>(v)]) {
-        continue;  // Cluster parts stay uniform: reps never change part mid-pass.
-      }
-      const double s = scratch.score[static_cast<size_t>(candidate)];
-      const VertexWeight& cw = cluster_weight[static_cast<size_t>(candidate)];
-      if (cw[0] + vw[0] > cluster_cap[0] || cw[1] + vw[1] > cluster_cap[1]) {
+      const VertexId pref = preference[static_cast<size_t>(v)];
+      if (pref < 0) {
         continue;
       }
-      if (s > best_score || (s == best_score && candidate < best)) {
-        best = candidate;
-        best_score = s;
+      const VertexId target = find_rep(pref);
+      if (target == v) {
+        retry[static_cast<size_t>(v)] = 1;  // Partner collapsed into v; rescore.
+        continue;
       }
+      const VertexWeight& vw = cluster_weight[static_cast<size_t>(v)];
+      const VertexWeight& tw = cluster_weight[static_cast<size_t>(target)];
+      if (vw[0] + tw[0] > cluster_cap[0] || vw[1] + tw[1] > cluster_cap[1]) {
+        retry[static_cast<size_t>(v)] = 1;  // Cap collision; rescore next round.
+        continue;
+      }
+      cluster[static_cast<size_t>(v)] = target;
+      cluster_weight[static_cast<size_t>(target)][0] += vw[0];
+      cluster_weight[static_cast<size_t>(target)][1] += vw[1];
+      ++round_merges;
     }
-    if (best >= 0) {
-      cluster[static_cast<size_t>(v)] = best;
-      cluster_weight[static_cast<size_t>(best)][0] += vw[0];
-      cluster_weight[static_cast<size_t>(best)][1] += vw[1];
-      ++merges;
+    merges += round_merges;
+    if (round_merges <= n / 64) {
+      break;  // Contraction dried up; further rounds would only re-score survivors.
     }
   }
 
@@ -133,7 +223,7 @@ CoarseLevel CoarsenOnce(const Hypergraph& hg, const PartitionConfig& config, Rng
   level.fine_to_coarse.assign(static_cast<size_t>(n), -1);
 
   // Compact cluster ids. Cluster representatives are vertices with cluster[v] == v; others
-  // point directly at their representative (single-level chains by construction).
+  // reach their representative through find_rep (chains are path-compressed on the fly).
   std::vector<VertexId>& compact = scratch.compact;
   compact.assign(static_cast<size_t>(n), -1);
   VertexId next_id = 0;

@@ -1,0 +1,105 @@
+#include "hypergraph/gain_bucket_queue.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace dcp {
+namespace {
+
+// Enough resolution that same-bucket entries are near-ties; buckets keep the per-bucket
+// heaps small, so pushes and pops stay cheap even with very large boundaries.
+constexpr int kNumBuckets = 192;
+
+// Max-heap order on (gain, earliest push): the heap top is the exact in-bucket argmax.
+// A plain in-bucket scan would be O(bucket) per pop, which goes quadratic on instances
+// with many tied gains (uniform block sizes produce exactly that).
+bool HeapLess(const GainBucketQueue::Entry& a, const GainBucketQueue::Entry& b) {
+  if (a.gain != b.gain) {
+    return a.gain < b.gain;
+  }
+  return a.seq > b.seq;
+}
+
+}  // namespace
+
+void GainBucketQueue::Reset(int num_vertices, double max_abs_gain) {
+  if (buckets_.size() != static_cast<size_t>(kNumBuckets)) {
+    buckets_.resize(static_cast<size_t>(kNumBuckets));
+  }
+  for (auto& bucket : buckets_) {
+    bucket.clear();
+  }
+  gen_.assign(static_cast<size_t>(num_vertices), 0);
+  has_live_.assign(static_cast<size_t>(num_vertices), 0);
+  key_.assign(static_cast<size_t>(num_vertices), 0.0);
+  to_.assign(static_cast<size_t>(num_vertices), -1);
+  const double range = max_abs_gain > 0.0 ? max_abs_gain : 1.0;
+  lo_ = -range;
+  inv_width_ = kNumBuckets / (2.0 * range);
+  top_ = -1;
+  live_ = 0;
+  next_seq_ = 0;
+}
+
+int GainBucketQueue::BucketOf(double gain) const {
+  const double scaled = (gain - lo_) * inv_width_;
+  if (scaled <= 0.0) {
+    return 0;
+  }
+  if (scaled >= kNumBuckets - 1) {
+    return kNumBuckets - 1;
+  }
+  return static_cast<int>(scaled);
+}
+
+void GainBucketQueue::Push(VertexId v, PartId to, double gain) {
+  uint32_t& gen = gen_[static_cast<size_t>(v)];
+  ++gen;  // Stales any previous entry for v.
+  const int bucket = BucketOf(gain);
+  std::vector<Entry>& heap = buckets_[static_cast<size_t>(bucket)];
+  heap.push_back(Entry{v, to, gain, gen, next_seq_++});
+  std::push_heap(heap.begin(), heap.end(), HeapLess);
+  top_ = std::max(top_, bucket);
+  uint8_t& has = has_live_[static_cast<size_t>(v)];
+  live_ += has ? 0 : 1;
+  has = 1;
+  key_[static_cast<size_t>(v)] = gain;
+  to_[static_cast<size_t>(v)] = to;
+}
+
+void GainBucketQueue::Invalidate(VertexId v) {
+  ++gen_[static_cast<size_t>(v)];
+  uint8_t& has = has_live_[static_cast<size_t>(v)];
+  live_ -= has ? 1 : 0;
+  has = 0;
+}
+
+bool GainBucketQueue::Pop(Entry* out) {
+  while (top_ >= 0) {
+    std::vector<Entry>& heap = buckets_[static_cast<size_t>(top_)];
+    // Stale entries are dropped as they surface; each is dropped exactly once, so the
+    // cost is O(log) amortized per Push/Invalidate.
+    while (!heap.empty() &&
+           heap.front().gen != gen_[static_cast<size_t>(heap.front().v)]) {
+      std::pop_heap(heap.begin(), heap.end(), HeapLess);
+      heap.pop_back();
+    }
+    if (heap.empty()) {
+      --top_;
+      continue;
+    }
+    // The heap top is the exact in-bucket maximum by (gain, earliest push), and bucket
+    // order makes it the global maximum.
+    *out = heap.front();
+    std::pop_heap(heap.begin(), heap.end(), HeapLess);
+    heap.pop_back();
+    ++gen_[static_cast<size_t>(out->v)];  // The popped vertex no longer has a live entry.
+    has_live_[static_cast<size_t>(out->v)] = 0;
+    --live_;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace dcp

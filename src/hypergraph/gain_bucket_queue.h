@@ -1,0 +1,79 @@
+// Bucketed gain priority queue with lazy invalidation, the move-selection structure for
+// k-way FM refinement at large k.
+//
+// Entries are (vertex, target part, gain) keyed into buckets by quantized gain. Each
+// vertex has at most one *live* entry: Push() bumps the vertex's generation counter, so
+// any older entries for it become stale and are discarded (lazily, on first contact)
+// rather than searched for and erased. Each bucket is a lazy max-heap on (gain,
+// earliest push), so Pop() returns the live entry with the exact maximum gain (ties
+// toward the earliest push) in O(log bucket) — exact-argmax even though buckets
+// quantize, and immune to the tied-gain pileups uniform block sizes produce. Every
+// stale entry is dropped exactly once, so pops are O(log) amortized instead of O(k)
+// per boundary vertex.
+//
+// The caller keeps keys current: whenever a vertex's best-move gain changes, it either
+// re-Push()es (new key) or Invalidate()s the vertex. Stale keys therefore never surface
+// from Pop() — the invariant tests/test_refinement.cc checks directly.
+#ifndef DCP_HYPERGRAPH_GAIN_BUCKET_QUEUE_H_
+#define DCP_HYPERGRAPH_GAIN_BUCKET_QUEUE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "hypergraph/hypergraph.h"
+
+namespace dcp {
+
+class GainBucketQueue {
+ public:
+  struct Entry {
+    VertexId v = -1;
+    PartId to = -1;
+    double gain = 0.0;
+    uint32_t gen = 0;
+    uint64_t seq = 0;  // Global push order; ties on gain pop the earliest push.
+  };
+
+  // Prepares the queue for vertices in [0, num_vertices) with gains expected in
+  // [-max_abs_gain, +max_abs_gain]. Out-of-range gains are clamped into the boundary
+  // buckets; exactness is unaffected because the top-bucket scan compares true gains.
+  void Reset(int num_vertices, double max_abs_gain);
+
+  // Inserts (or re-keys) the unique live entry for v. Any previous entry becomes stale.
+  void Push(VertexId v, PartId to, double gain);
+
+  // Marks v's live entry (if any) stale without inserting a replacement.
+  void Invalidate(VertexId v);
+
+  // Pops the live entry with the maximum gain. Ties go to the earliest push, so the
+  // caller's (seed-shuffled) initial push order diversifies tie resolution across seeds
+  // while staying fully deterministic for a fixed seed. Returns false when no live
+  // entries remain.
+  bool Pop(Entry* out);
+
+  size_t live_size() const { return live_; }
+
+  // Current live entry for v, if any. Event-driven callers use these to bump a key in
+  // O(1): compare the event's new gain against KeyOf and re-Push only on increase.
+  bool HasLive(VertexId v) const { return has_live_[static_cast<size_t>(v)] != 0; }
+  double KeyOf(VertexId v) const { return key_[static_cast<size_t>(v)]; }
+  PartId TargetOf(VertexId v) const { return to_[static_cast<size_t>(v)]; }
+
+ private:
+  int BucketOf(double gain) const;
+
+  std::vector<std::vector<Entry>> buckets_;
+  std::vector<uint32_t> gen_;
+  std::vector<uint8_t> has_live_;  // Exactly one live entry per flagged vertex.
+  std::vector<double> key_;        // Live key per vertex (valid when has_live_).
+  std::vector<PartId> to_;         // Live target per vertex (valid when has_live_).
+  double lo_ = 0.0;
+  double inv_width_ = 0.0;
+  uint64_t next_seq_ = 0;
+  int top_ = -1;  // Highest bucket that may contain entries.
+  size_t live_ = 0;
+};
+
+}  // namespace dcp
+
+#endif  // DCP_HYPERGRAPH_GAIN_BUCKET_QUEUE_H_

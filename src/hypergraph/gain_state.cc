@@ -1,21 +1,31 @@
 #include "hypergraph/gain_state.h"
 
+#include <algorithm>
+
 #include "common/check.h"
 
 namespace dcp {
 
 KWayGainState::KWayGainState(const Hypergraph& hg, int k, Partition& part)
-    : hg_(hg), k_(k), part_(part) {
+    : hg_(hg), k_(k), stride_(simd::PaddedStride(k)), part_(part) {
   DCP_CHECK(hg.finalized());
   DCP_CHECK_EQ(static_cast<int>(part.size()), hg.num_vertices());
   const size_t n = static_cast<size_t>(hg.num_vertices());
   const size_t m = static_cast<size_t>(hg.num_edges());
-  phi_.assign(m * static_cast<size_t>(k_), 0);
+  const size_t stride = static_cast<size_t>(stride_);
+  phi_.assign(m * stride, 0);
   lambda_.assign(m, 0);
   cut_degree_.assign(n, 0);
   removal_.assign(n, 0.0);
-  connect_.assign(n * static_cast<size_t>(k_), 0.0);
   incident_weight_.assign(n, 0.0);
+  // Row storage stays uninitialized; rows are zeroed on first touch (MaterializeRow),
+  // so vertices that never see a cut edge cost nothing here.
+  connect_ = std::make_unique_for_overwrite<double[]>(n * stride);
+  adj_count_ = std::make_unique_for_overwrite<int32_t[]>(n * stride);
+  in_adj_ = std::make_unique_for_overwrite<uint8_t[]>(n * stride);
+  adj_parts_ = std::make_unique_for_overwrite<PartId[]>(n * stride);
+  adj_len_.assign(n, 0);
+  row_ready_.assign(n, 0);
 
   // Parts touched by the current edge, collected while building phi.
   std::vector<PartId> touched;
@@ -41,17 +51,25 @@ KWayGainState::KWayGainState(const Hypergraph& hg, int k, Partition& part)
       }
       if (cut) {
         ++cut_degree_[vi];
+        MaterializeRow(*pp);
+        for (PartId p : touched) {
+          connect_[vi * stride + static_cast<size_t>(p)] += w;
+          AddAdjacency(*pp, p);
+        }
       }
-      for (PartId p : touched) {
-        connect_[vi * static_cast<size_t>(k_) + static_cast<size_t>(p)] += w;
-      }
+      // Internal edges contribute no connection weight: a pin's own part is not a move
+      // target, and no other part touches the edge.
     }
+  }
+  for (double w : incident_weight_) {
+    max_incident_weight_ = std::max(max_incident_weight_, w);
   }
 }
 
 void KWayGainState::Apply(VertexId v, PartId b) {
   const PartId a = part_[static_cast<size_t>(v)];
   DCP_CHECK_NE(a, b);
+  const size_t stride = static_cast<size_t>(stride_);
   // R(v) is defined relative to v's part, so it is rebuilt for b during the edge sweep.
   double removal_v = 0.0;
   auto [ebegin, eend] = hg_.VertexEdges(v);
@@ -65,22 +83,44 @@ void KWayGainState::Apply(VertexId v, PartId b) {
     --pa;
     DCP_DCHECK(pa >= 0);
     if (pa == 0) {
-      // Part a no longer touches e: every pin loses its connection weight to a.
-      for (const VertexId* pp = pbegin; pp != pend; ++pp) {
-        connect_[static_cast<size_t>(*pp) * static_cast<size_t>(k_) +
-                 static_cast<size_t>(a)] -= w;
-      }
-      if (--lambda_[static_cast<size_t>(e)] == 1) {
-        // Edge became internal: its pins may drop out of the boundary.
+      int32_t& lambda = lambda_[static_cast<size_t>(e)];
+      --lambda;
+      if (lambda == 1) {
+        // Edge became internal in the remaining part q: strip the connection weight of
+        // BOTH its parts (a and q) so the rows keep reflecting cut edges only, and drop
+        // its pins' cut counts. These are pure gain decreases — pop-time revalidation
+        // territory, no events.
+        PartId q = -1;
         for (const VertexId* pp = pbegin; pp != pend; ++pp) {
+          if (*pp != v) {
+            q = part_[static_cast<size_t>(*pp)];
+            break;
+          }
+        }
+        DCP_DCHECK(q >= 0);
+        for (const VertexId* pp = pbegin; pp != pend; ++pp) {
+          const size_t base = static_cast<size_t>(*pp) * stride;
+          connect_[base + static_cast<size_t>(a)] -= w;
+          --adj_count_[base + static_cast<size_t>(a)];
+          connect_[base + static_cast<size_t>(q)] -= w;
+          --adj_count_[base + static_cast<size_t>(q)];
           --cut_degree_[static_cast<size_t>(*pp)];
         }
+      } else if (lambda >= 2) {
+        // Still cut: only part a's contribution leaves.
+        for (const VertexId* pp = pbegin; pp != pend; ++pp) {
+          const size_t base = static_cast<size_t>(*pp) * stride;
+          connect_[base + static_cast<size_t>(a)] -= w;
+          --adj_count_[base + static_cast<size_t>(a)];
+        }
       }
+      // lambda == 0: single-pin edge; it never contributed connection weight.
     } else if (pa == 1) {
       // Exactly one pin remains in a; it becomes removable for this edge.
       for (const VertexId* pp = pbegin; pp != pend; ++pp) {
         if (*pp != v && part_[static_cast<size_t>(*pp)] == a) {
           removal_[static_cast<size_t>(*pp)] += w;
+          removal_events_.emplace_back(*pp, w);
           break;
         }
       }
@@ -89,25 +129,54 @@ void KWayGainState::Apply(VertexId v, PartId b) {
     // --- v enters part b. ---
     int32_t& pb = PhiRef(e, b);
     if (pb == 0) {
-      // Part b newly touches e: every pin gains connection weight to b.
-      for (const VertexId* pp = pbegin; pp != pend; ++pp) {
-        connect_[static_cast<size_t>(*pp) * static_cast<size_t>(k_) +
-                 static_cast<size_t>(b)] += w;
-      }
-      if (++lambda_[static_cast<size_t>(e)] == 2) {
+      int32_t& lambda = lambda_[static_cast<size_t>(e)];
+      ++lambda;
+      if (lambda == 2) {
+        // Edge became cut: materialize the connection weight of both its parts — the
+        // pins' shared part q and the arriving part b — on every pin.
+        PartId q = -1;
         for (const VertexId* pp = pbegin; pp != pend; ++pp) {
+          if (*pp != v) {
+            q = part_[static_cast<size_t>(*pp)];
+            break;
+          }
+        }
+        DCP_DCHECK(q >= 0);
+        for (const VertexId* pp = pbegin; pp != pend; ++pp) {
+          MaterializeRow(*pp);
+          const size_t base = static_cast<size_t>(*pp) * stride;
+          connect_[base + static_cast<size_t>(q)] += w;
+          AddAdjacency(*pp, q);
+          connect_[base + static_cast<size_t>(b)] += w;
+          AddAdjacency(*pp, b);
+          // Gains toward q are own-part (not moves) for every pin but v, whose terms
+          // are rebuilt wholesale; only the gains toward b are real increases.
+          if (*pp != v && part_[static_cast<size_t>(*pp)] != b) {
+            connect_events_.push_back(ConnectEvent{*pp, b});
+          }
           if (++cut_degree_[static_cast<size_t>(*pp)] == 1) {
             activated_.push_back(*pp);
           }
         }
+      } else if (lambda >= 3) {
+        // Already cut: part b newly touches it.
+        for (const VertexId* pp = pbegin; pp != pend; ++pp) {
+          const size_t base = static_cast<size_t>(*pp) * stride;
+          connect_[base + static_cast<size_t>(b)] += w;
+          AddAdjacency(*pp, b);
+          if (*pp != v && part_[static_cast<size_t>(*pp)] != b) {
+            connect_events_.push_back(ConnectEvent{*pp, b});
+          }
+        }
       }
+      // lambda == 1: single-pin edge; it stays internal and contributes nothing.
       removal_v += w;  // v is now the sole pin of e in b.
     } else if (pb == 1) {
       // The previously-sole pin of e in b stops being removable. (v is still in a here,
       // so it cannot match.)
       for (const VertexId* pp = pbegin; pp != pend; ++pp) {
         if (part_[static_cast<size_t>(*pp)] == b) {
-          removal_[static_cast<size_t>(*pp)] -= w;
+          removal_[static_cast<size_t>(*pp)] -= w;  // Decrease: caught at pop time.
           break;
         }
       }

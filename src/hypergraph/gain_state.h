@@ -11,17 +11,39 @@
 // actually change them (phi hitting 0/1 on either side of the move), replacing the
 // per-candidate-part edge rescans the refinement hot path used to do.
 //
+// Large-k support (k up to 256 and beyond):
+//  - Per-part rows (phi, connect, adjacency) are stored with a stride padded to
+//    simd::kRowPad so full-row scans run in whole SIMD vectors (see simd.h).
+//  - Internal edges (lambda == 1) contribute nothing to the connection rows: for a pin u
+//    of an edge internal in part p, C(u, p) is u's own part — never a move target — and
+//    non-pins have phi(e, .) = 0 everywhere else. Contributions are added when an edge
+//    first becomes cut and removed when it goes internal again, so the rows depend only
+//    on cut edges. Queried gains are unaffected (own-part gains are not moves).
+//  - Because of that, a vertex needs its rows materialized only once it touches a cut
+//    edge. Rows live in uninitialized storage and are zeroed lazily on first touch:
+//    construction is O(cut structure), not O(V * k), which is what makes rebuilding the
+//    state per refinement call affordable at k = 256.
+//  - Each materialized vertex keeps an explicit list of its adjacent parts (parts with
+//    at least one incident cut edge pinned there, maintained exactly via integer edge
+//    counts). Moves with positive gain always target an adjacent part (a non-adjacent
+//    target has C(v, b) = 0, so its gain R - W <= 0), which turns the refinement inner
+//    loop from O(k) per vertex into O(|adjacent parts|) = O(degree).
+//  - Apply() records every gain-term INCREASE as an (affected vertex, part) event, so a
+//    priority-queue-driven refinement can bump exactly the affected keys in O(1) per
+//    event; decreases are left to pop-time revalidation.
+//
 // The state also maintains, per edge, the number of distinct parts touched (lambda) and,
-// per vertex, the number of incident cut edges, so boundary membership is an O(1) query
-// and refinement can keep an explicit boundary worklist instead of rescanning all
-// vertices' neighborhoods.
+// per vertex, the number of incident cut edges, so boundary membership is an O(1) query.
 #ifndef DCP_HYPERGRAPH_GAIN_STATE_H_
 #define DCP_HYPERGRAPH_GAIN_STATE_H_
 
 #include <cstdint>
+#include <cstring>
+#include <memory>
 #include <vector>
 
 #include "hypergraph/hypergraph.h"
+#include "hypergraph/simd.h"
 
 namespace dcp {
 
@@ -32,10 +54,13 @@ class KWayGainState {
   KWayGainState(const Hypergraph& hg, int k, Partition& part);
 
   int k() const { return k_; }
+  // Parts per padded row (a multiple of simd::kRowPad).
+  int stride() const { return stride_; }
   const Partition& part() const { return part_; }
 
   int32_t Phi(EdgeId e, PartId p) const {
-    return phi_[static_cast<size_t>(e) * static_cast<size_t>(k_) + static_cast<size_t>(p)];
+    return phi_[static_cast<size_t>(e) * static_cast<size_t>(stride_) +
+                static_cast<size_t>(p)];
   }
   // Number of distinct parts touched by edge e.
   int32_t Lambda(EdgeId e) const { return lambda_[static_cast<size_t>(e)]; }
@@ -45,36 +70,132 @@ class KWayGainState {
   // Exact connectivity gain of moving v to part b (b != part()[v]), O(1).
   double Gain(VertexId v, PartId b) const {
     const size_t vi = static_cast<size_t>(v);
+    MaterializeRow(v);
     return removal_[vi] +
-           connect_[vi * static_cast<size_t>(k_) + static_cast<size_t>(b)] -
+           connect_[vi * static_cast<size_t>(stride_) + static_cast<size_t>(b)] -
            incident_weight_[vi];
   }
 
-  // Moves v to part b, updating the partition, phi, lambda, boundary counts, and every
-  // affected vertex's gain terms.
+  // Gain of moving v to any part it is NOT adjacent to (C = 0); always <= 0.
+  double GainBase(VertexId v) const {
+    return removal_[static_cast<size_t>(v)] - incident_weight_[static_cast<size_t>(v)];
+  }
+
+  // Padded C(v, .) row for vectorized full scans (padding entries are 0).
+  const double* ConnectRow(VertexId v) const {
+    MaterializeRow(v);
+    return connect_.get() + static_cast<size_t>(v) * static_cast<size_t>(stride_);
+  }
+
+  // Upper bound on |gain| over all vertices (max total incident edge weight); the bucket
+  // queue uses it to size its gain range.
+  double MaxAbsGain() const { return max_incident_weight_; }
+
+  // Calls fn(p) for every part p the vertex has an incident cut edge pinned in
+  // (C(v, p) > 0 implies p is listed; v's own part may be listed too). Compacts
+  // lazily-deleted entries in passing, so amortized O(live entries). Order is the
+  // deterministic insertion order of adjacency events.
+  template <typename Fn>
+  void ForEachAdjacentPart(VertexId v, Fn&& fn) {
+    MaterializeRow(v);
+    const size_t base = static_cast<size_t>(v) * static_cast<size_t>(stride_);
+    PartId* parts = adj_parts_.get() + base;
+    int32_t& len = adj_len_[static_cast<size_t>(v)];
+    int32_t w = 0;
+    for (int32_t r = 0; r < len; ++r) {
+      const PartId p = parts[r];
+      if (adj_count_[base + static_cast<size_t>(p)] > 0) {
+        parts[w++] = p;
+        fn(p);
+      } else {
+        in_adj_[base + static_cast<size_t>(p)] = 0;
+      }
+    }
+    len = w;
+  }
+
+  // Moves v to part b, updating the partition, phi, lambda, boundary counts, adjacency
+  // lists, and every affected vertex's gain terms.
   void Apply(VertexId v, PartId b);
 
   // Vertices whose boundary status flipped from internal to boundary during Apply()
-  // calls since the last drain. Refinement appends these to its worklist so a pass
-  // chases the boundary as it moves instead of waiting for the next pass. May contain
-  // vertices that have since gone internal again; re-check IsBoundary() when consuming.
+  // calls since the last drain. May contain vertices that have since gone internal
+  // again; re-check IsBoundary() when consuming.
   std::vector<VertexId>& activated() { return activated_; }
+
+  // Gain-INCREASE events since the last ClearEvents(), in Apply() order. A queue-driven
+  // refinement uses them to bump exactly the affected keys in O(1) per event, so no
+  // queue entry is ever under-keyed; pure decreases leave entries over-keyed, which the
+  // refinement corrects when the entry pops (revalidation) — exact-argmax pops survive
+  // either way.
+  //  - connect_events: C(v, to) increased (gain toward `to` grew to Gain(v, to)).
+  //  - removal_events: R(v) increased by `second` (gains toward EVERY part grew by it).
+  // The moved vertex itself is excluded; its terms are rebuilt wholesale.
+  struct ConnectEvent {
+    VertexId v;
+    PartId to;
+  };
+  const std::vector<ConnectEvent>& connect_events() const { return connect_events_; }
+  const std::vector<std::pair<VertexId, double>>& removal_events() const {
+    return removal_events_;
+  }
+  void ClearEvents() {
+    connect_events_.clear();
+    removal_events_.clear();
+  }
 
  private:
   int32_t& PhiRef(EdgeId e, PartId p) {
-    return phi_[static_cast<size_t>(e) * static_cast<size_t>(k_) + static_cast<size_t>(p)];
+    return phi_[static_cast<size_t>(e) * static_cast<size_t>(stride_) +
+                static_cast<size_t>(p)];
+  }
+
+  // Zeroes v's connect/adjacency rows on first touch. Rows start uninitialized; only
+  // vertices that ever touch a cut edge (or are explicitly queried) pay for them.
+  // Logically const: materialization is invisible to callers.
+  void MaterializeRow(VertexId v) const {
+    if (row_ready_[static_cast<size_t>(v)]) {
+      return;
+    }
+    row_ready_[static_cast<size_t>(v)] = 1;
+    const size_t stride = static_cast<size_t>(stride_);
+    const size_t base = static_cast<size_t>(v) * stride;
+    std::memset(connect_.get() + base, 0, stride * sizeof(double));
+    std::memset(adj_count_.get() + base, 0, stride * sizeof(int32_t));
+    std::memset(in_adj_.get() + base, 0, stride * sizeof(uint8_t));
+    adj_len_[static_cast<size_t>(v)] = 0;
+  }
+
+  void AddAdjacency(VertexId v, PartId p) {
+    const size_t base = static_cast<size_t>(v) * static_cast<size_t>(stride_);
+    const size_t idx = base + static_cast<size_t>(p);
+    if (++adj_count_[idx] == 1 && in_adj_[idx] == 0) {
+      in_adj_[idx] = 1;
+      adj_parts_[base + static_cast<size_t>(adj_len_[static_cast<size_t>(v)]++)] = p;
+    }
   }
 
   const Hypergraph& hg_;
   const int k_;
+  const int stride_;
   Partition& part_;
-  std::vector<int32_t> phi_;             // E x k pin counts.
+  std::vector<int32_t> phi_;             // E x stride pin counts.
   std::vector<int32_t> lambda_;          // Per edge: distinct parts touched.
   std::vector<int32_t> cut_degree_;      // Per vertex: incident cut edges.
   std::vector<double> removal_;          // R(v).
-  std::vector<double> connect_;          // V x k: C(v, b).
   std::vector<double> incident_weight_;  // W(v).
+  double max_incident_weight_ = 0.0;
+  // Lazily-materialized per-vertex rows (see MaterializeRow). Uninitialized storage:
+  // untouched rows never fault a page, let alone get zeroed.
+  std::unique_ptr<double[]> connect_;     // V x stride: C(v, b) over cut edges.
+  std::unique_ptr<int32_t[]> adj_count_;  // V x stride: incident cut edges pinned in p.
+  std::unique_ptr<uint8_t[]> in_adj_;     // V x stride: p present in adj_parts_ row.
+  std::unique_ptr<PartId[]> adj_parts_;   // V x stride flat adjacency arena.
+  mutable std::vector<int32_t> adj_len_;
+  mutable std::vector<uint8_t> row_ready_;
   std::vector<VertexId> activated_;      // Internal -> boundary transitions.
+  std::vector<ConnectEvent> connect_events_;
+  std::vector<std::pair<VertexId, double>> removal_events_;
 };
 
 }  // namespace dcp

@@ -88,6 +88,14 @@ Partition ComponentPackingPartition(const Hypergraph& hg, const PartitionConfig&
     comp_weight[static_cast<size_t>(comp_of[static_cast<size_t>(v)])][1] +=
         hg.vertex_weight(v)[1];
   }
+  // A connected batch gives packing nothing to pack: the FFD below piles everything on
+  // one part and the rebalance/refine polish amounts to a second from-scratch flat FM —
+  // the most expensive way to produce a candidate that never wins. At large k (where
+  // that flat FM is priciest) hand back a plain greedy partition instead; with many
+  // components (the decomposed-batch case this candidate exists for) run the real thing.
+  if (comp_weight.size() == 1 && config.k >= kLargeKThreshold) {
+    return GreedyAffinityPartition(hg, config, rng);
+  }
   // FFD over components by max normalized weight, into the least-loaded part.
   const int k = config.k;
   const VertexWeight total = hg.TotalWeight();

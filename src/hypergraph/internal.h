@@ -21,19 +21,29 @@ struct CoarseLevel {
   std::vector<VertexId> fine_to_coarse;  // size = fine vertex count.
 };
 
+// Timestamped flat score accumulator: an entry is live only if its stamp matches the
+// current epoch, so clearing between vertices is O(1) instead of O(touched). Each
+// parallel scoring task owns one exclusively.
+struct ScoreAccumulator {
+  std::vector<double> score;
+  std::vector<uint64_t> stamp;
+  uint64_t epoch = 0;
+  std::vector<VertexId> touched;  // Candidates scored for the current vertex.
+};
+
 // Reusable scratch for CoarsenOnce. A V-cycle coarsens many levels back to back; holding
 // these buffers across levels (they only shrink as the graph contracts) removes all
-// per-level heap churn from the clustering and edge-dedup loops. The score/stamp pair is
-// a timestamped flat accumulator: an entry is live only if its stamp matches the current
-// epoch, so clearing between vertices is O(1) instead of O(touched).
+// per-level heap churn from the clustering and edge-dedup loops. `accumulators` holds
+// one ScoreAccumulator per scoring chunk — chunk boundaries depend only on the vertex
+// count and config.coarsening_grain, never on the thread count, so the parallel scoring
+// phase is bit-deterministic for any pool size.
 struct CoarseningScratch {
   std::vector<VertexId> cluster;
   std::vector<VertexWeight> cluster_weight;
   std::vector<VertexId> order;
-  std::vector<double> score;
-  std::vector<uint64_t> score_stamp;
-  uint64_t epoch = 0;
-  std::vector<VertexId> touched;   // Candidate clusters scored for the current vertex.
+  std::vector<VertexId> preference;  // Per vertex: preferred merge partner (or -1).
+  std::vector<uint8_t> retry;        // Re-score in the next matching round.
+  std::vector<ScoreAccumulator> accumulators;
   std::vector<VertexId> compact;   // Cluster id -> coarse vertex id.
   std::vector<VertexId> pin_buf;   // Remapped pins of the current edge.
   // Flat coarse-edge store for sort-based dedup of identical pin sets.

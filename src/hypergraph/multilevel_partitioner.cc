@@ -33,7 +33,12 @@ struct CoarsenChain {
 // each coarse level. One CoarseningScratch is reused across the whole chain.
 CoarsenChain BuildCoarsenChain(const Hypergraph& hg, const PartitionConfig& config,
                                Rng& rng, const Partition* incumbent) {
-  const int coarse_target = std::max(64, config.k * config.coarsen_until_per_part);
+  // Very large k can push k * coarsen_until_per_part past the instance size, which
+  // would silently disable the multilevel scheme; cap the target at half the fine graph
+  // so at least one contraction happens whenever contraction is possible.
+  const int coarse_target =
+      std::max(64, std::min(config.k * config.coarsen_until_per_part,
+                            std::max(64, hg.num_vertices() / 2)));
   CoarsenChain chain;
   CoarseningScratch scratch;
   const Hypergraph* current = &hg;
@@ -116,15 +121,31 @@ class MultilevelPartitioner final : public Partitioner {
     }
   }
 
-  PartitionResult Run(const Hypergraph& hg, const PartitionConfig& config) const override {
+  PartitionResult Run(const Hypergraph& hg, const PartitionConfig& original) const override {
     DCP_CHECK(hg.finalized());
-    DCP_CHECK_GE(config.k, 1);
+    DCP_CHECK_GE(original.k, 1);
     PartitionResult result;
-    if (config.k == 1) {
+    if (original.k == 1) {
       result.part.assign(static_cast<size_t>(hg.num_vertices()), 0);
       result.connectivity_cost = 0.0;
       result.balanced = true;
       return result;
+    }
+
+    // Large-k regime: past kLargeKThreshold parts, every V-cycle and refinement pass costs
+    // proportionally more (bigger gain rows, wider boundaries), while extra portfolio
+    // candidates add less — the multilevel candidate dominates. Narrow the portfolio
+    // and coarsen deeper so replanning latency stays flat as the cluster grows. The
+    // exposed knobs only ever tighten here; callers who want the wide portfolio at
+    // large k can still raise the per-field values (the regime takes the min).
+    PartitionConfig config = original;
+    const bool large_k = original.k >= kLargeKThreshold;
+    if (large_k) {
+      config.vcycles = std::min(original.vcycles, 1);
+      config.initial_tries = std::min(original.initial_tries, 2);
+      config.refinement_passes = std::min(original.refinement_passes, 4);
+      config.vcycle_iterations = std::min(original.vcycle_iterations, 1);
+      config.coarsen_until_per_part = std::min(original.coarsen_until_per_part, 8);
     }
 
     // Fork one stream per candidate in a fixed order before launching anything, so every
@@ -132,7 +153,9 @@ class MultilevelPartitioner final : public Partitioner {
     // genuinely different solution-space cut, which matters most on large fine-grained
     // instances; greedy + component packing guarantee the portfolio never loses to the
     // baselines (component packing finds zero-cost data-parallel placements when the
-    // batch decomposes into independent sequences).
+    // batch decomposes into independent sequences). In the large-k regime the refined
+    // direct greedy candidate is dropped: its from-scratch flat FM pass is the single
+    // most expensive portfolio member there and essentially never beats the V-cycle.
     const int vcycles = std::max(1, config.vcycles);
     Rng rng(config.seed);
     std::vector<Rng> vcycle_rngs;
@@ -144,7 +167,8 @@ class MultilevelPartitioner final : public Partitioner {
     Rng packed_rng = rng.Fork();
     Rng iterate_rng = rng.Fork();
 
-    std::vector<Partition> candidates(static_cast<size_t>(vcycles) + 2);
+    const int extras = large_k ? 1 : 2;
+    std::vector<Partition> candidates(static_cast<size_t>(vcycles + extras));
     std::vector<std::function<void()>> tasks;
     tasks.reserve(candidates.size());
     for (int c = 0; c < vcycles; ++c) {
@@ -153,13 +177,15 @@ class MultilevelPartitioner final : public Partitioner {
             VCycle(hg, config, vcycle_rngs[static_cast<size_t>(c)]);
       });
     }
-    tasks.emplace_back([&hg, &config, &direct_rng, &candidates, vcycles]() {
-      Partition& direct = candidates[static_cast<size_t>(vcycles)];
-      direct = GreedyAffinityPartition(hg, config, direct_rng);
-      FmRefine(hg, config, direct, direct_rng);
-    });
-    tasks.emplace_back([&hg, &config, &packed_rng, &candidates, vcycles]() {
-      candidates[static_cast<size_t>(vcycles) + 1] =
+    if (!large_k) {
+      tasks.emplace_back([&hg, &config, &direct_rng, &candidates, vcycles]() {
+        Partition& direct = candidates[static_cast<size_t>(vcycles)];
+        direct = GreedyAffinityPartition(hg, config, direct_rng);
+        FmRefine(hg, config, direct, direct_rng);
+      });
+    }
+    tasks.emplace_back([&hg, &config, &packed_rng, &candidates, vcycles, extras]() {
+      candidates[static_cast<size_t>(vcycles + extras - 1)] =
           ComponentPackingPartition(hg, config, packed_rng);
     });
     GlobalThreadPool().ParallelInvoke(std::move(tasks));

@@ -14,6 +14,13 @@
 
 namespace dcp {
 
+// Parts at or above this count run the large-k regime everywhere it exists: the
+// multilevel portfolio narrows (see MultilevelPartitioner::Run), refinement switches
+// from full O(k) candidate scans to adjacency-limited ones, and component packing skips
+// its flat-FM polish on connected graphs. One constant so the regimes can never drift
+// apart.
+inline constexpr int kLargeKThreshold = 32;
+
 struct PartitionConfig {
   int k = 2;
   // Balance tolerance per weight dimension: [compute, data]. The paper uses epsilon for
@@ -27,6 +34,10 @@ struct PartitionConfig {
   double max_cluster_weight_frac = 0.5;  // Cluster cap as fraction of total/k, per dim.
   int initial_tries = 6;
   int refinement_passes = 6;
+  // Vertices per parallel coarsening-score task. Chunk boundaries depend only on this and
+  // the vertex count — never the pool size — so coarsening stays bit-deterministic across
+  // thread counts. Values below 64 are clamped up to keep task overhead bounded.
+  int coarsening_grain = 1024;
   // Independent multilevel V-cycles in the portfolio. Coarsening randomness gives each
   // cycle a genuinely different solution-space cut; they run concurrently on the global
   // thread pool, so extra cycles cost little wall clock on multi-core hosts.

@@ -1,16 +1,28 @@
-// Greedy K-way FM-style refinement on the connectivity-minus-one objective.
+// K-way FM refinement on the connectivity-minus-one objective, driven by a bucketed
+// gain priority queue (large-k hot path).
 //
 // Gains are not recomputed per candidate move: a KWayGainState maintains the exact gain
 // of moving any vertex to any part (see gain_state.h), updated incrementally on Apply.
-// Each pass shuffles an explicit worklist of the current boundary vertices (an O(1)
-// membership query on the maintained cut-edge counts) and applies the best feasible
-// positive-gain move, or a zero-gain balance-improving move. A rebalance sweep first
-// fixes infeasible inputs by moving vertices out of overloaded parts at minimal cost,
-// visiting only the vertices that currently live in an overloaded part.
+// Two structural properties keep the per-move work independent of k:
+//
+//  - Candidate targets are the vertex's *adjacent* parts (maintained exactly by the gain
+//    state) plus the least-loaded part as the balance escape hatch. A non-adjacent
+//    target has C(v, b) = 0, so its gain R - W is never positive; scanning all k parts
+//    per vertex — the old inner loop — only ever found extra zero-gain balance moves,
+//    which the least-loaded candidate covers.
+//  - Move selection pops a GainBucketQueue (lazy invalidation, exact-argmax pops) keyed
+//    by each boundary vertex's current best gain. After every applied move, the gain
+//    state reports each gain INCREASE as an O(1) event and the affected key is bumped;
+//    decreases are left in place and corrected when the entry pops (revalidation). Pops
+//    are O(1) amortized in the queue instead of O(k) per boundary vertex.
+//
+// A rebalance sweep first fixes infeasible inputs by moving vertices out of overloaded
+// parts at minimal cost; its full-row scans use the vectorized kernel in simd.h.
 #include <algorithm>
 #include <limits>
 
 #include "common/check.h"
+#include "hypergraph/gain_bucket_queue.h"
 #include "hypergraph/gain_state.h"
 #include "hypergraph/internal.h"
 #include "hypergraph/metrics.h"
@@ -18,15 +30,42 @@
 namespace dcp {
 namespace {
 
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Below kLargeKThreshold BestMove scans every part: the O(k) scan is cheap, and the
+// zero-gain balance moves it finds toward arbitrary parts measurably improve small-k
+// quality (the queue-driven loop itself stays, its best-first order helps at every k).
+
+// A candidate move for one vertex: target part, exact gain, and whether it strictly
+// improves the pairwise balance (the eligibility criterion for zero-gain moves).
+struct Move {
+  PartId to = -1;
+  double gain = 0.0;
+  bool improves_balance = false;
+
+  bool Eligible() const { return to >= 0 && (gain > 0.0 || improves_balance); }
+};
+
 class RefinementState {
  public:
   RefinementState(const Hypergraph& hg, const PartitionConfig& config, Partition& part)
       : hg_(hg), k_(config.k), gains_(hg, config.k, part) {
-    loads_ = PartWeights(hg, part, k_);
+    const int stride = gains_.stride();
+    // Per-part loads in padded SoA rows; padding is +inf so vectorized feasibility
+    // compares mask the padded lanes out.
+    load0_.assign(static_cast<size_t>(stride), kInf);
+    load1_.assign(static_cast<size_t>(stride), kInf);
+    const std::vector<VertexWeight> loads = PartWeights(hg, part, k_);
+    for (PartId p = 0; p < k_; ++p) {
+      load0_[static_cast<size_t>(p)] = loads[static_cast<size_t>(p)][0];
+      load1_[static_cast<size_t>(p)] = loads[static_cast<size_t>(p)][1];
+    }
+    scratch_.assign(static_cast<size_t>(stride), 0.0);
     const VertexWeight& total = hg.TotalWeight();
     target_ = {total[0] / k_, total[1] / k_};
     limit_ = {(1.0 + config.eps[0]) * target_[0] + 1e-9,
               (1.0 + config.eps[1]) * target_[1] + 1e-9};
+    RescanMinLoadedPart();
   }
 
   bool IsBoundary(VertexId v) const { return gains_.IsBoundary(v); }
@@ -34,14 +73,14 @@ class RefinementState {
 
   bool FitsIn(VertexId v, PartId b) const {
     const VertexWeight& w = hg_.vertex_weight(v);
-    const auto& load = loads_[static_cast<size_t>(b)];
-    return load[0] + w[0] <= limit_[0] && load[1] + w[1] <= limit_[1];
+    return load0_[static_cast<size_t>(b)] + w[0] <= limit_[0] &&
+           load1_[static_cast<size_t>(b)] + w[1] <= limit_[1];
   }
 
   double NormLoad(PartId p) const {
-    const auto& load = loads_[static_cast<size_t>(p)];
-    return std::max(target_[0] > 0 ? load[0] / target_[0] : 0.0,
-                    target_[1] > 0 ? load[1] / target_[1] : 0.0);
+    return std::max(
+        target_[0] > 0 ? load0_[static_cast<size_t>(p)] / target_[0] : 0.0,
+        target_[1] > 0 ? load1_[static_cast<size_t>(p)] / target_[1] : 0.0);
   }
 
   // Strictly improves the pairwise balance between v's part and b.
@@ -49,28 +88,97 @@ class RefinementState {
     const PartId a = part()[static_cast<size_t>(v)];
     const VertexWeight& w = hg_.vertex_weight(v);
     const double before = std::max(NormLoad(a), NormLoad(b));
-    const auto& la = loads_[static_cast<size_t>(a)];
-    const auto& lb = loads_[static_cast<size_t>(b)];
-    const double after_a = std::max(target_[0] > 0 ? (la[0] - w[0]) / target_[0] : 0.0,
-                                    target_[1] > 0 ? (la[1] - w[1]) / target_[1] : 0.0);
-    const double after_b = std::max(target_[0] > 0 ? (lb[0] + w[0]) / target_[0] : 0.0,
-                                    target_[1] > 0 ? (lb[1] + w[1]) / target_[1] : 0.0);
+    const double after_a = std::max(
+        target_[0] > 0 ? (load0_[static_cast<size_t>(a)] - w[0]) / target_[0] : 0.0,
+        target_[1] > 0 ? (load1_[static_cast<size_t>(a)] - w[1]) / target_[1] : 0.0);
+    const double after_b = std::max(
+        target_[0] > 0 ? (load0_[static_cast<size_t>(b)] + w[0]) / target_[0] : 0.0,
+        target_[1] > 0 ? (load1_[static_cast<size_t>(b)] + w[1]) / target_[1] : 0.0);
     return std::max(after_a, after_b) + 1e-12 < before;
+  }
+
+  // Best eligible FM move for v: maximum gain over the candidate parts, requiring
+  // feasibility and gain >= 0 (zero-gain moves must strictly improve balance). Ties
+  // prefer balance-improving moves, then the lowest part id, so the result is
+  // independent of candidate order. At small k every part is a candidate (the scan is
+  // cheap and zero-gain balance moves toward any part matter); at large k candidates
+  // are the adjacent parts plus the least-loaded part — positive gains always sit on
+  // adjacent parts, and the least-loaded part stands in for the rest as the balance
+  // escape hatch.
+  Move BestMove(VertexId v) {
+    const PartId a = part()[static_cast<size_t>(v)];
+    Move best;
+    auto consider = [&](PartId b) {
+      if (b == a) {
+        return;
+      }
+      // Reject on gain first: it is one load + add, while feasibility and balance read
+      // four load entries — and most candidates lose on gain.
+      const double gain = MoveGain(v, b);
+      if (gain < 0.0 || (gain < best.gain && best.to >= 0) || !FitsIn(v, b)) {
+        return;
+      }
+      const bool improves = ImprovesBalance(v, b);
+      if (gain == 0.0 && !improves) {
+        return;
+      }
+      if (best.to < 0 || gain > best.gain ||
+          (improves && !best.improves_balance) ||
+          (improves == best.improves_balance && b < best.to)) {
+        best = Move{b, gain, improves};
+      }
+    };
+    if (k_ < kLargeKThreshold) {
+      for (PartId b = 0; b < k_; ++b) {
+        consider(b);
+      }
+    } else {
+      gains_.ForEachAdjacentPart(v, consider);
+      consider(min_loaded_part_);
+    }
+    return best;
+  }
+
+  // Best feasible move over ALL parts regardless of gain sign (the rebalance sweep's
+  // selection), via one vectorized masked-argmax row scan.
+  Move BestMoveFull(VertexId v) {
+    const PartId a = part()[static_cast<size_t>(v)];
+    const VertexWeight& w = hg_.vertex_weight(v);
+    // Exclude the source part by making it temporarily infeasible.
+    const double saved = load0_[static_cast<size_t>(a)];
+    load0_[static_cast<size_t>(a)] = kInf;
+    double gain = 0.0;
+    const int b = simd::BestFeasibleMove(gains_.ConnectRow(v), gains_.GainBase(v),
+                                         load0_.data(), load1_.data(), w[0], w[1],
+                                         limit_[0], limit_[1], gains_.stride(),
+                                         scratch_.data(), &gain);
+    load0_[static_cast<size_t>(a)] = saved;
+    if (b < 0) {
+      return Move{};
+    }
+    return Move{b, gain, false};
   }
 
   void Apply(VertexId v, PartId b) {
     const PartId a = part()[static_cast<size_t>(v)];
     gains_.Apply(v, b);
     const VertexWeight& w = hg_.vertex_weight(v);
-    loads_[static_cast<size_t>(a)][0] -= w[0];
-    loads_[static_cast<size_t>(a)][1] -= w[1];
-    loads_[static_cast<size_t>(b)][0] += w[0];
-    loads_[static_cast<size_t>(b)][1] += w[1];
+    load0_[static_cast<size_t>(a)] -= w[0];
+    load1_[static_cast<size_t>(a)] -= w[1];
+    load0_[static_cast<size_t>(b)] += w[0];
+    load1_[static_cast<size_t>(b)] += w[1];
+    // Exact incremental argmin maintenance: only a shrank (may beat the cached min) and
+    // only b grew (forces a rescan only if it WAS the cached min).
+    if (b == min_loaded_part_) {
+      RescanMinLoadedPart();
+    } else if (NormLoad(a) < NormLoad(min_loaded_part_)) {
+      min_loaded_part_ = a;
+    }
   }
 
   bool PartOverloaded(PartId p) const {
-    const auto& load = loads_[static_cast<size_t>(p)];
-    return load[0] > limit_[0] || load[1] > limit_[1];
+    return load0_[static_cast<size_t>(p)] > limit_[0] ||
+           load1_[static_cast<size_t>(p)] > limit_[1];
   }
 
   bool AnyOverloaded() const {
@@ -84,15 +192,30 @@ class RefinementState {
 
   int k() const { return k_; }
   const Partition& part() const { return gains_.part(); }
-  std::vector<VertexId>& Activated() { return gains_.activated(); }
+  KWayGainState& gains() { return gains_; }
 
  private:
+  void RescanMinLoadedPart() {
+    const double i0 = target_[0] > 0 ? 1.0 / target_[0] : 0.0;
+    const double i1 = target_[1] > 0 ? 1.0 / target_[1] : 0.0;
+    const int stride = gains_.stride();
+    for (int p = 0; p < stride; ++p) {
+      const double n0 = p < k_ ? load0_[static_cast<size_t>(p)] * i0 : kInf;
+      const double n1 = p < k_ ? load1_[static_cast<size_t>(p)] * i1 : kInf;
+      scratch_[static_cast<size_t>(p)] = n0 > n1 ? n0 : n1;
+    }
+    min_loaded_part_ = simd::RowArgMin(scratch_.data(), stride);
+  }
+
   const Hypergraph& hg_;
   const int k_;
   KWayGainState gains_;
-  std::vector<VertexWeight> loads_;
+  std::vector<double> load0_;   // Padded per-part loads, dim 0 (compute).
+  std::vector<double> load1_;   // Padded per-part loads, dim 1 (data).
+  std::vector<double> scratch_; // Padded row scratch for vectorized scans.
   std::array<double, 2> target_;
   std::array<double, 2> limit_;
+  PartId min_loaded_part_ = 0;
 };
 
 // Moves vertices out of overloaded parts at minimum connectivity cost until feasible (or
@@ -120,20 +243,10 @@ void RebalancePass(const Hypergraph& hg, RefinementState& state, Rng& rng) {
       if (!state.PartOverloaded(a)) {
         continue;  // Earlier moves this sweep already relieved a.
       }
-      PartId best = -1;
-      double best_gain = -std::numeric_limits<double>::max();
-      for (PartId b = 0; b < state.k(); ++b) {
-        if (b == a || !state.FitsIn(v, b)) {
-          continue;
-        }
-        const double gain = state.MoveGain(v, b);
-        if (gain > best_gain) {
-          best_gain = gain;
-          best = b;
-        }
-      }
-      if (best >= 0) {
-        state.Apply(v, best);
+      const Move move = state.BestMoveFull(v);
+      if (move.to >= 0) {
+        state.Apply(v, move.to);
+        state.gains().ClearEvents();  // Rebalance selection ignores the event stream.
         progress = true;
         if (--moves_left == 0) {
           return;
@@ -157,6 +270,13 @@ double FmRefine(const Hypergraph& hg, const PartitionConfig& config, Partition& 
 
   double total_improvement = 0.0;
   std::vector<VertexId> worklist;
+
+  GainBucketQueue queue;
+  // Each vertex moves at most once per pass (stamped below): without the cap, chains of
+  // tiny zero-gain balance improvements can churn through orders of magnitude more moves
+  // than they are worth. Re-visiting a vertex is what the next pass is for.
+  std::vector<uint64_t> moved_stamp(static_cast<size_t>(hg.num_vertices()), 0);
+  uint64_t pass_epoch = 0;
   for (int pass = 0; pass < config.refinement_passes; ++pass) {
     worklist.clear();
     for (VertexId v = 0; v < hg.num_vertices(); ++v) {
@@ -167,48 +287,73 @@ double FmRefine(const Hypergraph& hg, const PartitionConfig& config, Partition& 
     if (worklist.empty()) {
       break;
     }
+    // The shuffle only diversifies queue tie-bucketing across seeds; selection itself is
+    // by exact gain.
     rng.Shuffle(worklist);
-    state.Activated().clear();
+    state.gains().activated().clear();
+    state.gains().ClearEvents();
+    queue.Reset(hg.num_vertices(), state.gains().MaxAbsGain());
+    ++pass_epoch;
+    for (VertexId v : worklist) {
+      const Move move = state.BestMove(v);
+      if (move.Eligible()) {
+        queue.Push(v, move.to, move.gain);
+      }
+    }
+
     double pass_improvement = 0.0;
-    // The worklist grows mid-pass: moves can flip internal vertices onto the boundary,
-    // and those are appended so the pass chases the moving boundary to convergence.
-    for (size_t idx = 0; idx < worklist.size(); ++idx) {
-      const VertexId v = worklist[idx];
-      if (!state.IsBoundary(v)) {
-        continue;  // Moved off the boundary by an earlier move this pass.
+    GainBucketQueue::Entry entry;
+    while (queue.Pop(&entry)) {
+      // Revalidate: feasibility and balance depend on loads, which change without
+      // touching the popped vertex's gain terms. A mismatch means the cached key was
+      // stale — re-key at the true value and keep popping.
+      const Move move = state.BestMove(entry.v);
+      if (!move.Eligible()) {
+        continue;
       }
-      const PartId a = state.part()[static_cast<size_t>(v)];
-      PartId best = -1;
-      double best_gain = 0.0;
-      bool best_improves_balance = false;
-      for (PartId b = 0; b < state.k(); ++b) {
-        if (b == a || !state.FitsIn(v, b)) {
+      if (move.gain != entry.gain || move.to != entry.to) {
+        queue.Push(entry.v, move.to, move.gain);
+        continue;
+      }
+      state.Apply(entry.v, move.to);
+      pass_improvement += move.gain;
+      moved_stamp[static_cast<size_t>(entry.v)] = pass_epoch;
+
+      // Bump exactly the keys the move could have raised, O(1) per event, so no live
+      // entry is ever under-keyed (decreases are corrected by the revalidation above).
+      // Admission is optimistic — feasibility is only pre-checked for zero-gain moves —
+      // because the revalidation rejects cheaply at pop time.
+      KWayGainState& gains = state.gains();
+      for (const auto& [u, w] : gains.removal_events()) {
+        if (moved_stamp[static_cast<size_t>(u)] == pass_epoch) {
           continue;
         }
-        const double gain = state.MoveGain(v, b);
-        if (gain < 0.0) {
-          continue;
-        }
-        const bool improves_balance = state.ImprovesBalance(v, b);
-        if (gain == 0.0 && !improves_balance) {
-          continue;
-        }
-        if (best < 0 || gain > best_gain ||
-            (gain == best_gain && improves_balance && !best_improves_balance)) {
-          best = b;
-          best_gain = gain;
-          best_improves_balance = improves_balance;
+        if (queue.HasLive(u)) {
+          // R(u) rose by w: every target's gain shifts up uniformly, target unchanged.
+          queue.Push(u, queue.TargetOf(u), queue.KeyOf(u) + w);
+        } else {
+          const Move m = state.BestMove(u);  // Rare: re-admit from scratch.
+          if (m.Eligible()) {
+            queue.Push(u, m.to, m.gain);
+          }
         }
       }
-      if (best >= 0 && (best_gain > 0.0 || best_improves_balance)) {
-        state.Apply(v, best);
-        pass_improvement += best_gain;
-        if (!state.Activated().empty()) {
-          worklist.insert(worklist.end(), state.Activated().begin(),
-                          state.Activated().end());
-          state.Activated().clear();
+      for (const auto& [u, b] : gains.connect_events()) {
+        if (moved_stamp[static_cast<size_t>(u)] == pass_epoch) {
+          continue;
+        }
+        const double gain = state.MoveGain(u, b);
+        if (queue.HasLive(u)) {
+          if (gain > queue.KeyOf(u)) {
+            queue.Push(u, b, gain);
+          }
+        } else if (gain > 0.0 ||
+                   (gain == 0.0 && state.FitsIn(u, b) && state.ImprovesBalance(u, b))) {
+          queue.Push(u, b, gain);
         }
       }
+      gains.ClearEvents();
+      gains.activated().clear();  // Connect events already cover boundary arrivals.
     }
     total_improvement += pass_improvement;
     if (pass_improvement <= 0.0) {

@@ -1,0 +1,104 @@
+// Vectorized per-part row scans for the k-way refinement hot path.
+//
+// Rows indexed by part (pin counts, connection weights, part loads) are stored with a
+// stride padded to kRowPad so a full-row scan runs in whole SIMD vectors with no scalar
+// tail; load-row padding is +inf, which fails every feasibility compare and so masks the
+// padded lanes out without branches. An AVX2 intrinsics path is enabled when the target
+// supports it (gate it off with -DDCP_DISABLE_SIMD); the fallback is written as
+// branch-free contiguous loops that autovectorize. Both paths implement the identical
+// selection rule — maximum gain, ties to the lowest part id — so build flags never change
+// partitioner results.
+#ifndef DCP_HYPERGRAPH_SIMD_H_
+#define DCP_HYPERGRAPH_SIMD_H_
+
+#include <limits>
+
+#if defined(__AVX2__) && !defined(DCP_DISABLE_SIMD)
+#define DCP_SIMD_AVX2 1
+#include <immintrin.h>
+#endif
+
+namespace dcp {
+namespace simd {
+
+// Parts per padded row group. 8 doubles = two AVX2 vectors = one 64-byte cache line.
+inline constexpr int kRowPad = 8;
+
+inline int PaddedStride(int k) { return (k + kRowPad - 1) / kRowPad * kRowPad; }
+
+// Masked argmax over one padded gain row:
+//   gain[b] = base + connect_row[b],  feasible iff load0[b] + w0 <= limit0 &&
+//                                                 load1[b] + w1 <= limit1.
+// Returns the feasible part with the maximum gain (ties: lowest part id), or -1 if no
+// part is feasible. `padded_k` must be a multiple of kRowPad and the load rows' padding
+// must be +inf (so padded lanes are never feasible). Callers exclude the source part by
+// temporarily setting its load to +inf. `scratch` holds padded_k doubles.
+inline int BestFeasibleMove(const double* connect_row, double base, const double* load0,
+                            const double* load1, double w0, double w1, double limit0,
+                            double limit1, int padded_k, double* scratch,
+                            double* best_gain_out) {
+  const double kNegInf = -std::numeric_limits<double>::infinity();
+#if DCP_SIMD_AVX2
+  __m256d vbase = _mm256_set1_pd(base);
+  __m256d vw0 = _mm256_set1_pd(w0);
+  __m256d vw1 = _mm256_set1_pd(w1);
+  __m256d vlimit0 = _mm256_set1_pd(limit0);
+  __m256d vlimit1 = _mm256_set1_pd(limit1);
+  __m256d vneg = _mm256_set1_pd(kNegInf);
+  __m256d vmax = vneg;
+  for (int b = 0; b < padded_k; b += 4) {
+    __m256d gain = _mm256_add_pd(vbase, _mm256_loadu_pd(connect_row + b));
+    __m256d fit0 = _mm256_cmp_pd(_mm256_add_pd(_mm256_loadu_pd(load0 + b), vw0), vlimit0,
+                                 _CMP_LE_OQ);
+    __m256d fit1 = _mm256_cmp_pd(_mm256_add_pd(_mm256_loadu_pd(load1 + b), vw1), vlimit1,
+                                 _CMP_LE_OQ);
+    __m256d masked = _mm256_blendv_pd(vneg, gain, _mm256_and_pd(fit0, fit1));
+    _mm256_storeu_pd(scratch + b, masked);
+    vmax = _mm256_max_pd(vmax, masked);
+  }
+  alignas(32) double lanes[4];
+  _mm256_storeu_pd(lanes, vmax);
+  double best = lanes[0];
+  for (int i = 1; i < 4; ++i) {
+    best = lanes[i] > best ? lanes[i] : best;
+  }
+#else
+  // Branch-free masked-gain pass; contiguous loads/stores autovectorize.
+  double best = kNegInf;
+  for (int b = 0; b < padded_k; ++b) {
+    const bool fits = load0[b] + w0 <= limit0 && load1[b] + w1 <= limit1;
+    const double masked = fits ? base + connect_row[b] : kNegInf;
+    scratch[b] = masked;
+    best = masked > best ? masked : best;
+  }
+#endif
+  if (best == kNegInf) {
+    return -1;
+  }
+  *best_gain_out = best;
+  for (int b = 0; b < padded_k; ++b) {
+    if (scratch[b] == best) {
+      return b;
+    }
+  }
+  return -1;  // Unreachable: `best` was read from `scratch`.
+}
+
+// Index of the minimum value in a padded row (ties: lowest index). Padding must be +inf.
+inline int RowArgMin(const double* row, int padded_k) {
+  double best = row[0];
+  for (int b = 1; b < padded_k; ++b) {
+    best = row[b] < best ? row[b] : best;
+  }
+  for (int b = 0; b < padded_k; ++b) {
+    if (row[b] == best) {
+      return b;
+    }
+  }
+  return 0;
+}
+
+}  // namespace simd
+}  // namespace dcp
+
+#endif  // DCP_HYPERGRAPH_SIMD_H_
