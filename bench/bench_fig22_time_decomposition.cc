@@ -20,8 +20,7 @@ struct Decomposition {
   double exposed = 0.0;
 };
 
-Decomposition Average(const ModelSpec& model, const ClusterSpec& cluster,
-                      std::vector<IterationBreakdown> breakdowns) {
+Decomposition Average(const std::vector<IterationBreakdown>& breakdowns) {
   Decomposition out;
   for (const IterationBreakdown& b : breakdowns) {
     out.others += b.Others() * 1e3;
@@ -70,8 +69,8 @@ void Run() {
       mlm_runs.push_back(ModelIteration(model, cluster, mlm.plan));
     }
     for (const auto& [name, decomposition] :
-         {std::pair{"DCP", Average(model, cluster, dcp_runs)},
-          std::pair{"MLM", Average(model, cluster, mlm_runs)}}) {
+         {std::pair{"DCP", Average(dcp_runs)},
+          std::pair{"MLM", Average(mlm_runs)}}) {
       table.AddRow({MaskKindName(kind), name, Table::Num(decomposition.others, 0),
                     Table::Num(decomposition.attn, 0), Table::Num(decomposition.overlap, 0),
                     Table::Num(decomposition.exposed, 0),

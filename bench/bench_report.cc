@@ -16,6 +16,7 @@
 
 #include "bench_common.h"
 #include "common/rng.h"
+#include "core/engine.h"
 #include "hypergraph/metrics.h"
 #include "hypergraph/partitioner.h"
 
@@ -130,16 +131,78 @@ PlanningRow MeasurePlanning(DatasetKind dataset, MaskKind mask, int64_t block_si
   return row;
 }
 
+// Production traffic replans recurring batch shapes; this row measures the Engine's
+// compiled-plan cache on exactly that workload: one cold plan of a batch, then the same
+// batch re-planned `repeats` times through the cache.
+struct RepeatBatchRow {
+  std::string dataset;
+  std::string mask;
+  int64_t block_size = 0;
+  int k = 0;
+  int repeats = 0;
+  double cold_ms = 0.0;          // First sighting: full planning pipeline.
+  double hit_ms_mean = 0.0;      // Cache-hit path: signature hash + LRU lookup.
+  double hit_ms_max = 0.0;
+  double hit_rate = 0.0;         // From Engine::cache_stats over the whole run.
+  double speedup = 0.0;          // cold_ms / hit_ms_mean.
+};
+
+RepeatBatchRow MeasureRepeatBatch(DatasetKind dataset, MaskKind mask, int64_t block_size,
+                                  int repeats, int64_t token_budget,
+                                  const ClusterSpec& cluster) {
+  MicroBenchConfig config;
+  config.cluster = cluster;
+  config.dataset = dataset;
+  config.block_size = block_size;
+  config.num_batches = 1;
+  config.token_budget = token_budget;
+  config.max_seq_len = token_budget;
+  const Batch batch = config.MakeBatches().front();
+  const MaskSpec spec = MaskSpec::ForKind(mask);
+
+  EngineOptions engine_options;
+  engine_options.planner = config.MakePlannerOptions();
+  Engine engine(cluster, engine_options);
+
+  RepeatBatchRow row;
+  row.dataset = DatasetKindName(dataset);
+  row.mask = MaskKindName(mask);
+  row.block_size = block_size;
+  row.k = cluster.num_devices();
+  row.repeats = repeats;
+
+  double start = NowSeconds();
+  const PlanHandle cold = engine.Plan(batch.seqlens, spec).value();
+  row.cold_ms = (NowSeconds() - start) * 1e3;
+
+  RunningStats hit_ms;
+  for (int r = 0; r < repeats; ++r) {
+    start = NowSeconds();
+    const PlanHandle hit = engine.Plan(batch.seqlens, spec).value();
+    hit_ms.Add((NowSeconds() - start) * 1e3);
+    if (hit.get() != cold.get()) {
+      std::fprintf(stderr, "bench_report: repeat plan was not a cache hit\n");
+      std::exit(1);
+    }
+  }
+  row.hit_ms_mean = hit_ms.mean();
+  row.hit_ms_max = hit_ms.max();
+  row.hit_rate = engine.cache_stats().HitRate();
+  row.speedup = row.hit_ms_mean > 0.0 ? row.cold_ms / row.hit_ms_mean : 0.0;
+  return row;
+}
+
 void WriteJson(const std::string& path, bool smoke,
                const std::vector<PartitionerRow>& partitioner,
-               const std::vector<PlanningRow>& planning) {
+               const std::vector<PlanningRow>& planning,
+               const std::vector<RepeatBatchRow>& repeat_batch) {
   FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "bench_report: cannot open %s for writing\n", path.c_str());
     std::exit(1);
   }
   std::fprintf(f, "{\n");
-  std::fprintf(f, "  \"schema\": \"dcp.bench_planning.v2\",\n");
+  std::fprintf(f, "  \"schema\": \"dcp.bench_planning.v3\",\n");
   std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
   std::fprintf(f, "  \"partitioner\": [\n");
   for (size_t i = 0; i < partitioner.size(); ++i) {
@@ -163,6 +226,19 @@ void WriteJson(const std::string& path, bool smoke,
                  r.dataset.c_str(), r.mask.c_str(),
                  static_cast<long long>(r.block_size), r.k, r.batches, r.planning_ms_mean,
                  r.planning_ms_max, i + 1 < planning.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"repeat_batch\": [\n");
+  for (size_t i = 0; i < repeat_batch.size(); ++i) {
+    const RepeatBatchRow& r = repeat_batch[i];
+    std::fprintf(f,
+                 "    {\"dataset\": \"%s\", \"mask\": \"%s\", \"block_size\": %lld, "
+                 "\"k\": %d, \"repeats\": %d, \"cold_ms\": %.4f, \"hit_ms_mean\": %.6f, "
+                 "\"hit_ms_max\": %.6f, \"hit_rate\": %.4f, \"speedup\": %.1f}%s\n",
+                 r.dataset.c_str(), r.mask.c_str(),
+                 static_cast<long long>(r.block_size), r.k, r.repeats, r.cold_ms,
+                 r.hit_ms_mean, r.hit_ms_max, r.hit_rate, r.speedup,
+                 i + 1 < repeat_batch.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n");
   std::fprintf(f, "}\n");
@@ -225,9 +301,27 @@ int Main(int argc, char** argv) {
                                        smoke ? budget : budget / 2, large));
   }
 
-  WriteJson(json_path, smoke, partitioner, planning);
-  std::printf("bench_report: wrote %s (%zu partitioner rows, %zu planning rows)\n",
-              json_path.c_str(), partitioner.size(), planning.size());
+  // Repeat-batch workload: the cache hit-path latency next to the cold planning time.
+  std::vector<RepeatBatchRow> repeat_batch;
+  const int repeats = smoke ? 8 : 32;
+  repeat_batch.push_back(MeasureRepeatBatch(DatasetKind::kLongAlign, MaskKind::kCausal,
+                                            2048, repeats, budget, testbed));
+  if (!smoke) {
+    repeat_batch.push_back(MeasureRepeatBatch(DatasetKind::kLongDataCollections,
+                                              MaskKind::kLambda, 1024, repeats, budget,
+                                              testbed));
+  }
+  for (const RepeatBatchRow& r : repeat_batch) {
+    std::printf("repeat-batch %s/%s block %lld: cold %.2f ms, hit %.4f ms (%.0fx), "
+                "hit rate %.2f\n",
+                r.dataset.c_str(), r.mask.c_str(), static_cast<long long>(r.block_size),
+                r.cold_ms, r.hit_ms_mean, r.speedup, r.hit_rate);
+  }
+
+  WriteJson(json_path, smoke, partitioner, planning, repeat_batch);
+  std::printf(
+      "bench_report: wrote %s (%zu partitioner rows, %zu planning rows, %zu repeat rows)\n",
+      json_path.c_str(), partitioner.size(), planning.size(), repeat_batch.size());
   return 0;
 }
 

@@ -8,7 +8,7 @@
 
 #include "baselines/static_planner.h"
 #include "common/table.h"
-#include "core/planner.h"
+#include "core/engine.h"
 #include "data/batching.h"
 #include "e2e/iteration_model.h"
 
@@ -17,11 +17,13 @@ using namespace dcp;
 int main() {
   const ClusterSpec cluster = ClusterSpec::EndToEndTestbed();
   const ModelSpec model = ModelSpec::Gpt8B();
-  PlannerOptions options;
-  options.block_size = 2048;
-  options.num_groups = 2;
-  options.heads_per_group = 4;
-  options.head_dim = 128;
+  EngineOptions engine_options;
+  engine_options.planner.block_size = 2048;
+  engine_options.planner.num_groups = 2;
+  engine_options.planner.heads_per_group = 4;
+  engine_options.planner.head_dim = 128;
+  const PlannerOptions& options = engine_options.planner;
+  Engine engine(cluster, engine_options);
 
   std::printf("Cluster: %d nodes x %d CP ranks (TP groups of 4 GPUs), NIC %.0f GB/s per "
               "node, NVSwitch %.0f GB/s\n",
@@ -46,11 +48,10 @@ int main() {
                "Iteration (s)", "Speedup"});
   for (MaskKind kind : AllMaskKinds()) {
     const MaskSpec mask = MaskSpec::ForKind(kind);
-    std::vector<SequenceMask> masks = BuildBatchMasks(mask, batch.seqlens);
-    BatchPlan dcp_plan = PlanBatch(batch.seqlens, masks, cluster, options);
+    const PlanHandle dcp_plan = engine.Plan(batch.seqlens, mask).value();
     BaselineResult mlm = PlanBaseline(BaselineKind::kTransformerEngine, batch.seqlens,
                                       mask, cluster, options);
-    const IterationBreakdown dcp = ModelIteration(model, cluster, dcp_plan);
+    const IterationBreakdown dcp = ModelIteration(model, cluster, dcp_plan->plan);
     const IterationBreakdown base = ModelIteration(model, cluster, mlm.plan);
     table.AddRow({MaskKindName(kind), "MLM",
                   Table::Num((base.attn_compute + base.attn_overhead) * 1e3, 0),

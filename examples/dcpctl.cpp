@@ -1,18 +1,22 @@
-// dcpctl — command-line front end to the DCP planner and simulator. Useful for poking at
-// parallelization configurations without writing code:
+// dcpctl — command-line front end to the DCP session engine and simulator. Useful for
+// poking at parallelization configurations without writing code:
 //
 //   dcpctl plan     --seqlens 65536,32768,8192 --mask lambda --nodes 4 --devices 8
 //   dcpctl simulate --seqlens 65536,32768      --mask causal --block 2048
 //   dcpctl tune     --seqlens 40960,24576      --mask shared_question
 //
-// `plan` prints the plan summary and per-device stats; `simulate` prices fw+bw and prints
-// the decomposition; `tune` runs the paper's block-size search.
+// `plan` prints the plan summary, per-device stats, and the engine's plan-cache
+// counters; `simulate` prices fw+bw and prints the decomposition; `tune` runs the
+// paper's block-size search through Engine::AutoTune. Malformed numeric flags and
+// planner-rejected inputs exit with code 2 and a usage message instead of aborting.
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
-#include "core/planner.h"
+#include "core/engine.h"
 #include "masks/mask.h"
 #include "runtime/plan_validate.h"
 #include "runtime/sim_engine.h"
@@ -21,15 +25,46 @@ using namespace dcp;
 
 namespace {
 
+constexpr const char kUsage[] =
+    "usage: dcpctl plan|simulate|tune [--seqlens a,b,c] "
+    "[--mask causal|lambda|blockwise|shared_question] "
+    "[--nodes N] [--devices D] [--block B] [--verbose]\n";
+
+[[noreturn]] void UsageError(const std::string& detail) {
+  std::fprintf(stderr, "dcpctl: %s\n%s", detail.c_str(), kUsage);
+  std::exit(2);
+}
+
+// Strict base-10 parse of a whole string; rejects empty, trailing junk, and overflow.
+bool ParseInt64(const std::string& text, int64_t* out) {
+  if (text.empty()) {
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(text.c_str(), &end, 10);
+  if (errno != 0 || end != text.c_str() + text.size()) {
+    return false;
+  }
+  *out = value;
+  return true;
+}
+
 std::vector<int64_t> ParseSeqlens(const std::string& csv) {
   std::vector<int64_t> out;
   size_t pos = 0;
-  while (pos < csv.size()) {
+  while (pos <= csv.size()) {
     size_t comma = csv.find(',', pos);
     if (comma == std::string::npos) {
       comma = csv.size();
     }
-    out.push_back(std::stoll(csv.substr(pos, comma - pos)));
+    const std::string item = csv.substr(pos, comma - pos);
+    int64_t value = 0;
+    if (!ParseInt64(item, &value)) {
+      UsageError("--seqlens expects a comma-separated list of integers, got '" + item +
+                 "' in '" + csv + "'");
+    }
+    out.push_back(value);
     pos = comma + 1;
   }
   return out;
@@ -48,17 +83,15 @@ MaskSpec ParseMask(const std::string& name) {
   if (name == "shared_question" || name == "sharedq") {
     return MaskSpec::SharedQuestion();
   }
-  std::fprintf(stderr, "unknown mask '%s' (causal|lambda|blockwise|shared_question)\n",
-               name.c_str());
-  std::exit(2);
+  UsageError("unknown mask '" + name + "' (causal|lambda|blockwise|shared_question)");
 }
 
 struct Args {
   std::string command;
   std::vector<int64_t> seqlens = {65536, 32768, 16384, 16384};
   MaskSpec mask = MaskSpec::Causal();
-  int nodes = 4;
-  int devices = 8;
+  int64_t nodes = 4;
+  int64_t devices = 8;
   int64_t block = 2048;
   bool verbose = false;
 };
@@ -66,56 +99,81 @@ struct Args {
 Args Parse(int argc, char** argv) {
   Args args;
   if (argc < 2) {
-    std::fprintf(stderr, "usage: dcpctl plan|simulate|tune [--seqlens a,b,c] "
-                         "[--mask causal|lambda|blockwise|shared_question] "
-                         "[--nodes N] [--devices D] [--block B] [--verbose]\n");
-    std::exit(2);
+    UsageError("missing command");
   }
   args.command = argv[1];
   for (int i = 2; i < argc; ++i) {
     auto next = [&]() -> std::string {
       if (i + 1 >= argc) {
-        std::fprintf(stderr, "missing value for %s\n", argv[i]);
-        std::exit(2);
+        UsageError(std::string("missing value for ") + argv[i]);
       }
       return argv[++i];
+    };
+    auto next_int = [&](const char* flag) -> int64_t {
+      const std::string flag_name = flag;  // `next()` advances i; capture the name first.
+      const std::string text = next();
+      int64_t value = 0;
+      if (!ParseInt64(text, &value)) {
+        UsageError(flag_name + " expects an integer, got '" + text + "'");
+      }
+      return value;
     };
     if (std::strcmp(argv[i], "--seqlens") == 0) {
       args.seqlens = ParseSeqlens(next());
     } else if (std::strcmp(argv[i], "--mask") == 0) {
       args.mask = ParseMask(next());
     } else if (std::strcmp(argv[i], "--nodes") == 0) {
-      args.nodes = std::stoi(next());
+      args.nodes = next_int("--nodes");
     } else if (std::strcmp(argv[i], "--devices") == 0) {
-      args.devices = std::stoi(next());
+      args.devices = next_int("--devices");
     } else if (std::strcmp(argv[i], "--block") == 0) {
-      args.block = std::stoll(next());
+      args.block = next_int("--block");
     } else if (std::strcmp(argv[i], "--verbose") == 0) {
       args.verbose = true;
     } else {
-      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
-      std::exit(2);
+      UsageError(std::string("unknown flag ") + argv[i]);
     }
   }
   return args;
+}
+
+void PrintCacheStats(const Engine& engine) {
+  const PlanCacheStats stats = engine.cache_stats();
+  std::printf("plan cache: %lld hits, %lld misses, %lld evictions, %lld cached plans "
+              "(hit rate %.0f%%)\n",
+              static_cast<long long>(stats.hits), static_cast<long long>(stats.misses),
+              static_cast<long long>(stats.evictions),
+              static_cast<long long>(stats.entries), stats.HitRate() * 100.0);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const Args args = Parse(argc, argv);
+  // 4096 x 4096 keeps num_nodes * devices_per_node comfortably inside int.
+  if (args.nodes < 1 || args.nodes > 4096 || args.devices < 1 || args.devices > 4096) {
+    UsageError("--nodes and --devices must be in [1, 4096]");
+  }
   ClusterSpec cluster;
-  cluster.num_nodes = args.nodes;
-  cluster.devices_per_node = args.devices;
-  PlannerOptions options;
-  options.block_size = args.block;
-  options.num_groups = 2;
-  options.heads_per_group = 4;
-  options.head_dim = 128;
-  std::vector<SequenceMask> masks = BuildBatchMasks(args.mask, args.seqlens);
+  cluster.num_nodes = static_cast<int>(args.nodes);
+  cluster.devices_per_node = static_cast<int>(args.devices);
+  EngineOptions engine_options;
+  engine_options.planner.block_size = args.block;
+  engine_options.planner.num_groups = 2;
+  engine_options.planner.heads_per_group = 4;
+  engine_options.planner.head_dim = 128;
+
+  // Reject bad shapes before the engine spins anything up, with exit code 2 and usage.
+  const Status valid =
+      ValidatePlanRequest(args.seqlens, args.mask, cluster, engine_options.planner);
+  if (!valid.ok()) {
+    UsageError(valid.ToString());
+  }
+  Engine engine(cluster, engine_options);
 
   if (args.command == "plan") {
-    BatchPlan plan = PlanBatch(args.seqlens, masks, cluster, options);
+    const PlanHandle handle = engine.Plan(args.seqlens, args.mask).value();
+    const BatchPlan& plan = handle->plan;
     const PlanValidation validation = ValidatePlan(plan);
     std::printf("%s\n", PlanToString(plan, args.verbose ? 64 : 4).c_str());
     std::printf("validation: %s\n", validation.Summary().c_str());
@@ -126,13 +184,14 @@ int main(int argc, char** argv) {
                 static_cast<double>(plan.stats.inter_node_comm_bytes) / (1 << 20),
                 static_cast<double>(plan.stats.max_device_owned_bytes) /
                     std::max<Bytes>(1, plan.stats.min_device_owned_bytes));
+    PrintCacheStats(engine);
     return validation.ok ? 0 : 1;
   }
   if (args.command == "simulate") {
-    BatchPlan plan = PlanBatch(args.seqlens, masks, cluster, options);
+    const PlanHandle handle = engine.Plan(args.seqlens, args.mask).value();
     SimEngine sim{CostModel(cluster)};
-    const SimResult fw = sim.Simulate(plan, false);
-    const SimResult bw = sim.Simulate(plan, true);
+    const SimResult fw = sim.Simulate(handle->plan, false);
+    const SimResult bw = sim.Simulate(handle->plan, true);
     std::printf("attention fw %.3f ms, bw %.3f ms\n", fw.makespan * 1e3,
                 bw.makespan * 1e3);
     std::printf("fw: compute %.3f ms, exposed comm %.3f ms, overlapped %.3f ms\n",
@@ -141,14 +200,16 @@ int main(int argc, char** argv) {
     return 0;
   }
   if (args.command == "tune") {
-    const BlockSizeSearchResult result =
-        SearchBlockSize(args.seqlens, masks, cluster, options);
+    const AutoTuneResult result = engine.AutoTune(args.seqlens, args.mask).value();
     for (const auto& [block, seconds] : result.candidates) {
       std::printf("block %5lld: fw+bw %.3f ms%s\n", static_cast<long long>(block),
                   seconds * 1e3, block == result.best_block_size ? "  <= best" : "");
     }
+    if (result.tuned_from_cache) {
+      std::printf("block %5lld: recorded winner (tune cache)\n",
+                  static_cast<long long>(result.best_block_size));
+    }
     return 0;
   }
-  std::fprintf(stderr, "unknown command '%s'\n", args.command.c_str());
-  return 2;
+  UsageError("unknown command '" + args.command + "'");
 }

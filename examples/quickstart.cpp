@@ -1,9 +1,11 @@
-// Quickstart: the paper's Listing-2 workflow end to end.
+// Quickstart: the paper's Listing-2 workflow end to end, on the session Engine API.
 //
 // Builds a small variable-length batch, lets the DCP data loader plan it (blocks ->
-// hypergraph placement -> division schedule -> instruction streams), executes the plan
-// numerically across 4 simulated devices, and checks the result against a single-device
-// reference attention.
+// hypergraph placement -> division schedule -> instruction streams) through a shared
+// dcp::Engine, executes the plan numerically across 4 simulated devices, and checks the
+// result against a single-device reference attention. Repeated batch shapes come back as
+// plan-cache hits, and the executor reuses its device buffers whenever consecutive
+// iterations share a plan signature.
 //
 //   ./examples/quickstart
 #include <cstdio>
@@ -27,16 +29,17 @@ int main() {
   BatchingConfig batching;
   batching.token_budget = 4096;
 
-  // --- Attention spec + planner options. ---
-  PlannerOptions options;
-  options.block_size = 256;
-  options.num_groups = 2;      // GQA: 2 KV groups...
-  options.heads_per_group = 2; // ...serving 4 query heads.
-  options.head_dim = 32;
+  // --- The session engine owns the attention spec, planner knobs, and plan cache. ---
+  EngineOptions engine_options;
+  engine_options.planner.block_size = 256;
+  engine_options.planner.num_groups = 2;      // GQA: 2 KV groups...
+  engine_options.planner.heads_per_group = 2; // ...serving 4 query heads.
+  engine_options.planner.head_dim = 32;
+  auto engine = std::make_shared<Engine>(cluster, engine_options);
 
-  // The data loader plans look-ahead iterations on background threads (paper §6.1).
+  // The data loader plans look-ahead iterations on the engine's pool (paper §6.1).
   DcpDataLoader loader(BatchStream{LengthSampler(dataset), batching},
-                       MaskSpec::Causal(), cluster, options, /*lookahead=*/2);
+                       MaskSpec::Causal(), engine, /*lookahead=*/2);
   DcpExecutor executor;  // Shared across all "layers" (here: one attention op).
 
   Rng rng(1);
@@ -46,30 +49,37 @@ int main() {
                 "(%.2f MiB inter-node), planned in %.2f ms\n",
                 iteration, it.batch.NumSequences(),
                 static_cast<long long>(it.batch.TotalTokens()),
-                static_cast<double>(it.plan.stats.total_comm_bytes) / (1 << 20),
-                static_cast<double>(it.plan.stats.inter_node_comm_bytes) / (1 << 20),
-                it.plan.stats.planning_seconds * 1e3);
+                static_cast<double>(it.plan().stats.total_comm_bytes) / (1 << 20),
+                static_cast<double>(it.plan().stats.inter_node_comm_bytes) / (1 << 20),
+                it.plan().stats.planning_seconds * 1e3);
 
-    executor.Prepare(it.plan, it.masks);
+    executor.Prepare(it.handle);
 
     // Random Q/K/V per sequence; in a real model these come from the QKV projection.
     std::vector<SeqTensors> inputs;
     for (int64_t len : it.batch.seqlens) {
-      inputs.push_back(SeqTensors::Random(4, 2, len, options.head_dim, rng));
+      inputs.push_back(SeqTensors::Random(4, 2, len, engine_options.planner.head_dim, rng));
     }
     std::vector<Tensor> outputs = DcpAttention::Forward(executor, inputs);
 
     // Verify against the exact single-device reference.
     float worst = 0.0f;
     for (size_t s = 0; s < inputs.size(); ++s) {
-      Tensor reference = ReferenceAttentionForward(inputs[s], it.masks[s]);
+      Tensor reference = ReferenceAttentionForward(inputs[s], it.masks()[s]);
       worst = std::max(worst, Tensor::MaxAbsDiff(outputs[s], reference));
     }
     std::printf("  max |DCP - reference| = %.2e  %s\n", worst,
                 worst < 1e-4f ? "(OK)" : "(MISMATCH!)");
   }
 
-  std::printf("\nDone. See examples/rlhf_shared_question.cpp for sparse masks and\n"
+  const PlanCacheStats stats = engine->cache_stats();
+  std::printf("\nplan cache: %lld hits, %lld misses, %lld cached plans; executor reused "
+              "buffers on %lld of %lld prepares\n",
+              static_cast<long long>(stats.hits), static_cast<long long>(stats.misses),
+              static_cast<long long>(stats.entries),
+              static_cast<long long>(executor.buffer_reuse_count()),
+              static_cast<long long>(executor.prepare_count()));
+  std::printf("Done. See examples/rlhf_shared_question.cpp for sparse masks and\n"
               "examples/cluster_simulation.cpp for the timing simulator.\n");
   return 0;
 }

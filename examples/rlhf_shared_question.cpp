@@ -15,11 +15,13 @@ using namespace dcp;
 
 int main() {
   ClusterSpec cluster = ClusterSpec::MicroBenchTestbed();  // 4 nodes x 8 devices.
-  PlannerOptions options;
-  options.block_size = 1024;
-  options.num_groups = 2;
-  options.heads_per_group = 4;
-  options.head_dim = 128;
+  EngineOptions engine_options;
+  engine_options.planner.block_size = 1024;
+  engine_options.planner.num_groups = 2;
+  engine_options.planner.heads_per_group = 4;
+  engine_options.planner.head_dim = 128;
+  const PlannerOptions& options = engine_options.planner;
+  Engine engine(cluster, engine_options);
 
   // A PPO-style batch: prompts with 4 sampled answers each. The mask function (paper
   // Listing 2, mask_fn) is the SharedQuestion spec: each answer attends the prompt and
@@ -36,8 +38,9 @@ int main() {
   std::printf("batch: %zu prompts, mask sparsity vs causal: %.2f\n\n", seqlens.size(),
               sparsity);
 
-  // --- Plan with DCP and with the static TE-style baseline. ---
-  BatchPlan dcp = PlanBatch(seqlens, masks, cluster, options);
+  // --- Plan with DCP (through the session engine) and the static TE-style baseline. ---
+  const PlanHandle dcp_handle = engine.Plan(seqlens, mask_spec).value();
+  const BatchPlan& dcp = dcp_handle->plan;
   BaselineResult te = PlanBaseline(BaselineKind::kTransformerEngine, seqlens, mask_spec,
                                    cluster, options);
 
@@ -60,25 +63,26 @@ int main() {
   ClusterSpec small;
   small.num_nodes = 2;
   small.devices_per_node = 2;
-  PlannerOptions small_options = options;
-  small_options.block_size = 32;
-  small_options.head_dim = 16;
+  EngineOptions small_engine_options = engine_options;
+  small_engine_options.planner.block_size = 32;
+  small_engine_options.planner.head_dim = 16;
   const std::vector<int64_t> small_lens = {320, 192, 256};
-  std::vector<SequenceMask> small_masks = BuildBatchMasks(mask_spec, small_lens);
-  BatchPlan small_plan = PlanBatch(small_lens, small_masks, small, small_options);
+  Engine small_engine(small, small_engine_options);
+  const PlanHandle small_plan = small_engine.Plan(small_lens, mask_spec).value();
   DcpExecutor executor;
-  executor.Prepare(small_plan, small_masks);
+  executor.Prepare(small_plan);
   Rng rng(3);
   std::vector<SeqTensors> inputs;
   for (int64_t len : small_lens) {
-    inputs.push_back(SeqTensors::Random(8, 2, len, small_options.head_dim, rng));
+    inputs.push_back(
+        SeqTensors::Random(8, 2, len, small_engine_options.planner.head_dim, rng));
   }
   std::vector<Tensor> outputs = DcpAttention::Forward(executor, inputs);
   float worst = 0.0f;
   for (size_t s = 0; s < inputs.size(); ++s) {
-    worst = std::max(worst, Tensor::MaxAbsDiff(
-                                outputs[s],
-                                ReferenceAttentionForward(inputs[s], small_masks[s])));
+    worst = std::max(worst,
+                     Tensor::MaxAbsDiff(outputs[s], ReferenceAttentionForward(
+                                                        inputs[s], small_plan->masks[s])));
   }
   std::printf("\nnumeric check (scaled-down): max |DCP - reference| = %.2e %s\n", worst,
               worst < 1e-4f ? "(OK)" : "(MISMATCH!)");

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# CI gate: build the strict (warnings-as-errors) preset, run the full test suite, then
+# the tiny-config bench smoke label. Run from anywhere inside the repo.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cmake --preset strict
+cmake --build --preset strict -j "$(nproc)"
+ctest --test-dir build-strict -j "$(nproc)" --output-on-failure
+ctest --test-dir build-strict -L bench_smoke --output-on-failure
+echo "check.sh: all green"

@@ -1,0 +1,106 @@
+// Recoverable error handling for user-input paths (Engine::Plan, dcpctl, dataloader
+// configuration). Internal planner invariants keep DCP_CHECK — a violated invariant is a
+// bug, not an input error — but anything a caller can get wrong (empty batches,
+// non-positive block sizes, malformed cluster shapes) surfaces as a Status instead of an
+// abort. Minimal absl-style Status/StatusOr, no external dependencies.
+#ifndef DCP_COMMON_STATUS_H_
+#define DCP_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+
+namespace dcp {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kFailedPrecondition,
+  kInternal,
+};
+
+const char* StatusCodeName(StatusCode code);
+
+class Status {
+ public:
+  Status() = default;  // OK.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  static Status NotFound(std::string message) {
+    return Status(StatusCode::kNotFound, std::move(message));
+  }
+  static Status FailedPrecondition(std::string message) {
+    return Status(StatusCode::kFailedPrecondition, std::move(message));
+  }
+  static Status Internal(std::string message) {
+    return Status(StatusCode::kInternal, std::move(message));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "INVALID_ARGUMENT: seqlens must be non-empty" (or "OK").
+  std::string ToString() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+// Either a value or a non-OK Status. Accessing value() on an error aborts with the
+// status message, so call sites that cannot recover may use it as a checked unwrap.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    DCP_CHECK(!status_.ok()) << "StatusOr constructed from OK status without a value";
+  }
+  StatusOr(T value)  // NOLINT(google-explicit-constructor)
+      : value_(std::move(value)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    DCP_CHECK(ok()) << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    DCP_CHECK(ok()) << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    DCP_CHECK(ok()) << status_.ToString();
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace dcp
+
+#define DCP_RETURN_IF_ERROR(expr)       \
+  do {                                  \
+    ::dcp::Status _dcp_status = (expr); \
+    if (!_dcp_status.ok()) {            \
+      return _dcp_status;               \
+    }                                   \
+  } while (false)
+
+#endif  // DCP_COMMON_STATUS_H_

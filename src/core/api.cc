@@ -4,15 +4,35 @@
 
 namespace dcp {
 
+void DcpExecutor::Prepare(const PlanHandle& handle) {
+  DCP_CHECK(handle != nullptr) << "Prepare called with a null plan handle";
+  ++prepare_count_;
+  const bool same_signature = exec_ != nullptr && installed_ != nullptr &&
+                              !handle->signature.IsZero() &&
+                              installed_->signature == handle->signature;
+  if (same_signature) {
+    // Identical signature => bit-identical plan and buffer geometry: rebind in place,
+    // keeping the allocated device buffers.
+    exec_->Rebind(&handle->plan, &handle->masks);
+    ++buffer_reuse_count_;
+  } else {
+    exec_ = std::make_unique<NumericExecutor>(&handle->plan, &handle->masks);
+  }
+  installed_ = handle;
+}
+
 void DcpExecutor::Prepare(const BatchPlan& plan, std::vector<SequenceMask> masks) {
-  plan_ = plan;
-  masks_ = std::move(masks);
-  exec_ = std::make_unique<NumericExecutor>(&plan_, &masks_);
+  // Legacy path: no signature, so the handle never matches and buffers are rebuilt —
+  // exactly the paper-facade behavior.
+  auto compiled = std::make_shared<CompiledPlan>();
+  compiled->plan = plan;
+  compiled->masks = std::move(masks);
+  Prepare(PlanHandle(std::move(compiled)));
 }
 
 const BatchPlan& DcpExecutor::plan() const {
   DCP_CHECK(exec_ != nullptr) << "DcpExecutor::Prepare not called";
-  return plan_;
+  return installed_->plan;
 }
 
 NumericExecutor& DcpExecutor::numeric() {

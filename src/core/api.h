@@ -1,20 +1,30 @@
-// User-facing facade mirroring the paper's Listing 2:
+// User-facing facade mirroring the paper's Listing 2, now as thin shims over the
+// session-scoped dcp::Engine (core/engine.h), which owns the planner configuration, the
+// look-ahead thread pool, and the signature-keyed compiled-plan cache:
 //
-//   DcpDataLoader loader(stream, mask_spec, cluster, options);   // dataset + mask_fn
-//   DcpExecutor executor;                                        // shared across layers
+//   auto engine = std::make_shared<Engine>(cluster, engine_options);
+//   DcpDataLoader loader(stream, mask_spec, engine);   // dataset + mask_fn
+//   DcpExecutor executor;                              // shared across layers
 //   for (...) {
-//     PlannedIteration it = loader.Next();
-//     executor.Prepare(it.plan, it.masks);                       // set plan, make buffers
-//     auto out = DcpAttention::Forward(executor, inputs);        // inside the model
+//     PlannedIteration it = loader.Next();             // repeated batches hit the cache
+//     executor.Prepare(it.handle);                     // same signature: buffers reused
+//     auto out = DcpAttention::Forward(executor, inputs);   // inside the model
 //     auto grads = DcpAttention::Backward(executor, dout);
 //   }
+//
+// The paper-verbatim spellings still work: the DcpDataLoader(stream, mask_spec, cluster,
+// options) constructor builds an internal Engine, and Prepare(plan, masks) wraps its
+// arguments in an unsigned one-off handle (it always reallocates buffers — only
+// signature-carrying handles from the Engine get the incremental path).
 #ifndef DCP_CORE_API_H_
 #define DCP_CORE_API_H_
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
 #include "core/dataloader.h"
+#include "core/engine.h"
 #include "runtime/executor.h"
 
 namespace dcp {
@@ -25,17 +35,28 @@ class DcpExecutor {
  public:
   DcpExecutor() = default;
 
-  // Installs the plan for the upcoming iteration and (re)creates block buffers.
+  // Installs a compiled plan for the upcoming iteration. When the handle's signature
+  // matches the installed one (a plan-cache hit on a repeated batch), the device
+  // buffers are kept and the executor is rebound in place instead of reallocated.
+  void Prepare(const PlanHandle& handle);
+
+  // Paper-verbatim spelling: copies the plan/masks into a one-off unsigned handle.
   void Prepare(const BatchPlan& plan, std::vector<SequenceMask> masks);
 
   bool ready() const { return exec_ != nullptr; }
   const BatchPlan& plan() const;
   NumericExecutor& numeric();
 
+  // Observability for tests and benches: how many Prepare calls reused the installed
+  // device buffers instead of reallocating them.
+  int64_t prepare_count() const { return prepare_count_; }
+  int64_t buffer_reuse_count() const { return buffer_reuse_count_; }
+
  private:
-  BatchPlan plan_;
-  std::vector<SequenceMask> masks_;
+  PlanHandle installed_;
   std::unique_ptr<NumericExecutor> exec_;
+  int64_t prepare_count_ = 0;
+  int64_t buffer_reuse_count_ = 0;
 };
 
 // The drop-in attention op (paper Listing 2, DCPAttn.apply).

@@ -4,22 +4,34 @@
 
 namespace dcp {
 
-DcpDataLoader::DcpDataLoader(BatchStream stream, MaskSpec mask_spec, ClusterSpec cluster,
-                             PlannerOptions options, int lookahead, int planner_threads)
+DcpDataLoader::DcpDataLoader(BatchStream stream, MaskSpec mask_spec,
+                             std::shared_ptr<Engine> engine, int lookahead)
     : stream_(std::move(stream)),
       mask_spec_(mask_spec),
-      cluster_(cluster),
-      options_(options),
+      engine_(std::move(engine)),
       lookahead_(lookahead) {
+  DCP_CHECK(engine_ != nullptr);
   DCP_CHECK_GE(lookahead, 0);
-  pool_ = std::make_unique<ThreadPool>(std::max(1, planner_threads));
   for (int i = 0; i <= lookahead_; ++i) {
     EnqueueOne();
   }
 }
 
+DcpDataLoader::DcpDataLoader(BatchStream stream, MaskSpec mask_spec, ClusterSpec cluster,
+                             PlannerOptions options, int lookahead, int planner_threads)
+    : DcpDataLoader(std::move(stream), mask_spec,
+                    std::make_shared<Engine>(cluster,
+                                             [&] {
+                                               EngineOptions engine_options;
+                                               engine_options.planner = options;
+                                               engine_options.planner_threads =
+                                                   planner_threads;
+                                               return engine_options;
+                                             }()),
+                    lookahead) {}
+
 DcpDataLoader::~DcpDataLoader() {
-  // Drain in-flight planning jobs before tearing down the pool.
+  // Drain in-flight planning jobs before tearing down the engine pool.
   for (auto& fut : pending_) {
     fut.wait();
   }
@@ -27,19 +39,21 @@ DcpDataLoader::~DcpDataLoader() {
 
 void DcpDataLoader::EnqueueOne() {
   // Sampling the batch is cheap and must stay deterministic, so it happens on the calling
-  // thread; only the planning runs on the pool.
+  // thread; only the planning runs on the engine's pool. The stream's lengths are always
+  // positive, so a planning failure here is a configuration bug — surfaced loudly.
   Batch batch = stream_.NextBatch();
   MaskSpec mask_spec = mask_spec_;
-  ClusterSpec cluster = cluster_;
-  PlannerOptions options = options_;
-  pending_.push_back(pool_->Submit([batch = std::move(batch), mask_spec, cluster,
-                                    options]() mutable {
-    PlannedIteration iteration;
-    iteration.masks = BuildBatchMasks(mask_spec, batch.seqlens);
-    iteration.plan = PlanBatch(batch.seqlens, iteration.masks, cluster, options);
-    iteration.batch = std::move(batch);
-    return iteration;
-  }));
+  Engine* engine = engine_.get();
+  pending_.push_back(
+      engine_->pool().Submit([batch = std::move(batch), mask_spec, engine]() mutable {
+        StatusOr<PlanHandle> handle = engine->PlanForLoader(batch.seqlens, mask_spec);
+        DCP_CHECK(handle.ok()) << "look-ahead planning failed: "
+                               << handle.status().ToString();
+        PlannedIteration iteration;
+        iteration.batch = std::move(batch);
+        iteration.handle = std::move(handle).value();
+        return iteration;
+      }));
 }
 
 PlannedIteration DcpDataLoader::Next() {

@@ -1,6 +1,9 @@
 // The DCP data loader (paper §3.1 + §6.1): batches sequences, builds masks, and plans
-// look-ahead iterations asynchronously on a thread pool so planning overlaps "model
-// execution". Mirrors the paper's DCPDataloader(dataset, mask_fn) interface.
+// look-ahead iterations asynchronously on the Engine's thread pool so planning overlaps
+// "model execution". Mirrors the paper's DCPDataloader(dataset, mask_fn) interface, with
+// the session state (planner options, plan cache, pool) owned by a shared dcp::Engine —
+// repeated batch shapes come back as cache hits, and plans travel through the lookahead
+// queue as shared immutable handles instead of deep copies.
 #ifndef DCP_CORE_DATALOADER_H_
 #define DCP_CORE_DATALOADER_H_
 
@@ -9,25 +12,35 @@
 #include <memory>
 #include <vector>
 
-#include "common/thread_pool.h"
-#include "core/planner.h"
+#include "core/engine.h"
 #include "data/batching.h"
 #include "masks/mask.h"
 #include "runtime/cluster.h"
 
 namespace dcp {
 
-// One planned training iteration, ready for the executor.
+// One planned training iteration, ready for the executor. The compiled plan (instruction
+// streams + masks + signature) is shared and immutable; pass `handle` straight to
+// DcpExecutor::Prepare to get incremental buffer reuse on repeated signatures.
 struct PlannedIteration {
   Batch batch;
-  std::vector<SequenceMask> masks;
-  BatchPlan plan;
+  PlanHandle handle;
+
+  const BatchPlan& plan() const { return handle->plan; }
+  const std::vector<SequenceMask>& masks() const { return handle->masks; }
 };
 
 class DcpDataLoader {
  public:
-  // `lookahead` is the paper's kappa: iterations planned ahead of consumption.
-  // `planner_threads` parallelizes planning across iterations (paper §6.1).
+  // Session-API constructor: plans on `engine` (shared with other loaders/tools so they
+  // see one plan cache). `lookahead` is the paper's kappa: iterations planned ahead of
+  // consumption. When engine->options().auto_tune_block_size is set, every batch goes
+  // through the per-signature block-size tuner instead of the fixed block size.
+  DcpDataLoader(BatchStream stream, MaskSpec mask_spec, std::shared_ptr<Engine> engine,
+                int lookahead = 2);
+
+  // Paper-facade constructor (Listing 2 spelling): builds a private Engine from the
+  // cluster spec and planner options. `planner_threads` sizes its pool (paper §6.1).
   DcpDataLoader(BatchStream stream, MaskSpec mask_spec, ClusterSpec cluster,
                 PlannerOptions options, int lookahead = 2, int planner_threads = 2);
   ~DcpDataLoader();
@@ -38,15 +51,15 @@ class DcpDataLoader {
   // True while the look-ahead window is fully planned (for tests/diagnostics).
   int PendingPlans() const;
 
+  Engine& engine() { return *engine_; }
+
  private:
   void EnqueueOne();
 
   BatchStream stream_;
   MaskSpec mask_spec_;
-  ClusterSpec cluster_;
-  PlannerOptions options_;
+  std::shared_ptr<Engine> engine_;
   int lookahead_;
-  std::unique_ptr<ThreadPool> pool_;
   std::deque<std::future<PlannedIteration>> pending_;
 };
 

@@ -1,0 +1,305 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <string>
+
+#include "common/check.h"
+
+namespace dcp {
+namespace {
+
+std::string BadField(const char* what, int64_t value) {
+  return std::string(what) + " (got " + std::to_string(value) + ")";
+}
+
+}  // namespace
+
+Status ValidatePlanRequest(const std::vector<int64_t>& seqlens, const MaskSpec& mask_spec,
+                           const ClusterSpec& cluster, const PlannerOptions& options) {
+  if (seqlens.empty()) {
+    return Status::InvalidArgument("seqlens must be non-empty");
+  }
+  for (size_t s = 0; s < seqlens.size(); ++s) {
+    if (seqlens[s] <= 0) {
+      return Status::InvalidArgument("seqlens[" + std::to_string(s) +
+                                     "] must be positive (got " +
+                                     std::to_string(seqlens[s]) + ")");
+    }
+  }
+  if (cluster.num_nodes <= 0) {
+    return Status::InvalidArgument(BadField("cluster.num_nodes must be positive",
+                                            cluster.num_nodes));
+  }
+  if (cluster.devices_per_node <= 0) {
+    return Status::InvalidArgument(BadField("cluster.devices_per_node must be positive",
+                                            cluster.devices_per_node));
+  }
+  if (options.block_size <= 0) {
+    return Status::InvalidArgument(BadField("block_size must be positive",
+                                            options.block_size));
+  }
+  if (options.num_groups <= 0) {
+    return Status::InvalidArgument(BadField("num_groups must be positive",
+                                            options.num_groups));
+  }
+  if (options.heads_per_group <= 0) {
+    return Status::InvalidArgument(BadField("heads_per_group must be positive",
+                                            options.heads_per_group));
+  }
+  if (options.head_dim <= 0) {
+    return Status::InvalidArgument(BadField("head_dim must be positive",
+                                            options.head_dim));
+  }
+  if (options.bytes_per_element <= 0) {
+    return Status::InvalidArgument(BadField("bytes_per_element must be positive",
+                                            options.bytes_per_element));
+  }
+  if (options.divisions <= 0) {
+    return Status::InvalidArgument(BadField("divisions must be positive",
+                                            options.divisions));
+  }
+  switch (mask_spec.kind) {
+    case MaskKind::kCausal:
+      break;
+    case MaskKind::kLambda:
+      if (mask_spec.sink_tokens < 0) {
+        return Status::InvalidArgument(BadField("lambda sink_tokens must be >= 0",
+                                                mask_spec.sink_tokens));
+      }
+      if (mask_spec.window_tokens <= 0) {
+        return Status::InvalidArgument(BadField("lambda window_tokens must be positive",
+                                                mask_spec.window_tokens));
+      }
+      break;
+    case MaskKind::kCausalBlockwise:
+      if (mask_spec.icl_block_tokens <= 0) {
+        return Status::InvalidArgument(BadField("icl_block_tokens must be positive",
+                                                mask_spec.icl_block_tokens));
+      }
+      if (mask_spec.window_blocks < 0 || mask_spec.sink_blocks < 0 ||
+          mask_spec.test_blocks < 0) {
+        return Status::InvalidArgument("blockwise window/sink/test block counts must be >= 0");
+      }
+      break;
+    case MaskKind::kSharedQuestion:
+      if (mask_spec.num_answers <= 0) {
+        return Status::InvalidArgument(BadField("shared-question num_answers must be positive",
+                                                mask_spec.num_answers));
+      }
+      if (mask_spec.answer_fraction <= 0.0 ||
+          mask_spec.answer_fraction * mask_spec.num_answers >= 1.0 + 1e-9) {
+        return Status::InvalidArgument(
+            "shared-question answer_fraction must be in (0, 1/num_answers]");
+      }
+      break;
+  }
+  return Status::Ok();
+}
+
+Engine::Engine(ClusterSpec cluster, EngineOptions options)
+    : cluster_(cluster), options_(std::move(options)) {
+  DCP_CHECK_GE(options_.plan_cache_capacity, 0);
+  DCP_CHECK_GE(options_.tune_cache_capacity, 0);
+  pool_ = std::make_unique<ThreadPool>(std::max(1, options_.planner_threads));
+  // Never more shards than capacity: a zero-capacity shard would silently refuse to
+  // cache the signatures hashing into it.
+  const int shards = std::max(
+      1, std::min(options_.plan_cache_shards, std::max(1, options_.plan_cache_capacity)));
+  shards_.reserve(static_cast<size_t>(shards));
+  // Distribute the capacity exactly: the shard sum equals plan_cache_capacity, so the
+  // configured bound is never overshot (the first `capacity % shards` shards take the
+  // remainder).
+  const int64_t base = options_.plan_cache_capacity / shards;
+  const int64_t remainder = options_.plan_cache_capacity % shards;
+  for (int s = 0; s < shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->capacity = base + (s < remainder ? 1 : 0);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+Engine::~Engine() = default;
+
+Engine::Shard& Engine::ShardFor(const PlanSignature& sig) {
+  return *shards_[static_cast<size_t>(sig.lo % shards_.size())];
+}
+
+PlanHandle Engine::CacheLookup(const PlanSignature& sig) {
+  Shard& shard = ShardFor(sig);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(sig);
+  if (it == shard.index.end()) {
+    // Counted even with caching disabled so cache_stats() reports the true cold-plan
+    // rate instead of pretending the cache saw no traffic.
+    ++shard.misses;
+    return nullptr;
+  }
+  ++shard.hits;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);  // Move to front.
+  return *it->second;
+}
+
+PlanHandle Engine::CacheInsert(PlanHandle handle) {
+  Shard& shard = ShardFor(handle->signature);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.capacity == 0) {
+    return handle;
+  }
+  auto it = shard.index.find(handle->signature);
+  if (it != shard.index.end()) {
+    // A concurrent miss planned the same signature; keep the incumbent so callers that
+    // raced still end up sharing one immutable plan.
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return *it->second;
+  }
+  shard.lru.push_front(handle);
+  shard.index.emplace(handle->signature, shard.lru.begin());
+  while (static_cast<int64_t>(shard.lru.size()) > shard.capacity) {
+    shard.index.erase(shard.lru.back()->signature);
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+  return handle;
+}
+
+StatusOr<PlanHandle> Engine::Plan(const std::vector<int64_t>& seqlens,
+                                  const MaskSpec& mask_spec) {
+  return PlanWithBlockSize(seqlens, mask_spec, options_.planner.block_size);
+}
+
+StatusOr<PlanHandle> Engine::PlanWithBlockSize(const std::vector<int64_t>& seqlens,
+                                               const MaskSpec& mask_spec,
+                                               int64_t block_size) {
+  PlannerOptions planner = options_.planner;
+  planner.block_size = block_size;
+  DCP_RETURN_IF_ERROR(ValidatePlanRequest(seqlens, mask_spec, cluster_, planner));
+
+  const PlanSignature sig = ComputePlanSignature(seqlens, mask_spec, cluster_, planner);
+  if (PlanHandle cached = CacheLookup(sig)) {
+    return cached;
+  }
+
+  auto compiled = std::make_shared<CompiledPlan>();
+  compiled->signature = sig;
+  compiled->masks = BuildBatchMasks(mask_spec, seqlens);
+  compiled->plan = PlanBatch(seqlens, compiled->masks, cluster_, planner);
+  return CacheInsert(std::move(compiled));
+}
+
+StatusOr<AutoTuneResult> Engine::AutoTune(const std::vector<int64_t>& seqlens,
+                                          const MaskSpec& mask_spec) {
+  if (options_.tune_block_sizes.empty()) {
+    return Status::FailedPrecondition("tune_block_sizes must be non-empty");
+  }
+  // Validate against the first candidate; per-candidate block sizes are validated again
+  // inside PlanWithBlockSize.
+  PlannerOptions probe = options_.planner;
+  probe.block_size = options_.tune_block_sizes.front();
+  DCP_RETURN_IF_ERROR(ValidatePlanRequest(seqlens, mask_spec, cluster_, probe));
+  for (int64_t candidate : options_.tune_block_sizes) {
+    if (candidate <= 0) {
+      return Status::InvalidArgument("tune_block_sizes entries must be positive (got " +
+                                     std::to_string(candidate) + ")");
+    }
+  }
+
+  const PlanSignature tune_sig = ComputeTuneSignature(
+      seqlens, mask_spec, cluster_, options_.planner, options_.tune_block_sizes);
+  int64_t known_winner = 0;
+  {
+    std::lock_guard<std::mutex> lock(tune_mu_);
+    auto it = tune_index_.find(tune_sig);
+    if (it != tune_index_.end()) {
+      ++tune_hits_;
+      tune_lru_.splice(tune_lru_.begin(), tune_lru_, it->second);
+      known_winner = it->second->second;
+    } else {
+      ++tune_misses_;
+    }
+  }
+  if (known_winner > 0) {
+    // Replanning at the recorded winner is usually a plan-cache hit; done outside the
+    // tune lock so a cold replan never serializes other tuners.
+    StatusOr<PlanHandle> plan = PlanWithBlockSize(seqlens, mask_spec, known_winner);
+    if (!plan.ok()) {
+      return plan.status();
+    }
+    AutoTuneResult result;
+    result.plan = plan.value();
+    result.best_block_size = known_winner;
+    result.tuned_from_cache = true;
+    return result;
+  }
+
+  std::vector<SequenceMask> masks = BuildBatchMasks(mask_spec, seqlens);
+  BlockSizeSearchResult search = SearchBlockSize(seqlens, masks, cluster_,
+                                                 options_.planner,
+                                                 options_.tune_block_sizes);
+
+  if (options_.tune_cache_capacity > 0) {
+    std::lock_guard<std::mutex> lock(tune_mu_);
+    if (tune_index_.find(tune_sig) == tune_index_.end()) {
+      tune_lru_.emplace_front(tune_sig, search.best_block_size);
+      tune_index_.emplace(tune_sig, tune_lru_.begin());
+      while (static_cast<int64_t>(tune_lru_.size()) > options_.tune_cache_capacity) {
+        tune_index_.erase(tune_lru_.back().first);
+        tune_lru_.pop_back();
+      }
+    }
+  }
+
+  PlannerOptions winner_options = options_.planner;
+  winner_options.block_size = search.best_block_size;
+  auto compiled = std::make_shared<CompiledPlan>();
+  compiled->signature =
+      ComputePlanSignature(seqlens, mask_spec, cluster_, winner_options);
+  compiled->plan = std::move(search.best_plan);
+  compiled->masks = std::move(masks);
+
+  AutoTuneResult result;
+  result.plan = CacheInsert(std::move(compiled));
+  result.best_block_size = search.best_block_size;
+  result.best_fwbw_seconds = search.best_fwbw_seconds;
+  result.candidates = std::move(search.candidates);
+  return result;
+}
+
+StatusOr<PlanHandle> Engine::PlanForLoader(const std::vector<int64_t>& seqlens,
+                                           const MaskSpec& mask_spec) {
+  if (!options_.auto_tune_block_size) {
+    return Plan(seqlens, mask_spec);
+  }
+  StatusOr<AutoTuneResult> tuned = AutoTune(seqlens, mask_spec);
+  if (!tuned.ok()) {
+    return tuned.status();
+  }
+  return tuned.value().plan;
+}
+
+PlanCacheStats Engine::cache_stats() const {
+  PlanCacheStats stats;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    stats.hits += shard->hits;
+    stats.misses += shard->misses;
+    stats.evictions += shard->evictions;
+    stats.entries += static_cast<int64_t>(shard->lru.size());
+  }
+  std::lock_guard<std::mutex> lock(tune_mu_);
+  stats.tune_hits = tune_hits_;
+  stats.tune_misses = tune_misses_;
+  return stats;
+}
+
+void Engine::ClearCache() {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->lru.clear();
+    shard->index.clear();
+  }
+  std::lock_guard<std::mutex> lock(tune_mu_);
+  tune_lru_.clear();
+  tune_index_.clear();
+}
+
+}  // namespace dcp

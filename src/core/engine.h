@@ -1,0 +1,168 @@
+// The DCP session engine: the one object a training job constructs per (cluster,
+// configuration) pair. It owns what the free-function facade used to scatter across
+// callers — the planner options, the look-ahead thread pool, and a sharded LRU cache of
+// compiled plans keyed by PlanSignature — and hands plans out as shared immutable
+// handles, so repeated batches (dataset buckets recur constantly in production traffic)
+// skip planning entirely and flow through the lookahead queue and the executor without
+// deep copies.
+//
+//   Engine engine(cluster, options);
+//   StatusOr<PlanHandle> plan = engine.Plan(seqlens, mask_spec);   // cache hit: O(hash)
+//   executor.Prepare(plan.value());                                // reuses buffers when
+//                                                                  // the signature matches
+//
+// User-input errors (empty batches, bad block sizes, malformed cluster shapes) come back
+// as recoverable Status values; internal planner invariants still DCP_CHECK.
+#ifndef DCP_CORE_ENGINE_H_
+#define DCP_CORE_ENGINE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "core/plan_signature.h"
+#include "core/planner.h"
+#include "masks/mask.h"
+#include "runtime/cluster.h"
+#include "runtime/instructions.h"
+
+namespace dcp {
+
+// An immutable compiled plan: the instruction streams plus the materialized masks they
+// were planned against and the signature that identifies both. Shared by the cache, the
+// lookahead queue, and the executor; never mutated after construction.
+struct CompiledPlan {
+  PlanSignature signature;
+  BatchPlan plan;
+  std::vector<SequenceMask> masks;
+};
+
+using PlanHandle = std::shared_ptr<const CompiledPlan>;
+
+struct EngineOptions {
+  PlannerOptions planner;
+  // Threads for look-ahead planning (the paper's §6.1 overlap); the partitioner
+  // portfolio inside each PlanBatch additionally fans out on the global pool.
+  int planner_threads = 2;
+  // Total cached plans across all shards (exact bound); 0 disables caching entirely.
+  int plan_cache_capacity = 64;
+  int plan_cache_shards = 4;
+  // Bound on AutoTune's per-signature winner table (tiny entries, but long-running
+  // sessions with churning batch shapes must not grow without limit).
+  int tune_cache_capacity = 1024;
+  // When set, the data-loader path tunes the block size per batch signature instead of
+  // using planner.block_size verbatim (paper §7.1's search, amortized by the tune cache).
+  bool auto_tune_block_size = false;
+  std::vector<int64_t> tune_block_sizes = {512, 1024, 2048, 4096};
+};
+
+struct PlanCacheStats {
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t evictions = 0;
+  int64_t entries = 0;
+  int64_t tune_hits = 0;    // AutoTune served from the per-signature winner table.
+  int64_t tune_misses = 0;  // AutoTune that ran the full block-size search.
+
+  double HitRate() const {
+    const int64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
+struct AutoTuneResult {
+  PlanHandle plan;
+  int64_t best_block_size = 0;
+  // Simulated fw+bw seconds of the winner; 0 when served from the tune cache without
+  // re-simulating.
+  double best_fwbw_seconds = 0.0;
+  // (block size, simulated seconds) per candidate; empty when served from the cache.
+  std::vector<std::pair<int64_t, double>> candidates;
+  bool tuned_from_cache = false;
+};
+
+// Validates one planning request's user inputs. Exposed for front ends (dcpctl) that
+// want to report errors before constructing an Engine.
+Status ValidatePlanRequest(const std::vector<int64_t>& seqlens, const MaskSpec& mask_spec,
+                           const ClusterSpec& cluster, const PlannerOptions& options);
+
+class Engine {
+ public:
+  Engine(ClusterSpec cluster, EngineOptions options);
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // Plans `seqlens` under `mask_spec` at the engine's configured block size. Cache hits
+  // return the previously compiled handle without touching the planner.
+  StatusOr<PlanHandle> Plan(const std::vector<int64_t>& seqlens,
+                            const MaskSpec& mask_spec);
+  // Same, at an explicit block size (AutoTune and tests use this).
+  StatusOr<PlanHandle> PlanWithBlockSize(const std::vector<int64_t>& seqlens,
+                                         const MaskSpec& mask_spec, int64_t block_size);
+
+  // The paper's block-size search, cached per tune signature: the first sight of a batch
+  // shape plans every candidate and prices it on the simulator; later sightings reuse
+  // the recorded winner (usually a plan-cache hit as well).
+  StatusOr<AutoTuneResult> AutoTune(const std::vector<int64_t>& seqlens,
+                                    const MaskSpec& mask_spec);
+
+  // Plans either at the fixed block size or through AutoTune, per
+  // options().auto_tune_block_size — the data loader's single entry point.
+  StatusOr<PlanHandle> PlanForLoader(const std::vector<int64_t>& seqlens,
+                                     const MaskSpec& mask_spec);
+
+  const ClusterSpec& cluster() const { return cluster_; }
+  const EngineOptions& options() const { return options_; }
+  // The engine-owned pool the data loader schedules look-ahead planning on.
+  ThreadPool& pool() { return *pool_; }
+
+  PlanCacheStats cache_stats() const;
+  void ClearCache();
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    // Front = most recently used. The map indexes into the list.
+    std::list<PlanHandle> lru;
+    std::unordered_map<PlanSignature, std::list<PlanHandle>::iterator, PlanSignatureHash>
+        index;
+    int64_t capacity = 0;
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t evictions = 0;
+  };
+
+  Shard& ShardFor(const PlanSignature& sig);
+  // Returns the cached handle and records a hit, or nullptr and records a miss.
+  PlanHandle CacheLookup(const PlanSignature& sig);
+  // Inserts `handle`, evicting LRU entries over capacity. If another thread planted the
+  // same signature first, returns the incumbent so equal signatures share one handle.
+  PlanHandle CacheInsert(PlanHandle handle);
+
+  ClusterSpec cluster_;
+  EngineOptions options_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  // AutoTune winner table: LRU-bounded by tune_cache_capacity.
+  mutable std::mutex tune_mu_;
+  std::list<std::pair<PlanSignature, int64_t>> tune_lru_;
+  std::unordered_map<PlanSignature,
+                     std::list<std::pair<PlanSignature, int64_t>>::iterator,
+                     PlanSignatureHash>
+      tune_index_;
+  int64_t tune_hits_ = 0;
+  int64_t tune_misses_ = 0;
+};
+
+}  // namespace dcp
+
+#endif  // DCP_CORE_ENGINE_H_

@@ -105,14 +105,17 @@ class ReferenceEngine final : public AttentionEngine {
 
 class DcpEngine final : public AttentionEngine {
  public:
-  DcpEngine(const TrainerConfig& config, const std::vector<SequenceMask>& masks) {
-    PlannerOptions options;
-    options.block_size = config.block_size;
-    options.num_groups = config.num_kv_groups;
-    options.heads_per_group = config.num_heads / config.num_kv_groups;
-    options.head_dim = config.head_dim;
-    BatchPlan plan = PlanBatch(config.seqlens, masks, config.cluster, options);
-    executor_.Prepare(plan, masks);
+  explicit DcpEngine(const TrainerConfig& config) {
+    EngineOptions options;
+    options.planner.block_size = config.block_size;
+    options.planner.num_groups = config.num_kv_groups;
+    options.planner.heads_per_group = config.num_heads / config.num_kv_groups;
+    options.planner.head_dim = config.head_dim;
+    options.planner_threads = 1;  // The trainer plans one fixed batch shape.
+    engine_ = std::make_unique<Engine>(config.cluster, options);
+    StatusOr<PlanHandle> handle = engine_->Plan(config.seqlens, config.mask);
+    DCP_CHECK(handle.ok()) << "trainer planning failed: " << handle.status().ToString();
+    executor_.Prepare(handle.value());
   }
 
   std::vector<Tensor> Forward(const std::vector<SeqTensors>& inputs) override {
@@ -124,6 +127,7 @@ class DcpEngine final : public AttentionEngine {
   }
 
  private:
+  std::unique_ptr<Engine> engine_;
   DcpExecutor executor_;
 };
 
@@ -221,7 +225,7 @@ std::vector<double> TrainLossCurve(const TrainerConfig& config,
   if (engine_kind == AttentionEngineKind::kReference) {
     engine = std::make_unique<ReferenceEngine>(&masks);
   } else {
-    engine = std::make_unique<DcpEngine>(config, masks);
+    engine = std::make_unique<DcpEngine>(config);
   }
 
   Rng rng(config.seed);

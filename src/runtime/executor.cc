@@ -19,6 +19,34 @@ NumericExecutor::NumericExecutor(const BatchPlan* plan,
   }
 }
 
+void NumericExecutor::Rebind(const BatchPlan* plan,
+                             const std::vector<SequenceMask>* masks) {
+  DCP_CHECK(plan != nullptr && masks != nullptr);
+  DCP_CHECK_EQ(static_cast<int>(masks->size()), plan->layout.num_sequences());
+  DCP_CHECK_EQ(plan->num_devices(), static_cast<int>(buffers_.size()));
+  DCP_CHECK(!buffers_.empty());
+  // Slot geometry (and LoadInputs strides) are functions of the layout: the incoming
+  // plan must address buffers exactly like the one they were allocated for.
+  const BatchLayout& installed = buffers_.front().layout();
+  DCP_CHECK(plan->layout.seqlens == installed.seqlens);
+  DCP_CHECK_EQ(plan->layout.block_size, installed.block_size);
+  DCP_CHECK_EQ(plan->layout.num_groups, installed.num_groups);
+  DCP_CHECK_EQ(plan->layout.heads_per_group, installed.heads_per_group);
+  DCP_CHECK_EQ(plan->layout.head_dim, installed.head_dim);
+  for (int dev = 0; dev < plan->num_devices(); ++dev) {
+    const DevicePlan& device = plan->devices[static_cast<size_t>(dev)];
+    const DeviceBuffers& buf = buffers_[static_cast<size_t>(dev)];
+    for (int k = 0; k < kNumBufKinds; ++k) {
+      DCP_CHECK_EQ(device.num_slots[static_cast<size_t>(k)],
+                   buf.NumSlots(static_cast<BufKind>(k)))
+          << "Rebind with mismatched buffer geometry on device " << dev;
+    }
+  }
+  plan_ = plan;
+  masks_ = masks;
+  wire_.clear();
+}
+
 void NumericExecutor::LoadInputs(const std::vector<SeqTensors>& sequences) {
   const BatchLayout& layout = plan_->layout;
   DCP_CHECK_EQ(static_cast<int>(sequences.size()), layout.num_sequences());

@@ -21,6 +21,12 @@ class NumericExecutor {
   // `plan` and `masks` must outlive the executor. masks[s] is sequence s's mask.
   NumericExecutor(const BatchPlan* plan, const std::vector<SequenceMask>* masks);
 
+  // Swaps in a new plan whose buffer geometry matches the installed one (same device
+  // count and per-device slot counts — guaranteed when the plans share a PlanSignature)
+  // without reallocating device buffers. Pending transfer state is discarded; the next
+  // RunForward/RunBackward resets accumulators as usual.
+  void Rebind(const BatchPlan* plan, const std::vector<SequenceMask>* masks);
+
   // Scatters per-sequence Q/K/V into device buffers according to the plan's placement.
   void LoadInputs(const std::vector<SeqTensors>& sequences);
   // Runs every device's forward instruction stream to completion.

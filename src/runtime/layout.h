@@ -26,7 +26,9 @@ struct BatchLayout {
   int NumChunks(SeqId s) const {
     return static_cast<int>(CeilDiv(seqlens[static_cast<size_t>(s)], block_size));
   }
-  int64_t ChunkBegin(SeqId s, ChunkId c) const { return static_cast<int64_t>(c) * block_size; }
+  int64_t ChunkBegin(SeqId /*s*/, ChunkId c) const {
+    return static_cast<int64_t>(c) * block_size;
+  }
   int64_t ChunkEnd(SeqId s, ChunkId c) const {
     return std::min(seqlens[static_cast<size_t>(s)], ChunkBegin(s, c) + block_size);
   }

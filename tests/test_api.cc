@@ -32,7 +32,7 @@ TEST(DcpApi, ListingTwoWorkflowRunsEndToEnd) {
   Rng rng(3);
   for (int iteration = 0; iteration < 3; ++iteration) {
     PlannedIteration it = loader.Next();
-    executor.Prepare(it.plan, it.masks);
+    executor.Prepare(it.handle);
     ASSERT_TRUE(executor.ready());
 
     std::vector<SeqTensors> inputs;
@@ -42,7 +42,7 @@ TEST(DcpApi, ListingTwoWorkflowRunsEndToEnd) {
     std::vector<Tensor> outputs = DcpAttention::Forward(executor, inputs);
     ASSERT_EQ(outputs.size(), inputs.size());
     for (size_t s = 0; s < inputs.size(); ++s) {
-      Tensor reference = ReferenceAttentionForward(inputs[s], it.masks[s]);
+      Tensor reference = ReferenceAttentionForward(inputs[s], it.masks()[s]);
       EXPECT_LT(Tensor::MaxAbsDiff(outputs[s], reference), 1e-4f);
     }
     // Backward through the same executor.

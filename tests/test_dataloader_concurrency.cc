@@ -55,9 +55,10 @@ std::vector<IterationRecord> Drain(int planner_threads, int lookahead, int itera
     EXPECT_LE(loader.PendingPlans(), lookahead + 1)
         << "lookahead window exceeded at iteration " << i;
     PlannedIteration it = loader.Next();
-    it.plan.stats.planning_seconds = 0.0;  // Wall clock is the one legitimately
+    BatchPlan plan = it.plan();            // Copy: handles are immutable.
+    plan.stats.planning_seconds = 0.0;     // Wall clock is the one legitimately
                                            // thread-dependent field.
-    records.push_back({it.batch.seqlens, SerializePlan(it.plan)});
+    records.push_back({it.batch.seqlens, SerializePlan(plan)});
     EXPECT_LE(loader.PendingPlans(), lookahead + 1);
   }
   return records;
