@@ -11,6 +11,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -192,17 +193,110 @@ RepeatBatchRow MeasureRepeatBatch(DatasetKind dataset, MaskKind mask, int64_t bl
   return row;
 }
 
+// Measures cross-process warm start: one process plans cold and writes through to the
+// plan store; a fresh Engine (fresh cache, same store path — a process restart in
+// miniature) must then serve the same signature from disk, bit-identical, >= 10x faster
+// than cold planning. Violations exit non-zero so `ctest -L bench_smoke` fails CI on
+// store-hit latency or correctness regressions.
+struct WarmStartRow {
+  std::string dataset;
+  std::string mask;
+  int64_t block_size = 0;
+  int k = 0;
+  int repeats = 0;              // Fresh-Engine restarts measured.
+  double cold_ms = 0.0;         // Cold planning (empty store) in the writer engine.
+  double store_hit_ms_mean = 0.0;  // First Plan() on a fresh Engine over the store.
+  double store_hit_ms_min = 0.0;
+  double speedup = 0.0;         // cold_ms / store_hit_ms_mean.
+};
+
+WarmStartRow MeasureWarmStart(DatasetKind dataset, MaskKind mask, int64_t block_size,
+                              int repeats, int64_t token_budget,
+                              const ClusterSpec& cluster, const std::string& store_dir) {
+  // Start from an empty store so cold_ms really is cold across repeated bench runs.
+  std::filesystem::remove_all(store_dir);
+  MicroBenchConfig config;
+  config.cluster = cluster;
+  config.dataset = dataset;
+  config.block_size = block_size;
+  config.num_batches = 1;
+  config.token_budget = token_budget;
+  config.max_seq_len = token_budget;
+  const Batch batch = config.MakeBatches().front();
+  const MaskSpec spec = MaskSpec::ForKind(mask);
+
+  EngineOptions engine_options;
+  engine_options.planner = config.MakePlannerOptions();
+  engine_options.plan_store_path = store_dir;
+
+  WarmStartRow row;
+  row.dataset = DatasetKindName(dataset);
+  row.mask = MaskKindName(mask);
+  row.block_size = block_size;
+  row.k = cluster.num_devices();
+  row.repeats = repeats;
+
+  std::string cold_serialized;
+  {
+    Engine writer(cluster, engine_options);
+    const double start = NowSeconds();
+    const PlanHandle cold = writer.Plan(batch.seqlens, spec).value();
+    row.cold_ms = (NowSeconds() - start) * 1e3;
+    cold_serialized = SerializePlan(cold->plan);
+    if (writer.cache_stats().store_writes < 1) {
+      std::fprintf(stderr, "bench_report: cold plan was not written to the store\n");
+      std::exit(1);
+    }
+  }
+
+  RunningStats hit_ms;
+  for (int r = 0; r < repeats; ++r) {
+    Engine fresh(cluster, engine_options);  // Construction excluded from the hit path.
+    const double start = NowSeconds();
+    const PlanHandle warm = fresh.Plan(batch.seqlens, spec).value();
+    hit_ms.Add((NowSeconds() - start) * 1e3);
+    if (fresh.cache_stats().store_hits != 1) {
+      std::fprintf(stderr, "bench_report: warm start was not served from the store\n");
+      std::exit(1);
+    }
+    if (SerializePlan(warm->plan) != cold_serialized) {
+      std::fprintf(stderr,
+                   "bench_report: store-served plan differs from the cold plan\n");
+      std::exit(1);
+    }
+  }
+  row.store_hit_ms_mean = hit_ms.mean();
+  row.store_hit_ms_min = hit_ms.min();
+  row.speedup = row.store_hit_ms_mean > 0.0 ? row.cold_ms / row.store_hit_ms_mean : 0.0;
+  // Gate on the min hit latency: scheduler noise on a loaded CI box inflates the mean,
+  // but a genuine decode/IO regression moves the floor.
+  const double floor_speedup =
+      row.store_hit_ms_min > 0.0 ? row.cold_ms / row.store_hit_ms_min : 0.0;
+  if (floor_speedup < 10.0) {
+    std::fprintf(stderr,
+                 "bench_report: warm-start speedup %.1fx is under the 10x regression "
+                 "bar (cold %.2f ms, best store hit %.4f ms)\n",
+                 floor_speedup, row.cold_ms, row.store_hit_ms_min);
+    std::exit(1);
+  }
+  return row;
+}
+
 void WriteJson(const std::string& path, bool smoke,
                const std::vector<PartitionerRow>& partitioner,
                const std::vector<PlanningRow>& planning,
-               const std::vector<RepeatBatchRow>& repeat_batch) {
-  FILE* f = std::fopen(path.c_str(), "w");
+               const std::vector<RepeatBatchRow>& repeat_batch,
+               const std::vector<WarmStartRow>& warm_start) {
+  // Write to a temp file and rename into place so an interrupted run can never leave a
+  // truncated JSON under the real name (cross-PR perf diffs parse these files).
+  const std::string temp = path + ".tmp";
+  FILE* f = std::fopen(temp.c_str(), "w");
   if (f == nullptr) {
-    std::fprintf(stderr, "bench_report: cannot open %s for writing\n", path.c_str());
+    std::fprintf(stderr, "bench_report: cannot open %s for writing\n", temp.c_str());
     std::exit(1);
   }
   std::fprintf(f, "{\n");
-  std::fprintf(f, "  \"schema\": \"dcp.bench_planning.v3\",\n");
+  std::fprintf(f, "  \"schema\": \"dcp.bench_planning.v4\",\n");
   std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
   std::fprintf(f, "  \"partitioner\": [\n");
   for (size_t i = 0; i < partitioner.size(); ++i) {
@@ -240,9 +334,31 @@ void WriteJson(const std::string& path, bool smoke,
                  r.hit_ms_mean, r.hit_ms_max, r.hit_rate, r.speedup,
                  i + 1 < repeat_batch.size() ? "," : "");
   }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"warm_start\": [\n");
+  for (size_t i = 0; i < warm_start.size(); ++i) {
+    const WarmStartRow& r = warm_start[i];
+    std::fprintf(f,
+                 "    {\"dataset\": \"%s\", \"mask\": \"%s\", \"block_size\": %lld, "
+                 "\"k\": %d, \"repeats\": %d, \"cold_ms\": %.4f, "
+                 "\"store_hit_ms_mean\": %.6f, \"store_hit_ms_min\": %.6f, "
+                 "\"speedup\": %.1f}%s\n",
+                 r.dataset.c_str(), r.mask.c_str(),
+                 static_cast<long long>(r.block_size), r.k, r.repeats, r.cold_ms,
+                 r.store_hit_ms_mean, r.store_hit_ms_min, r.speedup,
+                 i + 1 < warm_start.size() ? "," : "");
+  }
   std::fprintf(f, "  ]\n");
   std::fprintf(f, "}\n");
-  std::fclose(f);
+  if (std::fclose(f) != 0) {
+    std::fprintf(stderr, "bench_report: cannot finish writing %s\n", temp.c_str());
+    std::exit(1);
+  }
+  if (std::rename(temp.c_str(), path.c_str()) != 0) {
+    std::fprintf(stderr, "bench_report: cannot rename %s to %s\n", temp.c_str(),
+                 path.c_str());
+    std::exit(1);
+  }
 }
 
 int Main(int argc, char** argv) {
@@ -318,10 +434,37 @@ int Main(int argc, char** argv) {
                 r.cold_ms, r.hit_ms_mean, r.speedup, r.hit_rate);
   }
 
-  WriteJson(json_path, smoke, partitioner, planning, repeat_batch);
+  // Cross-process warm start through the persistent plan store. Small block sizes make
+  // the cold plan genuinely expensive, so the row exercises the case persistence is for.
+  std::vector<WarmStartRow> warm_start;
+  const std::string store_dir = json_path + ".plan_store";
+  const int warm_repeats = smoke ? 5 : 8;
+  // Smoke shrinks the token budget, so drop the block size with it to keep the cold
+  // plan expensive enough (64 chunks) that the row measures planning, not disk latency.
+  warm_start.push_back(MeasureWarmStart(DatasetKind::kLongAlign, MaskKind::kCausal,
+                                        smoke ? 256 : 512, warm_repeats, budget, testbed,
+                                        store_dir));
+  if (!smoke) {
+    // Causal on both datasets: warm start pays off where planning is expensive. Sparse
+    // masks (lambda) plan so cheaply that the disk hit is near break-even — that case
+    // is served by the in-memory repeat_batch path, not the store.
+    warm_start.push_back(MeasureWarmStart(DatasetKind::kLongDataCollections,
+                                          MaskKind::kCausal, 512, warm_repeats, budget,
+                                          testbed, store_dir));
+  }
+  for (const WarmStartRow& r : warm_start) {
+    std::printf("warm-start %s/%s block %lld: cold %.2f ms, store hit %.4f ms (%.0fx) "
+                "across %d fresh engines\n",
+                r.dataset.c_str(), r.mask.c_str(), static_cast<long long>(r.block_size),
+                r.cold_ms, r.store_hit_ms_mean, r.speedup, r.repeats);
+  }
+
+  WriteJson(json_path, smoke, partitioner, planning, repeat_batch, warm_start);
   std::printf(
-      "bench_report: wrote %s (%zu partitioner rows, %zu planning rows, %zu repeat rows)\n",
-      json_path.c_str(), partitioner.size(), planning.size(), repeat_batch.size());
+      "bench_report: wrote %s (%zu partitioner rows, %zu planning rows, %zu repeat "
+      "rows, %zu warm-start rows)\n",
+      json_path.c_str(), partitioner.size(), planning.size(), repeat_batch.size(),
+      warm_start.size());
   return 0;
 }
 

@@ -4,11 +4,18 @@
 //   dcpctl plan     --seqlens 65536,32768,8192 --mask lambda --nodes 4 --devices 8
 //   dcpctl simulate --seqlens 65536,32768      --mask causal --block 2048
 //   dcpctl tune     --seqlens 40960,24576      --mask shared_question
+//   dcpctl plan     --seqlens 65536,32768 --store /var/dcp/plans   # warm-start cache
+//   dcpctl cache stats  --store /var/dcp/plans
+//   dcpctl cache export --store /var/dcp/plans --out plans.bundle
+//   dcpctl cache import --store /var/dcp/plans --in  plans.bundle
 //
 // `plan` prints the plan summary, per-device stats, and the engine's plan-cache
 // counters; `simulate` prices fw+bw and prints the decomposition; `tune` runs the
-// paper's block-size search through Engine::AutoTune. Malformed numeric flags and
-// planner-rejected inputs exit with code 2 and a usage message instead of aborting.
+// paper's block-size search through Engine::AutoTune; `cache` inspects and ships the
+// persistent plan store (export/import move plan records between machines as a single
+// bundle file — corrupt records are counted and skipped, never fatal). Malformed numeric
+// flags and planner-rejected inputs exit with code 2 and a usage message instead of
+// aborting.
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -17,6 +24,7 @@
 #include <vector>
 
 #include "core/engine.h"
+#include "core/plan_store.h"
 #include "masks/mask.h"
 #include "runtime/plan_validate.h"
 #include "runtime/sim_engine.h"
@@ -28,7 +36,8 @@ namespace {
 constexpr const char kUsage[] =
     "usage: dcpctl plan|simulate|tune [--seqlens a,b,c] "
     "[--mask causal|lambda|blockwise|shared_question] "
-    "[--nodes N] [--devices D] [--block B] [--verbose]\n";
+    "[--nodes N] [--devices D] [--block B] [--store DIR] [--verbose]\n"
+    "       dcpctl cache stats|export|import --store DIR [--out FILE] [--in FILE]\n";
 
 [[noreturn]] void UsageError(const std::string& detail) {
   std::fprintf(stderr, "dcpctl: %s\n%s", detail.c_str(), kUsage);
@@ -88,11 +97,15 @@ MaskSpec ParseMask(const std::string& name) {
 
 struct Args {
   std::string command;
+  std::string subcommand;  // Only for `cache`.
   std::vector<int64_t> seqlens = {65536, 32768, 16384, 16384};
   MaskSpec mask = MaskSpec::Causal();
   int64_t nodes = 4;
   int64_t devices = 8;
   int64_t block = 2048;
+  std::string store;     // Plan-store directory (empty = no persistence).
+  std::string out_file;  // cache export target.
+  std::string in_file;   // cache import source.
   bool verbose = false;
 };
 
@@ -102,7 +115,15 @@ Args Parse(int argc, char** argv) {
     UsageError("missing command");
   }
   args.command = argv[1];
-  for (int i = 2; i < argc; ++i) {
+  int first_flag = 2;
+  if (args.command == "cache") {
+    if (argc < 3 || argv[2][0] == '-') {
+      UsageError("cache requires a subcommand (stats|export|import)");
+    }
+    args.subcommand = argv[2];
+    first_flag = 3;
+  }
+  for (int i = first_flag; i < argc; ++i) {
     auto next = [&]() -> std::string {
       if (i + 1 >= argc) {
         UsageError(std::string("missing value for ") + argv[i]);
@@ -128,6 +149,12 @@ Args Parse(int argc, char** argv) {
       args.devices = next_int("--devices");
     } else if (std::strcmp(argv[i], "--block") == 0) {
       args.block = next_int("--block");
+    } else if (std::strcmp(argv[i], "--store") == 0) {
+      args.store = next();
+    } else if (std::strcmp(argv[i], "--out") == 0) {
+      args.out_file = next();
+    } else if (std::strcmp(argv[i], "--in") == 0) {
+      args.in_file = next();
     } else if (std::strcmp(argv[i], "--verbose") == 0) {
       args.verbose = true;
     } else {
@@ -144,12 +171,91 @@ void PrintCacheStats(const Engine& engine) {
               static_cast<long long>(stats.hits), static_cast<long long>(stats.misses),
               static_cast<long long>(stats.evictions),
               static_cast<long long>(stats.entries), stats.HitRate() * 100.0);
+  if (engine.plan_store() != nullptr) {
+    std::printf("plan store: %lld disk hits, %lld writes, %lld corrupt skipped (%s)\n",
+                static_cast<long long>(stats.store_hits),
+                static_cast<long long>(stats.store_writes),
+                static_cast<long long>(stats.store_corrupt_skipped),
+                engine.plan_store()->directory().c_str());
+  }
+}
+
+int RunCache(const Args& args) {
+  if (args.store.empty()) {
+    UsageError("cache commands require --store DIR");
+  }
+  StatusOr<std::unique_ptr<PlanStore>> store_or = PlanStore::Open(args.store);
+  if (!store_or.ok()) {
+    std::fprintf(stderr, "dcpctl: %s\n", store_or.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<PlanStore> store = std::move(store_or).value();
+
+  if (args.subcommand == "stats") {
+    int valid = 0;
+    int corrupt = 0;
+    int64_t total_tokens = 0;
+    for (const PlanSignature& sig : store->Signatures()) {
+      StatusOr<BatchPlan> plan = store->Load(sig);
+      if (!plan.ok()) {
+        std::printf("  %s  CORRUPT: %s\n", sig.ToHex().c_str(),
+                    plan.status().ToString().c_str());
+        ++corrupt;
+        continue;
+      }
+      ++valid;
+      total_tokens += plan.value().layout.TotalTokens();
+      if (args.verbose) {
+        std::printf("  %s  %d devices, %d seqs, block %lld, %lld tokens\n",
+                    sig.ToHex().c_str(), plan.value().num_devices(),
+                    plan.value().layout.num_sequences(),
+                    static_cast<long long>(plan.value().layout.block_size),
+                    static_cast<long long>(plan.value().layout.TotalTokens()));
+      }
+    }
+    std::printf("plan store %s: %d valid records (%lld planned tokens), %d corrupt\n",
+                store->directory().c_str(), valid,
+                static_cast<long long>(total_tokens), corrupt);
+    return corrupt == 0 ? 0 : 1;
+  }
+  if (args.subcommand == "export") {
+    if (args.out_file.empty()) {
+      UsageError("cache export requires --out FILE");
+    }
+    StatusOr<int> n = store->ExportBundle(args.out_file);
+    if (!n.ok()) {
+      std::fprintf(stderr, "dcpctl: %s\n", n.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("exported %d plan records to %s (%lld corrupt skipped)\n", n.value(),
+                args.out_file.c_str(),
+                static_cast<long long>(store->stats().corrupt_skipped));
+    return 0;
+  }
+  if (args.subcommand == "import") {
+    if (args.in_file.empty()) {
+      UsageError("cache import requires --in FILE");
+    }
+    StatusOr<int> n = store->ImportBundle(args.in_file);
+    if (!n.ok()) {
+      std::fprintf(stderr, "dcpctl: %s\n", n.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("imported %d plan records into %s (%lld corrupt skipped)\n", n.value(),
+                store->directory().c_str(),
+                static_cast<long long>(store->stats().corrupt_skipped));
+    return 0;
+  }
+  UsageError("unknown cache subcommand '" + args.subcommand + "'");
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const Args args = Parse(argc, argv);
+  if (args.command == "cache") {
+    return RunCache(args);
+  }
   // 4096 x 4096 keeps num_nodes * devices_per_node comfortably inside int.
   if (args.nodes < 1 || args.nodes > 4096 || args.devices < 1 || args.devices > 4096) {
     UsageError("--nodes and --devices must be in [1, 4096]");
@@ -162,6 +268,7 @@ int main(int argc, char** argv) {
   engine_options.planner.num_groups = 2;
   engine_options.planner.heads_per_group = 4;
   engine_options.planner.head_dim = 128;
+  engine_options.plan_store_path = args.store;
 
   // Reject bad shapes before the engine spins anything up, with exit code 2 and usage.
   const Status valid =

@@ -8,5 +8,11 @@ cd "$(dirname "$0")/.."
 cmake --preset strict
 cmake --build --preset strict -j "$(nproc)"
 ctest --test-dir build-strict -j "$(nproc)" --output-on-failure
+# Explicit gate on the plan-store round-trip + corruption suites: malformed plan bytes
+# must never abort a process, and store hits must stay bit-identical.
+ctest --test-dir build-strict -R 'test_plan_store|test_instructions|test_property_plans' \
+      --output-on-failure
+# bench_smoke includes the warm_start row: bench_report exits non-zero when the
+# store-hit path regresses past the 10x bar or serves a non-identical plan.
 ctest --test-dir build-strict -L bench_smoke --output-on-failure
 echo "check.sh: all green"

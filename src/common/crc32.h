@@ -1,0 +1,22 @@
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320), used to checksum persisted plan records
+// so a torn write or bit rot is detected before any bytes reach the plan deserializer.
+#ifndef DCP_COMMON_CRC32_H_
+#define DCP_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace dcp {
+
+// Incremental update: pass the previous return value as `crc` to extend a running
+// checksum (start from 0).
+uint32_t Crc32Update(uint32_t crc, const void* data, size_t size);
+
+inline uint32_t Crc32(std::string_view data) {
+  return Crc32Update(0, data.data(), data.size());
+}
+
+}  // namespace dcp
+
+#endif  // DCP_COMMON_CRC32_H_

@@ -20,6 +20,9 @@ enum class StatusCode {
   kNotFound,
   kFailedPrecondition,
   kInternal,
+  // Persisted or wire bytes failed validation (truncated stream, bad checksum, bad
+  // section tag). Always recoverable: callers skip the record and replan.
+  kDataLoss,
 };
 
 const char* StatusCodeName(StatusCode code);
@@ -42,6 +45,9 @@ class Status {
   }
   static Status Internal(std::string message) {
     return Status(StatusCode::kInternal, std::move(message));
+  }
+  static Status DataLoss(std::string message) {
+    return Status(StatusCode::kDataLoss, std::move(message));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,6 +1,7 @@
 #include "core/engine.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <string>
 
 #include "common/check.h"
@@ -101,6 +102,18 @@ Engine::Engine(ClusterSpec cluster, EngineOptions options)
   DCP_CHECK_GE(options_.plan_cache_capacity, 0);
   DCP_CHECK_GE(options_.tune_cache_capacity, 0);
   pool_ = std::make_unique<ThreadPool>(std::max(1, options_.planner_threads));
+  if (!options_.plan_store_path.empty()) {
+    StatusOr<std::unique_ptr<PlanStore>> store = PlanStore::Open(options_.plan_store_path);
+    if (store.ok()) {
+      store_ = std::move(store).value();
+    } else {
+      // An unusable warm-start directory must not kill a training job: degrade to
+      // store-less planning, keep the error observable.
+      store_status_ = store.status();
+      std::fprintf(stderr, "dcp::Engine: plan store disabled: %s\n",
+                   store_status_.ToString().c_str());
+    }
+  }
   // Never more shards than capacity: a zero-capacity shard would silently refuse to
   // cache the signatures hashing into it.
   const int shards = std::max(
@@ -139,7 +152,7 @@ PlanHandle Engine::CacheLookup(const PlanSignature& sig) {
   return *it->second;
 }
 
-PlanHandle Engine::CacheInsert(PlanHandle handle) {
+PlanHandle Engine::CacheInsert(PlanHandle handle, std::vector<PlanHandle>* evicted) {
   Shard& shard = ShardFor(handle->signature);
   std::lock_guard<std::mutex> lock(shard.mu);
   if (shard.capacity == 0) {
@@ -155,11 +168,56 @@ PlanHandle Engine::CacheInsert(PlanHandle handle) {
   shard.lru.push_front(handle);
   shard.index.emplace(handle->signature, shard.lru.begin());
   while (static_cast<int64_t>(shard.lru.size()) > shard.capacity) {
+    if (evicted != nullptr) {
+      evicted->push_back(shard.lru.back());
+    }
     shard.index.erase(shard.lru.back()->signature);
     shard.lru.pop_back();
     ++shard.evictions;
   }
   return handle;
+}
+
+PlanHandle Engine::InsertAndPersist(std::shared_ptr<CompiledPlan> compiled) {
+  const CompiledPlan* fresh = compiled.get();
+  std::vector<PlanHandle> evicted;
+  PlanHandle inserted = CacheInsert(std::move(compiled), store_ ? &evicted : nullptr);
+  if (store_ == nullptr) {
+    return inserted;
+  }
+  // Write through the fresh plan (only if we won any insert race: the incumbent was
+  // already persisted by whoever planted it) and any LRU evictions that somehow never
+  // reached disk — both outside the shard lock. Write failures are non-fatal: the store
+  // is an accelerator, not a source of truth.
+  if (inserted.get() == fresh && !store_->Contains(inserted->signature)) {
+    (void)store_->Put(inserted->signature, inserted->plan);
+  }
+  for (const PlanHandle& handle : evicted) {
+    if (!store_->Contains(handle->signature)) {
+      (void)store_->Put(handle->signature, handle->plan);
+    }
+  }
+  return inserted;
+}
+
+PlanHandle Engine::StoreLookup(const PlanSignature& sig,
+                               const std::vector<int64_t>& seqlens,
+                               const MaskSpec& mask_spec) {
+  if (store_ == nullptr) {
+    return nullptr;
+  }
+  StatusOr<BatchPlan> loaded = store_->Load(sig);
+  if (!loaded.ok()) {
+    // Absent signature (NOT_FOUND, uncounted) or a corrupt/truncated/vanished record
+    // (counted by the store): either way we replan.
+    return nullptr;
+  }
+  auto compiled = std::make_shared<CompiledPlan>();
+  compiled->signature = sig;
+  compiled->plan = std::move(loaded).value();
+  // Masks are derived, not persisted: rebuilding them is O(tokens), planning is not.
+  compiled->masks = BuildBatchMasks(mask_spec, seqlens);
+  return CacheInsert(std::move(compiled));
 }
 
 StatusOr<PlanHandle> Engine::Plan(const std::vector<int64_t>& seqlens,
@@ -178,12 +236,15 @@ StatusOr<PlanHandle> Engine::PlanWithBlockSize(const std::vector<int64_t>& seqle
   if (PlanHandle cached = CacheLookup(sig)) {
     return cached;
   }
+  if (PlanHandle stored = StoreLookup(sig, seqlens, mask_spec)) {
+    return stored;
+  }
 
   auto compiled = std::make_shared<CompiledPlan>();
   compiled->signature = sig;
   compiled->masks = BuildBatchMasks(mask_spec, seqlens);
   compiled->plan = PlanBatch(seqlens, compiled->masks, cluster_, planner);
-  return CacheInsert(std::move(compiled));
+  return InsertAndPersist(std::move(compiled));
 }
 
 StatusOr<AutoTuneResult> Engine::AutoTune(const std::vector<int64_t>& seqlens,
@@ -257,7 +318,7 @@ StatusOr<AutoTuneResult> Engine::AutoTune(const std::vector<int64_t>& seqlens,
   compiled->masks = std::move(masks);
 
   AutoTuneResult result;
-  result.plan = CacheInsert(std::move(compiled));
+  result.plan = InsertAndPersist(std::move(compiled));
   result.best_block_size = search.best_block_size;
   result.best_fwbw_seconds = search.best_fwbw_seconds;
   result.candidates = std::move(search.candidates);
@@ -285,9 +346,17 @@ PlanCacheStats Engine::cache_stats() const {
     stats.evictions += shard->evictions;
     stats.entries += static_cast<int64_t>(shard->lru.size());
   }
-  std::lock_guard<std::mutex> lock(tune_mu_);
-  stats.tune_hits = tune_hits_;
-  stats.tune_misses = tune_misses_;
+  {
+    std::lock_guard<std::mutex> lock(tune_mu_);
+    stats.tune_hits = tune_hits_;
+    stats.tune_misses = tune_misses_;
+  }
+  if (store_ != nullptr) {
+    const PlanStoreStats store = store_->stats();
+    stats.store_hits = store.hits;
+    stats.store_writes = store.writes;
+    stats.store_corrupt_skipped = store.corrupt_skipped;
+  }
   return stats;
 }
 

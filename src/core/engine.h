@@ -27,6 +27,7 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "core/plan_signature.h"
+#include "core/plan_store.h"
 #include "core/planner.h"
 #include "masks/mask.h"
 #include "runtime/cluster.h"
@@ -60,6 +61,13 @@ struct EngineOptions {
   // using planner.block_size verbatim (paper §7.1's search, amortized by the tune cache).
   bool auto_tune_block_size = false;
   std::vector<int64_t> tune_block_sizes = {512, 1024, 2048, 4096};
+  // When non-empty, a PlanStore directory backing the in-memory cache across process
+  // restarts: the signature index is warm-loaded at construction, cache misses consult
+  // the store before planning (a disk hit skips the planner entirely and is counted in
+  // store_hits), and fresh plans plus LRU evictions write through atomically. Corrupt or
+  // truncated records are counted, skipped, and replanned around — never fatal. If the
+  // directory cannot be opened the engine runs store-less; see store_status().
+  std::string plan_store_path;
 };
 
 struct PlanCacheStats {
@@ -69,6 +77,10 @@ struct PlanCacheStats {
   int64_t entries = 0;
   int64_t tune_hits = 0;    // AutoTune served from the per-signature winner table.
   int64_t tune_misses = 0;  // AutoTune that ran the full block-size search.
+  // Plan-store (cross-process persistence) counters; all zero when no store is attached.
+  int64_t store_hits = 0;            // Cache misses served from disk instead of planning.
+  int64_t store_writes = 0;          // Records written through (fresh plans + evictions).
+  int64_t store_corrupt_skipped = 0; // Records that failed validation and were skipped.
 
   double HitRate() const {
     const int64_t total = hits + misses;
@@ -127,6 +139,12 @@ class Engine {
   PlanCacheStats cache_stats() const;
   void ClearCache();
 
+  // The attached plan store, or nullptr when plan_store_path is empty / failed to open.
+  PlanStore* plan_store() const { return store_.get(); }
+  // OK when no store was requested or it opened cleanly; the open error otherwise (the
+  // engine still works, it just plans cold).
+  const Status& store_status() const { return store_status_; }
+
  private:
   struct Shard {
     mutable std::mutex mu;
@@ -145,12 +163,22 @@ class Engine {
   PlanHandle CacheLookup(const PlanSignature& sig);
   // Inserts `handle`, evicting LRU entries over capacity. If another thread planted the
   // same signature first, returns the incumbent so equal signatures share one handle.
-  PlanHandle CacheInsert(PlanHandle handle);
+  // Evicted handles are appended to `evicted` (when non-null) so the caller can write
+  // them through to the store outside the shard lock.
+  PlanHandle CacheInsert(PlanHandle handle, std::vector<PlanHandle>* evicted = nullptr);
+  // CacheInsert + store write-through for the fresh plan and any evictions.
+  PlanHandle InsertAndPersist(std::shared_ptr<CompiledPlan> compiled);
+  // Consults the plan store for `sig` on a cache miss; returns nullptr when there is no
+  // store, the record is absent, or it failed validation (counted inside the store).
+  PlanHandle StoreLookup(const PlanSignature& sig, const std::vector<int64_t>& seqlens,
+                         const MaskSpec& mask_spec);
 
   ClusterSpec cluster_;
   EngineOptions options_;
   std::unique_ptr<ThreadPool> pool_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  std::unique_ptr<PlanStore> store_;
+  Status store_status_;
 
   // AutoTune winner table: LRU-bounded by tune_cache_capacity.
   mutable std::mutex tune_mu_;

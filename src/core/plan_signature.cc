@@ -1,6 +1,7 @@
 #include "core/plan_signature.h"
 
 #include <bit>
+#include <cmath>
 #include <cstdio>
 
 namespace dcp {
@@ -107,11 +108,20 @@ void PlanSignatureBuilder::Add(uint64_t value) {
 }
 
 void PlanSignatureBuilder::AddDouble(double value) {
-  // -0.0 and 0.0 plan identically; fold them together so they share a signature.
-  if (value == 0.0) {
-    value = 0.0;
+  // Semantically identical configs must hash identically, so canonicalize the bit
+  // patterns NaN payloads and signed zero would otherwise leak into the digest: every
+  // NaN (any payload, either sign) folds to the canonical quiet NaN, and -0.0 folds to
+  // 0.0. Without this, a NaN cost-model field makes equal requests miss the plan cache.
+  uint64_t bits;
+  if (std::isnan(value)) {
+    bits = 0x7ff8000000000000ULL;
+  } else {
+    if (value == 0.0) {
+      value = 0.0;
+    }
+    bits = std::bit_cast<uint64_t>(value);
   }
-  Add(std::bit_cast<uint64_t>(value));
+  Add(bits);
 }
 
 void PlanSignatureBuilder::AddSpan(const std::vector<int64_t>& values) {

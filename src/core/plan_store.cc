@@ -1,0 +1,411 @@
+#include "core/plan_store.h"
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <optional>
+
+#include "common/check.h"
+#include "common/crc32.h"
+
+namespace fs = std::filesystem;
+
+namespace dcp {
+namespace {
+
+constexpr char kRecordMagic[8] = {'D', 'C', 'P', 'S', 'T', 'O', 'R', 'E'};
+constexpr char kBundleMagic[8] = {'D', 'C', 'P', 'B', 'U', 'N', 'D', 'L'};
+constexpr uint32_t kRecordVersion = 1;
+constexpr uint32_t kBundleVersion = 1;
+constexpr uint32_t kSectionPlan = 1;
+constexpr size_t kRecordHeaderBytes = 8 + 4 + 16;  // Magic + version + signature.
+constexpr size_t kMinRecordBytes = kRecordHeaderBytes + 4;
+// A record larger than this is rejected before being read into memory: no real plan
+// comes close, and a corrupt length field must not drive a giant allocation. Bundles
+// concatenate many records, so they get a proportionally larger cap.
+constexpr uint64_t kMaxRecordBytes = uint64_t{1} << 30;
+constexpr uint64_t kMaxBundleBytes = uint64_t{1} << 36;
+constexpr const char* kRecordSuffix = ".dcpplan";
+
+void AppendU32(std::string& out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>(static_cast<uint8_t>(v >> (8 * i))));
+  }
+}
+
+void AppendU64(std::string& out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>(static_cast<uint8_t>(v >> (8 * i))));
+  }
+}
+
+uint32_t ReadU32At(std::string_view bytes, size_t pos) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(bytes[pos + i])) << (8 * i);
+  }
+  return v;
+}
+
+uint64_t ReadU64At(std::string_view bytes, size_t pos) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(bytes[pos + i])) << (8 * i);
+  }
+  return v;
+}
+
+Status Corrupt(const std::string& what) {
+  return Status::DataLoss("plan record: " + what);
+}
+
+bool ParseHexSignature(std::string_view stem, PlanSignature* sig) {
+  if (stem.size() != 32) {
+    return false;
+  }
+  uint64_t lanes[2] = {0, 0};  // hi, lo — ToHex prints the hi lane first.
+  for (size_t i = 0; i < 32; ++i) {
+    const char c = stem[i];
+    uint64_t digit = 0;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<uint64_t>(c - 'a') + 10;
+    } else {
+      return false;
+    }
+    lanes[i / 16] = (lanes[i / 16] << 4) | digit;
+  }
+  sig->hi = lanes[0];
+  sig->lo = lanes[1];
+  return true;
+}
+
+StatusOr<std::string> ReadFileBytes(const std::string& path,
+                                    uint64_t max_bytes = kMaxRecordBytes) {
+  std::error_code ec;
+  const uint64_t size = fs::file_size(path, ec);
+  if (ec) {
+    return Status::NotFound("cannot stat " + path + ": " + ec.message());
+  }
+  if (size > max_bytes) {
+    return Corrupt("file " + path + " is implausibly large (" + std::to_string(size) +
+                   " bytes)");
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("cannot open " + path);
+  }
+  std::string bytes(static_cast<size_t>(size), '\0');
+  in.read(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (in.gcount() != static_cast<std::streamsize>(bytes.size())) {
+    return Corrupt("short read on " + path);
+  }
+  return bytes;
+}
+
+}  // namespace
+
+std::string PlanStore::EncodeRecord(const PlanSignature& sig, const BatchPlan& plan) {
+  const std::string payload = SerializePlanBinary(plan);
+  std::string out;
+  out.reserve(kMinRecordBytes + 12 + payload.size());
+  out.append(kRecordMagic, sizeof(kRecordMagic));
+  AppendU32(out, kRecordVersion);
+  AppendU64(out, sig.lo);
+  AppendU64(out, sig.hi);
+  AppendU32(out, kSectionPlan);
+  AppendU64(out, payload.size());
+  out += payload;
+  AppendU32(out, Crc32(out));
+  return out;
+}
+
+StatusOr<std::pair<PlanSignature, BatchPlan>> PlanStore::DecodeRecord(
+    std::string_view bytes) {
+  if (bytes.size() < kMinRecordBytes) {
+    return Corrupt("truncated record (" + std::to_string(bytes.size()) + " bytes)");
+  }
+  if (bytes.compare(0, sizeof(kRecordMagic),
+                    std::string_view(kRecordMagic, sizeof(kRecordMagic))) != 0) {
+    return Corrupt("bad magic");
+  }
+  const uint32_t version = ReadU32At(bytes, 8);
+  if (version != kRecordVersion) {
+    return Corrupt("unsupported record version " + std::to_string(version));
+  }
+  // The checksum covers everything before the 4-byte trailer; verify it before any
+  // further byte is interpreted so bit flips and torn writes stop here.
+  const size_t body_end = bytes.size() - 4;
+  const uint32_t stored_crc = ReadU32At(bytes, body_end);
+  const uint32_t computed_crc = Crc32(bytes.substr(0, body_end));
+  if (stored_crc != computed_crc) {
+    return Corrupt("checksum mismatch");
+  }
+  PlanSignature sig;
+  sig.lo = ReadU64At(bytes, 12);
+  sig.hi = ReadU64At(bytes, 20);
+  if (sig.IsZero()) {
+    return Corrupt("zero signature");
+  }
+  std::optional<std::string_view> plan_payload;
+  size_t pos = kRecordHeaderBytes;
+  while (pos < body_end) {
+    if (body_end - pos < 12) {
+      return Corrupt("truncated section header");
+    }
+    const uint32_t tag = ReadU32At(bytes, pos);
+    const uint64_t length = ReadU64At(bytes, pos + 4);
+    pos += 12;
+    if (length > body_end - pos) {
+      return Corrupt("section length exceeds record");
+    }
+    if (tag == kSectionPlan) {
+      if (plan_payload.has_value()) {
+        return Corrupt("duplicate plan section");
+      }
+      plan_payload = bytes.substr(pos, static_cast<size_t>(length));
+    }
+    // Unknown tags are skipped: they are CRC-covered, so this is forward compatibility,
+    // not a corruption loophole.
+    pos += static_cast<size_t>(length);
+  }
+  if (!plan_payload.has_value()) {
+    return Corrupt("missing plan section");
+  }
+  StatusOr<BatchPlan> plan = DeserializePlanBinary(*plan_payload);
+  if (!plan.ok()) {
+    return plan.status();
+  }
+  return std::make_pair(sig, std::move(plan).value());
+}
+
+StatusOr<std::unique_ptr<PlanStore>> PlanStore::Open(const std::string& directory) {
+  std::error_code ec;
+  fs::create_directories(directory, ec);
+  if (ec) {
+    return Status::Internal("cannot create plan store directory " + directory + ": " +
+                            ec.message());
+  }
+  std::unique_ptr<PlanStore> store(new PlanStore(directory));
+  // Error-code filesystem overloads throughout: a store failure must never throw out
+  // of the Engine constructor — the contract is degrade-to-storeless, not crash.
+  fs::directory_iterator it(directory, ec);
+  if (ec) {
+    return Status::Internal("cannot list plan store directory " + directory + ": " +
+                            ec.message());
+  }
+  // An increment error ends the iteration (the iterator becomes end): the index is
+  // then merely partial, which only costs warm starts, never correctness.
+  for (; it != fs::directory_iterator(); it.increment(ec)) {
+    std::error_code file_ec;
+    if (!it->is_regular_file(file_ec) || file_ec) {
+      continue;
+    }
+    const fs::path& path = it->path();
+    if (path.extension() != kRecordSuffix) {
+      continue;
+    }
+    PlanSignature sig;
+    if (ParseHexSignature(path.stem().string(), &sig)) {
+      store->index_.emplace(sig, path.filename().string());
+    }
+  }
+  return store;
+}
+
+std::string PlanStore::RecordPath(const PlanSignature& sig) const {
+  return (fs::path(directory_) / (sig.ToHex() + kRecordSuffix)).string();
+}
+
+bool PlanStore::Contains(const PlanSignature& sig) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return index_.find(sig) != index_.end();
+}
+
+StatusOr<BatchPlan> PlanStore::Load(const PlanSignature& sig) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (index_.find(sig) == index_.end()) {
+      return Status::NotFound("no plan record for signature " + sig.ToHex());
+    }
+  }
+  const std::string path = RecordPath(sig);
+  StatusOr<std::string> bytes = ReadFileBytes(path);
+  if (!bytes.ok() && bytes.status().code() == StatusCode::kNotFound) {
+    // Transient I/O failure (cannot stat/open): the on-disk record may be perfectly
+    // valid, so neither count it as corrupt nor drop it from the index — the next
+    // lookup simply retries.
+    return bytes.status();
+  }
+  Status failure = Status::Ok();
+  if (!bytes.ok()) {
+    failure = bytes.status();
+  } else {
+    StatusOr<std::pair<PlanSignature, BatchPlan>> record = DecodeRecord(bytes.value());
+    if (!record.ok()) {
+      failure = record.status();
+    } else if (!(record.value().first == sig)) {
+      failure = Corrupt("embedded signature " + record.value().first.ToHex() +
+                        " does not match key " + sig.ToHex());
+    } else {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++hits_;
+      return std::move(record).value().second;
+    }
+  }
+  // A record that failed validation drops from the index, so later misses go straight
+  // to replanning instead of re-validating known-bad bytes. The file is left on disk
+  // for inspection (`dcpctl cache stats` reports it as corrupt).
+  std::lock_guard<std::mutex> lock(mu_);
+  ++corrupt_skipped_;
+  index_.erase(sig);
+  return failure;
+}
+
+Status PlanStore::AtomicWrite(const std::string& path, std::string_view bytes) {
+  int64_t serial = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    serial = ++temp_counter_;
+  }
+  // Unique per process (pid) and per call (serial): concurrent writers of the same
+  // signature never interleave into one temp file, and rename is atomic on POSIX.
+  const std::string temp = path + "." + std::to_string(::getpid()) + "." +
+                           std::to_string(serial) + ".tmp";
+  {
+    std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::Internal("cannot open " + temp + " for writing");
+    }
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out) {
+      out.close();
+      std::error_code cleanup_ec;
+      fs::remove(temp, cleanup_ec);
+      return Status::Internal("short write to " + temp);
+    }
+  }
+  std::error_code ec;
+  fs::rename(temp, path, ec);
+  if (ec) {
+    std::error_code cleanup_ec;
+    fs::remove(temp, cleanup_ec);
+    return Status::Internal("cannot rename " + temp + " to " + path + ": " +
+                            ec.message());
+  }
+  return Status::Ok();
+}
+
+Status PlanStore::Put(const PlanSignature& sig, const BatchPlan& plan) {
+  if (sig.IsZero()) {
+    return Status::InvalidArgument("cannot store a plan under the zero signature");
+  }
+  const std::string path = RecordPath(sig);
+  DCP_RETURN_IF_ERROR(AtomicWrite(path, EncodeRecord(sig, plan)));
+  std::lock_guard<std::mutex> lock(mu_);
+  ++writes_;
+  index_[sig] = fs::path(path).filename().string();
+  return Status::Ok();
+}
+
+std::vector<PlanSignature> PlanStore::Signatures() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<PlanSignature> out;
+  out.reserve(index_.size());
+  for (const auto& [sig, file] : index_) {
+    out.push_back(sig);
+  }
+  return out;
+}
+
+PlanStoreStats PlanStore::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  PlanStoreStats stats;
+  stats.entries = static_cast<int64_t>(index_.size());
+  stats.hits = hits_;
+  stats.writes = writes_;
+  stats.corrupt_skipped = corrupt_skipped_;
+  return stats;
+}
+
+StatusOr<int> PlanStore::ExportBundle(const std::string& file) {
+  std::string out;
+  out.append(kBundleMagic, sizeof(kBundleMagic));
+  AppendU32(out, kBundleVersion);
+  const size_t count_pos = out.size();
+  AppendU32(out, 0);  // Patched below.
+  uint32_t exported = 0;
+  for (const PlanSignature& sig : Signatures()) {
+    StatusOr<std::string> bytes = ReadFileBytes(RecordPath(sig));
+    if (!bytes.ok() || !DecodeRecord(bytes.value()).ok()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++corrupt_skipped_;
+      continue;
+    }
+    AppendU64(out, bytes.value().size());
+    out += bytes.value();
+    ++exported;
+  }
+  std::string patched_count;
+  AppendU32(patched_count, exported);
+  out.replace(count_pos, 4, patched_count);
+  DCP_RETURN_IF_ERROR(AtomicWrite(file, out));
+  return static_cast<int>(exported);
+}
+
+StatusOr<int> PlanStore::ImportBundle(const std::string& file) {
+  StatusOr<std::string> bytes_or = ReadFileBytes(file, kMaxBundleBytes);
+  if (!bytes_or.ok()) {
+    return bytes_or.status();
+  }
+  const std::string& bytes = bytes_or.value();
+  if (bytes.size() < 16 ||
+      std::string_view(bytes).compare(0, sizeof(kBundleMagic),
+                                      std::string_view(kBundleMagic,
+                                                       sizeof(kBundleMagic))) != 0) {
+    return Corrupt("bad bundle magic");
+  }
+  const uint32_t version = ReadU32At(bytes, 8);
+  if (version != kBundleVersion) {
+    return Corrupt("unsupported bundle version " + std::to_string(version));
+  }
+  const uint32_t count = ReadU32At(bytes, 12);
+  size_t pos = 16;
+  int imported = 0;
+  for (uint32_t i = 0; i < count; ++i) {
+    if (bytes.size() - pos < 8) {
+      return Corrupt("truncated bundle entry header");
+    }
+    const uint64_t length = ReadU64At(bytes, pos);
+    pos += 8;
+    if (length > bytes.size() - pos) {
+      return Corrupt("bundle entry length exceeds bundle");
+    }
+    const std::string_view record = std::string_view(bytes).substr(
+        pos, static_cast<size_t>(length));
+    pos += static_cast<size_t>(length);
+    StatusOr<std::pair<PlanSignature, BatchPlan>> decoded = DecodeRecord(record);
+    if (!decoded.ok()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++corrupt_skipped_;
+      continue;
+    }
+    const PlanSignature& sig = decoded.value().first;
+    DCP_RETURN_IF_ERROR(AtomicWrite(RecordPath(sig), record));
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++writes_;
+      index_[sig] = sig.ToHex() + kRecordSuffix;
+    }
+    ++imported;
+  }
+  if (pos != bytes.size()) {
+    return Corrupt("trailing garbage after bundle entries");
+  }
+  return imported;
+}
+
+}  // namespace dcp

@@ -1,0 +1,121 @@
+// Disk-backed, versioned, checksummed store of compiled plans keyed by canonical
+// PlanSignature — the cross-process half of the Engine's plan cache (paper §3.1: plans
+// are serialized by the planner and shipped to devices; ParaDySe-style recurring batch
+// shapes make the same signatures reappear across process restarts). A fresh Engine
+// pointed at a populated store serves previously-planned signatures from disk instead of
+// replanning, bit-identical to the original plans.
+//
+// On-disk layout: one record file per signature inside the store directory,
+//
+//   <store>/<32-hex-signature>.dcpplan
+//
+// written atomically (temp file in the same directory + rename), so a crashed or killed
+// writer process never leaves a half-record under a live name. (The write is not
+// fsynced: after a power loss the rename may surface torn page-cache data — that case
+// is detected by the CRC trailer and replanned around, not prevented.) Record format
+// (all integers little-endian, fixed width):
+//
+//   offset 0   "DCPSTORE"             8-byte magic
+//          8   u32 format version     (currently 1)
+//         12   u64 signature.lo
+//         20   u64 signature.hi
+//         28   sections               repeated { u32 tag, u64 length, payload }
+//          ⋮                          tag 1 = plan payload (SerializePlanBinary bytes);
+//                                     unknown tags are skipped for forward compatibility
+//   size - 4   u32 CRC32              over every byte before the trailer
+//
+// Decoding validates, in order: minimum length, magic, version, the CRC32 trailer
+// (catching bit flips and torn writes before any byte reaches the plan decoder), section
+// framing, and finally the bounds-checked binary plan payload — and cross-checks the
+// embedded signature against both the filename and the requested key. Every failure is a
+// recoverable DATA_LOSS Status; a corrupt record is counted, skipped, and replanned
+// around, never a process abort.
+//
+// Bundles (`dcpctl cache export|import`) are a portable concatenation of records:
+// "DCPBUNDL", u32 version, u32 record count, then repeated { u64 length, record bytes }.
+#ifndef DCP_CORE_PLAN_STORE_H_
+#define DCP_CORE_PLAN_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "core/plan_signature.h"
+#include "runtime/instructions.h"
+
+namespace dcp {
+
+struct PlanStoreStats {
+  int64_t entries = 0;          // Records currently indexed in the directory.
+  int64_t hits = 0;             // Successful Load()s.
+  int64_t writes = 0;           // Successful Put()s.
+  int64_t corrupt_skipped = 0;  // Records rejected by validation and skipped.
+};
+
+class PlanStore {
+ public:
+  // Opens (creating if needed) the store directory and warm-loads the signature index
+  // from the record filenames — records themselves stream in lazily on Load. Fails only
+  // on filesystem errors; unparseable filenames are ignored.
+  static StatusOr<std::unique_ptr<PlanStore>> Open(const std::string& directory);
+
+  PlanStore(const PlanStore&) = delete;
+  PlanStore& operator=(const PlanStore&) = delete;
+
+  const std::string& directory() const { return directory_; }
+
+  // Whether a record for `sig` is indexed (it may still fail validation on Load).
+  bool Contains(const PlanSignature& sig) const;
+
+  // Loads and fully validates the record for `sig`. NOT_FOUND when absent; DATA_LOSS
+  // (counted in stats().corrupt_skipped) when the record fails any validation step.
+  StatusOr<BatchPlan> Load(const PlanSignature& sig);
+
+  // Atomically writes (or replaces) the record for `sig`.
+  Status Put(const PlanSignature& sig, const BatchPlan& plan);
+
+  // All indexed signatures, in unspecified order.
+  std::vector<PlanSignature> Signatures() const;
+
+  PlanStoreStats stats() const;
+
+  // Concatenates every valid record into a portable bundle file (atomic write). Corrupt
+  // records are counted and skipped. Returns the number of records exported.
+  StatusOr<int> ExportBundle(const std::string& file);
+  // Imports records from a bundle, validating each; corrupt entries are counted and
+  // skipped. Returns the number of records imported.
+  StatusOr<int> ImportBundle(const std::string& file);
+
+  // Record codec, exposed for tests and the bundle path. EncodeRecord produces the full
+  // header + sections + CRC32 byte stream; DecodeRecord validates everything.
+  static std::string EncodeRecord(const PlanSignature& sig, const BatchPlan& plan);
+  static StatusOr<std::pair<PlanSignature, BatchPlan>> DecodeRecord(
+      std::string_view bytes);
+
+ private:
+  explicit PlanStore(std::string directory) : directory_(std::move(directory)) {}
+
+  std::string RecordPath(const PlanSignature& sig) const;
+  // Writes `bytes` to `path` via temp file + rename.
+  Status AtomicWrite(const std::string& path, std::string_view bytes);
+
+  const std::string directory_;
+
+  mutable std::mutex mu_;
+  // Signature -> record filename (basename). Guarded by mu_.
+  std::unordered_map<PlanSignature, std::string, PlanSignatureHash> index_;
+  int64_t hits_ = 0;
+  int64_t writes_ = 0;
+  int64_t corrupt_skipped_ = 0;
+  int64_t temp_counter_ = 0;
+};
+
+}  // namespace dcp
+
+#endif  // DCP_CORE_PLAN_STORE_H_

@@ -1,6 +1,9 @@
 #include "runtime/instructions.h"
 
+#include <algorithm>
+#include <bit>
 #include <sstream>
+#include <utility>
 
 #include "common/check.h"
 
@@ -108,14 +111,60 @@ void WriteRef(std::ostream& out, const BlockRef& ref) {
   out << " " << static_cast<int>(ref.kind) << " " << ref.slot;
 }
 
-BlockRef ReadRef(std::istream& in) {
-  int kind = 0;
-  BlockRef ref;
-  in >> kind >> ref.slot;
-  DCP_CHECK(kind >= 0 && kind < kNumBufKinds);
-  ref.kind = static_cast<BufKind>(kind);
-  return ref;
-}
+// Item-count sanity bound for both decoders: far above any real plan, low enough that a
+// corrupt count can never drive a pathological allocation loop.
+constexpr uint64_t kMaxPlanItems = uint64_t{1} << 26;
+
+constexpr int kMaxInstrKind = static_cast<int>(InstrKind::kCommWait);
+constexpr int kMaxReduceMode = static_cast<int>(ReduceMode::kComputeDelta);
+
+// Validating whitespace-token reader over the text format. Every read checks the stream
+// state so truncation surfaces as DATA_LOSS at the field where it happened instead of
+// zero-filling the rest of the plan.
+struct TextReader {
+  std::istringstream in;
+
+  explicit TextReader(const std::string& text) : in(text) {}
+
+  Status Fail(const std::string& what) { return Status::DataLoss("plan text: " + what); }
+
+  Status Expect(const char* tag) {
+    std::string got;
+    if (!(in >> got)) {
+      return Fail(std::string("truncated input, expected '") + tag + "' tag");
+    }
+    if (got != tag) {
+      return Fail(std::string("expected '") + tag + "' tag, got '" + got + "'");
+    }
+    return Status::Ok();
+  }
+
+  template <typename T>
+  Status Read(T* out, const char* what) {
+    if (!(in >> *out)) {
+      return Fail(std::string("truncated or malformed ") + what);
+    }
+    return Status::Ok();
+  }
+
+  Status ReadCount(uint64_t* out, const char* what) {
+    DCP_RETURN_IF_ERROR(Read(out, what));
+    if (*out > kMaxPlanItems) {
+      return Fail(std::string(what) + " is implausibly large");
+    }
+    return Status::Ok();
+  }
+
+  Status ReadRef(BlockRef* ref) {
+    int kind = 0;
+    DCP_RETURN_IF_ERROR(Read(&kind, "block-ref kind"));
+    if (kind < 0 || kind >= kNumBufKinds) {
+      return Fail("block-ref kind out of range");
+    }
+    ref->kind = static_cast<BufKind>(kind);
+    return Read(&ref->slot, "block-ref slot");
+  }
+};
 
 void WriteInstruction(std::ostream& out, const Instruction& instr) {
   out << "I " << static_cast<int>(instr.kind) << " " << (instr.backward ? 1 : 0) << " "
@@ -157,68 +206,89 @@ void WriteInstruction(std::ostream& out, const Instruction& instr) {
   }
 }
 
-Instruction ReadInstruction(std::istream& in) {
-  std::string tag;
-  in >> tag;
-  DCP_CHECK(tag == "I") << "expected instruction tag, got '" << tag << "'";
-  Instruction instr;
+Status ReadInstructionText(TextReader& r, Instruction* instr) {
+  DCP_RETURN_IF_ERROR(r.Expect("I"));
   int kind = 0;
   int backward = 0;
   int is_send = 0;
-  size_t num_attn = 0;
-  size_t num_reduce = 0;
-  size_t num_copy = 0;
-  size_t num_blocks = 0;
-  in >> kind >> backward >> instr.flops >> instr.comm_bytes >> instr.mem_bytes >>
-      instr.host_overhead >> instr.transfer_id >> instr.peer >> is_send >> num_attn >>
-      num_reduce >> num_copy >> num_blocks;
-  instr.kind = static_cast<InstrKind>(kind);
-  instr.backward = backward != 0;
-  instr.is_send = is_send != 0;
-  instr.attn_items.resize(num_attn);
-  for (AttentionWorkItem& item : instr.attn_items) {
-    in >> tag;
-    DCP_CHECK(tag == "A");
-    item.q = ReadRef(in);
-    item.kv = ReadRef(in);
-    item.acc = ReadRef(in);
+  uint64_t num_attn = 0;
+  uint64_t num_reduce = 0;
+  uint64_t num_copy = 0;
+  uint64_t num_blocks = 0;
+  DCP_RETURN_IF_ERROR(r.Read(&kind, "instruction kind"));
+  if (kind < 0 || kind > kMaxInstrKind) {
+    return r.Fail("instruction kind out of range");
+  }
+  DCP_RETURN_IF_ERROR(r.Read(&backward, "instruction backward flag"));
+  DCP_RETURN_IF_ERROR(r.Read(&instr->flops, "instruction flops"));
+  DCP_RETURN_IF_ERROR(r.Read(&instr->comm_bytes, "instruction comm_bytes"));
+  DCP_RETURN_IF_ERROR(r.Read(&instr->mem_bytes, "instruction mem_bytes"));
+  DCP_RETURN_IF_ERROR(r.Read(&instr->host_overhead, "instruction host_overhead"));
+  DCP_RETURN_IF_ERROR(r.Read(&instr->transfer_id, "instruction transfer_id"));
+  DCP_RETURN_IF_ERROR(r.Read(&instr->peer, "instruction peer"));
+  DCP_RETURN_IF_ERROR(r.Read(&is_send, "instruction is_send flag"));
+  DCP_RETURN_IF_ERROR(r.ReadCount(&num_attn, "attention item count"));
+  DCP_RETURN_IF_ERROR(r.ReadCount(&num_reduce, "reduce item count"));
+  DCP_RETURN_IF_ERROR(r.ReadCount(&num_copy, "copy item count"));
+  DCP_RETURN_IF_ERROR(r.ReadCount(&num_blocks, "transfer block count"));
+  instr->kind = static_cast<InstrKind>(kind);
+  instr->backward = backward != 0;
+  instr->is_send = is_send != 0;
+  // Grow incrementally: a corrupt count fails at the first missing item instead of
+  // provoking a giant up-front allocation.
+  for (uint64_t i = 0; i < num_attn; ++i) {
+    AttentionWorkItem item;
+    DCP_RETURN_IF_ERROR(r.Expect("A"));
+    DCP_RETURN_IF_ERROR(r.ReadRef(&item.q));
+    DCP_RETURN_IF_ERROR(r.ReadRef(&item.kv));
+    DCP_RETURN_IF_ERROR(r.ReadRef(&item.acc));
     int full = 0;
-    in >> item.seq >> item.group >> item.q_begin >> item.q_end >> item.kv_begin >>
-        item.kv_end >> full;
+    DCP_RETURN_IF_ERROR(r.Read(&item.seq, "attention item seq"));
+    DCP_RETURN_IF_ERROR(r.Read(&item.group, "attention item group"));
+    DCP_RETURN_IF_ERROR(r.Read(&item.q_begin, "attention item q_begin"));
+    DCP_RETURN_IF_ERROR(r.Read(&item.q_end, "attention item q_end"));
+    DCP_RETURN_IF_ERROR(r.Read(&item.kv_begin, "attention item kv_begin"));
+    DCP_RETURN_IF_ERROR(r.Read(&item.kv_end, "attention item kv_end"));
+    DCP_RETURN_IF_ERROR(r.Read(&full, "attention item full flag"));
     item.full = full != 0;
-    item.dout = ReadRef(in);
-    item.delta = ReadRef(in);
-    item.dq = ReadRef(in);
-    item.dkv = ReadRef(in);
+    DCP_RETURN_IF_ERROR(r.ReadRef(&item.dout));
+    DCP_RETURN_IF_ERROR(r.ReadRef(&item.delta));
+    DCP_RETURN_IF_ERROR(r.ReadRef(&item.dq));
+    DCP_RETURN_IF_ERROR(r.ReadRef(&item.dkv));
+    instr->attn_items.push_back(item);
   }
-  instr.reduce_items.resize(num_reduce);
-  for (ReduceItem& item : instr.reduce_items) {
+  for (uint64_t i = 0; i < num_reduce; ++i) {
+    ReduceItem item;
     int mode = 0;
-    in >> tag;
-    DCP_CHECK(tag == "R");
-    in >> mode;
+    DCP_RETURN_IF_ERROR(r.Expect("R"));
+    DCP_RETURN_IF_ERROR(r.Read(&mode, "reduce mode"));
+    if (mode < 0 || mode > kMaxReduceMode) {
+      return r.Fail("reduce mode out of range");
+    }
     item.mode = static_cast<ReduceMode>(mode);
-    item.dst = ReadRef(in);
-    item.src0 = ReadRef(in);
-    item.src1 = ReadRef(in);
-    in >> item.token_count;
+    DCP_RETURN_IF_ERROR(r.ReadRef(&item.dst));
+    DCP_RETURN_IF_ERROR(r.ReadRef(&item.src0));
+    DCP_RETURN_IF_ERROR(r.ReadRef(&item.src1));
+    DCP_RETURN_IF_ERROR(r.Read(&item.token_count, "reduce token_count"));
+    instr->reduce_items.push_back(item);
   }
-  instr.copy_items.resize(num_copy);
-  for (CopyItem& item : instr.copy_items) {
-    in >> tag;
-    DCP_CHECK(tag == "C");
-    item.dst = ReadRef(in);
-    item.src = ReadRef(in);
-    in >> item.token_count;
+  for (uint64_t i = 0; i < num_copy; ++i) {
+    CopyItem item;
+    DCP_RETURN_IF_ERROR(r.Expect("C"));
+    DCP_RETURN_IF_ERROR(r.ReadRef(&item.dst));
+    DCP_RETURN_IF_ERROR(r.ReadRef(&item.src));
+    DCP_RETURN_IF_ERROR(r.Read(&item.token_count, "copy token_count"));
+    instr->copy_items.push_back(item);
   }
-  instr.blocks.resize(num_blocks);
-  for (TransferBlock& block : instr.blocks) {
-    in >> tag;
-    DCP_CHECK(tag == "T");
-    block.ref = ReadRef(in);
-    in >> block.bytes >> block.token_count;
+  for (uint64_t i = 0; i < num_blocks; ++i) {
+    TransferBlock block;
+    DCP_RETURN_IF_ERROR(r.Expect("T"));
+    DCP_RETURN_IF_ERROR(r.ReadRef(&block.ref));
+    DCP_RETURN_IF_ERROR(r.Read(&block.bytes, "transfer bytes"));
+    DCP_RETURN_IF_ERROR(r.Read(&block.token_count, "transfer token_count"));
+    instr->blocks.push_back(block);
   }
-  return instr;
+  return Status::Ok();
 }
 
 }  // namespace
@@ -267,66 +337,593 @@ std::string SerializePlan(const BatchPlan& plan) {
   return out.str();
 }
 
-BatchPlan DeserializePlan(const std::string& text) {
-  std::istringstream in(text);
-  std::string tag;
+StatusOr<BatchPlan> DeserializePlan(const std::string& text) {
+  TextReader r(text);
   int version = 0;
-  in >> tag >> version;
-  DCP_CHECK(tag == "DCPPLAN" && version == 1) << "bad plan header";
+  DCP_RETURN_IF_ERROR(r.Expect("DCPPLAN"));
+  DCP_RETURN_IF_ERROR(r.Read(&version, "format version"));
+  if (version != 1) {
+    return r.Fail("unsupported format version " + std::to_string(version));
+  }
   BatchPlan plan;
   BatchLayout& layout = plan.layout;
-  size_t num_seqs = 0;
-  in >> tag;
-  DCP_CHECK(tag == "LAYOUT");
-  in >> layout.block_size >> layout.num_groups >> layout.heads_per_group >>
-      layout.head_dim >> layout.bytes_per_element >> num_seqs;
-  in >> tag;
-  DCP_CHECK(tag == "SEQLENS");
-  layout.seqlens.resize(num_seqs);
-  for (int64_t& len : layout.seqlens) {
-    in >> len;
+  uint64_t num_seqs = 0;
+  DCP_RETURN_IF_ERROR(r.Expect("LAYOUT"));
+  DCP_RETURN_IF_ERROR(r.Read(&layout.block_size, "layout block_size"));
+  DCP_RETURN_IF_ERROR(r.Read(&layout.num_groups, "layout num_groups"));
+  DCP_RETURN_IF_ERROR(r.Read(&layout.heads_per_group, "layout heads_per_group"));
+  DCP_RETURN_IF_ERROR(r.Read(&layout.head_dim, "layout head_dim"));
+  DCP_RETURN_IF_ERROR(r.Read(&layout.bytes_per_element, "layout bytes_per_element"));
+  DCP_RETURN_IF_ERROR(r.ReadCount(&num_seqs, "sequence count"));
+  DCP_RETURN_IF_ERROR(r.Expect("SEQLENS"));
+  for (uint64_t s = 0; s < num_seqs; ++s) {
+    int64_t len = 0;
+    DCP_RETURN_IF_ERROR(r.Read(&len, "sequence length"));
+    layout.seqlens.push_back(len);
   }
-  size_t num_chunks = 0;
-  in >> tag >> num_chunks;
-  DCP_CHECK(tag == "HOME");
-  plan.chunk_home.resize(num_chunks);
-  for (DeviceId& d : plan.chunk_home) {
-    in >> d;
+  uint64_t num_chunks = 0;
+  DCP_RETURN_IF_ERROR(r.Expect("HOME"));
+  DCP_RETURN_IF_ERROR(r.ReadCount(&num_chunks, "chunk count"));
+  for (uint64_t c = 0; c < num_chunks; ++c) {
+    DeviceId d = 0;
+    DCP_RETURN_IF_ERROR(r.Read(&d, "chunk home device"));
+    plan.chunk_home.push_back(d);
   }
-  in >> tag;
-  DCP_CHECK(tag == "STATS");
-  in >> plan.stats.total_comm_bytes >> plan.stats.inter_node_comm_bytes >>
-      plan.stats.max_device_comm_bytes >> plan.stats.total_flops >>
-      plan.stats.max_device_flops >> plan.stats.planning_seconds >>
-      plan.stats.partition_cost;
-  size_t num_devices = 0;
-  in >> tag >> num_devices;
-  DCP_CHECK(tag == "DEVICES");
-  plan.devices.resize(num_devices);
-  for (DevicePlan& dev : plan.devices) {
-    in >> tag;
-    DCP_CHECK(tag == "DEVICE");
+  DCP_RETURN_IF_ERROR(r.Expect("STATS"));
+  DCP_RETURN_IF_ERROR(r.Read(&plan.stats.total_comm_bytes, "stats total_comm_bytes"));
+  DCP_RETURN_IF_ERROR(
+      r.Read(&plan.stats.inter_node_comm_bytes, "stats inter_node_comm_bytes"));
+  DCP_RETURN_IF_ERROR(
+      r.Read(&plan.stats.max_device_comm_bytes, "stats max_device_comm_bytes"));
+  DCP_RETURN_IF_ERROR(r.Read(&plan.stats.total_flops, "stats total_flops"));
+  DCP_RETURN_IF_ERROR(r.Read(&plan.stats.max_device_flops, "stats max_device_flops"));
+  DCP_RETURN_IF_ERROR(r.Read(&plan.stats.planning_seconds, "stats planning_seconds"));
+  DCP_RETURN_IF_ERROR(r.Read(&plan.stats.partition_cost, "stats partition_cost"));
+  uint64_t num_devices = 0;
+  DCP_RETURN_IF_ERROR(r.Expect("DEVICES"));
+  DCP_RETURN_IF_ERROR(r.ReadCount(&num_devices, "device count"));
+  for (uint64_t d = 0; d < num_devices; ++d) {
+    DevicePlan dev;
+    DCP_RETURN_IF_ERROR(r.Expect("DEVICE"));
     for (int32_t& slots : dev.num_slots) {
-      in >> slots;
+      DCP_RETURN_IF_ERROR(r.Read(&slots, "device slot count"));
     }
-    size_t num_local = 0;
-    size_t num_fw = 0;
-    size_t num_bw = 0;
-    in >> num_local >> num_fw >> num_bw;
-    dev.local_chunks.resize(num_local);
-    for (LocalChunk& chunk : dev.local_chunks) {
-      in >> tag;
-      DCP_CHECK(tag == "L");
-      in >> chunk.seq >> chunk.chunk >> chunk.group >> chunk.q_slot >> chunk.kv_slot;
+    uint64_t num_local = 0;
+    uint64_t num_fw = 0;
+    uint64_t num_bw = 0;
+    DCP_RETURN_IF_ERROR(r.ReadCount(&num_local, "local chunk count"));
+    DCP_RETURN_IF_ERROR(r.ReadCount(&num_fw, "forward instruction count"));
+    DCP_RETURN_IF_ERROR(r.ReadCount(&num_bw, "backward instruction count"));
+    for (uint64_t i = 0; i < num_local; ++i) {
+      LocalChunk chunk;
+      DCP_RETURN_IF_ERROR(r.Expect("L"));
+      DCP_RETURN_IF_ERROR(r.Read(&chunk.seq, "local chunk seq"));
+      DCP_RETURN_IF_ERROR(r.Read(&chunk.chunk, "local chunk index"));
+      DCP_RETURN_IF_ERROR(r.Read(&chunk.group, "local chunk group"));
+      DCP_RETURN_IF_ERROR(r.Read(&chunk.q_slot, "local chunk q_slot"));
+      DCP_RETURN_IF_ERROR(r.Read(&chunk.kv_slot, "local chunk kv_slot"));
+      dev.local_chunks.push_back(chunk);
+    }
+    for (uint64_t i = 0; i < num_fw; ++i) {
+      Instruction instr;
+      DCP_RETURN_IF_ERROR(ReadInstructionText(r, &instr));
+      dev.instructions.push_back(std::move(instr));
+    }
+    for (uint64_t i = 0; i < num_bw; ++i) {
+      Instruction instr;
+      DCP_RETURN_IF_ERROR(ReadInstructionText(r, &instr));
+      dev.backward_instructions.push_back(std::move(instr));
+    }
+    plan.devices.push_back(std::move(dev));
+  }
+  std::string rest;
+  if (r.in >> rest) {
+    return r.Fail("trailing garbage after plan ('" + rest + "')");
+  }
+  return plan;
+}
+
+BatchPlan DeserializePlanOrDie(const std::string& text) {
+  StatusOr<BatchPlan> plan = DeserializePlan(text);
+  DCP_CHECK(plan.ok()) << plan.status().ToString();
+  return std::move(plan).value();
+}
+
+// --- Binary encoding -------------------------------------------------------
+//
+// Compact byte-oriented encoding, assembled byte by byte so it is identical on any
+// host: integers are LEB128 varints (signed values zigzag-folded first, so the small
+// positive-or-negative ids real plans are full of take one byte), doubles are bit_cast
+// to fixed 8-byte little-endian words (exact, no decimal round-trip). Layout:
+//
+//   "DCPB" u32 version
+//   layout   block_size, num_groups/heads_per_group/head_dim/bytes_per_element,
+//            num_seqs, seqlens[]
+//   home     num_chunks, devices[]
+//   stats    all nine PlanStats fields (the text format drops the owned-bytes pair)
+//   devices  count, then per device: num_slots[kNumBufKinds],
+//            num_local/num_fw/num_bw, local chunks, fw instrs, bw instrs
+
+namespace {
+
+constexpr char kBinaryMagic[4] = {'D', 'C', 'P', 'B'};
+constexpr uint32_t kPlanBinaryVersion = 1;
+
+class ByteWriter {
+ public:
+  void U8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void U32(uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      U8(static_cast<uint8_t>(v >> (8 * i)));
+    }
+  }
+  void U64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      U8(static_cast<uint8_t>(v >> (8 * i)));
+    }
+  }
+  // Unsigned LEB128.
+  void Var(uint64_t v) {
+    while (v >= 0x80) {
+      U8(static_cast<uint8_t>(0x80 | (v & 0x7F)));
+      v >>= 7;
+    }
+    U8(static_cast<uint8_t>(v));
+  }
+  // Zigzag-folded varint for signed values.
+  void Zig(int64_t v) {
+    Var((static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63));
+  }
+  void F64(double v) { U64(std::bit_cast<uint64_t>(v)); }
+  void Count(size_t v) {
+    DCP_CHECK_LE(v, kMaxPlanItems);
+    Var(v);
+  }
+
+  std::string Take() { return std::move(buf_); }
+
+ private:
+  std::string buf_;
+};
+
+// Bounds-checked cursor over the binary form. Reads return values directly and latch
+// the FIRST failure (with its offset) instead of threading a Status through every field
+// read — the decoder checks `failed()` at item granularity, which keeps full validation
+// while running several times faster than a Status-per-byte design (the store hit path
+// decodes ~100KB records; this is its inner loop). After a failure every further read
+// returns 0, so a checkpoint per loop iteration bounds the garbage work to one item.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+  bool failed() const { return failed_; }
+
+  void SetFail(const char* what) {
+    if (!failed_) {
+      failed_ = true;
+      error_ = std::string(what) + " at offset " + std::to_string(pos_);
+    }
+  }
+  // The latched failure as a Status (DATA_LOSS); only meaningful when failed().
+  Status TakeStatus() const { return Status::DataLoss("plan binary: " + error_); }
+  Status Fail(const std::string& what) {
+    return Status::DataLoss("plan binary: " + what + " at offset " +
+                            std::to_string(pos_));
+  }
+
+  uint8_t U8() {
+    if (pos_ >= data_.size()) {
+      SetFail("truncated byte");
+      return 0;
+    }
+    return static_cast<uint8_t>(data_[pos_++]);
+  }
+  uint32_t U32() {
+    if (remaining() < 4) {
+      SetFail("truncated u32");
+      pos_ = data_.size();
+      return 0;
+    }
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_ + i])) << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+  uint64_t Var() {
+    uint64_t v = 0;
+    int shift = 0;
+    while (true) {
+      if (shift >= 64) {
+        SetFail("varint too long");
+        return 0;
+      }
+      const uint8_t b = U8();
+      if (failed_) {
+        return 0;
+      }
+      // The 10th byte of a 64-bit varint only has room for bit 0; payload bits that
+      // would shift past bit 63 are an encoding error, not silently droppable.
+      if (shift == 63 && (b & 0x7E) != 0) {
+        SetFail("varint overflows 64 bits");
+        return 0;
+      }
+      v |= static_cast<uint64_t>(b & 0x7F) << shift;
+      if ((b & 0x80) == 0) {
+        return v;
+      }
+      shift += 7;
+    }
+  }
+  int64_t Zig() {
+    const uint64_t v = Var();
+    return static_cast<int64_t>((v >> 1) ^ (~(v & 1) + 1));
+  }
+  int32_t Zig32(const char* what) {
+    const int64_t v = Zig();
+    if (v < INT32_MIN || v > INT32_MAX) {
+      SetFail(what);
+      return 0;
+    }
+    return static_cast<int32_t>(v);
+  }
+  double F64() {
+    if (remaining() < 8) {
+      SetFail("truncated f64");
+      pos_ = data_.size();
+      return 0.0;
+    }
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_ + i])) << (8 * i);
+    }
+    pos_ += 8;
+    return std::bit_cast<double>(v);
+  }
+  // Reads a count and proves `count * min_item_bytes` fits in the remaining payload, so
+  // a corrupt count can neither drive a huge allocation nor a long parse loop.
+  uint32_t BoundedCount(size_t min_item_bytes, const char* what) {
+    const uint64_t v = Var();
+    if (failed_) {
+      return 0;
+    }
+    if (v > kMaxPlanItems || v * min_item_bytes > remaining()) {
+      SetFail(what);
+      return 0;
+    }
+    return static_cast<uint32_t>(v);
+  }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+  bool failed_ = false;
+  std::string error_;
+};
+
+// Minimum encoded sizes (every varint is at least one byte), used to bound counts
+// before allocating.
+constexpr size_t kRefBytes = 2;                            // u8 kind + varint slot.
+constexpr size_t kAttnItemBytes = 7 * kRefBytes + 2 + 4 + 1;
+constexpr size_t kReduceItemBytes = 1 + 3 * kRefBytes + 1;
+constexpr size_t kCopyItemBytes = 2 * kRefBytes + 1;
+constexpr size_t kTransferBlockBytes = kRefBytes + 2;
+constexpr size_t kLocalChunkBytes = 5;
+constexpr size_t kInstrHeaderBytes = 2 + 8 + 2 + 8 + 2 + 4;
+constexpr size_t kDeviceHeaderBytes = kNumBufKinds + 3;
+
+void WriteRefBin(ByteWriter& w, const BlockRef& ref) {
+  w.U8(static_cast<uint8_t>(ref.kind));
+  w.Zig(ref.slot);
+}
+
+BlockRef ReadRefBin(ByteReader& r) {
+  BlockRef ref;
+  const uint8_t kind = r.U8();
+  if (kind >= kNumBufKinds) {
+    r.SetFail("block-ref kind out of range");
+    return ref;
+  }
+  ref.kind = static_cast<BufKind>(kind);
+  ref.slot = r.Zig32("block-ref slot out of range");
+  return ref;
+}
+
+void WriteInstructionBin(ByteWriter& w, const Instruction& instr) {
+  w.U8(static_cast<uint8_t>(instr.kind));
+  w.U8(static_cast<uint8_t>((instr.backward ? 1 : 0) | (instr.is_send ? 2 : 0)));
+  w.F64(instr.flops);
+  w.Zig(instr.comm_bytes);
+  w.Zig(instr.mem_bytes);
+  w.F64(instr.host_overhead);
+  w.Zig(instr.transfer_id);
+  w.Zig(instr.peer);
+  w.Count(instr.attn_items.size());
+  w.Count(instr.reduce_items.size());
+  w.Count(instr.copy_items.size());
+  w.Count(instr.blocks.size());
+  for (const AttentionWorkItem& item : instr.attn_items) {
+    WriteRefBin(w, item.q);
+    WriteRefBin(w, item.kv);
+    WriteRefBin(w, item.acc);
+    w.Zig(item.seq);
+    w.Zig(item.group);
+    w.Zig(item.q_begin);
+    w.Zig(item.q_end);
+    w.Zig(item.kv_begin);
+    w.Zig(item.kv_end);
+    w.U8(item.full ? 1 : 0);
+    WriteRefBin(w, item.dout);
+    WriteRefBin(w, item.delta);
+    WriteRefBin(w, item.dq);
+    WriteRefBin(w, item.dkv);
+  }
+  for (const ReduceItem& item : instr.reduce_items) {
+    w.U8(static_cast<uint8_t>(item.mode));
+    WriteRefBin(w, item.dst);
+    WriteRefBin(w, item.src0);
+    WriteRefBin(w, item.src1);
+    w.Zig(item.token_count);
+  }
+  for (const CopyItem& item : instr.copy_items) {
+    WriteRefBin(w, item.dst);
+    WriteRefBin(w, item.src);
+    w.Zig(item.token_count);
+  }
+  for (const TransferBlock& block : instr.blocks) {
+    WriteRefBin(w, block.ref);
+    w.Zig(block.bytes);
+    w.Zig(block.token_count);
+  }
+}
+
+Status ReadInstructionBin(ByteReader& r, Instruction* instr) {
+  const uint8_t kind = r.U8();
+  if (kind > kMaxInstrKind) {
+    return r.Fail("instruction kind out of range");
+  }
+  const uint8_t flags = r.U8();
+  if (flags > 3) {
+    return r.Fail("instruction flags out of range");
+  }
+  instr->kind = static_cast<InstrKind>(kind);
+  instr->backward = (flags & 1) != 0;
+  instr->is_send = (flags & 2) != 0;
+  instr->flops = r.F64();
+  instr->comm_bytes = r.Zig();
+  instr->mem_bytes = r.Zig();
+  instr->host_overhead = r.F64();
+  instr->transfer_id = r.Zig32("transfer id out of range");
+  instr->peer = r.Zig32("peer device out of range");
+  const uint32_t num_attn = r.BoundedCount(kAttnItemBytes, "attention item count");
+  const uint32_t num_reduce = r.BoundedCount(kReduceItemBytes, "reduce item count");
+  const uint32_t num_copy = r.BoundedCount(kCopyItemBytes, "copy item count");
+  const uint32_t num_blocks = r.BoundedCount(kTransferBlockBytes, "transfer count");
+  if (r.failed()) {
+    return r.TakeStatus();
+  }
+  instr->attn_items.reserve(num_attn);
+  for (uint32_t i = 0; i < num_attn; ++i) {
+    AttentionWorkItem item;
+    item.q = ReadRefBin(r);
+    item.kv = ReadRefBin(r);
+    item.acc = ReadRefBin(r);
+    item.seq = r.Zig32("attention seq out of range");
+    item.group = r.Zig32("attention group out of range");
+    item.q_begin = r.Zig();
+    item.q_end = r.Zig();
+    item.kv_begin = r.Zig();
+    item.kv_end = r.Zig();
+    const uint8_t full = r.U8();
+    if (full > 1) {
+      return r.Fail("attention item full flag out of range");
+    }
+    item.full = full != 0;
+    item.dout = ReadRefBin(r);
+    item.delta = ReadRefBin(r);
+    item.dq = ReadRefBin(r);
+    item.dkv = ReadRefBin(r);
+    if (r.failed()) {
+      return r.TakeStatus();
+    }
+    instr->attn_items.push_back(item);
+  }
+  instr->reduce_items.reserve(num_reduce);
+  for (uint32_t i = 0; i < num_reduce; ++i) {
+    ReduceItem item;
+    const uint8_t mode = r.U8();
+    if (mode > kMaxReduceMode) {
+      return r.Fail("reduce mode out of range");
+    }
+    item.mode = static_cast<ReduceMode>(mode);
+    item.dst = ReadRefBin(r);
+    item.src0 = ReadRefBin(r);
+    item.src1 = ReadRefBin(r);
+    item.token_count = r.Zig();
+    if (r.failed()) {
+      return r.TakeStatus();
+    }
+    instr->reduce_items.push_back(item);
+  }
+  instr->copy_items.reserve(num_copy);
+  for (uint32_t i = 0; i < num_copy; ++i) {
+    CopyItem item;
+    item.dst = ReadRefBin(r);
+    item.src = ReadRefBin(r);
+    item.token_count = r.Zig();
+    if (r.failed()) {
+      return r.TakeStatus();
+    }
+    instr->copy_items.push_back(item);
+  }
+  instr->blocks.reserve(num_blocks);
+  for (uint32_t i = 0; i < num_blocks; ++i) {
+    TransferBlock block;
+    block.ref = ReadRefBin(r);
+    block.bytes = r.Zig();
+    block.token_count = r.Zig();
+    if (r.failed()) {
+      return r.TakeStatus();
+    }
+    instr->blocks.push_back(block);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::string SerializePlanBinary(const BatchPlan& plan) {
+  ByteWriter w;
+  for (char c : kBinaryMagic) {
+    w.U8(static_cast<uint8_t>(c));
+  }
+  w.U32(kPlanBinaryVersion);
+  const BatchLayout& layout = plan.layout;
+  w.Zig(layout.block_size);
+  w.Zig(layout.num_groups);
+  w.Zig(layout.heads_per_group);
+  w.Zig(layout.head_dim);
+  w.Zig(layout.bytes_per_element);
+  w.Count(layout.seqlens.size());
+  for (int64_t len : layout.seqlens) {
+    w.Zig(len);
+  }
+  w.Count(plan.chunk_home.size());
+  for (DeviceId d : plan.chunk_home) {
+    w.Zig(d);
+  }
+  w.Zig(plan.stats.total_comm_bytes);
+  w.Zig(plan.stats.inter_node_comm_bytes);
+  w.Zig(plan.stats.max_device_comm_bytes);
+  w.F64(plan.stats.total_flops);
+  w.F64(plan.stats.max_device_flops);
+  w.Zig(plan.stats.max_device_owned_bytes);
+  w.Zig(plan.stats.min_device_owned_bytes);
+  w.F64(plan.stats.planning_seconds);
+  w.F64(plan.stats.partition_cost);
+  w.Count(plan.devices.size());
+  for (const DevicePlan& dev : plan.devices) {
+    for (int32_t slots : dev.num_slots) {
+      w.Zig(slots);
+    }
+    w.Count(dev.local_chunks.size());
+    w.Count(dev.instructions.size());
+    w.Count(dev.backward_instructions.size());
+    for (const LocalChunk& chunk : dev.local_chunks) {
+      w.Zig(chunk.seq);
+      w.Zig(chunk.chunk);
+      w.Zig(chunk.group);
+      w.Zig(chunk.q_slot);
+      w.Zig(chunk.kv_slot);
+    }
+    for (const Instruction& instr : dev.instructions) {
+      WriteInstructionBin(w, instr);
+    }
+    for (const Instruction& instr : dev.backward_instructions) {
+      WriteInstructionBin(w, instr);
+    }
+  }
+  return w.Take();
+}
+
+StatusOr<BatchPlan> DeserializePlanBinary(std::string_view bytes) {
+  ByteReader r(bytes);
+  for (char expected : kBinaryMagic) {
+    if (r.U8() != static_cast<uint8_t>(expected)) {
+      return r.Fail("bad magic");
+    }
+  }
+  const uint32_t version = r.U32();
+  if (r.failed()) {
+    return r.TakeStatus();
+  }
+  if (version != kPlanBinaryVersion) {
+    return r.Fail("unsupported format version " + std::to_string(version));
+  }
+  BatchPlan plan;
+  BatchLayout& layout = plan.layout;
+  layout.block_size = r.Zig();
+  layout.num_groups = r.Zig32("layout num_groups out of range");
+  layout.heads_per_group = r.Zig32("layout heads_per_group out of range");
+  layout.head_dim = r.Zig32("layout head_dim out of range");
+  layout.bytes_per_element = r.Zig32("layout bytes_per_element out of range");
+  const uint32_t num_seqs = r.BoundedCount(1, "sequence count");
+  if (r.failed()) {
+    return r.TakeStatus();
+  }
+  layout.seqlens.reserve(num_seqs);
+  for (uint32_t s = 0; s < num_seqs; ++s) {
+    layout.seqlens.push_back(r.Zig());
+  }
+  const uint32_t num_chunks = r.BoundedCount(1, "chunk home count");
+  if (r.failed()) {
+    return r.TakeStatus();
+  }
+  plan.chunk_home.reserve(num_chunks);
+  for (uint32_t c = 0; c < num_chunks; ++c) {
+    plan.chunk_home.push_back(r.Zig32("chunk home device out of range"));
+  }
+  plan.stats.total_comm_bytes = r.Zig();
+  plan.stats.inter_node_comm_bytes = r.Zig();
+  plan.stats.max_device_comm_bytes = r.Zig();
+  plan.stats.total_flops = r.F64();
+  plan.stats.max_device_flops = r.F64();
+  plan.stats.max_device_owned_bytes = r.Zig();
+  plan.stats.min_device_owned_bytes = r.Zig();
+  plan.stats.planning_seconds = r.F64();
+  plan.stats.partition_cost = r.F64();
+  const uint32_t num_devices = r.BoundedCount(kDeviceHeaderBytes, "device count");
+  if (r.failed()) {
+    return r.TakeStatus();
+  }
+  plan.devices.reserve(num_devices);
+  for (uint32_t d = 0; d < num_devices; ++d) {
+    DevicePlan dev;
+    for (int32_t& slots : dev.num_slots) {
+      slots = r.Zig32("device slot count out of range");
+    }
+    const uint32_t num_local = r.BoundedCount(kLocalChunkBytes, "local chunk count");
+    const uint32_t num_fw = r.BoundedCount(kInstrHeaderBytes, "fw instruction count");
+    const uint32_t num_bw = r.BoundedCount(kInstrHeaderBytes, "bw instruction count");
+    if (r.failed()) {
+      return r.TakeStatus();
+    }
+    dev.local_chunks.reserve(num_local);
+    for (uint32_t i = 0; i < num_local; ++i) {
+      LocalChunk chunk;
+      chunk.seq = r.Zig32("local chunk seq out of range");
+      chunk.chunk = r.Zig32("local chunk index out of range");
+      chunk.group = r.Zig32("local chunk group out of range");
+      chunk.q_slot = r.Zig32("local chunk q_slot out of range");
+      chunk.kv_slot = r.Zig32("local chunk kv_slot out of range");
+      if (r.failed()) {
+        return r.TakeStatus();
+      }
+      dev.local_chunks.push_back(chunk);
     }
     dev.instructions.reserve(num_fw);
-    for (size_t i = 0; i < num_fw; ++i) {
-      dev.instructions.push_back(ReadInstruction(in));
+    for (uint32_t i = 0; i < num_fw; ++i) {
+      Instruction instr;
+      DCP_RETURN_IF_ERROR(ReadInstructionBin(r, &instr));
+      dev.instructions.push_back(std::move(instr));
     }
     dev.backward_instructions.reserve(num_bw);
-    for (size_t i = 0; i < num_bw; ++i) {
-      dev.backward_instructions.push_back(ReadInstruction(in));
+    for (uint32_t i = 0; i < num_bw; ++i) {
+      Instruction instr;
+      DCP_RETURN_IF_ERROR(ReadInstructionBin(r, &instr));
+      dev.backward_instructions.push_back(std::move(instr));
     }
+    plan.devices.push_back(std::move(dev));
+  }
+  if (r.failed()) {
+    return r.TakeStatus();
+  }
+  if (!r.AtEnd()) {
+    return r.Fail("trailing garbage after plan (" + std::to_string(r.remaining()) +
+                  " bytes)");
   }
   return plan;
 }

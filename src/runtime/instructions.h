@@ -8,8 +8,10 @@
 #include <array>
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "common/status.h"
 #include "common/types.h"
 #include "runtime/layout.h"
 
@@ -171,9 +173,24 @@ struct BatchPlan {
 std::string PlanToString(const BatchPlan& plan, int max_instructions_per_device = 16);
 
 // Compact line-based serialization round-trip (paper §3.1: plans are serialized by the
-// planner and shipped to devices).
+// planner and shipped to devices). Deserialization validates every section tag, every
+// stream read, and enum ranges, and rejects truncated input and trailing garbage:
+// malformed bytes come back as a recoverable DATA_LOSS Status, never an abort and never
+// a silently zero-filled plan.
 std::string SerializePlan(const BatchPlan& plan);
-BatchPlan DeserializePlan(const std::string& text);
+StatusOr<BatchPlan> DeserializePlan(const std::string& text);
+// Shim for internal callers holding text they themselves produced (tests, debugging):
+// DCP_CHECK-aborts on malformed input instead of returning a Status.
+BatchPlan DeserializePlanOrDie(const std::string& text);
+
+// Fixed-width little-endian binary encoding of the same plan, used by PlanStore records
+// and (per the ROADMAP) the future sharded planning service's wire format. Roughly 4x
+// smaller than the text form and exact for doubles (bit_cast, no decimal round-trip).
+// The decoder is bounds-checked end to end: item counts are validated against the
+// remaining payload before any allocation, enums are range-checked, and trailing bytes
+// are rejected.
+std::string SerializePlanBinary(const BatchPlan& plan);
+StatusOr<BatchPlan> DeserializePlanBinary(std::string_view bytes);
 
 }  // namespace dcp
 

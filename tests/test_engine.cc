@@ -5,6 +5,9 @@
 // (device buffers reused across equal signatures).
 #include "core/engine.h"
 
+#include <cmath>
+#include <limits>
+
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
@@ -53,6 +56,29 @@ TEST(PlanSignature, DistinctMaskKindsWithIdenticalSeqlensNeverAlias) {
           << MaskKindName(AllMaskKinds()[a]) << " vs " << MaskKindName(AllMaskKinds()[b]);
     }
   }
+}
+
+TEST(PlanSignature, NanAndSignedZeroCanonicalizeBeforeHashing) {
+  // Semantically identical configs must share a signature even when a cost-model field
+  // is NaN: every NaN payload (and sign) folds to one canonical bit pattern, and -0.0
+  // folds to 0.0. Distinct real values still hash apart.
+  const std::vector<int64_t> seqlens = {48, 33, 24};
+  const PlannerOptions options = SmallEngineOptions().planner;
+  auto sig_with_hbm = [&](double hbm_gbps) {
+    ClusterSpec cluster = SmallCluster();
+    cluster.hbm_gbps = hbm_gbps;
+    return ComputePlanSignature(seqlens, MaskSpec::Causal(), cluster, options);
+  };
+
+  const PlanSignature nan_a = sig_with_hbm(std::nan("1"));
+  const PlanSignature nan_b = sig_with_hbm(std::nan("0x7ffff"));
+  const PlanSignature nan_c = sig_with_hbm(-std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(nan_a, nan_b);
+  EXPECT_EQ(nan_a, nan_c);
+  EXPECT_FALSE(nan_a == sig_with_hbm(1555.0));
+
+  EXPECT_EQ(sig_with_hbm(0.0), sig_with_hbm(-0.0));
+  EXPECT_FALSE(sig_with_hbm(0.0) == sig_with_hbm(1.0));
 }
 
 TEST(PlanSignature, EveryIdentityFieldChangesTheDigest) {

@@ -85,7 +85,7 @@ TEST(PlanPortability, DeserializedPlanExecutesIdentically) {
   const std::vector<int64_t> seqlens = {55, 32, 20};
   std::vector<SequenceMask> masks = BuildBatchMasks(MaskSpec::Lambda(4, 12), seqlens);
   BatchPlan original = PlanBatch(seqlens, masks, cluster, options);
-  BatchPlan restored = DeserializePlan(SerializePlan(original));
+  BatchPlan restored = DeserializePlanOrDie(SerializePlan(original));
 
   Rng rng(17);
   std::vector<SeqTensors> inputs;

@@ -26,7 +26,7 @@ BatchPlan MakeTestPlan() {
 TEST(PlanSerialization, RoundTripPreservesEverything) {
   BatchPlan plan = MakeTestPlan();
   const std::string text = SerializePlan(plan);
-  BatchPlan restored = DeserializePlan(text);
+  BatchPlan restored = DeserializePlanOrDie(text);
 
   EXPECT_EQ(restored.layout.seqlens, plan.layout.seqlens);
   EXPECT_EQ(restored.layout.block_size, plan.layout.block_size);
@@ -62,6 +62,63 @@ TEST(PlanSerialization, RoundTripPreservesEverything) {
   }
   // Serializing the restored plan reproduces the text exactly.
   EXPECT_EQ(SerializePlan(restored), text);
+}
+
+// Malformed text must come back as a recoverable DATA_LOSS Status — never an abort,
+// never a silently zero-filled plan.
+TEST(PlanSerialization, MalformedTextReturnsErrorStatusInsteadOfAborting) {
+  const std::string good = SerializePlan(MakeTestPlan());
+
+  // Truncation at every line boundary (the text format's natural section boundaries).
+  for (size_t pos = good.find('\n'); pos != std::string::npos;
+       pos = good.find('\n', pos + 1)) {
+    if (pos + 1 == good.size()) {
+      break;  // Full text: valid by construction.
+    }
+    StatusOr<BatchPlan> truncated = DeserializePlan(good.substr(0, pos));
+    EXPECT_FALSE(truncated.ok()) << "truncation at byte " << pos << " was accepted";
+    EXPECT_EQ(truncated.status().code(), StatusCode::kDataLoss);
+  }
+
+  const struct {
+    const char* name;
+    std::string text;
+  } cases[] = {
+      {"empty", ""},
+      {"bad header", "NOTAPLAN 1\n"},
+      {"bad version", "DCPPLAN 7\n"},
+      {"header only", "DCPPLAN 1\n"},
+      {"wrong section tag", "DCPPLAN 1\nWRONG 16 2 2 8 2 1\n"},
+      {"non-numeric field", "DCPPLAN 1\nLAYOUT banana 2 2 8 2 1\n"},
+      {"implausible count", "DCPPLAN 1\nLAYOUT 16 2 2 8 2 999999999999\nSEQLENS"},
+      {"trailing garbage", good + "EXTRA\n"},
+  };
+  for (const auto& c : cases) {
+    StatusOr<BatchPlan> parsed = DeserializePlan(c.text);
+    EXPECT_FALSE(parsed.ok()) << c.name;
+    EXPECT_EQ(parsed.status().code(), StatusCode::kDataLoss) << c.name;
+  }
+
+  // Out-of-range enums are rejected even when the stream stays well-formed: corrupt a
+  // block-ref kind digit inside an instruction item line.
+  std::string bad_enum = good;
+  const size_t attn = bad_enum.find("\nA ");
+  ASSERT_NE(attn, std::string::npos);
+  bad_enum[attn + 3] = '9';  // First digit of the BufKind: 9 is out of range.
+  StatusOr<BatchPlan> parsed = DeserializePlan(bad_enum);
+  EXPECT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(PlanSerialization, BinaryRoundTripAndCompactness) {
+  const BatchPlan plan = MakeTestPlan();
+  const std::string bytes = SerializePlanBinary(plan);
+  StatusOr<BatchPlan> restored = DeserializePlanBinary(bytes);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(SerializePlan(restored.value()), SerializePlan(plan));
+  // Binary re-serializes bit-identically and beats the text encoding on size.
+  EXPECT_EQ(SerializePlanBinary(restored.value()), bytes);
+  EXPECT_LT(bytes.size(), SerializePlan(plan).size());
 }
 
 TEST(PlanToString, MentionsDevicesAndInstructionKinds) {

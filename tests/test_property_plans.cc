@@ -18,56 +18,15 @@
 #include "runtime/executor.h"
 #include "runtime/plan_validate.h"
 #include "runtime/reference_attention.h"
+#include "tests/plan_test_util.h"
 
 namespace dcp {
 namespace {
 
-struct GeneratedCase {
-  std::vector<int64_t> seqlens;
-  MaskKind mask_kind = MaskKind::kCausal;
-  int64_t block_size = 16;
-  int num_nodes = 1;
-  int devices_per_node = 1;
-  int divisions = 3;
-  uint64_t planner_seed = 1;
-};
-
-GeneratedCase GenerateCase(Rng& rng) {
-  GeneratedCase c;
-  const int num_seqs = 1 + static_cast<int>(rng.NextBounded(4));
-  for (int s = 0; s < num_seqs; ++s) {
-    c.seqlens.push_back(8 + static_cast<int64_t>(rng.NextBounded(73)));  // 8..80.
-  }
-  const auto& kinds = AllMaskKinds();
-  c.mask_kind = kinds[static_cast<size_t>(rng.NextBounded(kinds.size()))];
-  const int64_t block_sizes[] = {8, 16, 24};
-  c.block_size = block_sizes[rng.NextBounded(3)];
-  c.num_nodes = 1 + static_cast<int>(rng.NextBounded(2));
-  c.devices_per_node = 1 + static_cast<int>(rng.NextBounded(3));
-  c.divisions = 2 + static_cast<int>(rng.NextBounded(3));
-  c.planner_seed = 1 + rng.NextU64() % 1000;
-  return c;
-}
-
-PlannerOptions MakeOptions(const GeneratedCase& c) {
-  PlannerOptions options;
-  options.block_size = c.block_size;
-  options.num_groups = 2;
-  options.heads_per_group = 2;
-  options.head_dim = 8;
-  options.divisions = c.divisions;
-  options.seed = c.planner_seed;
-  return options;
-}
-
-MaskSpec SmallMaskSpec(MaskKind kind) {
-  MaskSpec spec = MaskSpec::ForKind(kind);
-  // Shrink mask parameters so short test sequences still exercise sparsity.
-  spec.sink_tokens = 4;
-  spec.window_tokens = 13;
-  spec.icl_block_tokens = 8;
-  return spec;
-}
+using plan_test::GeneratedCase;
+using plan_test::GenerateCase;
+using plan_test::MakeOptions;
+using plan_test::SmallMaskSpec;
 
 TEST(PropertyPlans, RandomizedPlansValidateAndMatchReference) {
   Rng rng(20240707);
@@ -151,9 +110,16 @@ TEST(PropertyPlans, PlansAreDeterministicAndSerializable) {
   second.stats.planning_seconds = 0.0;
   EXPECT_EQ(SerializePlan(first), SerializePlan(second));
 
-  BatchPlan round_trip = DeserializePlan(SerializePlan(first));
+  BatchPlan round_trip = DeserializePlanOrDie(SerializePlan(first));
   EXPECT_EQ(SerializePlan(round_trip), SerializePlan(first));
   EXPECT_TRUE(ValidatePlan(round_trip).ok);
+
+  // The binary codec round-trips to the same plan (compared through the canonical text
+  // form) and is substantially more compact than the text form.
+  StatusOr<BatchPlan> binary_trip = DeserializePlanBinary(SerializePlanBinary(first));
+  ASSERT_TRUE(binary_trip.ok()) << binary_trip.status().ToString();
+  EXPECT_EQ(SerializePlan(binary_trip.value()), SerializePlan(first));
+  EXPECT_LT(SerializePlanBinary(first).size(), SerializePlan(first).size());
 }
 
 }  // namespace
