@@ -20,6 +20,10 @@
 #include "core/engine.h"
 #include "hypergraph/metrics.h"
 #include "hypergraph/partitioner.h"
+#include "service/plan_client.h"
+#include "service/plan_server.h"
+#include "service/tenant_registry.h"
+#include "service/transport.h"
 
 namespace dcp {
 namespace {
@@ -282,11 +286,184 @@ WarmStartRow MeasureWarmStart(DatasetKind dataset, MaskKind mask, int64_t block_
   return row;
 }
 
+// Everything in a plan is deterministic except stats.planning_seconds (a wall-clock
+// measurement of the producing run); zero it before bit-identity comparisons between
+// independent planning runs.
+std::string SerializeTimeless(const BatchPlan& plan) {
+  BatchPlan copy = plan;
+  copy.stats.planning_seconds = 0.0;
+  return SerializePlan(copy);
+}
+
+// The planning-service row: one loopback PlanServer, measuring the full remote tier
+// ladder for a recurring batch shape — cold remote planning (RPC + full planner),
+// server-cache hit (RPC + record encode/decode; what a fresh trainer rank pays when a
+// sibling already planned the shape), and client-cache hit (no RPC at all) — next to
+// the in-process cold baseline. Gates: every remote response bit-identical to
+// in-process planning, served-from tiers as expected, two tenants with different
+// EngineOptions produce distinct signatures for the same batch, and the min
+// server-cache-hit latency >= 10x faster than cold remote planning.
+struct ServiceRow {
+  std::string dataset;
+  std::string mask;
+  int64_t block_size = 0;
+  int k = 0;
+  int repeats = 0;                  // Fresh-client server-hit measurements.
+  double in_process_cold_ms = 0.0;  // Engine::Plan baseline, no service.
+  double remote_cold_ms = 0.0;      // First remote plan: RPC + full planning.
+  double server_hit_ms_mean = 0.0;  // Fresh client, warm server cache.
+  double server_hit_ms_min = 0.0;
+  double client_hit_ms_mean = 0.0;  // Warm client LRU: no RPC.
+  double client_hit_ms_min = 0.0;
+  double speedup = 0.0;             // remote_cold_ms / server_hit_ms_mean.
+};
+
+ServiceRow MeasureService(DatasetKind dataset, MaskKind mask, int64_t block_size,
+                          int repeats, int64_t token_budget,
+                          const ClusterSpec& cluster) {
+  MicroBenchConfig config;
+  config.cluster = cluster;
+  config.dataset = dataset;
+  config.block_size = block_size;
+  config.num_batches = 1;
+  config.token_budget = token_budget;
+  config.max_seq_len = token_budget;
+  const Batch batch = config.MakeBatches().front();
+  const MaskSpec spec = MaskSpec::ForKind(mask);
+
+  EngineOptions tenant_options;
+  tenant_options.planner = config.MakePlannerOptions();
+  // A second tenant with a different block size: same request, different plans — the
+  // isolation gate below asserts their signatures never collide.
+  EngineOptions alt_options = tenant_options;
+  alt_options.planner.block_size = block_size * 2;
+
+  auto registry = std::make_shared<TenantRegistry>();
+  if (!registry->Register({"bench", cluster, tenant_options}).ok() ||
+      !registry->Register({"bench-alt", cluster, alt_options}).ok()) {
+    std::fprintf(stderr, "bench_report: cannot register service tenants\n");
+    std::exit(1);
+  }
+  PlanServer server(registry, PlanServerOptions{});
+  if (!server.Start(ServiceAddress::Tcp("127.0.0.1", 0)).ok()) {
+    std::fprintf(stderr, "bench_report: cannot start loopback plan server\n");
+    std::exit(1);
+  }
+  auto make_client = [&](const std::string& tenant) {
+    PlanClientOptions client_options;
+    client_options.tenant = tenant;
+    StatusOr<std::unique_ptr<PlanClient>> client =
+        PlanClient::Connect(server.bound_address(), client_options);
+    if (!client.ok()) {
+      std::fprintf(stderr, "bench_report: cannot connect plan client: %s\n",
+                   client.status().ToString().c_str());
+      std::exit(1);
+    }
+    return std::move(client).value();
+  };
+
+  ServiceRow row;
+  row.dataset = DatasetKindName(dataset);
+  row.mask = MaskKindName(mask);
+  row.block_size = block_size;
+  row.k = cluster.num_devices();
+  row.repeats = repeats;
+
+  // In-process baseline on an identically-configured private engine.
+  std::string expected;
+  {
+    Engine local(cluster, tenant_options);
+    const double start = NowSeconds();
+    const PlanHandle cold = local.Plan(batch.seqlens, spec).value();
+    row.in_process_cold_ms = (NowSeconds() - start) * 1e3;
+    expected = SerializeTimeless(cold->plan);
+  }
+
+  // Cold remote planning: first sighting of the shape anywhere in the service.
+  PlanSignature bench_signature;
+  {
+    std::unique_ptr<PlanClient> client = make_client("bench");
+    const double start = NowSeconds();
+    StatusOr<PlanHandle> cold = client->Plan(batch.seqlens, spec);
+    row.remote_cold_ms = (NowSeconds() - start) * 1e3;
+    if (!cold.ok() || client->last_source() != PlanServeSource::kPlanned) {
+      std::fprintf(stderr, "bench_report: cold remote plan was not freshly planned\n");
+      std::exit(1);
+    }
+    if (SerializeTimeless(cold.value()->plan) != expected) {
+      std::fprintf(stderr,
+                   "bench_report: remote plan differs from in-process planning\n");
+      std::exit(1);
+    }
+    bench_signature = cold.value()->signature;
+  }
+
+  // Tenant isolation: the same request under different EngineOptions must produce a
+  // distinct signature (and therefore can never be served from the other's cache).
+  {
+    std::unique_ptr<PlanClient> alt = make_client("bench-alt");
+    const PlanHandle alt_plan = alt->Plan(batch.seqlens, spec).value();
+    if (alt_plan->signature == bench_signature) {
+      std::fprintf(stderr, "bench_report: tenant signatures collided\n");
+      std::exit(1);
+    }
+  }
+
+  // Server-cache hits: a fresh client per repeat (a new trainer rank joining), so the
+  // client LRU is cold and the server's in-memory cache serves every request.
+  RunningStats server_hit_ms;
+  RunningStats client_hit_ms;
+  for (int r = 0; r < repeats; ++r) {
+    std::unique_ptr<PlanClient> fresh = make_client("bench");
+    double start = NowSeconds();
+    StatusOr<PlanHandle> hit = fresh->Plan(batch.seqlens, spec);
+    server_hit_ms.Add((NowSeconds() - start) * 1e3);
+    if (!hit.ok() || fresh->last_source() != PlanServeSource::kMemoryCache) {
+      std::fprintf(stderr,
+                   "bench_report: repeat was not served from the server cache\n");
+      std::exit(1);
+    }
+    if (SerializeTimeless(hit.value()->plan) != expected) {
+      std::fprintf(stderr, "bench_report: server-cache hit not bit-identical\n");
+      std::exit(1);
+    }
+    // Client-cache hit on the same client: no RPC.
+    start = NowSeconds();
+    StatusOr<PlanHandle> local_hit = fresh->Plan(batch.seqlens, spec);
+    client_hit_ms.Add((NowSeconds() - start) * 1e3);
+    if (!local_hit.ok() || fresh->last_source() != PlanServeSource::kClientCache) {
+      std::fprintf(stderr,
+                   "bench_report: repeat was not served from the client cache\n");
+      std::exit(1);
+    }
+  }
+  row.server_hit_ms_mean = server_hit_ms.mean();
+  row.server_hit_ms_min = server_hit_ms.min();
+  row.client_hit_ms_mean = client_hit_ms.mean();
+  row.client_hit_ms_min = client_hit_ms.min();
+  row.speedup =
+      row.server_hit_ms_mean > 0.0 ? row.remote_cold_ms / row.server_hit_ms_mean : 0.0;
+  // Gate on the min hit latency, like warm_start: noise inflates the mean on a loaded
+  // CI box, but a genuine RPC/encode regression moves the floor.
+  const double floor_speedup =
+      row.server_hit_ms_min > 0.0 ? row.remote_cold_ms / row.server_hit_ms_min : 0.0;
+  if (floor_speedup < 10.0) {
+    std::fprintf(stderr,
+                 "bench_report: service speedup %.1fx is under the 10x regression bar "
+                 "(remote cold %.2f ms, best server hit %.4f ms)\n",
+                 floor_speedup, row.remote_cold_ms, row.server_hit_ms_min);
+    std::exit(1);
+  }
+  server.Stop();
+  return row;
+}
+
 void WriteJson(const std::string& path, bool smoke,
                const std::vector<PartitionerRow>& partitioner,
                const std::vector<PlanningRow>& planning,
                const std::vector<RepeatBatchRow>& repeat_batch,
-               const std::vector<WarmStartRow>& warm_start) {
+               const std::vector<WarmStartRow>& warm_start,
+               const std::vector<ServiceRow>& service) {
   // Write to a temp file and rename into place so an interrupted run can never leave a
   // truncated JSON under the real name (cross-PR perf diffs parse these files).
   const std::string temp = path + ".tmp";
@@ -296,7 +473,7 @@ void WriteJson(const std::string& path, bool smoke,
     std::exit(1);
   }
   std::fprintf(f, "{\n");
-  std::fprintf(f, "  \"schema\": \"dcp.bench_planning.v4\",\n");
+  std::fprintf(f, "  \"schema\": \"dcp.bench_planning.v5\",\n");
   std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
   std::fprintf(f, "  \"partitioner\": [\n");
   for (size_t i = 0; i < partitioner.size(); ++i) {
@@ -347,6 +524,22 @@ void WriteJson(const std::string& path, bool smoke,
                  static_cast<long long>(r.block_size), r.k, r.repeats, r.cold_ms,
                  r.store_hit_ms_mean, r.store_hit_ms_min, r.speedup,
                  i + 1 < warm_start.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"service\": [\n");
+  for (size_t i = 0; i < service.size(); ++i) {
+    const ServiceRow& r = service[i];
+    std::fprintf(f,
+                 "    {\"dataset\": \"%s\", \"mask\": \"%s\", \"block_size\": %lld, "
+                 "\"k\": %d, \"repeats\": %d, \"in_process_cold_ms\": %.4f, "
+                 "\"remote_cold_ms\": %.4f, \"server_hit_ms_mean\": %.6f, "
+                 "\"server_hit_ms_min\": %.6f, \"client_hit_ms_mean\": %.6f, "
+                 "\"client_hit_ms_min\": %.6f, \"speedup\": %.1f}%s\n",
+                 r.dataset.c_str(), r.mask.c_str(),
+                 static_cast<long long>(r.block_size), r.k, r.repeats,
+                 r.in_process_cold_ms, r.remote_cold_ms, r.server_hit_ms_mean,
+                 r.server_hit_ms_min, r.client_hit_ms_mean, r.client_hit_ms_min,
+                 r.speedup, i + 1 < service.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n");
   std::fprintf(f, "}\n");
@@ -459,12 +652,35 @@ int Main(int argc, char** argv) {
                 r.cold_ms, r.store_hit_ms_mean, r.speedup, r.repeats);
   }
 
-  WriteJson(json_path, smoke, partitioner, planning, repeat_batch, warm_start);
+  // Remote planning over the loopback service: the same recurring-shape workload as
+  // repeat_batch/warm_start, measured through the full RPC path.
+  std::vector<ServiceRow> service;
+  const int service_repeats = smoke ? 5 : 8;
+  // Smoke drops the block size further than warm_start: the service hit path pays RPC
+  // + record decode + mask rebuild, so the cold plan must be decisively expensive for
+  // the row to measure planning displacement rather than loopback latency.
+  service.push_back(MeasureService(DatasetKind::kLongAlign, MaskKind::kCausal,
+                                   smoke ? 128 : 512, service_repeats, budget,
+                                   testbed));
+  if (!smoke) {
+    service.push_back(MeasureService(DatasetKind::kLongDataCollections,
+                                     MaskKind::kCausal, 512, service_repeats, budget,
+                                     testbed));
+  }
+  for (const ServiceRow& r : service) {
+    std::printf("service %s/%s block %lld: in-process cold %.2f ms, remote cold "
+                "%.2f ms, server hit %.4f ms (%.0fx), client hit %.4f ms\n",
+                r.dataset.c_str(), r.mask.c_str(), static_cast<long long>(r.block_size),
+                r.in_process_cold_ms, r.remote_cold_ms, r.server_hit_ms_mean, r.speedup,
+                r.client_hit_ms_mean);
+  }
+
+  WriteJson(json_path, smoke, partitioner, planning, repeat_batch, warm_start, service);
   std::printf(
       "bench_report: wrote %s (%zu partitioner rows, %zu planning rows, %zu repeat "
-      "rows, %zu warm-start rows)\n",
+      "rows, %zu warm-start rows, %zu service rows)\n",
       json_path.c_str(), partitioner.size(), planning.size(), repeat_batch.size(),
-      warm_start.size());
+      warm_start.size(), service.size());
   return 0;
 }
 

@@ -1,5 +1,5 @@
-// dcpctl — command-line front end to the DCP session engine and simulator. Useful for
-// poking at parallelization configurations without writing code:
+// dcpctl — command-line front end to the DCP session engine, simulator, and planning
+// service. Useful for poking at parallelization configurations without writing code:
 //
 //   dcpctl plan     --seqlens 65536,32768,8192 --mask lambda --nodes 4 --devices 8
 //   dcpctl simulate --seqlens 65536,32768      --mask causal --block 2048
@@ -8,19 +8,29 @@
 //   dcpctl cache stats  --store /var/dcp/plans
 //   dcpctl cache export --store /var/dcp/plans --out plans.bundle
 //   dcpctl cache import --store /var/dcp/plans --in  plans.bundle
+//   dcpctl serve  --listen tcp:0.0.0.0:7070 --nodes 4 --devices 8 --tenant prod
+//   dcpctl remote plan  --connect tcp:10.0.0.7:7070 --tenant prod --seqlens 65536,32768
+//   dcpctl remote stats --connect tcp:10.0.0.7:7070
 //
 // `plan` prints the plan summary, per-device stats, and the engine's plan-cache
 // counters; `simulate` prices fw+bw and prints the decomposition; `tune` runs the
 // paper's block-size search through Engine::AutoTune; `cache` inspects and ships the
 // persistent plan store (export/import move plan records between machines as a single
-// bundle file — corrupt records are counted and skipped, never fatal). Malformed numeric
-// flags and planner-rejected inputs exit with code 2 and a usage message instead of
-// aborting.
+// bundle file — corrupt records are counted and skipped, never fatal). `serve` runs a
+// multi-tenant dcp::PlanServer until SIGINT/SIGTERM — each `--tenant NAME` registers a
+// tenant with the cluster/planner/store flags in effect at that point on the command
+// line (no `--tenant` serves a single tenant named "default"); `remote plan|stats`
+// talk to a running server through dcp::PlanClient. Malformed numeric flags and
+// planner-rejected inputs exit with code 2 and a usage message instead of aborting.
+#include <csignal>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <chrono>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/engine.h"
@@ -28,6 +38,10 @@
 #include "masks/mask.h"
 #include "runtime/plan_validate.h"
 #include "runtime/sim_engine.h"
+#include "service/plan_client.h"
+#include "service/plan_server.h"
+#include "service/tenant_registry.h"
+#include "service/transport.h"
 
 using namespace dcp;
 
@@ -37,7 +51,12 @@ constexpr const char kUsage[] =
     "usage: dcpctl plan|simulate|tune [--seqlens a,b,c] "
     "[--mask causal|lambda|blockwise|shared_question] "
     "[--nodes N] [--devices D] [--block B] [--store DIR] [--verbose]\n"
-    "       dcpctl cache stats|export|import --store DIR [--out FILE] [--in FILE]\n";
+    "       dcpctl cache stats|export|import --store DIR [--out FILE] [--in FILE]\n"
+    "       dcpctl serve --listen tcp:HOST:PORT|unix:PATH [--workers N] [--queue N]\n"
+    "                    [cluster/planner flags] [--tenant NAME]...   (flags before\n"
+    "                    each --tenant configure that tenant; none = one 'default')\n"
+    "       dcpctl remote plan|stats --connect tcp:HOST:PORT|unix:PATH [--tenant NAME]\n"
+    "                    [--seqlens a,b,c] [--mask M] [--block B]\n";
 
 [[noreturn]] void UsageError(const std::string& detail) {
   std::fprintf(stderr, "dcpctl: %s\n%s", detail.c_str(), kUsage);
@@ -97,7 +116,7 @@ MaskSpec ParseMask(const std::string& name) {
 
 struct Args {
   std::string command;
-  std::string subcommand;  // Only for `cache`.
+  std::string subcommand;  // For `cache` and `remote`.
   std::vector<int64_t> seqlens = {65536, 32768, 16384, 16384};
   MaskSpec mask = MaskSpec::Causal();
   int64_t nodes = 4;
@@ -107,7 +126,42 @@ struct Args {
   std::string out_file;  // cache export target.
   std::string in_file;   // cache import source.
   bool verbose = false;
+  // Planning service.
+  std::string listen;            // serve: address to bind.
+  std::string connect;           // remote: address to dial.
+  std::string tenant = "default";  // remote: tenant to plan under.
+  int64_t workers = 2;
+  int64_t queue = 64;
+  std::vector<TenantConfig> tenants;  // serve: built from --tenant flags in order.
+  // serve: a cluster/planner/store flag appeared after the last --tenant. Those flags
+  // would apply to no tenant; silently dropping them would make an operator believe
+  // (say) persistence is on when it is not — rejected with usage instead.
+  bool tenant_flags_dangling = false;
 };
+
+ClusterSpec MakeCluster(const Args& args) {
+  ClusterSpec cluster;
+  cluster.num_nodes = static_cast<int>(args.nodes);
+  cluster.devices_per_node = static_cast<int>(args.devices);
+  return cluster;
+}
+
+EngineOptions MakeEngineOptions(const Args& args) {
+  EngineOptions engine_options;
+  engine_options.planner.block_size = args.block;
+  engine_options.planner.num_groups = 2;
+  engine_options.planner.heads_per_group = 4;
+  engine_options.planner.head_dim = 128;
+  engine_options.plan_store_path = args.store;
+  return engine_options;
+}
+
+void CheckClusterBounds(const Args& args) {
+  // 4096 x 4096 keeps num_nodes * devices_per_node comfortably inside int.
+  if (args.nodes < 1 || args.nodes > 4096 || args.devices < 1 || args.devices > 4096) {
+    UsageError("--nodes and --devices must be in [1, 4096]");
+  }
+}
 
 Args Parse(int argc, char** argv) {
   Args args;
@@ -119,6 +173,13 @@ Args Parse(int argc, char** argv) {
   if (args.command == "cache") {
     if (argc < 3 || argv[2][0] == '-') {
       UsageError("cache requires a subcommand (stats|export|import)");
+    }
+    args.subcommand = argv[2];
+    first_flag = 3;
+  }
+  if (args.command == "remote") {
+    if (argc < 3 || argv[2][0] == '-') {
+      UsageError("remote requires a subcommand (plan|stats)");
     }
     args.subcommand = argv[2];
     first_flag = 3;
@@ -145,18 +206,40 @@ Args Parse(int argc, char** argv) {
       args.mask = ParseMask(next());
     } else if (std::strcmp(argv[i], "--nodes") == 0) {
       args.nodes = next_int("--nodes");
+      args.tenant_flags_dangling = true;
     } else if (std::strcmp(argv[i], "--devices") == 0) {
       args.devices = next_int("--devices");
+      args.tenant_flags_dangling = true;
     } else if (std::strcmp(argv[i], "--block") == 0) {
       args.block = next_int("--block");
+      args.tenant_flags_dangling = true;
     } else if (std::strcmp(argv[i], "--store") == 0) {
       args.store = next();
+      args.tenant_flags_dangling = true;
     } else if (std::strcmp(argv[i], "--out") == 0) {
       args.out_file = next();
     } else if (std::strcmp(argv[i], "--in") == 0) {
       args.in_file = next();
     } else if (std::strcmp(argv[i], "--verbose") == 0) {
       args.verbose = true;
+    } else if (std::strcmp(argv[i], "--listen") == 0) {
+      args.listen = next();
+    } else if (std::strcmp(argv[i], "--connect") == 0) {
+      args.connect = next();
+    } else if (std::strcmp(argv[i], "--workers") == 0) {
+      args.workers = next_int("--workers");
+    } else if (std::strcmp(argv[i], "--queue") == 0) {
+      args.queue = next_int("--queue");
+    } else if (std::strcmp(argv[i], "--tenant") == 0) {
+      const std::string name = next();
+      if (args.command == "serve") {
+        // Snapshot the cluster/planner/store flags seen so far into this tenant.
+        CheckClusterBounds(args);
+        args.tenants.push_back({name, MakeCluster(args), MakeEngineOptions(args)});
+        args.tenant_flags_dangling = false;
+      } else {
+        args.tenant = name;
+      }
     } else {
       UsageError(std::string("unknown flag ") + argv[i]);
     }
@@ -249,6 +332,144 @@ int RunCache(const Args& args) {
   UsageError("unknown cache subcommand '" + args.subcommand + "'");
 }
 
+volatile std::sig_atomic_t g_stop_requested = 0;
+void HandleStopSignal(int) { g_stop_requested = 1; }
+
+int RunServe(const Args& args) {
+  if (args.listen.empty()) {
+    UsageError("serve requires --listen tcp:HOST:PORT or unix:PATH");
+  }
+  StatusOr<ServiceAddress> address = ServiceAddress::Parse(args.listen);
+  if (!address.ok()) {
+    UsageError(address.status().ToString());
+  }
+  if (args.workers < 1 || args.queue < 0) {
+    UsageError("--workers must be >= 1 and --queue >= 0");
+  }
+
+  auto registry = std::make_shared<TenantRegistry>();
+  std::vector<TenantConfig> tenants = args.tenants;
+  if (tenants.empty()) {
+    CheckClusterBounds(args);
+    tenants.push_back({"default", MakeCluster(args), MakeEngineOptions(args)});
+  } else if (args.tenant_flags_dangling) {
+    UsageError("cluster/planner/store flags after the last --tenant apply to no "
+               "tenant; place them before the --tenant they configure");
+  }
+  for (const TenantConfig& tenant : tenants) {
+    const Status registered = registry->Register(tenant);
+    if (!registered.ok()) {
+      UsageError(registered.ToString());
+    }
+    std::printf("tenant %-16s %d x %d devices, block %lld%s%s\n", tenant.name.c_str(),
+                tenant.cluster.num_nodes, tenant.cluster.devices_per_node,
+                static_cast<long long>(tenant.options.planner.block_size),
+                tenant.options.plan_store_path.empty() ? "" : ", store ",
+                tenant.options.plan_store_path.c_str());
+  }
+
+  PlanServerOptions server_options;
+  server_options.workers = static_cast<int>(args.workers);
+  server_options.max_queue = static_cast<int>(args.queue);
+  PlanServer server(registry, server_options);
+  const Status started = server.Start(address.value());
+  if (!started.ok()) {
+    std::fprintf(stderr, "dcpctl: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::printf("dcp plan service listening on %s (%lld workers, queue %lld)\n",
+              server.bound_address().ToString().c_str(),
+              static_cast<long long>(args.workers), static_cast<long long>(args.queue));
+
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+  while (g_stop_requested == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  const PlanServerStats stats = server.stats();
+  server.Stop();
+  std::printf("\nshutting down: %lld connections, %lld requests, %lld plans served, "
+              "%lld plan errors, %lld overload rejections, %lld malformed frames\n",
+              static_cast<long long>(stats.connections_accepted),
+              static_cast<long long>(stats.requests_received),
+              static_cast<long long>(stats.plan_ok),
+              static_cast<long long>(stats.plan_errors),
+              static_cast<long long>(stats.rejected_overload),
+              static_cast<long long>(stats.malformed_frames));
+  return 0;
+}
+
+int RunRemote(const Args& args) {
+  if (args.connect.empty()) {
+    UsageError("remote commands require --connect tcp:HOST:PORT or unix:PATH");
+  }
+  StatusOr<ServiceAddress> address = ServiceAddress::Parse(args.connect);
+  if (!address.ok()) {
+    UsageError(address.status().ToString());
+  }
+  PlanClientOptions client_options;
+  client_options.tenant = args.tenant;
+  StatusOr<std::unique_ptr<PlanClient>> client_or =
+      PlanClient::Connect(address.value(), client_options);
+  if (!client_or.ok()) {
+    std::fprintf(stderr, "dcpctl: %s\n", client_or.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<PlanClient> client = std::move(client_or).value();
+
+  if (args.subcommand == "plan") {
+    StatusOr<PlanHandle> handle =
+        client->PlanWithBlockSize(args.seqlens, args.mask, args.block);
+    if (!handle.ok()) {
+      std::fprintf(stderr, "dcpctl: %s\n", handle.status().ToString().c_str());
+      return 1;
+    }
+    const BatchPlan& plan = handle.value()->plan;
+    const PlanValidation validation = ValidatePlan(plan);
+    std::printf("%s\n", PlanToString(plan, args.verbose ? 64 : 4).c_str());
+    std::printf("validation: %s\n", validation.Summary().c_str());
+    std::printf("served from: %s (tenant %s, signature %s)\n",
+                PlanServeSourceName(client->last_source()).c_str(),
+                args.tenant.c_str(), handle.value()->signature.ToHex().c_str());
+    return validation.ok ? 0 : 1;
+  }
+  if (args.subcommand == "stats") {
+    StatusOr<PlanServiceStatsResponse> stats = client->ServerStats();
+    if (!stats.ok()) {
+      std::fprintf(stderr, "dcpctl: %s\n", stats.status().ToString().c_str());
+      return 1;
+    }
+    if (stats.value().code != StatusCode::kOk) {
+      std::fprintf(stderr, "dcpctl: server: %s: %s\n",
+                   StatusCodeName(stats.value().code),
+                   stats.value().message.c_str());
+      return 1;
+    }
+    std::printf("service: %lld connections, %lld requests, %lld responses, "
+                "%lld overload rejections, %lld malformed frames\n",
+                static_cast<long long>(stats.value().connections_accepted),
+                static_cast<long long>(stats.value().requests_received),
+                static_cast<long long>(stats.value().responses_sent),
+                static_cast<long long>(stats.value().rejected_overload),
+                static_cast<long long>(stats.value().malformed_frames));
+    for (const PlanServiceTenantStats& tenant : stats.value().tenants) {
+      std::printf("tenant %-16s %lld requests (%lld errors), cache %lld hits / "
+                  "%lld misses / %lld entries, store %lld hits / %lld writes / "
+                  "%lld corrupt\n",
+                  tenant.tenant.c_str(), static_cast<long long>(tenant.requests),
+                  static_cast<long long>(tenant.plan_errors),
+                  static_cast<long long>(tenant.cache_hits),
+                  static_cast<long long>(tenant.cache_misses),
+                  static_cast<long long>(tenant.cache_entries),
+                  static_cast<long long>(tenant.store_hits),
+                  static_cast<long long>(tenant.store_writes),
+                  static_cast<long long>(tenant.store_corrupt_skipped));
+    }
+    return 0;
+  }
+  UsageError("unknown remote subcommand '" + args.subcommand + "'");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -256,19 +477,15 @@ int main(int argc, char** argv) {
   if (args.command == "cache") {
     return RunCache(args);
   }
-  // 4096 x 4096 keeps num_nodes * devices_per_node comfortably inside int.
-  if (args.nodes < 1 || args.nodes > 4096 || args.devices < 1 || args.devices > 4096) {
-    UsageError("--nodes and --devices must be in [1, 4096]");
+  if (args.command == "serve") {
+    return RunServe(args);
   }
-  ClusterSpec cluster;
-  cluster.num_nodes = static_cast<int>(args.nodes);
-  cluster.devices_per_node = static_cast<int>(args.devices);
-  EngineOptions engine_options;
-  engine_options.planner.block_size = args.block;
-  engine_options.planner.num_groups = 2;
-  engine_options.planner.heads_per_group = 4;
-  engine_options.planner.head_dim = 128;
-  engine_options.plan_store_path = args.store;
+  if (args.command == "remote") {
+    return RunRemote(args);
+  }
+  CheckClusterBounds(args);
+  const ClusterSpec cluster = MakeCluster(args);
+  const EngineOptions engine_options = MakeEngineOptions(args);
 
   // Reject bad shapes before the engine spins anything up, with exit code 2 and usage.
   const Status valid =

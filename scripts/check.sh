@@ -12,7 +12,12 @@ ctest --test-dir build-strict -j "$(nproc)" --output-on-failure
 # must never abort a process, and store hits must stay bit-identical.
 ctest --test-dir build-strict -R 'test_plan_store|test_instructions|test_property_plans' \
       --output-on-failure
-# bench_smoke includes the warm_start row: bench_report exits non-zero when the
-# store-hit path regresses past the 10x bar or serves a non-identical plan.
+# Explicit gate on the planning-service suites: wire framing/codec corruption handling,
+# loopback end-to-end bit-identity, tenant isolation, and the multi-threaded stress run.
+ctest --test-dir build-strict -R 'test_service_wire|test_plan_service' \
+      --output-on-failure
+# bench_smoke includes the warm_start and service rows: bench_report exits non-zero
+# when the store-hit or remote server-cache-hit paths regress past the 10x bar, serve a
+# non-identical plan, or two tenants' signatures collide.
 ctest --test-dir build-strict -L bench_smoke --output-on-failure
 echo "check.sh: all green"

@@ -1,30 +1,59 @@
 #include "common/crc32.h"
 
 #include <array>
+#include <bit>
+#include <cstring>
 
 namespace dcp {
 namespace {
 
-std::array<uint32_t, 256> MakeTable() {
-  std::array<uint32_t, 256> table{};
+// Slicing-by-8: eight derived tables let the loop fold 8 input bytes per iteration
+// (one unaligned 64-bit load + eight table lookups) instead of one — ~5x faster than
+// the classic byte-at-a-time loop. This is the hot inner loop of every plan-store
+// record validation and every planning-service frame, where records run to hundreds of
+// KB. The computed CRC is identical to the byte-wise definition (same polynomial,
+// same reflection); the wide kernel additionally assumes little-endian layout and
+// falls back to the byte loop elsewhere.
+std::array<std::array<uint32_t, 256>, 8> MakeTables() {
+  std::array<std::array<uint32_t, 256>, 8> tables{};
   for (uint32_t i = 0; i < 256; ++i) {
     uint32_t c = i;
     for (int bit = 0; bit < 8; ++bit) {
       c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
     }
-    table[i] = c;
+    tables[0][i] = c;
   }
-  return table;
+  for (int k = 1; k < 8; ++k) {
+    for (uint32_t i = 0; i < 256; ++i) {
+      const uint32_t prev = tables[k - 1][i];
+      tables[k][i] = tables[0][prev & 0xFF] ^ (prev >> 8);
+    }
+  }
+  return tables;
 }
 
 }  // namespace
 
 uint32_t Crc32Update(uint32_t crc, const void* data, size_t size) {
-  static const std::array<uint32_t, 256> table = MakeTable();
+  static const std::array<std::array<uint32_t, 256>, 8> tables = MakeTables();
+  const auto& t = tables;
   const auto* bytes = static_cast<const unsigned char*>(data);
   crc = ~crc;
+  if constexpr (std::endian::native == std::endian::little) {
+    while (size >= 8) {
+      uint64_t chunk;
+      std::memcpy(&chunk, bytes, 8);
+      const uint32_t lo = crc ^ static_cast<uint32_t>(chunk);
+      const uint32_t hi = static_cast<uint32_t>(chunk >> 32);
+      crc = t[7][lo & 0xFF] ^ t[6][(lo >> 8) & 0xFF] ^ t[5][(lo >> 16) & 0xFF] ^
+            t[4][lo >> 24] ^ t[3][hi & 0xFF] ^ t[2][(hi >> 8) & 0xFF] ^
+            t[1][(hi >> 16) & 0xFF] ^ t[0][hi >> 24];
+      bytes += 8;
+      size -= 8;
+    }
+  }
   for (size_t i = 0; i < size; ++i) {
-    crc = table[(crc ^ bytes[i]) & 0xFF] ^ (crc >> 8);
+    crc = t[0][(crc ^ bytes[i]) & 0xFF] ^ (crc >> 8);
   }
   return ~crc;
 }

@@ -23,7 +23,17 @@ enum class StatusCode {
   // Persisted or wire bytes failed validation (truncated stream, bad checksum, bad
   // section tag). Always recoverable: callers skip the record and replan.
   kDataLoss,
+  // The service cannot take the request right now (overloaded queue, closed
+  // connection). Retryable: the request itself was fine.
+  kUnavailable,
 };
+
+// True when `code` names a StatusCode enumerator — wire decoders range-check inbound
+// status bytes through this before casting.
+inline bool IsValidStatusCode(int code) {
+  return code >= static_cast<int>(StatusCode::kOk) &&
+         code <= static_cast<int>(StatusCode::kUnavailable);
+}
 
 const char* StatusCodeName(StatusCode code);
 
@@ -48,6 +58,9 @@ class Status {
   }
   static Status DataLoss(std::string message) {
     return Status(StatusCode::kDataLoss, std::move(message));
+  }
+  static Status Unavailable(std::string message) {
+    return Status(StatusCode::kUnavailable, std::move(message));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,17 +1,26 @@
 #include "core/dataloader.h"
 
+#include <chrono>
+#include <thread>
+
 #include "common/check.h"
 
 namespace dcp {
 
 DcpDataLoader::DcpDataLoader(BatchStream stream, MaskSpec mask_spec,
                              std::shared_ptr<Engine> engine, int lookahead)
+    : DcpDataLoader(std::move(stream), mask_spec,
+                    std::static_pointer_cast<Planner>(engine), lookahead) {}
+
+DcpDataLoader::DcpDataLoader(BatchStream stream, MaskSpec mask_spec,
+                             std::shared_ptr<Planner> planner, int lookahead)
     : stream_(std::move(stream)),
       mask_spec_(mask_spec),
-      engine_(std::move(engine)),
+      planner_(std::move(planner)),
       lookahead_(lookahead) {
-  DCP_CHECK(engine_ != nullptr);
+  DCP_CHECK(planner_ != nullptr);
   DCP_CHECK_GE(lookahead, 0);
+  engine_ = std::dynamic_pointer_cast<Engine>(planner_);
   for (int i = 0; i <= lookahead_; ++i) {
     EnqueueOne();
   }
@@ -40,13 +49,24 @@ DcpDataLoader::~DcpDataLoader() {
 void DcpDataLoader::EnqueueOne() {
   // Sampling the batch is cheap and must stay deterministic, so it happens on the calling
   // thread; only the planning runs on the engine's pool. The stream's lengths are always
-  // positive, so a planning failure here is a configuration bug — surfaced loudly.
+  // positive, so a persistent planning failure here is a configuration bug — surfaced
+  // loudly. UNAVAILABLE is the exception: a remote planner (PlanClient) returns it for
+  // transient conditions — an overloaded server, a dropped connection mid-restart — and
+  // a training job must ride those out, not abort, so the look-ahead job retries with a
+  // short backoff before giving up.
   Batch batch = stream_.NextBatch();
   MaskSpec mask_spec = mask_spec_;
-  Engine* engine = engine_.get();
+  Planner* planner = planner_.get();
   pending_.push_back(
-      engine_->pool().Submit([batch = std::move(batch), mask_spec, engine]() mutable {
-        StatusOr<PlanHandle> handle = engine->PlanForLoader(batch.seqlens, mask_spec);
+      planner_->pool().Submit([batch = std::move(batch), mask_spec, planner]() mutable {
+        StatusOr<PlanHandle> handle = planner->PlanForLoader(batch.seqlens, mask_spec);
+        for (int retry = 0;
+             retry < 5 && !handle.ok() &&
+             handle.status().code() == StatusCode::kUnavailable;
+             ++retry) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(20 << retry));
+          handle = planner->PlanForLoader(batch.seqlens, mask_spec);
+        }
         DCP_CHECK(handle.ok()) << "look-ahead planning failed: "
                                << handle.status().ToString();
         PlannedIteration iteration;

@@ -39,6 +39,13 @@ class DcpDataLoader {
   DcpDataLoader(BatchStream stream, MaskSpec mask_spec, std::shared_ptr<Engine> engine,
                 int lookahead = 2);
 
+  // Planner-interface constructor: plans on any Planner — an Engine, or a
+  // service::PlanClient pointed at a remote planning service. Look-ahead jobs run on
+  // the planner's pool either way, so planning (local or RPC) still overlaps "model
+  // execution".
+  DcpDataLoader(BatchStream stream, MaskSpec mask_spec,
+                std::shared_ptr<Planner> planner, int lookahead = 2);
+
   // Paper-facade constructor (Listing 2 spelling): builds a private Engine from the
   // cluster spec and planner options. `planner_threads` sizes its pool (paper §6.1).
   DcpDataLoader(BatchStream stream, MaskSpec mask_spec, ClusterSpec cluster,
@@ -51,14 +58,21 @@ class DcpDataLoader {
   // True while the look-ahead window is fully planned (for tests/diagnostics).
   int PendingPlans() const;
 
-  Engine& engine() { return *engine_; }
+  // The backing Engine. Only valid when the loader was constructed over one (directly
+  // or via the facade ctor); a loader over a remote PlanClient has no local engine.
+  Engine& engine() {
+    DCP_CHECK(engine_ != nullptr) << "loader is backed by a remote planner, not an Engine";
+    return *engine_;
+  }
+  Planner& planner() { return *planner_; }
 
  private:
   void EnqueueOne();
 
   BatchStream stream_;
   MaskSpec mask_spec_;
-  std::shared_ptr<Engine> engine_;
+  std::shared_ptr<Planner> planner_;
+  std::shared_ptr<Engine> engine_;  // Set when planner_ is an Engine.
   int lookahead_;
   std::deque<std::future<PlannedIteration>> pending_;
 };

@@ -227,24 +227,56 @@ StatusOr<PlanHandle> Engine::Plan(const std::vector<int64_t>& seqlens,
 
 StatusOr<PlanHandle> Engine::PlanWithBlockSize(const std::vector<int64_t>& seqlens,
                                                const MaskSpec& mask_spec,
-                                               int64_t block_size) {
+                                               int64_t block_size, PlanOrigin* origin) {
   PlannerOptions planner = options_.planner;
   planner.block_size = block_size;
   DCP_RETURN_IF_ERROR(ValidatePlanRequest(seqlens, mask_spec, cluster_, planner));
 
   const PlanSignature sig = ComputePlanSignature(seqlens, mask_spec, cluster_, planner);
   if (PlanHandle cached = CacheLookup(sig)) {
+    if (origin != nullptr) {
+      *origin = PlanOrigin::kMemoryCache;
+    }
     return cached;
   }
   if (PlanHandle stored = StoreLookup(sig, seqlens, mask_spec)) {
+    if (origin != nullptr) {
+      *origin = PlanOrigin::kStoreCache;
+    }
     return stored;
   }
 
+  if (origin != nullptr) {
+    *origin = PlanOrigin::kFresh;
+  }
   auto compiled = std::make_shared<CompiledPlan>();
   compiled->signature = sig;
   compiled->masks = BuildBatchMasks(mask_spec, seqlens);
   compiled->plan = PlanBatch(seqlens, compiled->masks, cluster_, planner);
   return InsertAndPersist(std::move(compiled));
+}
+
+StatusOr<Engine::PlannedOutcome> Engine::PlanDetailed(const std::vector<int64_t>& seqlens,
+                                                      const MaskSpec& mask_spec,
+                                                      int64_t block_size) {
+  PlannedOutcome outcome;
+  if (block_size == 0 && options_.auto_tune_block_size) {
+    StatusOr<AutoTuneResult> tuned = AutoTune(seqlens, mask_spec);
+    if (!tuned.ok()) {
+      return tuned.status();
+    }
+    outcome.handle = tuned.value().plan;
+    outcome.origin = tuned.value().plan_origin;
+    return outcome;
+  }
+  const int64_t block = block_size == 0 ? options_.planner.block_size : block_size;
+  StatusOr<PlanHandle> plan =
+      PlanWithBlockSize(seqlens, mask_spec, block, &outcome.origin);
+  if (!plan.ok()) {
+    return plan.status();
+  }
+  outcome.handle = std::move(plan).value();
+  return outcome;
 }
 
 StatusOr<AutoTuneResult> Engine::AutoTune(const std::vector<int64_t>& seqlens,
@@ -281,7 +313,9 @@ StatusOr<AutoTuneResult> Engine::AutoTune(const std::vector<int64_t>& seqlens,
   if (known_winner > 0) {
     // Replanning at the recorded winner is usually a plan-cache hit; done outside the
     // tune lock so a cold replan never serializes other tuners.
-    StatusOr<PlanHandle> plan = PlanWithBlockSize(seqlens, mask_spec, known_winner);
+    PlanOrigin origin = PlanOrigin::kFresh;
+    StatusOr<PlanHandle> plan =
+        PlanWithBlockSize(seqlens, mask_spec, known_winner, &origin);
     if (!plan.ok()) {
       return plan.status();
     }
@@ -289,6 +323,7 @@ StatusOr<AutoTuneResult> Engine::AutoTune(const std::vector<int64_t>& seqlens,
     result.plan = plan.value();
     result.best_block_size = known_winner;
     result.tuned_from_cache = true;
+    result.plan_origin = origin;
     return result;
   }
 
@@ -339,13 +374,23 @@ StatusOr<PlanHandle> Engine::PlanForLoader(const std::vector<int64_t>& seqlens,
 
 PlanCacheStats Engine::cache_stats() const {
   PlanCacheStats stats;
+  // Acquire every shard lock before reading any counter: a sequential shard-by-shard
+  // walk lets a concurrent Plan() land a hit in an already-read shard and an insert in
+  // a not-yet-read one, so the reported totals never corresponded to any real instant.
+  // Service worker threads poll this concurrently with planners, so the snapshot must
+  // be coherent. Deadlock-free: every other path locks at most one shard at a time.
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(shards_.size());
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    locks.emplace_back(shard->mu);
+  }
+  for (const auto& shard : shards_) {
     stats.hits += shard->hits;
     stats.misses += shard->misses;
     stats.evictions += shard->evictions;
     stats.entries += static_cast<int64_t>(shard->lru.size());
   }
+  locks.clear();
   {
     std::lock_guard<std::mutex> lock(tune_mu_);
     stats.tune_hits = tune_hits_;

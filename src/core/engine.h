@@ -46,6 +46,33 @@ struct CompiledPlan {
 
 using PlanHandle = std::shared_ptr<const CompiledPlan>;
 
+// Where a served plan came from, for callers (the planning service, benches) that
+// need to distinguish the cache tiers without poking at counters.
+enum class PlanOrigin {
+  kFresh = 0,     // The planner ran.
+  kMemoryCache,   // Served from the in-memory LRU.
+  kStoreCache,    // Served from the persistent plan store.
+};
+
+// The planning interface shared by the in-process Engine and the remote PlanClient
+// (src/service/plan_client.h): hand a DcpDataLoader a Planner and it neither knows nor
+// cares whether plans come from a local planner thread or a planning service across the
+// network — the handles are bit-identical either way.
+class Planner {
+ public:
+  virtual ~Planner() = default;
+
+  // Plans `seqlens` under `mask_spec` at the session's configured block size.
+  virtual StatusOr<PlanHandle> Plan(const std::vector<int64_t>& seqlens,
+                                    const MaskSpec& mask_spec) = 0;
+  // Plans under the session's loader policy (fixed block size, or per-signature
+  // auto-tune when enabled). For a remote planner the policy is the tenant's.
+  virtual StatusOr<PlanHandle> PlanForLoader(const std::vector<int64_t>& seqlens,
+                                             const MaskSpec& mask_spec) = 0;
+  // The pool look-ahead planning is scheduled on (paper §6.1 overlap).
+  virtual ThreadPool& pool() = 0;
+};
+
 struct EngineOptions {
   PlannerOptions planner;
   // Threads for look-ahead planning (the paper's §6.1 overlap); the partitioner
@@ -97,6 +124,9 @@ struct AutoTuneResult {
   // (block size, simulated seconds) per candidate; empty when served from the cache.
   std::vector<std::pair<int64_t, double>> candidates;
   bool tuned_from_cache = false;
+  // Which tier served the winning plan (a cached tune winner is usually also a
+  // plan-cache hit).
+  PlanOrigin plan_origin = PlanOrigin::kFresh;
 };
 
 // Validates one planning request's user inputs. Exposed for front ends (dcpctl) that
@@ -104,10 +134,10 @@ struct AutoTuneResult {
 Status ValidatePlanRequest(const std::vector<int64_t>& seqlens, const MaskSpec& mask_spec,
                            const ClusterSpec& cluster, const PlannerOptions& options);
 
-class Engine {
+class Engine : public Planner {
  public:
   Engine(ClusterSpec cluster, EngineOptions options);
-  ~Engine();
+  ~Engine() override;
 
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
@@ -115,10 +145,12 @@ class Engine {
   // Plans `seqlens` under `mask_spec` at the engine's configured block size. Cache hits
   // return the previously compiled handle without touching the planner.
   StatusOr<PlanHandle> Plan(const std::vector<int64_t>& seqlens,
-                            const MaskSpec& mask_spec);
-  // Same, at an explicit block size (AutoTune and tests use this).
+                            const MaskSpec& mask_spec) override;
+  // Same, at an explicit block size (AutoTune and tests use this). When `origin` is
+  // non-null it reports which tier served the plan.
   StatusOr<PlanHandle> PlanWithBlockSize(const std::vector<int64_t>& seqlens,
-                                         const MaskSpec& mask_spec, int64_t block_size);
+                                         const MaskSpec& mask_spec, int64_t block_size,
+                                         PlanOrigin* origin = nullptr);
 
   // The paper's block-size search, cached per tune signature: the first sight of a batch
   // shape plans every candidate and prices it on the simulator; later sightings reuse
@@ -129,13 +161,28 @@ class Engine {
   // Plans either at the fixed block size or through AutoTune, per
   // options().auto_tune_block_size — the data loader's single entry point.
   StatusOr<PlanHandle> PlanForLoader(const std::vector<int64_t>& seqlens,
-                                     const MaskSpec& mask_spec);
+                                     const MaskSpec& mask_spec) override;
+
+  // The planning service's entry point: one call that applies the session policy
+  // (`block_size` 0) or an explicit block size, and reports which cache tier served
+  // the plan.
+  struct PlannedOutcome {
+    PlanHandle handle;
+    PlanOrigin origin = PlanOrigin::kFresh;
+  };
+  StatusOr<PlannedOutcome> PlanDetailed(const std::vector<int64_t>& seqlens,
+                                        const MaskSpec& mask_spec,
+                                        int64_t block_size = 0);
 
   const ClusterSpec& cluster() const { return cluster_; }
   const EngineOptions& options() const { return options_; }
   // The engine-owned pool the data loader schedules look-ahead planning on.
-  ThreadPool& pool() { return *pool_; }
+  ThreadPool& pool() override { return *pool_; }
 
+  // A coherent snapshot of every counter: all shard locks are held simultaneously
+  // while the shard counters are read, so concurrent Plan() callers (service worker
+  // threads) can never make `hits + misses` disagree with the number of completed
+  // lookups, and `entries` always matches a real instant of the cache.
   PlanCacheStats cache_stats() const;
   void ClearCache();
 

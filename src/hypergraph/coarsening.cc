@@ -24,6 +24,7 @@
 // coarsening chain performs no per-level allocations once the first level has sized the
 // buffers.
 #include <algorithm>
+#include <functional>
 #include <numeric>
 
 #include "common/check.h"
@@ -284,30 +285,78 @@ CoarseLevel CoarsenOnce(const Hypergraph& hg, const PartitionConfig& config, Rng
         scratch.edge_pins.data() + scratch.edge_offsets[static_cast<size_t>(i)],
         scratch.edge_pins.data() + scratch.edge_offsets[static_cast<size_t>(i) + 1]);
   };
-  std::sort(scratch.edge_order.begin(), scratch.edge_order.end(),
-            [&](int32_t a, int32_t b) {
-              if (scratch.edge_hashes[static_cast<size_t>(a)] !=
-                  scratch.edge_hashes[static_cast<size_t>(b)]) {
-                return scratch.edge_hashes[static_cast<size_t>(a)] <
-                       scratch.edge_hashes[static_cast<size_t>(b)];
-              }
-              auto [ab, ae] = edge_pins_of(a);
-              auto [bb, be] = edge_pins_of(b);
-              return std::lexicographical_compare(ab, ae, bb, be);
-            });
+  // TOTAL order — ties on (hash, pins) break on the edge index — so the sorted
+  // permutation is unique: any correct sort produces bit-identical output, and
+  // duplicate pin sets merge their weights in original edge order on every platform
+  // and thread count.
+  auto edge_less = [&](int32_t a, int32_t b) {
+    if (scratch.edge_hashes[static_cast<size_t>(a)] !=
+        scratch.edge_hashes[static_cast<size_t>(b)]) {
+      return scratch.edge_hashes[static_cast<size_t>(a)] <
+             scratch.edge_hashes[static_cast<size_t>(b)];
+    }
+    auto [ab, ae] = edge_pins_of(a);
+    auto [bb, be] = edge_pins_of(b);
+    if (std::lexicographical_compare(ab, ae, bb, be)) {
+      return true;
+    }
+    if (std::lexicographical_compare(bb, be, ab, ae)) {
+      return false;
+    }
+    return a < b;
+  };
+  // Parallel dedup sort: fixed-size runs (boundaries depend only on the edge count and
+  // grain, never the pool size) are sorted on the pool, then merged in a deterministic
+  // binary tree whose same-level merges touch disjoint ranges and run in parallel.
+  const size_t kept_sz = static_cast<size_t>(kept);
+  const size_t sort_grain = grain * 4;  // Edges outnumber vertices; coarser chunks.
+  GlobalThreadPool().ParallelFor(kept_sz, sort_grain,
+                                 [&](size_t begin, size_t end, size_t) {
+                                   std::sort(scratch.edge_order.begin() +
+                                                 static_cast<int64_t>(begin),
+                                             scratch.edge_order.begin() +
+                                                 static_cast<int64_t>(end),
+                                             edge_less);
+                                 });
+  for (size_t width = sort_grain; width < kept_sz; width *= 2) {
+    std::vector<std::function<void()>> merges;
+    for (size_t lo = 0; lo + width < kept_sz; lo += 2 * width) {
+      const size_t mid = lo + width;
+      const size_t hi = std::min(lo + 2 * width, kept_sz);
+      merges.push_back([lo, mid, hi, &scratch, &edge_less] {
+        std::inplace_merge(scratch.edge_order.begin() + static_cast<int64_t>(lo),
+                           scratch.edge_order.begin() + static_cast<int64_t>(mid),
+                           scratch.edge_order.begin() + static_cast<int64_t>(hi),
+                           edge_less);
+      });
+    }
+    if (!merges.empty()) {
+      GlobalThreadPool().ParallelInvoke(std::move(merges));
+    }
+  }
   std::vector<VertexId> merged_pins;
+  std::vector<double> run_weights;
   for (int32_t i = 0; i < kept;) {
     auto [pb, pe] = edge_pins_of(scratch.edge_order[static_cast<size_t>(i)]);
-    double weight = scratch.edge_weights[static_cast<size_t>(
-        scratch.edge_order[static_cast<size_t>(i)])];
     int32_t j = i + 1;
     for (; j < kept; ++j) {
       auto [qb, qe] = edge_pins_of(scratch.edge_order[static_cast<size_t>(j)]);
       if (pe - pb != qe - qb || !std::equal(pb, pe, qb)) {
         break;
       }
-      weight += scratch.edge_weights[static_cast<size_t>(
-          scratch.edge_order[static_cast<size_t>(j)])];
+    }
+    // Sum the run's weights in ascending VALUE order: canonical regardless of how the
+    // duplicates were ordered in the fine graph, so the coarse weight (and everything
+    // the partitioner derives from it) is a pure function of the edge multiset.
+    run_weights.clear();
+    for (int32_t r = i; r < j; ++r) {
+      run_weights.push_back(scratch.edge_weights[static_cast<size_t>(
+          scratch.edge_order[static_cast<size_t>(r)])]);
+    }
+    std::sort(run_weights.begin(), run_weights.end());
+    double weight = 0.0;
+    for (double w : run_weights) {
+      weight += w;
     }
     merged_pins.assign(pb, pe);
     level.coarse.AddEdge(weight, merged_pins);

@@ -479,6 +479,11 @@ class ByteWriter {
     DCP_CHECK_LE(v, kMaxPlanItems);
     Var(v);
   }
+  // Length-prefixed byte string (service wire messages).
+  void Str(std::string_view s) {
+    Count(s.size());
+    buf_.append(s);
+  }
 
   std::string Take() { return std::move(buf_); }
 
@@ -533,6 +538,19 @@ class ByteReader {
     pos_ += 4;
     return v;
   }
+  uint64_t U64() {
+    if (remaining() < 8) {
+      SetFail("truncated u64");
+      pos_ = data_.size();
+      return 0;
+    }
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_ + i])) << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
   uint64_t Var() {
     uint64_t v = 0;
     int shift = 0;
@@ -582,6 +600,21 @@ class ByteReader {
     }
     pos_ += 8;
     return std::bit_cast<double>(v);
+  }
+  // Length-prefixed byte string, bounded both by the caller's limit and the remaining
+  // payload before any allocation.
+  std::string Str(size_t max_len, const char* what) {
+    const uint64_t len = Var();
+    if (failed_) {
+      return {};
+    }
+    if (len > max_len || len > remaining()) {
+      SetFail(what);
+      return {};
+    }
+    std::string out(data_.substr(pos_, static_cast<size_t>(len)));
+    pos_ += static_cast<size_t>(len);
+    return out;
   }
   // Reads a count and proves `count * min_item_bytes` fits in the remaining payload, so
   // a corrupt count can neither drive a huge allocation nor a long parse loop.
@@ -926,6 +959,247 @@ StatusOr<BatchPlan> DeserializePlanBinary(std::string_view bytes) {
                   " bytes)");
   }
   return plan;
+}
+
+// --- Planning-service wire messages -----------------------------------------------
+
+namespace {
+
+constexpr uint32_t kServiceMessageVersion = 1;
+constexpr uint8_t kMaxMaskKind = static_cast<uint8_t>(MaskKind::kSharedQuestion);
+constexpr uint8_t kMaxServeSource = static_cast<uint8_t>(PlanServeSource::kClientCache);
+constexpr size_t kMaxTenantNameBytes = 256;
+constexpr size_t kMaxStatusMessageBytes = 1 << 14;
+// One tenant stats entry is at least a 1-byte name length plus nine 1-byte varints.
+constexpr size_t kMinTenantStatsBytes = 10;
+
+void WriteMaskSpecBin(ByteWriter& w, const MaskSpec& spec) {
+  w.U8(static_cast<uint8_t>(spec.kind));
+  w.Zig(spec.sink_tokens);
+  w.Zig(spec.window_tokens);
+  w.Zig(spec.icl_block_tokens);
+  w.Zig(spec.window_blocks);
+  w.Zig(spec.sink_blocks);
+  w.Zig(spec.test_blocks);
+  w.Zig(spec.num_answers);
+  w.F64(spec.answer_fraction);
+}
+
+Status ReadMaskSpecBin(ByteReader& r, MaskSpec* spec) {
+  const uint8_t kind = r.U8();
+  if (kind > kMaxMaskKind) {
+    return r.Fail("mask kind out of range");
+  }
+  spec->kind = static_cast<MaskKind>(kind);
+  spec->sink_tokens = r.Zig();
+  spec->window_tokens = r.Zig();
+  spec->icl_block_tokens = r.Zig();
+  spec->window_blocks = r.Zig();
+  spec->sink_blocks = r.Zig();
+  spec->test_blocks = r.Zig();
+  spec->num_answers = r.Zig32("mask num_answers out of range");
+  spec->answer_fraction = r.F64();
+  return r.failed() ? r.TakeStatus() : Status::Ok();
+}
+
+// Every message body leads with the shared wire version; requests and responses evolve
+// in lockstep with the service.
+Status ReadMessageVersion(ByteReader& r, const char* what) {
+  const uint32_t version = r.U32();
+  if (r.failed()) {
+    return r.TakeStatus();
+  }
+  if (version != kServiceMessageVersion) {
+    return Status::DataLoss(std::string(what) + ": unsupported message version " +
+                            std::to_string(version));
+  }
+  return Status::Ok();
+}
+
+Status ReadStatusCodeBin(ByteReader& r, StatusCode* code) {
+  const uint8_t raw = r.U8();
+  if (r.failed()) {
+    return r.TakeStatus();
+  }
+  if (!IsValidStatusCode(raw)) {
+    return r.Fail("status code out of range");
+  }
+  *code = static_cast<StatusCode>(raw);
+  return Status::Ok();
+}
+
+Status RejectTrailing(ByteReader& r, const char* what) {
+  if (r.failed()) {
+    return r.TakeStatus();
+  }
+  if (!r.AtEnd()) {
+    return r.Fail(std::string("trailing garbage after ") + what);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::string PlanServeSourceName(PlanServeSource source) {
+  switch (source) {
+    case PlanServeSource::kPlanned:
+      return "planned";
+    case PlanServeSource::kMemoryCache:
+      return "memory-cache";
+    case PlanServeSource::kStoreCache:
+      return "store-cache";
+    case PlanServeSource::kClientCache:
+      return "client-cache";
+  }
+  return "unknown";
+}
+
+std::string SerializePlanServiceRequest(const PlanServiceRequest& request) {
+  ByteWriter w;
+  w.U32(kServiceMessageVersion);
+  w.Str(request.tenant);
+  w.Count(request.seqlens.size());
+  for (int64_t len : request.seqlens) {
+    w.Zig(len);
+  }
+  WriteMaskSpecBin(w, request.mask_spec);
+  w.Zig(request.block_size);
+  return w.Take();
+}
+
+StatusOr<PlanServiceRequest> DeserializePlanServiceRequest(std::string_view bytes) {
+  ByteReader r(bytes);
+  DCP_RETURN_IF_ERROR(ReadMessageVersion(r, "plan request"));
+  PlanServiceRequest request;
+  request.tenant = r.Str(kMaxTenantNameBytes, "tenant name too long");
+  const uint32_t num_seqs = r.BoundedCount(1, "request sequence count");
+  if (r.failed()) {
+    return r.TakeStatus();
+  }
+  request.seqlens.reserve(num_seqs);
+  for (uint32_t s = 0; s < num_seqs; ++s) {
+    request.seqlens.push_back(r.Zig());
+  }
+  DCP_RETURN_IF_ERROR(ReadMaskSpecBin(r, &request.mask_spec));
+  request.block_size = r.Zig();
+  DCP_RETURN_IF_ERROR(RejectTrailing(r, "plan request"));
+  return request;
+}
+
+std::string SerializePlanServiceResponse(const PlanServiceResponse& response) {
+  ByteWriter w;
+  w.U32(kServiceMessageVersion);
+  w.U8(static_cast<uint8_t>(response.code));
+  w.Str(response.message);
+  w.U8(static_cast<uint8_t>(response.source));
+  w.U64(response.signature_lo);
+  w.U64(response.signature_hi);
+  w.Str(response.record);
+  return w.Take();
+}
+
+StatusOr<PlanServiceResponse> DeserializePlanServiceResponse(std::string_view bytes) {
+  ByteReader r(bytes);
+  DCP_RETURN_IF_ERROR(ReadMessageVersion(r, "plan response"));
+  PlanServiceResponse response;
+  DCP_RETURN_IF_ERROR(ReadStatusCodeBin(r, &response.code));
+  response.message = r.Str(kMaxStatusMessageBytes, "status message too long");
+  const uint8_t source = r.U8();
+  if (r.failed()) {
+    return r.TakeStatus();
+  }
+  if (source > kMaxServeSource) {
+    return r.Fail("serve source out of range");
+  }
+  response.source = static_cast<PlanServeSource>(source);
+  response.signature_lo = r.U64();
+  response.signature_hi = r.U64();
+  // The record is CRC-guarded internally (PlanStore::DecodeRecord); here it only needs
+  // to fit in the remaining payload.
+  response.record = r.Str(bytes.size(), "plan record exceeds message");
+  DCP_RETURN_IF_ERROR(RejectTrailing(r, "plan response"));
+  return response;
+}
+
+std::string SerializePlanServiceStatsRequest(const PlanServiceStatsRequest& request) {
+  ByteWriter w;
+  w.U32(kServiceMessageVersion);
+  w.Str(request.tenant);
+  return w.Take();
+}
+
+StatusOr<PlanServiceStatsRequest> DeserializePlanServiceStatsRequest(
+    std::string_view bytes) {
+  ByteReader r(bytes);
+  DCP_RETURN_IF_ERROR(ReadMessageVersion(r, "stats request"));
+  PlanServiceStatsRequest request;
+  request.tenant = r.Str(kMaxTenantNameBytes, "tenant name too long");
+  DCP_RETURN_IF_ERROR(RejectTrailing(r, "stats request"));
+  return request;
+}
+
+std::string SerializePlanServiceStatsResponse(const PlanServiceStatsResponse& response) {
+  ByteWriter w;
+  w.U32(kServiceMessageVersion);
+  w.U8(static_cast<uint8_t>(response.code));
+  w.Str(response.message);
+  w.Zig(response.connections_accepted);
+  w.Zig(response.requests_received);
+  w.Zig(response.responses_sent);
+  w.Zig(response.rejected_overload);
+  w.Zig(response.malformed_frames);
+  w.Count(response.tenants.size());
+  for (const PlanServiceTenantStats& t : response.tenants) {
+    w.Str(t.tenant);
+    w.Zig(t.requests);
+    w.Zig(t.plan_errors);
+    w.Zig(t.cache_hits);
+    w.Zig(t.cache_misses);
+    w.Zig(t.cache_evictions);
+    w.Zig(t.cache_entries);
+    w.Zig(t.store_hits);
+    w.Zig(t.store_writes);
+    w.Zig(t.store_corrupt_skipped);
+  }
+  return w.Take();
+}
+
+StatusOr<PlanServiceStatsResponse> DeserializePlanServiceStatsResponse(
+    std::string_view bytes) {
+  ByteReader r(bytes);
+  DCP_RETURN_IF_ERROR(ReadMessageVersion(r, "stats response"));
+  PlanServiceStatsResponse response;
+  DCP_RETURN_IF_ERROR(ReadStatusCodeBin(r, &response.code));
+  response.message = r.Str(kMaxStatusMessageBytes, "status message too long");
+  response.connections_accepted = r.Zig();
+  response.requests_received = r.Zig();
+  response.responses_sent = r.Zig();
+  response.rejected_overload = r.Zig();
+  response.malformed_frames = r.Zig();
+  const uint32_t num_tenants = r.BoundedCount(kMinTenantStatsBytes, "tenant count");
+  if (r.failed()) {
+    return r.TakeStatus();
+  }
+  response.tenants.reserve(num_tenants);
+  for (uint32_t i = 0; i < num_tenants; ++i) {
+    PlanServiceTenantStats t;
+    t.tenant = r.Str(kMaxTenantNameBytes, "tenant name too long");
+    t.requests = r.Zig();
+    t.plan_errors = r.Zig();
+    t.cache_hits = r.Zig();
+    t.cache_misses = r.Zig();
+    t.cache_evictions = r.Zig();
+    t.cache_entries = r.Zig();
+    t.store_hits = r.Zig();
+    t.store_writes = r.Zig();
+    t.store_corrupt_skipped = r.Zig();
+    if (r.failed()) {
+      return r.TakeStatus();
+    }
+    response.tenants.push_back(std::move(t));
+  }
+  DCP_RETURN_IF_ERROR(RejectTrailing(r, "stats response"));
+  return response;
 }
 
 }  // namespace dcp

@@ -13,6 +13,7 @@
 
 #include "common/status.h"
 #include "common/types.h"
+#include "masks/mask_spec.h"
 #include "runtime/layout.h"
 
 namespace dcp {
@@ -191,6 +192,90 @@ BatchPlan DeserializePlanOrDie(const std::string& text);
 // are rejected.
 std::string SerializePlanBinary(const BatchPlan& plan);
 StatusOr<BatchPlan> DeserializePlanBinary(std::string_view bytes);
+
+// --- Planning-service wire messages -----------------------------------------------
+//
+// Request/response bodies for dcp::PlanService (src/service/), encoded with the same
+// varint/zigzag ByteWriter/ByteReader machinery as the binary plan codec above, and
+// validated with the same rigor: every count is bounded against the remaining payload,
+// enums are range-checked, and trailing bytes are rejected — a malformed message is a
+// recoverable DATA_LOSS Status, never an abort. The compiled plan itself travels inside
+// PlanServiceResponse as PlanStore record bytes (core/plan_store.h documents that
+// layout), so the service's wire format is exactly the persistence format.
+
+// Where the service found the plan it returned. The client adds a fourth tier (its own
+// LRU) that never reaches the wire.
+enum class PlanServeSource : uint8_t {
+  kPlanned = 0,        // The tenant engine ran the full planner.
+  kMemoryCache,        // Served from the tenant engine's in-memory LRU.
+  kStoreCache,         // Served from the tenant engine's persistent plan store.
+  kClientCache,        // Client-side only: served from the PlanClient LRU, no RPC.
+};
+std::string PlanServeSourceName(PlanServeSource source);
+
+struct PlanServiceRequest {
+  std::string tenant;
+  std::vector<int64_t> seqlens;
+  MaskSpec mask_spec;
+  // Explicit block size, or 0 to plan under the tenant's configured policy (fixed
+  // engine block size, or per-signature auto-tune when the tenant enables it).
+  int64_t block_size = 0;
+};
+
+struct PlanServiceResponse {
+  StatusCode code = StatusCode::kOk;
+  std::string message;  // Error detail when code != kOk.
+  PlanServeSource source = PlanServeSource::kPlanned;
+  // The served plan's canonical signature (PlanSignature lanes) and its PlanStore
+  // record bytes (magic + version + signature + sections + CRC32); both empty/zero on
+  // error. The record's embedded signature is cross-checked against these lanes by the
+  // client before the plan is trusted.
+  uint64_t signature_lo = 0;
+  uint64_t signature_hi = 0;
+  std::string record;
+};
+
+// One tenant's cache counters as reported by the stats RPC (mirrors PlanCacheStats,
+// which lives in core/ and is re-flattened here so the wire layer stays below it).
+struct PlanServiceTenantStats {
+  std::string tenant;
+  int64_t requests = 0;       // Plan RPCs the service routed to this tenant.
+  int64_t plan_errors = 0;    // Plan RPCs that returned a non-OK status.
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+  int64_t cache_evictions = 0;
+  int64_t cache_entries = 0;
+  int64_t store_hits = 0;
+  int64_t store_writes = 0;
+  int64_t store_corrupt_skipped = 0;
+};
+
+struct PlanServiceStatsRequest {
+  std::string tenant;  // Empty: report every tenant.
+};
+
+struct PlanServiceStatsResponse {
+  StatusCode code = StatusCode::kOk;
+  std::string message;
+  // Service-wide counters.
+  int64_t connections_accepted = 0;
+  int64_t requests_received = 0;
+  int64_t responses_sent = 0;
+  int64_t rejected_overload = 0;
+  int64_t malformed_frames = 0;
+  std::vector<PlanServiceTenantStats> tenants;
+};
+
+std::string SerializePlanServiceRequest(const PlanServiceRequest& request);
+StatusOr<PlanServiceRequest> DeserializePlanServiceRequest(std::string_view bytes);
+std::string SerializePlanServiceResponse(const PlanServiceResponse& response);
+StatusOr<PlanServiceResponse> DeserializePlanServiceResponse(std::string_view bytes);
+std::string SerializePlanServiceStatsRequest(const PlanServiceStatsRequest& request);
+StatusOr<PlanServiceStatsRequest> DeserializePlanServiceStatsRequest(
+    std::string_view bytes);
+std::string SerializePlanServiceStatsResponse(const PlanServiceStatsResponse& response);
+StatusOr<PlanServiceStatsResponse> DeserializePlanServiceStatsResponse(
+    std::string_view bytes);
 
 }  // namespace dcp
 

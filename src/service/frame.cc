@@ -1,0 +1,102 @@
+#include "service/frame.h"
+
+#include <cstring>
+
+#include "common/crc32.h"
+
+namespace dcp {
+namespace {
+
+constexpr uint32_t kFrameMagic = 0x66504344;  // "DCPf" little-endian.
+constexpr size_t kHeaderBytes = 16;
+
+void AppendU32(std::string& out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>(static_cast<uint8_t>(v >> (8 * i))));
+  }
+}
+
+void AppendU64(std::string& out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>(static_cast<uint8_t>(v >> (8 * i))));
+  }
+}
+
+uint32_t ReadU32At(const char* bytes) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(bytes[i])) << (8 * i);
+  }
+  return v;
+}
+
+uint64_t ReadU64At(const char* bytes) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(bytes[i])) << (8 * i);
+  }
+  return v;
+}
+
+bool IsKnownFrameType(uint32_t type) {
+  return type >= static_cast<uint32_t>(FrameType::kPlanRequest) &&
+         type <= static_cast<uint32_t>(FrameType::kErrorResponse);
+}
+
+}  // namespace
+
+std::string EncodeFrame(FrameType type, std::string_view payload) {
+  std::string out;
+  out.reserve(kHeaderBytes + payload.size() + 4);
+  AppendU32(out, kFrameMagic);
+  AppendU32(out, static_cast<uint32_t>(type));
+  AppendU64(out, payload.size());
+  out.append(payload);
+  AppendU32(out, Crc32(out));
+  return out;
+}
+
+StatusOr<Frame> ReadFrame(Socket& socket, uint64_t max_payload_bytes) {
+  char header[kHeaderBytes];
+  DCP_RETURN_IF_ERROR(socket.RecvAll(header, sizeof(header)));
+  const uint32_t magic = ReadU32At(header);
+  if (magic != kFrameMagic) {
+    return Status::DataLoss("frame: bad magic");
+  }
+  const uint32_t type = ReadU32At(header + 4);
+  if (!IsKnownFrameType(type)) {
+    return Status::DataLoss("frame: unknown type " + std::to_string(type));
+  }
+  const uint64_t length = ReadU64At(header + 8);
+  if (length > max_payload_bytes) {
+    return Status::DataLoss("frame: implausible payload length " +
+                            std::to_string(length));
+  }
+  Frame frame;
+  frame.type = static_cast<FrameType>(type);
+  frame.payload.resize(static_cast<size_t>(length));
+  if (length > 0) {
+    Status read = socket.RecvAll(frame.payload.data(), frame.payload.size());
+    if (!read.ok()) {
+      // A close inside the payload is a torn frame regardless of RecvAll's code.
+      return Status::DataLoss("frame: " + read.message());
+    }
+  }
+  char trailer[4];
+  Status read = socket.RecvAll(trailer, sizeof(trailer));
+  if (!read.ok()) {
+    return Status::DataLoss("frame: " + read.message());
+  }
+  uint32_t crc = Crc32Update(0, header, sizeof(header));
+  crc = Crc32Update(crc, frame.payload.data(), frame.payload.size());
+  if (crc != ReadU32At(trailer)) {
+    return Status::DataLoss("frame: checksum mismatch");
+  }
+  return frame;
+}
+
+Status WriteFrame(Socket& socket, FrameType type, std::string_view payload) {
+  return socket.SendAll(EncodeFrame(type, payload));
+}
+
+}  // namespace dcp

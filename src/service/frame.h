@@ -1,0 +1,58 @@
+// Wire framing for the planning service: every message travels as one
+// length-prefixed, CRC32-trailed frame,
+//
+//   offset 0   u32 magic       "DCPf" (0x66504344, little-endian)
+//          4   u32 frame type  (FrameType below; unknown values are rejected)
+//          8   u64 length      payload bytes (bounded before any allocation)
+//         16   payload         message body (runtime/instructions.h service codecs)
+//   16+len     u32 CRC32       over the 16-byte header + payload
+//
+// The same layered validation as PlanStore records: header bounds first, checksum
+// before any payload byte is interpreted, then the bounds-checked message codec.
+// A malformed frame is a recoverable DATA_LOSS — the server counts it, answers with an
+// error frame when the stream still permits one, and drops the connection (framing sync
+// is gone); it never aborts. Compiled plans inside kPlanResponse payloads are PlanStore
+// record bytes, so the service wire format and the persistence format are one format.
+#ifndef DCP_SERVICE_FRAME_H_
+#define DCP_SERVICE_FRAME_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "service/transport.h"
+
+namespace dcp {
+
+enum class FrameType : uint32_t {
+  kPlanRequest = 1,
+  kPlanResponse = 2,
+  kStatsRequest = 3,
+  kStatsResponse = 4,
+  // A connection-level failure (malformed frame, unknown type): payload is a
+  // PlanServiceResponse carrying only the status. The sender closes afterwards.
+  kErrorResponse = 5,
+};
+
+struct Frame {
+  FrameType type = FrameType::kErrorResponse;
+  std::string payload;
+};
+
+// Default cap on a single frame payload. Compiled plans for production batches are
+// single-digit MiB; anything near the cap is corruption, not traffic.
+constexpr uint64_t kMaxFramePayloadBytes = uint64_t{1} << 30;
+
+std::string EncodeFrame(FrameType type, std::string_view payload);
+
+// Reads one frame. UNAVAILABLE on a clean peer close between frames; DATA_LOSS on a
+// torn/corrupt/oversized/unknown-type frame (the stream can no longer be trusted).
+StatusOr<Frame> ReadFrame(Socket& socket,
+                          uint64_t max_payload_bytes = kMaxFramePayloadBytes);
+
+Status WriteFrame(Socket& socket, FrameType type, std::string_view payload);
+
+}  // namespace dcp
+
+#endif  // DCP_SERVICE_FRAME_H_

@@ -1,0 +1,271 @@
+#include "service/plan_client.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/plan_store.h"
+#include "masks/mask.h"
+#include "service/frame.h"
+
+namespace dcp {
+
+PlanClient::PlanClient(ServiceAddress address, PlanClientOptions options)
+    : address_(std::move(address)), options_(std::move(options)) {
+  pool_ = std::make_unique<ThreadPool>(std::max(1, options_.planner_threads));
+}
+
+PlanClient::~PlanClient() = default;
+
+StatusOr<std::unique_ptr<PlanClient>> PlanClient::Connect(const ServiceAddress& address,
+                                                          PlanClientOptions options) {
+  std::unique_ptr<PlanClient> client(new PlanClient(address, std::move(options)));
+  StatusOr<Socket> socket = ConnectSocket(address);
+  if (!socket.ok()) {
+    return socket.status();
+  }
+  client->socket_ = std::move(socket).value();
+  client->connected_ = true;
+  return client;
+}
+
+Status PlanClient::EnsureConnectedLocked() {
+  if (connected_) {
+    return Status::Ok();
+  }
+  StatusOr<Socket> socket = ConnectSocket(address_);
+  if (!socket.ok()) {
+    return socket.status();
+  }
+  socket_ = std::move(socket).value();
+  connected_ = true;
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++stats_.reconnects;
+  return Status::Ok();
+}
+
+StatusOr<Frame> PlanClient::Roundtrip(FrameType request_type,
+                                      const std::string& payload,
+                                      FrameType expected_response) {
+  const uint64_t max_payload = options_.max_frame_payload_bytes == 0
+                                   ? kMaxFramePayloadBytes
+                                   : options_.max_frame_payload_bytes;
+  std::lock_guard<std::mutex> lock(io_mu_);
+  const int attempts = options_.reconnect ? 2 : 1;
+  Status failure = Status::Ok();
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    Status connect = EnsureConnectedLocked();
+    if (!connect.ok()) {
+      failure = connect;
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> stats_lock(stats_mu_);
+      ++stats_.rpcs_sent;
+    }
+    Status sent = WriteFrame(socket_, request_type, payload);
+    StatusOr<Frame> reply = sent.ok() ? ReadFrame(socket_, max_payload)
+                                      : StatusOr<Frame>(sent);
+    if (reply.ok()) {
+      if (reply.value().type == expected_response ||
+          reply.value().type == FrameType::kErrorResponse) {
+        if (reply.value().type == FrameType::kErrorResponse) {
+          // The server rejected the stream (it saw a malformed frame); the connection
+          // is about to close on its side.
+          connected_ = false;
+          socket_.Close();
+        }
+        return reply;
+      }
+      // A response of the wrong type means the stream is out of sync; drop it.
+      failure = Status::DataLoss("unexpected response frame type " +
+                                 std::to_string(static_cast<uint32_t>(
+                                     reply.value().type)));
+    } else {
+      failure = reply.status();
+    }
+    {
+      std::lock_guard<std::mutex> stats_lock(stats_mu_);
+      ++stats_.rpc_errors;
+    }
+    connected_ = false;
+    socket_.Close();
+    // DATA_LOSS is a protocol failure, not a dropped connection — retrying the same
+    // bytes would just fail again.
+    if (failure.code() == StatusCode::kDataLoss) {
+      break;
+    }
+  }
+  return failure;
+}
+
+Status PlanClient::DecodeErrorFrame(const Frame& frame) {
+  StatusOr<PlanServiceResponse> error = DeserializePlanServiceResponse(frame.payload);
+  if (!error.ok()) {
+    return error.status();
+  }
+  if (error.value().code == StatusCode::kOk) {
+    return Status::DataLoss("error frame carried an OK status");
+  }
+  return Status(error.value().code, error.value().message);
+}
+
+PlanSignature PlanClient::CacheKey(const std::vector<int64_t>& seqlens,
+                                   const MaskSpec& mask_spec,
+                                   int64_t block_size) const {
+  PlanSignatureBuilder b;
+  b.Add(0x70636c69656e7431ULL);  // "pclient1": never aliases a server PlanSignature.
+  for (char c : options_.tenant) {
+    b.Add(static_cast<uint64_t>(static_cast<uint8_t>(c)));
+  }
+  b.Add(options_.tenant.size());
+  b.AddSpan(seqlens);
+  b.Add(static_cast<uint64_t>(mask_spec.kind));
+  b.AddSigned(mask_spec.sink_tokens);
+  b.AddSigned(mask_spec.window_tokens);
+  b.AddSigned(mask_spec.icl_block_tokens);
+  b.AddSigned(mask_spec.window_blocks);
+  b.AddSigned(mask_spec.sink_blocks);
+  b.AddSigned(mask_spec.test_blocks);
+  b.AddSigned(mask_spec.num_answers);
+  b.AddDouble(mask_spec.answer_fraction);
+  b.AddSigned(block_size);
+  return b.Finish();
+}
+
+PlanHandle PlanClient::CacheLookup(const PlanSignature& key) {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  const auto it = cache_.find(key);
+  if (it == cache_.end()) {
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->second;
+}
+
+void PlanClient::CacheInsert(const PlanSignature& key, PlanHandle handle) {
+  if (options_.cache_capacity <= 0) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  if (cache_.find(key) != cache_.end()) {
+    return;  // A concurrent caller already planted it.
+  }
+  lru_.emplace_front(key, std::move(handle));
+  cache_.emplace(key, lru_.begin());
+  while (static_cast<int>(lru_.size()) > options_.cache_capacity) {
+    cache_.erase(lru_.back().first);
+    lru_.pop_back();
+  }
+}
+
+StatusOr<PlanHandle> PlanClient::PlanWithBlockSize(const std::vector<int64_t>& seqlens,
+                                                   const MaskSpec& mask_spec,
+                                                   int64_t block_size) {
+  const PlanSignature key = CacheKey(seqlens, mask_spec, block_size);
+  if (PlanHandle cached = CacheLookup(key)) {
+    {
+      std::lock_guard<std::mutex> lock(cache_mu_);
+      last_source_ = PlanServeSource::kClientCache;
+    }
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.cache_hits;
+    return cached;
+  }
+
+  PlanServiceRequest request;
+  request.tenant = options_.tenant;
+  request.seqlens = seqlens;
+  request.mask_spec = mask_spec;
+  request.block_size = block_size;
+  StatusOr<Frame> reply =
+      Roundtrip(FrameType::kPlanRequest, SerializePlanServiceRequest(request),
+                FrameType::kPlanResponse);
+  if (!reply.ok()) {
+    return reply.status();
+  }
+  if (reply.value().type == FrameType::kErrorResponse) {
+    return DecodeErrorFrame(reply.value());
+  }
+  StatusOr<PlanServiceResponse> response =
+      DeserializePlanServiceResponse(reply.value().payload);
+  if (!response.ok()) {
+    return response.status();
+  }
+  if (response.value().code != StatusCode::kOk) {
+    return Status(response.value().code, response.value().message);
+  }
+
+  // The plan arrives as a PlanStore record: CRC-validated, signature-embedded. Decode
+  // and cross-check before trusting a single field.
+  StatusOr<std::pair<PlanSignature, BatchPlan>> record =
+      PlanStore::DecodeRecord(response.value().record);
+  if (!record.ok()) {
+    return record.status();
+  }
+  PlanSignature sig;
+  sig.lo = response.value().signature_lo;
+  sig.hi = response.value().signature_hi;
+  if (!(record.value().first == sig)) {
+    return Status::DataLoss("response record signature " +
+                            record.value().first.ToHex() +
+                            " does not match response header " + sig.ToHex());
+  }
+
+  auto compiled = std::make_shared<CompiledPlan>();
+  compiled->signature = sig;
+  compiled->plan = std::move(record).value().second;
+  // Masks are derived deterministically from the request, exactly as the engine's
+  // store-hit path rebuilds them: rebuilding is O(tokens), shipping them is not.
+  compiled->masks = BuildBatchMasks(mask_spec, seqlens);
+  PlanHandle handle = std::move(compiled);
+  CacheInsert(key, handle);
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    last_source_ = response.value().source;
+  }
+  return handle;
+}
+
+StatusOr<PlanHandle> PlanClient::Plan(const std::vector<int64_t>& seqlens,
+                                      const MaskSpec& mask_spec) {
+  return PlanWithBlockSize(seqlens, mask_spec, /*block_size=*/0);
+}
+
+StatusOr<PlanHandle> PlanClient::PlanForLoader(const std::vector<int64_t>& seqlens,
+                                               const MaskSpec& mask_spec) {
+  return PlanWithBlockSize(seqlens, mask_spec, /*block_size=*/0);
+}
+
+PlanServeSource PlanClient::last_source() const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  return last_source_;
+}
+
+StatusOr<PlanServiceStatsResponse> PlanClient::ServerStats(
+    const std::string& tenant_filter) {
+  PlanServiceStatsRequest request;
+  request.tenant = tenant_filter;
+  StatusOr<Frame> reply =
+      Roundtrip(FrameType::kStatsRequest, SerializePlanServiceStatsRequest(request),
+                FrameType::kStatsResponse);
+  if (!reply.ok()) {
+    return reply.status();
+  }
+  if (reply.value().type == FrameType::kErrorResponse) {
+    return DecodeErrorFrame(reply.value());
+  }
+  return DeserializePlanServiceStatsResponse(reply.value().payload);
+}
+
+PlanClientStats PlanClient::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+void PlanClient::ClearCache() {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  lru_.clear();
+  cache_.clear();
+}
+
+}  // namespace dcp

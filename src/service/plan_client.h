@@ -1,0 +1,128 @@
+// dcp::PlanClient — the trainer-side half of the planning service. Implements the same
+// Planner interface as the in-process Engine, so a DcpDataLoader (or any other caller)
+// can be pointed at a remote planning service transparently:
+//
+//   auto client = PlanClient::Connect(ServiceAddress::Parse("tcp:10.0.0.7:7070").value(),
+//                                     {.tenant = "prod"}).value();
+//   DcpDataLoader loader(stream, MaskSpec::Causal(), std::move(client));  // unchanged loop
+//
+// Each Plan() first consults a client-side LRU keyed by the full request content
+// (tenant, seqlens, mask parameters, block size) — a hit never touches the network.
+// Misses run one RPC: the response carries the plan as PlanStore record bytes, CRC
+// verified and bounds-checked end to end before any field is trusted, and the decoded
+// plan is bit-identical to what an in-process Engine::Plan would have produced. RPCs
+// are serialized per client (one outstanding request per connection); share one client
+// across loader lookahead threads, or create one per thread for pipelined planning.
+#ifndef DCP_SERVICE_PLAN_CLIENT_H_
+#define DCP_SERVICE_PLAN_CLIENT_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "core/engine.h"
+#include "core/plan_signature.h"
+#include "runtime/instructions.h"
+#include "service/frame.h"
+#include "service/transport.h"
+
+namespace dcp {
+
+struct PlanClientOptions {
+  std::string tenant = "default";
+  // Client-side plan LRU capacity; 0 disables local caching (every Plan is an RPC).
+  int cache_capacity = 64;
+  // Look-ahead pool threads when a DcpDataLoader drives this client.
+  int planner_threads = 2;
+  uint64_t max_frame_payload_bytes = 0;  // 0: frame.h default.
+  // One transparent reconnect + resend per RPC when the connection dropped (server
+  // restart); a second failure surfaces as UNAVAILABLE.
+  bool reconnect = true;
+};
+
+struct PlanClientStats {
+  int64_t cache_hits = 0;      // Served from the client LRU without an RPC.
+  int64_t rpcs_sent = 0;
+  int64_t rpc_errors = 0;      // Transport/framing failures (not server-side statuses).
+  int64_t reconnects = 0;
+};
+
+class PlanClient : public Planner {
+ public:
+  static StatusOr<std::unique_ptr<PlanClient>> Connect(const ServiceAddress& address,
+                                                       PlanClientOptions options);
+  ~PlanClient() override;
+
+  PlanClient(const PlanClient&) = delete;
+  PlanClient& operator=(const PlanClient&) = delete;
+
+  // Planner interface. Plan/PlanForLoader send block_size 0: the tenant's server-side
+  // policy (fixed block or auto-tune) decides, exactly like the in-process engine.
+  StatusOr<PlanHandle> Plan(const std::vector<int64_t>& seqlens,
+                            const MaskSpec& mask_spec) override;
+  StatusOr<PlanHandle> PlanForLoader(const std::vector<int64_t>& seqlens,
+                                     const MaskSpec& mask_spec) override;
+  StatusOr<PlanHandle> PlanWithBlockSize(const std::vector<int64_t>& seqlens,
+                                         const MaskSpec& mask_spec, int64_t block_size);
+  ThreadPool& pool() override { return *pool_; }
+
+  // Where the most recent Plan() on this thread's call was served from (client cache,
+  // server memory/store cache, or freshly planned). For benches and tests.
+  PlanServeSource last_source() const;
+
+  StatusOr<PlanServiceStatsResponse> ServerStats(const std::string& tenant_filter = "");
+
+  const PlanClientOptions& options() const { return options_; }
+  PlanClientStats stats() const;
+  void ClearCache();
+
+ private:
+  PlanClient(ServiceAddress address, PlanClientOptions options);
+
+  // One serialized request/response exchange, with optional reconnect-and-retry.
+  // Returns the response frame: either `expected_response` or kErrorResponse (whose
+  // payload is a PlanServiceResponse carrying only a status) — callers pick the codec
+  // by the returned type.
+  StatusOr<Frame> Roundtrip(FrameType request_type, const std::string& payload,
+                            FrameType expected_response);
+  // Decodes a kErrorResponse frame into the server's status.
+  static Status DecodeErrorFrame(const Frame& frame);
+  Status EnsureConnectedLocked();
+
+  // Client cache key: a signature over the full request content. Distinct tenants can
+  // never alias (the tenant name is folded in), so one client reused across tenants
+  // would still be safe.
+  PlanSignature CacheKey(const std::vector<int64_t>& seqlens, const MaskSpec& mask_spec,
+                         int64_t block_size) const;
+  PlanHandle CacheLookup(const PlanSignature& key);
+  void CacheInsert(const PlanSignature& key, PlanHandle handle);
+
+  const ServiceAddress address_;
+  const PlanClientOptions options_;
+  std::unique_ptr<ThreadPool> pool_;
+
+  std::mutex io_mu_;  // Serializes RPCs on the single connection.
+  Socket socket_;
+  bool connected_ = false;
+
+  mutable std::mutex cache_mu_;
+  std::list<std::pair<PlanSignature, PlanHandle>> lru_;
+  std::unordered_map<PlanSignature,
+                     std::list<std::pair<PlanSignature, PlanHandle>>::iterator,
+                     PlanSignatureHash>
+      cache_;
+  PlanServeSource last_source_ = PlanServeSource::kPlanned;
+
+  mutable std::mutex stats_mu_;
+  PlanClientStats stats_;
+};
+
+}  // namespace dcp
+
+#endif  // DCP_SERVICE_PLAN_CLIENT_H_

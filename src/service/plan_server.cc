@@ -1,0 +1,381 @@
+#include "service/plan_server.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "core/plan_store.h"
+
+namespace dcp {
+namespace {
+
+PlanServeSource SourceFromOrigin(PlanOrigin origin) {
+  switch (origin) {
+    case PlanOrigin::kFresh:
+      return PlanServeSource::kPlanned;
+    case PlanOrigin::kMemoryCache:
+      return PlanServeSource::kMemoryCache;
+    case PlanOrigin::kStoreCache:
+      return PlanServeSource::kStoreCache;
+  }
+  return PlanServeSource::kPlanned;
+}
+
+PlanServiceResponse ErrorResponse(StatusCode code, std::string message) {
+  PlanServiceResponse response;
+  response.code = code;
+  response.message = std::move(message);
+  return response;
+}
+
+}  // namespace
+
+PlanServer::PlanServer(std::shared_ptr<TenantRegistry> registry,
+                       PlanServerOptions options)
+    : registry_(std::move(registry)), options_(options) {
+  DCP_CHECK(registry_ != nullptr);
+  DCP_CHECK_GE(options_.max_queue, 0);
+}
+
+PlanServer::~PlanServer() { Stop(); }
+
+Status PlanServer::Start(const ServiceAddress& address) {
+  if (running()) {
+    return Status::FailedPrecondition("server already running");
+  }
+  StatusOr<Listener> listener = Listener::Bind(address);
+  if (!listener.ok()) {
+    return listener.status();
+  }
+  listener_ = std::move(listener).value();
+  bound_ = listener_.bound_address();
+  pool_ = std::make_unique<ThreadPool>(std::max(1, options_.workers));
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::Ok();
+}
+
+void PlanServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) {
+    return;
+  }
+  // Wake the accept thread first and only close the listener after joining it: closing
+  // an fd another thread is polling is a data race, and a reused descriptor number
+  // could silently redirect the accept loop onto an unrelated socket.
+  listener_.Interrupt();
+  if (accept_thread_.joinable()) {
+    accept_thread_.join();
+  }
+  listener_.Close();
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (auto& conn : conns_) {
+      conn->socket.Shutdown();  // Unblocks the reader's RecvAll.
+    }
+  }
+  // Join readers outside conns_mu_ (ReadLoop briefly takes it via WriteResponse paths).
+  std::vector<std::unique_ptr<Connection>> conns;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns.swap(conns_);
+  }
+  for (auto& conn : conns) {
+    if (conn->reader.joinable()) {
+      conn->reader.join();
+    }
+  }
+  // ThreadPool teardown drains queued jobs; their response writes hit shutdown sockets
+  // and fail harmlessly.
+  pool_.reset();
+}
+
+void PlanServer::AcceptLoop() {
+  while (running()) {
+    StatusOr<Socket> accepted = listener_.Accept(/*timeout_ms=*/100);
+    if (!accepted.ok()) {
+      if (accepted.status().code() == StatusCode::kNotFound) {
+        ReapFinishedConnections();
+        continue;  // Timeout: poll the running flag again.
+      }
+      break;  // Listener closed (Stop) or a fatal accept error.
+    }
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.connections_accepted;
+    }
+    auto conn = std::make_unique<Connection>();
+    conn->socket = std::move(accepted).value();
+    Connection* raw = conn.get();
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      conns_.push_back(std::move(conn));
+    }
+    raw->reader = std::thread([this, raw] { ReadLoop(raw); });
+    ReapFinishedConnections();
+  }
+}
+
+void PlanServer::ReapFinishedConnections() {
+  std::vector<std::unique_ptr<Connection>> finished;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (auto it = conns_.begin(); it != conns_.end();) {
+      if ((*it)->done.load(std::memory_order_acquire) &&
+          (*it)->pending_jobs.load(std::memory_order_acquire) == 0) {
+        finished.push_back(std::move(*it));
+        it = conns_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (auto& conn : finished) {
+    if (conn->reader.joinable()) {
+      conn->reader.join();
+    }
+  }
+}
+
+void PlanServer::ReadLoop(Connection* conn) {
+  while (running()) {
+    StatusOr<Frame> frame = ReadFrame(conn->socket, options_.max_frame_payload_bytes);
+    if (!frame.ok()) {
+      if (frame.status().code() == StatusCode::kDataLoss) {
+        // Corrupt or torn frame: count it, answer if the stream can still carry bytes,
+        // and drop the connection — resynchronizing a corrupt stream is guesswork.
+        {
+          std::lock_guard<std::mutex> lock(stats_mu_);
+          ++stats_.malformed_frames;
+        }
+        WriteResponse(conn, FrameType::kErrorResponse,
+                      SerializePlanServiceResponse(ErrorResponse(
+                          StatusCode::kDataLoss, frame.status().message())));
+      }
+      break;  // Clean close, shutdown, or corrupt stream: either way, stop reading.
+    }
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.requests_received;
+    }
+    // Backpressure: admit the request only if the in-flight budget allows. The reader
+    // answers overload itself so a saturated worker pool still rejects promptly.
+    const int admitted = in_flight_.fetch_add(1, std::memory_order_acq_rel);
+    if (admitted >= options_.max_queue) {
+      in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.rejected_overload;
+      }
+      const FrameType reply_type = frame.value().type == FrameType::kStatsRequest
+                                       ? FrameType::kStatsResponse
+                                       : FrameType::kPlanResponse;
+      PlanServiceResponse overload = ErrorResponse(
+          StatusCode::kUnavailable,
+          "server overloaded: " + std::to_string(options_.max_queue) +
+              " requests already in flight");
+      if (reply_type == FrameType::kStatsResponse) {
+        PlanServiceStatsResponse stats_overload;
+        stats_overload.code = overload.code;
+        stats_overload.message = overload.message;
+        WriteResponse(conn, reply_type,
+                      SerializePlanServiceStatsResponse(stats_overload));
+      } else {
+        WriteResponse(conn, reply_type, SerializePlanServiceResponse(overload));
+      }
+      continue;
+    }
+    conn->pending_jobs.fetch_add(1, std::memory_order_acq_rel);
+    pool_->Submit([this, conn, frame = std::move(frame).value()]() mutable {
+      HandleFrame(conn, std::move(frame));
+      in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+      conn->pending_jobs.fetch_sub(1, std::memory_order_acq_rel);
+    });
+  }
+  conn->socket.Shutdown();
+  conn->done.store(true, std::memory_order_release);
+}
+
+void PlanServer::HandleFrame(Connection* conn, Frame frame) {
+  switch (frame.type) {
+    case FrameType::kPlanRequest: {
+      StatusOr<PlanServiceRequest> request =
+          DeserializePlanServiceRequest(frame.payload);
+      PlanServiceResponse response;
+      if (!request.ok()) {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.malformed_frames;
+        response = ErrorResponse(request.status().code(), request.status().message());
+      } else {
+        response = HandlePlanRequest(request.value());
+      }
+      WriteResponse(conn, FrameType::kPlanResponse,
+                    SerializePlanServiceResponse(response));
+      return;
+    }
+    case FrameType::kStatsRequest: {
+      StatusOr<PlanServiceStatsRequest> request =
+          DeserializePlanServiceStatsRequest(frame.payload);
+      PlanServiceStatsResponse response;
+      if (!request.ok()) {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.malformed_frames;
+        response.code = request.status().code();
+        response.message = request.status().message();
+      } else {
+        response = BuildStatsResponse(request.value().tenant);
+      }
+      WriteResponse(conn, FrameType::kStatsResponse,
+                    SerializePlanServiceStatsResponse(response));
+      return;
+    }
+    default: {
+      // Well-framed but not a request type: answer with an error and keep the
+      // connection (framing is intact, the client just sent nonsense).
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.malformed_frames;
+      }
+      WriteResponse(conn, FrameType::kErrorResponse,
+                    SerializePlanServiceResponse(ErrorResponse(
+                        StatusCode::kInvalidArgument,
+                        "frame type " +
+                            std::to_string(static_cast<uint32_t>(frame.type)) +
+                            " is not a request")));
+      return;
+    }
+  }
+}
+
+PlanServiceResponse PlanServer::HandlePlanRequest(const PlanServiceRequest& request) {
+  const std::shared_ptr<Engine> engine = registry_->Find(request.tenant);
+  PlanServiceResponse response;
+  if (engine == nullptr) {
+    // Counted only in the service-wide plan_errors: keying tenant_counters_ on
+    // arbitrary unknown names would let a client cycling bogus tenants grow server
+    // memory without bound (and the entries would never surface in stats anyway).
+    response = ErrorResponse(StatusCode::kNotFound,
+                             "unknown tenant '" + request.tenant + "'");
+  } else {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++tenant_counters_[request.tenant].requests;
+    }
+    StatusOr<Engine::PlannedOutcome> planned =
+        engine->PlanDetailed(request.seqlens, request.mask_spec, request.block_size);
+    if (!planned.ok()) {
+      response = ErrorResponse(planned.status().code(), planned.status().message());
+    } else {
+      const PlanHandle& handle = planned.value().handle;
+      response.source = SourceFromOrigin(planned.value().origin);
+      response.signature_lo = handle->signature.lo;
+      response.signature_hi = handle->signature.hi;
+      // The wire carries the persistence format: one CRC-trailed PlanStore record,
+      // encoded once per signature and replayed from the record LRU on later hits.
+      response.record = *EncodedRecordFor(handle);
+    }
+  }
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  if (response.code == StatusCode::kOk) {
+    ++stats_.plan_ok;
+  } else {
+    ++stats_.plan_errors;
+    if (engine != nullptr) {
+      ++tenant_counters_[request.tenant].plan_errors;
+    }
+  }
+  return response;
+}
+
+std::shared_ptr<const std::string> PlanServer::EncodedRecordFor(
+    const PlanHandle& handle) {
+  if (options_.record_cache_capacity > 0) {
+    std::lock_guard<std::mutex> lock(record_cache_mu_);
+    const auto it = record_cache_.find(handle->signature);
+    if (it != record_cache_.end()) {
+      record_lru_.splice(record_lru_.begin(), record_lru_, it->second);
+      return it->second->second;
+    }
+  }
+  // Encode outside the lock: it is the expensive part, and two racing encoders of the
+  // same signature produce identical bytes anyway.
+  auto record = std::make_shared<const std::string>(
+      PlanStore::EncodeRecord(handle->signature, handle->plan));
+  if (options_.record_cache_capacity > 0) {
+    std::lock_guard<std::mutex> lock(record_cache_mu_);
+    if (record_cache_.find(handle->signature) == record_cache_.end()) {
+      record_lru_.emplace_front(handle->signature, record);
+      record_cache_.emplace(handle->signature, record_lru_.begin());
+      while (static_cast<int>(record_lru_.size()) > options_.record_cache_capacity) {
+        record_cache_.erase(record_lru_.back().first);
+        record_lru_.pop_back();
+      }
+    }
+  }
+  return record;
+}
+
+void PlanServer::WriteResponse(Connection* conn, FrameType type,
+                               std::string_view payload) {
+  Status sent = Status::Ok();
+  {
+    std::lock_guard<std::mutex> lock(conn->write_mu);
+    sent = WriteFrame(conn->socket, type, payload);
+  }
+  if (sent.ok()) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.responses_sent;
+  }
+  // A failed write means the peer is gone; its reader will notice on the next read.
+}
+
+PlanServerStats PlanServer::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+PlanServiceStatsResponse PlanServer::BuildStatsResponse(
+    const std::string& tenant_filter) const {
+  PlanServiceStatsResponse response;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    response.connections_accepted = stats_.connections_accepted;
+    response.requests_received = stats_.requests_received;
+    response.responses_sent = stats_.responses_sent;
+    response.rejected_overload = stats_.rejected_overload;
+    response.malformed_frames = stats_.malformed_frames;
+  }
+  for (const std::string& name : registry_->Names()) {
+    if (!tenant_filter.empty() && name != tenant_filter) {
+      continue;
+    }
+    const std::shared_ptr<Engine> engine = registry_->Find(name);
+    if (engine == nullptr) {
+      continue;
+    }
+    const PlanCacheStats cache = engine->cache_stats();
+    PlanServiceTenantStats tenant;
+    tenant.tenant = name;
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      const auto it = tenant_counters_.find(name);
+      if (it != tenant_counters_.end()) {
+        tenant.requests = it->second.requests;
+        tenant.plan_errors = it->second.plan_errors;
+      }
+    }
+    tenant.cache_hits = cache.hits;
+    tenant.cache_misses = cache.misses;
+    tenant.cache_evictions = cache.evictions;
+    tenant.cache_entries = cache.entries;
+    tenant.store_hits = cache.store_hits;
+    tenant.store_writes = cache.store_writes;
+    tenant.store_corrupt_skipped = cache.store_corrupt_skipped;
+    response.tenants.push_back(std::move(tenant));
+  }
+  if (!tenant_filter.empty() && response.tenants.empty()) {
+    response.code = StatusCode::kNotFound;
+    response.message = "unknown tenant '" + tenant_filter + "'";
+  }
+  return response;
+}
+
+}  // namespace dcp

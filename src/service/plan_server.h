@@ -1,0 +1,150 @@
+// dcp::PlanServer — the serving half of the planning service (dcp::PlanService = this
+// server + the TenantRegistry engine pool + PlanClient). The paper overlaps planning
+// with training because planning is the shared CPU-bound bottleneck (§6.1); at
+// production scale that planner belongs in its own process so many trainer ranks (and
+// many jobs) share one warm plan cache instead of each re-planning identical batch
+// shapes.
+//
+// Threading model:
+//   - one accept thread (poll loop, stoppable without signals),
+//   - one blocking reader thread per connection (frame decode only — cheap),
+//   - a ThreadPool of `workers` that executes the actual planning, fed through a
+//     bounded in-flight budget: when `max_queue` requests are already queued or
+//     running, new requests are rejected immediately with UNAVAILABLE instead of
+//     building an unbounded backlog (planning is expensive; a deep queue would just
+//     convert overload into timeout storms).
+//
+// Responses are written under a per-connection mutex, so worker threads and the
+// reader's overload/error replies never interleave bytes on one stream. A malformed
+// frame (bad magic/CRC/length) is counted, answered with an error frame when possible,
+// and the connection is dropped — framing sync is gone — but the server keeps serving
+// every other connection.
+#ifndef DCP_SERVICE_PLAN_SERVER_H_
+#define DCP_SERVICE_PLAN_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "runtime/instructions.h"
+#include "service/frame.h"
+#include "service/tenant_registry.h"
+#include "service/transport.h"
+
+namespace dcp {
+
+struct PlanServerOptions {
+  int workers = 2;
+  // In-flight request bound (queued + executing). At the bound, requests are rejected
+  // with UNAVAILABLE ("overloaded") instead of queued. 0 rejects everything — useful
+  // for drain/maintenance mode and for testing client backoff paths.
+  int max_queue = 64;
+  // Cap on inbound REQUEST frames. Requests (tenant + seqlens + mask params) are a few
+  // KB; only responses carry compiled plans. ReadFrame commits the claimed length
+  // before the checksum can be verified, so a small request cap is what stops a
+  // malicious 16-byte header from committing a giant allocation per connection.
+  uint64_t max_frame_payload_bytes = uint64_t{1} << 20;
+  // Encoded-record LRU: compiled plans are immutable per signature, so the wire bytes
+  // (PlanStore record: serialize + CRC) are computed once and replayed on every
+  // subsequent hit — the record encode would otherwise dominate the server-cache-hit
+  // RPC latency. 0 disables (every response re-encodes).
+  int record_cache_capacity = 256;
+};
+
+struct PlanServerStats {
+  int64_t connections_accepted = 0;
+  int64_t requests_received = 0;   // Well-formed request frames (plan + stats).
+  int64_t responses_sent = 0;
+  int64_t plan_ok = 0;
+  int64_t plan_errors = 0;         // Plan requests answered with a non-OK status.
+  int64_t rejected_overload = 0;
+  int64_t malformed_frames = 0;
+};
+
+class PlanServer {
+ public:
+  PlanServer(std::shared_ptr<TenantRegistry> registry, PlanServerOptions options);
+  ~PlanServer();
+
+  PlanServer(const PlanServer&) = delete;
+  PlanServer& operator=(const PlanServer&) = delete;
+
+  // Binds `address` and starts the accept loop + worker pool. For tcp:...:0 the
+  // ephemeral port is visible through bound_address().
+  Status Start(const ServiceAddress& address);
+  const ServiceAddress& bound_address() const { return bound_; }
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  // Stops accepting, unblocks and joins every connection reader, and drains in-flight
+  // work. Idempotent; also run by the destructor.
+  void Stop();
+
+  PlanServerStats stats() const;
+  // The stats RPC's view: server counters + per-tenant engine cache counters.
+  PlanServiceStatsResponse BuildStatsResponse(const std::string& tenant_filter) const;
+
+  TenantRegistry& registry() { return *registry_; }
+
+ private:
+  struct Connection {
+    Socket socket;
+    std::mutex write_mu;
+    std::thread reader;
+    std::atomic<bool> done{false};
+    // Worker jobs still holding this connection; it is only reaped at zero, so a
+    // response write can never race connection destruction.
+    std::atomic<int> pending_jobs{0};
+  };
+
+  void AcceptLoop();
+  void ReadLoop(Connection* conn);
+  // Decodes and executes one request frame on a worker thread.
+  void HandleFrame(Connection* conn, Frame frame);
+  PlanServiceResponse HandlePlanRequest(const PlanServiceRequest& request);
+  void WriteResponse(Connection* conn, FrameType type, std::string_view payload);
+  void ReapFinishedConnections();  // Joins readers whose connections closed.
+  // The PlanStore record bytes for `handle`, from the encoded-record LRU when present.
+  std::shared_ptr<const std::string> EncodedRecordFor(const PlanHandle& handle);
+
+  const std::shared_ptr<TenantRegistry> registry_;
+  const PlanServerOptions options_;
+
+  Listener listener_;
+  ServiceAddress bound_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::thread accept_thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<int> in_flight_{0};
+
+  std::mutex conns_mu_;
+  std::vector<std::unique_ptr<Connection>> conns_;
+
+  std::mutex record_cache_mu_;
+  std::list<std::pair<PlanSignature, std::shared_ptr<const std::string>>> record_lru_;
+  std::unordered_map<
+      PlanSignature,
+      std::list<std::pair<PlanSignature, std::shared_ptr<const std::string>>>::iterator,
+      PlanSignatureHash>
+      record_cache_;
+
+  mutable std::mutex stats_mu_;
+  PlanServerStats stats_;
+  struct TenantCounters {
+    int64_t requests = 0;
+    int64_t plan_errors = 0;
+  };
+  std::unordered_map<std::string, TenantCounters> tenant_counters_;
+};
+
+}  // namespace dcp
+
+#endif  // DCP_SERVICE_PLAN_SERVER_H_

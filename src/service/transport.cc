@@ -1,0 +1,323 @@
+#include "service/transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace dcp {
+namespace {
+
+std::string Errno(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+// Builds a sockaddr for `address`. Returns the length to pass to bind/connect.
+StatusOr<socklen_t> FillSockaddr(const ServiceAddress& address,
+                                 sockaddr_storage* storage) {
+  std::memset(storage, 0, sizeof(*storage));
+  if (address.kind == ServiceAddress::Kind::kTcp) {
+    auto* sin = reinterpret_cast<sockaddr_in*>(storage);
+    sin->sin_family = AF_INET;
+    sin->sin_port = htons(static_cast<uint16_t>(address.port));
+    if (::inet_pton(AF_INET, address.host.c_str(), &sin->sin_addr) != 1) {
+      return Status::InvalidArgument("cannot parse IPv4 address '" + address.host +
+                                     "' (the service transport is numeric-IP only)");
+    }
+    return static_cast<socklen_t>(sizeof(sockaddr_in));
+  }
+  auto* sun = reinterpret_cast<sockaddr_un*>(storage);
+  sun->sun_family = AF_UNIX;
+  if (address.path.empty() || address.path.size() >= sizeof(sun->sun_path)) {
+    return Status::InvalidArgument("unix socket path must be 1.." +
+                                   std::to_string(sizeof(sun->sun_path) - 1) +
+                                   " bytes: '" + address.path + "'");
+  }
+  std::memcpy(sun->sun_path, address.path.c_str(), address.path.size() + 1);
+  return static_cast<socklen_t>(sizeof(sockaddr_un));
+}
+
+}  // namespace
+
+ServiceAddress ServiceAddress::Tcp(std::string host, int port) {
+  ServiceAddress address;
+  address.kind = Kind::kTcp;
+  address.host = std::move(host);
+  address.port = port;
+  return address;
+}
+
+ServiceAddress ServiceAddress::Unix(std::string path) {
+  ServiceAddress address;
+  address.kind = Kind::kUnix;
+  address.path = std::move(path);
+  return address;
+}
+
+StatusOr<ServiceAddress> ServiceAddress::Parse(const std::string& spec) {
+  if (spec.rfind("unix:", 0) == 0) {
+    const std::string path = spec.substr(5);
+    if (path.empty()) {
+      return Status::InvalidArgument("unix address needs a path: '" + spec + "'");
+    }
+    return Unix(path);
+  }
+  if (spec.rfind("tcp:", 0) == 0) {
+    const std::string rest = spec.substr(4);
+    const size_t colon = rest.rfind(':');
+    if (colon == std::string::npos || colon == 0 || colon + 1 >= rest.size()) {
+      return Status::InvalidArgument("tcp address must be tcp:host:port: '" + spec + "'");
+    }
+    const std::string port_text = rest.substr(colon + 1);
+    int port = 0;
+    for (char c : port_text) {
+      if (c < '0' || c > '9' || port > 65535) {
+        return Status::InvalidArgument("bad tcp port in '" + spec + "'");
+      }
+      port = port * 10 + (c - '0');
+    }
+    if (port > 65535) {
+      return Status::InvalidArgument("bad tcp port in '" + spec + "'");
+    }
+    return Tcp(rest.substr(0, colon), port);
+  }
+  return Status::InvalidArgument("address must start with tcp: or unix: — got '" + spec +
+                                 "'");
+}
+
+std::string ServiceAddress::ToString() const {
+  if (kind == Kind::kTcp) {
+    return "tcp:" + host + ":" + std::to_string(port);
+  }
+  return "unix:" + path;
+}
+
+Socket::~Socket() { Close(); }
+
+Socket::Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Status Socket::SendAll(std::string_view bytes) {
+  if (!valid()) {
+    return Status::Unavailable("send on closed socket");
+  }
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return Status::Unavailable(Errno("send failed"));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Status Socket::RecvAll(void* buf, size_t n) {
+  if (!valid()) {
+    return Status::Unavailable("recv on closed socket");
+  }
+  size_t got = 0;
+  auto* out = static_cast<char*>(buf);
+  while (got < n) {
+    const ssize_t r = ::recv(fd_, out + got, n - got, 0);
+    if (r < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return Status::Unavailable(Errno("recv failed"));
+    }
+    if (r == 0) {
+      // A close on a frame boundary is how peers hang up; inside a frame it tore one.
+      return got == 0 ? Status::Unavailable("connection closed")
+                      : Status::DataLoss("connection closed mid-frame after " +
+                                         std::to_string(got) + " bytes");
+    }
+    got += static_cast<size_t>(r);
+  }
+  return Status::Ok();
+}
+
+void Socket::Shutdown() {
+  if (valid()) {
+    ::shutdown(fd_, SHUT_RDWR);
+  }
+}
+
+void Socket::Close() {
+  if (valid()) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+StatusOr<Socket> ConnectSocket(const ServiceAddress& address) {
+  sockaddr_storage storage;
+  StatusOr<socklen_t> len = FillSockaddr(address, &storage);
+  if (!len.ok()) {
+    return len.status();
+  }
+  const int domain =
+      address.kind == ServiceAddress::Kind::kTcp ? AF_INET : AF_UNIX;
+  const int fd = ::socket(domain, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(Errno("socket failed"));
+  }
+  Socket sock(fd);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&storage), len.value()) != 0) {
+    return Status::Unavailable(Errno("cannot connect to " + address.ToString()));
+  }
+  if (address.kind == ServiceAddress::Kind::kTcp) {
+    // Plan RPCs are small request / large response; never trade latency for batching.
+    const int one = 1;
+    (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+  return sock;
+}
+
+Listener::~Listener() { Close(); }
+
+Listener::Listener(Listener&& other) noexcept
+    : fd_(other.fd_), wake_fd_(other.wake_fd_), bound_(std::move(other.bound_)) {
+  other.fd_ = -1;
+  other.wake_fd_ = -1;
+}
+
+Listener& Listener::operator=(Listener&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    wake_fd_ = other.wake_fd_;
+    bound_ = std::move(other.bound_);
+    other.fd_ = -1;
+    other.wake_fd_ = -1;
+  }
+  return *this;
+}
+
+StatusOr<Listener> Listener::Bind(const ServiceAddress& address) {
+  if (address.kind == ServiceAddress::Kind::kUnix) {
+    // Replace a stale socket file from a dead server; refuse to clobber anything that
+    // is not a socket (a config typo must not delete a real file).
+    struct stat st;
+    if (::lstat(address.path.c_str(), &st) == 0) {
+      if (!S_ISSOCK(st.st_mode)) {
+        return Status::InvalidArgument("refusing to replace non-socket file at " +
+                                       address.path);
+      }
+      ::unlink(address.path.c_str());
+    }
+  }
+  sockaddr_storage storage;
+  StatusOr<socklen_t> len = FillSockaddr(address, &storage);
+  if (!len.ok()) {
+    return len.status();
+  }
+  const int domain =
+      address.kind == ServiceAddress::Kind::kTcp ? AF_INET : AF_UNIX;
+  const int fd = ::socket(domain, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(Errno("socket failed"));
+  }
+  Listener listener;
+  listener.fd_ = fd;
+  listener.wake_fd_ = ::eventfd(0, EFD_CLOEXEC);
+  if (listener.wake_fd_ < 0) {
+    return Status::Internal(Errno("eventfd failed"));
+  }
+  if (address.kind == ServiceAddress::Kind::kTcp) {
+    const int one = 1;
+    (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&storage), len.value()) != 0) {
+    return Status::Unavailable(Errno("cannot bind " + address.ToString()));
+  }
+  if (::listen(fd, 64) != 0) {
+    return Status::Internal(Errno("cannot listen on " + address.ToString()));
+  }
+  listener.bound_ = address;
+  if (address.kind == ServiceAddress::Kind::kTcp && address.port == 0) {
+    sockaddr_in sin;
+    socklen_t sin_len = sizeof(sin);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&sin), &sin_len) != 0) {
+      return Status::Internal(Errno("getsockname failed"));
+    }
+    listener.bound_.port = ntohs(sin.sin_port);
+  }
+  return listener;
+}
+
+StatusOr<Socket> Listener::Accept(int timeout_ms) {
+  if (!valid()) {
+    return Status::Unavailable("listener closed");
+  }
+  pollfd pfds[2] = {{fd_, POLLIN, 0}, {wake_fd_, POLLIN, 0}};
+  const int ready = ::poll(pfds, 2, timeout_ms);
+  if (ready < 0) {
+    if (errno == EINTR) {
+      return Status::NotFound("accept interrupted");
+    }
+    return Status::Internal(Errno("poll failed"));
+  }
+  if (ready == 0) {
+    return Status::NotFound("accept timeout");
+  }
+  if ((pfds[1].revents & POLLIN) != 0) {
+    return Status::Unavailable("listener interrupted");
+  }
+  const int fd = ::accept(fd_, nullptr, nullptr);
+  if (fd < 0) {
+    return Status::Unavailable(Errno("accept failed"));
+  }
+  if (bound_.kind == ServiceAddress::Kind::kTcp) {
+    const int one = 1;
+    (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+  return Socket(fd);
+}
+
+void Listener::Interrupt() {
+  if (wake_fd_ >= 0) {
+    const uint64_t one = 1;
+    ssize_t written;
+    do {
+      written = ::write(wake_fd_, &one, sizeof(one));
+    } while (written < 0 && errno == EINTR);
+  }
+}
+
+void Listener::Close() {
+  if (wake_fd_ >= 0) {
+    ::close(wake_fd_);
+    wake_fd_ = -1;
+  }
+  if (valid()) {
+    ::close(fd_);
+    fd_ = -1;
+    if (bound_.kind == ServiceAddress::Kind::kUnix && !bound_.path.empty()) {
+      ::unlink(bound_.path.c_str());
+    }
+  }
+}
+
+}  // namespace dcp

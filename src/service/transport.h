@@ -1,0 +1,102 @@
+// Blocking socket transport for the planning service: a move-only Socket wrapper plus a
+// Listener that accepts over TCP (127.0.0.1:port, port 0 picks an ephemeral one) or
+// Unix-domain sockets. Everything returns Status — a refused connection, a closed peer,
+// or a bind collision is an operational condition, never an abort. The accept loop
+// polls with a short timeout so PlanServer::Stop() can stop it without signals.
+#ifndef DCP_SERVICE_TRANSPORT_H_
+#define DCP_SERVICE_TRANSPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace dcp {
+
+// "tcp:host:port" or "unix:/path/to.sock".
+struct ServiceAddress {
+  enum class Kind { kTcp, kUnix };
+
+  Kind kind = Kind::kTcp;
+  std::string host = "127.0.0.1";  // kTcp.
+  int port = 0;                    // kTcp; 0 binds an ephemeral port.
+  std::string path;                // kUnix.
+
+  static ServiceAddress Tcp(std::string host, int port);
+  static ServiceAddress Unix(std::string path);
+  static StatusOr<ServiceAddress> Parse(const std::string& spec);
+  std::string ToString() const;
+};
+
+// A connected stream socket. Blocking; move-only; closes on destruction.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket();
+
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  // Writes all of `bytes` (EINTR-safe, SIGPIPE suppressed). UNAVAILABLE when the peer
+  // is gone.
+  Status SendAll(std::string_view bytes);
+  // Reads exactly `n` bytes. UNAVAILABLE on a clean close before the first byte,
+  // DATA_LOSS on a close mid-read (the peer tore a frame).
+  Status RecvAll(void* buf, size_t n);
+
+  // Unblocks any thread blocked in RecvAll/SendAll on this socket (server shutdown).
+  void Shutdown();
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+// Connects to a listening service endpoint.
+StatusOr<Socket> ConnectSocket(const ServiceAddress& address);
+
+class Listener {
+ public:
+  Listener() = default;
+  ~Listener();
+
+  Listener(Listener&& other) noexcept;
+  Listener& operator=(Listener&& other) noexcept;
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  // Binds and listens. For TCP with port 0, bound_address() reports the ephemeral port
+  // actually chosen; for Unix sockets a stale socket file at the path is replaced.
+  static StatusOr<Listener> Bind(const ServiceAddress& address);
+
+  bool valid() const { return fd_ >= 0; }
+  const ServiceAddress& bound_address() const { return bound_; }
+
+  // Waits up to `timeout_ms` for a connection (-1: no timeout). NOT_FOUND on timeout
+  // (poll again), UNAVAILABLE once the listener is closed or interrupted.
+  StatusOr<Socket> Accept(int timeout_ms);
+
+  // Wakes a Accept() blocked in another thread (it returns UNAVAILABLE). This is the
+  // only cross-thread operation the Listener supports: the owner then joins the accept
+  // thread and calls Close() from a single thread — closing the fd out from under a
+  // concurrent poll would be a data race and an fd-reuse hazard.
+  void Interrupt();
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+  int wake_fd_ = -1;  // eventfd; written by Interrupt, polled by Accept.
+  ServiceAddress bound_;
+};
+
+}  // namespace dcp
+
+#endif  // DCP_SERVICE_TRANSPORT_H_

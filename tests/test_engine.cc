@@ -5,8 +5,11 @@
 // (device buffers reused across equal signatures).
 #include "core/engine.h"
 
+#include <atomic>
 #include <cmath>
 #include <limits>
+#include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -358,6 +361,64 @@ TEST(DcpExecutorIncremental, HandlesOutliveTheEngineAndTheCache) {
   executor.Prepare(handle);
   EXPECT_TRUE(executor.ready());
   EXPECT_EQ(executor.plan().layout.seqlens, (std::vector<int64_t>{40, 25}));
+}
+
+TEST(EngineCacheStats, CoherentUnderConcurrentPlanCallers) {
+  // Service worker threads hammer Plan() while another thread polls cache_stats().
+  // The snapshot must be coherent (all shard locks held at once): lookups never run
+  // backwards between snapshots, entries never exceed capacity, and the final counters
+  // account for every call exactly.
+  ClusterSpec cluster;
+  cluster.num_nodes = 1;
+  cluster.devices_per_node = 2;
+  EngineOptions options = SmallEngineOptions();
+  options.plan_cache_capacity = 8;
+  options.plan_cache_shards = 4;
+  Engine engine(cluster, options);
+
+  constexpr int kThreads = 4;
+  constexpr int kItersPerThread = 40;
+  constexpr int kDistinctShapes = 12;  // > capacity: constant eviction churn.
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> poll_failures{0};
+  std::thread poller([&] {
+    int64_t last_lookups = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      const PlanCacheStats stats = engine.cache_stats();
+      const int64_t lookups = stats.hits + stats.misses;
+      if (lookups < last_lookups || stats.entries < 0 ||
+          stats.entries > options.plan_cache_capacity || stats.hits < 0 ||
+          stats.misses < 0 || stats.evictions < 0) {
+        ++poll_failures;
+      }
+      last_lookups = lookups;
+    }
+  });
+
+  std::vector<std::thread> planners;
+  for (int t = 0; t < kThreads; ++t) {
+    planners.emplace_back([&, t] {
+      for (int i = 0; i < kItersPerThread; ++i) {
+        const int shape = (t * kItersPerThread + i) % kDistinctShapes;
+        const std::vector<int64_t> seqlens = {48 + 8 * shape, 32};
+        StatusOr<PlanHandle> plan = engine.Plan(seqlens, MaskSpec::Causal());
+        ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+      }
+    });
+  }
+  for (std::thread& thread : planners) {
+    thread.join();
+  }
+  stop.store(true, std::memory_order_release);
+  poller.join();
+
+  EXPECT_EQ(poll_failures.load(), 0);
+  const PlanCacheStats final_stats = engine.cache_stats();
+  EXPECT_EQ(final_stats.hits + final_stats.misses, kThreads * kItersPerThread);
+  EXPECT_LE(final_stats.entries, options.plan_cache_capacity);
+  // Every cached-then-evicted plan came from a miss that won its insert race.
+  EXPECT_LE(final_stats.entries + final_stats.evictions, final_stats.misses);
 }
 
 }  // namespace

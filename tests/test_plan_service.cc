@@ -1,0 +1,411 @@
+// End-to-end tests for dcp::PlanService: a real PlanServer on a loopback TCP socket,
+// real PlanClients, and the acceptance bar from the subsystem's introduction —
+// responses bit-identical to in-process Engine::Plan (asserted via SerializePlan),
+// tenants never observing each other's plans, malformed frames never killing the
+// server, and overload rejected with UNAVAILABLE instead of queued without bound.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/dataloader.h"
+#include "core/engine.h"
+#include "masks/mask.h"
+#include "service/frame.h"
+#include "service/plan_client.h"
+#include "service/plan_server.h"
+#include "service/tenant_registry.h"
+#include "service/transport.h"
+#include "tests/plan_test_util.h"
+
+namespace dcp {
+namespace {
+
+ClusterSpec SmallCluster(int nodes, int devices) {
+  ClusterSpec cluster;
+  cluster.num_nodes = nodes;
+  cluster.devices_per_node = devices;
+  return cluster;
+}
+
+EngineOptions SmallEngineOptions(int64_t block_size, uint64_t seed = 7) {
+  EngineOptions options;
+  options.planner.block_size = block_size;
+  options.planner.num_groups = 2;
+  options.planner.heads_per_group = 2;
+  options.planner.head_dim = 8;
+  options.planner.divisions = 3;
+  options.planner.seed = seed;
+  return options;
+}
+
+// Serialization for bit-identity assertions between independent planning runs:
+// everything in a plan is deterministic except stats.planning_seconds, which is a
+// wall-clock measurement of the run that produced it — zeroed before comparing.
+std::string SerializeTimeless(const BatchPlan& plan) {
+  BatchPlan copy = plan;
+  copy.stats.planning_seconds = 0.0;
+  return SerializePlan(copy);
+}
+
+// A server over loopback TCP with the given tenants, torn down on destruction.
+struct ServiceFixture {
+  std::shared_ptr<TenantRegistry> registry = std::make_shared<TenantRegistry>();
+  std::unique_ptr<PlanServer> server;
+
+  explicit ServiceFixture(const std::vector<TenantConfig>& tenants,
+                          PlanServerOptions options = {}) {
+    for (const TenantConfig& tenant : tenants) {
+      Status registered = registry->Register(tenant);
+      EXPECT_TRUE(registered.ok()) << registered.ToString();
+    }
+    server = std::make_unique<PlanServer>(registry, options);
+    Status started = server->Start(ServiceAddress::Tcp("127.0.0.1", 0));
+    EXPECT_TRUE(started.ok()) << started.ToString();
+  }
+
+  std::unique_ptr<PlanClient> Client(const std::string& tenant,
+                                     int cache_capacity = 64) {
+    PlanClientOptions options;
+    options.tenant = tenant;
+    options.cache_capacity = cache_capacity;
+    StatusOr<std::unique_ptr<PlanClient>> client =
+        PlanClient::Connect(server->bound_address(), options);
+    EXPECT_TRUE(client.ok()) << client.status().ToString();
+    return std::move(client).value();
+  }
+};
+
+TEST(PlanService, LoopbackResponsesBitIdenticalToInProcessPlanning) {
+  const ClusterSpec cluster = SmallCluster(2, 2);
+  const EngineOptions options = SmallEngineOptions(16);
+  ServiceFixture service({{"prod", cluster, options}});
+
+  const std::vector<int64_t> seqlens = {60, 33, 18};
+  const MaskSpec mask = MaskSpec::Lambda(4, 13);
+
+  // In-process reference engine with the identical tenant configuration.
+  Engine local(cluster, options);
+  const PlanHandle expected = local.Plan(seqlens, mask).value();
+
+  std::unique_ptr<PlanClient> client = service.Client("prod");
+  StatusOr<PlanHandle> remote = client->Plan(seqlens, mask);
+  ASSERT_TRUE(remote.ok()) << remote.status().ToString();
+  EXPECT_EQ(client->last_source(), PlanServeSource::kPlanned);
+  EXPECT_TRUE(remote.value()->signature == expected->signature);
+  EXPECT_EQ(SerializeTimeless(remote.value()->plan), SerializeTimeless(expected->plan));
+  ASSERT_EQ(remote.value()->masks.size(), expected->masks.size());
+
+  // Same request again on the SAME client: served locally, no RPC.
+  const int64_t rpcs_before = client->stats().rpcs_sent;
+  StatusOr<PlanHandle> local_hit = client->Plan(seqlens, mask);
+  ASSERT_TRUE(local_hit.ok());
+  EXPECT_EQ(client->last_source(), PlanServeSource::kClientCache);
+  EXPECT_EQ(client->stats().rpcs_sent, rpcs_before);
+  EXPECT_EQ(local_hit.value().get(), remote.value().get());
+
+  // A FRESH client (a second process's worth of state) is served from the server's
+  // plan cache — still bit-identical.
+  std::unique_ptr<PlanClient> fresh = service.Client("prod");
+  StatusOr<PlanHandle> server_hit = fresh->Plan(seqlens, mask);
+  ASSERT_TRUE(server_hit.ok()) << server_hit.status().ToString();
+  EXPECT_EQ(fresh->last_source(), PlanServeSource::kMemoryCache);
+  EXPECT_EQ(SerializeTimeless(server_hit.value()->plan), SerializeTimeless(expected->plan));
+}
+
+TEST(PlanService, TenantsNeverObserveEachOthersPlans) {
+  const ClusterSpec cluster = SmallCluster(1, 4);
+  // Same cluster, different planner configuration => different plans and signatures.
+  const EngineOptions options_a = SmallEngineOptions(16, /*seed=*/7);
+  const EngineOptions options_b = SmallEngineOptions(24, /*seed=*/11);
+  ServiceFixture service({{"team-a", cluster, options_a}, {"team-b", cluster, options_b}});
+
+  const std::vector<int64_t> seqlens = {70, 41};
+  const MaskSpec mask = MaskSpec::Causal();
+
+  std::unique_ptr<PlanClient> client_a = service.Client("team-a");
+  std::unique_ptr<PlanClient> client_b = service.Client("team-b");
+  const PlanHandle plan_a = client_a->Plan(seqlens, mask).value();
+  const PlanHandle plan_b = client_b->Plan(seqlens, mask).value();
+
+  // Distinct signatures: one tenant's cache can never serve the other's request.
+  EXPECT_FALSE(plan_a->signature == plan_b->signature);
+  EXPECT_NE(SerializeTimeless(plan_a->plan), SerializeTimeless(plan_b->plan));
+
+  // And each matches its own in-process reference exactly.
+  Engine local_a(cluster, options_a);
+  Engine local_b(cluster, options_b);
+  EXPECT_EQ(SerializeTimeless(plan_a->plan),
+            SerializeTimeless(local_a.Plan(seqlens, mask).value()->plan));
+  EXPECT_EQ(SerializeTimeless(plan_b->plan),
+            SerializeTimeless(local_b.Plan(seqlens, mask).value()->plan));
+}
+
+TEST(PlanService, ErrorsPropagateAsStatuses) {
+  ServiceFixture service({{"prod", SmallCluster(1, 2), SmallEngineOptions(16)}});
+  std::unique_ptr<PlanClient> client = service.Client("prod");
+
+  // Invalid user input: recoverable INVALID_ARGUMENT from the tenant engine.
+  StatusOr<PlanHandle> empty = client->Plan({}, MaskSpec::Causal());
+  ASSERT_FALSE(empty.ok());
+  EXPECT_EQ(empty.status().code(), StatusCode::kInvalidArgument);
+
+  StatusOr<PlanHandle> negative = client->Plan({64, -3}, MaskSpec::Causal());
+  ASSERT_FALSE(negative.ok());
+  EXPECT_EQ(negative.status().code(), StatusCode::kInvalidArgument);
+
+  // Unknown tenant: NOT_FOUND, and the connection keeps working afterwards.
+  PlanClientOptions unknown_options;
+  unknown_options.tenant = "nobody";
+  std::unique_ptr<PlanClient> unknown =
+      PlanClient::Connect(service.server->bound_address(), unknown_options).value();
+  StatusOr<PlanHandle> missing = unknown->Plan({64}, MaskSpec::Causal());
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+
+  StatusOr<PlanHandle> ok_after = client->Plan({64, 32}, MaskSpec::Causal());
+  EXPECT_TRUE(ok_after.ok()) << ok_after.status().ToString();
+}
+
+TEST(PlanService, OverloadRejectedWithUnavailable) {
+  PlanServerOptions drained;
+  drained.max_queue = 0;  // Maintenance mode: every request rejected immediately.
+  ServiceFixture service({{"prod", SmallCluster(1, 2), SmallEngineOptions(16)}},
+                         drained);
+  std::unique_ptr<PlanClient> client = service.Client("prod");
+  StatusOr<PlanHandle> rejected = client->Plan({64, 32}, MaskSpec::Causal());
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kUnavailable);
+  EXPECT_GE(service.server->stats().rejected_overload, 1);
+}
+
+TEST(PlanService, MalformedFramesNeverKillTheServer) {
+  ServiceFixture service({{"prod", SmallCluster(1, 2), SmallEngineOptions(16)}});
+  const ServiceAddress address = service.server->bound_address();
+
+  {  // Raw garbage bytes.
+    Socket raw = ConnectSocket(address).value();
+    ASSERT_TRUE(raw.SendAll("this is definitely not a DCP frame, not even close")
+                    .ok());
+    raw.Close();
+  }
+  {  // A truncated but valid frame prefix (torn mid-payload).
+    Socket raw = ConnectSocket(address).value();
+    const std::string frame = EncodeFrame(
+        FrameType::kPlanRequest,
+        SerializePlanServiceRequest({"prod", {64, 32}, MaskSpec::Causal(), 0}));
+    ASSERT_TRUE(raw.SendAll(std::string_view(frame).substr(0, frame.size() / 2)).ok());
+    raw.Close();
+  }
+  {  // Every byte of a valid frame bit-flipped, one connection per corruption.
+    const std::string frame = EncodeFrame(
+        FrameType::kPlanRequest,
+        SerializePlanServiceRequest({"prod", {64, 32}, MaskSpec::Causal(), 0}));
+    for (size_t byte = 0; byte < frame.size(); byte += 7) {  // Stride keeps it fast.
+      std::string corrupt = frame;
+      corrupt[byte] = static_cast<char>(corrupt[byte] ^ 0x20);
+      Socket raw = ConnectSocket(address).value();
+      ASSERT_TRUE(raw.SendAll(corrupt).ok());
+      raw.Close();
+    }
+  }
+  {  // A well-framed payload that is not a valid request message.
+    Socket raw = ConnectSocket(address).value();
+    ASSERT_TRUE(WriteFrame(raw, FrameType::kPlanRequest, "not-a-request").ok());
+    StatusOr<Frame> reply = ReadFrame(raw);
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+    StatusOr<PlanServiceResponse> decoded =
+        DeserializePlanServiceResponse(reply.value().payload);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded.value().code, StatusCode::kDataLoss);
+  }
+
+  // After all of that, the server still serves well-formed traffic.
+  std::unique_ptr<PlanClient> client = service.Client("prod");
+  StatusOr<PlanHandle> plan = client->Plan({64, 32}, MaskSpec::Causal());
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_GE(service.server->stats().malformed_frames, 1);
+}
+
+// The subsystem's stress bar: N client threads x M tenants hammering one server, every
+// response asserted bit-identical (via SerializePlan) to a fresh in-process plan.
+TEST(PlanService, StressManyClientThreadsManyTenants) {
+  constexpr int kTenants = 3;
+  constexpr int kThreadsPerTenant = 2;
+  constexpr int kCasesPerThread = 6;
+
+  std::vector<TenantConfig> tenants;
+  std::vector<ClusterSpec> clusters;
+  std::vector<EngineOptions> options;
+  for (int t = 0; t < kTenants; ++t) {
+    clusters.push_back(SmallCluster(1 + t % 2, 2));
+    options.push_back(SmallEngineOptions(16, /*seed=*/100 + static_cast<uint64_t>(t)));
+    tenants.push_back({"tenant-" + std::to_string(t), clusters[static_cast<size_t>(t)],
+                       options[static_cast<size_t>(t)]});
+  }
+  PlanServerOptions server_options;
+  server_options.workers = 4;
+  ServiceFixture service(tenants, server_options);
+
+  struct Observed {
+    std::string tenant;
+    std::vector<int64_t> seqlens;
+    MaskSpec mask;
+    int64_t block_size = 0;
+    std::string serialized;
+  };
+  std::vector<std::vector<Observed>> per_thread(kTenants * kThreadsPerTenant);
+  std::atomic<int> failures{0};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kTenants; ++t) {
+    for (int w = 0; w < kThreadsPerTenant; ++w) {
+      const int slot = t * kThreadsPerTenant + w;
+      threads.emplace_back([&, t, w, slot] {
+        // Each thread owns its connection; disable the client LRU so every request
+        // actually crosses the wire.
+        std::unique_ptr<PlanClient> client =
+            service.Client("tenant-" + std::to_string(t), /*cache_capacity=*/0);
+        Rng rng(1000 + static_cast<uint64_t>(slot));
+        for (int c = 0; c < kCasesPerThread; ++c) {
+          plan_test::GeneratedCase generated = plan_test::GenerateCase(rng);
+          Observed obs;
+          obs.tenant = "tenant-" + std::to_string(t);
+          obs.seqlens = generated.seqlens;
+          obs.mask = plan_test::SmallMaskSpec(generated.mask_kind);
+          obs.block_size = generated.block_size;
+          StatusOr<PlanHandle> plan =
+              client->PlanWithBlockSize(obs.seqlens, obs.mask, obs.block_size);
+          if (!plan.ok()) {
+            ++failures;
+            continue;
+          }
+          obs.serialized = SerializeTimeless(plan.value()->plan);
+          per_thread[static_cast<size_t>(slot)].push_back(std::move(obs));
+        }
+        (void)w;
+      });
+    }
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+
+  // Verify serially against fresh in-process engines (one per tenant, fresh caches:
+  // planning is deterministic, so cold plans must equal whatever the service served).
+  for (int t = 0; t < kTenants; ++t) {
+    Engine local(clusters[static_cast<size_t>(t)], options[static_cast<size_t>(t)]);
+    for (int w = 0; w < kThreadsPerTenant; ++w) {
+      for (const Observed& obs :
+           per_thread[static_cast<size_t>(t * kThreadsPerTenant + w)]) {
+        StatusOr<PlanHandle> expected =
+            local.PlanWithBlockSize(obs.seqlens, obs.mask, obs.block_size);
+        ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+        EXPECT_EQ(obs.serialized, SerializeTimeless(expected.value()->plan))
+            << "tenant " << obs.tenant;
+      }
+    }
+  }
+
+  const PlanServerStats stats = service.server->stats();
+  EXPECT_GE(stats.requests_received, kTenants * kThreadsPerTenant * kCasesPerThread);
+  EXPECT_EQ(stats.rejected_overload, 0);
+}
+
+TEST(PlanService, StatsRpcReportsServiceAndTenantCounters) {
+  ServiceFixture service({{"prod", SmallCluster(1, 2), SmallEngineOptions(16)},
+                          {"dev", SmallCluster(1, 2), SmallEngineOptions(24)}});
+  std::unique_ptr<PlanClient> client = service.Client("prod");
+  ASSERT_TRUE(client->Plan({64, 32}, MaskSpec::Causal()).ok());
+  ASSERT_TRUE(client->Plan({64, 32}, MaskSpec::Causal()).ok());  // Client-cache hit.
+  client->ClearCache();
+  ASSERT_TRUE(client->Plan({64, 32}, MaskSpec::Causal()).ok());  // Server-cache hit.
+
+  StatusOr<PlanServiceStatsResponse> stats = client->ServerStats();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats.value().code, StatusCode::kOk);
+  EXPECT_GE(stats.value().requests_received, 3);  // 2 plans + the stats RPC itself.
+  ASSERT_EQ(stats.value().tenants.size(), 2u);  // Sorted: dev, prod.
+  EXPECT_EQ(stats.value().tenants[0].tenant, "dev");
+  EXPECT_EQ(stats.value().tenants[1].tenant, "prod");
+  EXPECT_EQ(stats.value().tenants[1].requests, 2);
+  EXPECT_EQ(stats.value().tenants[1].cache_hits, 1);    // The server-cache hit.
+  EXPECT_EQ(stats.value().tenants[1].cache_misses, 1);  // The cold plan.
+  EXPECT_EQ(stats.value().tenants[0].requests, 0);
+
+  // Filtered stats: one tenant; unknown tenant is NOT_FOUND.
+  StatusOr<PlanServiceStatsResponse> filtered = client->ServerStats("prod");
+  ASSERT_TRUE(filtered.ok());
+  ASSERT_EQ(filtered.value().tenants.size(), 1u);
+  EXPECT_EQ(filtered.value().tenants[0].tenant, "prod");
+  StatusOr<PlanServiceStatsResponse> missing = client->ServerStats("nobody");
+  ASSERT_TRUE(missing.ok());
+  EXPECT_EQ(missing.value().code, StatusCode::kNotFound);
+}
+
+TEST(PlanService, DataLoaderRunsTransparentlyOverRemotePlanner) {
+  const ClusterSpec cluster = SmallCluster(2, 2);
+  EngineOptions options = SmallEngineOptions(256);
+  options.planner.head_dim = 16;
+  ServiceFixture service({{"prod", cluster, options}});
+
+  DatasetConfig dataset;
+  dataset.kind = DatasetKind::kLongDataCollections;
+  dataset.max_seq_len = 1024;
+  dataset.min_seq_len = 64;
+  dataset.seed = 42;
+  BatchingConfig batching;
+  batching.token_budget = 2048;
+
+  PlanClientOptions client_options;
+  client_options.tenant = "prod";
+  std::shared_ptr<PlanClient> client =
+      PlanClient::Connect(service.server->bound_address(), client_options).value();
+
+  DcpDataLoader remote_loader(BatchStream{LengthSampler(dataset), batching},
+                              MaskSpec::Causal(), client, /*lookahead=*/1);
+  auto engine = std::make_shared<Engine>(cluster, options);
+  DcpDataLoader local_loader(BatchStream{LengthSampler(dataset), batching},
+                             MaskSpec::Causal(), engine, /*lookahead=*/1);
+
+  for (int iter = 0; iter < 4; ++iter) {
+    PlannedIteration remote = remote_loader.Next();
+    PlannedIteration local = local_loader.Next();
+    EXPECT_EQ(remote.batch.seqlens, local.batch.seqlens) << "iteration " << iter;
+    EXPECT_EQ(SerializeTimeless(remote.plan()), SerializeTimeless(local.plan()))
+        << "iteration " << iter;
+  }
+}
+
+TEST(PlanService, ClientReconnectsAfterServerRestart) {
+  const ClusterSpec cluster = SmallCluster(1, 2);
+  const EngineOptions options = SmallEngineOptions(16);
+  auto registry = std::make_shared<TenantRegistry>();
+  ASSERT_TRUE(registry->Register({"prod", cluster, options}).ok());
+
+  auto server = std::make_unique<PlanServer>(registry, PlanServerOptions{});
+  ASSERT_TRUE(server->Start(ServiceAddress::Tcp("127.0.0.1", 0)).ok());
+  const ServiceAddress address = server->bound_address();
+
+  std::unique_ptr<PlanClient> client =
+      PlanClient::Connect(address, PlanClientOptions{.tenant = "prod"}).value();
+  ASSERT_TRUE(client->Plan({64, 32}, MaskSpec::Causal()).ok());
+
+  // Restart the server on the same port (new engines, same tenant config).
+  server->Stop();
+  server = std::make_unique<PlanServer>(registry, PlanServerOptions{});
+  ASSERT_TRUE(server->Start(address).ok());
+
+  // A different request (the first is in the client LRU): one transparent reconnect.
+  StatusOr<PlanHandle> replanned = client->Plan({48, 24}, MaskSpec::Causal());
+  ASSERT_TRUE(replanned.ok()) << replanned.status().ToString();
+  EXPECT_GE(client->stats().reconnects, 1);
+}
+
+}  // namespace
+}  // namespace dcp

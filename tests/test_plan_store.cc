@@ -70,6 +70,26 @@ PlannedCase PlanRandomCase(Rng& rng) {
   return p;
 }
 
+TEST(Crc32, MatchesTheIeeeCheckValueAtEveryLengthSplit) {
+  // The standard CRC-32 check value pins the polynomial, reflection, and the final
+  // inversion — guarding the slicing-by-8 kernel against any drift from the byte-wise
+  // definition (which would silently invalidate every existing plan record).
+  const std::string check = "123456789";
+  EXPECT_EQ(Crc32(check), 0xCBF43926u);
+  // Incremental updates across every split point, exercising both the 8-byte kernel
+  // and the byte-at-a-time tail, must agree with the one-shot value.
+  std::string longer;
+  for (int i = 0; i < 100; ++i) {
+    longer += static_cast<char>(i * 37 + 11);
+  }
+  const uint32_t whole = Crc32(longer);
+  for (size_t split = 0; split <= longer.size(); ++split) {
+    uint32_t crc = Crc32Update(0, longer.data(), split);
+    crc = Crc32Update(crc, longer.data() + split, longer.size() - split);
+    EXPECT_EQ(crc, whole) << "split at " << split;
+  }
+}
+
 TEST(PlanBinaryCodec, RandomizedPlansRoundTripBitIdentical) {
   Rng rng(20260728);
   for (int iteration = 0; iteration < 6; ++iteration) {

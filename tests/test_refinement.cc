@@ -13,6 +13,7 @@
 #include "common/thread_pool.h"
 #include "hypergraph/gain_bucket_queue.h"
 #include "hypergraph/gain_state.h"
+#include "hypergraph/internal.h"
 #include "hypergraph/metrics.h"
 #include "hypergraph/partitioner.h"
 
@@ -472,6 +473,67 @@ TEST(ParallelPortfolio, SeedsProduceIndependentStreams) {
     any_different = partitioner->Run(hg, config).part != a.part;
   }
   EXPECT_TRUE(any_different) << "all seeds produced identical partitions";
+}
+
+TEST(ParallelCoarsening, DedupSortBitIdenticalAcrossThreadCounts) {
+  // Heavy duplicate-edge instance: merge-magnet pairs plus thousands of parallel cross
+  // edges whose fine pin pairs all collapse onto identical coarse pin sets. This drives
+  // the parallel chunk-sort + merge-tree dedup in CoarsenOnce across many chunks; the
+  // coarse graph (mapping, pins, AND summed duplicate weights — floating point, so
+  // summation order matters) must be bit-identical for any thread count.
+  Rng build_rng(99);
+  Hypergraph hg;
+  constexpr int kPairs = 600;
+  for (int v = 0; v < 2 * kPairs; ++v) {
+    hg.AddVertex(1.0, 1.0);
+  }
+  for (VertexId p = 0; p < kPairs; ++p) {
+    hg.AddEdge(8.0, {2 * p, 2 * p + 1});
+  }
+  for (int e = 0; e < 4000; ++e) {
+    const auto a = static_cast<VertexId>(build_rng.NextBounded(kPairs));
+    const auto b = static_cast<VertexId>(build_rng.NextBounded(kPairs));
+    if (a == b) {
+      continue;
+    }
+    // Random parity endpoints: all four fine pin combinations dedupe to coarse {a, b}.
+    hg.AddEdge(0.25 + 0.5 * build_rng.NextDouble(),
+               {2 * a + static_cast<VertexId>(build_rng.NextBounded(2)),
+                2 * b + static_cast<VertexId>(build_rng.NextBounded(2))});
+  }
+  hg.Finalize();
+
+  PartitionConfig config;
+  config.k = 4;
+  config.eps = {0.25, 0.25};
+  config.coarsening_grain = 64;  // Many chunks in both scoring and the dedup sort.
+
+  auto run = [&](int threads) {
+    ThreadPool pool(threads);
+    ScopedThreadPoolOverride override_pool(&pool);
+    Rng rng(7);
+    CoarseningScratch scratch;
+    return CoarsenOnce(hg, config, rng, scratch);
+  };
+
+  CoarseLevel reference = run(1);
+  ASSERT_GT(reference.coarse.num_vertices(), 0);
+  ASSERT_LT(reference.coarse.num_edges(), hg.num_edges()) << "no dedup happened";
+  for (int threads : {2, 5}) {
+    CoarseLevel level = run(threads);
+    ASSERT_EQ(reference.fine_to_coarse, level.fine_to_coarse)
+        << "clustering diverged with " << threads << " threads";
+    ASSERT_EQ(reference.coarse.num_edges(), level.coarse.num_edges());
+    for (EdgeId e = 0; e < reference.coarse.num_edges(); ++e) {
+      auto [rb, re] = reference.coarse.EdgePins(e);
+      auto [lb, le] = level.coarse.EdgePins(e);
+      ASSERT_EQ(re - rb, le - lb) << "edge " << e;
+      ASSERT_TRUE(std::equal(rb, re, lb)) << "edge " << e;
+      // Exact double equality: duplicate weights must sum in the same order.
+      ASSERT_EQ(reference.coarse.edge_weight(e), level.coarse.edge_weight(e))
+          << "edge " << e;
+    }
+  }
 }
 
 }  // namespace

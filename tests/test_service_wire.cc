@@ -1,0 +1,272 @@
+// Wire-level tests for the planning service: ServiceAddress parsing, the
+// length-prefixed CRC32 framing over real sockets, and the request/response message
+// codecs — round-trips, truncation at every prefix, and bit-flip robustness. The
+// invariant under test is the same one the plan store enforces on disk: malformed
+// bytes are a recoverable DATA_LOSS, never an abort and never a silently-wrong message.
+#include <sys/socket.h>
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "service/frame.h"
+#include "service/plan_server.h"
+#include "service/transport.h"
+
+namespace dcp {
+namespace {
+
+TEST(ServiceAddress, ParsesTcpAndUnix) {
+  StatusOr<ServiceAddress> tcp = ServiceAddress::Parse("tcp:127.0.0.1:7070");
+  ASSERT_TRUE(tcp.ok());
+  EXPECT_EQ(tcp.value().kind, ServiceAddress::Kind::kTcp);
+  EXPECT_EQ(tcp.value().host, "127.0.0.1");
+  EXPECT_EQ(tcp.value().port, 7070);
+  EXPECT_EQ(tcp.value().ToString(), "tcp:127.0.0.1:7070");
+
+  StatusOr<ServiceAddress> unix_addr = ServiceAddress::Parse("unix:/tmp/dcp.sock");
+  ASSERT_TRUE(unix_addr.ok());
+  EXPECT_EQ(unix_addr.value().kind, ServiceAddress::Kind::kUnix);
+  EXPECT_EQ(unix_addr.value().path, "/tmp/dcp.sock");
+  EXPECT_EQ(unix_addr.value().ToString(), "unix:/tmp/dcp.sock");
+}
+
+TEST(ServiceAddress, RejectsMalformedSpecs) {
+  for (const char* spec :
+       {"", "tcp:", "tcp:127.0.0.1", "tcp:127.0.0.1:", "tcp::7070", "tcp:host:badport",
+        "tcp:127.0.0.1:99999999", "unix:", "http://x", "127.0.0.1:7070"}) {
+    EXPECT_FALSE(ServiceAddress::Parse(spec).ok()) << spec;
+  }
+}
+
+PlanServiceRequest MakeRequest() {
+  PlanServiceRequest request;
+  request.tenant = "prod";
+  request.seqlens = {64, 32, 17};
+  request.mask_spec = MaskSpec::Lambda(4, 13);
+  request.block_size = 16;
+  return request;
+}
+
+void ExpectRequestsEqual(const PlanServiceRequest& a, const PlanServiceRequest& b) {
+  EXPECT_EQ(a.tenant, b.tenant);
+  EXPECT_EQ(a.seqlens, b.seqlens);
+  EXPECT_EQ(a.mask_spec.kind, b.mask_spec.kind);
+  EXPECT_EQ(a.mask_spec.sink_tokens, b.mask_spec.sink_tokens);
+  EXPECT_EQ(a.mask_spec.window_tokens, b.mask_spec.window_tokens);
+  EXPECT_EQ(a.mask_spec.icl_block_tokens, b.mask_spec.icl_block_tokens);
+  EXPECT_EQ(a.mask_spec.num_answers, b.mask_spec.num_answers);
+  EXPECT_DOUBLE_EQ(a.mask_spec.answer_fraction, b.mask_spec.answer_fraction);
+  EXPECT_EQ(a.block_size, b.block_size);
+}
+
+TEST(ServiceMessages, PlanRequestRoundTripsForEveryMaskKind) {
+  for (MaskKind kind : AllMaskKinds()) {
+    PlanServiceRequest request = MakeRequest();
+    request.mask_spec = MaskSpec::ForKind(kind);
+    const std::string bytes = SerializePlanServiceRequest(request);
+    StatusOr<PlanServiceRequest> decoded = DeserializePlanServiceRequest(bytes);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    ExpectRequestsEqual(request, decoded.value());
+  }
+}
+
+TEST(ServiceMessages, PlanRequestTruncationAlwaysRejected) {
+  const std::string bytes = SerializePlanServiceRequest(MakeRequest());
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    StatusOr<PlanServiceRequest> decoded =
+        DeserializePlanServiceRequest(bytes.substr(0, len));
+    EXPECT_FALSE(decoded.ok()) << "prefix of " << len << " bytes decoded";
+  }
+  // Trailing garbage is rejected too.
+  EXPECT_FALSE(DeserializePlanServiceRequest(bytes + "x").ok());
+}
+
+TEST(ServiceMessages, PlanRequestBitFlipsNeverCrash) {
+  const std::string bytes = SerializePlanServiceRequest(MakeRequest());
+  for (size_t byte = 0; byte < bytes.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string corrupt = bytes;
+      corrupt[byte] = static_cast<char>(corrupt[byte] ^ (1 << bit));
+      // Must return (ok or not), never abort; a flip that survives decoding must be a
+      // flip that changed a value, not the structure.
+      (void)DeserializePlanServiceRequest(corrupt);
+    }
+  }
+}
+
+TEST(ServiceMessages, PlanResponseRoundTripsAndValidates) {
+  PlanServiceResponse response;
+  response.code = StatusCode::kOk;
+  response.source = PlanServeSource::kStoreCache;
+  response.signature_lo = 0x1234567890abcdefULL;
+  response.signature_hi = 0xfedcba0987654321ULL;
+  response.record = std::string("record-bytes\x00\x7f\xff", 15);
+  const std::string bytes = SerializePlanServiceResponse(response);
+  StatusOr<PlanServiceResponse> decoded = DeserializePlanServiceResponse(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded.value().code, response.code);
+  EXPECT_EQ(decoded.value().source, response.source);
+  EXPECT_EQ(decoded.value().signature_lo, response.signature_lo);
+  EXPECT_EQ(decoded.value().signature_hi, response.signature_hi);
+  EXPECT_EQ(decoded.value().record, response.record);
+
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_FALSE(DeserializePlanServiceResponse(bytes.substr(0, len)).ok());
+  }
+  EXPECT_FALSE(DeserializePlanServiceResponse(bytes + "y").ok());
+
+  // Error responses carry the status code + message through the codec.
+  PlanServiceResponse error;
+  error.code = StatusCode::kUnavailable;
+  error.message = "server overloaded";
+  StatusOr<PlanServiceResponse> decoded_error =
+      DeserializePlanServiceResponse(SerializePlanServiceResponse(error));
+  ASSERT_TRUE(decoded_error.ok());
+  EXPECT_EQ(decoded_error.value().code, StatusCode::kUnavailable);
+  EXPECT_EQ(decoded_error.value().message, "server overloaded");
+}
+
+TEST(ServiceMessages, StatsResponseRoundTrips) {
+  PlanServiceStatsResponse response;
+  response.connections_accepted = 3;
+  response.requests_received = 41;
+  response.responses_sent = 40;
+  response.rejected_overload = 1;
+  response.malformed_frames = 2;
+  for (int t = 0; t < 3; ++t) {
+    PlanServiceTenantStats tenant;
+    tenant.tenant = "tenant-" + std::to_string(t);
+    tenant.requests = 10 + t;
+    tenant.cache_hits = 5 * t;
+    tenant.cache_misses = 7 - t;
+    tenant.store_writes = t;
+    response.tenants.push_back(tenant);
+  }
+  const std::string bytes = SerializePlanServiceStatsResponse(response);
+  StatusOr<PlanServiceStatsResponse> decoded =
+      DeserializePlanServiceStatsResponse(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded.value().requests_received, 41);
+  ASSERT_EQ(decoded.value().tenants.size(), 3u);
+  EXPECT_EQ(decoded.value().tenants[1].tenant, "tenant-1");
+  EXPECT_EQ(decoded.value().tenants[1].requests, 11);
+  EXPECT_EQ(decoded.value().tenants[2].cache_hits, 10);
+
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_FALSE(DeserializePlanServiceStatsResponse(bytes.substr(0, len)).ok());
+  }
+
+  const std::string stats_req =
+      SerializePlanServiceStatsRequest(PlanServiceStatsRequest{"prod"});
+  StatusOr<PlanServiceStatsRequest> req = DeserializePlanServiceStatsRequest(stats_req);
+  ASSERT_TRUE(req.ok());
+  EXPECT_EQ(req.value().tenant, "prod");
+}
+
+// A connected AF_UNIX socket pair wrapped in the transport's Socket class, for framing
+// tests without a listener.
+std::pair<Socket, Socket> MakeSocketPair() {
+  int fds[2];
+  EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  return {Socket(fds[0]), Socket(fds[1])};
+}
+
+TEST(ServiceFrame, RoundTripsOverSocket) {
+  auto [a, b] = MakeSocketPair();
+  const std::string payload = "hello plan service \x01\x02\x00 frame";
+  ASSERT_TRUE(WriteFrame(a, FrameType::kPlanRequest, payload).ok());
+  StatusOr<Frame> frame = ReadFrame(b);
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  EXPECT_EQ(frame.value().type, FrameType::kPlanRequest);
+  EXPECT_EQ(frame.value().payload, payload);
+
+  // Empty payloads frame fine too.
+  ASSERT_TRUE(WriteFrame(b, FrameType::kStatsRequest, "").ok());
+  StatusOr<Frame> empty = ReadFrame(a);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(empty.value().payload, "");
+}
+
+TEST(ServiceFrame, CorruptFramesRejectedAsDataLoss) {
+  const std::string encoded = EncodeFrame(FrameType::kPlanRequest, "payload-bytes");
+  // Flip every bit of the frame: the reader must reject (header damage) or fail the
+  // CRC (payload damage) — it must never return a frame with altered bytes.
+  for (size_t byte = 0; byte < encoded.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string corrupt = encoded;
+      corrupt[byte] = static_cast<char>(corrupt[byte] ^ (1 << bit));
+      auto [a, b] = MakeSocketPair();
+      ASSERT_TRUE(a.SendAll(corrupt).ok());
+      a.Close();  // Flush + EOF so length-extending flips read as truncation.
+      StatusOr<Frame> frame = ReadFrame(b);
+      EXPECT_FALSE(frame.ok()) << "byte " << byte << " bit " << bit;
+      EXPECT_EQ(frame.status().code(), StatusCode::kDataLoss);
+    }
+  }
+}
+
+TEST(ServiceFrame, TruncationAndCleanCloseDistinguished) {
+  const std::string encoded = EncodeFrame(FrameType::kPlanRequest, "payload");
+  // Close mid-frame at every prefix: DATA_LOSS (torn frame).
+  for (size_t len = 1; len < encoded.size(); ++len) {
+    auto [a, b] = MakeSocketPair();
+    ASSERT_TRUE(a.SendAll(encoded.substr(0, len)).ok());
+    a.Close();
+    StatusOr<Frame> frame = ReadFrame(b);
+    ASSERT_FALSE(frame.ok());
+    EXPECT_EQ(frame.status().code(), StatusCode::kDataLoss) << "prefix " << len;
+  }
+  // Clean close between frames: UNAVAILABLE (peer hung up, nothing torn).
+  auto [a, b] = MakeSocketPair();
+  a.Close();
+  StatusOr<Frame> frame = ReadFrame(b);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(ServiceFrame, OversizedLengthRejectedBeforeAllocation) {
+  // Hand-build a header claiming a 1 EiB payload; the reader must reject on the
+  // length field without trying to read or allocate it.
+  std::string header = EncodeFrame(FrameType::kPlanRequest, "");
+  header.resize(16);  // Keep only the header (drop the CRC).
+  for (int i = 0; i < 8; ++i) {
+    header[8 + i] = static_cast<char>(0xff);
+  }
+  auto [a, b] = MakeSocketPair();
+  ASSERT_TRUE(a.SendAll(header).ok());
+  StatusOr<Frame> frame = ReadFrame(b);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(ServiceTransport, ListenerRoundTripAndEphemeralPort) {
+  StatusOr<Listener> listener = Listener::Bind(ServiceAddress::Tcp("127.0.0.1", 0));
+  ASSERT_TRUE(listener.ok()) << listener.status().ToString();
+  EXPECT_GT(listener.value().bound_address().port, 0);
+
+  StatusOr<Socket> client = ConnectSocket(listener.value().bound_address());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  StatusOr<Socket> served = listener.value().Accept(/*timeout_ms=*/2000);
+  ASSERT_TRUE(served.ok()) << served.status().ToString();
+
+  ASSERT_TRUE(WriteFrame(client.value(), FrameType::kStatsRequest, "ping").ok());
+  StatusOr<Frame> frame = ReadFrame(served.value());
+  ASSERT_TRUE(frame.ok());
+  EXPECT_EQ(frame.value().payload, "ping");
+}
+
+TEST(ServiceTransport, ConnectToDeadEndpointIsUnavailable) {
+  // Bind (grabbing a port) and immediately close, then connect to the dead port.
+  StatusOr<Listener> listener = Listener::Bind(ServiceAddress::Tcp("127.0.0.1", 0));
+  ASSERT_TRUE(listener.ok());
+  const ServiceAddress address = listener.value().bound_address();
+  listener.value().Close();
+  StatusOr<Socket> client = ConnectSocket(address);
+  ASSERT_FALSE(client.ok());
+  EXPECT_EQ(client.status().code(), StatusCode::kUnavailable);
+}
+
+}  // namespace
+}  // namespace dcp
