@@ -20,8 +20,10 @@
 #include "core/engine.h"
 #include "hypergraph/metrics.h"
 #include "hypergraph/partitioner.h"
+#include "service/fault_injection.h"
 #include "service/plan_client.h"
 #include "service/plan_server.h"
+#include "service/replica_set.h"
 #include "service/tenant_registry.h"
 #include "service/transport.h"
 
@@ -458,12 +460,257 @@ ServiceRow MeasureService(DatasetKind dataset, MaskKind mask, int64_t block_size
   return row;
 }
 
+double PercentileMs(std::vector<double> samples, double p) {
+  if (samples.empty()) {
+    return 0.0;
+  }
+  std::sort(samples.begin(), samples.end());
+  const size_t rank = static_cast<size_t>(p * static_cast<double>(samples.size()));
+  return samples[std::min(rank, samples.size() - 1)];
+}
+
+// The replicated-service row: a 3-replica loopback fleet with deterministic serve-side
+// stragglers (every Nth serve per replica stalls), measured three ways — un-hedged,
+// hedged, and with one replica killed mid-run. Gates (exit non-zero): every response in
+// every pass bit-identical to in-process planning, zero lost requests after the kill
+// (failover or local fallback serves them all), hedged p99 <= un-hedged p99 (small
+// absolute slack for the case where a hedge itself lands on a straggler slot), and the
+// hedge volume within the configured budget.
+struct ReplicatedServiceRow {
+  std::string dataset;
+  std::string mask;
+  int64_t block_size = 0;
+  int k = 0;
+  int replicas = 3;
+  int requests = 0;                // Per pass.
+  double unhedged_p50_ms = 0.0;
+  double unhedged_p99_ms = 0.0;
+  double hedged_p50_ms = 0.0;
+  double hedged_p99_ms = 0.0;
+  int64_t hedges_sent = 0;
+  int64_t hedge_wins = 0;
+  double hedge_volume = 0.0;       // hedges_sent / requests in the hedged pass.
+  int64_t failovers_after_kill = 0;
+  int64_t lost_requests = 0;       // Must be zero: every request served somewhere.
+};
+
+ReplicatedServiceRow MeasureReplicatedService(DatasetKind dataset, MaskKind mask,
+                                              int64_t block_size, int requests,
+                                              const ClusterSpec& cluster) {
+  MicroBenchConfig config;
+  config.cluster = cluster;
+  config.dataset = dataset;
+  config.block_size = block_size;
+  EngineOptions tenant_options;
+  tenant_options.planner = config.MakePlannerOptions();
+  const MaskSpec spec = MaskSpec::ForKind(mask);
+
+  ReplicatedServiceRow row;
+  row.dataset = DatasetKindName(dataset);
+  row.mask = MaskKindName(mask);
+  row.block_size = block_size;
+  row.k = cluster.num_devices();
+  row.requests = requests;
+
+  // Distinct recurring shapes; each routes to a stable rendezvous primary.
+  std::vector<std::vector<int64_t>> shapes;
+  for (int i = 0; i < requests; ++i) {
+    shapes.push_back({6 * block_size + block_size * (i % 11) / 2 + 32 * i,
+                      3 * block_size + 16 * (i % 7)});
+  }
+  Engine local(cluster, tenant_options);
+  std::vector<std::string> expected;
+  for (const auto& shape : shapes) {
+    expected.push_back(SerializeTimeless(local.Plan(shape, spec).value()->plan));
+  }
+
+  // The fleet: three replicas, one shared tenant config, one injector each (rates are
+  // armed only after warmup, so op counters start each pass at a known phase).
+  std::vector<std::shared_ptr<FaultInjector>> injectors;
+  std::vector<std::unique_ptr<PlanServer>> servers;
+  std::vector<ServiceAddress> addresses;
+  for (int i = 0; i < 3; ++i) {
+    injectors.push_back(
+        std::make_shared<FaultInjector>(0xbe7c0000ULL + static_cast<uint64_t>(i)));
+    auto registry = std::make_shared<TenantRegistry>();
+    if (!registry->Register({"bench", cluster, tenant_options}).ok()) {
+      std::fprintf(stderr, "bench_report: cannot register replicated tenant\n");
+      std::exit(1);
+    }
+    PlanServerOptions server_options;
+    server_options.fault_injector = injectors.back();
+    servers.push_back(std::make_unique<PlanServer>(registry, server_options));
+    if (!servers.back()->Start(ServiceAddress::Tcp("127.0.0.1", 0)).ok()) {
+      std::fprintf(stderr, "bench_report: cannot start replica %d\n", i);
+      std::exit(1);
+    }
+    addresses.push_back(servers.back()->bound_address());
+  }
+
+  // Warm every replica with every shape, so the measured passes isolate the serving
+  // path (cache hit vs straggler stall vs failover) from cold planning.
+  for (const auto& address : addresses) {
+    PlanClientOptions warm_options;
+    warm_options.tenant = "bench";
+    warm_options.cache_capacity = 0;
+    StatusOr<std::unique_ptr<PlanClient>> warm =
+        PlanClient::Connect(address, warm_options);
+    if (!warm.ok()) {
+      std::fprintf(stderr, "bench_report: cannot warm replica: %s\n",
+                   warm.status().ToString().c_str());
+      std::exit(1);
+    }
+    for (const auto& shape : shapes) {
+      if (!warm.value()->Plan(shape, spec).ok()) {
+        std::fprintf(stderr, "bench_report: replica warmup plan failed\n");
+        std::exit(1);
+      }
+    }
+  }
+
+  ReplicaSetOptions base;
+  base.tenant = "bench";
+  base.cache_capacity = 0;  // Every request crosses the wire.
+  base.hedging = false;
+
+  // Arm one deterministic straggler: every (requests/3)th serve on the replica that
+  // rendezvous routing favors most stalls 25ms. Periodic injection (not probabilistic)
+  // keeps the stall count stable run to run; the period is chosen so that (a) warmup —
+  // `requests` serves per server — leaves the op counter exactly on a period boundary,
+  // and (b) each measured pass crosses at least one boundary (the favored replica is
+  // primary for >= requests/3 shapes by pigeonhole), so every pass sees >= 1 stall and
+  // the p99 sample genuinely measures tail behavior.
+  size_t straggler = 0;
+  {
+    const std::unique_ptr<ReplicaSet> probe = ReplicaSet::Create(addresses, base).value();
+    std::vector<int> primaries(3, 0);
+    for (const auto& shape : shapes) {
+      ++primaries[probe->RouteOrder(shape, spec)[0]];
+    }
+    straggler = static_cast<size_t>(
+        std::max_element(primaries.begin(), primaries.end()) - primaries.begin());
+  }
+  FaultRates straggle;
+  straggle.every_n = requests / 3;
+  straggle.periodic_action = FaultAction::kDelay;
+  straggle.delay_ms = 25;
+  injectors[straggler]->SetRates(FaultPoint::kServe, straggle);
+
+  const auto run_pass = [&](ReplicaSet& set, const char* pass) {
+    std::vector<double> ms;
+    ms.reserve(shapes.size());
+    for (size_t i = 0; i < shapes.size(); ++i) {
+      const double start = NowSeconds();
+      StatusOr<PlanHandle> plan = set.Plan(shapes[i], spec);
+      ms.push_back((NowSeconds() - start) * 1e3);
+      if (!plan.ok()) {
+        std::fprintf(stderr, "bench_report: %s request %zu lost: %s\n", pass, i,
+                     plan.status().ToString().c_str());
+        std::exit(1);
+      }
+      if (SerializeTimeless(plan.value()->plan) != expected[i]) {
+        std::fprintf(stderr,
+                     "bench_report: %s request %zu not bit-identical to in-process "
+                     "planning\n",
+                     pass, i);
+        std::exit(1);
+      }
+    }
+    return ms;
+  };
+
+  {
+    std::unique_ptr<ReplicaSet> unhedged = ReplicaSet::Create(addresses, base).value();
+    const std::vector<double> ms = run_pass(*unhedged, "unhedged");
+    row.unhedged_p50_ms = PercentileMs(ms, 0.50);
+    row.unhedged_p99_ms = PercentileMs(ms, 0.99);
+  }
+
+  // Hedge delays floored above loopback serve jitter (a warm serve is ~1-3 ms), so
+  // only genuine stalls hedge; the burst covers the requests that queue behind a
+  // straggling attempt on the same replica connection.
+  ReplicaSetOptions hedged_options = base;
+  hedged_options.hedging = true;
+  hedged_options.hedge_min_delay_ms = 10;
+  hedged_options.hedge_max_delay_ms = 12;
+  hedged_options.hedge_budget_fraction = 0.05;
+  hedged_options.hedge_budget_burst = 2;
+  {
+    std::unique_ptr<ReplicaSet> hedged =
+        ReplicaSet::Create(addresses, hedged_options).value();
+    const std::vector<double> ms = run_pass(*hedged, "hedged");
+    row.hedged_p50_ms = PercentileMs(ms, 0.50);
+    row.hedged_p99_ms = PercentileMs(ms, 0.99);
+    const ReplicaSetStats stats = hedged->stats();
+    row.hedges_sent = stats.hedges_sent;
+    row.hedge_wins = stats.hedge_wins;
+    row.hedge_volume =
+        stats.requests > 0
+            ? static_cast<double>(stats.hedges_sent) / static_cast<double>(stats.requests)
+            : 0.0;
+    const double allowance =
+        static_cast<double>(hedged_options.hedge_budget_burst) +
+        hedged_options.hedge_budget_fraction * static_cast<double>(stats.requests);
+    if (static_cast<double>(stats.hedges_sent) > allowance) {
+      std::fprintf(stderr,
+                   "bench_report: hedge volume %lld exceeds budget %.1f "
+                   "(burst %d + %.0f%% of %lld requests)\n",
+                   static_cast<long long>(stats.hedges_sent), allowance,
+                   hedged_options.hedge_budget_burst,
+                   hedged_options.hedge_budget_fraction * 100.0,
+                   static_cast<long long>(stats.requests));
+      std::exit(1);
+    }
+  }
+  // 2ms slack: when a hedge itself lands on a straggler slot the request rides out the
+  // full stall on both replicas, making the two p99s equal up to scheduler noise.
+  if (row.hedged_p99_ms > row.unhedged_p99_ms + 2.0) {
+    std::fprintf(stderr,
+                 "bench_report: hedged p99 %.2f ms did not beat un-hedged p99 %.2f ms\n",
+                 row.hedged_p99_ms, row.unhedged_p99_ms);
+    std::exit(1);
+  }
+
+  // Kill one replica mid-run: the fleet (plus the local-fallback engine as a last
+  // resort) must serve every request, bit-identical.
+  ReplicaSetOptions survivor_options = hedged_options;
+  survivor_options.local_fallback = true;
+  survivor_options.fallback_cluster = cluster;
+  survivor_options.fallback_options = tenant_options;
+  {
+    std::unique_ptr<ReplicaSet> survivor =
+        ReplicaSet::Create(addresses, survivor_options).value();
+    for (size_t i = 0; i < shapes.size() / 2; ++i) {
+      if (!survivor->Plan(shapes[i], spec).ok()) {
+        std::fprintf(stderr, "bench_report: pre-kill request %zu lost\n", i);
+        std::exit(1);
+      }
+    }
+    const size_t victim = survivor->RouteOrder(shapes[0], spec)[0];
+    servers[victim]->Stop();  // Mid-run: live connections, warm caches, gone.
+    (void)run_pass(*survivor, "post-kill");
+    row.failovers_after_kill = survivor->stats().failovers;
+    if (row.failovers_after_kill < 1) {
+      std::fprintf(stderr,
+                   "bench_report: killing a primary caused no failover (routing never "
+                   "exercised the dead replica?)\n");
+      std::exit(1);
+    }
+  }
+  row.lost_requests = 0;  // Any loss exited above.
+  for (auto& server : servers) {
+    server->Stop();
+  }
+  return row;
+}
+
 void WriteJson(const std::string& path, bool smoke,
                const std::vector<PartitionerRow>& partitioner,
                const std::vector<PlanningRow>& planning,
                const std::vector<RepeatBatchRow>& repeat_batch,
                const std::vector<WarmStartRow>& warm_start,
-               const std::vector<ServiceRow>& service) {
+               const std::vector<ServiceRow>& service,
+               const std::vector<ReplicatedServiceRow>& replicated) {
   // Write to a temp file and rename into place so an interrupted run can never leave a
   // truncated JSON under the real name (cross-PR perf diffs parse these files).
   const std::string temp = path + ".tmp";
@@ -473,7 +720,7 @@ void WriteJson(const std::string& path, bool smoke,
     std::exit(1);
   }
   std::fprintf(f, "{\n");
-  std::fprintf(f, "  \"schema\": \"dcp.bench_planning.v5\",\n");
+  std::fprintf(f, "  \"schema\": \"dcp.bench_planning.v6\",\n");
   std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
   std::fprintf(f, "  \"partitioner\": [\n");
   for (size_t i = 0; i < partitioner.size(); ++i) {
@@ -540,6 +787,27 @@ void WriteJson(const std::string& path, bool smoke,
                  r.in_process_cold_ms, r.remote_cold_ms, r.server_hit_ms_mean,
                  r.server_hit_ms_min, r.client_hit_ms_mean, r.client_hit_ms_min,
                  r.speedup, i + 1 < service.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"service_replicated\": [\n");
+  for (size_t i = 0; i < replicated.size(); ++i) {
+    const ReplicatedServiceRow& r = replicated[i];
+    std::fprintf(f,
+                 "    {\"dataset\": \"%s\", \"mask\": \"%s\", \"block_size\": %lld, "
+                 "\"k\": %d, \"replicas\": %d, \"requests\": %d, "
+                 "\"unhedged_p50_ms\": %.4f, \"unhedged_p99_ms\": %.4f, "
+                 "\"hedged_p50_ms\": %.4f, \"hedged_p99_ms\": %.4f, "
+                 "\"hedges_sent\": %lld, \"hedge_wins\": %lld, "
+                 "\"hedge_volume\": %.4f, \"failovers_after_kill\": %lld, "
+                 "\"lost_requests\": %lld}%s\n",
+                 r.dataset.c_str(), r.mask.c_str(),
+                 static_cast<long long>(r.block_size), r.k, r.replicas, r.requests,
+                 r.unhedged_p50_ms, r.unhedged_p99_ms, r.hedged_p50_ms, r.hedged_p99_ms,
+                 static_cast<long long>(r.hedges_sent),
+                 static_cast<long long>(r.hedge_wins), r.hedge_volume,
+                 static_cast<long long>(r.failovers_after_kill),
+                 static_cast<long long>(r.lost_requests),
+                 i + 1 < replicated.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n");
   std::fprintf(f, "}\n");
@@ -675,12 +943,31 @@ int Main(int argc, char** argv) {
                 r.client_hit_ms_mean);
   }
 
-  WriteJson(json_path, smoke, partitioner, planning, repeat_batch, warm_start, service);
+  // The replicated fleet under deterministic stragglers and a mid-run replica kill.
+  // Request counts are multiples of 3 (see the straggler-period invariant inside).
+  std::vector<ReplicatedServiceRow> replicated;
+  replicated.push_back(MeasureReplicatedService(DatasetKind::kLongAlign,
+                                                MaskKind::kCausal, smoke ? 128 : 256,
+                                                smoke ? 48 : 96, testbed));
+  for (const ReplicatedServiceRow& r : replicated) {
+    std::printf(
+        "replicated %s/%s block %lld: %d replicas, %d requests/pass, un-hedged p99 "
+        "%.2f ms -> hedged p99 %.2f ms (%lld hedges, %lld wins, %.1f%% extra volume), "
+        "%lld failovers after kill, %lld lost\n",
+        r.dataset.c_str(), r.mask.c_str(), static_cast<long long>(r.block_size),
+        r.replicas, r.requests, r.unhedged_p99_ms, r.hedged_p99_ms,
+        static_cast<long long>(r.hedges_sent), static_cast<long long>(r.hedge_wins),
+        r.hedge_volume * 100.0, static_cast<long long>(r.failovers_after_kill),
+        static_cast<long long>(r.lost_requests));
+  }
+
+  WriteJson(json_path, smoke, partitioner, planning, repeat_batch, warm_start, service,
+            replicated);
   std::printf(
       "bench_report: wrote %s (%zu partitioner rows, %zu planning rows, %zu repeat "
-      "rows, %zu warm-start rows, %zu service rows)\n",
+      "rows, %zu warm-start rows, %zu service rows, %zu replicated rows)\n",
       json_path.c_str(), partitioner.size(), planning.size(), repeat_batch.size(),
-      warm_start.size(), service.size());
+      warm_start.size(), service.size(), replicated.size());
   return 0;
 }
 

@@ -9,7 +9,11 @@
 //   dcpctl cache export --store /var/dcp/plans --out plans.bundle
 //   dcpctl cache import --store /var/dcp/plans --in  plans.bundle
 //   dcpctl serve  --listen tcp:0.0.0.0:7070 --nodes 4 --devices 8 --tenant prod
+//   dcpctl serve  --listen tcp:0.0.0.0:7071 --peer tcp:10.0.0.7:7070 --quota 32
+//   dcpctl serve  --listen tcp:0.0.0.0:7070 --chaos 42        # fault-injection drill
 //   dcpctl remote plan  --connect tcp:10.0.0.7:7070 --tenant prod --seqlens 65536,32768
+//   dcpctl remote plan  --replica tcp:10.0.0.7:7070 --replica tcp:10.0.0.8:7070
+//                       --tenant prod --seqlens 65536,32768   # failover + hedging
 //   dcpctl remote stats --connect tcp:10.0.0.7:7070
 //
 // `plan` prints the plan summary, per-device stats, and the engine's plan-cache
@@ -38,8 +42,10 @@
 #include "masks/mask.h"
 #include "runtime/plan_validate.h"
 #include "runtime/sim_engine.h"
+#include "service/fault_injection.h"
 #include "service/plan_client.h"
 #include "service/plan_server.h"
+#include "service/replica_set.h"
 #include "service/tenant_registry.h"
 #include "service/transport.h"
 
@@ -53,10 +59,13 @@ constexpr const char kUsage[] =
     "[--nodes N] [--devices D] [--block B] [--store DIR] [--verbose]\n"
     "       dcpctl cache stats|export|import --store DIR [--out FILE] [--in FILE]\n"
     "       dcpctl serve --listen tcp:HOST:PORT|unix:PATH [--workers N] [--queue N]\n"
+    "                    [--peer ADDR]... [--gossip-ms N] [--quota N] [--chaos [SEED]]\n"
     "                    [cluster/planner flags] [--tenant NAME]...   (flags before\n"
     "                    each --tenant configure that tenant; none = one 'default')\n"
     "       dcpctl remote plan|stats --connect tcp:HOST:PORT|unix:PATH [--tenant NAME]\n"
-    "                    [--seqlens a,b,c] [--mask M] [--block B]\n";
+    "                    [--seqlens a,b,c] [--mask M] [--block B]\n"
+    "       dcpctl remote plan --replica ADDR [--replica ADDR]... [--hedge-ms N]\n"
+    "                    [--timeout-ms N] [--tenant NAME] [--seqlens a,b,c] [--mask M]\n";
 
 [[noreturn]] void UsageError(const std::string& detail) {
   std::fprintf(stderr, "dcpctl: %s\n%s", detail.c_str(), kUsage);
@@ -132,6 +141,14 @@ struct Args {
   std::string tenant = "default";  // remote: tenant to plan under.
   int64_t workers = 2;
   int64_t queue = 64;
+  std::vector<std::string> peers;  // serve: anti-entropy gossip partners.
+  int64_t gossip_ms = 0;           // serve: gossip interval (0 = gossip off).
+  int64_t quota = 0;               // serve: per-tenant in-flight cap (0 = off).
+  bool chaos = false;              // serve: arm the fault-injection harness.
+  int64_t chaos_seed = -1;         // serve: explicit seed (-1 = DCP_FAULT_SEED/clock).
+  std::vector<std::string> replicas;  // remote plan: fleet addresses for a ReplicaSet.
+  int64_t hedge_ms = 0;               // remote plan: hedge delay ceiling (0 = default).
+  int64_t timeout_ms = 0;             // remote plan: per-request deadline (0 = default).
   std::vector<TenantConfig> tenants;  // serve: built from --tenant flags in order.
   // serve: a cluster/planner/store flag appeared after the last --tenant. Those flags
   // would apply to no tenant; silently dropping them would make an operator believe
@@ -230,6 +247,27 @@ Args Parse(int argc, char** argv) {
       args.workers = next_int("--workers");
     } else if (std::strcmp(argv[i], "--queue") == 0) {
       args.queue = next_int("--queue");
+    } else if (std::strcmp(argv[i], "--peer") == 0) {
+      args.peers.push_back(next());
+    } else if (std::strcmp(argv[i], "--gossip-ms") == 0) {
+      args.gossip_ms = next_int("--gossip-ms");
+    } else if (std::strcmp(argv[i], "--quota") == 0) {
+      args.quota = next_int("--quota");
+    } else if (std::strcmp(argv[i], "--chaos") == 0) {
+      args.chaos = true;
+      // Optional positional seed: `--chaos 42`. Without one the seed comes from
+      // DCP_FAULT_SEED (or the clock), and is printed for reproduction either way.
+      int64_t seed = 0;
+      if (i + 1 < argc && ParseInt64(argv[i + 1], &seed)) {
+        args.chaos_seed = seed;
+        ++i;
+      }
+    } else if (std::strcmp(argv[i], "--replica") == 0) {
+      args.replicas.push_back(next());
+    } else if (std::strcmp(argv[i], "--hedge-ms") == 0) {
+      args.hedge_ms = next_int("--hedge-ms");
+    } else if (std::strcmp(argv[i], "--timeout-ms") == 0) {
+      args.timeout_ms = next_int("--timeout-ms");
     } else if (std::strcmp(argv[i], "--tenant") == 0) {
       const std::string name = next();
       if (args.command == "serve") {
@@ -371,15 +409,60 @@ int RunServe(const Args& args) {
   PlanServerOptions server_options;
   server_options.workers = static_cast<int>(args.workers);
   server_options.max_queue = static_cast<int>(args.queue);
+  server_options.max_inflight_per_tenant = static_cast<int>(args.quota);
+  for (const std::string& peer : args.peers) {
+    StatusOr<ServiceAddress> parsed = ServiceAddress::Parse(peer);
+    if (!parsed.ok()) {
+      UsageError("--peer " + peer + ": " + parsed.status().ToString());
+    }
+    server_options.peers.push_back(parsed.value());
+  }
+  if (!server_options.peers.empty() && args.gossip_ms <= 0) {
+    server_options.gossip_interval_ms = 500;  // Peers without an interval: sane default.
+  } else {
+    server_options.gossip_interval_ms = static_cast<int>(args.gossip_ms);
+  }
+
+  // `--chaos` arms the fault-injection harness on this process: the injector drives
+  // both the serve-side fault point and (via the global hook) every transport socket,
+  // so an operator can rehearse client failover against a deliberately flaky server.
+  std::shared_ptr<FaultInjector> chaos;
+  if (args.chaos) {
+    const uint64_t seed = args.chaos_seed >= 0
+                              ? static_cast<uint64_t>(args.chaos_seed)
+                              : FaultSeedFromEnv(0x646370636f73ULL);
+    chaos = std::make_shared<FaultInjector>(seed);
+    FaultRates wire;
+    wire.fail = 0.02;
+    wire.tear = 0.02;
+    chaos->SetRates(FaultPoint::kSend, wire);
+    chaos->SetRates(FaultPoint::kRecv, wire);
+    FaultRates serve;
+    serve.fail = 0.02;
+    serve.delay = 0.05;
+    serve.delay_ms = 50;
+    chaos->SetRates(FaultPoint::kServe, serve);
+    server_options.fault_injector = chaos;
+    InstallGlobalFaultInjector(chaos);
+    std::printf("chaos: fault injection armed, seed %llu (re-run with --chaos %llu "
+                "to reproduce)\n",
+                static_cast<unsigned long long>(seed),
+                static_cast<unsigned long long>(seed));
+  }
   PlanServer server(registry, server_options);
   const Status started = server.Start(address.value());
   if (!started.ok()) {
     std::fprintf(stderr, "dcpctl: %s\n", started.ToString().c_str());
     return 1;
   }
-  std::printf("dcp plan service listening on %s (%lld workers, queue %lld)\n",
+  std::printf("dcp plan service listening on %s (%lld workers, queue %lld%s)\n",
               server.bound_address().ToString().c_str(),
-              static_cast<long long>(args.workers), static_cast<long long>(args.queue));
+              static_cast<long long>(args.workers), static_cast<long long>(args.queue),
+              args.quota > 0 ? ", per-tenant quota on" : "");
+  for (const ServiceAddress& peer : server_options.peers) {
+    std::printf("gossip: replicating plan records with %s every %d ms\n",
+                peer.ToString().c_str(), server_options.gossip_interval_ms);
+  }
 
   std::signal(SIGINT, HandleStopSignal);
   std::signal(SIGTERM, HandleStopSignal);
@@ -388,6 +471,7 @@ int RunServe(const Args& args) {
   }
   const PlanServerStats stats = server.stats();
   server.Stop();
+  InstallGlobalFaultInjector(nullptr);
   std::printf("\nshutting down: %lld connections, %lld requests, %lld plans served, "
               "%lld plan errors, %lld overload rejections, %lld malformed frames\n",
               static_cast<long long>(stats.connections_accepted),
@@ -396,10 +480,90 @@ int RunServe(const Args& args) {
               static_cast<long long>(stats.plan_errors),
               static_cast<long long>(stats.rejected_overload),
               static_cast<long long>(stats.malformed_frames));
+  if (stats.shed_quota > 0 || stats.shed_deadline > 0) {
+    std::printf("shed: %lld over-quota, %lld past-deadline\n",
+                static_cast<long long>(stats.shed_quota),
+                static_cast<long long>(stats.shed_deadline));
+  }
+  if (!server_options.peers.empty()) {
+    std::printf("gossip: %lld records shipped, %lld adopted, %lld rejected\n",
+                static_cast<long long>(stats.sync_records_shipped),
+                static_cast<long long>(stats.sync_records_adopted),
+                static_cast<long long>(stats.sync_records_rejected));
+  }
+  if (chaos != nullptr) {
+    std::printf("chaos: %lld fault decisions, %lld injected\n",
+                static_cast<long long>(chaos->decisions()),
+                static_cast<long long>(chaos->injected()));
+  }
   return 0;
 }
 
+// `remote plan` over a replica fleet: route through a ReplicaSet (failover + hedging +
+// cooldown) instead of a single PlanClient, and print per-replica health afterwards.
+int RunRemoteReplicated(const Args& args) {
+  std::vector<ServiceAddress> addresses;
+  for (const std::string& replica : args.replicas) {
+    StatusOr<ServiceAddress> parsed = ServiceAddress::Parse(replica);
+    if (!parsed.ok()) {
+      UsageError("--replica " + replica + ": " + parsed.status().ToString());
+    }
+    addresses.push_back(parsed.value());
+  }
+  ReplicaSetOptions set_options;
+  set_options.tenant = args.tenant;
+  if (args.timeout_ms > 0) {
+    set_options.request_timeout_ms = static_cast<int>(args.timeout_ms);
+    set_options.connect_timeout_ms = static_cast<int>(args.timeout_ms);
+  }
+  if (args.hedge_ms > 0) {
+    set_options.hedge_max_delay_ms = static_cast<int>(args.hedge_ms);
+  }
+  StatusOr<std::unique_ptr<ReplicaSet>> set_or =
+      ReplicaSet::Create(addresses, set_options);
+  if (!set_or.ok()) {
+    std::fprintf(stderr, "dcpctl: %s\n", set_or.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<ReplicaSet> set = std::move(set_or).value();
+
+  StatusOr<PlanHandle> handle =
+      set->PlanWithBlockSize(args.seqlens, args.mask, args.block);
+  if (!handle.ok()) {
+    std::fprintf(stderr, "dcpctl: %s\n", handle.status().ToString().c_str());
+    return 1;
+  }
+  const BatchPlan& plan = handle.value()->plan;
+  const PlanValidation validation = ValidatePlan(plan);
+  std::printf("%s\n", PlanToString(plan, args.verbose ? 64 : 4).c_str());
+  std::printf("validation: %s\n", validation.Summary().c_str());
+  const ReplicaSetStats stats = set->stats();
+  std::printf("fleet: %lld rpcs, %lld failovers, %lld hedges (%lld wins) for "
+              "tenant %s, signature %s\n",
+              static_cast<long long>(stats.rpcs_sent),
+              static_cast<long long>(stats.failovers),
+              static_cast<long long>(stats.hedges_sent),
+              static_cast<long long>(stats.hedge_wins), args.tenant.c_str(),
+              handle.value()->signature.ToHex().c_str());
+  for (size_t i = 0; i < set->replica_count(); ++i) {
+    const ReplicaHealth health = set->health(i);
+    std::printf("replica %-24s %s, %lld rpcs, %lld failures, hedge delay %lld ms\n",
+                health.address.ToString().c_str(),
+                health.available ? "available" : "cooling down",
+                static_cast<long long>(health.rpcs),
+                static_cast<long long>(health.failures),
+                static_cast<long long>(health.p99_estimate_ms));
+  }
+  return validation.ok ? 0 : 1;
+}
+
 int RunRemote(const Args& args) {
+  if (args.subcommand == "plan" && !args.replicas.empty()) {
+    return RunRemoteReplicated(args);
+  }
+  if (!args.replicas.empty()) {
+    UsageError("--replica only applies to `remote plan`; use --connect for stats");
+  }
   if (args.connect.empty()) {
     UsageError("remote commands require --connect tcp:HOST:PORT or unix:PATH");
   }

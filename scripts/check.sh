@@ -16,8 +16,18 @@ ctest --test-dir build-strict -R 'test_plan_store|test_instructions|test_propert
 # loopback end-to-end bit-identity, tenant isolation, and the multi-threaded stress run.
 ctest --test-dir build-strict -R 'test_service_wire|test_plan_service' \
       --output-on-failure
-# bench_smoke includes the warm_start and service rows: bench_report exits non-zero
-# when the store-hit or remote server-cache-hit paths regress past the 10x bar, serve a
-# non-identical plan, or two tenants' signatures collide.
+# Chaos gate: re-run the replica-set suite (failover, hedging, fault injection, and the
+# chaos workload that must lose zero requests) under a fresh fault seed. The seed is
+# clock-derived unless DCP_FAULT_SEED is already set, and echoed so any failure can be
+# reproduced exactly with `DCP_FAULT_SEED=<seed> scripts/check.sh`.
+DCP_FAULT_SEED="${DCP_FAULT_SEED:-$(date +%s)}"
+export DCP_FAULT_SEED
+echo "check.sh: chaos gate with DCP_FAULT_SEED=${DCP_FAULT_SEED}"
+ctest --test-dir build-strict -R 'test_replica_set' --output-on-failure
+# bench_smoke includes the warm_start, service, and service_replicated rows:
+# bench_report exits non-zero when the store-hit or remote server-cache-hit paths
+# regress past the 10x bar, serve a non-identical plan, two tenants' signatures
+# collide, a replica kill loses a request, hedging exceeds its budget, or the hedged
+# p99 stops beating the un-hedged p99.
 ctest --test-dir build-strict -L bench_smoke --output-on-failure
 echo "check.sh: all green"

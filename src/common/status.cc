@@ -18,6 +18,8 @@ const char* StatusCodeName(StatusCode code) {
       return "DATA_LOSS";
     case StatusCode::kUnavailable:
       return "UNAVAILABLE";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
   }
   return "UNKNOWN";
 }

@@ -26,13 +26,17 @@ enum class StatusCode {
   // The service cannot take the request right now (overloaded queue, closed
   // connection). Retryable: the request itself was fine.
   kUnavailable,
+  // The caller's time budget ran out before the work finished — a socket send/recv
+  // timed out, or the server shed a request whose deadline had already expired.
+  // Retryable with a fresh deadline; the work itself was fine.
+  kDeadlineExceeded,
 };
 
 // True when `code` names a StatusCode enumerator — wire decoders range-check inbound
 // status bytes through this before casting.
 inline bool IsValidStatusCode(int code) {
   return code >= static_cast<int>(StatusCode::kOk) &&
-         code <= static_cast<int>(StatusCode::kUnavailable);
+         code <= static_cast<int>(StatusCode::kDeadlineExceeded);
 }
 
 const char* StatusCodeName(StatusCode code);
@@ -61,6 +65,9 @@ class Status {
   }
   static Status Unavailable(std::string message) {
     return Status(StatusCode::kUnavailable, std::move(message));
+  }
+  static Status DeadlineExceeded(std::string message) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(message));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

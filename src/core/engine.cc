@@ -256,6 +256,28 @@ StatusOr<PlanHandle> Engine::PlanWithBlockSize(const std::vector<int64_t>& seqle
   return InsertAndPersist(std::move(compiled));
 }
 
+std::vector<PlanHandle> Engine::CachedPlans() const {
+  std::vector<PlanHandle> plans;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (const PlanHandle& handle : shard->lru) {
+      plans.push_back(handle);
+    }
+  }
+  return plans;
+}
+
+StatusOr<PlanSignature> Engine::RequestSignature(const std::vector<int64_t>& seqlens,
+                                                 const MaskSpec& mask_spec,
+                                                 int64_t block_size) const {
+  PlannerOptions planner = options_.planner;
+  if (block_size != 0) {
+    planner.block_size = block_size;
+  }
+  DCP_RETURN_IF_ERROR(ValidatePlanRequest(seqlens, mask_spec, cluster_, planner));
+  return ComputePlanSignature(seqlens, mask_spec, cluster_, planner);
+}
+
 StatusOr<Engine::PlannedOutcome> Engine::PlanDetailed(const std::vector<int64_t>& seqlens,
                                                       const MaskSpec& mask_spec,
                                                       int64_t block_size) {

@@ -179,6 +179,21 @@ class Engine : public Planner {
   // The engine-owned pool the data loader schedules look-ahead planning on.
   ThreadPool& pool() override { return *pool_; }
 
+  // A snapshot of every compiled plan currently in the in-memory LRU (shard by shard,
+  // MRU first within a shard). The planning service's anti-entropy gossip enumerates
+  // this to learn what the replica can ship; handles are immutable, so the snapshot
+  // stays valid however the cache churns afterwards.
+  std::vector<PlanHandle> CachedPlans() const;
+
+  // The canonical signature PlanWithBlockSize would assign to this request (block_size
+  // 0: the engine's fixed block size). Returns the validation error on malformed
+  // input. Not meaningful for tenants with auto_tune_block_size set and block_size 0 —
+  // there the signature depends on the tuning search; callers gate on
+  // options().auto_tune_block_size.
+  StatusOr<PlanSignature> RequestSignature(const std::vector<int64_t>& seqlens,
+                                           const MaskSpec& mask_spec,
+                                           int64_t block_size = 0) const;
+
   // A coherent snapshot of every counter: all shard locks are held simultaneously
   // while the shard counters are read, so concurrent Plan() callers (service worker
   // threads) can never make `hits + misses` disagree with the number of completed

@@ -965,13 +965,18 @@ StatusOr<BatchPlan> DeserializePlanBinary(std::string_view bytes) {
 
 namespace {
 
-constexpr uint32_t kServiceMessageVersion = 1;
+// v2 added the request deadline, the replica-sync (anti-entropy) messages, and the
+// shed/sync counters in the stats response.
+constexpr uint32_t kServiceMessageVersion = 2;
 constexpr uint8_t kMaxMaskKind = static_cast<uint8_t>(MaskKind::kSharedQuestion);
-constexpr uint8_t kMaxServeSource = static_cast<uint8_t>(PlanServeSource::kClientCache);
+constexpr uint8_t kMaxServeSource =
+    static_cast<uint8_t>(PlanServeSource::kReplicaCache);
 constexpr size_t kMaxTenantNameBytes = 256;
 constexpr size_t kMaxStatusMessageBytes = 1 << 14;
-// One tenant stats entry is at least a 1-byte name length plus nine 1-byte varints.
-constexpr size_t kMinTenantStatsBytes = 10;
+// One tenant stats entry is at least a 1-byte name length plus ten 1-byte varints.
+constexpr size_t kMinTenantStatsBytes = 11;
+// One signature in a sync request is two fixed-width u64 lanes.
+constexpr size_t kSyncSignatureBytes = 16;
 
 void WriteMaskSpecBin(ByteWriter& w, const MaskSpec& spec) {
   w.U8(static_cast<uint8_t>(spec.kind));
@@ -1050,6 +1055,8 @@ std::string PlanServeSourceName(PlanServeSource source) {
       return "store-cache";
     case PlanServeSource::kClientCache:
       return "client-cache";
+    case PlanServeSource::kReplicaCache:
+      return "replica-cache";
   }
   return "unknown";
 }
@@ -1064,6 +1071,7 @@ std::string SerializePlanServiceRequest(const PlanServiceRequest& request) {
   }
   WriteMaskSpecBin(w, request.mask_spec);
   w.Zig(request.block_size);
+  w.Zig(request.deadline_ms);
   return w.Take();
 }
 
@@ -1082,6 +1090,10 @@ StatusOr<PlanServiceRequest> DeserializePlanServiceRequest(std::string_view byte
   }
   DCP_RETURN_IF_ERROR(ReadMaskSpecBin(r, &request.mask_spec));
   request.block_size = r.Zig();
+  request.deadline_ms = r.Zig();
+  if (!r.failed() && request.deadline_ms < 0) {
+    return r.Fail("negative request deadline");
+  }
   DCP_RETURN_IF_ERROR(RejectTrailing(r, "plan request"));
   return request;
 }
@@ -1148,11 +1160,15 @@ std::string SerializePlanServiceStatsResponse(const PlanServiceStatsResponse& re
   w.Zig(response.responses_sent);
   w.Zig(response.rejected_overload);
   w.Zig(response.malformed_frames);
+  w.Zig(response.shed_deadline);
+  w.Zig(response.sync_records_shipped);
+  w.Zig(response.sync_records_adopted);
   w.Count(response.tenants.size());
   for (const PlanServiceTenantStats& t : response.tenants) {
     w.Str(t.tenant);
     w.Zig(t.requests);
     w.Zig(t.plan_errors);
+    w.Zig(t.shed_quota);
     w.Zig(t.cache_hits);
     w.Zig(t.cache_misses);
     w.Zig(t.cache_evictions);
@@ -1176,6 +1192,9 @@ StatusOr<PlanServiceStatsResponse> DeserializePlanServiceStatsResponse(
   response.responses_sent = r.Zig();
   response.rejected_overload = r.Zig();
   response.malformed_frames = r.Zig();
+  response.shed_deadline = r.Zig();
+  response.sync_records_shipped = r.Zig();
+  response.sync_records_adopted = r.Zig();
   const uint32_t num_tenants = r.BoundedCount(kMinTenantStatsBytes, "tenant count");
   if (r.failed()) {
     return r.TakeStatus();
@@ -1186,6 +1205,7 @@ StatusOr<PlanServiceStatsResponse> DeserializePlanServiceStatsResponse(
     t.tenant = r.Str(kMaxTenantNameBytes, "tenant name too long");
     t.requests = r.Zig();
     t.plan_errors = r.Zig();
+    t.shed_quota = r.Zig();
     t.cache_hits = r.Zig();
     t.cache_misses = r.Zig();
     t.cache_evictions = r.Zig();
@@ -1199,6 +1219,72 @@ StatusOr<PlanServiceStatsResponse> DeserializePlanServiceStatsResponse(
     response.tenants.push_back(std::move(t));
   }
   DCP_RETURN_IF_ERROR(RejectTrailing(r, "stats response"));
+  return response;
+}
+
+std::string SerializePlanSyncRequest(const PlanSyncRequest& request) {
+  ByteWriter w;
+  w.U32(kServiceMessageVersion);
+  w.Str(request.tenant);
+  w.Count(request.have.size());
+  for (const auto& sig : request.have) {
+    w.U64(sig.first);
+    w.U64(sig.second);
+  }
+  return w.Take();
+}
+
+StatusOr<PlanSyncRequest> DeserializePlanSyncRequest(std::string_view bytes) {
+  ByteReader r(bytes);
+  DCP_RETURN_IF_ERROR(ReadMessageVersion(r, "sync request"));
+  PlanSyncRequest request;
+  request.tenant = r.Str(kMaxTenantNameBytes, "tenant name too long");
+  const uint32_t num_have = r.BoundedCount(kSyncSignatureBytes, "sync signature count");
+  if (r.failed()) {
+    return r.TakeStatus();
+  }
+  request.have.reserve(num_have);
+  for (uint32_t i = 0; i < num_have; ++i) {
+    const uint64_t lo = r.U64();
+    const uint64_t hi = r.U64();
+    request.have.emplace_back(lo, hi);
+  }
+  DCP_RETURN_IF_ERROR(RejectTrailing(r, "sync request"));
+  return request;
+}
+
+std::string SerializePlanSyncResponse(const PlanSyncResponse& response) {
+  ByteWriter w;
+  w.U32(kServiceMessageVersion);
+  w.U8(static_cast<uint8_t>(response.code));
+  w.Str(response.message);
+  w.Count(response.records.size());
+  for (const std::string& record : response.records) {
+    w.Str(record);
+  }
+  return w.Take();
+}
+
+StatusOr<PlanSyncResponse> DeserializePlanSyncResponse(std::string_view bytes) {
+  ByteReader r(bytes);
+  DCP_RETURN_IF_ERROR(ReadMessageVersion(r, "sync response"));
+  PlanSyncResponse response;
+  DCP_RETURN_IF_ERROR(ReadStatusCodeBin(r, &response.code));
+  response.message = r.Str(kMaxStatusMessageBytes, "status message too long");
+  const uint32_t num_records = r.BoundedCount(1, "sync record count");
+  if (r.failed()) {
+    return r.TakeStatus();
+  }
+  response.records.reserve(num_records);
+  for (uint32_t i = 0; i < num_records; ++i) {
+    // Each record is CRC-guarded internally (PlanStore::DecodeRecord validates before
+    // adoption); here it only needs to fit in the remaining payload.
+    response.records.push_back(r.Str(bytes.size(), "sync record exceeds message"));
+    if (r.failed()) {
+      return r.TakeStatus();
+    }
+  }
+  DCP_RETURN_IF_ERROR(RejectTrailing(r, "sync response"));
   return response;
 }
 

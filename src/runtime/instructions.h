@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -210,6 +211,7 @@ enum class PlanServeSource : uint8_t {
   kMemoryCache,        // Served from the tenant engine's in-memory LRU.
   kStoreCache,         // Served from the tenant engine's persistent plan store.
   kClientCache,        // Client-side only: served from the PlanClient LRU, no RPC.
+  kReplicaCache,       // Served from records another replica shipped via anti-entropy.
 };
 std::string PlanServeSourceName(PlanServeSource source);
 
@@ -220,6 +222,11 @@ struct PlanServiceRequest {
   // Explicit block size, or 0 to plan under the tenant's configured policy (fixed
   // engine block size, or per-signature auto-tune when the tenant enables it).
   int64_t block_size = 0;
+  // Remaining time budget in milliseconds, or 0 for no deadline. Relative on purpose:
+  // client and server clocks need not agree. The server timestamps arrival and sheds
+  // the request (DEADLINE_EXCEEDED, no planning) once the budget has already expired —
+  // planning dead work would only steal workers from live requests.
+  int64_t deadline_ms = 0;
 };
 
 struct PlanServiceResponse {
@@ -241,6 +248,7 @@ struct PlanServiceTenantStats {
   std::string tenant;
   int64_t requests = 0;       // Plan RPCs the service routed to this tenant.
   int64_t plan_errors = 0;    // Plan RPCs that returned a non-OK status.
+  int64_t shed_quota = 0;     // Rejected over the tenant's in-flight admission quota.
   int64_t cache_hits = 0;
   int64_t cache_misses = 0;
   int64_t cache_evictions = 0;
@@ -263,8 +271,31 @@ struct PlanServiceStatsResponse {
   int64_t responses_sent = 0;
   int64_t rejected_overload = 0;
   int64_t malformed_frames = 0;
+  int64_t shed_deadline = 0;          // Requests dropped with an already-dead deadline.
+  int64_t sync_records_shipped = 0;   // Records this replica sent to gossip peers.
+  int64_t sync_records_adopted = 0;   // Peer records validated and adopted locally.
   std::vector<PlanServiceTenantStats> tenants;
 };
+
+// Anti-entropy exchange between replicas: the caller lists the plan signatures it
+// already holds for one tenant, the callee replies with full PlanStore records (the
+// wire format IS the persistence format) for a bounded number of signatures the caller
+// lacks. Signatures travel as raw (lo, hi) lanes so this layer stays below core/.
+struct PlanSyncRequest {
+  std::string tenant;
+  std::vector<std::pair<uint64_t, uint64_t>> have;
+};
+
+struct PlanSyncResponse {
+  StatusCode code = StatusCode::kOk;
+  std::string message;
+  std::vector<std::string> records;  // Validated by the receiver before adoption.
+};
+
+std::string SerializePlanSyncRequest(const PlanSyncRequest& request);
+StatusOr<PlanSyncRequest> DeserializePlanSyncRequest(std::string_view bytes);
+std::string SerializePlanSyncResponse(const PlanSyncResponse& response);
+StatusOr<PlanSyncResponse> DeserializePlanSyncResponse(std::string_view bytes);
 
 std::string SerializePlanServiceRequest(const PlanServiceRequest& request);
 StatusOr<PlanServiceRequest> DeserializePlanServiceRequest(std::string_view bytes);

@@ -33,6 +33,10 @@ enum class FrameType : uint32_t {
   // A connection-level failure (malformed frame, unknown type): payload is a
   // PlanServiceResponse carrying only the status. The sender closes afterwards.
   kErrorResponse = 5,
+  // Anti-entropy gossip between replicas: a PlanSyncRequest listing held signatures,
+  // answered with a PlanSyncResponse shipping the records the requester lacked.
+  kSyncRequest = 6,
+  kSyncResponse = 7,
 };
 
 struct Frame {

@@ -1,6 +1,8 @@
 #include "service/plan_client.h"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 #include <utility>
 
 #include "core/plan_store.h"
@@ -8,6 +10,57 @@
 #include "service/frame.h"
 
 namespace dcp {
+namespace {
+
+uint64_t SplitMix64(uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+bool IsRetryableStatus(const Status& status) {
+  return status.code() == StatusCode::kUnavailable ||
+         status.code() == StatusCode::kDeadlineExceeded ||
+         status.code() == StatusCode::kDataLoss;
+}
+
+int RetryBackoffMs(const RetryPolicy& policy, int retry) {
+  int64_t backoff = std::max(1, policy.initial_backoff_ms);
+  for (int i = 1; i < retry && backoff < policy.max_backoff_ms; ++i) {
+    backoff *= 2;
+  }
+  backoff = std::min<int64_t>(backoff, std::max(1, policy.max_backoff_ms));
+  const uint64_t jitter =
+      SplitMix64(policy.jitter_seed ^ static_cast<uint64_t>(retry)) %
+      static_cast<uint64_t>(backoff / 2 + 1);
+  return static_cast<int>(backoff - backoff / 2 + static_cast<int64_t>(jitter));
+}
+
+PlanSignature PlanRequestCacheKey(const std::string& tenant,
+                                  const std::vector<int64_t>& seqlens,
+                                  const MaskSpec& mask_spec, int64_t block_size) {
+  PlanSignatureBuilder b;
+  b.Add(0x70636c69656e7431ULL);  // "pclient1": never aliases a server PlanSignature.
+  for (char c : tenant) {
+    b.Add(static_cast<uint64_t>(static_cast<uint8_t>(c)));
+  }
+  b.Add(tenant.size());
+  b.AddSpan(seqlens);
+  b.Add(static_cast<uint64_t>(mask_spec.kind));
+  b.AddSigned(mask_spec.sink_tokens);
+  b.AddSigned(mask_spec.window_tokens);
+  b.AddSigned(mask_spec.icl_block_tokens);
+  b.AddSigned(mask_spec.window_blocks);
+  b.AddSigned(mask_spec.sink_blocks);
+  b.AddSigned(mask_spec.test_blocks);
+  b.AddSigned(mask_spec.num_answers);
+  b.AddDouble(mask_spec.answer_fraction);
+  b.AddSigned(block_size);
+  return b.Finish();
+}
 
 PlanClient::PlanClient(ServiceAddress address, PlanClientOptions options)
     : address_(std::move(address)), options_(std::move(options)) {
@@ -19,11 +72,13 @@ PlanClient::~PlanClient() = default;
 StatusOr<std::unique_ptr<PlanClient>> PlanClient::Connect(const ServiceAddress& address,
                                                           PlanClientOptions options) {
   std::unique_ptr<PlanClient> client(new PlanClient(address, std::move(options)));
-  StatusOr<Socket> socket = ConnectSocket(address);
+  StatusOr<Socket> socket =
+      ConnectSocket(address, client->options_.connect_timeout_ms);
   if (!socket.ok()) {
     return socket.status();
   }
   client->socket_ = std::move(socket).value();
+  client->socket_.set_io_timeout_ms(client->options_.io_timeout_ms);
   client->connected_ = true;
   return client;
 }
@@ -32,11 +87,12 @@ Status PlanClient::EnsureConnectedLocked() {
   if (connected_) {
     return Status::Ok();
   }
-  StatusOr<Socket> socket = ConnectSocket(address_);
+  StatusOr<Socket> socket = ConnectSocket(address_, options_.connect_timeout_ms);
   if (!socket.ok()) {
     return socket.status();
   }
   socket_ = std::move(socket).value();
+  socket_.set_io_timeout_ms(options_.io_timeout_ms);
   connected_ = true;
   std::lock_guard<std::mutex> lock(stats_mu_);
   ++stats_.reconnects;
@@ -50,12 +106,23 @@ StatusOr<Frame> PlanClient::Roundtrip(FrameType request_type,
                                    ? kMaxFramePayloadBytes
                                    : options_.max_frame_payload_bytes;
   std::lock_guard<std::mutex> lock(io_mu_);
-  const int attempts = options_.reconnect ? 2 : 1;
+  const int max_attempts = std::max(1, options_.retry.max_attempts);
   Status failure = Status::Ok();
-  for (int attempt = 0; attempt < attempts; ++attempt) {
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    if (attempt > 0) {
+      // Exponential backoff with deterministic jitter before every retry; the retry
+      // runs on a fresh connection (the failed socket was closed below).
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(RetryBackoffMs(options_.retry, attempt)));
+      std::lock_guard<std::mutex> stats_lock(stats_mu_);
+      ++stats_.retries;
+    }
     Status connect = EnsureConnectedLocked();
     if (!connect.ok()) {
       failure = connect;
+      if (!IsRetryableStatus(failure)) {
+        break;
+      }
       continue;
     }
     {
@@ -89,9 +156,9 @@ StatusOr<Frame> PlanClient::Roundtrip(FrameType request_type,
     }
     connected_ = false;
     socket_.Close();
-    // DATA_LOSS is a protocol failure, not a dropped connection — retrying the same
-    // bytes would just fail again.
-    if (failure.code() == StatusCode::kDataLoss) {
+    // Only transport-level failures are worth (and safe to) chase: the RPC is
+    // idempotent, but an application rejection would fail identically every attempt.
+    if (!IsRetryableStatus(failure)) {
       break;
     }
   }
@@ -112,24 +179,7 @@ Status PlanClient::DecodeErrorFrame(const Frame& frame) {
 PlanSignature PlanClient::CacheKey(const std::vector<int64_t>& seqlens,
                                    const MaskSpec& mask_spec,
                                    int64_t block_size) const {
-  PlanSignatureBuilder b;
-  b.Add(0x70636c69656e7431ULL);  // "pclient1": never aliases a server PlanSignature.
-  for (char c : options_.tenant) {
-    b.Add(static_cast<uint64_t>(static_cast<uint8_t>(c)));
-  }
-  b.Add(options_.tenant.size());
-  b.AddSpan(seqlens);
-  b.Add(static_cast<uint64_t>(mask_spec.kind));
-  b.AddSigned(mask_spec.sink_tokens);
-  b.AddSigned(mask_spec.window_tokens);
-  b.AddSigned(mask_spec.icl_block_tokens);
-  b.AddSigned(mask_spec.window_blocks);
-  b.AddSigned(mask_spec.sink_blocks);
-  b.AddSigned(mask_spec.test_blocks);
-  b.AddSigned(mask_spec.num_answers);
-  b.AddDouble(mask_spec.answer_fraction);
-  b.AddSigned(block_size);
-  return b.Finish();
+  return PlanRequestCacheKey(options_.tenant, seqlens, mask_spec, block_size);
 }
 
 PlanHandle PlanClient::CacheLookup(const PlanSignature& key) {
@@ -177,6 +227,7 @@ StatusOr<PlanHandle> PlanClient::PlanWithBlockSize(const std::vector<int64_t>& s
   request.seqlens = seqlens;
   request.mask_spec = mask_spec;
   request.block_size = block_size;
+  request.deadline_ms = options_.deadline_ms;
   StatusOr<Frame> reply =
       Roundtrip(FrameType::kPlanRequest, SerializePlanServiceRequest(request),
                 FrameType::kPlanResponse);

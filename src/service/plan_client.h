@@ -34,6 +34,40 @@
 
 namespace dcp {
 
+// Bounded retry for transport-level failures, shared by PlanClient and ReplicaSet.
+// Retries chase only "safe" errors — failures where resending cannot double-apply
+// anything (plan RPCs are idempotent: planning is deterministic, so a replayed plan is
+// bit-identical) and where a fresh attempt can plausibly succeed: a dropped or refused
+// connection, a timeout, a torn response frame. Application-level rejections (invalid
+// argument, unknown tenant) are surfaced immediately — they would fail identically on
+// every retry.
+struct RetryPolicy {
+  int max_attempts = 3;        // Total tries per RPC; 1 disables retry.
+  int initial_backoff_ms = 5;  // Doubled per retry, capped at max_backoff_ms.
+  int max_backoff_ms = 200;
+  // Retry k sleeps in [backoff/2, backoff], the offset drawn deterministically from
+  // (jitter_seed, k) — reproducible in tests, still decorrelated across clients that
+  // seed differently.
+  uint64_t jitter_seed = 0x646370722d727472ULL;
+};
+
+// True for the statuses RetryPolicy may chase: UNAVAILABLE, DEADLINE_EXCEEDED, and
+// DATA_LOSS (a torn/desynced response stream — the request is idempotent and the retry
+// runs on a fresh connection).
+bool IsRetryableStatus(const Status& status);
+
+// The backoff before the `retry`-th retry (1-based), per `policy`. Exposed so
+// ReplicaSet paces its reconnect probes identically.
+int RetryBackoffMs(const RetryPolicy& policy, int retry);
+
+// The client-side cache key for one plan request: a signature over the full request
+// content (tenant name folded in, so distinct tenants can never alias). Shared by the
+// PlanClient LRU and by ReplicaSet, whose rendezvous routing and its own LRU must
+// agree with the per-replica clients on request identity.
+PlanSignature PlanRequestCacheKey(const std::string& tenant,
+                                  const std::vector<int64_t>& seqlens,
+                                  const MaskSpec& mask_spec, int64_t block_size);
+
 struct PlanClientOptions {
   std::string tenant = "default";
   // Client-side plan LRU capacity; 0 disables local caching (every Plan is an RPC).
@@ -41,9 +75,16 @@ struct PlanClientOptions {
   // Look-ahead pool threads when a DcpDataLoader drives this client.
   int planner_threads = 2;
   uint64_t max_frame_payload_bytes = 0;  // 0: frame.h default.
-  // One transparent reconnect + resend per RPC when the connection dropped (server
-  // restart); a second failure surfaces as UNAVAILABLE.
-  bool reconnect = true;
+  // Transport budgets: a bound on each (re)connect and on each send/recv (the whole
+  // call, enforced by Socket's poll loop). -1 blocks indefinitely.
+  int connect_timeout_ms = -1;
+  int io_timeout_ms = -1;
+  // End-to-end request budget shipped on every plan request (relative ms; 0 = none).
+  // The server sheds the request unplanned once this has expired.
+  int64_t deadline_ms = 0;
+  // Transport-failure retry policy (replaces the old single transparent reconnect,
+  // which retried exactly once and blindly — even on protocol desync).
+  RetryPolicy retry{};
 };
 
 struct PlanClientStats {
@@ -51,6 +92,7 @@ struct PlanClientStats {
   int64_t rpcs_sent = 0;
   int64_t rpc_errors = 0;      // Transport/framing failures (not server-side statuses).
   int64_t reconnects = 0;
+  int64_t retries = 0;         // Attempts beyond the first, across all RPCs.
 };
 
 class PlanClient : public Planner {
@@ -78,6 +120,7 @@ class PlanClient : public Planner {
 
   StatusOr<PlanServiceStatsResponse> ServerStats(const std::string& tenant_filter = "");
 
+  const ServiceAddress& address() const { return address_; }
   const PlanClientOptions& options() const { return options_; }
   PlanClientStats stats() const;
   void ClearCache();

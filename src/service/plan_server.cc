@@ -1,5 +1,8 @@
 #include "service/plan_server.h"
 
+#include <chrono>
+#include <thread>
+#include <unordered_set>
 #include <utility>
 
 #include "common/check.h"
@@ -7,6 +10,12 @@
 
 namespace dcp {
 namespace {
+
+int64_t NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 PlanServeSource SourceFromOrigin(PlanOrigin origin) {
   switch (origin) {
@@ -51,6 +60,9 @@ Status PlanServer::Start(const ServiceAddress& address) {
   pool_ = std::make_unique<ThreadPool>(std::max(1, options_.workers));
   running_.store(true, std::memory_order_release);
   accept_thread_ = std::thread([this] { AcceptLoop(); });
+  if (!options_.peers.empty() && options_.gossip_interval_ms > 0) {
+    gossip_thread_ = std::thread([this] { GossipLoop(); });
+  }
   return Status::Ok();
 }
 
@@ -62,8 +74,12 @@ void PlanServer::Stop() {
   // an fd another thread is polling is a data race, and a reused descriptor number
   // could silently redirect the accept loop onto an unrelated socket.
   listener_.Interrupt();
+  gossip_cv_.notify_all();
   if (accept_thread_.joinable()) {
     accept_thread_.join();
+  }
+  if (gossip_thread_.joinable()) {
+    gossip_thread_.join();
   }
   listener_.Close();
   {
@@ -183,6 +199,57 @@ void PlanServer::ReadLoop(Connection* conn) {
       }
       continue;
     }
+    if (frame.value().type == FrameType::kPlanRequest) {
+      // Plan requests are decoded in the reader: per-tenant admission needs the tenant
+      // name before a worker slot is committed, and deadline shedding needs the
+      // arrival timestamp, not the (possibly much later) worker-pickup time.
+      const int64_t arrival_ms = NowMs();
+      StatusOr<PlanServiceRequest> request =
+          DeserializePlanServiceRequest(frame.value().payload);
+      if (!request.ok()) {
+        in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+        {
+          std::lock_guard<std::mutex> lock(stats_mu_);
+          ++stats_.malformed_frames;
+        }
+        WriteResponse(conn, FrameType::kPlanResponse,
+                      SerializePlanServiceResponse(ErrorResponse(
+                          request.status().code(), request.status().message())));
+        continue;
+      }
+      bool quota_held = false;
+      if (options_.max_inflight_per_tenant > 0 &&
+          registry_->Find(request.value().tenant) != nullptr) {
+        std::lock_guard<std::mutex> lock(quota_mu_);
+        int& inflight = tenant_inflight_[request.value().tenant];
+        if (inflight >= options_.max_inflight_per_tenant) {
+          in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+          {
+            std::lock_guard<std::mutex> stats_lock(stats_mu_);
+            ++stats_.shed_quota;
+            ++tenant_counters_[request.value().tenant].shed_quota;
+          }
+          WriteResponse(
+              conn, FrameType::kPlanResponse,
+              SerializePlanServiceResponse(ErrorResponse(
+                  StatusCode::kUnavailable,
+                  "tenant '" + request.value().tenant + "' over quota: " +
+                      std::to_string(options_.max_inflight_per_tenant) +
+                      " requests already in flight")));
+          continue;
+        }
+        ++inflight;
+        quota_held = true;
+      }
+      conn->pending_jobs.fetch_add(1, std::memory_order_acq_rel);
+      pool_->Submit([this, conn, request = std::move(request).value(), arrival_ms,
+                     quota_held]() mutable {
+        HandlePlanJob(conn, std::move(request), arrival_ms, quota_held);
+        in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+        conn->pending_jobs.fetch_sub(1, std::memory_order_acq_rel);
+      });
+      continue;
+    }
     conn->pending_jobs.fetch_add(1, std::memory_order_acq_rel);
     pool_->Submit([this, conn, frame = std::move(frame).value()]() mutable {
       HandleFrame(conn, std::move(frame));
@@ -192,6 +259,43 @@ void PlanServer::ReadLoop(Connection* conn) {
   }
   conn->socket.Shutdown();
   conn->done.store(true, std::memory_order_release);
+}
+
+void PlanServer::HandlePlanJob(Connection* conn, PlanServiceRequest request,
+                               int64_t arrival_ms, bool quota_held) {
+  if (options_.fault_injector != nullptr) {
+    const FaultDecision fault = options_.fault_injector->Decide(FaultPoint::kServe);
+    if (fault.action == FaultAction::kDelay) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(fault.delay_ms));
+    } else if (fault.action == FaultAction::kFail) {
+      WriteResponse(conn, FrameType::kPlanResponse,
+                    SerializePlanServiceResponse(ErrorResponse(
+                        StatusCode::kUnavailable, "fault injection: serve failed")));
+      if (quota_held) {
+        std::lock_guard<std::mutex> lock(quota_mu_);
+        --tenant_inflight_[request.tenant];
+      }
+      return;
+    }
+  }
+  PlanServiceResponse response;
+  if (request.deadline_ms > 0 && NowMs() - arrival_ms >= request.deadline_ms) {
+    // The caller's budget is already gone (it has timed out, failed over, or hedged
+    // away); planning now would only steal workers from live requests.
+    response = ErrorResponse(StatusCode::kDeadlineExceeded,
+                             "deadline of " + std::to_string(request.deadline_ms) +
+                                 "ms expired before planning started");
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.shed_deadline;
+  } else {
+    response = HandlePlanRequest(request);
+  }
+  WriteResponse(conn, FrameType::kPlanResponse,
+                SerializePlanServiceResponse(response));
+  if (quota_held) {
+    std::lock_guard<std::mutex> lock(quota_mu_);
+    --tenant_inflight_[request.tenant];
+  }
 }
 
 void PlanServer::HandleFrame(Connection* conn, Frame frame) {
@@ -209,6 +313,21 @@ void PlanServer::HandleFrame(Connection* conn, Frame frame) {
       }
       WriteResponse(conn, FrameType::kPlanResponse,
                     SerializePlanServiceResponse(response));
+      return;
+    }
+    case FrameType::kSyncRequest: {
+      StatusOr<PlanSyncRequest> request = DeserializePlanSyncRequest(frame.payload);
+      PlanSyncResponse response;
+      if (!request.ok()) {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.malformed_frames;
+        response.code = request.status().code();
+        response.message = request.status().message();
+      } else {
+        response = HandleSyncRequest(request.value());
+      }
+      WriteResponse(conn, FrameType::kSyncResponse,
+                    SerializePlanSyncResponse(response));
       return;
     }
     case FrameType::kStatsRequest: {
@@ -258,6 +377,26 @@ PlanServiceResponse PlanServer::HandlePlanRequest(const PlanServiceRequest& requ
     {
       std::lock_guard<std::mutex> lock(stats_mu_);
       ++tenant_counters_[request.tenant].requests;
+    }
+    // Gossip-adopted warm tier: a peer may have planned this exact shape already. The
+    // signature is computable without planning, except under auto-tune with block 0
+    // (the chosen block size — part of the signature — is only known after tuning).
+    if (!(engine->options().auto_tune_block_size && request.block_size == 0)) {
+      StatusOr<PlanSignature> sig = engine->RequestSignature(
+          request.seqlens, request.mask_spec, request.block_size);
+      if (sig.ok()) {
+        if (std::shared_ptr<const std::string> record =
+                ReplicaRecordLookup(sig.value())) {
+          response.source = PlanServeSource::kReplicaCache;
+          response.signature_lo = sig.value().lo;
+          response.signature_hi = sig.value().hi;
+          response.record = *record;
+          std::lock_guard<std::mutex> lock(stats_mu_);
+          ++stats_.replica_cache_hits;
+          ++stats_.plan_ok;
+          return response;
+        }
+      }
     }
     StatusOr<Engine::PlannedOutcome> planned =
         engine->PlanDetailed(request.seqlens, request.mask_spec, request.block_size);
@@ -313,6 +452,178 @@ std::shared_ptr<const std::string> PlanServer::EncodedRecordFor(
   return record;
 }
 
+std::shared_ptr<const std::string> PlanServer::ReplicaRecordLookup(
+    const PlanSignature& sig) {
+  std::lock_guard<std::mutex> lock(replica_cache_mu_);
+  const auto it = replica_cache_.find(sig);
+  if (it == replica_cache_.end()) {
+    return nullptr;
+  }
+  replica_lru_.splice(replica_lru_.begin(), replica_lru_, it->second);
+  return it->second->second;
+}
+
+void PlanServer::ReplicaRecordAdopt(const PlanSignature& sig,
+                                    std::shared_ptr<const std::string> record) {
+  if (options_.replica_record_cache_capacity <= 0) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(replica_cache_mu_);
+  if (replica_cache_.find(sig) != replica_cache_.end()) {
+    return;
+  }
+  replica_lru_.emplace_front(sig, std::move(record));
+  replica_cache_.emplace(sig, replica_lru_.begin());
+  while (static_cast<int>(replica_lru_.size()) >
+         options_.replica_record_cache_capacity) {
+    replica_cache_.erase(replica_lru_.back().first);
+    replica_lru_.pop_back();
+  }
+}
+
+PlanSyncResponse PlanServer::HandleSyncRequest(const PlanSyncRequest& request) {
+  PlanSyncResponse response;
+  const std::shared_ptr<Engine> engine = registry_->Find(request.tenant);
+  if (engine == nullptr) {
+    response.code = StatusCode::kNotFound;
+    response.message = "unknown tenant '" + request.tenant + "'";
+    return response;
+  }
+  std::unordered_set<PlanSignature, PlanSignatureHash> peer_has;
+  peer_has.reserve(request.have.size());
+  for (const auto& pair : request.have) {
+    PlanSignature sig;
+    sig.lo = pair.first;
+    sig.hi = pair.second;
+    peer_has.insert(sig);
+  }
+  // Ship what the peer lacks: this engine's own compiled plans first (the authoritative
+  // copies), then records we ourselves adopted from other replicas — gossip is
+  // transitive, so a plan computed once reaches replicas that never talk directly.
+  std::unordered_set<PlanSignature, PlanSignatureHash> shipped;
+  const int cap = std::max(0, options_.max_sync_records_per_exchange);
+  for (const PlanHandle& handle : engine->CachedPlans()) {
+    if (static_cast<int>(response.records.size()) >= cap) {
+      break;
+    }
+    if (peer_has.count(handle->signature) != 0 ||
+        !shipped.insert(handle->signature).second) {
+      continue;
+    }
+    response.records.push_back(*EncodedRecordFor(handle));
+  }
+  {
+    std::lock_guard<std::mutex> lock(replica_cache_mu_);
+    for (const auto& entry : replica_lru_) {
+      if (static_cast<int>(response.records.size()) >= cap) {
+        break;
+      }
+      if (peer_has.count(entry.first) != 0 || !shipped.insert(entry.first).second) {
+        continue;
+      }
+      response.records.push_back(*entry.second);
+    }
+  }
+  if (options_.fault_injector != nullptr) {
+    for (std::string& record : response.records) {
+      const FaultDecision fault =
+          options_.fault_injector->Decide(FaultPoint::kSyncRecord);
+      if (fault.action == FaultAction::kStale && !record.empty()) {
+        // A "stale" replica ships a record whose bytes no longer match its CRC — the
+        // receiver must catch this in validation, never adopt it.
+        record[record.size() / 2] ^= 0x20;
+      }
+    }
+  }
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  stats_.sync_records_shipped += static_cast<int64_t>(response.records.size());
+  return response;
+}
+
+std::vector<std::pair<uint64_t, uint64_t>> PlanServer::LocalSignatureIndex(
+    Engine& engine) {
+  std::vector<std::pair<uint64_t, uint64_t>> index;
+  for (const PlanHandle& handle : engine.CachedPlans()) {
+    index.emplace_back(handle->signature.lo, handle->signature.hi);
+  }
+  std::lock_guard<std::mutex> lock(replica_cache_mu_);
+  for (const auto& entry : replica_lru_) {
+    index.emplace_back(entry.first.lo, entry.first.hi);
+  }
+  return index;
+}
+
+void PlanServer::GossipLoop() {
+  while (running()) {
+    {
+      std::unique_lock<std::mutex> lock(gossip_mu_);
+      gossip_cv_.wait_for(lock,
+                          std::chrono::milliseconds(options_.gossip_interval_ms),
+                          [this] { return !running(); });
+    }
+    if (!running()) {
+      return;
+    }
+    for (const ServiceAddress& peer : options_.peers) {
+      if (!running()) {
+        return;
+      }
+      GossipWithPeer(peer);
+    }
+  }
+}
+
+void PlanServer::GossipWithPeer(const ServiceAddress& peer) {
+  // A dead or slow peer must not wedge the gossip thread: short connect budget, bounded
+  // I/O, and any failure simply waits for the next round.
+  StatusOr<Socket> socket = ConnectSocket(peer, /*timeout_ms=*/1000);
+  if (!socket.ok()) {
+    return;
+  }
+  socket.value().set_io_timeout_ms(2000);
+  for (const std::string& tenant : registry_->Names()) {
+    const std::shared_ptr<Engine> engine = registry_->Find(tenant);
+    if (engine == nullptr) {
+      continue;
+    }
+    PlanSyncRequest request;
+    request.tenant = tenant;
+    request.have = LocalSignatureIndex(*engine);
+    if (!WriteFrame(socket.value(), FrameType::kSyncRequest,
+                    SerializePlanSyncRequest(request))
+             .ok()) {
+      return;
+    }
+    StatusOr<Frame> reply = ReadFrame(socket.value(), kMaxFramePayloadBytes);
+    if (!reply.ok() || reply.value().type != FrameType::kSyncResponse) {
+      return;  // Torn exchange or a peer that doesn't speak sync: drop the round.
+    }
+    StatusOr<PlanSyncResponse> response =
+        DeserializePlanSyncResponse(reply.value().payload);
+    if (!response.ok() || response.value().code != StatusCode::kOk) {
+      continue;  // E.g. the peer doesn't host this tenant; other tenants may still sync.
+    }
+    for (const std::string& record : response.value().records) {
+      // Full validation before adoption: DecodeRecord re-checks the CRC and decodes
+      // every field, so a stale/corrupt peer record is counted and dropped here.
+      StatusOr<std::pair<PlanSignature, BatchPlan>> decoded =
+          PlanStore::DecodeRecord(record);
+      if (!decoded.ok()) {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.sync_records_rejected;
+        continue;
+      }
+      if (ReplicaRecordLookup(decoded.value().first) != nullptr) {
+        continue;  // Raced another gossip round; already warm.
+      }
+      ReplicaRecordAdopt(decoded.value().first,
+                         std::make_shared<const std::string>(record));
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.sync_records_adopted;
+    }
+  }
+}
+
 void PlanServer::WriteResponse(Connection* conn, FrameType type,
                                std::string_view payload) {
   Status sent = Status::Ok();
@@ -342,6 +653,9 @@ PlanServiceStatsResponse PlanServer::BuildStatsResponse(
     response.responses_sent = stats_.responses_sent;
     response.rejected_overload = stats_.rejected_overload;
     response.malformed_frames = stats_.malformed_frames;
+    response.shed_deadline = stats_.shed_deadline;
+    response.sync_records_shipped = stats_.sync_records_shipped;
+    response.sync_records_adopted = stats_.sync_records_adopted;
   }
   for (const std::string& name : registry_->Names()) {
     if (!tenant_filter.empty() && name != tenant_filter) {
@@ -360,6 +674,7 @@ PlanServiceStatsResponse PlanServer::BuildStatsResponse(
       if (it != tenant_counters_.end()) {
         tenant.requests = it->second.requests;
         tenant.plan_errors = it->second.plan_errors;
+        tenant.shed_quota = it->second.shed_quota;
       }
     }
     tenant.cache_hits = cache.hits;

@@ -23,6 +23,7 @@
 #define DCP_SERVICE_PLAN_SERVER_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -36,6 +37,7 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "runtime/instructions.h"
+#include "service/fault_injection.h"
 #include "service/frame.h"
 #include "service/tenant_registry.h"
 #include "service/transport.h"
@@ -48,6 +50,10 @@ struct PlanServerOptions {
   // with UNAVAILABLE ("overloaded") instead of queued. 0 rejects everything — useful
   // for drain/maintenance mode and for testing client backoff paths.
   int max_queue = 64;
+  // Per-tenant in-flight bound (0 disables): one tenant's burst gets UNAVAILABLE for
+  // that tenant only, while every other tenant keeps planning. Enforced in the reader
+  // (the request is decoded before admission), counted per tenant in the stats RPC.
+  int max_inflight_per_tenant = 0;
   // Cap on inbound REQUEST frames. Requests (tenant + seqlens + mask params) are a few
   // KB; only responses carry compiled plans. ReadFrame commits the claimed length
   // before the checksum can be verified, so a small request cap is what stops a
@@ -58,16 +64,37 @@ struct PlanServerOptions {
   // subsequent hit — the record encode would otherwise dominate the server-cache-hit
   // RPC latency. 0 disables (every response re-encodes).
   int record_cache_capacity = 256;
+  // Anti-entropy gossip: every gossip_interval_ms (0 disables), a background task
+  // exchanges per-tenant signature indexes with each peer replica and pulls the
+  // records it lacks, so a plan computed once becomes warm fleet-wide.
+  std::vector<ServiceAddress> peers;
+  int gossip_interval_ms = 0;
+  int max_sync_records_per_exchange = 64;
+  // Records adopted from peers (and servable without replanning), LRU-bounded. The
+  // key — the plan signature — fully determines the plan bytes, so the tier is shared
+  // across tenants by construction.
+  int replica_record_cache_capacity = 1024;
+  // When set, this server consults the injector at FaultPoint::kServe before planning
+  // (straggler delays, chaos-mode failures) and at kSyncRecord when shipping gossip
+  // records (stale-record corruption). Transport-level faults attach via the global
+  // injector instead (see service/fault_injection.h).
+  std::shared_ptr<FaultInjector> fault_injector;
 };
 
 struct PlanServerStats {
   int64_t connections_accepted = 0;
-  int64_t requests_received = 0;   // Well-formed request frames (plan + stats).
+  int64_t requests_received = 0;   // Well-formed request frames (plan + stats + sync).
   int64_t responses_sent = 0;
   int64_t plan_ok = 0;
   int64_t plan_errors = 0;         // Plan requests answered with a non-OK status.
   int64_t rejected_overload = 0;
   int64_t malformed_frames = 0;
+  int64_t shed_quota = 0;          // Rejected over a tenant's in-flight quota.
+  int64_t shed_deadline = 0;       // Dropped unplanned: the deadline had expired.
+  int64_t replica_cache_hits = 0;  // Plan requests served from gossip-adopted records.
+  int64_t sync_records_shipped = 0;
+  int64_t sync_records_adopted = 0;
+  int64_t sync_records_rejected = 0;  // Peer records that failed validation.
 };
 
 class PlanServer {
@@ -107,13 +134,26 @@ class PlanServer {
 
   void AcceptLoop();
   void ReadLoop(Connection* conn);
-  // Decodes and executes one request frame on a worker thread.
+  // Decodes and executes one non-plan request frame on a worker thread.
   void HandleFrame(Connection* conn, Frame frame);
+  // One admitted plan request on a worker thread: chaos delay, deadline shed, plan,
+  // respond, release the tenant quota slot.
+  void HandlePlanJob(Connection* conn, PlanServiceRequest request, int64_t arrival_ms,
+                     bool quota_held);
   PlanServiceResponse HandlePlanRequest(const PlanServiceRequest& request);
+  PlanSyncResponse HandleSyncRequest(const PlanSyncRequest& request);
   void WriteResponse(Connection* conn, FrameType type, std::string_view payload);
   void ReapFinishedConnections();  // Joins readers whose connections closed.
   // The PlanStore record bytes for `handle`, from the encoded-record LRU when present.
   std::shared_ptr<const std::string> EncodedRecordFor(const PlanHandle& handle);
+
+  // Gossip-adopted record tier.
+  std::shared_ptr<const std::string> ReplicaRecordLookup(const PlanSignature& sig);
+  void ReplicaRecordAdopt(const PlanSignature& sig,
+                          std::shared_ptr<const std::string> record);
+  std::vector<std::pair<uint64_t, uint64_t>> LocalSignatureIndex(Engine& engine);
+  void GossipLoop();
+  void GossipWithPeer(const ServiceAddress& peer);
 
   const std::shared_ptr<TenantRegistry> registry_;
   const PlanServerOptions options_;
@@ -122,8 +162,12 @@ class PlanServer {
   ServiceAddress bound_;
   std::unique_ptr<ThreadPool> pool_;
   std::thread accept_thread_;
+  std::thread gossip_thread_;
   std::atomic<bool> running_{false};
   std::atomic<int> in_flight_{0};
+
+  std::mutex gossip_mu_;  // Pairs with gossip_cv_ for an interruptible interval sleep.
+  std::condition_variable gossip_cv_;
 
   std::mutex conns_mu_;
   std::vector<std::unique_ptr<Connection>> conns_;
@@ -136,11 +180,25 @@ class PlanServer {
       PlanSignatureHash>
       record_cache_;
 
+  // Records other replicas computed, pulled by gossip; signature-keyed, LRU-bounded.
+  std::mutex replica_cache_mu_;
+  std::list<std::pair<PlanSignature, std::shared_ptr<const std::string>>> replica_lru_;
+  std::unordered_map<
+      PlanSignature,
+      std::list<std::pair<PlanSignature, std::shared_ptr<const std::string>>>::iterator,
+      PlanSignatureHash>
+      replica_cache_;
+
+  // Per-tenant in-flight counts (admission quota); keyed only for registered tenants.
+  std::mutex quota_mu_;
+  std::unordered_map<std::string, int> tenant_inflight_;
+
   mutable std::mutex stats_mu_;
   PlanServerStats stats_;
   struct TenantCounters {
     int64_t requests = 0;
     int64_t plan_errors = 0;
+    int64_t shed_quota = 0;
   };
   std::unordered_map<std::string, TenantCounters> tenant_counters_;
 };

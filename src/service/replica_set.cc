@@ -1,0 +1,481 @@
+#include "service/replica_set.h"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <thread>
+#include <utility>
+
+#include "common/check.h"
+
+namespace dcp {
+namespace {
+
+int64_t NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+uint64_t SplitMix64(uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t HashAddress(const ServiceAddress& address) {
+  uint64_t h = 0x646370722d616464ULL;  // "dcpr-add"
+  for (char c : address.ToString()) {
+    h = SplitMix64(h ^ static_cast<uint64_t>(static_cast<uint8_t>(c)));
+  }
+  return h;
+}
+
+constexpr size_t kLatencyRingSize = 64;
+// Below this many samples the p99 estimate is noise; hedge at the configured max.
+constexpr size_t kMinLatencySamples = 8;
+
+}  // namespace
+
+bool ReplicaCooldown::Available(int64_t now_ms) const {
+  return consecutive_failures_ == 0 || now_ms >= next_probe_ms_;
+}
+
+void ReplicaCooldown::RecordFailure(int64_t now_ms) {
+  ++consecutive_failures_;
+  if (consecutive_failures_ == 1) {
+    backoff_ms_ = std::max(1, policy_.initial_ms);
+  } else {
+    const double next = static_cast<double>(backoff_ms_) *
+                        std::max(1.0, policy_.multiplier);
+    backoff_ms_ = std::min<int64_t>(static_cast<int64_t>(next),
+                                    std::max(1, policy_.max_ms));
+  }
+  const int64_t quarter = std::max<int64_t>(1, backoff_ms_ / 4);
+  const uint64_t draw =
+      SplitMix64(policy_.jitter_seed ^ salt_ ^
+                 static_cast<uint64_t>(consecutive_failures_)) %
+      static_cast<uint64_t>(2 * quarter + 1);
+  next_probe_ms_ = now_ms + backoff_ms_ - quarter + static_cast<int64_t>(draw);
+}
+
+void ReplicaCooldown::RecordSuccess() {
+  consecutive_failures_ = 0;
+  backoff_ms_ = 0;
+  next_probe_ms_ = 0;
+}
+
+// One logical request's shared state: the main thread and every attempt thread it
+// launched rendezvous here. Owned by shared_ptr so a slow loser attempt can finish
+// after the main thread has already returned the winner.
+struct ReplicaSet::HedgedCall {
+  std::vector<int64_t> seqlens;
+  MaskSpec mask_spec;
+  int64_t block_size = 0;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  int launched = 0;
+  int finished = 0;
+  bool done = false;
+  PlanHandle result;       // Set by the first successful attempt.
+  bool winner_was_hedge = false;
+  Status fatal = Status::Ok();       // Non-retryable server rejection: stop everything.
+  Status last_error = Status::Ok();  // Most recent transport-level failure.
+};
+
+// Count of attempt threads still running, shared so the last finisher may outlive the
+// ReplicaSet object itself (the destructor waits for zero before tearing down, and the
+// shared_ptr keeps this block alive regardless of destruction order).
+struct ReplicaSet::Outstanding {
+  std::mutex mu;
+  std::condition_variable cv;
+  int count = 0;
+};
+
+ReplicaSet::ReplicaSet(std::vector<ServiceAddress> addresses,
+                       ReplicaSetOptions options)
+    : options_(std::move(options)), outstanding_(std::make_shared<Outstanding>()) {
+  pool_ = std::make_unique<ThreadPool>(std::max(1, options_.planner_threads));
+  replicas_.reserve(addresses.size());
+  for (ServiceAddress& address : addresses) {
+    auto replica = std::make_shared<Replica>();
+    replica->address = std::move(address);
+    replica->addr_hash = HashAddress(replica->address);
+    replica->cooldown = ReplicaCooldown(options_.cooldown, replica->addr_hash);
+    replicas_.push_back(std::move(replica));
+  }
+}
+
+StatusOr<std::unique_ptr<ReplicaSet>> ReplicaSet::Create(
+    std::vector<ServiceAddress> addresses, ReplicaSetOptions options) {
+  if (addresses.empty()) {
+    return Status::InvalidArgument("a ReplicaSet needs at least one replica address");
+  }
+  if (options.hedge_min_delay_ms < 0 ||
+      options.hedge_max_delay_ms < options.hedge_min_delay_ms) {
+    return Status::InvalidArgument("hedge delay bounds must satisfy 0 <= min <= max");
+  }
+  if (options.hedge_budget_fraction < 0.0 || options.hedge_budget_burst < 0) {
+    return Status::InvalidArgument("hedge budget must be non-negative");
+  }
+  return std::unique_ptr<ReplicaSet>(
+      new ReplicaSet(std::move(addresses), std::move(options)));
+}
+
+ReplicaSet::~ReplicaSet() {
+  // Wait out loser attempts: they hold shared_ptrs to replicas and to the call state,
+  // but they also bump this set's counters, so none may run past this point. Each is
+  // bounded by the connect/io timeouts, so this terminates.
+  std::unique_lock<std::mutex> lock(outstanding_->mu);
+  outstanding_->cv.wait(lock, [this] { return outstanding_->count == 0; });
+}
+
+std::vector<size_t> ReplicaSet::RouteOrder(const std::vector<int64_t>& seqlens,
+                                           const MaskSpec& mask_spec,
+                                           int64_t block_size) const {
+  const PlanSignature key =
+      PlanRequestCacheKey(options_.tenant, seqlens, mask_spec, block_size);
+  // Rendezvous hashing: weight(request, replica) = mix(key, addr_hash); sort replicas
+  // by weight. Every client computes the same order with no shared state, and removing
+  // a replica only reroutes the requests that had ranked it first.
+  std::vector<std::pair<uint64_t, size_t>> weighted;
+  weighted.reserve(replicas_.size());
+  for (size_t i = 0; i < replicas_.size(); ++i) {
+    const uint64_t weight =
+        SplitMix64(key.lo ^ SplitMix64(key.hi ^ replicas_[i]->addr_hash));
+    weighted.emplace_back(weight, i);
+  }
+  std::sort(weighted.begin(), weighted.end(),
+            [](const std::pair<uint64_t, size_t>& a,
+               const std::pair<uint64_t, size_t>& b) {
+              return a.first > b.first || (a.first == b.first && a.second < b.second);
+            });
+  std::vector<size_t> order;
+  order.reserve(weighted.size());
+  for (const auto& entry : weighted) {
+    order.push_back(entry.second);
+  }
+  return order;
+}
+
+int64_t ReplicaSet::HedgeDelayMs(const Replica& replica) const {
+  std::vector<int64_t> samples;
+  {
+    std::lock_guard<std::mutex> lock(replica.mu);
+    samples = replica.latencies_ms;
+  }
+  if (samples.size() < kMinLatencySamples) {
+    return options_.hedge_max_delay_ms;
+  }
+  const size_t rank =
+      std::min(samples.size() - 1,
+               static_cast<size_t>(static_cast<double>(samples.size()) * 0.99));
+  std::nth_element(samples.begin(), samples.begin() + rank, samples.end());
+  const int64_t p99 = samples[rank];
+  return std::max<int64_t>(options_.hedge_min_delay_ms,
+                           std::min<int64_t>(options_.hedge_max_delay_ms, p99));
+}
+
+bool ReplicaSet::HedgeBudgetAllows() {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  const double allowance =
+      static_cast<double>(options_.hedge_budget_burst) +
+      options_.hedge_budget_fraction * static_cast<double>(stats_.requests);
+  return static_cast<double>(stats_.hedges_sent) < allowance;
+}
+
+StatusOr<PlanHandle> ReplicaSet::AttemptOnReplica(Replica& replica,
+                                                  const std::vector<int64_t>& seqlens,
+                                                  const MaskSpec& mask_spec,
+                                                  int64_t block_size) {
+  const int64_t started_ms = NowMs();
+  // Lazy connect under the replica lock; the RPC itself runs outside it (PlanClient
+  // serializes its own I/O), so a slow exchange never blocks health snapshots.
+  PlanClient* client = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(replica.mu);
+    ++replica.rpcs;
+    if (replica.client == nullptr) {
+      PlanClientOptions client_options;
+      client_options.tenant = options_.tenant;
+      client_options.cache_capacity = 0;  // The set's LRU is the only cache tier here.
+      client_options.planner_threads = 1;
+      client_options.connect_timeout_ms = options_.connect_timeout_ms;
+      client_options.io_timeout_ms = options_.request_timeout_ms;
+      client_options.deadline_ms = options_.request_timeout_ms;
+      client_options.retry = options_.retry;
+      StatusOr<std::unique_ptr<PlanClient>> connected =
+          PlanClient::Connect(replica.address, std::move(client_options));
+      if (!connected.ok()) {
+        ++replica.failures;
+        const bool entering = replica.cooldown.consecutive_failures() == 0;
+        replica.cooldown.RecordFailure(NowMs());
+        if (entering) {
+          ++replica.cooldowns_entered;
+        }
+        return connected.status();
+      }
+      replica.client = std::move(connected).value();
+    }
+    client = replica.client.get();
+  }
+
+  StatusOr<PlanHandle> result =
+      client->PlanWithBlockSize(seqlens, mask_spec, block_size);
+  const int64_t elapsed_ms = NowMs() - started_ms;
+  std::lock_guard<std::mutex> lock(replica.mu);
+  if (result.ok()) {
+    replica.cooldown.RecordSuccess();
+    if (replica.latencies_ms.size() < kLatencyRingSize) {
+      replica.latencies_ms.push_back(elapsed_ms);
+    } else {
+      replica.latencies_ms[replica.latency_next] = elapsed_ms;
+      replica.latency_next = (replica.latency_next + 1) % kLatencyRingSize;
+    }
+  } else if (IsRetryableStatus(result.status())) {
+    // Transport-level: the replica (or the path to it) is sick — cool it down. An
+    // application rejection deliberately skips this: the replica answered correctly.
+    ++replica.failures;
+    const bool entering = replica.cooldown.consecutive_failures() == 0;
+    replica.cooldown.RecordFailure(NowMs());
+    if (entering) {
+      ++replica.cooldowns_entered;
+    }
+  }
+  return result;
+}
+
+void ReplicaSet::LaunchAttempt(const std::shared_ptr<HedgedCall>& call,
+                               const std::shared_ptr<Replica>& replica,
+                               bool is_hedge) {
+  ++call->launched;  // Caller holds call->mu.
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.rpcs_sent;
+  }
+  {
+    std::lock_guard<std::mutex> lock(outstanding_->mu);
+    ++outstanding_->count;
+  }
+  std::thread([this, call, replica, is_hedge, outstanding = outstanding_] {
+    StatusOr<PlanHandle> result = AttemptOnReplica(
+        *replica, call->seqlens, call->mask_spec, call->block_size);
+    {
+      std::lock_guard<std::mutex> lock(call->mu);
+      ++call->finished;
+      if (result.ok()) {
+        if (!call->done) {
+          call->done = true;
+          call->result = std::move(result).value();
+          call->winner_was_hedge = is_hedge;
+        }
+      } else if (!IsRetryableStatus(result.status())) {
+        call->fatal = result.status();
+      } else {
+        call->last_error = result.status();
+      }
+      call->cv.notify_all();
+    }
+    // Past this point only `outstanding` (shared_ptr) is touched: the set's destructor
+    // may run as soon as count hits zero.
+    std::lock_guard<std::mutex> lock(outstanding->mu);
+    --outstanding->count;
+    outstanding->cv.notify_all();
+  }).detach();
+}
+
+StatusOr<PlanHandle> ReplicaSet::LocalFallbackPlan(
+    const std::vector<int64_t>& seqlens, const MaskSpec& mask_spec,
+    int64_t block_size) {
+  std::lock_guard<std::mutex> lock(fallback_mu_);
+  if (fallback_engine_ == nullptr) {
+    fallback_engine_ = std::make_unique<Engine>(options_.fallback_cluster,
+                                                options_.fallback_options);
+  }
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    ++stats_.local_fallbacks;
+  }
+  StatusOr<Engine::PlannedOutcome> planned =
+      fallback_engine_->PlanDetailed(seqlens, mask_spec, block_size);
+  if (!planned.ok()) {
+    return planned.status();
+  }
+  return std::move(planned).value().handle;
+}
+
+StatusOr<PlanHandle> ReplicaSet::PlanWithBlockSize(
+    const std::vector<int64_t>& seqlens, const MaskSpec& mask_spec,
+    int64_t block_size) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.requests;
+  }
+  const PlanSignature key =
+      PlanRequestCacheKey(options_.tenant, seqlens, mask_spec, block_size);
+  if (PlanHandle cached = CacheLookup(key)) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.cache_hits;
+    return cached;
+  }
+
+  const std::vector<size_t> order = RouteOrder(seqlens, mask_spec, block_size);
+  const int64_t now = NowMs();
+  std::vector<size_t> live;
+  for (size_t index : order) {
+    bool available;
+    {
+      std::lock_guard<std::mutex> lock(replicas_[index]->mu);
+      available = replicas_[index]->cooldown.Available(now);
+    }
+    if (available) {
+      live.push_back(index);
+    }
+  }
+  if (live.empty()) {
+    // Everything is cooling: probe the whole fleet anyway rather than refusing — a
+    // request in hand is the cheapest health probe there is.
+    live = order;
+  }
+
+  auto call = std::make_shared<HedgedCall>();
+  call->seqlens = seqlens;
+  call->mask_spec = mask_spec;
+  call->block_size = block_size;
+
+  const int64_t hedge_delay = HedgeDelayMs(*replicas_[live[0]]);
+  size_t cursor = 0;
+  {
+    std::unique_lock<std::mutex> lock(call->mu);
+    LaunchAttempt(call, replicas_[live[cursor]], /*is_hedge=*/false);
+    ++cursor;
+    const auto resolved = [&call] {
+      return call->done || !call->fatal.ok() || call->finished == call->launched;
+    };
+    // Hedge window: give the routed replica its p99 budget, then (once, budget
+    // permitting) race the next replica in hash order.
+    if (options_.hedging && cursor < live.size()) {
+      call->cv.wait_for(lock, std::chrono::milliseconds(hedge_delay), resolved);
+      if (!resolved() && HedgeBudgetAllows()) {
+        {
+          std::lock_guard<std::mutex> stats_lock(stats_mu_);
+          ++stats_.hedges_sent;
+        }
+        LaunchAttempt(call, replicas_[live[cursor]], /*is_hedge=*/true);
+        ++cursor;
+      }
+    }
+    // Failover loop: every time all launched attempts have failed, try the next
+    // replica in hash order until a win, a fatal rejection, or fleet exhaustion.
+    while (true) {
+      call->cv.wait(lock, resolved);
+      if (call->done || !call->fatal.ok()) {
+        break;
+      }
+      if (cursor >= live.size()) {
+        break;
+      }
+      {
+        std::lock_guard<std::mutex> stats_lock(stats_mu_);
+        ++stats_.failovers;
+      }
+      LaunchAttempt(call, replicas_[live[cursor]], /*is_hedge=*/false);
+      ++cursor;
+    }
+    if (call->done) {
+      if (call->winner_was_hedge) {
+        std::lock_guard<std::mutex> stats_lock(stats_mu_);
+        ++stats_.hedge_wins;
+      }
+      PlanHandle handle = call->result;
+      lock.unlock();
+      CacheInsert(key, handle);
+      return handle;
+    }
+    if (!call->fatal.ok()) {
+      return call->fatal;
+    }
+    if (!call->last_error.ok() && !options_.local_fallback) {
+      return call->last_error;
+    }
+  }
+  if (options_.local_fallback) {
+    return LocalFallbackPlan(seqlens, mask_spec, block_size);
+  }
+  return Status::Unavailable("all " + std::to_string(replicas_.size()) +
+                             " replicas unavailable");
+}
+
+StatusOr<PlanHandle> ReplicaSet::Plan(const std::vector<int64_t>& seqlens,
+                                      const MaskSpec& mask_spec) {
+  return PlanWithBlockSize(seqlens, mask_spec, /*block_size=*/0);
+}
+
+StatusOr<PlanHandle> ReplicaSet::PlanForLoader(const std::vector<int64_t>& seqlens,
+                                               const MaskSpec& mask_spec) {
+  return PlanWithBlockSize(seqlens, mask_spec, /*block_size=*/0);
+}
+
+PlanHandle ReplicaSet::CacheLookup(const PlanSignature& key) {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  const auto it = cache_.find(key);
+  if (it == cache_.end()) {
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->second;
+}
+
+void ReplicaSet::CacheInsert(const PlanSignature& key, PlanHandle handle) {
+  if (options_.cache_capacity <= 0) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  if (cache_.find(key) != cache_.end()) {
+    return;
+  }
+  lru_.emplace_front(key, std::move(handle));
+  cache_.emplace(key, lru_.begin());
+  while (static_cast<int>(lru_.size()) > options_.cache_capacity) {
+    cache_.erase(lru_.back().first);
+    lru_.pop_back();
+  }
+}
+
+ReplicaHealth ReplicaSet::health(size_t index) const {
+  DCP_CHECK_LT(index, replicas_.size());
+  const Replica& replica = *replicas_[index];
+  ReplicaHealth health;
+  health.address = replica.address;
+  const int64_t now = NowMs();
+  {
+    std::lock_guard<std::mutex> lock(replica.mu);
+    health.available = replica.cooldown.Available(now);
+    health.consecutive_failures = replica.cooldown.consecutive_failures();
+    health.backoff_ms = replica.cooldown.backoff_ms();
+    health.rpcs = replica.rpcs;
+    health.failures = replica.failures;
+  }
+  health.p99_estimate_ms = HedgeDelayMs(replica);  // Takes the lock itself.
+  return health;
+}
+
+ReplicaSetStats ReplicaSet::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ReplicaSetStats snapshot = stats_;
+  for (const auto& replica : replicas_) {
+    std::lock_guard<std::mutex> replica_lock(replica->mu);
+    snapshot.cooldowns_entered += replica->cooldowns_entered;
+  }
+  return snapshot;
+}
+
+void ReplicaSet::ClearCache() {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  lru_.clear();
+  cache_.clear();
+}
+
+}  // namespace dcp

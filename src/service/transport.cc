@@ -1,6 +1,7 @@
 #include "service/transport.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
@@ -10,9 +11,14 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 #include <utility>
+
+#include "service/fault_injection.h"
 
 namespace dcp {
 namespace {
@@ -44,6 +50,12 @@ StatusOr<socklen_t> FillSockaddr(const ServiceAddress& address,
   }
   std::memcpy(sun->sun_path, address.path.c_str(), address.path.size() + 1);
   return static_cast<socklen_t>(sizeof(sockaddr_un));
+}
+
+int64_t NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
 }
 
 }  // namespace
@@ -103,27 +115,91 @@ std::string ServiceAddress::ToString() const {
 
 Socket::~Socket() { Close(); }
 
-Socket::Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+Socket::Socket(Socket&& other) noexcept
+    : fd_(other.fd_),
+      io_timeout_ms_(other.io_timeout_ms_),
+      injector_(std::move(other.injector_)) {
+  other.fd_ = -1;
+  other.io_timeout_ms_ = -1;
+}
 
 Socket& Socket::operator=(Socket&& other) noexcept {
   if (this != &other) {
     Close();
     fd_ = other.fd_;
+    io_timeout_ms_ = other.io_timeout_ms_;
+    injector_ = std::move(other.injector_);
     other.fd_ = -1;
+    other.io_timeout_ms_ = -1;
   }
   return *this;
+}
+
+void Socket::set_fault_injector(std::shared_ptr<FaultInjector> injector) {
+  injector_ = std::move(injector);
+}
+
+Status Socket::WaitReady(short events, int64_t deadline_ms, const char* what) {
+  pollfd pfd = {fd_, events, 0};
+  for (;;) {
+    const int64_t remaining = deadline_ms - NowMs();
+    if (remaining <= 0) {
+      return Status::DeadlineExceeded(std::string(what) + " timed out after " +
+                                      std::to_string(io_timeout_ms_) + "ms");
+    }
+    const int ready = ::poll(&pfd, 1, static_cast<int>(std::min<int64_t>(
+                                          remaining, 1000)));
+    if (ready < 0 && errno != EINTR) {
+      return Status::Internal(Errno("poll failed"));
+    }
+    if (ready > 0) {
+      return Status::Ok();  // Readable/writable — or an error the IO call surfaces.
+    }
+  }
 }
 
 Status Socket::SendAll(std::string_view bytes) {
   if (!valid()) {
     return Status::Unavailable("send on closed socket");
   }
+  if (injector_ != nullptr) {
+    const FaultDecision fault = injector_->Decide(FaultPoint::kSend);
+    switch (fault.action) {
+      case FaultAction::kFail:
+        Close();
+        return Status::Unavailable("fault injection: send failed");
+      case FaultAction::kTear: {
+        // Let the first bytes through, then kill the connection: the peer observes a
+        // real torn frame (DATA_LOSS mid-payload), not a clean hangup.
+        const size_t keep = std::min(fault.tear_bytes, bytes.size());
+        if (keep > 0) {
+          (void)::send(fd_, bytes.data(), keep, MSG_NOSIGNAL);
+        }
+        Shutdown();
+        Close();
+        return Status::Unavailable("fault injection: connection torn after " +
+                                   std::to_string(keep) + " bytes");
+      }
+      case FaultAction::kDelay:
+        std::this_thread::sleep_for(std::chrono::milliseconds(fault.delay_ms));
+        break;
+      default:
+        break;
+    }
+  }
+  // With a timeout the socket stays blocking but IO goes through poll + MSG_DONTWAIT,
+  // so one stalled peer cannot wedge the calling thread past its budget.
+  const bool timed = io_timeout_ms_ >= 0;
+  const int64_t deadline_ms = timed ? NowMs() + io_timeout_ms_ : 0;
   size_t sent = 0;
   while (sent < bytes.size()) {
+    if (timed) {
+      DCP_RETURN_IF_ERROR(WaitReady(POLLOUT, deadline_ms, "send"));
+    }
     const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
-                             MSG_NOSIGNAL);
+                             MSG_NOSIGNAL | (timed ? MSG_DONTWAIT : 0));
     if (n < 0) {
-      if (errno == EINTR) {
+      if (errno == EINTR || (timed && (errno == EAGAIN || errno == EWOULDBLOCK))) {
         continue;
       }
       return Status::Unavailable(Errno("send failed"));
@@ -137,12 +213,36 @@ Status Socket::RecvAll(void* buf, size_t n) {
   if (!valid()) {
     return Status::Unavailable("recv on closed socket");
   }
+  if (injector_ != nullptr) {
+    const FaultDecision fault = injector_->Decide(FaultPoint::kRecv);
+    switch (fault.action) {
+      case FaultAction::kFail:
+        Close();
+        return Status::Unavailable("fault injection: recv failed");
+      case FaultAction::kTear:
+        Close();
+        return Status::DataLoss("fault injection: read torn");
+      case FaultAction::kDelay:
+        std::this_thread::sleep_for(std::chrono::milliseconds(fault.delay_ms));
+        break;
+      default:
+        break;
+    }
+    if (!valid()) {
+      return Status::Unavailable("recv on closed socket");
+    }
+  }
+  const bool timed = io_timeout_ms_ >= 0;
+  const int64_t deadline_ms = timed ? NowMs() + io_timeout_ms_ : 0;
   size_t got = 0;
   auto* out = static_cast<char*>(buf);
   while (got < n) {
-    const ssize_t r = ::recv(fd_, out + got, n - got, 0);
+    if (timed) {
+      DCP_RETURN_IF_ERROR(WaitReady(POLLIN, deadline_ms, "recv"));
+    }
+    const ssize_t r = ::recv(fd_, out + got, n - got, timed ? MSG_DONTWAIT : 0);
     if (r < 0) {
-      if (errno == EINTR) {
+      if (errno == EINTR || (timed && (errno == EAGAIN || errno == EWOULDBLOCK))) {
         continue;
       }
       return Status::Unavailable(Errno("recv failed"));
@@ -171,7 +271,18 @@ void Socket::Close() {
   }
 }
 
-StatusOr<Socket> ConnectSocket(const ServiceAddress& address) {
+StatusOr<Socket> ConnectSocket(const ServiceAddress& address, int timeout_ms) {
+  std::shared_ptr<FaultInjector> injector = GlobalFaultInjector();
+  if (injector != nullptr) {
+    const FaultDecision fault = injector->Decide(FaultPoint::kConnect);
+    if (fault.action == FaultAction::kFail || fault.action == FaultAction::kTear) {
+      return Status::Unavailable("fault injection: connection to " +
+                                 address.ToString() + " refused");
+    }
+    if (fault.action == FaultAction::kDelay) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(fault.delay_ms));
+    }
+  }
   sockaddr_storage storage;
   StatusOr<socklen_t> len = FillSockaddr(address, &storage);
   if (!len.ok()) {
@@ -184,7 +295,33 @@ StatusOr<Socket> ConnectSocket(const ServiceAddress& address) {
     return Status::Internal(Errno("socket failed"));
   }
   Socket sock(fd);
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&storage), len.value()) != 0) {
+  if (timeout_ms >= 0) {
+    // Bounded connect: non-blocking connect, poll for writability, then read the
+    // kernel's verdict from SO_ERROR and restore blocking mode.
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    (void)::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+    int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&storage), len.value());
+    if (rc != 0 && errno == EINPROGRESS) {
+      pollfd pfd = {fd, POLLOUT, 0};
+      const int ready = ::poll(&pfd, 1, timeout_ms);
+      if (ready == 0) {
+        return Status::DeadlineExceeded("connect to " + address.ToString() +
+                                        " timed out after " +
+                                        std::to_string(timeout_ms) + "ms");
+      }
+      int so_error = 0;
+      socklen_t so_len = sizeof(so_error);
+      if (ready < 0 ||
+          ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &so_len) != 0 ||
+          so_error != 0) {
+        errno = so_error != 0 ? so_error : errno;
+        return Status::Unavailable(Errno("cannot connect to " + address.ToString()));
+      }
+    } else if (rc != 0) {
+      return Status::Unavailable(Errno("cannot connect to " + address.ToString()));
+    }
+    (void)::fcntl(fd, F_SETFL, flags);
+  } else if (::connect(fd, reinterpret_cast<sockaddr*>(&storage), len.value()) != 0) {
     return Status::Unavailable(Errno("cannot connect to " + address.ToString()));
   }
   if (address.kind == ServiceAddress::Kind::kTcp) {
@@ -192,6 +329,7 @@ StatusOr<Socket> ConnectSocket(const ServiceAddress& address) {
     const int one = 1;
     (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   }
+  sock.set_fault_injector(std::move(injector));
   return sock;
 }
 
@@ -293,7 +431,10 @@ StatusOr<Socket> Listener::Accept(int timeout_ms) {
     const int one = 1;
     (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   }
-  return Socket(fd);
+  Socket accepted(fd);
+  // Chaos mode (dcpctl serve --chaos) faults server-side IO too.
+  accepted.set_fault_injector(GlobalFaultInjector());
+  return accepted;
 }
 
 void Listener::Interrupt() {

@@ -7,12 +7,15 @@
 #define DCP_SERVICE_TRANSPORT_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 
 #include "common/status.h"
 
 namespace dcp {
+
+class FaultInjector;  // service/fault_injection.h — transport stays below it.
 
 // "tcp:host:port" or "unix:/path/to.sock".
 struct ServiceAddress {
@@ -45,22 +48,41 @@ class Socket {
   int fd() const { return fd_; }
 
   // Writes all of `bytes` (EINTR-safe, SIGPIPE suppressed). UNAVAILABLE when the peer
-  // is gone.
+  // is gone; DEADLINE_EXCEEDED when an io timeout is set and the peer stops draining.
   Status SendAll(std::string_view bytes);
   // Reads exactly `n` bytes. UNAVAILABLE on a clean close before the first byte,
-  // DATA_LOSS on a close mid-read (the peer tore a frame).
+  // DATA_LOSS on a close mid-read (the peer tore a frame), DEADLINE_EXCEEDED when an
+  // io timeout is set and no bytes arrive in time.
   Status RecvAll(void* buf, size_t n);
+
+  // Poll-based time budget applied to each SendAll/RecvAll call as a whole: when the
+  // peer cannot make progress within `timeout_ms`, the call fails with
+  // DEADLINE_EXCEEDED instead of blocking forever. -1 (the default) blocks.
+  void set_io_timeout_ms(int timeout_ms) { io_timeout_ms_ = timeout_ms; }
+  int io_timeout_ms() const { return io_timeout_ms_; }
+
+  // When set, every subsequent SendAll/RecvAll consults the injector first
+  // (service/fault_injection.h). Sockets from ConnectSocket/Accept pick up the
+  // process-global injector automatically when one is installed.
+  void set_fault_injector(std::shared_ptr<FaultInjector> injector);
 
   // Unblocks any thread blocked in RecvAll/SendAll on this socket (server shutdown).
   void Shutdown();
   void Close();
 
  private:
+  // Polls until fd_ is ready for `events` or the per-call deadline passes.
+  Status WaitReady(short events, int64_t deadline_ms, const char* what);
+
   int fd_ = -1;
+  int io_timeout_ms_ = -1;
+  std::shared_ptr<FaultInjector> injector_;
 };
 
-// Connects to a listening service endpoint.
-StatusOr<Socket> ConnectSocket(const ServiceAddress& address);
+// Connects to a listening service endpoint. With `timeout_ms` >= 0 the connect itself
+// is bounded (non-blocking connect + poll): a black-holed address fails with
+// DEADLINE_EXCEEDED instead of hanging for the kernel's SYN-retry minutes.
+StatusOr<Socket> ConnectSocket(const ServiceAddress& address, int timeout_ms = -1);
 
 class Listener {
  public:

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <string>
 #include <thread>
@@ -15,6 +16,7 @@
 #include "core/dataloader.h"
 #include "core/engine.h"
 #include "masks/mask.h"
+#include "service/fault_injection.h"
 #include "service/frame.h"
 #include "service/plan_client.h"
 #include "service/plan_server.h"
@@ -380,6 +382,151 @@ TEST(PlanService, DataLoaderRunsTransparentlyOverRemotePlanner) {
     EXPECT_EQ(SerializeTimeless(remote.plan()), SerializeTimeless(local.plan()))
         << "iteration " << iter;
   }
+}
+
+TEST(PlanService, PerTenantQuotaShedsOnlyTheNoisyTenant) {
+  // Every serve stalls 300ms (deterministic periodic injection), so the first request
+  // of tenant "noisy" pins its single quota slot long enough for a second request to
+  // arrive while it is in flight.
+  auto injector = std::make_shared<FaultInjector>(1);
+  FaultRates stall;
+  stall.every_n = 1;
+  stall.periodic_action = FaultAction::kDelay;
+  stall.delay_ms = 300;
+  injector->SetRates(FaultPoint::kServe, stall);
+
+  PlanServerOptions options;
+  options.workers = 4;
+  options.max_inflight_per_tenant = 1;
+  options.fault_injector = injector;
+  ServiceFixture service({{"noisy", SmallCluster(1, 2), SmallEngineOptions(16)},
+                          {"quiet", SmallCluster(1, 2), SmallEngineOptions(24)}},
+                         options);
+
+  std::thread burst([&service] {
+    std::unique_ptr<PlanClient> first = service.Client("noisy");
+    StatusOr<PlanHandle> held = first->Plan({64, 32}, MaskSpec::Causal());
+    EXPECT_TRUE(held.ok()) << held.status().ToString();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  // Second request for the same tenant while the first holds the slot: shed.
+  std::unique_ptr<PlanClient> second = service.Client("noisy");
+  StatusOr<PlanHandle> over_quota = second->Plan({48, 24}, MaskSpec::Causal());
+  ASSERT_FALSE(over_quota.ok());
+  EXPECT_EQ(over_quota.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(over_quota.status().message().find("over quota"), std::string::npos)
+      << over_quota.status().message();
+
+  // The other tenant is unaffected (slow, but admitted).
+  std::unique_ptr<PlanClient> quiet = service.Client("quiet");
+  StatusOr<PlanHandle> fine = quiet->Plan({64, 32}, MaskSpec::Causal());
+  EXPECT_TRUE(fine.ok()) << fine.status().ToString();
+  burst.join();
+
+  EXPECT_GE(service.server->stats().shed_quota, 1);
+  // Per-tenant shed counts surface through the stats RPC.
+  StatusOr<PlanServiceStatsResponse> stats = quiet->ServerStats();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  ASSERT_EQ(stats.value().tenants.size(), 2u);  // Sorted: noisy, quiet.
+  EXPECT_GE(stats.value().tenants[0].shed_quota, 1);
+  EXPECT_EQ(stats.value().tenants[1].shed_quota, 0);
+}
+
+TEST(PlanService, ExpiredDeadlinesAreShedUnplanned) {
+  // Serve-side stall of 150ms against a 50ms request deadline: by the time a worker
+  // picks the request up its budget is gone, and the server must not plan it.
+  auto injector = std::make_shared<FaultInjector>(2);
+  FaultRates stall;
+  stall.every_n = 1;
+  stall.periodic_action = FaultAction::kDelay;
+  stall.delay_ms = 150;
+  injector->SetRates(FaultPoint::kServe, stall);
+  PlanServerOptions options;
+  options.fault_injector = injector;
+  ServiceFixture service({{"prod", SmallCluster(1, 2), SmallEngineOptions(16)}},
+                         options);
+
+  PlanClientOptions client_options;
+  client_options.tenant = "prod";
+  client_options.deadline_ms = 50;
+  client_options.retry.max_attempts = 1;  // The shed status is the assertion target.
+  std::unique_ptr<PlanClient> client =
+      PlanClient::Connect(service.server->bound_address(), client_options).value();
+  StatusOr<PlanHandle> shed = client->Plan({64, 32}, MaskSpec::Causal());
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_GE(service.server->stats().shed_deadline, 1);
+  EXPECT_GE(service.server->BuildStatsResponse("").shed_deadline, 1);
+}
+
+TEST(PlanService, GossipReplicatesRecordsAcrossPeers) {
+  const ClusterSpec cluster = SmallCluster(2, 2);
+  const EngineOptions options = SmallEngineOptions(16);
+
+  // Replica A plans; replica B (peered with A, same tenant config) must adopt the
+  // record via anti-entropy and serve it without planning.
+  ServiceFixture replica_a({{"prod", cluster, options}});
+  PlanServerOptions b_options;
+  b_options.peers = {replica_a.server->bound_address()};
+  b_options.gossip_interval_ms = 20;
+  ServiceFixture replica_b({{"prod", cluster, options}}, b_options);
+
+  const std::vector<int64_t> seqlens = {60, 33, 18};
+  const MaskSpec mask = MaskSpec::Lambda(4, 13);
+  std::unique_ptr<PlanClient> client_a = replica_a.Client("prod");
+  const PlanHandle planned_on_a = client_a->Plan(seqlens, mask).value();
+
+  // Wait for one successful gossip round (bounded; typically one interval).
+  bool adopted = false;
+  for (int i = 0; i < 250 && !adopted; ++i) {
+    adopted = replica_b.server->stats().sync_records_adopted >= 1;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  ASSERT_TRUE(adopted) << "replica B never adopted A's record";
+  EXPECT_GE(replica_a.server->stats().sync_records_shipped, 1);
+
+  // B serves the shape from the adopted record — no planning, bit-identical bytes.
+  std::unique_ptr<PlanClient> client_b = replica_b.Client("prod");
+  StatusOr<PlanHandle> from_b = client_b->Plan(seqlens, mask);
+  ASSERT_TRUE(from_b.ok()) << from_b.status().ToString();
+  EXPECT_EQ(client_b->last_source(), PlanServeSource::kReplicaCache);
+  EXPECT_TRUE(from_b.value()->signature == planned_on_a->signature);
+  EXPECT_EQ(SerializeTimeless(from_b.value()->plan),
+            SerializeTimeless(planned_on_a->plan));
+  EXPECT_GE(replica_b.server->stats().replica_cache_hits, 1);
+  EXPECT_EQ(replica_b.registry->Find("prod")->cache_stats().misses, 0);
+}
+
+TEST(PlanService, StaleGossipRecordsAreRejectedByValidation) {
+  const ClusterSpec cluster = SmallCluster(1, 2);
+  const EngineOptions options = SmallEngineOptions(16);
+
+  // Replica A ships corrupted ("stale") records on every sync; B must reject every one
+  // of them at validation and adopt nothing.
+  auto stale = std::make_shared<FaultInjector>(3);
+  FaultRates corrupt;
+  corrupt.stale = 1.0;
+  stale->SetRates(FaultPoint::kSyncRecord, corrupt);
+  PlanServerOptions a_options;
+  a_options.fault_injector = stale;
+  ServiceFixture replica_a({{"prod", cluster, options}}, a_options);
+
+  PlanServerOptions b_options;
+  b_options.peers = {replica_a.server->bound_address()};
+  b_options.gossip_interval_ms = 20;
+  ServiceFixture replica_b({{"prod", cluster, options}}, b_options);
+
+  std::unique_ptr<PlanClient> client_a = replica_a.Client("prod");
+  ASSERT_TRUE(client_a->Plan({64, 32}, MaskSpec::Causal()).ok());
+
+  bool rejected = false;
+  for (int i = 0; i < 250 && !rejected; ++i) {
+    rejected = replica_b.server->stats().sync_records_rejected >= 1;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  ASSERT_TRUE(rejected) << "replica B never saw (and rejected) a stale record";
+  EXPECT_EQ(replica_b.server->stats().sync_records_adopted, 0);
 }
 
 TEST(PlanService, ClientReconnectsAfterServerRestart) {
