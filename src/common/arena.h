@@ -1,0 +1,60 @@
+// A bump allocator for request-scoped decode scratch: the planning service decodes
+// each inbound plan request into views over the wire payload plus arena-backed arrays,
+// so one deserialization costs one arena block instead of a per-field allocation storm.
+// Blocks grow geometrically; nothing is freed until the arena is destroyed or Reset.
+// Not thread-safe — an arena belongs to exactly one request.
+#ifndef DCP_COMMON_ARENA_H_
+#define DCP_COMMON_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace dcp {
+
+class Arena {
+ public:
+  Arena() = default;
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  // Returns `bytes` of storage aligned to `align` (a power of two). Never fails:
+  // a block large enough for the request is allocated when the current one is full.
+  void* Allocate(size_t bytes, size_t align = alignof(std::max_align_t));
+
+  // Typed array of `n` default-constructible trivials. The service decoder sizes this
+  // exactly from the wire count, so a whole seqlens array is one block.
+  template <typename T>
+  T* AllocateArray(size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena memory is reclaimed without running destructors");
+    return static_cast<T*>(Allocate(n * sizeof(T), alignof(T)));
+  }
+
+  // Drops every block. Outstanding pointers become invalid.
+  void Reset();
+
+  // Observability for tests that assert allocation behavior (e.g. "decoding one plan
+  // request touches the allocator exactly once").
+  size_t block_count() const { return blocks_.size(); }
+  size_t bytes_allocated() const { return bytes_allocated_; }
+
+ private:
+  struct Block {
+    std::unique_ptr<char[]> data;
+    size_t size = 0;
+    size_t used = 0;
+  };
+
+  static constexpr size_t kMinBlockBytes = 256;
+
+  std::vector<Block> blocks_;
+  size_t bytes_allocated_ = 0;
+};
+
+}  // namespace dcp
+
+#endif  // DCP_COMMON_ARENA_H_

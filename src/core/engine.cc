@@ -15,7 +15,7 @@ std::string BadField(const char* what, int64_t value) {
 
 }  // namespace
 
-Status ValidatePlanRequest(const std::vector<int64_t>& seqlens, const MaskSpec& mask_spec,
+Status ValidatePlanRequest(std::span<const int64_t> seqlens, const MaskSpec& mask_spec,
                            const ClusterSpec& cluster, const PlannerOptions& options) {
   if (seqlens.empty()) {
     return Status::InvalidArgument("seqlens must be non-empty");
@@ -201,7 +201,7 @@ PlanHandle Engine::InsertAndPersist(std::shared_ptr<CompiledPlan> compiled) {
 }
 
 PlanHandle Engine::StoreLookup(const PlanSignature& sig,
-                               const std::vector<int64_t>& seqlens,
+                               std::span<const int64_t> seqlens,
                                const MaskSpec& mask_spec) {
   if (store_ == nullptr) {
     return nullptr;
@@ -216,7 +216,10 @@ PlanHandle Engine::StoreLookup(const PlanSignature& sig,
   compiled->signature = sig;
   compiled->plan = std::move(loaded).value();
   // Masks are derived, not persisted: rebuilding them is O(tokens), planning is not.
-  compiled->masks = BuildBatchMasks(mask_spec, seqlens);
+  // This is the one disk-hit-path copy of the seqlens; the memory-hit path above never
+  // materializes them.
+  const std::vector<int64_t> owned(seqlens.begin(), seqlens.end());
+  compiled->masks = BuildBatchMasks(mask_spec, owned);
   return CacheInsert(std::move(compiled));
 }
 
@@ -225,7 +228,7 @@ StatusOr<PlanHandle> Engine::Plan(const std::vector<int64_t>& seqlens,
   return PlanWithBlockSize(seqlens, mask_spec, options_.planner.block_size);
 }
 
-StatusOr<PlanHandle> Engine::PlanWithBlockSize(const std::vector<int64_t>& seqlens,
+StatusOr<PlanHandle> Engine::PlanWithBlockSize(std::span<const int64_t> seqlens,
                                                const MaskSpec& mask_spec,
                                                int64_t block_size, PlanOrigin* origin) {
   PlannerOptions planner = options_.planner;
@@ -249,10 +252,14 @@ StatusOr<PlanHandle> Engine::PlanWithBlockSize(const std::vector<int64_t>& seqle
   if (origin != nullptr) {
     *origin = PlanOrigin::kFresh;
   }
+  // Materialize only on the fresh-plan path: mask building and the planner are
+  // O(tokens)-and-up, so one vector copy is noise there, while the hit path above
+  // stayed copy-free.
+  const std::vector<int64_t> owned(seqlens.begin(), seqlens.end());
   auto compiled = std::make_shared<CompiledPlan>();
   compiled->signature = sig;
-  compiled->masks = BuildBatchMasks(mask_spec, seqlens);
-  compiled->plan = PlanBatch(seqlens, compiled->masks, cluster_, planner);
+  compiled->masks = BuildBatchMasks(mask_spec, owned);
+  compiled->plan = PlanBatch(owned, compiled->masks, cluster_, planner);
   return InsertAndPersist(std::move(compiled));
 }
 
@@ -267,7 +274,7 @@ std::vector<PlanHandle> Engine::CachedPlans() const {
   return plans;
 }
 
-StatusOr<PlanSignature> Engine::RequestSignature(const std::vector<int64_t>& seqlens,
+StatusOr<PlanSignature> Engine::RequestSignature(std::span<const int64_t> seqlens,
                                                  const MaskSpec& mask_spec,
                                                  int64_t block_size) const {
   PlannerOptions planner = options_.planner;
@@ -278,7 +285,7 @@ StatusOr<PlanSignature> Engine::RequestSignature(const std::vector<int64_t>& seq
   return ComputePlanSignature(seqlens, mask_spec, cluster_, planner);
 }
 
-StatusOr<Engine::PlannedOutcome> Engine::PlanDetailed(const std::vector<int64_t>& seqlens,
+StatusOr<Engine::PlannedOutcome> Engine::PlanDetailed(std::span<const int64_t> seqlens,
                                                       const MaskSpec& mask_spec,
                                                       int64_t block_size) {
   PlannedOutcome outcome;
@@ -301,7 +308,7 @@ StatusOr<Engine::PlannedOutcome> Engine::PlanDetailed(const std::vector<int64_t>
   return outcome;
 }
 
-StatusOr<AutoTuneResult> Engine::AutoTune(const std::vector<int64_t>& seqlens,
+StatusOr<AutoTuneResult> Engine::AutoTune(std::span<const int64_t> seqlens,
                                           const MaskSpec& mask_spec) {
   if (options_.tune_block_sizes.empty()) {
     return Status::FailedPrecondition("tune_block_sizes must be non-empty");
@@ -349,8 +356,11 @@ StatusOr<AutoTuneResult> Engine::AutoTune(const std::vector<int64_t>& seqlens,
     return result;
   }
 
-  std::vector<SequenceMask> masks = BuildBatchMasks(mask_spec, seqlens);
-  BlockSizeSearchResult search = SearchBlockSize(seqlens, masks, cluster_,
+  // The search path plans every candidate; one seqlens copy is immaterial here (the
+  // cached-winner path above never copies).
+  const std::vector<int64_t> owned(seqlens.begin(), seqlens.end());
+  std::vector<SequenceMask> masks = BuildBatchMasks(mask_spec, owned);
+  BlockSizeSearchResult search = SearchBlockSize(owned, masks, cluster_,
                                                  options_.planner,
                                                  options_.tune_block_sizes);
 

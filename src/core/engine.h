@@ -17,9 +17,11 @@
 #define DCP_CORE_ENGINE_H_
 
 #include <cstdint>
+#include <initializer_list>
 #include <list>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -130,9 +132,18 @@ struct AutoTuneResult {
 };
 
 // Validates one planning request's user inputs. Exposed for front ends (dcpctl) that
-// want to report errors before constructing an Engine.
-Status ValidatePlanRequest(const std::vector<int64_t>& seqlens, const MaskSpec& mask_spec,
+// want to report errors before constructing an Engine. Seqlens are a span (vectors
+// convert implicitly) so the planning service can validate straight out of an
+// arena-decoded request without copying.
+Status ValidatePlanRequest(std::span<const int64_t> seqlens, const MaskSpec& mask_spec,
                            const ClusterSpec& cluster, const PlannerOptions& options);
+// Braced-list convenience (std::span gains this constructor only in C++26).
+inline Status ValidatePlanRequest(std::initializer_list<int64_t> seqlens,
+                                  const MaskSpec& mask_spec, const ClusterSpec& cluster,
+                                  const PlannerOptions& options) {
+  return ValidatePlanRequest(std::span<const int64_t>(seqlens.begin(), seqlens.size()),
+                             mask_spec, cluster, options);
+}
 
 class Engine : public Planner {
  public:
@@ -147,16 +158,29 @@ class Engine : public Planner {
   StatusOr<PlanHandle> Plan(const std::vector<int64_t>& seqlens,
                             const MaskSpec& mask_spec) override;
   // Same, at an explicit block size (AutoTune and tests use this). When `origin` is
-  // non-null it reports which tier served the plan.
-  StatusOr<PlanHandle> PlanWithBlockSize(const std::vector<int64_t>& seqlens,
+  // non-null it reports which tier served the plan. Takes a span so the cache-hit path
+  // (signature hash + LRU lookup) runs without materializing a seqlens vector; the
+  // seqlens are only copied when the request actually misses to the planner.
+  StatusOr<PlanHandle> PlanWithBlockSize(std::span<const int64_t> seqlens,
                                          const MaskSpec& mask_spec, int64_t block_size,
                                          PlanOrigin* origin = nullptr);
+  StatusOr<PlanHandle> PlanWithBlockSize(std::initializer_list<int64_t> seqlens,
+                                         const MaskSpec& mask_spec, int64_t block_size,
+                                         PlanOrigin* origin = nullptr) {
+    return PlanWithBlockSize(std::span<const int64_t>(seqlens.begin(), seqlens.size()),
+                             mask_spec, block_size, origin);
+  }
 
   // The paper's block-size search, cached per tune signature: the first sight of a batch
   // shape plans every candidate and prices it on the simulator; later sightings reuse
   // the recorded winner (usually a plan-cache hit as well).
-  StatusOr<AutoTuneResult> AutoTune(const std::vector<int64_t>& seqlens,
+  StatusOr<AutoTuneResult> AutoTune(std::span<const int64_t> seqlens,
                                     const MaskSpec& mask_spec);
+  StatusOr<AutoTuneResult> AutoTune(std::initializer_list<int64_t> seqlens,
+                                    const MaskSpec& mask_spec) {
+    return AutoTune(std::span<const int64_t>(seqlens.begin(), seqlens.size()),
+                    mask_spec);
+  }
 
   // Plans either at the fixed block size or through AutoTune, per
   // options().auto_tune_block_size — the data loader's single entry point.
@@ -170,7 +194,7 @@ class Engine : public Planner {
     PlanHandle handle;
     PlanOrigin origin = PlanOrigin::kFresh;
   };
-  StatusOr<PlannedOutcome> PlanDetailed(const std::vector<int64_t>& seqlens,
+  StatusOr<PlannedOutcome> PlanDetailed(std::span<const int64_t> seqlens,
                                         const MaskSpec& mask_spec,
                                         int64_t block_size = 0);
 
@@ -190,7 +214,7 @@ class Engine : public Planner {
   // input. Not meaningful for tenants with auto_tune_block_size set and block_size 0 —
   // there the signature depends on the tuning search; callers gate on
   // options().auto_tune_block_size.
-  StatusOr<PlanSignature> RequestSignature(const std::vector<int64_t>& seqlens,
+  StatusOr<PlanSignature> RequestSignature(std::span<const int64_t> seqlens,
                                            const MaskSpec& mask_spec,
                                            int64_t block_size = 0) const;
 
@@ -232,7 +256,7 @@ class Engine : public Planner {
   PlanHandle InsertAndPersist(std::shared_ptr<CompiledPlan> compiled);
   // Consults the plan store for `sig` on a cache miss; returns nullptr when there is no
   // store, the record is absent, or it failed validation (counted inside the store).
-  PlanHandle StoreLookup(const PlanSignature& sig, const std::vector<int64_t>& seqlens,
+  PlanHandle StoreLookup(const PlanSignature& sig, std::span<const int64_t> seqlens,
                          const MaskSpec& mask_spec);
 
   ClusterSpec cluster_;

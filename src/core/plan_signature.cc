@@ -86,7 +86,7 @@ void HashPlannerSansBlock(PlanSignatureBuilder& b, const PlannerOptions& options
   b.AddSigned(options.partition_coarsening_grain);
 }
 
-PlanSignatureBuilder HashCommon(const std::vector<int64_t>& seqlens,
+PlanSignatureBuilder HashCommon(std::span<const int64_t> seqlens,
                                 const MaskSpec& mask_spec, const ClusterSpec& cluster,
                                 const PlannerOptions& options) {
   PlanSignatureBuilder b;
@@ -124,7 +124,7 @@ void PlanSignatureBuilder::AddDouble(double value) {
   Add(bits);
 }
 
-void PlanSignatureBuilder::AddSpan(const std::vector<int64_t>& values) {
+void PlanSignatureBuilder::AddSpan(std::span<const int64_t> values) {
   Add(static_cast<uint64_t>(values.size()));
   for (int64_t v : values) {
     AddSigned(v);
@@ -150,7 +150,7 @@ std::string PlanSignature::ToHex() const {
   return std::string(buf);
 }
 
-PlanSignature ComputePlanSignature(const std::vector<int64_t>& seqlens,
+PlanSignature ComputePlanSignature(std::span<const int64_t> seqlens,
                                    const MaskSpec& mask_spec, const ClusterSpec& cluster,
                                    const PlannerOptions& options) {
   PlanSignatureBuilder b = HashCommon(seqlens, mask_spec, cluster, options);
@@ -159,7 +159,7 @@ PlanSignature ComputePlanSignature(const std::vector<int64_t>& seqlens,
   return b.Finish();
 }
 
-PlanSignature ComputeTuneSignature(const std::vector<int64_t>& seqlens,
+PlanSignature ComputeTuneSignature(std::span<const int64_t> seqlens,
                                    const MaskSpec& mask_spec, const ClusterSpec& cluster,
                                    const PlannerOptions& options,
                                    const std::vector<int64_t>& block_sizes) {

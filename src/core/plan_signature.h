@@ -13,6 +13,8 @@
 #define DCP_CORE_PLAN_SIGNATURE_H_
 
 #include <cstdint>
+#include <initializer_list>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -47,7 +49,7 @@ class PlanSignatureBuilder {
   void AddSigned(int64_t value) { Add(static_cast<uint64_t>(value)); }
   void AddDouble(double value);
   void AddBool(bool value) { Add(value ? 1 : 0); }
-  void AddSpan(const std::vector<int64_t>& values);
+  void AddSpan(std::span<const int64_t> values);
 
   PlanSignature Finish() const;
 
@@ -57,14 +59,24 @@ class PlanSignatureBuilder {
 };
 
 // Full plan identity: seqlens + mask spec + cluster + all planner options (block size
-// included). Equal signatures => PlanBatch returns bit-identical plans.
-PlanSignature ComputePlanSignature(const std::vector<int64_t>& seqlens,
+// included). Equal signatures => PlanBatch returns bit-identical plans. Seqlens are a
+// span so the service can hash straight out of an arena-decoded request without
+// materializing a vector (std::vector converts implicitly).
+PlanSignature ComputePlanSignature(std::span<const int64_t> seqlens,
                                    const MaskSpec& mask_spec, const ClusterSpec& cluster,
                                    const PlannerOptions& options);
+// Braced-list convenience (std::span gains this constructor only in C++26).
+inline PlanSignature ComputePlanSignature(std::initializer_list<int64_t> seqlens,
+                                          const MaskSpec& mask_spec,
+                                          const ClusterSpec& cluster,
+                                          const PlannerOptions& options) {
+  return ComputePlanSignature(std::span<const int64_t>(seqlens.begin(), seqlens.size()),
+                              mask_spec, cluster, options);
+}
 
 // Block-size-search identity: like ComputePlanSignature but with the block size replaced
 // by the candidate list, keying Engine::AutoTune's per-signature winning block size.
-PlanSignature ComputeTuneSignature(const std::vector<int64_t>& seqlens,
+PlanSignature ComputeTuneSignature(std::span<const int64_t> seqlens,
                                    const MaskSpec& mask_spec, const ClusterSpec& cluster,
                                    const PlannerOptions& options,
                                    const std::vector<int64_t>& block_sizes);

@@ -616,6 +616,20 @@ class ByteReader {
     pos_ += static_cast<size_t>(len);
     return out;
   }
+  // Like Str, but aliases the input instead of copying — the zero-copy request decode.
+  std::string_view StrView(size_t max_len, const char* what) {
+    const uint64_t len = Var();
+    if (failed_) {
+      return {};
+    }
+    if (len > max_len || len > remaining()) {
+      SetFail(what);
+      return {};
+    }
+    std::string_view out = data_.substr(pos_, static_cast<size_t>(len));
+    pos_ += static_cast<size_t>(len);
+    return out;
+  }
   // Reads a count and proves `count * min_item_bytes` fits in the remaining payload, so
   // a corrupt count can neither drive a huge allocation nor a long parse loop.
   uint32_t BoundedCount(size_t min_item_bytes, const char* what) {
@@ -1098,6 +1112,33 @@ StatusOr<PlanServiceRequest> DeserializePlanServiceRequest(std::string_view byte
   return request;
 }
 
+StatusOr<PlanServiceRequestView> DeserializePlanServiceRequestView(
+    std::string_view bytes, Arena* arena) {
+  ByteReader r(bytes);
+  DCP_RETURN_IF_ERROR(ReadMessageVersion(r, "plan request"));
+  PlanServiceRequestView request;
+  request.tenant = r.StrView(kMaxTenantNameBytes, "tenant name too long");
+  const uint32_t num_seqs = r.BoundedCount(1, "request sequence count");
+  if (r.failed()) {
+    return r.TakeStatus();
+  }
+  // The count precedes the elements, so the whole array is one exact-size arena
+  // allocation — the "one allocation per plan deserialization" contract.
+  int64_t* seqlens = arena->AllocateArray<int64_t>(num_seqs);
+  for (uint32_t s = 0; s < num_seqs; ++s) {
+    seqlens[s] = r.Zig();
+  }
+  request.seqlens = std::span<const int64_t>(seqlens, num_seqs);
+  DCP_RETURN_IF_ERROR(ReadMaskSpecBin(r, &request.mask_spec));
+  request.block_size = r.Zig();
+  request.deadline_ms = r.Zig();
+  if (!r.failed() && request.deadline_ms < 0) {
+    return r.Fail("negative request deadline");
+  }
+  DCP_RETURN_IF_ERROR(RejectTrailing(r, "plan request"));
+  return request;
+}
+
 std::string SerializePlanServiceResponse(const PlanServiceResponse& response) {
   ByteWriter w;
   w.U32(kServiceMessageVersion);
@@ -1107,6 +1148,24 @@ std::string SerializePlanServiceResponse(const PlanServiceResponse& response) {
   w.U64(response.signature_lo);
   w.U64(response.signature_hi);
   w.Str(response.record);
+  return w.Take();
+}
+
+std::string SerializePlanServiceResponseHead(const PlanServiceResponse& response,
+                                             size_t record_size) {
+  // Everything up to and including the record's length prefix; the record bytes
+  // themselves ride as a separate iovec (FrameParts::body), so appending them here
+  // yields exactly SerializePlanServiceResponse's output.
+  DCP_CHECK(response.record.empty())
+      << "record bytes must travel via FrameParts::body, not the head";
+  ByteWriter w;
+  w.U32(kServiceMessageVersion);
+  w.U8(static_cast<uint8_t>(response.code));
+  w.Str(response.message);
+  w.U8(static_cast<uint8_t>(response.source));
+  w.U64(response.signature_lo);
+  w.U64(response.signature_hi);
+  w.Count(record_size);
   return w.Take();
 }
 

@@ -7,11 +7,13 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "masks/mask_spec.h"
@@ -301,6 +303,32 @@ std::string SerializePlanServiceRequest(const PlanServiceRequest& request);
 StatusOr<PlanServiceRequest> DeserializePlanServiceRequest(std::string_view bytes);
 std::string SerializePlanServiceResponse(const PlanServiceResponse& response);
 StatusOr<PlanServiceResponse> DeserializePlanServiceResponse(std::string_view bytes);
+
+// Zero-copy view of a decoded plan request: `tenant` aliases the wire payload and
+// `seqlens` lives in a caller-supplied arena, so decoding costs exactly one arena
+// allocation (the seqlens array — its count is on the wire before its elements, so the
+// array is sized exactly) instead of two heap strings plus a vector per request. The
+// payload bytes and the arena must both outlive the view.
+struct PlanServiceRequestView {
+  std::string_view tenant;
+  std::span<const int64_t> seqlens;
+  MaskSpec mask_spec;
+  int64_t block_size = 0;
+  int64_t deadline_ms = 0;
+};
+
+// Wire-compatible with DeserializePlanServiceRequest (same validation, same errors);
+// only the ownership of the decoded fields differs.
+StatusOr<PlanServiceRequestView> DeserializePlanServiceRequestView(
+    std::string_view bytes, Arena* arena);
+
+// Serializes every response field except the record bytes themselves, ending with the
+// record-length prefix for a record of `record_size` bytes: head ++ record_bytes is
+// byte-identical to SerializePlanServiceResponse on the same response carrying those
+// bytes. The server writev's [frame header + this head][shared record][crc] so a cached
+// record is framed without copying. `response.record` must be empty.
+std::string SerializePlanServiceResponseHead(const PlanServiceResponse& response,
+                                             size_t record_size);
 std::string SerializePlanServiceStatsRequest(const PlanServiceStatsRequest& request);
 StatusOr<PlanServiceStatsRequest> DeserializePlanServiceStatsRequest(
     std::string_view bytes);

@@ -1,0 +1,66 @@
+// Readiness multiplexing for the planning service's IO threads: one Poller per IO
+// thread watches every socket that thread owns. The primary backend is epoll
+// (level-triggered — the server drains until EAGAIN, so level semantics are exact and
+// re-arm free); a portable poll(2) backend backs it up and is selectable per server
+// (PlanServerOptions::force_poll_backend) so the fallback stays tested, not bit-rotted.
+//
+// A Poller is single-threaded by design: Add/Modify/Remove/Wait are only ever called
+// from the loop thread that owns it. Cross-thread wakeups go through an eventfd the
+// owner registers like any other fd.
+#ifndef DCP_SERVICE_EVENT_LOOP_H_
+#define DCP_SERVICE_EVENT_LOOP_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dcp {
+
+class Poller {
+ public:
+  enum class Backend { kEpoll, kPoll };
+
+  // `prefer_epoll` falls back to poll when epoll is unavailable (non-Linux builds, or
+  // epoll_create failure); backend() reports what was actually chosen.
+  explicit Poller(bool prefer_epoll = true);
+  ~Poller();
+
+  Poller(Poller&& other) noexcept;
+  Poller& operator=(Poller&& other) noexcept;
+  Poller(const Poller&) = delete;
+  Poller& operator=(const Poller&) = delete;
+
+  Backend backend() const { return backend_; }
+
+  // Watches `fd`. want_read/want_write may both be false: the fd stays registered
+  // (errors and hangups are still reported) but produces no readiness events.
+  Status Add(int fd, bool want_read, bool want_write);
+  Status Modify(int fd, bool want_read, bool want_write);
+  void Remove(int fd);
+
+  struct Event {
+    int fd = -1;
+    bool readable = false;
+    bool writable = false;
+    // POLLERR/POLLHUP: the owner should attempt a read (to harvest the error or EOF)
+    // and close.
+    bool hangup = false;
+  };
+
+  // Blocks up to `timeout_ms` (-1: forever) and fills `events` (cleared first) with
+  // every ready fd. EINTR returns OK with no events.
+  Status Wait(int timeout_ms, std::vector<Event>* events);
+
+ private:
+  Backend backend_ = Backend::kPoll;
+  int epoll_fd_ = -1;
+  // Poll backend interest set; also the registration record both backends validate
+  // against (double-add and modify-of-unknown are bugs worth catching in either).
+  std::unordered_map<int, short> interest_;
+};
+
+}  // namespace dcp
+
+#endif  // DCP_SERVICE_EVENT_LOOP_H_

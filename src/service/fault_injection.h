@@ -26,12 +26,15 @@ namespace dcp {
 // Where in the request path a fault can strike.
 enum class FaultPoint : uint8_t {
   kConnect = 0,  // Establishing a connection (ConnectSocket).
-  kSend,         // One Socket::SendAll call.
-  kRecv,         // One Socket::RecvAll call.
+  kSend,         // One Socket::SendAll / Socket::Writev call.
+  kRecv,         // One Socket::RecvAll / Socket::ReadSome call.
   kServe,        // Server-side request handling, before planning (straggler delays).
   kSyncRecord,   // One record shipped by anti-entropy gossip (stale-record corruption).
+  kAccept,       // One server-side accept attempt (kFail simulates transient
+                 // EMFILE/ECONNABORTED pressure without consuming the pending
+                 // connection — it stays in the listen backlog for the retry).
 };
-constexpr int kNumFaultPoints = 5;
+constexpr int kNumFaultPoints = 6;
 
 enum class FaultAction : uint8_t {
   kNone = 0,

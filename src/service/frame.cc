@@ -99,4 +99,99 @@ Status WriteFrame(Socket& socket, FrameType type, std::string_view payload) {
   return socket.SendAll(EncodeFrame(type, payload));
 }
 
+FrameParts EncodeFrameParts(FrameType type, std::string_view payload_head,
+                            std::shared_ptr<const std::string> payload_body) {
+  FrameParts parts;
+  const size_t body_size = payload_body == nullptr ? 0 : payload_body->size();
+  parts.head.reserve(kHeaderBytes + payload_head.size());
+  AppendU32(parts.head, kFrameMagic);
+  AppendU32(parts.head, static_cast<uint32_t>(type));
+  AppendU64(parts.head, payload_head.size() + body_size);
+  parts.head.append(payload_head);
+  uint32_t crc = Crc32Update(0, parts.head.data(), parts.head.size());
+  if (body_size > 0) {
+    crc = Crc32Update(crc, payload_body->data(), body_size);
+    parts.body = std::move(payload_body);
+  }
+  for (int i = 0; i < 4; ++i) {
+    parts.crc[i] = static_cast<char>(static_cast<uint8_t>(crc >> (8 * i)));
+  }
+  return parts;
+}
+
+std::string FlattenFrameParts(const FrameParts& parts) {
+  std::string out;
+  out.reserve(parts.TotalBytes());
+  out.append(parts.head);
+  if (parts.body != nullptr) {
+    out.append(*parts.body);
+  }
+  out.append(parts.crc.data(), parts.crc.size());
+  return out;
+}
+
+FrameAssembler::FrameAssembler(uint64_t max_payload_bytes)
+    : max_payload_bytes_(max_payload_bytes) {}
+
+void FrameAssembler::Append(const char* data, size_t n) {
+  if (failed_ || n == 0) {
+    return;  // A desynced stream buffers nothing further.
+  }
+  // Compact once the parsed prefix dominates, so the buffer stays proportional to the
+  // unparsed remainder instead of growing with connection lifetime.
+  if (consumed_ > 4096 && consumed_ >= buffer_.size() / 2) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buffer_.append(data, n);
+}
+
+StatusOr<Frame> FrameAssembler::Next() {
+  if (failed_) {
+    return error_;
+  }
+  const size_t available = buffer_.size() - consumed_;
+  if (available < kHeaderBytes) {
+    return Status::NotFound("frame: need more bytes");
+  }
+  const char* header = buffer_.data() + consumed_;
+  // Header validation runs as soon as 16 bytes exist: garbage is rejected without
+  // waiting for (or allocating) a payload the claimed length implies.
+  const uint32_t magic = ReadU32At(header);
+  if (magic != kFrameMagic) {
+    failed_ = true;
+    error_ = Status::DataLoss("frame: bad magic");
+    return error_;
+  }
+  const uint32_t type = ReadU32At(header + 4);
+  if (!IsKnownFrameType(type)) {
+    failed_ = true;
+    error_ = Status::DataLoss("frame: unknown type " + std::to_string(type));
+    return error_;
+  }
+  const uint64_t length = ReadU64At(header + 8);
+  if (length > max_payload_bytes_) {
+    failed_ = true;
+    error_ =
+        Status::DataLoss("frame: implausible payload length " + std::to_string(length));
+    return error_;
+  }
+  const size_t total = kHeaderBytes + static_cast<size_t>(length) + 4;
+  if (available < total) {
+    return Status::NotFound("frame: need more bytes");
+  }
+  uint32_t crc = Crc32Update(0, header, kHeaderBytes);
+  crc = Crc32Update(crc, header + kHeaderBytes, static_cast<size_t>(length));
+  if (crc != ReadU32At(header + kHeaderBytes + length)) {
+    failed_ = true;
+    error_ = Status::DataLoss("frame: checksum mismatch");
+    return error_;
+  }
+  Frame frame;
+  frame.type = static_cast<FrameType>(type);
+  frame.payload.assign(header + kHeaderBytes, static_cast<size_t>(length));
+  consumed_ += total;
+  return frame;
+}
+
 }  // namespace dcp

@@ -16,7 +16,9 @@
 #ifndef DCP_SERVICE_FRAME_H_
 #define DCP_SERVICE_FRAME_H_
 
+#include <array>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 
@@ -56,6 +58,57 @@ StatusOr<Frame> ReadFrame(Socket& socket,
                           uint64_t max_payload_bytes = kMaxFramePayloadBytes);
 
 Status WriteFrame(Socket& socket, FrameType type, std::string_view payload);
+
+// A frame split for scatter-gather writes: the wire bytes are exactly
+// head ++ *body ++ crc, where `head` is the 16-byte frame header plus the leading
+// payload bytes and `body` is a shared immutable payload tail that is never copied —
+// the server points it at a cached PlanStore record and writev's all three segments.
+// `body` may be null (the whole payload lives in `head`).
+struct FrameParts {
+  std::string head;
+  std::shared_ptr<const std::string> body;
+  std::array<char, 4> crc = {0, 0, 0, 0};
+
+  size_t body_size() const { return body == nullptr ? 0 : body->size(); }
+  size_t TotalBytes() const { return head.size() + body_size() + crc.size(); }
+};
+
+// Builds the parts for payload = payload_head ++ *payload_body. The CRC is computed
+// incrementally over header + both payload segments — `payload_body`'s bytes are read
+// once and copied never.
+FrameParts EncodeFrameParts(FrameType type, std::string_view payload_head,
+                            std::shared_ptr<const std::string> payload_body = nullptr);
+
+// Contiguous wire bytes for `parts` (tests and non-vectored writers).
+std::string FlattenFrameParts(const FrameParts& parts);
+
+// Incremental frame decoder for non-blocking reads: Append() whatever recv produced,
+// then pop complete frames with Next(). Validation order matches ReadFrame — header
+// bounds as soon as 16 bytes exist (a bad magic or an implausible length fails before
+// any payload arrives), checksum once the full frame is buffered. A failure is sticky:
+// the stream is desynced, so every later Next() returns the same DATA_LOSS.
+class FrameAssembler {
+ public:
+  explicit FrameAssembler(uint64_t max_payload_bytes = kMaxFramePayloadBytes);
+
+  void Append(const char* data, size_t n);
+
+  // One complete frame, NOT_FOUND when more bytes are needed, DATA_LOSS (sticky) on a
+  // corrupt stream.
+  StatusOr<Frame> Next();
+
+  // Bytes of an incomplete frame still buffered — a peer that closed with this nonzero
+  // tore a frame mid-flight.
+  size_t buffered_bytes() const { return buffer_.size() - consumed_; }
+  bool failed() const { return failed_; }
+
+ private:
+  const uint64_t max_payload_bytes_;
+  std::string buffer_;
+  size_t consumed_ = 0;  // Parsed prefix of buffer_, compacted lazily.
+  bool failed_ = false;
+  Status error_ = Status::Ok();
+};
 
 }  // namespace dcp
 

@@ -1,5 +1,15 @@
 #include "service/plan_server.h"
 
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
 #include <chrono>
 #include <thread>
 #include <unordered_set>
@@ -36,7 +46,23 @@ PlanServiceResponse ErrorResponse(StatusCode code, std::string message) {
   return response;
 }
 
+// Longest accept backoff under sustained pressure (EMFILE storms): short enough that
+// recovery is prompt, long enough that a full fd table doesn't spin the loop.
+constexpr int64_t kMaxAcceptBackoffMs = 200;
+// Frames gathered per writev: 3 iovecs each (head, record body, crc trailer).
+constexpr size_t kMaxFramesPerWritev = 4;
+constexpr int kMaxIovPerWritev = 12;
+
 }  // namespace
+
+struct PlanServer::PlanJob {
+  std::string payload;  // Wire bytes; view.tenant / view.seqlens alias into these.
+  Arena arena;
+  PlanServiceRequestView view;
+  std::string tenant;  // Owned copy: registry / quota / counter keys outlive payload.
+  int64_t arrival_ms = 0;
+  bool quota_held = false;
+};
 
 PlanServer::PlanServer(std::shared_ptr<TenantRegistry> registry,
                        PlanServerOptions options)
@@ -51,15 +77,51 @@ Status PlanServer::Start(const ServiceAddress& address) {
   if (running()) {
     return Status::FailedPrecondition("server already running");
   }
-  StatusOr<Listener> listener = Listener::Bind(address);
+  StatusOr<Listener> listener = Listener::Bind(address, options_.listen_backlog);
   if (!listener.ok()) {
     return listener.status();
   }
   listener_ = std::move(listener).value();
   bound_ = listener_.bound_address();
+  // The loops accept with non-blocking accept(2) + readiness events, not the
+  // Listener's own blocking Accept().
+  const int flags = ::fcntl(listener_.fd(), F_GETFL, 0);
+  if (flags < 0 || ::fcntl(listener_.fd(), F_SETFL, flags | O_NONBLOCK) != 0) {
+    listener_.Close();
+    return Status::Internal("cannot make listener non-blocking");
+  }
   pool_ = std::make_unique<ThreadPool>(std::max(1, options_.workers));
+  const int num_loops = std::max(1, options_.io_threads);
+  for (int i = 0; i < num_loops; ++i) {
+    auto loop = std::make_unique<IoLoop>(!options_.force_poll_backend);
+    loop->index = i;
+    loop->wake_fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    if (loop->wake_fd < 0) {
+      loops_.clear();
+      pool_.reset();
+      listener_.Close();
+      return Status::Internal("cannot create IO loop eventfd");
+    }
+    Status added = loop->poller.Add(loop->wake_fd, /*want_read=*/true,
+                                    /*want_write=*/false);
+    if (added.ok() && i == 0) {
+      added = loop->poller.Add(listener_.fd(), /*want_read=*/true,
+                               /*want_write=*/false);
+    }
+    if (!added.ok()) {
+      ::close(loop->wake_fd);
+      loops_.clear();
+      pool_.reset();
+      listener_.Close();
+      return added;
+    }
+    loops_.push_back(std::move(loop));
+  }
   running_.store(true, std::memory_order_release);
-  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  for (auto& loop : loops_) {
+    IoLoop* raw = loop.get();
+    raw->thread = std::thread([this, raw] { IoLoopMain(*raw); });
+  }
   if (!options_.peers.empty() && options_.gossip_interval_ms > 0) {
     gossip_thread_ = std::thread([this] { GossipLoop(); });
   }
@@ -70,251 +132,667 @@ void PlanServer::Stop() {
   if (!running_.exchange(false, std::memory_order_acq_rel)) {
     return;
   }
-  // Wake the accept thread first and only close the listener after joining it: closing
-  // an fd another thread is polling is a data race, and a reused descriptor number
-  // could silently redirect the accept loop onto an unrelated socket.
-  listener_.Interrupt();
-  gossip_cv_.notify_all();
-  if (accept_thread_.joinable()) {
-    accept_thread_.join();
+  for (auto& loop : loops_) {
+    Wake(*loop);
   }
+  gossip_cv_.notify_all();
   if (gossip_thread_.joinable()) {
     gossip_thread_.join();
   }
-  listener_.Close();
-  {
-    std::lock_guard<std::mutex> lock(conns_mu_);
-    for (auto& conn : conns_) {
-      conn->socket.Shutdown();  // Unblocks the reader's RecvAll.
+  for (auto& loop : loops_) {
+    if (loop->thread.joinable()) {
+      loop->thread.join();
     }
   }
-  // Join readers outside conns_mu_ (ReadLoop briefly takes it via WriteResponse paths).
-  std::vector<std::unique_ptr<Connection>> conns;
-  {
-    std::lock_guard<std::mutex> lock(conns_mu_);
-    conns.swap(conns_);
-  }
-  for (auto& conn : conns) {
-    if (conn->reader.joinable()) {
-      conn->reader.join();
-    }
-  }
-  // ThreadPool teardown drains queued jobs; their response writes hit shutdown sockets
-  // and fail harmlessly.
+  // ThreadPool teardown drains queued jobs; their responses land in outboxes nothing
+  // will flush, which is harmless — the connections close right below. The pool must
+  // drain BEFORE the connections are freed: jobs hold raw Connection pointers.
   pool_.reset();
+  for (auto& loop : loops_) {
+    loop->conns.clear();  // Closes every socket; blocked clients see EOF.
+    loop->graveyard.clear();
+    {
+      std::lock_guard<std::mutex> lock(loop->mu);
+      loop->incoming.clear();
+      loop->notify_queue.clear();
+    }
+    if (loop->wake_fd >= 0) {
+      ::close(loop->wake_fd);
+      loop->wake_fd = -1;
+    }
+  }
+  loops_.clear();
+  listener_.Close();
 }
 
-void PlanServer::AcceptLoop() {
+Poller::Backend PlanServer::poller_backend() const {
+  return loops_.empty() ? Poller::Backend::kPoll : loops_[0]->poller.backend();
+}
+
+void PlanServer::Wake(IoLoop& loop) {
+  if (loop.wake_fd < 0) {
+    return;
+  }
+  const uint64_t one = 1;
+  ssize_t written;
+  do {
+    written = ::write(loop.wake_fd, &one, sizeof(one));
+  } while (written < 0 && errno == EINTR);
+}
+
+void PlanServer::DrainWake(IoLoop& loop) {
+  uint64_t count = 0;
+  while (::read(loop.wake_fd, &count, sizeof(count)) > 0) {
+  }
+}
+
+void PlanServer::IoLoopMain(IoLoop& loop) {
+  std::vector<Poller::Event> events;
   while (running()) {
-    StatusOr<Socket> accepted = listener_.Accept(/*timeout_ms=*/100);
-    if (!accepted.ok()) {
-      if (accepted.status().code() == StatusCode::kNotFound) {
-        ReapFinishedConnections();
-        continue;  // Timeout: poll the running flag again.
+    int timeout_ms = 50;
+    if (loop.accept_paused) {
+      const int64_t until = loop.accept_resume_ms - NowMs();
+      timeout_ms = static_cast<int>(std::clamp<int64_t>(until, 1, timeout_ms));
+    }
+    (void)loop.poller.Wait(timeout_ms, &events);
+    if (!running()) {
+      break;
+    }
+    for (const Poller::Event& ev : events) {
+      if (ev.fd == loop.wake_fd) {
+        DrainWake(loop);
+        continue;
       }
-      break;  // Listener closed (Stop) or a fatal accept error.
+      if (loop.index == 0 && ev.fd == listener_.fd()) {
+        DoAccept(loop);
+        continue;
+      }
+      auto it = loop.conns.find(ev.fd);
+      if (it == loop.conns.end()) {
+        continue;  // Closed earlier in this batch.
+      }
+      Connection* conn = it->second.get();
+      if (ev.writable) {
+        FlushWrites(loop, conn);
+        // FlushWrites may close the connection; re-check before reading.
+        auto again = loop.conns.find(ev.fd);
+        if (again == loop.conns.end() || again->second.get() != conn) {
+          continue;
+        }
+      }
+      if (ev.readable || ev.hangup) {
+        if (conn->read_open) {
+          OnReadable(loop, conn);
+        } else if (ev.hangup) {
+          // Peer fully gone (RST / both halves closed): pending responses are
+          // undeliverable, so stop holding the connection for them.
+          CloseConn(loop, conn);
+        }
+      }
+    }
+    if (loop.accept_paused && NowMs() >= loop.accept_resume_ms) {
+      ResumeAccept(loop);
+    }
+    AdoptIncoming(loop);
+    ProcessNotifies(loop);
+    // Half-closed connections whose last worker job finished since the response was
+    // flushed have no event left to trigger them; sweep them on the tick.
+    std::vector<Connection*> lingering;
+    for (auto& entry : loop.conns) {
+      if (!entry.second->read_open || entry.second->close_after_drain) {
+        lingering.push_back(entry.second.get());
+      }
+    }
+    for (Connection* conn : lingering) {
+      MaybeFinish(loop, conn);
+    }
+    Reap(loop);
+  }
+}
+
+void PlanServer::DoAccept(IoLoop& loop) {
+  while (running()) {
+    if (options_.fault_injector != nullptr) {
+      const FaultDecision fault = options_.fault_injector->Decide(FaultPoint::kAccept);
+      if (fault.action == FaultAction::kFail || fault.action == FaultAction::kTear) {
+        // Simulated transient accept-path pressure (EMFILE/ECONNABORTED). The pending
+        // connection is NOT consumed — it stays in the backlog for the retry.
+        {
+          std::lock_guard<std::mutex> lock(stats_mu_);
+          ++stats_.accept_soft_errors;
+        }
+        PauseAccept(loop);
+        return;
+      }
+    }
+    const int fd = ::accept(listener_.fd(), nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        loop.accept_backoff_ms = 1;  // Backlog drained: pressure (if any) is over.
+        return;
+      }
+      // EMFILE, ENFILE, ECONNABORTED, ENOBUFS, ...: every real accept errno here is
+      // transient operational pressure, not a programming error. Count it, back off,
+      // retry — the one thing an accept loop must never do is exit and turn a full fd
+      // table into a permanently deaf server.
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.accept_soft_errors;
+      }
+      PauseAccept(loop);
+      return;
+    }
+    loop.accept_backoff_ms = 1;
+    (void)::fcntl(fd, F_SETFD, FD_CLOEXEC);
+    if (bound_.kind == ServiceAddress::Kind::kTcp) {
+      // Plan RPCs are small request / large response; never trade latency for batching.
+      const int one = 1;
+      (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     }
     {
       std::lock_guard<std::mutex> lock(stats_mu_);
       ++stats_.connections_accepted;
     }
-    auto conn = std::make_unique<Connection>();
-    conn->socket = std::move(accepted).value();
-    Connection* raw = conn.get();
-    {
-      std::lock_guard<std::mutex> lock(conns_mu_);
-      conns_.push_back(std::move(conn));
-    }
-    raw->reader = std::thread([this, raw] { ReadLoop(raw); });
-    ReapFinishedConnections();
-  }
-}
-
-void PlanServer::ReapFinishedConnections() {
-  std::vector<std::unique_ptr<Connection>> finished;
-  {
-    std::lock_guard<std::mutex> lock(conns_mu_);
-    for (auto it = conns_.begin(); it != conns_.end();) {
-      if ((*it)->done.load(std::memory_order_acquire) &&
-          (*it)->pending_jobs.load(std::memory_order_acquire) == 0) {
-        finished.push_back(std::move(*it));
-        it = conns_.erase(it);
-      } else {
-        ++it;
+    auto conn = std::make_unique<Connection>(options_.max_frame_payload_bytes);
+    conn->socket = Socket(fd);
+    // Chaos mode (dcpctl serve --chaos) faults server-side IO too.
+    conn->socket.set_fault_injector(GlobalFaultInjector());
+    conn->fd = fd;
+    const int target =
+        static_cast<int>(next_loop_.fetch_add(1, std::memory_order_relaxed) %
+                         loops_.size());
+    conn->loop_index = target;
+    if (target == loop.index) {
+      AdoptConnection(loop, std::move(conn));
+    } else {
+      IoLoop& peer = *loops_[target];
+      {
+        std::lock_guard<std::mutex> lock(peer.mu);
+        peer.incoming.push_back(std::move(conn));
       }
-    }
-  }
-  for (auto& conn : finished) {
-    if (conn->reader.joinable()) {
-      conn->reader.join();
+      Wake(peer);
     }
   }
 }
 
-void PlanServer::ReadLoop(Connection* conn) {
-  while (running()) {
-    StatusOr<Frame> frame = ReadFrame(conn->socket, options_.max_frame_payload_bytes);
-    if (!frame.ok()) {
-      if (frame.status().code() == StatusCode::kDataLoss) {
-        // Corrupt or torn frame: count it, answer if the stream can still carry bytes,
-        // and drop the connection — resynchronizing a corrupt stream is guesswork.
-        {
+void PlanServer::PauseAccept(IoLoop& loop) {
+  if (!loop.accept_paused) {
+    loop.poller.Remove(listener_.fd());
+    loop.accept_paused = true;
+  }
+  loop.accept_resume_ms = NowMs() + loop.accept_backoff_ms;
+  loop.accept_backoff_ms = std::min(loop.accept_backoff_ms * 2, kMaxAcceptBackoffMs);
+}
+
+void PlanServer::ResumeAccept(IoLoop& loop) {
+  loop.accept_paused = false;
+  (void)loop.poller.Add(listener_.fd(), /*want_read=*/true, /*want_write=*/false);
+  DoAccept(loop);  // The backlog may already hold connections; no edge will fire.
+}
+
+void PlanServer::AdoptConnection(IoLoop& loop, std::unique_ptr<Connection> conn) {
+  Connection* raw = conn.get();
+  (void)raw->socket.SetNonBlocking(true);
+  if (!loop.poller.Add(raw->fd, /*want_read=*/true, /*want_write=*/false).ok()) {
+    return;  // Destroys (closes) the connection.
+  }
+  loop.conns.emplace(raw->fd, std::move(conn));
+  // Bytes may already be waiting (level-triggered pollers would report them, but only
+  // on the next Wait; serve them now).
+  OnReadable(loop, raw);
+}
+
+void PlanServer::AdoptIncoming(IoLoop& loop) {
+  std::vector<std::unique_ptr<Connection>> incoming;
+  {
+    std::lock_guard<std::mutex> lock(loop.mu);
+    incoming.swap(loop.incoming);
+  }
+  for (auto& conn : incoming) {
+    AdoptConnection(loop, std::move(conn));
+  }
+}
+
+void PlanServer::ProcessNotifies(IoLoop& loop) {
+  std::vector<Connection*> pending;
+  {
+    std::lock_guard<std::mutex> lock(loop.mu);
+    pending.swap(loop.notify_queue);
+  }
+  for (Connection* conn : pending) {
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      conn->notified = false;
+    }
+    // The connection may have been closed (graveyarded) since the notify was queued;
+    // only flush it if it is still this loop's live conn for that fd.
+    auto it = loop.conns.find(conn->fd);
+    if (it == loop.conns.end() || it->second.get() != conn) {
+      continue;
+    }
+    FlushWrites(loop, conn);
+  }
+}
+
+void PlanServer::OnReadable(IoLoop& loop, Connection* conn) {
+  char buf[64 * 1024];
+  while (conn->read_open) {
+    const IoResult r = conn->socket.ReadSome(buf, sizeof(buf));
+    switch (r.kind) {
+      case IoResult::Kind::kProgress:
+        conn->assembler.Append(buf, r.bytes);
+        ProcessInbound(loop, conn);
+        if (conn->close_after_drain) {
+          conn->read_open = false;
+          (void)loop.poller.Modify(conn->fd, /*want_read=*/false,
+                                   conn->registered_write);
+          MaybeFinish(loop, conn);
+          return;
+        }
+        continue;
+      case IoResult::Kind::kWouldBlock:
+        return;
+      case IoResult::Kind::kEof:
+        if (conn->assembler.buffered_bytes() > 0 && !conn->assembler.failed()) {
+          // The peer closed mid-frame: a torn frame, counted like any other.
           std::lock_guard<std::mutex> lock(stats_mu_);
           ++stats_.malformed_frames;
         }
-        WriteResponse(conn, FrameType::kErrorResponse,
-                      SerializePlanServiceResponse(ErrorResponse(
-                          StatusCode::kDataLoss, frame.status().message())));
-      }
-      break;  // Clean close, shutdown, or corrupt stream: either way, stop reading.
+        conn->read_open = false;
+        (void)loop.poller.Modify(conn->fd, /*want_read=*/false,
+                                 conn->registered_write);
+        MaybeFinish(loop, conn);
+        return;
+      case IoResult::Kind::kError:
+        CloseConn(loop, conn);
+        return;
     }
+  }
+}
+
+void PlanServer::ProcessInbound(IoLoop& loop, Connection* conn) {
+  while (!conn->close_after_drain) {
+    StatusOr<Frame> frame = conn->assembler.Next();
+    if (!frame.ok()) {
+      if (frame.status().code() == StatusCode::kNotFound) {
+        return;  // Need more bytes.
+      }
+      // Corrupt or oversized frame: count it, answer, and drain-then-close — framing
+      // sync is gone, but queued responses still go out first.
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.malformed_frames;
+      }
+      QueueResponse(conn, EncodeFrameParts(FrameType::kErrorResponse,
+                                           SerializePlanServiceResponse(ErrorResponse(
+                                               StatusCode::kDataLoss,
+                                               frame.status().message()))));
+      conn->close_after_drain = true;
+      return;
+    }
+    HandleInboundFrame(loop, conn, std::move(frame).value());
+  }
+}
+
+void PlanServer::HandleInboundFrame(IoLoop& loop, Connection* conn, Frame frame) {
+  (void)loop;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.requests_received;
+  }
+  // Backpressure: admit the request only if the in-flight budget allows. The loop
+  // answers overload itself so a saturated worker pool still rejects promptly. The
+  // rejection frame matches the request's frame type — a kSyncRequest must never be
+  // answered with a kPlanResponse the sync client cannot decode.
+  const int admitted = in_flight_.fetch_add(1, std::memory_order_acq_rel);
+  if (admitted >= options_.max_queue) {
+    in_flight_.fetch_sub(1, std::memory_order_acq_rel);
     {
       std::lock_guard<std::mutex> lock(stats_mu_);
-      ++stats_.requests_received;
+      ++stats_.rejected_overload;
     }
-    // Backpressure: admit the request only if the in-flight budget allows. The reader
-    // answers overload itself so a saturated worker pool still rejects promptly.
-    const int admitted = in_flight_.fetch_add(1, std::memory_order_acq_rel);
-    if (admitted >= options_.max_queue) {
+    const std::string message = "server overloaded: " +
+                                std::to_string(options_.max_queue) +
+                                " requests already in flight";
+    switch (frame.type) {
+      case FrameType::kStatsRequest: {
+        PlanServiceStatsResponse overload;
+        overload.code = StatusCode::kUnavailable;
+        overload.message = message;
+        QueueResponse(conn,
+                      EncodeFrameParts(FrameType::kStatsResponse,
+                                       SerializePlanServiceStatsResponse(overload)));
+        break;
+      }
+      case FrameType::kSyncRequest: {
+        PlanSyncResponse overload;
+        overload.code = StatusCode::kUnavailable;
+        overload.message = message;
+        QueueResponse(conn, EncodeFrameParts(FrameType::kSyncResponse,
+                                             SerializePlanSyncResponse(overload)));
+        break;
+      }
+      default:
+        QueueResponse(conn,
+                      EncodeFrameParts(FrameType::kPlanResponse,
+                                       SerializePlanServiceResponse(ErrorResponse(
+                                           StatusCode::kUnavailable, message))));
+        break;
+    }
+    return;
+  }
+  if (frame.type == FrameType::kPlanRequest) {
+    // Plan requests are decoded on the loop thread: per-tenant admission needs the
+    // tenant name before a worker slot is committed, and deadline shedding needs the
+    // arrival timestamp, not the (possibly much later) worker-pickup time. The decode
+    // is views + one arena array over the payload — no per-field allocations.
+    auto job = std::make_shared<PlanJob>();
+    job->payload = std::move(frame.payload);
+    job->arrival_ms = NowMs();
+    StatusOr<PlanServiceRequestView> view =
+        DeserializePlanServiceRequestView(job->payload, &job->arena);
+    if (!view.ok()) {
       in_flight_.fetch_sub(1, std::memory_order_acq_rel);
       {
         std::lock_guard<std::mutex> lock(stats_mu_);
-        ++stats_.rejected_overload;
+        ++stats_.malformed_frames;
       }
-      const FrameType reply_type = frame.value().type == FrameType::kStatsRequest
-                                       ? FrameType::kStatsResponse
-                                       : FrameType::kPlanResponse;
-      PlanServiceResponse overload = ErrorResponse(
-          StatusCode::kUnavailable,
-          "server overloaded: " + std::to_string(options_.max_queue) +
-              " requests already in flight");
-      if (reply_type == FrameType::kStatsResponse) {
-        PlanServiceStatsResponse stats_overload;
-        stats_overload.code = overload.code;
-        stats_overload.message = overload.message;
-        WriteResponse(conn, reply_type,
-                      SerializePlanServiceStatsResponse(stats_overload));
-      } else {
-        WriteResponse(conn, reply_type, SerializePlanServiceResponse(overload));
-      }
-      continue;
+      QueueResponse(conn, EncodeFrameParts(FrameType::kPlanResponse,
+                                           SerializePlanServiceResponse(ErrorResponse(
+                                               view.status().code(),
+                                               view.status().message()))));
+      return;
     }
-    if (frame.value().type == FrameType::kPlanRequest) {
-      // Plan requests are decoded in the reader: per-tenant admission needs the tenant
-      // name before a worker slot is committed, and deadline shedding needs the
-      // arrival timestamp, not the (possibly much later) worker-pickup time.
-      const int64_t arrival_ms = NowMs();
-      StatusOr<PlanServiceRequest> request =
-          DeserializePlanServiceRequest(frame.value().payload);
-      if (!request.ok()) {
+    job->view = view.value();
+    job->tenant = std::string(job->view.tenant);
+    if (options_.max_inflight_per_tenant > 0 &&
+        registry_->Find(job->tenant) != nullptr) {
+      std::lock_guard<std::mutex> lock(quota_mu_);
+      int& inflight = tenant_inflight_[job->tenant];
+      if (inflight >= options_.max_inflight_per_tenant) {
         in_flight_.fetch_sub(1, std::memory_order_acq_rel);
         {
-          std::lock_guard<std::mutex> lock(stats_mu_);
-          ++stats_.malformed_frames;
+          std::lock_guard<std::mutex> stats_lock(stats_mu_);
+          ++stats_.shed_quota;
+          ++tenant_counters_[job->tenant].shed_quota;
         }
-        WriteResponse(conn, FrameType::kPlanResponse,
+        QueueResponse(
+            conn, EncodeFrameParts(
+                      FrameType::kPlanResponse,
                       SerializePlanServiceResponse(ErrorResponse(
-                          request.status().code(), request.status().message())));
-        continue;
+                          StatusCode::kUnavailable,
+                          "tenant '" + job->tenant + "' over quota: " +
+                              std::to_string(options_.max_inflight_per_tenant) +
+                              " requests already in flight"))));
+        return;
       }
-      bool quota_held = false;
-      if (options_.max_inflight_per_tenant > 0 &&
-          registry_->Find(request.value().tenant) != nullptr) {
-        std::lock_guard<std::mutex> lock(quota_mu_);
-        int& inflight = tenant_inflight_[request.value().tenant];
-        if (inflight >= options_.max_inflight_per_tenant) {
-          in_flight_.fetch_sub(1, std::memory_order_acq_rel);
-          {
-            std::lock_guard<std::mutex> stats_lock(stats_mu_);
-            ++stats_.shed_quota;
-            ++tenant_counters_[request.value().tenant].shed_quota;
-          }
-          WriteResponse(
-              conn, FrameType::kPlanResponse,
-              SerializePlanServiceResponse(ErrorResponse(
-                  StatusCode::kUnavailable,
-                  "tenant '" + request.value().tenant + "' over quota: " +
-                      std::to_string(options_.max_inflight_per_tenant) +
-                      " requests already in flight")));
-          continue;
-        }
-        ++inflight;
-        quota_held = true;
-      }
-      conn->pending_jobs.fetch_add(1, std::memory_order_acq_rel);
-      pool_->Submit([this, conn, request = std::move(request).value(), arrival_ms,
-                     quota_held]() mutable {
-        HandlePlanJob(conn, std::move(request), arrival_ms, quota_held);
-        in_flight_.fetch_sub(1, std::memory_order_acq_rel);
-        conn->pending_jobs.fetch_sub(1, std::memory_order_acq_rel);
-      });
-      continue;
+      ++inflight;
+      job->quota_held = true;
     }
     conn->pending_jobs.fetch_add(1, std::memory_order_acq_rel);
-    pool_->Submit([this, conn, frame = std::move(frame).value()]() mutable {
-      HandleFrame(conn, std::move(frame));
+    pool_->Submit([this, conn, job] {
+      HandlePlanJob(conn, job);
       in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+      // Last touch of `conn`: the owning loop frees it only at pending_jobs == 0.
       conn->pending_jobs.fetch_sub(1, std::memory_order_acq_rel);
     });
+    return;
   }
-  conn->socket.Shutdown();
-  conn->done.store(true, std::memory_order_release);
+  conn->pending_jobs.fetch_add(1, std::memory_order_acq_rel);
+  pool_->Submit([this, conn, frame = std::move(frame)]() mutable {
+    HandleFrame(conn, std::move(frame));
+    in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+    conn->pending_jobs.fetch_sub(1, std::memory_order_acq_rel);
+  });
 }
 
-void PlanServer::HandlePlanJob(Connection* conn, PlanServiceRequest request,
-                               int64_t arrival_ms, bool quota_held) {
+void PlanServer::FlushWrites(IoLoop& loop, Connection* conn) {
+  while (true) {
+    iovec iov[kMaxIovPerWritev];
+    int iovcnt = 0;
+    bool dead = false;
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      dead = conn->dead;
+      if (!dead) {
+        // Gather up to kMaxFramesPerWritev frames' unwritten segments. Workers only
+        // ever push_back and the loop thread alone pops, so the deque elements (and
+        // the shared record bytes they point at) stay stable while writev runs
+        // outside the lock.
+        size_t offset = conn->front_offset;
+        size_t frames = 0;
+        for (auto it = conn->outbox.begin();
+             it != conn->outbox.end() && frames < kMaxFramesPerWritev; ++it, ++frames) {
+          const FrameParts& parts = *it;
+          if (offset < parts.head.size()) {
+            iov[iovcnt].iov_base = const_cast<char*>(parts.head.data()) + offset;
+            iov[iovcnt].iov_len = parts.head.size() - offset;
+            ++iovcnt;
+            offset = 0;
+          } else {
+            offset -= parts.head.size();
+          }
+          const size_t body = parts.body_size();
+          if (body > 0) {
+            if (offset < body) {
+              iov[iovcnt].iov_base = const_cast<char*>(parts.body->data()) + offset;
+              iov[iovcnt].iov_len = body - offset;
+              ++iovcnt;
+              offset = 0;
+            } else {
+              offset -= body;
+            }
+          }
+          if (offset < parts.crc.size()) {
+            iov[iovcnt].iov_base = const_cast<char*>(parts.crc.data()) + offset;
+            iov[iovcnt].iov_len = parts.crc.size() - offset;
+            ++iovcnt;
+            offset = 0;
+          } else {
+            offset -= parts.crc.size();
+          }
+        }
+      }
+    }
+    if (dead) {
+      CloseConn(loop, conn);
+      return;
+    }
+    if (iovcnt == 0) {
+      if (conn->registered_write) {
+        conn->registered_write = false;
+        (void)loop.poller.Modify(conn->fd, conn->read_open, /*want_write=*/false);
+      }
+      MaybeFinish(loop, conn);
+      return;
+    }
+    const IoResult r = conn->socket.Writev(iov, iovcnt);
+    switch (r.kind) {
+      case IoResult::Kind::kProgress: {
+        size_t completed = 0;
+        {
+          std::lock_guard<std::mutex> lock(conn->mu);
+          conn->front_offset += r.bytes;
+          while (!conn->outbox.empty() &&
+                 conn->front_offset >= conn->outbox.front().TotalBytes()) {
+            conn->front_offset -= conn->outbox.front().TotalBytes();
+            conn->outbox_bytes -= conn->outbox.front().TotalBytes();
+            conn->outbox.pop_front();
+            ++completed;
+          }
+        }
+        if (completed > 0) {
+          std::lock_guard<std::mutex> lock(stats_mu_);
+          stats_.responses_sent += static_cast<int64_t>(completed);
+        }
+        continue;
+      }
+      case IoResult::Kind::kWouldBlock:
+        if (!conn->registered_write) {
+          conn->registered_write = true;
+          (void)loop.poller.Modify(conn->fd, conn->read_open, /*want_write=*/true);
+        }
+        return;
+      case IoResult::Kind::kEof:
+      case IoResult::Kind::kError:
+        CloseConn(loop, conn);
+        return;
+    }
+  }
+}
+
+void PlanServer::CloseConn(IoLoop& loop, Connection* conn) {
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    conn->dead = true;
+    conn->outbox.clear();
+    conn->outbox_bytes = 0;
+  }
+  auto it = loop.conns.find(conn->fd);
+  if (it == loop.conns.end() || it->second.get() != conn) {
+    return;  // Already closed.
+  }
+  loop.poller.Remove(conn->fd);
+  conn->socket.Close();
+  // Workers may still hold this pointer (pending_jobs > 0) or a notify for it may be
+  // queued; park it in the graveyard until both drain.
+  loop.graveyard.push_back(std::move(it->second));
+  loop.conns.erase(it);
+}
+
+void PlanServer::MaybeFinish(IoLoop& loop, Connection* conn) {
+  bool dead;
+  bool drained;
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    dead = conn->dead;
+    drained = conn->outbox.empty();
+  }
+  if (dead) {
+    CloseConn(loop, conn);
+    return;
+  }
+  if ((conn->close_after_drain || !conn->read_open) && drained &&
+      conn->pending_jobs.load(std::memory_order_acquire) == 0) {
+    CloseConn(loop, conn);
+  }
+}
+
+void PlanServer::Reap(IoLoop& loop) {
+  for (auto it = loop.graveyard.begin(); it != loop.graveyard.end();) {
+    Connection* conn = it->get();
+    bool notified;
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      notified = conn->notified;
+    }
+    if (!notified && conn->pending_jobs.load(std::memory_order_acquire) == 0) {
+      it = loop.graveyard.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void PlanServer::QueueResponse(Connection* conn, FrameParts parts) {
+  IoLoop& loop = *loops_[static_cast<size_t>(conn->loop_index)];
+  bool notify = false;
+  bool shed = false;
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    if (conn->dead) {
+      return;  // Closing; the response is undeliverable.
+    }
+    if (conn->outbox_bytes + parts.TotalBytes() > options_.max_output_queue_bytes) {
+      // Slow-reader shedding closes the whole connection rather than dropping one
+      // response: the protocol is strictly request-response ordered, and a silently
+      // missing response would desynchronize every later reply on the stream.
+      conn->dead = true;
+      shed = true;
+    } else {
+      conn->outbox_bytes += parts.TotalBytes();
+      conn->outbox.push_back(std::move(parts));
+    }
+    if (!conn->notified) {
+      conn->notified = true;
+      notify = true;
+    }
+  }
+  if (shed) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.slow_reader_closes;
+  }
+  if (notify) {
+    {
+      std::lock_guard<std::mutex> lock(loop.mu);
+      loop.notify_queue.push_back(conn);
+    }
+    Wake(loop);
+  }
+}
+
+void PlanServer::QueuePlanResponse(Connection* conn,
+                                   const PlanServiceResponse& response,
+                                   std::shared_ptr<const std::string> record) {
+  const size_t record_size = record == nullptr ? 0 : record->size();
+  std::string head = SerializePlanServiceResponseHead(response, record_size);
+  if (record_size > 0) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.zero_copy_serves;
+  }
+  QueueResponse(conn, EncodeFrameParts(FrameType::kPlanResponse, head,
+                                       std::move(record)));
+}
+
+void PlanServer::HandlePlanJob(Connection* conn,
+                               const std::shared_ptr<PlanJob>& job) {
+  const auto release_quota = [this, &job] {
+    if (job->quota_held) {
+      std::lock_guard<std::mutex> lock(quota_mu_);
+      --tenant_inflight_[job->tenant];
+    }
+  };
   if (options_.fault_injector != nullptr) {
     const FaultDecision fault = options_.fault_injector->Decide(FaultPoint::kServe);
     if (fault.action == FaultAction::kDelay) {
       std::this_thread::sleep_for(std::chrono::milliseconds(fault.delay_ms));
     } else if (fault.action == FaultAction::kFail) {
-      WriteResponse(conn, FrameType::kPlanResponse,
-                    SerializePlanServiceResponse(ErrorResponse(
-                        StatusCode::kUnavailable, "fault injection: serve failed")));
-      if (quota_held) {
-        std::lock_guard<std::mutex> lock(quota_mu_);
-        --tenant_inflight_[request.tenant];
-      }
+      QueuePlanResponse(conn,
+                        ErrorResponse(StatusCode::kUnavailable,
+                                      "fault injection: serve failed"),
+                        nullptr);
+      release_quota();
       return;
     }
   }
-  PlanServiceResponse response;
-  if (request.deadline_ms > 0 && NowMs() - arrival_ms >= request.deadline_ms) {
+  if (job->view.deadline_ms > 0 &&
+      NowMs() - job->arrival_ms >= job->view.deadline_ms) {
     // The caller's budget is already gone (it has timed out, failed over, or hedged
     // away); planning now would only steal workers from live requests.
-    response = ErrorResponse(StatusCode::kDeadlineExceeded,
-                             "deadline of " + std::to_string(request.deadline_ms) +
-                                 "ms expired before planning started");
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.shed_deadline;
-  } else {
-    response = HandlePlanRequest(request);
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.shed_deadline;
+    }
+    QueuePlanResponse(
+        conn,
+        ErrorResponse(StatusCode::kDeadlineExceeded,
+                      "deadline of " + std::to_string(job->view.deadline_ms) +
+                          "ms expired before planning started"),
+        nullptr);
+    release_quota();
+    return;
   }
-  WriteResponse(conn, FrameType::kPlanResponse,
-                SerializePlanServiceResponse(response));
-  if (quota_held) {
-    std::lock_guard<std::mutex> lock(quota_mu_);
-    --tenant_inflight_[request.tenant];
-  }
+  ServeResult served = HandlePlanRequest(job->tenant, job->view.seqlens,
+                                         job->view.mask_spec, job->view.block_size);
+  QueuePlanResponse(conn, served.response, std::move(served.record));
+  release_quota();
 }
 
 void PlanServer::HandleFrame(Connection* conn, Frame frame) {
   switch (frame.type) {
-    case FrameType::kPlanRequest: {
-      StatusOr<PlanServiceRequest> request =
-          DeserializePlanServiceRequest(frame.payload);
-      PlanServiceResponse response;
-      if (!request.ok()) {
-        std::lock_guard<std::mutex> lock(stats_mu_);
-        ++stats_.malformed_frames;
-        response = ErrorResponse(request.status().code(), request.status().message());
-      } else {
-        response = HandlePlanRequest(request.value());
-      }
-      WriteResponse(conn, FrameType::kPlanResponse,
-                    SerializePlanServiceResponse(response));
-      return;
-    }
     case FrameType::kSyncRequest: {
       StatusOr<PlanSyncRequest> request = DeserializePlanSyncRequest(frame.payload);
       PlanSyncResponse response;
@@ -326,8 +804,8 @@ void PlanServer::HandleFrame(Connection* conn, Frame frame) {
       } else {
         response = HandleSyncRequest(request.value());
       }
-      WriteResponse(conn, FrameType::kSyncResponse,
-                    SerializePlanSyncResponse(response));
+      QueueResponse(conn, EncodeFrameParts(FrameType::kSyncResponse,
+                                           SerializePlanSyncResponse(response)));
       return;
     }
     case FrameType::kStatsRequest: {
@@ -342,8 +820,9 @@ void PlanServer::HandleFrame(Connection* conn, Frame frame) {
       } else {
         response = BuildStatsResponse(request.value().tenant);
       }
-      WriteResponse(conn, FrameType::kStatsResponse,
-                    SerializePlanServiceStatsResponse(response));
+      QueueResponse(conn,
+                    EncodeFrameParts(FrameType::kStatsResponse,
+                                     SerializePlanServiceStatsResponse(response)));
       return;
     }
     default: {
@@ -353,75 +832,81 @@ void PlanServer::HandleFrame(Connection* conn, Frame frame) {
         std::lock_guard<std::mutex> lock(stats_mu_);
         ++stats_.malformed_frames;
       }
-      WriteResponse(conn, FrameType::kErrorResponse,
-                    SerializePlanServiceResponse(ErrorResponse(
-                        StatusCode::kInvalidArgument,
-                        "frame type " +
-                            std::to_string(static_cast<uint32_t>(frame.type)) +
-                            " is not a request")));
+      QueueResponse(
+          conn,
+          EncodeFrameParts(
+              FrameType::kErrorResponse,
+              SerializePlanServiceResponse(ErrorResponse(
+                  StatusCode::kInvalidArgument,
+                  "frame type " + std::to_string(static_cast<uint32_t>(frame.type)) +
+                      " is not a request"))));
       return;
     }
   }
 }
 
-PlanServiceResponse PlanServer::HandlePlanRequest(const PlanServiceRequest& request) {
-  const std::shared_ptr<Engine> engine = registry_->Find(request.tenant);
-  PlanServiceResponse response;
+PlanServer::ServeResult PlanServer::HandlePlanRequest(
+    const std::string& tenant, std::span<const int64_t> seqlens,
+    const MaskSpec& mask_spec, int64_t block_size) {
+  ServeResult result;
+  const std::shared_ptr<Engine> engine = registry_->Find(tenant);
   if (engine == nullptr) {
     // Counted only in the service-wide plan_errors: keying tenant_counters_ on
     // arbitrary unknown names would let a client cycling bogus tenants grow server
     // memory without bound (and the entries would never surface in stats anyway).
-    response = ErrorResponse(StatusCode::kNotFound,
-                             "unknown tenant '" + request.tenant + "'");
+    result.response =
+        ErrorResponse(StatusCode::kNotFound, "unknown tenant '" + tenant + "'");
   } else {
     {
       std::lock_guard<std::mutex> lock(stats_mu_);
-      ++tenant_counters_[request.tenant].requests;
+      ++tenant_counters_[tenant].requests;
     }
     // Gossip-adopted warm tier: a peer may have planned this exact shape already. The
     // signature is computable without planning, except under auto-tune with block 0
     // (the chosen block size — part of the signature — is only known after tuning).
-    if (!(engine->options().auto_tune_block_size && request.block_size == 0)) {
-      StatusOr<PlanSignature> sig = engine->RequestSignature(
-          request.seqlens, request.mask_spec, request.block_size);
+    if (!(engine->options().auto_tune_block_size && block_size == 0)) {
+      StatusOr<PlanSignature> sig =
+          engine->RequestSignature(seqlens, mask_spec, block_size);
       if (sig.ok()) {
         if (std::shared_ptr<const std::string> record =
                 ReplicaRecordLookup(sig.value())) {
-          response.source = PlanServeSource::kReplicaCache;
-          response.signature_lo = sig.value().lo;
-          response.signature_hi = sig.value().hi;
-          response.record = *record;
+          result.response.source = PlanServeSource::kReplicaCache;
+          result.response.signature_lo = sig.value().lo;
+          result.response.signature_hi = sig.value().hi;
+          result.record = std::move(record);  // Shared bytes; never copied.
           std::lock_guard<std::mutex> lock(stats_mu_);
           ++stats_.replica_cache_hits;
           ++stats_.plan_ok;
-          return response;
+          return result;
         }
       }
     }
     StatusOr<Engine::PlannedOutcome> planned =
-        engine->PlanDetailed(request.seqlens, request.mask_spec, request.block_size);
+        engine->PlanDetailed(seqlens, mask_spec, block_size);
     if (!planned.ok()) {
-      response = ErrorResponse(planned.status().code(), planned.status().message());
+      result.response =
+          ErrorResponse(planned.status().code(), planned.status().message());
     } else {
       const PlanHandle& handle = planned.value().handle;
-      response.source = SourceFromOrigin(planned.value().origin);
-      response.signature_lo = handle->signature.lo;
-      response.signature_hi = handle->signature.hi;
+      result.response.source = SourceFromOrigin(planned.value().origin);
+      result.response.signature_lo = handle->signature.lo;
+      result.response.signature_hi = handle->signature.hi;
       // The wire carries the persistence format: one CRC-trailed PlanStore record,
-      // encoded once per signature and replayed from the record LRU on later hits.
-      response.record = *EncodedRecordFor(handle);
+      // encoded once per signature and served as shared bytes from the record LRU on
+      // later hits — the response path never copies them.
+      result.record = EncodedRecordFor(handle);
     }
   }
   std::lock_guard<std::mutex> lock(stats_mu_);
-  if (response.code == StatusCode::kOk) {
+  if (result.response.code == StatusCode::kOk) {
     ++stats_.plan_ok;
   } else {
     ++stats_.plan_errors;
     if (engine != nullptr) {
-      ++tenant_counters_[request.tenant].plan_errors;
+      ++tenant_counters_[tenant].plan_errors;
     }
   }
-  return response;
+  return result;
 }
 
 std::shared_ptr<const std::string> PlanServer::EncodedRecordFor(
@@ -622,20 +1107,6 @@ void PlanServer::GossipWithPeer(const ServiceAddress& peer) {
       ++stats_.sync_records_adopted;
     }
   }
-}
-
-void PlanServer::WriteResponse(Connection* conn, FrameType type,
-                               std::string_view payload) {
-  Status sent = Status::Ok();
-  {
-    std::lock_guard<std::mutex> lock(conn->write_mu);
-    sent = WriteFrame(conn->socket, type, payload);
-  }
-  if (sent.ok()) {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.responses_sent;
-  }
-  // A failed write means the peer is gone; its reader will notice on the next read.
 }
 
 PlanServerStats PlanServer::stats() const {

@@ -5,29 +5,35 @@
 // many jobs) share one warm plan cache instead of each re-planning identical batch
 // shapes.
 //
-// Threading model:
-//   - one accept thread (poll loop, stoppable without signals),
-//   - one blocking reader thread per connection (frame decode only — cheap),
-//   - a ThreadPool of `workers` that executes the actual planning, fed through a
-//     bounded in-flight budget: when `max_queue` requests are already queued or
-//     running, new requests are rejected immediately with UNAVAILABLE instead of
-//     building an unbounded backlog (planning is expensive; a deep queue would just
-//     convert overload into timeout storms).
+// Threading model — event-driven, bounded thread count independent of connections:
+//   - a fixed pool of `io_threads` loop threads, each multiplexing its share of the
+//     connections through a Poller (epoll on Linux, poll fallback). Loop 0 also owns
+//     the non-blocking listener: accept errors are transient operational conditions
+//     (EMFILE, ECONNABORTED), answered with backoff + retry, never loop exit.
+//   - non-blocking reads into a per-connection FrameAssembler; complete frames are
+//     admitted (overload / per-tenant quota) on the loop thread and executed on a
+//     ThreadPool of `workers` that does the actual planning.
+//   - responses are queued on a per-connection outbox and drained by the owning loop
+//     with writev: the frame header + payload head ride one iovec, the cached PlanStore
+//     record bytes ride another, so the hit path never copies the record. A reader that
+//     stops draining is bounded by `max_output_queue_bytes` and then closed (slow
+//     readers shed whole connections, never individual responses, so the strict
+//     request-response ordering of the protocol survives).
 //
-// Responses are written under a per-connection mutex, so worker threads and the
-// reader's overload/error replies never interleave bytes on one stream. A malformed
-// frame (bad magic/CRC/length) is counted, answered with an error frame when possible,
-// and the connection is dropped — framing sync is gone — but the server keeps serving
-// every other connection.
+// A malformed frame (bad magic/CRC/length) is counted, answered with an error frame,
+// and the connection is drained then dropped — framing sync is gone — but the server
+// keeps serving every other connection.
 #ifndef DCP_SERVICE_PLAN_SERVER_H_
 #define DCP_SERVICE_PLAN_SERVER_H_
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <list>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -37,6 +43,7 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "runtime/instructions.h"
+#include "service/event_loop.h"
 #include "service/fault_injection.h"
 #include "service/frame.h"
 #include "service/tenant_registry.h"
@@ -46,17 +53,32 @@ namespace dcp {
 
 struct PlanServerOptions {
   int workers = 2;
+  // IO loop threads. Each multiplexes its share of all connections, so the server's
+  // thread count is workers + io_threads + (gossip ? 1 : 0) regardless of how many
+  // clients connect.
+  int io_threads = 2;
+  // listen(2) backlog; <= 0 uses SOMAXCONN. A connection burst deeper than the backlog
+  // is SYN-dropped by the kernel and surfaces as client connect timeouts.
+  int listen_backlog = 0;
+  // Per-connection response outbox bound. A connection whose peer stops draining
+  // responses is closed once this many queued bytes accumulate (slow-reader shedding);
+  // the buffers a dead-slow reader pins are otherwise unbounded.
+  size_t max_output_queue_bytes = size_t{8} << 20;
+  // Test/diagnostic knob: use the portable poll(2) backend even where epoll exists,
+  // so the fallback stays continuously exercised.
+  bool force_poll_backend = false;
   // In-flight request bound (queued + executing). At the bound, requests are rejected
   // with UNAVAILABLE ("overloaded") instead of queued. 0 rejects everything — useful
   // for drain/maintenance mode and for testing client backoff paths.
   int max_queue = 64;
   // Per-tenant in-flight bound (0 disables): one tenant's burst gets UNAVAILABLE for
-  // that tenant only, while every other tenant keeps planning. Enforced in the reader
-  // (the request is decoded before admission), counted per tenant in the stats RPC.
+  // that tenant only, while every other tenant keeps planning. Enforced on the loop
+  // thread (the request is decoded before admission), counted per tenant in the stats
+  // RPC.
   int max_inflight_per_tenant = 0;
   // Cap on inbound REQUEST frames. Requests (tenant + seqlens + mask params) are a few
-  // KB; only responses carry compiled plans. ReadFrame commits the claimed length
-  // before the checksum can be verified, so a small request cap is what stops a
+  // KB; only responses carry compiled plans. The frame header commits the claimed
+  // length before the checksum can be verified, so a small request cap is what stops a
   // malicious 16-byte header from committing a giant allocation per connection.
   uint64_t max_frame_payload_bytes = uint64_t{1} << 20;
   // Encoded-record LRU: compiled plans are immutable per signature, so the wire bytes
@@ -75,7 +97,8 @@ struct PlanServerOptions {
   // across tenants by construction.
   int replica_record_cache_capacity = 1024;
   // When set, this server consults the injector at FaultPoint::kServe before planning
-  // (straggler delays, chaos-mode failures) and at kSyncRecord when shipping gossip
+  // (straggler delays, chaos-mode failures), at kAccept on each accept attempt
+  // (simulated EMFILE/ECONNABORTED pressure), and at kSyncRecord when shipping gossip
   // records (stale-record corruption). Transport-level faults attach via the global
   // injector instead (see service/fault_injection.h).
   std::shared_ptr<FaultInjector> fault_injector;
@@ -95,6 +118,15 @@ struct PlanServerStats {
   int64_t sync_records_shipped = 0;
   int64_t sync_records_adopted = 0;
   int64_t sync_records_rejected = 0;  // Peer records that failed validation.
+  // Transient accept failures (injected or real EMFILE/ENFILE/ECONNABORTED) answered
+  // with backoff + retry instead of killing the accept path.
+  int64_t accept_soft_errors = 0;
+  // Plan responses whose record bytes were written straight from the shared cached
+  // record (writev), with zero copies of the record on the serve path.
+  int64_t zero_copy_serves = 0;
+  // Connections closed because the peer stopped draining and the outbox hit
+  // max_output_queue_bytes.
+  int64_t slow_reader_closes = 0;
 };
 
 class PlanServer {
@@ -105,14 +137,14 @@ class PlanServer {
   PlanServer(const PlanServer&) = delete;
   PlanServer& operator=(const PlanServer&) = delete;
 
-  // Binds `address` and starts the accept loop + worker pool. For tcp:...:0 the
+  // Binds `address` and starts the IO loops + worker pool. For tcp:...:0 the
   // ephemeral port is visible through bound_address().
   Status Start(const ServiceAddress& address);
   const ServiceAddress& bound_address() const { return bound_; }
   bool running() const { return running_.load(std::memory_order_acquire); }
 
-  // Stops accepting, unblocks and joins every connection reader, and drains in-flight
-  // work. Idempotent; also run by the destructor.
+  // Stops accepting, joins the IO loops, and drains in-flight work. Idempotent; also
+  // run by the destructor.
   void Stop();
 
   PlanServerStats stats() const;
@@ -121,29 +153,104 @@ class PlanServer {
 
   TenantRegistry& registry() { return *registry_; }
 
+  // IO loop threads actually running (0 when stopped).
+  int io_thread_count() const { return static_cast<int>(loops_.size()); }
+  // The readiness backend the loops selected; meaningful only while running.
+  Poller::Backend poller_backend() const;
+
  private:
+  // One accepted connection. The fields below `mu` are shared between the owning loop
+  // thread and worker threads; everything above it is loop-thread-only.
   struct Connection {
+    explicit Connection(uint64_t max_payload_bytes) : assembler(max_payload_bytes) {}
+
     Socket socket;
-    std::mutex write_mu;
-    std::thread reader;
-    std::atomic<bool> done{false};
-    // Worker jobs still holding this connection; it is only reaped at zero, so a
-    // response write can never race connection destruction.
+    int fd = -1;
+    int loop_index = 0;
+    FrameAssembler assembler;
+    bool read_open = true;          // recv still expected; cleared on EOF/desync.
+    bool close_after_drain = false; // Malformed stream: close once the outbox drains.
+    bool registered_write = false;  // Poller currently watches writability.
+    size_t front_offset = 0;        // Bytes of outbox.front() already written.
+
+    std::mutex mu;
+    std::deque<FrameParts> outbox;  // Only the loop thread pops; workers only push.
+    size_t outbox_bytes = 0;
+    bool notified = false;  // A pointer to this conn sits in the loop's notify queue.
+    bool dead = false;      // No more responses accepted; loop closes when it sees it.
+    // Worker jobs still holding this connection; it is only freed at zero, so a
+    // response enqueue can never race connection destruction.
     std::atomic<int> pending_jobs{0};
   };
 
-  void AcceptLoop();
-  void ReadLoop(Connection* conn);
+  // One IO thread's state. `conns`/`graveyard` are owned by the loop thread alone;
+  // `mu` guards the two cross-thread queues.
+  struct IoLoop {
+    explicit IoLoop(bool prefer_epoll) : poller(prefer_epoll) {}
+
+    int index = 0;
+    Poller poller;
+    int wake_fd = -1;  // eventfd; workers and Stop() write, the loop drains.
+    std::thread thread;
+
+    std::mutex mu;
+    std::vector<Connection*> notify_queue;  // Conns with freshly queued responses.
+    std::vector<std::unique_ptr<Connection>> incoming;  // Routed by the accept loop.
+
+    std::unordered_map<int, std::unique_ptr<Connection>> conns;
+    // Closed conns still pinned by worker jobs or a queued notification.
+    std::vector<std::unique_ptr<Connection>> graveyard;
+
+    // Accept backoff state (loop 0 only).
+    bool accept_paused = false;
+    int64_t accept_resume_ms = 0;
+    int64_t accept_backoff_ms = 1;
+  };
+
+  // A decoded plan request in flight to a worker: the wire payload plus the arena the
+  // request view's spans point into, so the worker plans straight off the wire bytes.
+  struct PlanJob;
+
+  struct ServeResult {
+    PlanServiceResponse response;  // record always empty; the bytes travel separately.
+    std::shared_ptr<const std::string> record;  // Null for error responses.
+  };
+
+  void IoLoopMain(IoLoop& loop);
+  void Wake(IoLoop& loop);
+  void DrainWake(IoLoop& loop);
+  void DoAccept(IoLoop& loop);
+  void PauseAccept(IoLoop& loop);
+  void ResumeAccept(IoLoop& loop);
+  void AdoptConnection(IoLoop& loop, std::unique_ptr<Connection> conn);
+  void AdoptIncoming(IoLoop& loop);
+  void ProcessNotifies(IoLoop& loop);
+  void OnReadable(IoLoop& loop, Connection* conn);
+  void ProcessInbound(IoLoop& loop, Connection* conn);
+  // Admission (overload, per-tenant quota) + dispatch of one well-formed frame.
+  void HandleInboundFrame(IoLoop& loop, Connection* conn, Frame frame);
+  void FlushWrites(IoLoop& loop, Connection* conn);
+  void CloseConn(IoLoop& loop, Connection* conn);
+  // Closes the connection once nothing more can or should be written.
+  void MaybeFinish(IoLoop& loop, Connection* conn);
+  void Reap(IoLoop& loop);
+
+  // Queues one encoded frame for the owning loop to write; sheds the connection if the
+  // outbox bound is exceeded. Callable from any thread.
+  void QueueResponse(Connection* conn, FrameParts parts);
+  // Frames a plan response as head + shared record bytes (zero-copy on the hit path).
+  void QueuePlanResponse(Connection* conn, const PlanServiceResponse& response,
+                         std::shared_ptr<const std::string> record);
+
   // Decodes and executes one non-plan request frame on a worker thread.
   void HandleFrame(Connection* conn, Frame frame);
   // One admitted plan request on a worker thread: chaos delay, deadline shed, plan,
   // respond, release the tenant quota slot.
-  void HandlePlanJob(Connection* conn, PlanServiceRequest request, int64_t arrival_ms,
-                     bool quota_held);
-  PlanServiceResponse HandlePlanRequest(const PlanServiceRequest& request);
+  void HandlePlanJob(Connection* conn, const std::shared_ptr<PlanJob>& job);
+  ServeResult HandlePlanRequest(const std::string& tenant,
+                                std::span<const int64_t> seqlens,
+                                const MaskSpec& mask_spec, int64_t block_size);
   PlanSyncResponse HandleSyncRequest(const PlanSyncRequest& request);
-  void WriteResponse(Connection* conn, FrameType type, std::string_view payload);
-  void ReapFinishedConnections();  // Joins readers whose connections closed.
   // The PlanStore record bytes for `handle`, from the encoded-record LRU when present.
   std::shared_ptr<const std::string> EncodedRecordFor(const PlanHandle& handle);
 
@@ -161,16 +268,14 @@ class PlanServer {
   Listener listener_;
   ServiceAddress bound_;
   std::unique_ptr<ThreadPool> pool_;
-  std::thread accept_thread_;
+  std::vector<std::unique_ptr<IoLoop>> loops_;
+  std::atomic<uint64_t> next_loop_{0};  // Round-robin connection routing.
   std::thread gossip_thread_;
   std::atomic<bool> running_{false};
   std::atomic<int> in_flight_{0};
 
   std::mutex gossip_mu_;  // Pairs with gossip_cv_ for an interruptible interval sleep.
   std::condition_variable gossip_cv_;
-
-  std::mutex conns_mu_;
-  std::vector<std::unique_ptr<Connection>> conns_;
 
   std::mutex record_cache_mu_;
   std::list<std::pair<PlanSignature, std::shared_ptr<const std::string>>> record_lru_;

@@ -100,6 +100,12 @@ StatusOr<ServiceAddress> ServiceAddress::Parse(const std::string& spec) {
     if (port > 65535) {
       return Status::InvalidArgument("bad tcp port in '" + spec + "'");
     }
+    if (port == 0) {
+      return Status::InvalidArgument(
+          "tcp port must be 1..65535 in '" + spec +
+          "' (port 0 would bind an ephemeral port or fail to connect; use "
+          "ServiceAddress::Tcp(host, 0) to request an ephemeral bind explicitly)");
+    }
     return Tcp(rest.substr(0, colon), port);
   }
   return Status::InvalidArgument("address must start with tcp: or unix: — got '" + spec +
@@ -258,6 +264,138 @@ Status Socket::RecvAll(void* buf, size_t n) {
   return Status::Ok();
 }
 
+Status Socket::SetNonBlocking(bool nonblocking) {
+  if (!valid()) {
+    return Status::Unavailable("fcntl on closed socket");
+  }
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags < 0) {
+    return Status::Internal(Errno("fcntl(F_GETFL) failed"));
+  }
+  const int next = nonblocking ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (::fcntl(fd_, F_SETFL, next) != 0) {
+    return Status::Internal(Errno("fcntl(F_SETFL) failed"));
+  }
+  return Status::Ok();
+}
+
+IoResult Socket::ReadSome(void* buf, size_t n) {
+  IoResult result;
+  if (!valid()) {
+    result.status = Status::Unavailable("recv on closed socket");
+    return result;
+  }
+  if (injector_ != nullptr) {
+    const FaultDecision fault = injector_->Decide(FaultPoint::kRecv);
+    switch (fault.action) {
+      case FaultAction::kFail:
+        result.status = Status::Unavailable("fault injection: recv failed");
+        return result;
+      case FaultAction::kTear:
+        result.status = Status::DataLoss("fault injection: read torn");
+        return result;
+      case FaultAction::kDelay:
+        std::this_thread::sleep_for(std::chrono::milliseconds(fault.delay_ms));
+        break;
+      default:
+        break;
+    }
+  }
+  for (;;) {
+    const ssize_t r = ::recv(fd_, buf, n, MSG_DONTWAIT);
+    if (r > 0) {
+      result.kind = IoResult::Kind::kProgress;
+      result.bytes = static_cast<size_t>(r);
+      return result;
+    }
+    if (r == 0) {
+      result.kind = IoResult::Kind::kEof;
+      return result;
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      result.kind = IoResult::Kind::kWouldBlock;
+      return result;
+    }
+    result.status = Status::Unavailable(Errno("recv failed"));
+    return result;
+  }
+}
+
+IoResult Socket::Writev(const iovec* iov, int iovcnt) {
+  IoResult result;
+  if (!valid()) {
+    result.status = Status::Unavailable("send on closed socket");
+    return result;
+  }
+  iovec teared[8];
+  if (injector_ != nullptr) {
+    const FaultDecision fault = injector_->Decide(FaultPoint::kSend);
+    switch (fault.action) {
+      case FaultAction::kFail:
+        result.status = Status::Unavailable("fault injection: send failed");
+        return result;
+      case FaultAction::kTear: {
+        // Truncate the gather list to tear_bytes, flush that prefix, then half-close:
+        // the peer observes a real torn frame (DATA_LOSS mid-payload), not a clean
+        // hangup. The caller still owns the fd and closes it on the kError below.
+        size_t budget = fault.tear_bytes;
+        int kept = 0;
+        for (int i = 0; i < iovcnt && kept < 8 && budget > 0; ++i) {
+          teared[kept] = iov[i];
+          if (teared[kept].iov_len > budget) {
+            teared[kept].iov_len = budget;
+          }
+          budget -= teared[kept].iov_len;
+          ++kept;
+        }
+        if (kept > 0) {
+          msghdr msg{};
+          msg.msg_iov = teared;
+          msg.msg_iovlen = static_cast<size_t>(kept);
+          (void)::sendmsg(fd_, &msg, MSG_NOSIGNAL | MSG_DONTWAIT);
+        }
+        Shutdown();
+        result.status = Status::Unavailable("fault injection: connection torn after " +
+                                            std::to_string(fault.tear_bytes) + " bytes");
+        return result;
+      }
+      case FaultAction::kDelay:
+        std::this_thread::sleep_for(std::chrono::milliseconds(fault.delay_ms));
+        break;
+      default:
+        break;
+    }
+  }
+  for (;;) {
+    msghdr msg{};
+    msg.msg_iov = const_cast<iovec*>(iov);
+    msg.msg_iovlen = static_cast<size_t>(iovcnt);
+    const ssize_t n = ::sendmsg(fd_, &msg, MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (n > 0) {
+      result.kind = IoResult::Kind::kProgress;
+      result.bytes = static_cast<size_t>(n);
+      return result;
+    }
+    if (n == 0) {
+      // Zero-byte sends (empty gather list) must not spin the caller's drain loop.
+      result.kind = IoResult::Kind::kWouldBlock;
+      return result;
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      result.kind = IoResult::Kind::kWouldBlock;
+      return result;
+    }
+    result.status = Status::Unavailable(Errno("send failed"));
+    return result;
+  }
+}
+
 void Socket::Shutdown() {
   if (valid()) {
     ::shutdown(fd_, SHUT_RDWR);
@@ -353,7 +491,7 @@ Listener& Listener::operator=(Listener&& other) noexcept {
   return *this;
 }
 
-StatusOr<Listener> Listener::Bind(const ServiceAddress& address) {
+StatusOr<Listener> Listener::Bind(const ServiceAddress& address, int backlog) {
   if (address.kind == ServiceAddress::Kind::kUnix) {
     // Replace a stale socket file from a dead server; refuse to clobber anything that
     // is not a socket (a config typo must not delete a real file).
@@ -390,7 +528,7 @@ StatusOr<Listener> Listener::Bind(const ServiceAddress& address) {
   if (::bind(fd, reinterpret_cast<sockaddr*>(&storage), len.value()) != 0) {
     return Status::Unavailable(Errno("cannot bind " + address.ToString()));
   }
-  if (::listen(fd, 64) != 0) {
+  if (::listen(fd, backlog > 0 ? backlog : SOMAXCONN) != 0) {
     return Status::Internal(Errno("cannot listen on " + address.ToString()));
   }
   listener.bound_ = address;

@@ -6,6 +6,8 @@
 #ifndef DCP_SERVICE_TRANSPORT_H_
 #define DCP_SERVICE_TRANSPORT_H_
 
+#include <sys/uio.h>
+
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -28,8 +30,26 @@ struct ServiceAddress {
 
   static ServiceAddress Tcp(std::string host, int port);
   static ServiceAddress Unix(std::string path);
+  // Parses "tcp:host:port" / "unix:/path". TCP ports must be 1..65535: port 0 is
+  // rejected here because a parsed address names a peer to reach (connect to port 0
+  // fails with a misleading errno) or a fixed bind (port 0 would silently bind an
+  // ephemeral one). Code that *wants* an ephemeral bind asks for it explicitly with
+  // ServiceAddress::Tcp(host, 0).
   static StatusOr<ServiceAddress> Parse(const std::string& spec);
   std::string ToString() const;
+};
+
+// Outcome of one non-blocking IO attempt (Socket::ReadSome / Socket::Writev).
+struct IoResult {
+  enum class Kind {
+    kProgress,    // `bytes` were transferred (> 0).
+    kWouldBlock,  // The socket is not ready; wait for readiness and retry.
+    kEof,         // Reads only: the peer closed cleanly.
+    kError,       // The connection is unusable; `status` says why. Caller closes.
+  };
+  Kind kind = Kind::kError;
+  size_t bytes = 0;
+  Status status = Status::Ok();
 };
 
 // A connected stream socket. Blocking; move-only; closes on destruction.
@@ -66,6 +86,22 @@ class Socket {
   // process-global injector automatically when one is installed.
   void set_fault_injector(std::shared_ptr<FaultInjector> injector);
 
+  // --- Non-blocking IO (the event-driven server path) ------------------------------
+  //
+  // These never close the fd themselves — the event loop owns the fd's registration in
+  // its poller, so teardown must be one place (the loop), not a side effect of an IO
+  // call. Injected faults therefore surface as kError (after an optional partial write
+  // + shutdown for kTear, so the peer observes a genuinely torn frame) and leave the
+  // close to the caller.
+
+  Status SetNonBlocking(bool nonblocking);
+
+  // One recv of up to `n` bytes.
+  IoResult ReadSome(void* buf, size_t n);
+  // One scatter-gather send (sendmsg, SIGPIPE suppressed). May transfer any prefix of
+  // the iovecs' bytes; the caller tracks its own cursor.
+  IoResult Writev(const iovec* iov, int iovcnt);
+
   // Unblocks any thread blocked in RecvAll/SendAll on this socket (server shutdown).
   void Shutdown();
   void Close();
@@ -96,9 +132,13 @@ class Listener {
 
   // Binds and listens. For TCP with port 0, bound_address() reports the ephemeral port
   // actually chosen; for Unix sockets a stale socket file at the path is replaced.
-  static StatusOr<Listener> Bind(const ServiceAddress& address);
+  // `backlog` is the listen(2) queue depth; <= 0 uses SOMAXCONN (a connection burst
+  // deeper than a small fixed backlog would otherwise be SYN-dropped and surface as
+  // client connect timeouts).
+  static StatusOr<Listener> Bind(const ServiceAddress& address, int backlog = 0);
 
   bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
   const ServiceAddress& bound_address() const { return bound_; }
 
   // Waits up to `timeout_ms` for a connection (-1: no timeout). NOT_FOUND on timeout

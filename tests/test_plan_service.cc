@@ -3,6 +3,11 @@
 // responses bit-identical to in-process Engine::Plan (asserted via SerializePlan),
 // tenants never observing each other's plans, malformed frames never killing the
 // server, and overload rejected with UNAVAILABLE instead of queued without bound.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -552,6 +557,219 @@ TEST(PlanService, ClientReconnectsAfterServerRestart) {
   StatusOr<PlanHandle> replanned = client->Plan({48, 24}, MaskSpec::Causal());
   ASSERT_TRUE(replanned.ok()) << replanned.status().ToString();
   EXPECT_GE(client->stats().reconnects, 1);
+}
+
+// A raw TCP client socket with NO fault injector attached (ConnectSocket would attach
+// the global one), for tests that arm server-side-only faults.
+Socket RawTcpConnect(const ServiceAddress& address) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in sin{};
+  sin.sin_family = AF_INET;
+  sin.sin_port = htons(static_cast<uint16_t>(address.port));
+  EXPECT_EQ(::inet_pton(AF_INET, address.host.c_str(), &sin.sin_addr), 1);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&sin), sizeof(sin)), 0);
+  return Socket(fd);
+}
+
+TEST(PlanService, TransientAcceptFailuresRetriedNeverFatal) {
+  // Every accept attempt fails (injected EMFILE/ECONNABORTED-style pressure) without
+  // consuming the pending connection. The old accept loop exited on the first such
+  // error, leaving a permanently deaf server; the event loop must back off and retry.
+  auto injector = std::make_shared<FaultInjector>(11);
+  FaultRates accept_pressure;
+  accept_pressure.fail = 1.0;
+  injector->SetRates(FaultPoint::kAccept, accept_pressure);
+  PlanServerOptions options;
+  options.fault_injector = injector;
+  ServiceFixture service({{"prod", SmallCluster(1, 2), SmallEngineOptions(16)}},
+                         options);
+
+  // The TCP handshake completes regardless (the kernel backlog holds the connection);
+  // the server just never accept(2)s it while the pressure lasts.
+  Socket pending = RawTcpConnect(service.server->bound_address());
+  bool retried = false;
+  for (int i = 0; i < 250 && !retried; ++i) {
+    retried = service.server->stats().accept_soft_errors >= 2;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_TRUE(retried) << "accept path did not keep retrying under pressure";
+  EXPECT_TRUE(service.server->running());
+
+  // Pressure ends: the retry must drain the backlog and serve the waiting connection.
+  injector->SetRates(FaultPoint::kAccept, FaultRates{});
+  pending.set_io_timeout_ms(5000);
+  ASSERT_TRUE(WriteFrame(pending, FrameType::kPlanRequest,
+                         SerializePlanServiceRequest(
+                             {"prod", {64, 32}, MaskSpec::Causal(), 0}))
+                  .ok());
+  StatusOr<Frame> reply = ReadFrame(pending);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  StatusOr<PlanServiceResponse> response =
+      DeserializePlanServiceResponse(reply.value().payload);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response.value().code, StatusCode::kOk);
+}
+
+TEST(PlanService, OverloadedNonPlanRequestsGetTypeMatchedReplies) {
+  PlanServerOptions drained;
+  drained.max_queue = 0;  // Reject everything.
+  ServiceFixture service({{"prod", SmallCluster(1, 2), SmallEngineOptions(16)}},
+                         drained);
+
+  // A sync request rejected under overload used to come back as a kPlanResponse the
+  // gossip client cannot decode; the rejection must be a parseable kSyncResponse.
+  {
+    Socket raw = ConnectSocket(service.server->bound_address()).value();
+    PlanSyncRequest sync;
+    sync.tenant = "prod";
+    ASSERT_TRUE(WriteFrame(raw, FrameType::kSyncRequest,
+                           SerializePlanSyncRequest(sync))
+                    .ok());
+    StatusOr<Frame> reply = ReadFrame(raw);
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+    EXPECT_EQ(reply.value().type, FrameType::kSyncResponse);
+    StatusOr<PlanSyncResponse> response =
+        DeserializePlanSyncResponse(reply.value().payload);
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_EQ(response.value().code, StatusCode::kUnavailable);
+  }
+  // Stats rejections stay type-matched too.
+  {
+    Socket raw = ConnectSocket(service.server->bound_address()).value();
+    ASSERT_TRUE(WriteFrame(raw, FrameType::kStatsRequest,
+                           SerializePlanServiceStatsRequest({""}))
+                    .ok());
+    StatusOr<Frame> reply = ReadFrame(raw);
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+    EXPECT_EQ(reply.value().type, FrameType::kStatsResponse);
+    StatusOr<PlanServiceStatsResponse> response =
+        DeserializePlanServiceStatsResponse(reply.value().payload);
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_EQ(response.value().code, StatusCode::kUnavailable);
+  }
+  EXPECT_GE(service.server->stats().rejected_overload, 2);
+}
+
+TEST(PlanService, SlowReadersAreShedWholeConnectionsOnly) {
+  PlanServerOptions options;
+  options.max_output_queue_bytes = 8 * 1024;  // Tiny outbox bound for the test.
+  ServiceFixture service({{"prod", SmallCluster(1, 2), SmallEngineOptions(16)}},
+                         options);
+
+  // A client that pipelines hundreds of requests and never reads a byte: once the
+  // kernel buffers fill, responses accumulate in the server outbox until the bound
+  // sheds the connection. The server itself must stay healthy throughout.
+  {
+    Socket slow = RawTcpConnect(service.server->bound_address());
+    const std::string request = SerializePlanServiceRequest(
+        {"prod", {64, 32}, MaskSpec::Causal(), 0});
+    for (int i = 0; i < 400; ++i) {
+      if (!WriteFrame(slow, FrameType::kPlanRequest, request).ok()) {
+        break;  // The server already shed us mid-pipeline; that is the point.
+      }
+    }
+    bool shed = false;
+    for (int i = 0; i < 500 && !shed; ++i) {
+      shed = service.server->stats().slow_reader_closes >= 1;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    EXPECT_TRUE(shed) << "outbox bound never shed the unread connection";
+  }
+  // Shedding was per-connection: a well-behaved client is completely unaffected.
+  std::unique_ptr<PlanClient> client = service.Client("prod");
+  StatusOr<PlanHandle> plan = client->Plan({64, 32}, MaskSpec::Causal());
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+}
+
+TEST(PlanService, PeerCloseWithResponsesInFlightNeverKillsTheServer) {
+  ServiceFixture service({{"prod", SmallCluster(1, 2), SmallEngineOptions(16)}});
+  const std::string request = SerializePlanServiceRequest(
+      {"prod", {64, 32}, MaskSpec::Causal(), 0});
+
+  // Fire a request and slam the connection shut before the response can be written:
+  // the server's queued non-blocking write lands on a closed peer (RST/EPIPE).
+  for (int i = 0; i < 8; ++i) {
+    Socket hit_and_run = RawTcpConnect(service.server->bound_address());
+    ASSERT_TRUE(WriteFrame(hit_and_run, FrameType::kPlanRequest, request).ok());
+    hit_and_run.Close();
+  }
+  // Half-close variant: the peer shuts down its write side mid-frame (a torn request)
+  // while the read side is already gone.
+  for (int i = 0; i < 8; ++i) {
+    Socket torn = RawTcpConnect(service.server->bound_address());
+    const std::string frame = EncodeFrame(FrameType::kPlanRequest, request);
+    ASSERT_TRUE(
+        torn.SendAll(std::string_view(frame).substr(0, frame.size() - 3)).ok());
+    torn.Close();
+  }
+
+  // The server survived every variant and still serves.
+  std::unique_ptr<PlanClient> client = service.Client("prod");
+  StatusOr<PlanHandle> plan = client->Plan({64, 32}, MaskSpec::Causal());
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_TRUE(service.server->running());
+}
+
+TEST(PlanService, ServerSideTearOnNonBlockingWriteIsRecoverable) {
+  // Arm the global injector so the server's ACCEPTED sockets (which attach it) tear
+  // every send mid-frame; the client connects raw, so only the server side faults.
+  auto tearing = std::make_shared<FaultInjector>(17);
+  FaultRates tear;
+  tear.tear = 1.0;
+  tear.tear_bytes = 10;  // Mid-frame-header: the client sees a torn response.
+  tearing->SetRates(FaultPoint::kSend, tear);
+  InstallGlobalFaultInjector(tearing);
+
+  ServiceFixture service({{"prod", SmallCluster(1, 2), SmallEngineOptions(16)}});
+  {
+    Socket raw = RawTcpConnect(service.server->bound_address());
+    raw.set_io_timeout_ms(5000);
+    ASSERT_TRUE(WriteFrame(raw, FrameType::kPlanRequest,
+                           SerializePlanServiceRequest(
+                               {"prod", {64, 32}, MaskSpec::Causal(), 0}))
+                    .ok());
+    StatusOr<Frame> reply = ReadFrame(raw);
+    ASSERT_FALSE(reply.ok());  // Torn mid-response.
+    EXPECT_EQ(reply.status().code(), StatusCode::kDataLoss);
+  }
+  // Disarm: the same server must serve the next connection cleanly.
+  InstallGlobalFaultInjector(nullptr);
+  EXPECT_TRUE(service.server->running());
+  std::unique_ptr<PlanClient> client = service.Client("prod");
+  StatusOr<PlanHandle> plan = client->Plan({64, 32}, MaskSpec::Causal());
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+}
+
+TEST(PlanService, PollBackendServesIdenticallyToEpoll) {
+  const ClusterSpec cluster = SmallCluster(2, 2);
+  const EngineOptions options = SmallEngineOptions(16);
+  PlanServerOptions poll_options;
+  poll_options.force_poll_backend = true;
+  poll_options.io_threads = 1;
+  ServiceFixture service({{"prod", cluster, options}}, poll_options);
+  EXPECT_EQ(service.server->poller_backend(), Poller::Backend::kPoll);
+  EXPECT_EQ(service.server->io_thread_count(), 1);
+
+  const std::vector<int64_t> seqlens = {60, 33, 18};
+  const MaskSpec mask = MaskSpec::Lambda(4, 13);
+  Engine local(cluster, options);
+  std::unique_ptr<PlanClient> client = service.Client("prod");
+  StatusOr<PlanHandle> remote = client->Plan(seqlens, mask);
+  ASSERT_TRUE(remote.ok()) << remote.status().ToString();
+  EXPECT_EQ(SerializeTimeless(remote.value()->plan),
+            SerializeTimeless(local.Plan(seqlens, mask).value()->plan));
+}
+
+TEST(PlanService, WarmServesAreZeroCopy) {
+  ServiceFixture service({{"prod", SmallCluster(1, 2), SmallEngineOptions(16)}});
+  // Two fresh clients, same shape: both responses carry the record, and both frames
+  // point at the shared cached bytes instead of copying them.
+  for (int i = 0; i < 2; ++i) {
+    std::unique_ptr<PlanClient> client = service.Client("prod");
+    ASSERT_TRUE(client->Plan({64, 32}, MaskSpec::Causal()).ok());
+  }
+  EXPECT_GE(service.server->stats().zero_copy_serves, 2);
 }
 
 }  // namespace

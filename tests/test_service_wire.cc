@@ -7,9 +7,11 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "common/arena.h"
 #include "service/frame.h"
 #include "service/plan_server.h"
 #include "service/transport.h"
@@ -255,6 +257,149 @@ TEST(ServiceTransport, ListenerRoundTripAndEphemeralPort) {
   StatusOr<Frame> frame = ReadFrame(served.value());
   ASSERT_TRUE(frame.ok());
   EXPECT_EQ(frame.value().payload, "ping");
+}
+
+TEST(ServiceAddress, PortZeroRejectedAtParseWithActionableMessage) {
+  // tcp:host:0 used to parse fine and then bind an ephemeral port the operator never
+  // learns (or dial port 0 and fail deep in connect); it must die at parse instead.
+  const StatusOr<ServiceAddress> port0 = ServiceAddress::Parse("tcp:127.0.0.1:0");
+  ASSERT_FALSE(port0.ok());
+  EXPECT_EQ(port0.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(port0.status().message().find("1..65535"), std::string::npos)
+      << port0.status().message();
+}
+
+TEST(ServiceAddress, PortRangeBoundaries) {
+  StatusOr<ServiceAddress> top = ServiceAddress::Parse("tcp:127.0.0.1:65535");
+  ASSERT_TRUE(top.ok()) << top.status().ToString();
+  EXPECT_EQ(top.value().port, 65535);
+  EXPECT_FALSE(ServiceAddress::Parse("tcp:127.0.0.1:65536").ok());
+  EXPECT_FALSE(ServiceAddress::Parse("tcp:127.0.0.1:-1").ok());
+}
+
+TEST(ServiceFrame, FramePartsMatchContiguousEncodingWithoutCopyingTheBody) {
+  const std::string head_payload = "response-head";
+  auto body = std::make_shared<const std::string>("shared record bytes \x00\x7f", 22);
+  FrameParts parts = EncodeFrameParts(FrameType::kPlanResponse, head_payload, body);
+  // The body rides by reference: same string object, not a copy.
+  EXPECT_EQ(parts.body.get(), body.get());
+  // head ++ *body ++ crc is bit-identical to the contiguous encoder on the
+  // concatenated payload, so readers cannot tell the two writers apart.
+  EXPECT_EQ(FlattenFrameParts(parts),
+            EncodeFrame(FrameType::kPlanResponse, head_payload + *body));
+  // Body-less parts (error responses) flatten correctly too.
+  FrameParts head_only = EncodeFrameParts(FrameType::kErrorResponse, head_payload);
+  EXPECT_EQ(FlattenFrameParts(head_only),
+            EncodeFrame(FrameType::kErrorResponse, head_payload));
+}
+
+TEST(ServiceMessages, ResponseHeadPlusRecordMatchesFullSerialization) {
+  PlanServiceResponse full;
+  full.code = StatusCode::kOk;
+  full.source = PlanServeSource::kMemoryCache;
+  full.signature_lo = 0x1122334455667788ULL;
+  full.signature_hi = 0x99aabbccddeeff00ULL;
+  full.record = std::string("record\x00\xff payload", 16);
+
+  PlanServiceResponse head_response = full;
+  head_response.record.clear();
+  const std::string head =
+      SerializePlanServiceResponseHead(head_response, full.record.size());
+  EXPECT_EQ(head + full.record, SerializePlanServiceResponse(full));
+}
+
+TEST(ServiceMessages, RequestViewDecodesIdenticallyInOneArenaBlock) {
+  PlanServiceRequest request = MakeRequest();
+  request.seqlens = {4096, 1, 777, 65536, 3};
+  request.deadline_ms = 250;
+  const std::string bytes = SerializePlanServiceRequest(request);
+
+  Arena arena;
+  StatusOr<PlanServiceRequestView> view =
+      DeserializePlanServiceRequestView(bytes, &arena);
+  ASSERT_TRUE(view.ok()) << view.status().ToString();
+  EXPECT_EQ(view.value().tenant, request.tenant);
+  EXPECT_EQ(std::vector<int64_t>(view.value().seqlens.begin(),
+                                 view.value().seqlens.end()),
+            request.seqlens);
+  EXPECT_EQ(view.value().mask_spec.kind, request.mask_spec.kind);
+  EXPECT_EQ(view.value().block_size, request.block_size);
+  EXPECT_EQ(view.value().deadline_ms, request.deadline_ms);
+  // Zero-copy decode: the tenant aliases the wire bytes and the seqlens are one
+  // exactly-sized arena array — one block, no per-field heap allocations.
+  EXPECT_GE(view.value().tenant.data(), bytes.data());
+  EXPECT_LT(view.value().tenant.data(), bytes.data() + bytes.size());
+  EXPECT_EQ(arena.block_count(), 1u);
+
+  // Same validation as the owning decoder: every truncation rejected.
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    Arena scratch;
+    EXPECT_FALSE(
+        DeserializePlanServiceRequestView(bytes.substr(0, len), &scratch).ok())
+        << "prefix of " << len << " bytes decoded";
+  }
+}
+
+TEST(ServiceFrame, AssemblerReassemblesFramesFedByteByByte) {
+  const std::string first = EncodeFrame(FrameType::kPlanRequest, "alpha");
+  const std::string second = EncodeFrame(FrameType::kStatsRequest, "");
+  const std::string third =
+      EncodeFrame(FrameType::kPlanResponse, std::string(1000, 'r'));
+  const std::string stream = first + second + third;
+
+  FrameAssembler assembler;
+  std::vector<Frame> frames;
+  for (size_t i = 0; i < stream.size(); ++i) {
+    assembler.Append(stream.data() + i, 1);
+    while (true) {
+      StatusOr<Frame> frame = assembler.Next();
+      if (!frame.ok()) {
+        EXPECT_EQ(frame.status().code(), StatusCode::kNotFound);
+        break;
+      }
+      frames.push_back(std::move(frame).value());
+    }
+  }
+  ASSERT_EQ(frames.size(), 3u);
+  EXPECT_EQ(frames[0].type, FrameType::kPlanRequest);
+  EXPECT_EQ(frames[0].payload, "alpha");
+  EXPECT_EQ(frames[1].type, FrameType::kStatsRequest);
+  EXPECT_EQ(frames[1].payload, "");
+  EXPECT_EQ(frames[2].payload, std::string(1000, 'r'));
+  EXPECT_EQ(assembler.buffered_bytes(), 0u);
+  EXPECT_FALSE(assembler.failed());
+}
+
+TEST(ServiceFrame, AssemblerFailureIsSticky) {
+  std::string corrupt = EncodeFrame(FrameType::kPlanRequest, "payload");
+  corrupt[corrupt.size() - 1] ^= 0x01;  // Break the CRC.
+  FrameAssembler assembler;
+  assembler.Append(corrupt.data(), corrupt.size());
+  StatusOr<Frame> frame = assembler.Next();
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kDataLoss);
+  EXPECT_TRUE(assembler.failed());
+  // A desynced stream stays failed: even appending a pristine frame cannot recover.
+  const std::string good = EncodeFrame(FrameType::kPlanRequest, "good");
+  assembler.Append(good.data(), good.size());
+  StatusOr<Frame> after = assembler.Next();
+  ASSERT_FALSE(after.ok());
+  EXPECT_EQ(after.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(ServiceFrame, AssemblerRejectsBadHeaderBeforePayloadArrives) {
+  // 16 header bytes claiming an oversized payload must fail immediately — the
+  // assembler must not wait for (or buffer toward) a petabyte that never comes.
+  std::string header = EncodeFrame(FrameType::kPlanRequest, "");
+  header.resize(16);
+  for (int i = 0; i < 8; ++i) {
+    header[8 + i] = static_cast<char>(0xff);
+  }
+  FrameAssembler assembler(/*max_payload_bytes=*/1 << 20);
+  assembler.Append(header.data(), header.size());
+  StatusOr<Frame> frame = assembler.Next();
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kDataLoss);
 }
 
 TEST(ServiceTransport, ConnectToDeadEndpointIsUnavailable) {
