@@ -1,9 +1,18 @@
 #!/usr/bin/env bash
-# CI gate: build the strict (warnings-as-errors) preset, run the full test suite, then
-# the tiny-config bench smoke label. Run from anywhere inside the repo.
+# CI gate: lint, build the strict (warnings-as-errors) preset, run the full test suite,
+# the tiny-config bench smoke label, then the sanitizer tiers (TSan on the concurrency
+# suites, ASan/UBSan on a smoke subset) and — when a clang with -Wthread-safety is
+# available — the clang-strict thread-safety-analysis build. Run from anywhere inside
+# the repo. Set DCP_SKIP_SANITIZERS=1 for a quick lint+strict-only pass.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+# Determinism/concurrency lint: unordered-container iteration feeding serialized bytes,
+# ad-hoc RNG outside common/rng, blocking socket IO on event-loop threads, and
+# discarded Status/StatusOr. Self-test first so a regressed lint can't pass vacuously.
+python3 scripts/dcp_lint.py --self-test
+python3 scripts/dcp_lint.py
 
 cmake --preset strict
 cmake --build --preset strict -j "$(nproc)"
@@ -34,4 +43,33 @@ ctest --test-dir build-strict -R 'test_replica_set|test_plan_service' --output-o
 # scales with connections, a warm serve copies the cached record, or p99 at 256
 # connections leaves the single-connection envelope.
 ctest --test-dir build-strict -L bench_smoke --output-on-failure
+
+if [[ "${DCP_SKIP_SANITIZERS:-0}" != "1" ]]; then
+  # ThreadSanitizer tier: every suite that spawns threads — the pool, the sharded
+  # engine cache, dataloader look-ahead, the epoll service, replica failover/hedging,
+  # and the dedicated contention stress test (Plan vs cache_stats vs eviction vs
+  # shutdown). Any data race is a hard failure.
+  cmake --preset tsan
+  cmake --build --preset tsan -j "$(nproc)"
+  ctest --test-dir build-tsan --output-on-failure \
+        -R 'test_thread_pool|test_engine|test_dataloader_concurrency|test_plan_service|test_replica_set|test_concurrency_stress'
+  # ASan/UBSan tier: smoke subset covering the codec/bounds-heavy paths (plan store
+  # records and bundles, wire frames end-to-end) plus the engine and the stress test.
+  cmake --preset asan-ubsan
+  cmake --build --preset asan-ubsan -j "$(nproc)"
+  ctest --test-dir build-asan --output-on-failure \
+        -R 'test_plan_store|test_plan_service|test_engine|test_concurrency_stress'
+else
+  echo "check.sh: DCP_SKIP_SANITIZERS=1, skipping tsan/asan-ubsan tiers"
+fi
+
+# Clang thread-safety analysis (-Wthread-safety -Werror over the DCP_GUARDED_BY /
+# DCP_REQUIRES annotations). GCC compiles the annotations to no-ops, so this gate only
+# has teeth under clang; skip with a notice when no clang is installed.
+if command -v clang++ >/dev/null 2>&1; then
+  cmake --preset clang-strict
+  cmake --build --preset clang-strict -j "$(nproc)"
+else
+  echo "check.sh: clang++ not found, skipping clang-strict thread-safety analysis"
+fi
 echo "check.sh: all green"

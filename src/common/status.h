@@ -41,7 +41,11 @@ inline bool IsValidStatusCode(int code) {
 
 const char* StatusCodeName(StatusCode code);
 
-class Status {
+// [[nodiscard]]: a silently dropped Status is a swallowed error (the call sites the
+// attribute flushed were exactly the ones that could lose a failed store write or a
+// torn-frame report). Call sites that genuinely don't care cast to void with a reason:
+//   (void)store_->Put(...);  // best-effort write-through; failure degrades to replan
+class [[nodiscard]] Status {
  public:
   Status() = default;  // OK.
   Status(StatusCode code, std::string message)
@@ -85,7 +89,7 @@ class Status {
 // Either a value or a non-OK Status. Accessing value() on an error aborts with the
 // status message, so call sites that cannot recover may use it as a checked unwrap.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   StatusOr(Status status) : status_(std::move(status)) {  // NOLINT(google-explicit-constructor)
     DCP_CHECK(!status_.ok()) << "StatusOr constructed from OK status without a value";

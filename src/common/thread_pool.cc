@@ -18,10 +18,10 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (auto& worker : workers_) {
     worker.join();
   }
@@ -39,8 +39,8 @@ void ThreadPool::ParallelInvoke(std::vector<std::function<void()>> tasks) {
     std::vector<std::function<void()>>* tasks;
     std::atomic<size_t> next{0};
     std::atomic<size_t> done{0};
-    std::mutex mutex;
-    std::condition_variable finished;
+    Mutex mutex;
+    CondVar finished;
   };
   auto state = std::make_shared<InvokeState>();
   state->tasks = &tasks;
@@ -53,8 +53,8 @@ void ThreadPool::ParallelInvoke(std::vector<std::function<void()>> tasks) {
       }
       (*state->tasks)[i]();
       if (state->done.fetch_add(1) + 1 == total) {
-        std::lock_guard<std::mutex> lock(state->mutex);
-        state->finished.notify_all();
+        MutexLock lock(state->mutex);
+        state->finished.NotifyAll();
       }
     }
   };
@@ -65,16 +65,20 @@ void ThreadPool::ParallelInvoke(std::vector<std::function<void()>> tasks) {
     Submit(drain);
   }
   drain();
-  std::unique_lock<std::mutex> lock(state->mutex);
-  state->finished.wait(lock, [&]() { return state->done.load() == total; });
+  MutexLock lock(state->mutex);
+  while (state->done.load() != total) {
+    state->finished.Wait(state->mutex);
+  }
 }
 
 void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> job;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this]() { return stopping_ || !jobs_.empty(); });
+      MutexLock lock(mutex_);
+      while (!stopping_ && jobs_.empty()) {
+        cv_.Wait(mutex_);
+      }
       if (jobs_.empty()) {
         return;  // stopping_ and drained.
       }

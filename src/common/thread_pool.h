@@ -4,13 +4,13 @@
 #ifndef DCP_COMMON_THREAD_POOL_H_
 #define DCP_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace dcp {
 
@@ -29,10 +29,10 @@ class ThreadPool {
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
     std::future<R> result = task->get_future();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       jobs_.emplace_back([task]() { (*task)(); });
     }
-    cv_.notify_one();
+    cv_.NotifyOne();
     return result;
   }
 
@@ -58,10 +58,10 @@ class ThreadPool {
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> jobs_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
+  Mutex mutex_;
+  std::deque<std::function<void()>> jobs_ DCP_GUARDED_BY(mutex_);
+  CondVar cv_;
+  bool stopping_ DCP_GUARDED_BY(mutex_) = false;
 };
 
 // Process-wide pool shared by the planner's parallel phases (partitioner portfolio,

@@ -20,13 +20,13 @@
 #include <initializer_list>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "core/plan_signature.h"
 #include "core/plan_store.h"
@@ -233,15 +233,15 @@ class Engine : public Planner {
 
  private:
   struct Shard {
-    mutable std::mutex mu;
+    mutable Mutex mu;
     // Front = most recently used. The map indexes into the list.
-    std::list<PlanHandle> lru;
+    std::list<PlanHandle> lru DCP_GUARDED_BY(mu);
     std::unordered_map<PlanSignature, std::list<PlanHandle>::iterator, PlanSignatureHash>
-        index;
-    int64_t capacity = 0;
-    int64_t hits = 0;
-    int64_t misses = 0;
-    int64_t evictions = 0;
+        index DCP_GUARDED_BY(mu);
+    int64_t capacity = 0;  // Immutable after construction.
+    int64_t hits DCP_GUARDED_BY(mu) = 0;
+    int64_t misses DCP_GUARDED_BY(mu) = 0;
+    int64_t evictions DCP_GUARDED_BY(mu) = 0;
   };
 
   Shard& ShardFor(const PlanSignature& sig);
@@ -267,14 +267,14 @@ class Engine : public Planner {
   Status store_status_;
 
   // AutoTune winner table: LRU-bounded by tune_cache_capacity.
-  mutable std::mutex tune_mu_;
-  std::list<std::pair<PlanSignature, int64_t>> tune_lru_;
+  mutable Mutex tune_mu_;
+  std::list<std::pair<PlanSignature, int64_t>> tune_lru_ DCP_GUARDED_BY(tune_mu_);
   std::unordered_map<PlanSignature,
                      std::list<std::pair<PlanSignature, int64_t>>::iterator,
                      PlanSignatureHash>
-      tune_index_;
-  int64_t tune_hits_ = 0;
-  int64_t tune_misses_ = 0;
+      tune_index_ DCP_GUARDED_BY(tune_mu_);
+  int64_t tune_hits_ DCP_GUARDED_BY(tune_mu_) = 0;
+  int64_t tune_misses_ DCP_GUARDED_BY(tune_mu_) = 0;
 };
 
 }  // namespace dcp

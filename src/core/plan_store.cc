@@ -2,6 +2,7 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <optional>
@@ -220,13 +221,13 @@ std::string PlanStore::RecordPath(const PlanSignature& sig) const {
 }
 
 bool PlanStore::Contains(const PlanSignature& sig) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return index_.find(sig) != index_.end();
 }
 
 StatusOr<BatchPlan> PlanStore::Load(const PlanSignature& sig) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (index_.find(sig) == index_.end()) {
       return Status::NotFound("no plan record for signature " + sig.ToHex());
     }
@@ -250,7 +251,7 @@ StatusOr<BatchPlan> PlanStore::Load(const PlanSignature& sig) {
       failure = Corrupt("embedded signature " + record.value().first.ToHex() +
                         " does not match key " + sig.ToHex());
     } else {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       ++hits_;
       return std::move(record).value().second;
     }
@@ -258,7 +259,7 @@ StatusOr<BatchPlan> PlanStore::Load(const PlanSignature& sig) {
   // A record that failed validation drops from the index, so later misses go straight
   // to replanning instead of re-validating known-bad bytes. The file is left on disk
   // for inspection (`dcpctl cache stats` reports it as corrupt).
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++corrupt_skipped_;
   index_.erase(sig);
   return failure;
@@ -267,7 +268,7 @@ StatusOr<BatchPlan> PlanStore::Load(const PlanSignature& sig) {
 Status PlanStore::AtomicWrite(const std::string& path, std::string_view bytes) {
   int64_t serial = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     serial = ++temp_counter_;
   }
   // Unique per process (pid) and per call (serial): concurrent writers of the same
@@ -305,24 +306,33 @@ Status PlanStore::Put(const PlanSignature& sig, const BatchPlan& plan) {
   }
   const std::string path = RecordPath(sig);
   DCP_RETURN_IF_ERROR(AtomicWrite(path, EncodeRecord(sig, plan)));
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++writes_;
   index_[sig] = fs::path(path).filename().string();
   return Status::Ok();
 }
 
 std::vector<PlanSignature> PlanStore::Signatures() const {
-  std::lock_guard<std::mutex> lock(mu_);
   std::vector<PlanSignature> out;
-  out.reserve(index_.size());
-  for (const auto& [sig, file] : index_) {
-    out.push_back(sig);
+  {
+    MutexLock lock(mu_);
+    out.reserve(index_.size());
+    // dcp-lint: allow(unordered-iteration) — sorted below before anything observes it.
+    for (const auto& [sig, file] : index_) {
+      out.push_back(sig);
+    }
   }
+  // Sorted: ExportBundle concatenates records in this order, so bundle bytes must not
+  // depend on unordered_map iteration (which varies per process with hashed pointers).
+  std::sort(out.begin(), out.end(),
+            [](const PlanSignature& a, const PlanSignature& b) {
+              return a.hi != b.hi ? a.hi < b.hi : a.lo < b.lo;
+            });
   return out;
 }
 
 PlanStoreStats PlanStore::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   PlanStoreStats stats;
   stats.entries = static_cast<int64_t>(index_.size());
   stats.hits = hits_;
@@ -341,7 +351,7 @@ StatusOr<int> PlanStore::ExportBundle(const std::string& file) {
   for (const PlanSignature& sig : Signatures()) {
     StatusOr<std::string> bytes = ReadFileBytes(RecordPath(sig));
     if (!bytes.ok() || !DecodeRecord(bytes.value()).ok()) {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       ++corrupt_skipped_;
       continue;
     }
@@ -389,14 +399,14 @@ StatusOr<int> PlanStore::ImportBundle(const std::string& file) {
     pos += static_cast<size_t>(length);
     StatusOr<std::pair<PlanSignature, BatchPlan>> decoded = DecodeRecord(record);
     if (!decoded.ok()) {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       ++corrupt_skipped_;
       continue;
     }
     const PlanSignature& sig = decoded.value().first;
     DCP_RETURN_IF_ERROR(AtomicWrite(RecordPath(sig), record));
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       ++writes_;
       index_[sig] = sig.ToHex() + kRecordSuffix;
     }

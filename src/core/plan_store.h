@@ -38,7 +38,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -46,6 +45,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "core/plan_signature.h"
 #include "runtime/instructions.h"
 
@@ -80,7 +80,8 @@ class PlanStore {
   // Atomically writes (or replaces) the record for `sig`.
   Status Put(const PlanSignature& sig, const BatchPlan& plan);
 
-  // All indexed signatures, in unspecified order.
+  // All indexed signatures, sorted by (hi, lo) so callers that serialize the set
+  // (ExportBundle, gossip indexes) produce identical bytes in every process.
   std::vector<PlanSignature> Signatures() const;
 
   PlanStoreStats stats() const;
@@ -107,13 +108,14 @@ class PlanStore {
 
   const std::string directory_;
 
-  mutable std::mutex mu_;
-  // Signature -> record filename (basename). Guarded by mu_.
-  std::unordered_map<PlanSignature, std::string, PlanSignatureHash> index_;
-  int64_t hits_ = 0;
-  int64_t writes_ = 0;
-  int64_t corrupt_skipped_ = 0;
-  int64_t temp_counter_ = 0;
+  mutable Mutex mu_;
+  // Signature -> record filename (basename).
+  std::unordered_map<PlanSignature, std::string, PlanSignatureHash> index_
+      DCP_GUARDED_BY(mu_);
+  int64_t hits_ DCP_GUARDED_BY(mu_) = 0;
+  int64_t writes_ DCP_GUARDED_BY(mu_) = 0;
+  int64_t corrupt_skipped_ DCP_GUARDED_BY(mu_) = 0;
+  int64_t temp_counter_ DCP_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace dcp

@@ -19,7 +19,7 @@ double UnitDouble(uint64_t* state) {
   return static_cast<double>(SplitMix64(state) >> 11) * 0x1.0p-53;
 }
 
-std::mutex g_global_mu;
+Mutex g_global_mu;
 std::shared_ptr<FaultInjector>& GlobalSlot() {
   static std::shared_ptr<FaultInjector> slot;
   return slot;
@@ -39,13 +39,13 @@ FaultInjector::FaultInjector(uint64_t seed) : seed_(seed) {
 }
 
 void FaultInjector::SetRates(FaultPoint point, const FaultRates& rates) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   rates_[static_cast<int>(point)] = rates;
 }
 
 FaultDecision FaultInjector::Decide(FaultPoint point) {
   const int p = static_cast<int>(point);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const FaultRates& rates = rates_[p];
   const int64_t op = ++ops_[p];
   ++decisions_;
@@ -87,22 +87,22 @@ FaultDecision FaultInjector::Decide(FaultPoint point) {
 }
 
 int64_t FaultInjector::decisions() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return decisions_;
 }
 
 int64_t FaultInjector::injected() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return injected_;
 }
 
 void InstallGlobalFaultInjector(std::shared_ptr<FaultInjector> injector) {
-  std::lock_guard<std::mutex> lock(g_global_mu);
+  MutexLock lock(g_global_mu);
   GlobalSlot() = std::move(injector);
 }
 
 std::shared_ptr<FaultInjector> GlobalFaultInjector() {
-  std::lock_guard<std::mutex> lock(g_global_mu);
+  MutexLock lock(g_global_mu);
   return GlobalSlot();
 }
 

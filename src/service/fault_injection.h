@@ -17,8 +17,8 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 
+#include "common/thread_annotations.h"
 #include "service/transport.h"
 
 namespace dcp {
@@ -86,12 +86,14 @@ class FaultInjector {
 
  private:
   const uint64_t seed_;
-  mutable std::mutex mu_;
-  std::array<FaultRates, kNumFaultPoints> rates_;
-  std::array<uint64_t, kNumFaultPoints> streams_;  // splitmix64 state per point.
-  std::array<int64_t, kNumFaultPoints> ops_;       // Operation counter per point.
-  int64_t decisions_ = 0;
-  int64_t injected_ = 0;
+  mutable Mutex mu_;
+  std::array<FaultRates, kNumFaultPoints> rates_ DCP_GUARDED_BY(mu_);
+  // splitmix64 state per point.
+  std::array<uint64_t, kNumFaultPoints> streams_ DCP_GUARDED_BY(mu_);
+  // Operation counter per point.
+  std::array<int64_t, kNumFaultPoints> ops_ DCP_GUARDED_BY(mu_);
+  int64_t decisions_ DCP_GUARDED_BY(mu_) = 0;
+  int64_t injected_ DCP_GUARDED_BY(mu_) = 0;
 };
 
 // Process-global injector consulted by ConnectSocket and Listener::Accept: when

@@ -94,7 +94,7 @@ Status PlanClient::EnsureConnectedLocked() {
   socket_ = std::move(socket).value();
   socket_.set_io_timeout_ms(options_.io_timeout_ms);
   connected_ = true;
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(stats_mu_);
   ++stats_.reconnects;
   return Status::Ok();
 }
@@ -105,7 +105,7 @@ StatusOr<Frame> PlanClient::Roundtrip(FrameType request_type,
   const uint64_t max_payload = options_.max_frame_payload_bytes == 0
                                    ? kMaxFramePayloadBytes
                                    : options_.max_frame_payload_bytes;
-  std::lock_guard<std::mutex> lock(io_mu_);
+  MutexLock lock(io_mu_);
   const int max_attempts = std::max(1, options_.retry.max_attempts);
   Status failure = Status::Ok();
   for (int attempt = 0; attempt < max_attempts; ++attempt) {
@@ -114,7 +114,7 @@ StatusOr<Frame> PlanClient::Roundtrip(FrameType request_type,
       // runs on a fresh connection (the failed socket was closed below).
       std::this_thread::sleep_for(
           std::chrono::milliseconds(RetryBackoffMs(options_.retry, attempt)));
-      std::lock_guard<std::mutex> stats_lock(stats_mu_);
+      MutexLock stats_lock(stats_mu_);
       ++stats_.retries;
     }
     Status connect = EnsureConnectedLocked();
@@ -126,7 +126,7 @@ StatusOr<Frame> PlanClient::Roundtrip(FrameType request_type,
       continue;
     }
     {
-      std::lock_guard<std::mutex> stats_lock(stats_mu_);
+      MutexLock stats_lock(stats_mu_);
       ++stats_.rpcs_sent;
     }
     Status sent = WriteFrame(socket_, request_type, payload);
@@ -151,7 +151,7 @@ StatusOr<Frame> PlanClient::Roundtrip(FrameType request_type,
       failure = reply.status();
     }
     {
-      std::lock_guard<std::mutex> stats_lock(stats_mu_);
+      MutexLock stats_lock(stats_mu_);
       ++stats_.rpc_errors;
     }
     connected_ = false;
@@ -183,7 +183,7 @@ PlanSignature PlanClient::CacheKey(const std::vector<int64_t>& seqlens,
 }
 
 PlanHandle PlanClient::CacheLookup(const PlanSignature& key) {
-  std::lock_guard<std::mutex> lock(cache_mu_);
+  MutexLock lock(cache_mu_);
   const auto it = cache_.find(key);
   if (it == cache_.end()) {
     return nullptr;
@@ -196,7 +196,7 @@ void PlanClient::CacheInsert(const PlanSignature& key, PlanHandle handle) {
   if (options_.cache_capacity <= 0) {
     return;
   }
-  std::lock_guard<std::mutex> lock(cache_mu_);
+  MutexLock lock(cache_mu_);
   if (cache_.find(key) != cache_.end()) {
     return;  // A concurrent caller already planted it.
   }
@@ -214,10 +214,10 @@ StatusOr<PlanHandle> PlanClient::PlanWithBlockSize(const std::vector<int64_t>& s
   const PlanSignature key = CacheKey(seqlens, mask_spec, block_size);
   if (PlanHandle cached = CacheLookup(key)) {
     {
-      std::lock_guard<std::mutex> lock(cache_mu_);
+      MutexLock lock(cache_mu_);
       last_source_ = PlanServeSource::kClientCache;
     }
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(stats_mu_);
     ++stats_.cache_hits;
     return cached;
   }
@@ -271,7 +271,7 @@ StatusOr<PlanHandle> PlanClient::PlanWithBlockSize(const std::vector<int64_t>& s
   PlanHandle handle = std::move(compiled);
   CacheInsert(key, handle);
   {
-    std::lock_guard<std::mutex> lock(cache_mu_);
+    MutexLock lock(cache_mu_);
     last_source_ = response.value().source;
   }
   return handle;
@@ -288,7 +288,7 @@ StatusOr<PlanHandle> PlanClient::PlanForLoader(const std::vector<int64_t>& seqle
 }
 
 PlanServeSource PlanClient::last_source() const {
-  std::lock_guard<std::mutex> lock(cache_mu_);
+  MutexLock lock(cache_mu_);
   return last_source_;
 }
 
@@ -309,12 +309,12 @@ StatusOr<PlanServiceStatsResponse> PlanClient::ServerStats(
 }
 
 PlanClientStats PlanClient::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(stats_mu_);
   return stats_;
 }
 
 void PlanClient::ClearCache() {
-  std::lock_guard<std::mutex> lock(cache_mu_);
+  MutexLock lock(cache_mu_);
   lru_.clear();
   cache_.clear();
 }

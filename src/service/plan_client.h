@@ -19,12 +19,12 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "core/engine.h"
 #include "core/plan_signature.h"
@@ -136,7 +136,7 @@ class PlanClient : public Planner {
                             FrameType expected_response);
   // Decodes a kErrorResponse frame into the server's status.
   static Status DecodeErrorFrame(const Frame& frame);
-  Status EnsureConnectedLocked();
+  Status EnsureConnectedLocked() DCP_REQUIRES(io_mu_);
 
   // Client cache key: a signature over the full request content. Distinct tenants can
   // never alias (the tenant name is folded in), so one client reused across tenants
@@ -150,20 +150,20 @@ class PlanClient : public Planner {
   const PlanClientOptions options_;
   std::unique_ptr<ThreadPool> pool_;
 
-  std::mutex io_mu_;  // Serializes RPCs on the single connection.
-  Socket socket_;
-  bool connected_ = false;
+  Mutex io_mu_;  // Serializes RPCs on the single connection.
+  Socket socket_ DCP_GUARDED_BY(io_mu_);
+  bool connected_ DCP_GUARDED_BY(io_mu_) = false;
 
-  mutable std::mutex cache_mu_;
-  std::list<std::pair<PlanSignature, PlanHandle>> lru_;
+  mutable Mutex cache_mu_;
+  std::list<std::pair<PlanSignature, PlanHandle>> lru_ DCP_GUARDED_BY(cache_mu_);
   std::unordered_map<PlanSignature,
                      std::list<std::pair<PlanSignature, PlanHandle>>::iterator,
                      PlanSignatureHash>
-      cache_;
-  PlanServeSource last_source_ = PlanServeSource::kPlanned;
+      cache_ DCP_GUARDED_BY(cache_mu_);
+  PlanServeSource last_source_ DCP_GUARDED_BY(cache_mu_) = PlanServeSource::kPlanned;
 
-  mutable std::mutex stats_mu_;
-  PlanClientStats stats_;
+  mutable Mutex stats_mu_;
+  PlanClientStats stats_ DCP_GUARDED_BY(stats_mu_);
 };
 
 }  // namespace dcp

@@ -27,12 +27,10 @@
 #define DCP_SERVICE_PLAN_SERVER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <thread>
@@ -41,6 +39,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "runtime/instructions.h"
 #include "service/event_loop.h"
@@ -153,10 +152,17 @@ class PlanServer {
 
   TenantRegistry& registry() { return *registry_; }
 
-  // IO loop threads actually running (0 when stopped).
-  int io_thread_count() const { return static_cast<int>(loops_.size()); }
+  // IO loop threads actually running (0 when stopped). Published atomically in
+  // Start()/Stop() so stats pollers never race Stop() clearing loops_.
+  int io_thread_count() const {
+    return io_thread_count_.load(std::memory_order_acquire);
+  }
   // The readiness backend the loops selected; meaningful only while running.
-  Poller::Backend poller_backend() const;
+  // Same publication discipline as io_thread_count().
+  Poller::Backend poller_backend() const {
+    return static_cast<Poller::Backend>(
+        poller_backend_.load(std::memory_order_acquire));
+  }
 
  private:
   // One accepted connection. The fields below `mu` are shared between the owning loop
@@ -173,11 +179,14 @@ class PlanServer {
     bool registered_write = false;  // Poller currently watches writability.
     size_t front_offset = 0;        // Bytes of outbox.front() already written.
 
-    std::mutex mu;
-    std::deque<FrameParts> outbox;  // Only the loop thread pops; workers only push.
-    size_t outbox_bytes = 0;
-    bool notified = false;  // A pointer to this conn sits in the loop's notify queue.
-    bool dead = false;      // No more responses accepted; loop closes when it sees it.
+    Mutex mu;
+    // Only the loop thread pops; workers only push.
+    std::deque<FrameParts> outbox DCP_GUARDED_BY(mu);
+    size_t outbox_bytes DCP_GUARDED_BY(mu) = 0;
+    // A pointer to this conn sits in the loop's notify queue.
+    bool notified DCP_GUARDED_BY(mu) = false;
+    // No more responses accepted; loop closes when it sees it.
+    bool dead DCP_GUARDED_BY(mu) = false;
     // Worker jobs still holding this connection; it is only freed at zero, so a
     // response enqueue can never race connection destruction.
     std::atomic<int> pending_jobs{0};
@@ -193,9 +202,11 @@ class PlanServer {
     int wake_fd = -1;  // eventfd; workers and Stop() write, the loop drains.
     std::thread thread;
 
-    std::mutex mu;
-    std::vector<Connection*> notify_queue;  // Conns with freshly queued responses.
-    std::vector<std::unique_ptr<Connection>> incoming;  // Routed by the accept loop.
+    Mutex mu;
+    // Conns with freshly queued responses.
+    std::vector<Connection*> notify_queue DCP_GUARDED_BY(mu);
+    // Routed by the accept loop.
+    std::vector<std::unique_ptr<Connection>> incoming DCP_GUARDED_BY(mu);
 
     std::unordered_map<int, std::unique_ptr<Connection>> conns;
     // Closed conns still pinned by worker jobs or a queued notification.
@@ -273,39 +284,45 @@ class PlanServer {
   std::thread gossip_thread_;
   std::atomic<bool> running_{false};
   std::atomic<int> in_flight_{0};
+  // Snapshots of loops_ facts for lock-free stats pollers (see io_thread_count()).
+  std::atomic<int> io_thread_count_{0};
+  std::atomic<int> poller_backend_{static_cast<int>(Poller::Backend::kPoll)};
 
-  std::mutex gossip_mu_;  // Pairs with gossip_cv_ for an interruptible interval sleep.
-  std::condition_variable gossip_cv_;
+  Mutex gossip_mu_;  // Pairs with gossip_cv_ for an interruptible interval sleep.
+  CondVar gossip_cv_;
 
-  std::mutex record_cache_mu_;
-  std::list<std::pair<PlanSignature, std::shared_ptr<const std::string>>> record_lru_;
+  Mutex record_cache_mu_;
+  std::list<std::pair<PlanSignature, std::shared_ptr<const std::string>>> record_lru_
+      DCP_GUARDED_BY(record_cache_mu_);
   std::unordered_map<
       PlanSignature,
       std::list<std::pair<PlanSignature, std::shared_ptr<const std::string>>>::iterator,
       PlanSignatureHash>
-      record_cache_;
+      record_cache_ DCP_GUARDED_BY(record_cache_mu_);
 
   // Records other replicas computed, pulled by gossip; signature-keyed, LRU-bounded.
-  std::mutex replica_cache_mu_;
-  std::list<std::pair<PlanSignature, std::shared_ptr<const std::string>>> replica_lru_;
+  Mutex replica_cache_mu_;
+  std::list<std::pair<PlanSignature, std::shared_ptr<const std::string>>> replica_lru_
+      DCP_GUARDED_BY(replica_cache_mu_);
   std::unordered_map<
       PlanSignature,
       std::list<std::pair<PlanSignature, std::shared_ptr<const std::string>>>::iterator,
       PlanSignatureHash>
-      replica_cache_;
+      replica_cache_ DCP_GUARDED_BY(replica_cache_mu_);
 
   // Per-tenant in-flight counts (admission quota); keyed only for registered tenants.
-  std::mutex quota_mu_;
-  std::unordered_map<std::string, int> tenant_inflight_;
+  Mutex quota_mu_;
+  std::unordered_map<std::string, int> tenant_inflight_ DCP_GUARDED_BY(quota_mu_);
 
-  mutable std::mutex stats_mu_;
-  PlanServerStats stats_;
+  mutable Mutex stats_mu_;
+  PlanServerStats stats_ DCP_GUARDED_BY(stats_mu_);
   struct TenantCounters {
     int64_t requests = 0;
     int64_t plan_errors = 0;
     int64_t shed_quota = 0;
   };
-  std::unordered_map<std::string, TenantCounters> tenant_counters_;
+  std::unordered_map<std::string, TenantCounters> tenant_counters_
+      DCP_GUARDED_BY(stats_mu_);
 };
 
 }  // namespace dcp

@@ -2,11 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
-#include <condition_variable>
 #include <thread>
 #include <utility>
 
 #include "common/check.h"
+#include "common/thread_annotations.h"
 
 namespace dcp {
 namespace {
@@ -74,24 +74,26 @@ struct ReplicaSet::HedgedCall {
   MaskSpec mask_spec;
   int64_t block_size = 0;
 
-  std::mutex mu;
-  std::condition_variable cv;
-  int launched = 0;
-  int finished = 0;
-  bool done = false;
-  PlanHandle result;       // Set by the first successful attempt.
-  bool winner_was_hedge = false;
-  Status fatal = Status::Ok();       // Non-retryable server rejection: stop everything.
-  Status last_error = Status::Ok();  // Most recent transport-level failure.
+  Mutex mu;
+  CondVar cv;
+  int launched DCP_GUARDED_BY(mu) = 0;
+  int finished DCP_GUARDED_BY(mu) = 0;
+  bool done DCP_GUARDED_BY(mu) = false;
+  PlanHandle result DCP_GUARDED_BY(mu);  // Set by the first successful attempt.
+  bool winner_was_hedge DCP_GUARDED_BY(mu) = false;
+  // Non-retryable server rejection: stop everything.
+  Status fatal DCP_GUARDED_BY(mu) = Status::Ok();
+  // Most recent transport-level failure.
+  Status last_error DCP_GUARDED_BY(mu) = Status::Ok();
 };
 
 // Count of attempt threads still running, shared so the last finisher may outlive the
 // ReplicaSet object itself (the destructor waits for zero before tearing down, and the
 // shared_ptr keeps this block alive regardless of destruction order).
 struct ReplicaSet::Outstanding {
-  std::mutex mu;
-  std::condition_variable cv;
-  int count = 0;
+  Mutex mu;
+  CondVar cv;
+  int count DCP_GUARDED_BY(mu) = 0;
 };
 
 ReplicaSet::ReplicaSet(std::vector<ServiceAddress> addresses,
@@ -128,8 +130,10 @@ ReplicaSet::~ReplicaSet() {
   // Wait out loser attempts: they hold shared_ptrs to replicas and to the call state,
   // but they also bump this set's counters, so none may run past this point. Each is
   // bounded by the connect/io timeouts, so this terminates.
-  std::unique_lock<std::mutex> lock(outstanding_->mu);
-  outstanding_->cv.wait(lock, [this] { return outstanding_->count == 0; });
+  MutexLock lock(outstanding_->mu);
+  while (outstanding_->count != 0) {
+    outstanding_->cv.Wait(outstanding_->mu);
+  }
 }
 
 std::vector<size_t> ReplicaSet::RouteOrder(const std::vector<int64_t>& seqlens,
@@ -163,7 +167,7 @@ std::vector<size_t> ReplicaSet::RouteOrder(const std::vector<int64_t>& seqlens,
 int64_t ReplicaSet::HedgeDelayMs(const Replica& replica) const {
   std::vector<int64_t> samples;
   {
-    std::lock_guard<std::mutex> lock(replica.mu);
+    MutexLock lock(replica.mu);
     samples = replica.latencies_ms;
   }
   if (samples.size() < kMinLatencySamples) {
@@ -179,7 +183,7 @@ int64_t ReplicaSet::HedgeDelayMs(const Replica& replica) const {
 }
 
 bool ReplicaSet::HedgeBudgetAllows() {
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(stats_mu_);
   const double allowance =
       static_cast<double>(options_.hedge_budget_burst) +
       options_.hedge_budget_fraction * static_cast<double>(stats_.requests);
@@ -195,7 +199,7 @@ StatusOr<PlanHandle> ReplicaSet::AttemptOnReplica(Replica& replica,
   // serializes its own I/O), so a slow exchange never blocks health snapshots.
   PlanClient* client = nullptr;
   {
-    std::lock_guard<std::mutex> lock(replica.mu);
+    MutexLock lock(replica.mu);
     ++replica.rpcs;
     if (replica.client == nullptr) {
       PlanClientOptions client_options;
@@ -225,7 +229,7 @@ StatusOr<PlanHandle> ReplicaSet::AttemptOnReplica(Replica& replica,
   StatusOr<PlanHandle> result =
       client->PlanWithBlockSize(seqlens, mask_spec, block_size);
   const int64_t elapsed_ms = NowMs() - started_ms;
-  std::lock_guard<std::mutex> lock(replica.mu);
+  MutexLock lock(replica.mu);
   if (result.ok()) {
     replica.cooldown.RecordSuccess();
     if (replica.latencies_ms.size() < kLatencyRingSize) {
@@ -250,20 +254,19 @@ StatusOr<PlanHandle> ReplicaSet::AttemptOnReplica(Replica& replica,
 void ReplicaSet::LaunchAttempt(const std::shared_ptr<HedgedCall>& call,
                                const std::shared_ptr<Replica>& replica,
                                bool is_hedge) {
-  ++call->launched;  // Caller holds call->mu.
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(stats_mu_);
     ++stats_.rpcs_sent;
   }
   {
-    std::lock_guard<std::mutex> lock(outstanding_->mu);
+    MutexLock lock(outstanding_->mu);
     ++outstanding_->count;
   }
   std::thread([this, call, replica, is_hedge, outstanding = outstanding_] {
     StatusOr<PlanHandle> result = AttemptOnReplica(
         *replica, call->seqlens, call->mask_spec, call->block_size);
     {
-      std::lock_guard<std::mutex> lock(call->mu);
+      MutexLock lock(call->mu);
       ++call->finished;
       if (result.ok()) {
         if (!call->done) {
@@ -276,26 +279,26 @@ void ReplicaSet::LaunchAttempt(const std::shared_ptr<HedgedCall>& call,
       } else {
         call->last_error = result.status();
       }
-      call->cv.notify_all();
+      call->cv.NotifyAll();
     }
     // Past this point only `outstanding` (shared_ptr) is touched: the set's destructor
     // may run as soon as count hits zero.
-    std::lock_guard<std::mutex> lock(outstanding->mu);
+    MutexLock lock(outstanding->mu);
     --outstanding->count;
-    outstanding->cv.notify_all();
+    outstanding->cv.NotifyAll();
   }).detach();
 }
 
 StatusOr<PlanHandle> ReplicaSet::LocalFallbackPlan(
     const std::vector<int64_t>& seqlens, const MaskSpec& mask_spec,
     int64_t block_size) {
-  std::lock_guard<std::mutex> lock(fallback_mu_);
+  MutexLock lock(fallback_mu_);
   if (fallback_engine_ == nullptr) {
     fallback_engine_ = std::make_unique<Engine>(options_.fallback_cluster,
                                                 options_.fallback_options);
   }
   {
-    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    MutexLock stats_lock(stats_mu_);
     ++stats_.local_fallbacks;
   }
   StatusOr<Engine::PlannedOutcome> planned =
@@ -310,13 +313,13 @@ StatusOr<PlanHandle> ReplicaSet::PlanWithBlockSize(
     const std::vector<int64_t>& seqlens, const MaskSpec& mask_spec,
     int64_t block_size) {
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(stats_mu_);
     ++stats_.requests;
   }
   const PlanSignature key =
       PlanRequestCacheKey(options_.tenant, seqlens, mask_spec, block_size);
   if (PlanHandle cached = CacheLookup(key)) {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(stats_mu_);
     ++stats_.cache_hits;
     return cached;
   }
@@ -327,7 +330,7 @@ StatusOr<PlanHandle> ReplicaSet::PlanWithBlockSize(
   for (size_t index : order) {
     bool available;
     {
-      std::lock_guard<std::mutex> lock(replicas_[index]->mu);
+      MutexLock lock(replicas_[index]->mu);
       available = replicas_[index]->cooldown.Available(now);
     }
     if (available) {
@@ -348,21 +351,34 @@ StatusOr<PlanHandle> ReplicaSet::PlanWithBlockSize(
   const int64_t hedge_delay = HedgeDelayMs(*replicas_[live[0]]);
   size_t cursor = 0;
   {
-    std::unique_lock<std::mutex> lock(call->mu);
+    MutexLock lock(call->mu);
+    ++call->launched;
     LaunchAttempt(call, replicas_[live[cursor]], /*is_hedge=*/false);
     ++cursor;
-    const auto resolved = [&call] {
-      return call->done || !call->fatal.ok() || call->finished == call->launched;
-    };
+    // "Resolved" below means: a win, a fatal rejection, or every launched attempt has
+    // reported back. Written as inline wait loops rather than a predicate lambda —
+    // the thread-safety analysis cannot carry the held-lock fact into a lambda body.
+    //
     // Hedge window: give the routed replica its p99 budget, then (once, budget
     // permitting) race the next replica in hash order.
     if (options_.hedging && cursor < live.size()) {
-      call->cv.wait_for(lock, std::chrono::milliseconds(hedge_delay), resolved);
-      if (!resolved() && HedgeBudgetAllows()) {
+      const auto deadline = std::chrono::steady_clock::now() +
+                            std::chrono::milliseconds(hedge_delay);
+      while (!call->done && call->fatal.ok() && call->finished != call->launched) {
+        const auto now = std::chrono::steady_clock::now();
+        if (now >= deadline) {
+          break;
+        }
+        call->cv.WaitFor(call->mu, deadline - now);
+      }
+      const bool resolved =
+          call->done || !call->fatal.ok() || call->finished == call->launched;
+      if (!resolved && HedgeBudgetAllows()) {
         {
-          std::lock_guard<std::mutex> stats_lock(stats_mu_);
+          MutexLock stats_lock(stats_mu_);
           ++stats_.hedges_sent;
         }
+        ++call->launched;
         LaunchAttempt(call, replicas_[live[cursor]], /*is_hedge=*/true);
         ++cursor;
       }
@@ -370,7 +386,9 @@ StatusOr<PlanHandle> ReplicaSet::PlanWithBlockSize(
     // Failover loop: every time all launched attempts have failed, try the next
     // replica in hash order until a win, a fatal rejection, or fleet exhaustion.
     while (true) {
-      call->cv.wait(lock, resolved);
+      while (!call->done && call->fatal.ok() && call->finished != call->launched) {
+        call->cv.Wait(call->mu);
+      }
       if (call->done || !call->fatal.ok()) {
         break;
       }
@@ -378,19 +396,20 @@ StatusOr<PlanHandle> ReplicaSet::PlanWithBlockSize(
         break;
       }
       {
-        std::lock_guard<std::mutex> stats_lock(stats_mu_);
+        MutexLock stats_lock(stats_mu_);
         ++stats_.failovers;
       }
+      ++call->launched;
       LaunchAttempt(call, replicas_[live[cursor]], /*is_hedge=*/false);
       ++cursor;
     }
     if (call->done) {
       if (call->winner_was_hedge) {
-        std::lock_guard<std::mutex> stats_lock(stats_mu_);
+        MutexLock stats_lock(stats_mu_);
         ++stats_.hedge_wins;
       }
       PlanHandle handle = call->result;
-      lock.unlock();
+      lock.Unlock();
       CacheInsert(key, handle);
       return handle;
     }
@@ -419,7 +438,7 @@ StatusOr<PlanHandle> ReplicaSet::PlanForLoader(const std::vector<int64_t>& seqle
 }
 
 PlanHandle ReplicaSet::CacheLookup(const PlanSignature& key) {
-  std::lock_guard<std::mutex> lock(cache_mu_);
+  MutexLock lock(cache_mu_);
   const auto it = cache_.find(key);
   if (it == cache_.end()) {
     return nullptr;
@@ -432,7 +451,7 @@ void ReplicaSet::CacheInsert(const PlanSignature& key, PlanHandle handle) {
   if (options_.cache_capacity <= 0) {
     return;
   }
-  std::lock_guard<std::mutex> lock(cache_mu_);
+  MutexLock lock(cache_mu_);
   if (cache_.find(key) != cache_.end()) {
     return;
   }
@@ -451,7 +470,7 @@ ReplicaHealth ReplicaSet::health(size_t index) const {
   health.address = replica.address;
   const int64_t now = NowMs();
   {
-    std::lock_guard<std::mutex> lock(replica.mu);
+    MutexLock lock(replica.mu);
     health.available = replica.cooldown.Available(now);
     health.consecutive_failures = replica.cooldown.consecutive_failures();
     health.backoff_ms = replica.cooldown.backoff_ms();
@@ -463,17 +482,17 @@ ReplicaHealth ReplicaSet::health(size_t index) const {
 }
 
 ReplicaSetStats ReplicaSet::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(stats_mu_);
   ReplicaSetStats snapshot = stats_;
   for (const auto& replica : replicas_) {
-    std::lock_guard<std::mutex> replica_lock(replica->mu);
+    MutexLock replica_lock(replica->mu);
     snapshot.cooldowns_entered += replica->cooldowns_entered;
   }
   return snapshot;
 }
 
 void ReplicaSet::ClearCache() {
-  std::lock_guard<std::mutex> lock(cache_mu_);
+  MutexLock lock(cache_mu_);
   lru_.clear();
   cache_.clear();
 }

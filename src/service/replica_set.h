@@ -30,12 +30,12 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "core/engine.h"
 #include "core/plan_signature.h"
@@ -178,16 +178,17 @@ class ReplicaSet : public Planner {
   // request that launched them (bounded by the socket timeouts) and may touch this
   // after the request returned.
   struct Replica {
-    ServiceAddress address;
-    uint64_t addr_hash = 0;
-    mutable std::mutex mu;
-    std::unique_ptr<PlanClient> client;
-    ReplicaCooldown cooldown;
-    std::vector<int64_t> latencies_ms;  // Ring buffer, newest overwrites oldest.
-    size_t latency_next = 0;
-    int64_t rpcs = 0;
-    int64_t failures = 0;
-    int64_t cooldowns_entered = 0;
+    ServiceAddress address;      // Immutable after construction.
+    uint64_t addr_hash = 0;      // Immutable after construction.
+    mutable Mutex mu;
+    std::unique_ptr<PlanClient> client DCP_GUARDED_BY(mu);
+    ReplicaCooldown cooldown DCP_GUARDED_BY(mu);
+    // Ring buffer, newest overwrites oldest.
+    std::vector<int64_t> latencies_ms DCP_GUARDED_BY(mu);
+    size_t latency_next DCP_GUARDED_BY(mu) = 0;
+    int64_t rpcs DCP_GUARDED_BY(mu) = 0;
+    int64_t failures DCP_GUARDED_BY(mu) = 0;
+    int64_t cooldowns_entered DCP_GUARDED_BY(mu) = 0;
   };
 
   // Shared state of one (possibly hedged, possibly failed-over) logical request.
@@ -195,7 +196,9 @@ class ReplicaSet : public Planner {
 
   ReplicaSet(std::vector<ServiceAddress> addresses, ReplicaSetOptions options);
 
-  // Launches one attempt on `replica` in a detached thread. Caller holds call->mu.
+  // Launches one attempt on `replica` in a detached thread. Callers bump
+  // call->launched themselves (under call->mu — HedgedCall is .cc-local, so the
+  // requirement cannot be annotated here).
   void LaunchAttempt(const std::shared_ptr<HedgedCall>& call,
                      const std::shared_ptr<Replica>& replica, bool is_hedge);
   // One blocking RPC on one replica (connects lazily); updates the replica's cooldown,
@@ -221,18 +224,18 @@ class ReplicaSet : public Planner {
   struct Outstanding;
   std::shared_ptr<Outstanding> outstanding_;
 
-  mutable std::mutex cache_mu_;
-  std::list<std::pair<PlanSignature, PlanHandle>> lru_;
+  mutable Mutex cache_mu_;
+  std::list<std::pair<PlanSignature, PlanHandle>> lru_ DCP_GUARDED_BY(cache_mu_);
   std::unordered_map<PlanSignature,
                      std::list<std::pair<PlanSignature, PlanHandle>>::iterator,
                      PlanSignatureHash>
-      cache_;
+      cache_ DCP_GUARDED_BY(cache_mu_);
 
-  std::mutex fallback_mu_;
-  std::unique_ptr<Engine> fallback_engine_;
+  Mutex fallback_mu_;
+  std::unique_ptr<Engine> fallback_engine_ DCP_GUARDED_BY(fallback_mu_);
 
-  mutable std::mutex stats_mu_;
-  ReplicaSetStats stats_;
+  mutable Mutex stats_mu_;
+  ReplicaSetStats stats_ DCP_GUARDED_BY(stats_mu_);
 };
 
 }  // namespace dcp

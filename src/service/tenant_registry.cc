@@ -14,7 +14,7 @@ Status TenantRegistry::Register(const TenantConfig& config) {
   // Engine construction (store warm-load included) happens outside the lock; only the
   // map insert is serialized.
   auto engine = std::make_shared<Engine>(config.cluster, config.options);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto [it, inserted] = tenants_.emplace(config.name, std::move(engine));
   (void)it;
   if (!inserted) {
@@ -24,7 +24,7 @@ Status TenantRegistry::Register(const TenantConfig& config) {
 }
 
 std::shared_ptr<Engine> TenantRegistry::Find(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto it = tenants_.find(name);
   return it == tenants_.end() ? nullptr : it->second;
 }
@@ -32,7 +32,7 @@ std::shared_ptr<Engine> TenantRegistry::Find(const std::string& name) const {
 std::vector<std::string> TenantRegistry::Names() const {
   std::vector<std::string> names;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     names.reserve(tenants_.size());
     for (const auto& [name, engine] : tenants_) {
       names.push_back(name);

@@ -8,12 +8,12 @@
 #define DCP_SERVICE_TENANT_REGISTRY_H_
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "core/engine.h"
 #include "runtime/cluster.h"
 
@@ -42,8 +42,9 @@ class TenantRegistry {
   std::vector<std::string> Names() const;  // Sorted, for deterministic stats output.
 
  private:
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, std::shared_ptr<Engine>> tenants_;
+  mutable Mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<Engine>> tenants_
+      DCP_GUARDED_BY(mu_);
 };
 
 }  // namespace dcp

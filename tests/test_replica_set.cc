@@ -255,6 +255,9 @@ TEST(ReplicaSet, KillingThePrimaryMidRunLosesZeroRequests) {
   options.tenant = "prod";
   options.cache_capacity = 0;  // Every request crosses the wire.
   options.hedging = false;
+  // The final health check asserts the victim is still cooling down; the default 50ms
+  // cooldown can expire mid-test under sanitizer slowdown, so pin it far out.
+  options.cooldown.initial_ms = 60000;
   auto set = ReplicaSet::Create(addresses, options).value();
 
   const MaskSpec mask = MaskSpec::Causal();
