@@ -1,0 +1,26 @@
+"""dcp_analyze — cross-file semantic analyses the compiler and dcp_lint cannot do.
+
+dcp_lint (scripts/dcp_lint.py) checks single lines against repo invariants; the
+clang thread-safety build checks single translation units against lock
+annotations.  Neither reasons *across* files: nothing proves two locks are never
+taken in opposite orders, that a serialized struct's every field round-trips
+through every codec flavor, that every planner knob the planner reads is folded
+into the PlanSignature, or that every FrameType has a server-side handler.
+This package does, with four analyses over a lightweight C++ declaration index:
+
+  lock-order       Harvests dcp::Mutex members, MutexLock sites and
+                   DCP_REQUIRES/DCP_ACQUIRED_BEFORE annotations into a lock
+                   acquisition graph; flags cycles and undocumented nesting.
+  codec            Diffs declared struct fields against the fields each codec
+                   direction/flavor actually touches, and pins the inventory.
+  signature        Cross-references planner-knob/cost-model fields read on
+                   planning paths against PlanSignatureBuilder calls.
+  frame-dispatch   Every FrameType enumerator must be dispatched (requests) or
+                   sent (responses) by plan_server.cc.
+
+Waiver syntax is shared with dcp_lint: a finding is suppressed when its line or
+the line directly above carries `// dcp-analyze: allow(<rule>)` with a reason.
+`--self-test` runs every analysis over seeded-bug and clean fixture trees.
+"""
+
+ANALYSES = ("lock-order", "codec", "signature", "frame-dispatch")

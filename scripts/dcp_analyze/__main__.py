@@ -1,0 +1,139 @@
+"""CLI: `python3 scripts/dcp_analyze [--root DIR] [--self-test] ...`.
+
+Exit code 0 when every analysis is clean (or waived), 1 otherwise — same
+contract as dcp_lint, so check.sh and ctest can gate on it directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+import codec
+import dispatch
+import lock_order
+import signature
+from cpp_model import SourceTree
+from waivers import split_waived
+
+PACKAGE_DIR = Path(__file__).resolve().parent
+ANALYSES = {
+    "lock-order": lock_order.run,
+    "codec": codec.run,
+    "signature": signature.run,
+    "frame-dispatch": dispatch.run,
+}
+
+
+def analyze(root: Path, only: str | None = None, verbose: bool = False,
+            update_inventory: bool = False) -> int:
+    tree = SourceTree(root)
+    notes: list[str] = []
+    findings = []
+    for name, run in ANALYSES.items():
+        if only and name != only:
+            continue
+        findings += run(tree, notes)
+    # The pinned wire-field inventory only exists for the real repo; fixture
+    # trees (and bare checkouts before the first --update-inventory) skip it.
+    inv_path = root / "scripts" / "dcp_analyze" / "field_inventory.json"
+    if update_inventory:
+        inv_path.write_text(
+            json.dumps(codec.compute_inventory(tree), indent=2) + "\n")
+        print(f"dcp_analyze: wrote {inv_path}")
+    elif inv_path.exists() and (only is None or only == "codec"):
+        findings += codec.check_inventory(tree, inv_path)
+    active, waived = split_waived(findings, tree.files)
+    active.sort(key=lambda f: f.sort_key())
+    for f in active:
+        print(f)
+    if verbose:
+        for f in waived:
+            print(f"waived: {f}")
+        for n in notes:
+            print(f"note: {n}")
+    if active:
+        print(f"dcp_analyze: {len(active)} finding(s) "
+              f"({len(waived)} waived)", file=sys.stderr)
+        return 1
+    print(f"dcp_analyze: clean ({len(waived)} finding(s) waived)")
+    return 0
+
+
+def self_test(verbose: bool = False) -> int:
+    """Run every analysis over the fixture trees under fixtures/.
+
+    A fixture is a directory with a src/ tree and an expect.txt of
+    `<rule> <file>` lines (one per expected active finding; empty or missing
+    for clean fixtures).  Seeded fixtures must produce exactly the expected
+    multiset; clean fixtures must produce nothing.
+    """
+    fixtures = sorted((PACKAGE_DIR / "fixtures").iterdir())
+    failures = 0
+    for fx in fixtures:
+        if not (fx / "src").is_dir():
+            continue
+        tree = SourceTree(fx)
+        findings = []
+        for run in ANALYSES.values():
+            findings += run(tree, None)
+        active, waived = split_waived(findings, tree.files)
+        got = sorted((f.rule, f.file) for f in active)
+        expect_path = fx / "expect.txt"
+        expected = []
+        if expect_path.exists():
+            for line in expect_path.read_text().splitlines():
+                line = line.split("#")[0].strip()
+                if line:
+                    rule, file = line.split(None, 1)
+                    expected.append((rule, file.strip()))
+        expected.sort()
+        if got == expected:
+            print(f"dcp_analyze self-test: {fx.name}: OK "
+                  f"({len(got)} finding(s), {len(waived)} waived)")
+            if verbose:
+                for f in active:
+                    print(f"    {f}")
+        else:
+            failures += 1
+            print(f"dcp_analyze self-test: {fx.name}: FAIL", file=sys.stderr)
+            for r in sorted(set(expected) - set(got)):
+                print(f"    missing expected finding: {r}", file=sys.stderr)
+            for r in sorted(set(got) - set(expected)):
+                print(f"    unexpected finding: {r}", file=sys.stderr)
+            for f in active:
+                print(f"    got: {f}", file=sys.stderr)
+    if failures:
+        print(f"dcp_analyze self-test: {failures} fixture(s) FAILED",
+              file=sys.stderr)
+        return 1
+    print("dcp_analyze self-test: all fixtures OK")
+    return 0
+
+
+def main() -> int:
+    p = argparse.ArgumentParser(
+        prog="dcp_analyze",
+        description="Cross-file semantic analyses for the DCP tree.")
+    p.add_argument("--root", default=None,
+                   help="repo root (default: the checkout containing this "
+                        "script)")
+    p.add_argument("--self-test", action="store_true",
+                   help="run the seeded-bug and clean fixtures")
+    p.add_argument("--only", choices=sorted(ANALYSES),
+                   help="run a single analysis")
+    p.add_argument("--update-inventory", action="store_true",
+                   help="rewrite the pinned wire-field inventory JSON")
+    p.add_argument("--verbose", action="store_true",
+                   help="also print waived findings and resolution notes")
+    args = p.parse_args()
+    if args.self_test:
+        return self_test(args.verbose)
+    root = Path(args.root) if args.root else PACKAGE_DIR.parent.parent
+    return analyze(root, args.only, args.verbose, args.update_inventory)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,72 @@
+"""Frame-dispatch exhaustiveness: every FrameType has a server-side story.
+
+PR 7 once fixed a missing dispatch arm by hand; this makes it mechanical.
+For every enumerator of `FrameType` (src/service/frame.h):
+
+  * `k<X>Request` must be dispatched by src/service/plan_server.cc — a
+    `case FrameType::k<X>Request` arm or an `== FrameType::k<X>Request`
+    comparison — and its paired `k<X>Response` must exist in the enum and be
+    produced (mentioned) by the server, so every request type gets a
+    type-matched reply.
+  * Every other enumerator (responses, error frames) must be produced by the
+    server somewhere; a frame type nothing ever sends is dead wire surface or
+    a forgotten handler.
+
+Rule: frame-dispatch, reported at the enumerator's declaration line in
+frame.h (waivable there).
+"""
+
+from __future__ import annotations
+
+import re
+
+from cpp_model import SourceTree
+from waivers import Finding
+
+ENUM_NAME = "FrameType"
+ENUM_FILE = "src/service/frame.h"
+SERVER_FILE = "src/service/plan_server.cc"
+
+
+def run(tree: SourceTree, notes: list[str] | None = None) -> list[Finding]:
+    enumerators = tree.enums.get(ENUM_NAME)
+    server = tree.files.get(SERVER_FILE)
+    if not enumerators or server is None:
+        return []
+    text = server.stripped
+    findings = []
+    names = {n for n, _ in enumerators}
+
+    def dispatched(e: str) -> bool:
+        return bool(re.search(
+            r"case\s+FrameType::%s\b|==\s*FrameType::%s\b|FrameType::%s\s*=="
+            % (e, e, e), text))
+
+    def produced(e: str) -> bool:
+        return bool(re.search(r"\bFrameType::%s\b" % e, text))
+
+    for name, line in enumerators:
+        if name.startswith("k") and name.endswith("Request"):
+            if not dispatched(name):
+                findings.append(Finding(
+                    ENUM_FILE, line, "frame-dispatch",
+                    f"FrameType::{name} has no dispatch arm in {SERVER_FILE}; "
+                    f"a client sending it gets no type-matched handling"))
+                continue  # the reply checks below would only restate this
+            pair = name[:-len("Request")] + "Response"
+            if pair not in names:
+                findings.append(Finding(
+                    ENUM_FILE, line, "frame-dispatch",
+                    f"FrameType::{name} has no paired FrameType::{pair} "
+                    f"enumerator"))
+            elif not produced(pair):
+                findings.append(Finding(
+                    ENUM_FILE, line, "frame-dispatch",
+                    f"FrameType::{name} is handled but {SERVER_FILE} never "
+                    f"produces its reply type FrameType::{pair}"))
+        elif not produced(name):
+            findings.append(Finding(
+                ENUM_FILE, line, "frame-dispatch",
+                f"FrameType::{name} is never produced by {SERVER_FILE}; "
+                f"dead frame type or forgotten handler"))
+    return findings

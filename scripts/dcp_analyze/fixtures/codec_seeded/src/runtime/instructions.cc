@@ -1,0 +1,31 @@
+#include "runtime/instructions.h"
+
+namespace dcp {
+
+std::string SerializePlan(const BatchPlan& plan) {
+  std::string out;
+  out += std::to_string(plan.stats.total_bytes);
+  out += std::to_string(plan.stats.num_chunks);
+  return out;
+}
+
+bool DeserializePlan(const std::string& text, BatchPlan* plan) {
+  plan->stats.total_bytes = 0;  // Seeded drift: num_chunks never restored.
+  (void)text;
+  return true;
+}
+
+std::string SerializePlanBinary(const BatchPlan& plan) {
+  std::string out;
+  out += std::to_string(plan.stats.num_chunks);  // Seeded drift: total_bytes never written.
+  return out;
+}
+
+bool DeserializePlanBinary(const std::string& bytes, BatchPlan* plan) {
+  plan->stats.total_bytes = 0;
+  plan->stats.num_chunks = 0;
+  (void)bytes;
+  return true;
+}
+
+}  // namespace dcp

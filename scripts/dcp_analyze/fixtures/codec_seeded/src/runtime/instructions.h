@@ -1,0 +1,25 @@
+// Seeded codec fixture: the text deserializer drops num_chunks and the
+// binary serializer drops total_bytes — each direction must be flagged
+// independently, anchored at the field's declaration line.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dcp {
+
+struct PlanStats {
+  int64_t total_bytes = 0;
+  int64_t num_chunks = 0;
+};
+
+struct BatchPlan {
+  PlanStats stats;
+};
+
+std::string SerializePlan(const BatchPlan& plan);
+bool DeserializePlan(const std::string& text, BatchPlan* plan);
+std::string SerializePlanBinary(const BatchPlan& plan);
+bool DeserializePlanBinary(const std::string& bytes, BatchPlan* plan);
+
+}  // namespace dcp

@@ -1,0 +1,17 @@
+// Clean dispatch fixture: every request has an arm and a produced reply;
+// every non-request enumerator is produced somewhere.
+#pragma once
+
+#include <cstdint>
+
+namespace dcp {
+
+enum class FrameType : uint8_t {
+  kPlanRequest = 1,
+  kPlanResponse = 2,
+  kStatsRequest = 3,
+  kStatsResponse = 4,
+  kError = 5,
+};
+
+}  // namespace dcp

@@ -1,0 +1,19 @@
+#include "service/frame.h"
+
+namespace dcp {
+
+void Handle(FrameType type) {
+  switch (type) {
+    case FrameType::kPlanRequest:
+      Send(FrameType::kPlanResponse);
+      break;
+    case FrameType::kStatsRequest:
+      Send(FrameType::kStatsResponse);
+      break;
+    default:
+      Send(FrameType::kError);
+      break;
+  }
+}
+
+}  // namespace dcp

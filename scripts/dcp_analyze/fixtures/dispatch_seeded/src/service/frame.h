@@ -1,0 +1,17 @@
+// Seeded dispatch fixture: kSyncRequest has no dispatch arm and its reply
+// type kSyncResponse is never produced by the server.
+#pragma once
+
+#include <cstdint>
+
+namespace dcp {
+
+enum class FrameType : uint8_t {
+  kPlanRequest = 1,
+  kPlanResponse = 2,
+  kSyncRequest = 3,
+  kSyncResponse = 4,
+  kError = 5,
+};
+
+}  // namespace dcp

@@ -1,0 +1,17 @@
+#include "service/frame.h"
+
+namespace dcp {
+
+void Handle(FrameType type) {
+  switch (type) {
+    case FrameType::kPlanRequest:
+      Send(FrameType::kPlanResponse);
+      break;
+    // Seeded bug: no arm for kSyncRequest, no kSyncResponse ever sent.
+    default:
+      Send(FrameType::kError);
+      break;
+  }
+}
+
+}  // namespace dcp

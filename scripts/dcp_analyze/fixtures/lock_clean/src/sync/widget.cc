@@ -1,0 +1,37 @@
+#include "sync/widget.h"
+
+#include <thread>
+
+namespace dcp {
+
+void Widget::Refresh() {
+  MutexLock lock(plan_mu_);
+  MutexLock stats(stats_mu_);  // Documented: plan_mu_ before stats_mu_.
+  ++stats_;
+}
+
+int Widget::Snapshot() {
+  MutexLock lock(plan_mu_);
+  MutexLock debug(debug_mu_);  // Leaf waiver on debug_mu_'s declaration.
+  ++debug_hits_;
+  return stats_;
+}
+
+void Widget::Background() {
+  MutexLock lock(stats_mu_);
+  ++stats_;
+  // The lambda runs on its own thread: its plan_mu_ acquisition is NOT
+  // nested under stats_mu_ (that would invert the documented order).
+  std::thread([this] {
+    MutexLock lock(plan_mu_);
+    ++stats_;
+  }).detach();
+}
+
+void Widget::Trace() {
+  // dcp-analyze: allow(lock-native): fixture for the site-waiver path.
+  void* raw = stats_mu_.native();
+  (void)raw;
+}
+
+}  // namespace dcp

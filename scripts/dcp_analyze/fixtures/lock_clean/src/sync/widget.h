@@ -1,0 +1,26 @@
+// Clean lock-order fixture: every nesting edge documented, every escape
+// hatch waived.  Exercises DCP_ACQUIRED_BEFORE, the leaf-lock declaration
+// waiver, the lock-native site waiver, and async-lambda detachment.
+#pragma once
+
+#include "common/thread_annotations.h"
+
+namespace dcp {
+
+class Widget {
+ public:
+  void Refresh();
+  int Snapshot();
+  void Background();
+  void Trace();
+
+ private:
+  Mutex plan_mu_ DCP_ACQUIRED_BEFORE(stats_mu_);
+  Mutex stats_mu_;
+  // dcp-analyze: allow(lock-order): leaf — debug counter, nothing nests under it.
+  Mutex debug_mu_;
+  int stats_ = 0;
+  int debug_hits_ = 0;
+};
+
+}  // namespace dcp

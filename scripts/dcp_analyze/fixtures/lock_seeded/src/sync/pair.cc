@@ -1,0 +1,32 @@
+#include "sync/pair.h"
+
+namespace dcp {
+
+void Alpha::Forward() {
+  MutexLock first(a_mu_);
+  MutexLock second(b_mu_);
+  ++v_;
+}
+
+void Alpha::Backward() {
+  MutexLock first(b_mu_);
+  MutexLock second(a_mu_);  // Inverted: deadlocks against Forward().
+  ++v_;
+}
+
+void Alpha::Escape() {
+  void* raw = a_mu_.native();  // No waiver: must be flagged.
+  (void)raw;
+}
+
+void Beta::Outer() {
+  MutexLock lock(outer_mu_);
+  Inner();  // Nesting through a helper: outer_mu_ -> inner_mu_.
+}
+
+void Beta::Inner() {
+  MutexLock lock(inner_mu_);
+  ++n_;
+}
+
+}  // namespace dcp

@@ -1,0 +1,32 @@
+// Seeded lock-order fixture: an inversion cycle, nesting hidden behind a
+// helper call, and an unwaived native() escape hatch.
+#pragma once
+
+#include "common/thread_annotations.h"
+
+namespace dcp {
+
+class Alpha {
+ public:
+  void Forward();
+  void Backward();
+  void Escape();
+
+ private:
+  Mutex a_mu_;
+  Mutex b_mu_;
+  int v_ = 0;
+};
+
+class Beta {
+ public:
+  void Outer();
+
+ private:
+  void Inner();
+  Mutex outer_mu_;
+  Mutex inner_mu_;
+  int n_ = 0;
+};
+
+}  // namespace dcp

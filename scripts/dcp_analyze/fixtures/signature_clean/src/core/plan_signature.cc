@@ -1,0 +1,12 @@
+#include "hypergraph/planner.h"
+
+namespace dcp {
+
+uint64_t BuildSignature(const PlannerOptions& options) {
+  uint64_t h = 14695981039346656037ull;
+  h = h * 31 + static_cast<uint64_t>(options.block_size);
+  h = h * 31 + static_cast<uint64_t>(options.eps_inter * 1e9);
+  return h;
+}
+
+}  // namespace dcp

@@ -1,0 +1,20 @@
+// Clean signature fixture: every knob read on a planning path is hashed,
+// derived from a hashed field, or waived at its declaration.
+#pragma once
+
+#include <cstdint>
+
+namespace dcp {
+
+struct PlannerOptions {
+  int64_t block_size = 128;
+  double eps_inter = 0.05;
+  // dcp-analyze: allow(signature-coverage): debug-only; never affects the plan.
+  bool verbose = false;
+};
+
+struct PlacementOptions {
+  double eps_inter = 0.0;
+};
+
+}  // namespace dcp

@@ -1,0 +1,13 @@
+#include "hypergraph/planner.h"
+
+namespace dcp {
+
+double Cost(const PlannerOptions& options) {
+  double c = static_cast<double>(options.block_size);
+  if (options.window > 0) {
+    c /= static_cast<double>(options.window);
+  }
+  return c;
+}
+
+}  // namespace dcp

@@ -1,0 +1,14 @@
+// Seeded signature fixture: `window` changes planning decisions but is not
+// hashed — two configs differing only in window collide on one signature.
+#pragma once
+
+#include <cstdint>
+
+namespace dcp {
+
+struct PlannerOptions {
+  int64_t block_size = 128;
+  int64_t window = 0;
+};
+
+}  // namespace dcp

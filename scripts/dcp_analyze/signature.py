@@ -1,0 +1,152 @@
+"""Signature-coverage analysis: every plan-affecting knob must be hashed.
+
+DCP's correctness story is that a plan is a pure function of its
+PlanSignature.  This analysis makes that mechanical: any member of a tracked
+knob/cost-model struct (PlannerOptions, PlacementOptions, ClusterSpec,
+MaskSpec) that planning code *reads* must be either
+
+  hashed   — mentioned through a tracked-typed parameter inside
+             src/core/plan_signature.cc, or
+  derived  — assigned (transitively) from a hashed field, e.g.
+             `placement_options.eps_inter = options.eps_inter` in planner.cc,
+
+otherwise two different configurations can collide on one signature and the
+cache serves a wrong plan.  Rule: signature-coverage, reported at the first
+read site; waivable there or at the field's declaration line.
+
+Reads are member mentions that are not plain assignments' left-hand sides;
+attribution prefers parameter/local variable typing and falls back to "every
+tracked struct declaring that name" (safe: over-attribution can only make the
+check stricter, and shared names are hashed on all owners today).
+"""
+
+from __future__ import annotations
+
+import re
+
+from cpp_model import SourceTree, Function
+from waivers import Finding, allowed
+
+TRACKED = ("PlannerOptions", "PlacementOptions", "ClusterSpec", "MaskSpec")
+SIGNATURE_FILE = "src/core/plan_signature.cc"
+# Planning paths: where a read of an unhashed knob can change the plan.
+READ_SCOPES = ("src/core/", "src/hypergraph/", "src/masks/",
+               "src/runtime/cost_model")
+
+# A mention that is read (excludes `x.f = ...` plain stores; `+=` etc. still
+# read the old value and count).
+_READ_RE = re.compile(r"(?:\.|->)\s*([A-Za-z_]\w*)\b(?!\s*\()(?!\s*=[^=])")
+_ASSIGN_RE = re.compile(
+    r"([A-Za-z_]\w*)\s*(?:\.|->)\s*([A-Za-z_]\w*)\s*=\s*"
+    r"([A-Za-z_]\w*)\s*(?:\.|->)\s*([A-Za-z_]\w*)\s*;")
+
+
+def _tracked_vars(fn: Function, body: str) -> dict[str, str]:
+    """Map variable name -> tracked struct type, from params and locals."""
+    out: dict[str, str] = {}
+    for t in TRACKED:
+        for m in re.finditer(
+                r"\b%s\b(?:\s*const)?\s*[\*&]*\s+([A-Za-z_]\w*)" % t,
+                fn.params):
+            out[m.group(1)] = t
+        for m in re.finditer(
+                r"\b%s\b\s*[\*&]?\s+([A-Za-z_]\w*)\s*[;={(]" % t, body):
+            out[m.group(1)] = t
+    return out
+
+
+def run(tree: SourceTree, notes: list[str] | None = None) -> list[Finding]:
+    field_index: dict[str, dict] = {}   # struct -> {field -> Field}
+    owners: dict[str, list[str]] = {}   # field name -> tracked structs
+    for t in TRACKED:
+        s = tree.struct(t)
+        if s is None:
+            continue
+        field_index[t] = {f.name: (f, s.file) for f in s.fields}
+        for f in s.fields:
+            owners.setdefault(f.name, []).append(t)
+
+    # 1. Hashed set: tracked-typed parameter mentions in plan_signature.cc.
+    hashed: set[tuple[str, str]] = set()
+    for fn in tree.functions:
+        if fn.file != SIGNATURE_FILE or not fn.body_span:
+            continue
+        body = tree.body_text(fn)
+        tvars = _tracked_vars(fn, body)
+        for m in re.finditer(r"([A-Za-z_]\w*)\s*(?:\.|->)\s*([A-Za-z_]\w*)",
+                             body):
+            var, member = m.group(1), m.group(2)
+            t = tvars.get(var)
+            if t and member in field_index.get(t, {}):
+                hashed.add((t, member))
+
+    # 2. Derived set: fixed point over `a.f = b.g;` where (type(b), g) covered.
+    covered = set(hashed)
+    assigns = []
+    for rel, sf in tree.files.items():
+        if not rel.startswith(READ_SCOPES) or rel == SIGNATURE_FILE:
+            continue
+        for fn in tree.functions:
+            if fn.file != rel or not fn.body_span:
+                continue
+            body = tree.body_text(fn)
+            tvars = _tracked_vars(fn, body)
+            for m in _ASSIGN_RE.finditer(body):
+                lt, rt = tvars.get(m.group(1)), tvars.get(m.group(3))
+                if lt and rt:
+                    assigns.append(((lt, m.group(2)), (rt, m.group(4))))
+    for _ in range(len(assigns) + 1):
+        grew = False
+        for dst, src in assigns:
+            if src in covered and dst not in covered and \
+               dst[1] in field_index.get(dst[0], {}):
+                covered.add(dst)
+                grew = True
+        if not grew:
+            break
+
+    # 3. Read sites on planning paths.
+    reads: dict[tuple[str, str], tuple[str, int]] = {}
+    for rel, sf in tree.files.items():
+        if not rel.startswith(READ_SCOPES) or rel == SIGNATURE_FILE:
+            continue
+        per_file_vars: list[tuple[Function, dict[str, str], int, int]] = []
+        for fn in tree.functions:
+            if fn.file == rel and fn.body_span:
+                per_file_vars.append(
+                    (fn, _tracked_vars(fn, tree.body_text(fn)),
+                     fn.body_span[0], fn.body_span[1]))
+        for m in _READ_RE.finditer(sf.stripped):
+            member = m.group(1)
+            cands = owners.get(member)
+            if not cands:
+                continue
+            base = re.search(r"([A-Za-z_]\w*)\s*(?:\.|->)\s*$",
+                             sf.stripped[:m.start()])
+            attributed = None
+            if base:
+                for fn, tvars, lo, hi in per_file_vars:
+                    if lo < m.start() < hi and base.group(1) in tvars:
+                        attributed = tvars[base.group(1)]
+                        break
+            targets = [attributed] if attributed in cands else cands
+            line = sf.line_of(m.start())
+            for t in targets:
+                if member in field_index.get(t, {}):
+                    reads.setdefault((t, member), (rel, line))
+
+    findings = []
+    for (t, member), (rel, line) in sorted(reads.items()):
+        if (t, member) in covered:
+            continue
+        field, decl_file = field_index[t][member]
+        decl_sf = tree.files.get(decl_file)
+        if decl_sf and allowed(decl_sf.lines, field.line, "signature-coverage"):
+            continue
+        findings.append(Finding(
+            rel, line, "signature-coverage",
+            f"{t}.{member} is read on a planning path but never hashed by "
+            f"PlanSignatureBuilder in {SIGNATURE_FILE} (nor derived from a "
+            f"hashed field): two configs differing only in this knob collide "
+            f"on one signature and the cache serves a wrong plan"))
+    return findings

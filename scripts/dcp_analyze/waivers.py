@@ -1,0 +1,52 @@
+"""Findings and the waiver contract shared with dcp_lint.
+
+A finding is suppressed when its line — or the line directly above it —
+carries `// dcp-analyze: allow(<rule>)`.  The comment should say *why* in
+prose after the marker; the analyzer only matches the marker itself.  This is
+the exact contract dcp_lint uses for `dcp-lint: allow(...)`, so one mental
+model covers both tools (scripts/test_waiver_roundtrip.py pins that).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+
+ALLOW_RE = re.compile(r"dcp-analyze:\s*allow\(([a-z-]+)\)")
+
+
+@dataclasses.dataclass
+class Finding:
+    file: str      # repo-relative path
+    line: int      # 1-based; 0 = whole-file/whole-tree finding (not waivable)
+    rule: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.file}:{self.line}: [{self.rule}] {self.message}"
+
+    def sort_key(self):
+        return (self.file, self.line, self.rule, self.message)
+
+
+def allowed(lines: list[str], lineno: int, rule: str) -> bool:
+    """True if `lines` (1-based indexing) waives `rule` at `lineno`."""
+    for ln in (lineno, lineno - 1):
+        if 1 <= ln <= len(lines):
+            m = ALLOW_RE.search(lines[ln - 1])
+            if m and m.group(1) == rule:
+                return True
+    return False
+
+
+def split_waived(findings: list[Finding],
+                 files: dict[str, "object"]) -> tuple[list[Finding], list[Finding]]:
+    """Partition findings into (active, waived) using per-file source lines."""
+    active, waived = [], []
+    for f in findings:
+        sf = files.get(f.file)
+        if f.line > 0 and sf is not None and allowed(sf.lines, f.line, f.rule):
+            waived.append(f)
+        else:
+            active.append(f)
+    return active, waived
