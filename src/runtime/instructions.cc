@@ -297,7 +297,7 @@ std::string SerializePlan(const BatchPlan& plan) {
   std::ostringstream out;
   out.precision(17);
   const BatchLayout& layout = plan.layout;
-  out << "DCPPLAN 1\n";
+  out << "DCPPLAN 2\n";
   out << "LAYOUT " << layout.block_size << " " << layout.num_groups << " "
       << layout.heads_per_group << " " << layout.head_dim << " " << layout.bytes_per_element
       << " " << layout.seqlens.size() << "\n";
@@ -314,7 +314,8 @@ std::string SerializePlan(const BatchPlan& plan) {
   out << "STATS " << plan.stats.total_comm_bytes << " " << plan.stats.inter_node_comm_bytes
       << " " << plan.stats.max_device_comm_bytes << " " << plan.stats.total_flops << " "
       << plan.stats.max_device_flops << " " << plan.stats.planning_seconds << " "
-      << plan.stats.partition_cost << "\n";
+      << plan.stats.partition_cost << " " << plan.stats.max_device_owned_bytes << " "
+      << plan.stats.min_device_owned_bytes << "\n";
   out << "DEVICES " << plan.devices.size() << "\n";
   for (const DevicePlan& dev : plan.devices) {
     out << "DEVICE";
@@ -342,7 +343,7 @@ StatusOr<BatchPlan> DeserializePlan(const std::string& text) {
   int version = 0;
   DCP_RETURN_IF_ERROR(r.Expect("DCPPLAN"));
   DCP_RETURN_IF_ERROR(r.Read(&version, "format version"));
-  if (version != 1) {
+  if (version != 1 && version != 2) {
     return r.Fail("unsupported format version " + std::to_string(version));
   }
   BatchPlan plan;
@@ -379,6 +380,12 @@ StatusOr<BatchPlan> DeserializePlan(const std::string& text) {
   DCP_RETURN_IF_ERROR(r.Read(&plan.stats.max_device_flops, "stats max_device_flops"));
   DCP_RETURN_IF_ERROR(r.Read(&plan.stats.planning_seconds, "stats planning_seconds"));
   DCP_RETURN_IF_ERROR(r.Read(&plan.stats.partition_cost, "stats partition_cost"));
+  if (version >= 2) {
+    DCP_RETURN_IF_ERROR(
+        r.Read(&plan.stats.max_device_owned_bytes, "stats max_device_owned_bytes"));
+    DCP_RETURN_IF_ERROR(
+        r.Read(&plan.stats.min_device_owned_bytes, "stats min_device_owned_bytes"));
+  }  // Version 1 predates the owned-bytes pair: both stay zero.
   uint64_t num_devices = 0;
   DCP_RETURN_IF_ERROR(r.Expect("DEVICES"));
   DCP_RETURN_IF_ERROR(r.ReadCount(&num_devices, "device count"));
@@ -440,7 +447,7 @@ BatchPlan DeserializePlanOrDie(const std::string& text) {
 //   layout   block_size, num_groups/heads_per_group/head_dim/bytes_per_element,
 //            num_seqs, seqlens[]
 //   home     num_chunks, devices[]
-//   stats    all nine PlanStats fields (the text format drops the owned-bytes pair)
+//   stats    all nine PlanStats fields (text format v2 carries them all too)
 //   devices  count, then per device: num_slots[kNumBufKinds],
 //            num_local/num_fw/num_bw, local chunks, fw instrs, bw instrs
 

@@ -64,6 +64,50 @@ TEST(PlanSerialization, RoundTripPreservesEverything) {
   EXPECT_EQ(SerializePlan(restored), text);
 }
 
+// The text format dropped the owned-bytes pair until v2; pin all nine
+// PlanStats fields through the text round trip so no direction drifts again.
+TEST(PlanSerialization, TextRoundTripPreservesAllStatsFields) {
+  BatchPlan plan = MakeTestPlan();
+  plan.stats.max_device_owned_bytes = 12345;
+  plan.stats.min_device_owned_bytes = 678;
+  BatchPlan restored = DeserializePlanOrDie(SerializePlan(plan));
+  EXPECT_EQ(restored.stats.total_comm_bytes, plan.stats.total_comm_bytes);
+  EXPECT_EQ(restored.stats.inter_node_comm_bytes, plan.stats.inter_node_comm_bytes);
+  EXPECT_EQ(restored.stats.max_device_comm_bytes, plan.stats.max_device_comm_bytes);
+  EXPECT_DOUBLE_EQ(restored.stats.total_flops, plan.stats.total_flops);
+  EXPECT_DOUBLE_EQ(restored.stats.max_device_flops, plan.stats.max_device_flops);
+  EXPECT_EQ(restored.stats.max_device_owned_bytes, 12345);
+  EXPECT_EQ(restored.stats.min_device_owned_bytes, 678);
+  EXPECT_DOUBLE_EQ(restored.stats.planning_seconds, plan.stats.planning_seconds);
+  EXPECT_DOUBLE_EQ(restored.stats.partition_cost, plan.stats.partition_cost);
+}
+
+// Version 1 text (no owned-bytes pair on the STATS line) must keep parsing:
+// stored plans outlive codec bumps.
+TEST(PlanSerialization, TextVersion1StillParses) {
+  std::string v2 = SerializePlan(MakeTestPlan());
+  const size_t stats_pos = v2.find("STATS ");
+  ASSERT_NE(stats_pos, std::string::npos);
+  const size_t stats_end = v2.find('\n', stats_pos);
+  // Drop the last two numbers of the STATS line and downgrade the header.
+  size_t cut = stats_end;
+  for (int spaces = 0; spaces < 2; ++spaces) {
+    cut = v2.rfind(' ', cut - 1);
+    ASSERT_NE(cut, std::string::npos);
+  }
+  std::string v1 = v2.substr(0, cut) + v2.substr(stats_end);
+  const size_t header = v1.find("DCPPLAN 2");
+  ASSERT_EQ(header, 0u);
+  v1[std::string("DCPPLAN ").size()] = '1';
+
+  StatusOr<BatchPlan> parsed = DeserializePlan(v1);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  EXPECT_EQ(parsed.value().stats.max_device_owned_bytes, 0);
+  EXPECT_EQ(parsed.value().stats.min_device_owned_bytes, 0);
+  EXPECT_EQ(parsed.value().stats.total_comm_bytes,
+            MakeTestPlan().stats.total_comm_bytes);
+}
+
 // Malformed text must come back as a recoverable DATA_LOSS Status — never an abort,
 // never a silently zero-filled plan.
 TEST(PlanSerialization, MalformedTextReturnsErrorStatusInsteadOfAborting) {
