@@ -120,7 +120,9 @@ class LockAnalysis:
                     continue
                 name = m.group(1)
                 if name not in self.global_mutexes:
-                    self.global_mutexes[name] = (rel, sf.line_of(m.start()))
+                    # Anchor to the declared name, not m.start(): ^\s* can
+                    # swallow blank lines above the declaration.
+                    self.global_mutexes[name] = (rel, sf.line_of(m.start(1)))
                     self.node_sites[f"::{name}"] = self.global_mutexes[name]
         # Pass 2: documented ordering edges (all nodes are registered now).
         for name, structs in self.tree.structs.items():

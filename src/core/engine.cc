@@ -417,6 +417,7 @@ PlanCacheStats Engine::cache_stats() const DCP_NO_THREAD_SAFETY_ANALYSIS {
   std::vector<std::unique_lock<std::mutex>> locks;
   locks.reserve(shards_.size());
   for (const auto& shard : shards_) {
+    // dcp-analyze: allow(lock-native): N-shard coherent snapshot (see above).
     locks.emplace_back(shard->mu.native());
   }
   for (const auto& shard : shards_) {

@@ -19,6 +19,8 @@ double UnitDouble(uint64_t* state) {
   return static_cast<double>(SplitMix64(state) >> 11) * 0x1.0p-53;
 }
 
+// Guards only the global injector slot pointer; held for a pointer copy.
+// dcp-analyze: allow(lock-order): leaf lock.
 Mutex g_global_mu;
 std::shared_ptr<FaultInjector>& GlobalSlot() {
   static std::shared_ptr<FaultInjector> slot;

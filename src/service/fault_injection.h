@@ -86,6 +86,9 @@ class FaultInjector {
 
  private:
   const uint64_t seed_;
+  // Decide() holds it only around its own counters/PRNG state; callers may hold
+  // any lock when consulting the injector.
+  // dcp-analyze: allow(lock-order): leaf lock.
   mutable Mutex mu_;
   std::array<FaultRates, kNumFaultPoints> rates_ DCP_GUARDED_BY(mu_);
   // splitmix64 state per point.

@@ -150,7 +150,8 @@ class PlanClient : public Planner {
   const PlanClientOptions options_;
   std::unique_ptr<ThreadPool> pool_;
 
-  Mutex io_mu_;  // Serializes RPCs on the single connection.
+  // Serializes RPCs on the single connection; stats are bumped under it.
+  Mutex io_mu_ DCP_ACQUIRED_BEFORE(stats_mu_);
   Socket socket_ DCP_GUARDED_BY(io_mu_);
   bool connected_ DCP_GUARDED_BY(io_mu_) = false;
 

@@ -179,6 +179,8 @@ class PlanServer {
     bool registered_write = false;  // Poller currently watches writability.
     size_t front_offset = 0;        // Bytes of outbox.front() already written.
 
+    // Innermost: QueueResponse takes it last, nothing is acquired under it.
+    // dcp-analyze: allow(lock-order): leaf lock.
     Mutex mu;
     // Only the loop thread pops; workers only push.
     std::deque<FrameParts> outbox DCP_GUARDED_BY(mu);
@@ -202,6 +204,8 @@ class PlanServer {
     int wake_fd = -1;  // eventfd; workers and Stop() write, the loop drains.
     std::thread thread;
 
+    // Innermost: held only around queue push/swap, nothing acquired under it.
+    // dcp-analyze: allow(lock-order): leaf lock.
     Mutex mu;
     // Conns with freshly queued responses.
     std::vector<Connection*> notify_queue DCP_GUARDED_BY(mu);
@@ -311,7 +315,7 @@ class PlanServer {
       replica_cache_ DCP_GUARDED_BY(replica_cache_mu_);
 
   // Per-tenant in-flight counts (admission quota); keyed only for registered tenants.
-  Mutex quota_mu_;
+  Mutex quota_mu_ DCP_ACQUIRED_BEFORE(stats_mu_);
   std::unordered_map<std::string, int> tenant_inflight_ DCP_GUARDED_BY(quota_mu_);
 
   mutable Mutex stats_mu_;

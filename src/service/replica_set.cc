@@ -301,8 +301,12 @@ StatusOr<PlanHandle> ReplicaSet::LocalFallbackPlan(
     MutexLock stats_lock(stats_mu_);
     ++stats_.local_fallbacks;
   }
-  StatusOr<Engine::PlannedOutcome> planned =
-      fallback_engine_->PlanDetailed(seqlens, mask_spec, block_size);
+  // Fallback planning is deliberately serialized under fallback_mu_: the embedded
+  // Engine's internal locks (tune/shard/store/pool) nest strictly under it and no
+  // path acquires fallback_mu_ under any of them.
+  // dcp-analyze: allow(lock-order): cross-class nesting documented above.
+  StatusOr<Engine::PlannedOutcome> planned = fallback_engine_->PlanDetailed(
+      seqlens, mask_spec, block_size);
   if (!planned.ok()) {
     return planned.status();
   }
@@ -353,6 +357,10 @@ StatusOr<PlanHandle> ReplicaSet::PlanWithBlockSize(
   {
     MutexLock lock(call->mu);
     ++call->launched;
+    // Hedging bookkeeping: LaunchAttempt bumps stats_mu_/outstanding_->mu in
+    // their own scopes, and neither is ever held when a HedgedCall::mu is
+    // acquired, so the nesting cannot invert.
+    // dcp-analyze: allow(lock-order): cross-class nesting documented above.
     LaunchAttempt(call, replicas_[live[cursor]], /*is_hedge=*/false);
     ++cursor;
     // "Resolved" below means: a win, a fatal rejection, or every launched attempt has
@@ -482,8 +490,14 @@ ReplicaHealth ReplicaSet::health(size_t index) const {
 }
 
 ReplicaSetStats ReplicaSet::stats() const {
-  MutexLock lock(stats_mu_);
-  ReplicaSetStats snapshot = stats_;
+  // Snapshot the counters first, then visit replicas lock-free of stats_mu_:
+  // stats_mu_ is a leaf everywhere else, and holding it across per-replica
+  // locks was the one edge out of it.
+  ReplicaSetStats snapshot;
+  {
+    MutexLock lock(stats_mu_);
+    snapshot = stats_;
+  }
   for (const auto& replica : replicas_) {
     MutexLock replica_lock(replica->mu);
     snapshot.cooldowns_entered += replica->cooldowns_entered;

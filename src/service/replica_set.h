@@ -231,7 +231,7 @@ class ReplicaSet : public Planner {
                      PlanSignatureHash>
       cache_ DCP_GUARDED_BY(cache_mu_);
 
-  Mutex fallback_mu_;
+  Mutex fallback_mu_ DCP_ACQUIRED_BEFORE(stats_mu_);
   std::unique_ptr<Engine> fallback_engine_ DCP_GUARDED_BY(fallback_mu_);
 
   mutable Mutex stats_mu_;
