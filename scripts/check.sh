@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
-# CI gate: lint, build the strict (warnings-as-errors) preset, run the full test suite,
-# the tiny-config bench smoke label, then the sanitizer tiers (TSan on the concurrency
-# suites, ASan/UBSan on a smoke subset) and — when a clang with -Wthread-safety is
-# available — the clang-strict thread-safety-analysis build. Run from anywhere inside
-# the repo. Set DCP_SKIP_SANITIZERS=1 for a quick lint+strict-only pass.
+# CI gate: lint + cross-file semantic analysis, build the strict (warnings-as-errors)
+# preset, run the full test suite, the tiny-config bench smoke label, then the
+# sanitizer tiers (TSan on the concurrency suites, ASan/UBSan on a smoke subset), a
+# gcc -fanalyzer pass over curated IO/codec targets, and — when clang tooling is
+# available — the clang-strict thread-safety-analysis build and the .clang-tidy
+# profile. Run from anywhere inside the repo. Set DCP_SKIP_SANITIZERS=1 for a quick
+# lint+strict-only pass (also skips the -fanalyzer tier).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -13,6 +15,14 @@ cd "$(dirname "$0")/.."
 # discarded Status/StatusOr. Self-test first so a regressed lint can't pass vacuously.
 python3 scripts/dcp_lint.py --self-test
 python3 scripts/dcp_lint.py
+
+# Cross-file semantic analysis: lock-order cycles and undocumented nesting, plan-codec
+# field completeness against the pinned inventory, PlanSignature coverage of every
+# plan-affecting knob, and frame-dispatch exhaustiveness. Self-test first for the same
+# reason as the lint: the seeded fixtures prove the analyses still catch what they
+# claim to catch before the clean tree run means anything.
+python3 scripts/dcp_analyze --self-test
+python3 scripts/dcp_analyze
 
 cmake --preset strict
 cmake --build --preset strict -j "$(nproc)"
@@ -63,6 +73,49 @@ else
   echo "check.sh: DCP_SKIP_SANITIZERS=1, skipping tsan/asan-ubsan tiers"
 fi
 
+# gcc -fanalyzer tier: interprocedural path analysis (leaks, use-after-free, NULL
+# derefs) over the curated IO/codec/allocator targets where it is both fast and
+# signal-rich — whole-tree -fanalyzer is too slow and too noisy to gate on. Known
+# false positives live in scripts/fanalyzer_suppressions.txt with reasons; anything
+# unsuppressed fails the gate.
+if [[ "${DCP_SKIP_SANITIZERS:-0}" != "1" ]]; then
+  FANALYZER_TARGETS=(
+    src/common/arena.cc
+    src/common/crc32.cc
+    src/common/status.cc
+    src/core/plan_store.cc
+    src/runtime/instructions.cc
+    src/service/event_loop.cc
+    src/service/fault_injection.cc
+    src/service/frame.cc
+    src/service/transport.cc
+  )
+  fanalyzer_log="$(mktemp)"
+  for target in "${FANALYZER_TARGETS[@]}"; do
+    g++ -std=c++20 -Isrc -fanalyzer -fsyntax-only "$target" 2>>"$fanalyzer_log" || {
+      cat "$fanalyzer_log"
+      echo "check.sh: gcc -fanalyzer failed to compile $target"
+      exit 1
+    }
+  done
+  suppressions="$(grep -Ev '^(#|$)' scripts/fanalyzer_suppressions.txt || true)"
+  if [[ -n "$suppressions" ]]; then
+    residual="$(grep 'warning:' "$fanalyzer_log" | grep -Ev "$suppressions" || true)"
+  else
+    residual="$(grep 'warning:' "$fanalyzer_log" || true)"
+  fi
+  rm -f "$fanalyzer_log"
+  if [[ -n "$residual" ]]; then
+    echo "$residual"
+    echo "check.sh: gcc -fanalyzer found unsuppressed issues (waive in" \
+         "scripts/fanalyzer_suppressions.txt with a reason, or fix)"
+    exit 1
+  fi
+  echo "check.sh: gcc -fanalyzer clean on ${#FANALYZER_TARGETS[@]} curated targets"
+else
+  echo "check.sh: DCP_SKIP_SANITIZERS=1, skipping gcc -fanalyzer tier"
+fi
+
 # Clang thread-safety analysis (-Wthread-safety -Werror over the DCP_GUARDED_BY /
 # DCP_REQUIRES annotations). GCC compiles the annotations to no-ops, so this gate only
 # has teeth under clang; skip with a notice when no clang is installed.
@@ -71,5 +124,19 @@ if command -v clang++ >/dev/null 2>&1; then
   cmake --build --preset clang-strict -j "$(nproc)"
 else
   echo "check.sh: clang++ not found, skipping clang-strict thread-safety analysis"
+fi
+
+# clang-tidy tier: the curated .clang-tidy profile (bugprone-*, concurrency-*,
+# performance-* with documented opt-outs) over the same curated targets as the
+# -fanalyzer tier, using the strict preset's compile_commands.json
+# (CMAKE_EXPORT_COMPILE_COMMANDS=ON). Gcc-only CI images skip with a notice.
+if command -v clang-tidy >/dev/null 2>&1; then
+  clang-tidy -p build-strict --quiet \
+    src/common/arena.cc src/common/crc32.cc src/common/status.cc \
+    src/core/plan_store.cc src/runtime/instructions.cc \
+    src/service/event_loop.cc src/service/fault_injection.cc \
+    src/service/frame.cc src/service/transport.cc
+else
+  echo "check.sh: clang-tidy not found (gcc-only image), skipping .clang-tidy tier"
 fi
 echo "check.sh: all green"

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Pins the waiver contract shared by dcp_lint and dcp_analyze.
+
+Both tools promise the same mental model: a finding is suppressed when its own
+line — or the line directly above it — carries `// <tool>: allow(<rule>)`, and
+the marker must name the exact rule.  dcp_analyze/waivers.py's docstring points
+here; if either tool drifts (different placement window, cross-tool markers
+accepted, prose breaking the match) this test fails before a waiver silently
+stops working in the tree.
+"""
+
+import sys
+from pathlib import Path
+
+SCRIPTS = Path(__file__).resolve().parent
+sys.path.insert(0, str(SCRIPTS))
+sys.path.insert(0, str(SCRIPTS / "dcp_analyze"))
+
+import dcp_lint  # noqa: E402
+import waivers  # noqa: E402
+
+FAILURES = []
+
+
+def check(name, cond):
+    if not cond:
+        FAILURES.append(name)
+        print(f"FAIL {name}")
+
+
+def contract(tool_name, allowed, marker):
+    """Exercise one tool's allowed(lines, lineno, rule) against its marker."""
+    rule = "some-rule"
+    waived_same = [f"  doit();  // {marker}: allow({rule}): reason."]
+    waived_above = [f"  // {marker}: allow({rule}): reason in prose.", "  doit();"]
+    too_far = [f"  // {marker}: allow({rule})", "", "  doit();"]
+    check(f"{tool_name}: same-line waiver accepted",
+          allowed(waived_same, 1, rule))
+    check(f"{tool_name}: line-above waiver accepted",
+          allowed(waived_above, 2, rule))
+    check(f"{tool_name}: two-lines-above waiver rejected",
+          not allowed(too_far, 3, rule))
+    check(f"{tool_name}: wrong rule rejected",
+          not allowed(waived_same, 1, "other-rule"))
+    check(f"{tool_name}: bare line rejected",
+          not allowed(["  doit();"], 1, rule))
+
+
+def main():
+    contract("dcp_lint", dcp_lint.allowed, "dcp-lint")
+    contract("dcp_analyze", waivers.allowed, "dcp-analyze")
+
+    # The markers are tool-scoped: one tool's waiver must never silence the
+    # other's finding, or a lock-order suppression could hide a lint bug.
+    cross_lint = ["  doit();  // dcp-analyze: allow(blocking-io)"]
+    cross_analyze = ["  doit();  // dcp-lint: allow(lock-order)"]
+    check("dcp_lint ignores dcp-analyze markers",
+          not dcp_lint.allowed(cross_lint, 1, "blocking-io"))
+    check("dcp_analyze ignores dcp-lint markers",
+          not waivers.allowed(cross_analyze, 1, "lock-order"))
+
+    # Same grammar: `<tool>: allow(<kebab-rule>)`, prose after the marker is
+    # free-form.  Pin the extracted group so a regex rewrite keeps rule names.
+    m_lint = dcp_lint.ALLOW_RE.search("// dcp-lint: allow(ad-hoc-rng) — why.")
+    m_ana = waivers.ALLOW_RE.search("// dcp-analyze: allow(lock-order): why.")
+    check("dcp_lint extracts the rule name",
+          m_lint is not None and m_lint.group(1) == "ad-hoc-rng")
+    check("dcp_analyze extracts the rule name",
+          m_ana is not None and m_ana.group(1) == "lock-order")
+
+    if FAILURES:
+        print(f"waiver round-trip: {len(FAILURES)} failure(s)")
+        return 1
+    print("waiver round-trip: both tools share the waiver contract")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
