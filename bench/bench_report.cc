@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "common/metrics.h"
 #include "common/rng.h"
 #include "core/engine.h"
 #include "core/plan_store.h"
@@ -200,6 +201,87 @@ RepeatBatchRow MeasureRepeatBatch(DatasetKind dataset, MaskKind mask, int64_t bl
   row.hit_ms_max = hit_ms.max();
   row.hit_rate = engine.cache_stats().HitRate();
   row.speedup = row.hit_ms_mean > 0.0 ? row.cold_ms / row.hit_ms_mean : 0.0;
+  return row;
+}
+
+// The instrumentation tax on the hottest path in the system: the same cache-hit loop
+// as repeat_batch, timed once with latency recording disabled and once enabled
+// (counters/gauges are always on — the toggle gates only the clock reads and histogram
+// records, which is exactly what `metrics::SetRecordingEnabled` controls in prod).
+// Gate: the enabled hit path must stay within 10% of the disabled one. Both sides use
+// the min over interleaved rounds — scheduler noise inflates means and maxes, and a
+// real regression (an added lock, a syscall-backed clock) moves the min too.
+struct MetricsOverheadRow {
+  std::string dataset;
+  std::string mask;
+  int64_t block_size = 0;
+  int k = 0;
+  int repeats = 0;                // Hit measurements per side.
+  double disabled_hit_ms_min = 0.0;
+  double enabled_hit_ms_min = 0.0;
+  double overhead_ratio = 0.0;    // enabled / disabled.
+};
+
+MetricsOverheadRow MeasureMetricsOverhead(DatasetKind dataset, MaskKind mask,
+                                          int64_t block_size, int repeats,
+                                          int64_t token_budget,
+                                          const ClusterSpec& cluster) {
+  MicroBenchConfig config;
+  config.cluster = cluster;
+  config.dataset = dataset;
+  config.block_size = block_size;
+  config.num_batches = 1;
+  config.token_budget = token_budget;
+  config.max_seq_len = token_budget;
+  const Batch batch = config.MakeBatches().front();
+  const MaskSpec spec = MaskSpec::ForKind(mask);
+
+  EngineOptions engine_options;
+  engine_options.planner = config.MakePlannerOptions();
+  Engine engine(cluster, engine_options);
+  (void)engine.Plan(batch.seqlens, spec).value();  // Populate the cache.
+
+  MetricsOverheadRow row;
+  row.dataset = DatasetKindName(dataset);
+  row.mask = MaskKindName(mask);
+  row.block_size = block_size;
+  row.k = cluster.num_devices();
+  row.repeats = repeats;
+
+  // Interleave disabled/enabled rounds so frequency scaling or a background spike
+  // hits both sides, then compare mins.
+  double disabled_min = 1e30;
+  double enabled_min = 1e30;
+  constexpr int kRounds = 4;
+  const int per_round = repeats / kRounds > 0 ? repeats / kRounds : 1;
+  for (int round = 0; round < kRounds; ++round) {
+    for (const bool enabled : {false, true}) {
+      metrics::SetRecordingEnabled(enabled);
+      double& side_min = enabled ? enabled_min : disabled_min;
+      for (int r = 0; r < per_round; ++r) {
+        const double start = NowSeconds();
+        const PlanHandle hit = engine.Plan(batch.seqlens, spec).value();
+        const double ms = (NowSeconds() - start) * 1e3;
+        if (ms < side_min) side_min = ms;
+        (void)hit;
+      }
+    }
+  }
+  metrics::SetRecordingEnabled(true);
+
+  row.disabled_hit_ms_min = disabled_min;
+  row.enabled_hit_ms_min = enabled_min;
+  row.overhead_ratio = disabled_min > 0.0 ? enabled_min / disabled_min : 0.0;
+  // 2us of absolute slack: at sub-20us hit latencies, 10% is within timer jitter even
+  // for the min-of-many, and a genuine regression (a lock or syscall on the hit path)
+  // costs far more than 2us.
+  if (enabled_min > disabled_min * 1.10 + 0.002) {
+    std::fprintf(stderr,
+                 "bench_report: metrics-enabled hit path %.4f ms exceeds 1.10x the "
+                 "disabled path %.4f ms (+2us slack)\n",
+                 enabled_min, disabled_min);
+    std::exit(1);
+  }
   return row;
 }
 
@@ -983,6 +1065,7 @@ void WriteJson(const std::string& path, bool smoke,
                const std::vector<PartitionerRow>& partitioner,
                const std::vector<PlanningRow>& planning,
                const std::vector<RepeatBatchRow>& repeat_batch,
+               const std::vector<MetricsOverheadRow>& metrics_overhead,
                const std::vector<WarmStartRow>& warm_start,
                const std::vector<ServiceRow>& service,
                const std::vector<ServiceScalingRow>& scaling,
@@ -996,7 +1079,7 @@ void WriteJson(const std::string& path, bool smoke,
     std::exit(1);
   }
   std::fprintf(f, "{\n");
-  std::fprintf(f, "  \"schema\": \"dcp.bench_planning.v7\",\n");
+  std::fprintf(f, "  \"schema\": \"dcp.bench_planning.v8\",\n");
   std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
   std::fprintf(f, "  \"partitioner\": [\n");
   for (size_t i = 0; i < partitioner.size(); ++i) {
@@ -1033,6 +1116,19 @@ void WriteJson(const std::string& path, bool smoke,
                  static_cast<long long>(r.block_size), r.k, r.repeats, r.cold_ms,
                  r.hit_ms_mean, r.hit_ms_max, r.hit_rate, r.speedup,
                  i + 1 < repeat_batch.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"metrics_overhead\": [\n");
+  for (size_t i = 0; i < metrics_overhead.size(); ++i) {
+    const MetricsOverheadRow& r = metrics_overhead[i];
+    std::fprintf(f,
+                 "    {\"dataset\": \"%s\", \"mask\": \"%s\", \"block_size\": %lld, "
+                 "\"k\": %d, \"repeats\": %d, \"disabled_hit_ms_min\": %.6f, "
+                 "\"enabled_hit_ms_min\": %.6f, \"overhead_ratio\": %.4f}%s\n",
+                 r.dataset.c_str(), r.mask.c_str(),
+                 static_cast<long long>(r.block_size), r.k, r.repeats,
+                 r.disabled_hit_ms_min, r.enabled_hit_ms_min, r.overhead_ratio,
+                 i + 1 < metrics_overhead.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
   std::fprintf(f, "  \"warm_start\": [\n");
@@ -1185,6 +1281,19 @@ int Main(int argc, char** argv) {
                 r.cold_ms, r.hit_ms_mean, r.speedup, r.hit_rate);
   }
 
+  // Instrumentation tax on the cache-hit path: enabled-vs-disabled latency recording
+  // on the same engine, gated at 1.10x inside the measure function.
+  std::vector<MetricsOverheadRow> metrics_overhead;
+  metrics_overhead.push_back(MeasureMetricsOverhead(
+      DatasetKind::kLongAlign, MaskKind::kCausal, 2048, smoke ? 64 : 256, budget,
+      testbed));
+  for (const MetricsOverheadRow& r : metrics_overhead) {
+    std::printf("metrics-overhead %s/%s block %lld: hit min %.4f ms disabled, %.4f ms "
+                "enabled (%.2fx)\n",
+                r.dataset.c_str(), r.mask.c_str(), static_cast<long long>(r.block_size),
+                r.disabled_hit_ms_min, r.enabled_hit_ms_min, r.overhead_ratio);
+  }
+
   // Cross-process warm start through the persistent plan store. Small block sizes make
   // the cold plan genuinely expensive, so the row exercises the case persistence is for.
   std::vector<WarmStartRow> warm_start;
@@ -1264,14 +1373,15 @@ int Main(int argc, char** argv) {
         static_cast<long long>(r.lost_requests));
   }
 
-  WriteJson(json_path, smoke, partitioner, planning, repeat_batch, warm_start, service,
-            scaling, replicated);
+  WriteJson(json_path, smoke, partitioner, planning, repeat_batch, metrics_overhead,
+            warm_start, service, scaling, replicated);
   std::printf(
       "bench_report: wrote %s (%zu partitioner rows, %zu planning rows, %zu repeat "
-      "rows, %zu warm-start rows, %zu service rows, %zu scaling rows, %zu replicated "
-      "rows)\n",
+      "rows, %zu metrics-overhead rows, %zu warm-start rows, %zu service rows, "
+      "%zu scaling rows, %zu replicated rows)\n",
       json_path.c_str(), partitioner.size(), planning.size(), repeat_batch.size(),
-      warm_start.size(), service.size(), scaling.size(), replicated.size());
+      metrics_overhead.size(), warm_start.size(), service.size(), scaling.size(),
+      replicated.size());
   return 0;
 }
 

@@ -37,6 +37,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/metrics.h"
 #include "core/engine.h"
 #include "core/plan_store.h"
 #include "masks/mask.h"
@@ -66,7 +67,9 @@ constexpr const char kUsage[] =
     "       dcpctl remote plan|stats --connect tcp:HOST:PORT|unix:PATH [--tenant NAME]\n"
     "                    [--seqlens a,b,c] [--mask M] [--block B]\n"
     "       dcpctl remote plan --replica ADDR [--replica ADDR]... [--hedge-ms N]\n"
-    "                    [--timeout-ms N] [--tenant NAME] [--seqlens a,b,c] [--mask M]\n";
+    "                    [--timeout-ms N] [--tenant NAME] [--seqlens a,b,c] [--mask M]\n"
+    "       dcpctl remote metrics --connect ADDR [--prefix NAME] [--watch [--watch-ms N]]\n"
+    "       dcpctl serve ... [--metrics-dump-ms N]   (periodic Prometheus dump to stderr)\n";
 
 [[noreturn]] void UsageError(const std::string& detail) {
   std::fprintf(stderr, "dcpctl: %s\n%s", detail.c_str(), kUsage);
@@ -152,6 +155,10 @@ struct Args {
   std::vector<std::string> replicas;  // remote plan: fleet addresses for a ReplicaSet.
   int64_t hedge_ms = 0;               // remote plan: hedge delay ceiling (0 = default).
   int64_t timeout_ms = 0;             // remote plan: per-request deadline (0 = default).
+  std::string metrics_prefix = "dcp_";  // remote metrics: series name filter.
+  bool watch = false;                   // remote metrics: re-scrape until interrupted.
+  int64_t watch_ms = 2000;              // remote metrics: scrape interval under --watch.
+  int64_t metrics_dump_ms = 0;          // serve: periodic stderr dump (0 = off).
   std::vector<TenantConfig> tenants;  // serve: built from --tenant flags in order.
   // serve: a cluster/planner/store flag appeared after the last --tenant. Those flags
   // would apply to no tenant; silently dropping them would make an operator believe
@@ -199,7 +206,7 @@ Args Parse(int argc, char** argv) {
   }
   if (args.command == "remote") {
     if (argc < 3 || argv[2][0] == '-') {
-      UsageError("remote requires a subcommand (plan|stats)");
+      UsageError("remote requires a subcommand (plan|stats|metrics)");
     }
     args.subcommand = argv[2];
     first_flag = 3;
@@ -275,6 +282,14 @@ Args Parse(int argc, char** argv) {
       args.hedge_ms = next_int("--hedge-ms");
     } else if (std::strcmp(argv[i], "--timeout-ms") == 0) {
       args.timeout_ms = next_int("--timeout-ms");
+    } else if (std::strcmp(argv[i], "--prefix") == 0) {
+      args.metrics_prefix = next();
+    } else if (std::strcmp(argv[i], "--watch") == 0) {
+      args.watch = true;
+    } else if (std::strcmp(argv[i], "--watch-ms") == 0) {
+      args.watch_ms = next_int("--watch-ms");
+    } else if (std::strcmp(argv[i], "--metrics-dump-ms") == 0) {
+      args.metrics_dump_ms = next_int("--metrics-dump-ms");
     } else if (std::strcmp(argv[i], "--tenant") == 0) {
       const std::string name = next();
       if (args.command == "serve") {
@@ -478,10 +493,20 @@ int RunServe(const Args& args) {
                 peer.ToString().c_str(), server_options.gossip_interval_ms);
   }
 
+  if (args.metrics_dump_ms > 0) {
+    std::printf("metrics: dumping dcp_* series to stderr every %lld ms\n",
+                static_cast<long long>(args.metrics_dump_ms));
+  }
   std::signal(SIGINT, HandleStopSignal);
   std::signal(SIGTERM, HandleStopSignal);
+  int64_t since_dump_ms = 0;
   while (g_stop_requested == 0) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    if (args.metrics_dump_ms > 0 && (since_dump_ms += 100) >= args.metrics_dump_ms) {
+      since_dump_ms = 0;
+      const std::string text = metrics::Registry::Global().RenderPrometheus("dcp_");
+      std::fprintf(stderr, "# --- metrics dump ---\n%s", text.c_str());
+    }
   }
   const PlanServerStats stats = server.stats();
   server.Stop();
@@ -552,23 +577,55 @@ int RunRemoteReplicated(const Args& args) {
   std::printf("%s\n", PlanToString(plan, args.verbose ? 64 : 4).c_str());
   std::printf("validation: %s\n", validation.Summary().c_str());
   const ReplicaSetStats stats = set->stats();
-  std::printf("fleet: %lld rpcs, %lld failovers, %lld hedges (%lld wins) for "
-              "tenant %s, signature %s\n",
+  std::printf("fleet: %lld rpcs, %lld failovers, %lld hedges (%lld wins, %lld waste) "
+              "for tenant %s, signature %s\n",
               static_cast<long long>(stats.rpcs_sent),
               static_cast<long long>(stats.failovers),
               static_cast<long long>(stats.hedges_sent),
-              static_cast<long long>(stats.hedge_wins), args.tenant.c_str(),
+              static_cast<long long>(stats.hedge_wins),
+              static_cast<long long>(stats.hedge_waste), args.tenant.c_str(),
               handle.value()->signature.ToHex().c_str());
   for (size_t i = 0; i < set->replica_count(); ++i) {
     const ReplicaHealth health = set->health(i);
-    std::printf("replica %-24s %s, %lld rpcs, %lld failures, hedge delay %lld ms\n",
+    std::printf("replica %-24s %s, %lld rpcs, %lld failures, "
+                "p50/p95/p99 %lld/%lld/%lld ms (%lld samples), hedge delay %lld ms\n",
                 health.address.ToString().c_str(),
                 health.available ? "available" : "cooling down",
                 static_cast<long long>(health.rpcs),
                 static_cast<long long>(health.failures),
+                static_cast<long long>(health.p50_ms),
+                static_cast<long long>(health.p95_ms),
+                static_cast<long long>(health.p99_ms),
+                static_cast<long long>(health.latency_samples),
                 static_cast<long long>(health.p99_estimate_ms));
   }
   return validation.ok ? 0 : 1;
+}
+
+// `remote metrics`: scrape the server's registry as Prometheus text, once or (with
+// --watch) repeatedly until interrupted.
+int RunRemoteMetrics(PlanClient& client, const Args& args) {
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+  do {
+    StatusOr<PlanServiceMetricsResponse> metrics =
+        client.ServerMetrics(args.metrics_prefix);
+    if (!metrics.ok()) {
+      std::fprintf(stderr, "dcpctl: %s\n", metrics.status().ToString().c_str());
+      return 1;
+    }
+    if (args.watch) {
+      std::printf("# --- scrape of %s (prefix '%s') ---\n", args.connect.c_str(),
+                  args.metrics_prefix.c_str());
+    }
+    std::fputs(metrics.value().text.c_str(), stdout);
+    std::fflush(stdout);
+    if (args.watch && g_stop_requested == 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(std::max<int64_t>(100, args.watch_ms)));
+    }
+  } while (args.watch && g_stop_requested == 0);
+  return 0;
 }
 
 int RunRemote(const Args& args) {
@@ -644,6 +701,9 @@ int RunRemote(const Args& args) {
                   static_cast<long long>(tenant.store_corrupt_skipped));
     }
     return 0;
+  }
+  if (args.subcommand == "metrics") {
+    return RunRemoteMetrics(*client, args);
   }
   UsageError("unknown remote subcommand '" + args.subcommand + "'");
 }

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # CI gate: lint + cross-file semantic analysis, build the strict (warnings-as-errors)
-# preset, run the full test suite, the tiny-config bench smoke label, then the
+# preset, run the full test suite, the tiny-config bench smoke label, a live-server
+# metrics scrape validated against the Prometheus text format, then the
 # sanitizer tiers (TSan on the concurrency suites, ASan/UBSan on a smoke subset), a
 # gcc -fanalyzer pass over curated IO/codec targets, and — when clang tooling is
 # available — the clang-strict thread-safety-analysis build and the .clang-tidy
@@ -53,6 +54,45 @@ ctest --test-dir build-strict -R 'test_replica_set|test_plan_service' --output-o
 # scales with connections, a warm serve copies the cached record, or p99 at 256
 # connections leaves the single-connection envelope.
 ctest --test-dir build-strict -L bench_smoke --output-on-failure
+
+# Metrics tier: scrape a live loopback server the way an operator would and validate
+# the Prometheus exposition structurally (validator self-test first, same contract as
+# the lint). The two plans force the planned + memory-cache serve paths into the
+# per-tenant histograms, and the --require pins assert the serve-source histogram and
+# the per-phase span counters actually appear on the wire — not just in unit tests.
+python3 scripts/validate_prometheus.py --self-test
+metrics_store="$(mktemp -d)"
+# ServiceAddress rejects port 0 (no kernel auto-assign), so derive a high port from
+# the script pid to dodge collisions between concurrent CI runs on one host.
+metrics_port=$((21000 + $$ % 10000))
+./build-strict/example_dcpctl serve --listen "tcp:127.0.0.1:${metrics_port}" \
+  --store "${metrics_store}" &
+metrics_server_pid=$!
+trap 'kill "${metrics_server_pid}" 2>/dev/null || true; rm -rf "${metrics_store}"' EXIT
+for _ in $(seq 1 50); do
+  if ./build-strict/example_dcpctl remote stats \
+       --connect "tcp:127.0.0.1:${metrics_port}" >/dev/null 2>&1; then
+    break
+  fi
+  sleep 0.1
+done
+./build-strict/example_dcpctl remote plan \
+  --connect "tcp:127.0.0.1:${metrics_port}" --seqlens 60,33,18 >/dev/null
+./build-strict/example_dcpctl remote plan \
+  --connect "tcp:127.0.0.1:${metrics_port}" --seqlens 60,33,18 >/dev/null
+./build-strict/example_dcpctl remote metrics \
+  --connect "tcp:127.0.0.1:${metrics_port}" \
+  | python3 scripts/validate_prometheus.py \
+      --require 'dcp_server_serve_latency_us_count\{source="planned"' \
+      --require 'dcp_server_serve_latency_us_count\{source="memory-cache"' \
+      --require 'dcp_phase_us_total\{phase="cache_probe"\}' \
+      --require 'dcp_phase_us_total\{phase="encode"\}' \
+      --require 'dcp_server_requests_received_total'
+kill "${metrics_server_pid}" 2>/dev/null || true
+wait "${metrics_server_pid}" 2>/dev/null || true
+trap - EXIT
+rm -rf "${metrics_store}"
+echo "check.sh: metrics tier green (live scrape validated on port ${metrics_port})"
 
 if [[ "${DCP_SKIP_SANITIZERS:-0}" != "1" ]]; then
   # ThreadSanitizer tier: every suite that spawns threads — the pool, the sharded

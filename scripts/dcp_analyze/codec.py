@@ -64,6 +64,12 @@ GROUPS = (
           ("PlanServiceStatsResponse", "PlanServiceTenantStats"),
           "SerializePlanServiceStatsResponse",
           "DeserializePlanServiceStatsResponse"),
+    Group("metrics-request", ("PlanServiceMetricsRequest",),
+          "SerializePlanServiceMetricsRequest",
+          "DeserializePlanServiceMetricsRequest"),
+    Group("metrics-response", ("PlanServiceMetricsResponse",),
+          "SerializePlanServiceMetricsResponse",
+          "DeserializePlanServiceMetricsResponse"),
     Group("sync-request", ("PlanSyncRequest",),
           "SerializePlanSyncRequest", "DeserializePlanSyncRequest"),
     Group("sync-response", ("PlanSyncResponse",),

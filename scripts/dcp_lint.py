@@ -20,6 +20,11 @@ Rules:
   nodiscard     Status and StatusOr in src/common/status.h must stay
                 [[nodiscard]] — that attribute is what turns a silently dropped
                 error into a compile error under -Werror.
+  timing        No ad-hoc std::chrono clock reads (steady_clock::now etc.) in
+                src/ or examples/ outside src/common/metrics.* — timing spans
+                go through metrics::MonotonicNanos/Micros/Millis and the scoped
+                timers so every span is scrapeable, consistent, and greppable
+                in one place. Benches and tests are exempt by location.
 
 Suppression: a finding is waived when its line, or the line directly above,
 contains `dcp-lint: allow(<rule>)` with a reason.
@@ -56,6 +61,13 @@ EVENT_LOOP_FILES = [
 ]
 
 RNG_EXEMPT = ("src/common/rng.h", "src/common/rng.cc")
+
+# The one blessed home of raw clock reads; everything else uses its helpers.
+TIMING_EXEMPT = ("src/common/metrics.h", "src/common/metrics.cc")
+
+TIMING_RE = re.compile(
+    r"\b(?:steady_clock|high_resolution_clock|system_clock)\s*::\s*now\s*\("
+)
 
 ALLOW_RE = re.compile(r"dcp-lint:\s*allow\(([a-z-]+)\)")
 
@@ -183,6 +195,19 @@ def check_blocking_io(path, raw_lines, code):
     return findings
 
 
+def check_timing(path, raw_lines, code):
+    findings = []
+    for lineno, line in enumerate(code.splitlines(), start=1):
+        m = TIMING_RE.search(line)
+        if m and not allowed(raw_lines, lineno, "timing"):
+            findings.append(
+                (path, lineno, "timing",
+                 "ad-hoc chrono clock read outside src/common/metrics — use "
+                 "metrics::MonotonicNanos/Micros/Millis or a scoped timer "
+                 "(dcp-lint: allow(timing) with a reason to waive)"))
+    return findings
+
+
 def check_nodiscard(root):
     findings = []
     status_h = os.path.join(root, "src/common/status.h")
@@ -239,6 +264,9 @@ def lint_tree(root):
             findings.extend(check_rng(posix, raw_lines, code))
         if posix in EVENT_LOOP_FILES:
             findings.extend(check_blocking_io(posix, raw_lines, code))
+        if (posix.startswith(("src/", "examples/"))
+                and posix not in TIMING_EXEMPT):
+            findings.extend(check_timing(posix, raw_lines, code))
     findings.extend(check_nodiscard(root))
     return findings
 
@@ -274,10 +302,19 @@ def self_test():
         write("src/common/status.h",
               "class Status {};\n"
               "template <typename T> class StatusOr {};\n")
+        # Rule: timing (ad-hoc clock read in a src/ file outside metrics).
+        write("src/service/transport.cc",
+              "#include <chrono>\n"
+              "int64_t NowMs() {\n"
+              "  return std::chrono::duration_cast<std::chrono::milliseconds>(\n"
+              "      std::chrono::steady_clock::now().time_since_epoch())"
+              ".count();\n"
+              "}\n")
 
         findings = lint_tree(tmp)
         rules_hit = {f[2] for f in findings}
-        for rule in ("determinism", "rng", "blocking-io", "nodiscard"):
+        for rule in ("determinism", "rng", "blocking-io", "nodiscard",
+                     "timing"):
             if rule not in rules_hit:
                 failures.append(f"seeded {rule} violation was NOT flagged")
 
@@ -300,6 +337,21 @@ def self_test():
         write("src/common/status.h",
               "class [[nodiscard]] Status {};\n"
               "template <typename T> class [[nodiscard]] StatusOr {};\n")
+        # Clean timing: the metrics helper everywhere, the raw clock only
+        # inside the exempt src/common/metrics.cc, and one annotated waiver.
+        write("src/service/transport.cc",
+              "#include \"common/metrics.h\"\n"
+              "int64_t NowMs() { return dcp::metrics::MonotonicMillis(); }\n")
+        write("src/common/metrics.cc",
+              "#include <chrono>\n"
+              "int64_t Raw() {\n"
+              "  return std::chrono::steady_clock::now()"
+              ".time_since_epoch().count();\n"
+              "}\n")
+        write("src/core/engine.cc",
+              "#include <chrono>\n"
+              "// dcp-lint: allow(timing) — calibration needs the raw clock.\n"
+              "auto Raw() { return std::chrono::steady_clock::now(); }\n")
         residue = lint_tree(tmp)
         if residue:
             for f in residue:
@@ -309,7 +361,7 @@ def self_test():
         for msg in failures:
             print(f"dcp_lint self-test FAILED: {msg}", file=sys.stderr)
         return 1
-    print("dcp_lint self-test passed: all 4 seeded violations flagged, "
+    print("dcp_lint self-test passed: all seeded violations flagged, "
           "clean snippets pass")
     return 0
 

@@ -1,0 +1,348 @@
+#!/usr/bin/env python3
+"""validate_prometheus — structural checks on a Prometheus text exposition.
+
+Validates the output of `dcp::metrics::Registry::RenderPrometheus` (as served by
+the kMetricsRequest frame and `dcpctl remote metrics`) the way a scraper would:
+
+  grammar       Every line is `# HELP <name> <text>`, `# TYPE <name> <kind>`,
+                or `<name>[{labels}] <number>`. Metric and label names match
+                [a-zA-Z_:][a-zA-Z0-9_:]*; label values are double-quoted.
+  families      Every sample belongs to a family that declared HELP and TYPE
+                first (histogram samples resolve via their _bucket/_sum/_count
+                suffix); TYPE is one of counter|gauge|histogram; no family
+                declares HELP or TYPE twice; no duplicate series.
+  naming        Counters end in `_total` (repo convention: every counter is a
+                monotone event count) and counter/histogram values never go
+                negative.
+  labels        Non-`le` labels within a series are alphabetically sorted —
+                the renderer guarantees it, and sorted labels are what make
+                text diffs of two scrapes line up.
+  histograms    Per series: bucket counts are cumulative (non-decreasing in
+                `le` order), exactly one `+Inf` bucket, the `+Inf` cumulative
+                equals the `_count` sample, and `_sum`/`_count` are present.
+
+Usage: validate_prometheus.py [--self-test] [--require REGEX ...] [PATH]
+Reads PATH (or stdin) and exits 0 when valid, 1 with findings otherwise.
+`--require REGEX` (repeatable) additionally fails unless some sample line
+matches REGEX — check.sh uses it to pin down series that must exist on a live
+server. `--self-test` runs the validator against embedded good and broken
+expositions and verifies each defect is caught before the real input means
+anything.
+"""
+
+import argparse
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_RE = re.compile(r'^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"$')
+SAMPLE_RE = re.compile(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{([^}]*)\})?\s+(\S+)$")
+
+HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def parse_labels(raw, line_no, errors):
+    """'a="x",le="+Inf"' -> list of (key, value); appends findings to errors."""
+    labels = []
+    if not raw:
+        return labels
+    for part in raw.split(","):
+        match = LABEL_RE.match(part)
+        if match is None:
+            errors.append(f"line {line_no}: bad label pair {part!r}")
+            continue
+        labels.append((match.group(1), match.group(2)))
+    keys = [k for k, _ in labels]
+    if len(set(keys)) != len(keys):
+        errors.append(f"line {line_no}: duplicate label key in {raw!r}")
+    non_le = [k for k in keys if k != "le"]
+    if non_le != sorted(non_le):
+        errors.append(f"line {line_no}: labels not sorted: {non_le}")
+    return labels
+
+
+def family_of(sample_name, types):
+    """Resolve a sample to its declared family, honoring histogram suffixes."""
+    if sample_name in types:
+        return sample_name
+    for suffix in HISTOGRAM_SUFFIXES:
+        if sample_name.endswith(suffix):
+            base = sample_name[: -len(suffix)]
+            if types.get(base) == "histogram":
+                return base
+    return None
+
+
+def validate(text, require=()):
+    """Returns a list of finding strings; empty means the exposition is valid."""
+    errors = []
+    helps = {}
+    types = {}
+    # histograms[(family, labels-without-le)] accumulates bucket/sum/count facts.
+    histograms = {}
+    seen_series = set()
+    sample_lines = []
+
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            parts = line[len("# HELP ") :].split(" ", 1)
+            name = parts[0]
+            if not NAME_RE.match(name):
+                errors.append(f"line {line_no}: bad metric name {name!r}")
+            if name in helps:
+                errors.append(f"line {line_no}: duplicate HELP for {name}")
+            helps[name] = parts[1] if len(parts) > 1 else ""
+            continue
+        if line.startswith("# TYPE "):
+            parts = line[len("# TYPE ") :].split(" ")
+            if len(parts) != 2:
+                errors.append(f"line {line_no}: malformed TYPE line")
+                continue
+            name, kind = parts
+            if kind not in ("counter", "gauge", "histogram"):
+                errors.append(f"line {line_no}: unknown TYPE {kind!r} for {name}")
+            if name in types:
+                errors.append(f"line {line_no}: duplicate TYPE for {name}")
+            if name not in helps:
+                errors.append(f"line {line_no}: TYPE for {name} precedes its HELP")
+            types[name] = kind
+            continue
+        if line.startswith("#"):
+            continue  # Free-form comment: legal, carries no structure.
+
+        match = SAMPLE_RE.match(line)
+        if match is None:
+            errors.append(f"line {line_no}: unparseable sample {line!r}")
+            continue
+        sample_lines.append(line)
+        name, _, raw_labels, raw_value = match.groups()
+        try:
+            value = float(raw_value)
+        except ValueError:
+            errors.append(f"line {line_no}: non-numeric value {raw_value!r}")
+            continue
+        labels = parse_labels(raw_labels or "", line_no, errors)
+
+        family = family_of(name, types)
+        if family is None:
+            errors.append(f"line {line_no}: sample {name} has no TYPE declaration")
+            continue
+        if family not in helps:
+            errors.append(f"line {line_no}: sample {name} has no HELP declaration")
+        kind = types[family]
+
+        series_key = (name, tuple(labels))
+        if series_key in seen_series:
+            errors.append(f"line {line_no}: duplicate series {name}{dict(labels)}")
+        seen_series.add(series_key)
+
+        if kind == "counter":
+            if not family.endswith("_total"):
+                errors.append(
+                    f"line {line_no}: counter {family} does not end in _total"
+                )
+            if value < 0:
+                errors.append(f"line {line_no}: counter {name} is negative")
+        elif kind == "histogram":
+            if name == family:
+                errors.append(
+                    f"line {line_no}: bare sample {name} on histogram family"
+                )
+                continue
+            le = dict(labels).get("le")
+            base_labels = tuple(l for l in labels if l[0] != "le")
+            hist = histograms.setdefault(
+                (family, base_labels),
+                {"buckets": [], "sum": None, "count": None, "line": line_no},
+            )
+            if name.endswith("_bucket"):
+                if le is None:
+                    errors.append(f"line {line_no}: _bucket sample without le")
+                    continue
+                bound = float("inf") if le == "+Inf" else float(le)
+                hist["buckets"].append((bound, value, line_no))
+            elif name.endswith("_sum"):
+                hist["sum"] = value
+            elif name.endswith("_count"):
+                hist["count"] = value
+                if value < 0:
+                    errors.append(f"line {line_no}: histogram count is negative")
+
+    for (family, base_labels), hist in histograms.items():
+        where = f"{family}{{{','.join(k + '=' + v for k, v in base_labels)}}}"
+        buckets = hist["buckets"]
+        if not buckets:
+            errors.append(f"{where}: histogram series has no _bucket samples")
+            continue
+        bounds = [b for b, _, _ in buckets]
+        if bounds != sorted(bounds):
+            errors.append(f"{where}: bucket le bounds out of order")
+        if sum(1 for b in bounds if b == float("inf")) != 1:
+            errors.append(f"{where}: expected exactly one +Inf bucket")
+        counts = [c for _, c, _ in buckets]
+        for prev, cur in zip(counts, counts[1:]):
+            if cur < prev:
+                errors.append(f"{where}: bucket counts not cumulative")
+                break
+        if hist["count"] is None:
+            errors.append(f"{where}: missing _count sample")
+        elif bounds and bounds[-1] == float("inf") and counts[-1] != hist["count"]:
+            errors.append(
+                f"{where}: +Inf cumulative {counts[-1]:.0f} != _count "
+                f"{hist['count']:.0f}"
+            )
+        if hist["sum"] is None:
+            errors.append(f"{where}: missing _sum sample")
+
+    for pattern in require:
+        if not any(re.search(pattern, line) for line in sample_lines):
+            errors.append(f"required series not found: {pattern!r}")
+    return errors
+
+
+GOOD = """\
+# HELP dcp_server_requests_total requests admitted
+# TYPE dcp_server_requests_total counter
+dcp_server_requests_total{tenant="prod"} 42
+dcp_server_requests_total{tenant="test"} 7
+# HELP dcp_server_queue_depth worker queue depth
+# TYPE dcp_server_queue_depth gauge
+dcp_server_queue_depth{loop="0"} -1
+# HELP dcp_server_serve_latency_us serve latency
+# TYPE dcp_server_serve_latency_us histogram
+dcp_server_serve_latency_us_bucket{source="planned",tenant="prod",le="1"} 0
+dcp_server_serve_latency_us_bucket{source="planned",tenant="prod",le="2"} 3
+dcp_server_serve_latency_us_bucket{source="planned",tenant="prod",le="+Inf"} 5
+dcp_server_serve_latency_us_sum{source="planned",tenant="prod"} 11
+dcp_server_serve_latency_us_count{source="planned",tenant="prod"} 5
+"""
+
+# Each entry: (defect description, broken exposition, expected finding substring).
+BROKEN = [
+    (
+        "sample with no TYPE",
+        "dcp_orphan_total 3\n",
+        "no TYPE declaration",
+    ),
+    (
+        "counter without _total",
+        "# HELP dcp_hits hits\n# TYPE dcp_hits counter\ndcp_hits 3\n",
+        "does not end in _total",
+    ),
+    (
+        "negative counter",
+        "# HELP dcp_x_total x\n# TYPE dcp_x_total counter\ndcp_x_total -2\n",
+        "is negative",
+    ),
+    (
+        "non-cumulative buckets",
+        "# HELP dcp_l_us l\n# TYPE dcp_l_us histogram\n"
+        'dcp_l_us_bucket{le="1"} 5\ndcp_l_us_bucket{le="+Inf"} 3\n'
+        "dcp_l_us_sum 9\ndcp_l_us_count 3\n",
+        "not cumulative",
+    ),
+    (
+        "+Inf disagrees with _count",
+        "# HELP dcp_l_us l\n# TYPE dcp_l_us histogram\n"
+        'dcp_l_us_bucket{le="1"} 1\ndcp_l_us_bucket{le="+Inf"} 4\n'
+        "dcp_l_us_sum 9\ndcp_l_us_count 5\n",
+        "!= _count",
+    ),
+    (
+        "missing +Inf bucket",
+        "# HELP dcp_l_us l\n# TYPE dcp_l_us histogram\n"
+        'dcp_l_us_bucket{le="1"} 1\ndcp_l_us_sum 9\ndcp_l_us_count 1\n',
+        "exactly one +Inf",
+    ),
+    (
+        "missing _count",
+        "# HELP dcp_l_us l\n# TYPE dcp_l_us histogram\n"
+        'dcp_l_us_bucket{le="+Inf"} 1\ndcp_l_us_sum 9\n',
+        "missing _count",
+    ),
+    (
+        "unsorted labels",
+        "# HELP dcp_x_total x\n# TYPE dcp_x_total counter\n"
+        'dcp_x_total{tenant="a",source="b"} 1\n',
+        "labels not sorted",
+    ),
+    (
+        "duplicate series",
+        "# HELP dcp_x_total x\n# TYPE dcp_x_total counter\n"
+        "dcp_x_total 1\ndcp_x_total 2\n",
+        "duplicate series",
+    ),
+    (
+        "non-numeric value",
+        "# HELP dcp_x_total x\n# TYPE dcp_x_total counter\ndcp_x_total NaNish\n",
+        "non-numeric value",
+    ),
+    (
+        "unknown TYPE kind",
+        "# HELP dcp_x x\n# TYPE dcp_x summary\ndcp_x 1\n",
+        "unknown TYPE",
+    ),
+    (
+        "missing required series",
+        GOOD,
+        "required series not found",
+    ),
+]
+
+
+def self_test():
+    failures = []
+    good_errors = validate(GOOD, require=[r'dcp_server_requests_total\{tenant="prod"'])
+    if good_errors:
+        failures.append(f"valid exposition rejected: {good_errors}")
+    for description, text, expected in BROKEN:
+        require = (
+            [r"dcp_does_not_exist_total"]
+            if expected == "required series not found"
+            else []
+        )
+        errors = validate(text, require=require)
+        if not any(expected in e for e in errors):
+            failures.append(
+                f"defect not caught: {description} (expected {expected!r}, "
+                f"got {errors})"
+            )
+    if failures:
+        for failure in failures:
+            print(f"validate_prometheus self-test FAILED: {failure}", file=sys.stderr)
+        return 1
+    print(f"validate_prometheus self-test: {len(BROKEN)} defects caught, clean passes")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--self-test", action="store_true")
+    parser.add_argument("--require", action="append", default=[])
+    parser.add_argument("path", nargs="?")
+    args = parser.parse_args()
+    if args.self_test:
+        return self_test()
+    if args.path:
+        with open(args.path, "r", encoding="utf-8") as f:
+            text = f.read()
+    else:
+        text = sys.stdin.read()
+    errors = validate(text, require=args.require)
+    if errors:
+        for error in errors:
+            print(f"validate_prometheus: {error}", file=sys.stderr)
+        return 1
+    samples = sum(
+        1
+        for line in text.splitlines()
+        if line.strip() and not line.startswith("#")
+    )
+    print(f"validate_prometheus: OK ({samples} samples)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

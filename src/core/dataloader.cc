@@ -21,6 +21,19 @@ DcpDataLoader::DcpDataLoader(BatchStream stream, MaskSpec mask_spec,
   DCP_CHECK(planner_ != nullptr);
   DCP_CHECK_GE(lookahead, 0);
   engine_ = std::dynamic_pointer_cast<Engine>(planner_);
+  metrics::Registry& registry = metrics::Registry::Global();
+  next_wait_us_ = registry.GetHistogram(
+      "dcp_loader_next_wait_us", {},
+      "Time Next() blocked waiting for the front look-ahead plan, microseconds.");
+  stalls_ = registry.GetCounter(
+      "dcp_loader_stalls_total", {},
+      "Next() calls whose plan was not ready yet (look-ahead miss).");
+  retries_ = registry.GetCounter(
+      "dcp_loader_plan_retries_total", {},
+      "Transient (UNAVAILABLE) planning failures absorbed by the retry loop.");
+  ready_ = registry.GetGauge(
+      "dcp_loader_lookahead_ready", {},
+      "Look-ahead slots whose plan was already finished at the last Next().");
   for (int i = 0; i <= lookahead_; ++i) {
     EnqueueOne();
   }
@@ -57,13 +70,15 @@ void DcpDataLoader::EnqueueOne() {
   Batch batch = stream_.NextBatch();
   MaskSpec mask_spec = mask_spec_;
   Planner* planner = planner_.get();
-  pending_.push_back(
-      planner_->pool().Submit([batch = std::move(batch), mask_spec, planner]() mutable {
+  metrics::Counter* retries = retries_;
+  pending_.push_back(planner_->pool().Submit(
+      [batch = std::move(batch), mask_spec, planner, retries]() mutable {
         StatusOr<PlanHandle> handle = planner->PlanForLoader(batch.seqlens, mask_spec);
         for (int retry = 0;
              retry < 5 && !handle.ok() &&
              handle.status().code() == StatusCode::kUnavailable;
              ++retry) {
+          retries->Increment();
           std::this_thread::sleep_for(std::chrono::milliseconds(20 << retry));
           handle = planner->PlanForLoader(batch.seqlens, mask_spec);
         }
@@ -81,6 +96,20 @@ PlannedIteration DcpDataLoader::Next() {
   std::future<PlannedIteration> front = std::move(pending_.front());
   pending_.pop_front();
   EnqueueOne();
+  // One wait_for(0) per slot: the window is small (kappa+1 futures), and the
+  // ready count is the paper's look-ahead-effectiveness signal.
+  int64_t ready = 0;
+  for (const auto& fut : pending_) {
+    if (fut.wait_for(std::chrono::seconds(0)) == std::future_status::ready) {
+      ++ready;
+    }
+  }
+  ready_->Set(ready);
+  if (front.wait_for(std::chrono::seconds(0)) != std::future_status::ready) {
+    stalls_->Increment();
+    metrics::ScopedLatencyTimer wait_timer(next_wait_us_);
+    return front.get();
+  }
   return front.get();
 }
 

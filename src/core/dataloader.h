@@ -12,6 +12,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/metrics.h"
 #include "core/engine.h"
 #include "data/batching.h"
 #include "masks/mask.h"
@@ -75,6 +76,15 @@ class DcpDataLoader {
   std::shared_ptr<Engine> engine_;  // Set when planner_ is an Engine.
   int lookahead_;
   std::deque<std::future<PlannedIteration>> pending_;
+
+  // Look-ahead effectiveness: how long Next() blocked on an unfinished plan
+  // (zero when planning fully hides behind "model execution"), how often it
+  // had to block at all, how many look-ahead slots were already planned, and
+  // how many transient remote failures the retry loop absorbed.
+  metrics::Histogram* next_wait_us_ = nullptr;
+  metrics::Counter* stalls_ = nullptr;
+  metrics::Counter* retries_ = nullptr;
+  metrics::Gauge* ready_ = nullptr;
 };
 
 }  // namespace dcp

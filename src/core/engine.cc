@@ -102,8 +102,22 @@ Engine::Engine(ClusterSpec cluster, EngineOptions options)
   DCP_CHECK_GE(options_.plan_cache_capacity, 0);
   DCP_CHECK_GE(options_.tune_cache_capacity, 0);
   pool_ = std::make_unique<ThreadPool>(std::max(1, options_.planner_threads));
+  metrics_ = metrics::Registry::NewAttached(
+      options_.metrics_tenant.empty()
+          ? std::vector<metrics::Label>{}
+          : std::vector<metrics::Label>{{"tenant", options_.metrics_tenant}});
+  plan_latency_us_ = metrics_->GetHistogram(
+      "dcp_engine_plan_latency_us", {},
+      "Fresh-plan latency (cache and store both missed)");
+  tune_latency_us_ = metrics_->GetHistogram(
+      "dcp_engine_tune_latency_us", {}, "Full block-size search latency");
+  tune_hits_ = metrics_->GetCounter("dcp_engine_tune_hits_total", {},
+                                    "Auto-tune winner cache hits");
+  tune_misses_ = metrics_->GetCounter("dcp_engine_tune_misses_total", {},
+                                      "Auto-tune winner cache misses");
   if (!options_.plan_store_path.empty()) {
-    StatusOr<std::unique_ptr<PlanStore>> store = PlanStore::Open(options_.plan_store_path);
+    StatusOr<std::unique_ptr<PlanStore>> store =
+        PlanStore::Open(options_.plan_store_path, metrics_.get());
     if (store.ok()) {
       store_ = std::move(store).value();
     } else {
@@ -127,6 +141,16 @@ Engine::Engine(ClusterSpec cluster, EngineOptions options)
   for (int s = 0; s < shards; ++s) {
     auto shard = std::make_unique<Shard>();
     shard->capacity = base + (s < remainder ? 1 : 0);
+    const std::vector<metrics::Label> labels = {{"shard", std::to_string(s)}};
+    shard->hits = metrics_->GetCounter("dcp_engine_cache_hits_total", labels,
+                                       "Plan cache hits");
+    shard->misses = metrics_->GetCounter("dcp_engine_cache_misses_total", labels,
+                                         "Plan cache misses");
+    shard->evictions = metrics_->GetCounter("dcp_engine_cache_evictions_total", labels,
+                                            "Plan cache LRU evictions");
+    shard->hit_latency_us = metrics_->GetHistogram(
+        "dcp_engine_cache_hit_latency_us", labels,
+        "Signature + probe latency on the hit path (sampled 1 in 16 when untraced)");
     shards_.push_back(std::move(shard));
   }
 }
@@ -144,10 +168,10 @@ PlanHandle Engine::CacheLookup(const PlanSignature& sig) {
   if (it == shard.index.end()) {
     // Counted even with caching disabled so cache_stats() reports the true cold-plan
     // rate instead of pretending the cache saw no traffic.
-    ++shard.misses;
+    shard.misses->Increment();
     return nullptr;
   }
-  ++shard.hits;
+  shard.hits->Increment();
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);  // Move to front.
   return *it->second;
 }
@@ -173,7 +197,7 @@ PlanHandle Engine::CacheInsert(PlanHandle handle, std::vector<PlanHandle>* evict
     }
     shard.index.erase(shard.lru.back()->signature);
     shard.lru.pop_back();
-    ++shard.evictions;
+    shard.evictions->Increment();
   }
   return handle;
 }
@@ -206,6 +230,7 @@ PlanHandle Engine::StoreLookup(const PlanSignature& sig,
   if (store_ == nullptr) {
     return nullptr;
   }
+  metrics::ScopedPhase phase(metrics::TracePhase::kStoreRead);
   StatusOr<BatchPlan> loaded = store_->Load(sig);
   if (!loaded.ok()) {
     // Absent signature (NOT_FOUND, uncounted) or a corrupt/truncated/vanished record
@@ -235,12 +260,32 @@ StatusOr<PlanHandle> Engine::PlanWithBlockSize(std::span<const int64_t> seqlens,
   planner.block_size = block_size;
   DCP_RETURN_IF_ERROR(ValidatePlanRequest(seqlens, mask_spec, cluster_, planner));
 
+  // The repeat-batch hit path runs in well under a microsecond, so even one clock
+  // read per request is measurable. Counters stay exact and always-on (a single
+  // fetch_add under the shard lock); latency is timed for every traced request but
+  // only 1 in 16 of the untraced ones — a histogram sample rate, not a data loss.
+  metrics::Trace* trace = metrics::TraceContext::Current();
+  const bool timed =
+      trace != nullptr ||
+      (metrics::RecordingEnabled() &&
+       (probe_ticker_.fetch_add(1, std::memory_order_relaxed) & 0xF) == 0);
+  const int64_t probe_start_ns = timed ? metrics::MonotonicNanos() : 0;
+
   const PlanSignature sig = ComputePlanSignature(seqlens, mask_spec, cluster_, planner);
   if (PlanHandle cached = CacheLookup(sig)) {
+    if (timed) {
+      const int64_t probe_us = (metrics::MonotonicNanos() - probe_start_ns) / 1000;
+      metrics::RecordPhase(metrics::TracePhase::kCacheProbe, probe_us);
+      ShardFor(sig).hit_latency_us->Record(probe_us);
+    }
     if (origin != nullptr) {
       *origin = PlanOrigin::kMemoryCache;
     }
     return cached;
+  }
+  if (timed) {
+    metrics::RecordPhase(metrics::TracePhase::kCacheProbe,
+                         (metrics::MonotonicNanos() - probe_start_ns) / 1000);
   }
   if (PlanHandle stored = StoreLookup(sig, seqlens, mask_spec)) {
     if (origin != nullptr) {
@@ -259,7 +304,10 @@ StatusOr<PlanHandle> Engine::PlanWithBlockSize(std::span<const int64_t> seqlens,
   auto compiled = std::make_shared<CompiledPlan>();
   compiled->signature = sig;
   compiled->masks = BuildBatchMasks(mask_spec, owned);
-  compiled->plan = PlanBatch(owned, compiled->masks, cluster_, planner);
+  {
+    metrics::ScopedLatencyTimer plan_timer(plan_latency_us_);
+    compiled->plan = PlanBatch(owned, compiled->masks, cluster_, planner);
+  }
   return InsertAndPersist(std::move(compiled));
 }
 
@@ -332,11 +380,11 @@ StatusOr<AutoTuneResult> Engine::AutoTune(std::span<const int64_t> seqlens,
     MutexLock lock(tune_mu_);
     auto it = tune_index_.find(tune_sig);
     if (it != tune_index_.end()) {
-      ++tune_hits_;
+      tune_hits_->Increment();
       tune_lru_.splice(tune_lru_.begin(), tune_lru_, it->second);
       known_winner = it->second->second;
     } else {
-      ++tune_misses_;
+      tune_misses_->Increment();
     }
   }
   if (known_winner > 0) {
@@ -360,9 +408,12 @@ StatusOr<AutoTuneResult> Engine::AutoTune(std::span<const int64_t> seqlens,
   // cached-winner path above never copies).
   const std::vector<int64_t> owned(seqlens.begin(), seqlens.end());
   std::vector<SequenceMask> masks = BuildBatchMasks(mask_spec, owned);
-  BlockSizeSearchResult search = SearchBlockSize(owned, masks, cluster_,
-                                                 options_.planner,
-                                                 options_.tune_block_sizes);
+  BlockSizeSearchResult search;
+  {
+    metrics::ScopedLatencyTimer tune_timer(tune_latency_us_);
+    search = SearchBlockSize(owned, masks, cluster_, options_.planner,
+                             options_.tune_block_sizes);
+  }
 
   if (options_.tune_cache_capacity > 0) {
     MutexLock lock(tune_mu_);
@@ -421,16 +472,16 @@ PlanCacheStats Engine::cache_stats() const DCP_NO_THREAD_SAFETY_ANALYSIS {
     locks.emplace_back(shard->mu.native());
   }
   for (const auto& shard : shards_) {
-    stats.hits += shard->hits;
-    stats.misses += shard->misses;
-    stats.evictions += shard->evictions;
+    stats.hits += shard->hits->value();
+    stats.misses += shard->misses->value();
+    stats.evictions += shard->evictions->value();
     stats.entries += static_cast<int64_t>(shard->lru.size());
   }
   locks.clear();
   {
     MutexLock lock(tune_mu_);
-    stats.tune_hits = tune_hits_;
-    stats.tune_misses = tune_misses_;
+    stats.tune_hits = tune_hits_->value();
+    stats.tune_misses = tune_misses_->value();
   }
   if (store_ != nullptr) {
     const PlanStoreStats store = store_->stats();

@@ -25,6 +25,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
 #include "common/thread_pool.h"
@@ -97,6 +98,10 @@ struct EngineOptions {
   // truncated records are counted, skipped, and replanned around — never fatal. If the
   // directory cannot be opened the engine runs store-less; see store_status().
   std::string plan_store_path;
+  // When non-empty, every instrument this engine registers carries
+  // tenant="<metrics_tenant>" so a process hosting many engines (the planning
+  // service) scrapes them apart. Unlabeled engines' series merge in the scrape.
+  std::string metrics_tenant;
 };
 
 struct PlanCacheStats {
@@ -231,6 +236,11 @@ class Engine : public Planner {
   // engine still works, it just plans cold).
   const Status& store_status() const { return store_status_; }
 
+  // The engine's child metrics registry (attached to metrics::Registry::Global()
+  // for the process scrape; labeled with options().metrics_tenant when set).
+  // PlanCacheStats is a thin view over counters registered here.
+  metrics::Registry* metrics_registry() const { return metrics_.get(); }
+
  private:
   struct Shard {
     mutable Mutex mu;
@@ -239,9 +249,15 @@ class Engine : public Planner {
     std::unordered_map<PlanSignature, std::list<PlanHandle>::iterator, PlanSignatureHash>
         index DCP_GUARDED_BY(mu);
     int64_t capacity = 0;  // Immutable after construction.
-    int64_t hits DCP_GUARDED_BY(mu) = 0;
-    int64_t misses DCP_GUARDED_BY(mu) = 0;
-    int64_t evictions DCP_GUARDED_BY(mu) = 0;
+    // Registry-backed counters (PlanCacheStats is a view over them). The
+    // pointers are immutable after construction; every Add() happens with mu
+    // held, so the all-shard-lock snapshot in cache_stats() stays exact even
+    // though the storage is atomic.
+    metrics::Counter* hits = nullptr;
+    metrics::Counter* misses = nullptr;
+    metrics::Counter* evictions = nullptr;
+    // Sampled (1 in 16) end-to-end hit latency: signature hash + LRU probe.
+    metrics::Histogram* hit_latency_us = nullptr;
   };
 
   Shard& ShardFor(const PlanSignature& sig);
@@ -262,6 +278,14 @@ class Engine : public Planner {
   ClusterSpec cluster_;
   EngineOptions options_;
   std::unique_ptr<ThreadPool> pool_;
+  // Child registry holding every instrument below; created before the shards
+  // and the store so their instrument pointers can be resolved at construction.
+  std::shared_ptr<metrics::Registry> metrics_;
+  metrics::Histogram* plan_latency_us_ = nullptr;  // Fresh-plan (miss) latency.
+  metrics::Histogram* tune_latency_us_ = nullptr;  // Full block-size searches.
+  // Hit-path timing sampler: a clock pair on every ~0.4us cache hit would blow
+  // the observability overhead budget, so only 1 in 16 untraced hits is timed.
+  std::atomic<uint64_t> probe_ticker_{0};
   std::vector<std::unique_ptr<Shard>> shards_;
   std::unique_ptr<PlanStore> store_;
   Status store_status_;
@@ -273,8 +297,9 @@ class Engine : public Planner {
                      std::list<std::pair<PlanSignature, int64_t>>::iterator,
                      PlanSignatureHash>
       tune_index_ DCP_GUARDED_BY(tune_mu_);
-  int64_t tune_hits_ DCP_GUARDED_BY(tune_mu_) = 0;
-  int64_t tune_misses_ DCP_GUARDED_BY(tune_mu_) = 0;
+  // Registry-backed (see Shard counters): bumped with tune_mu_ held.
+  metrics::Counter* tune_hits_ = nullptr;
+  metrics::Counter* tune_misses_ = nullptr;
 };
 
 }  // namespace dcp

@@ -80,6 +80,7 @@ PlacementResult PlaceBlocks(const BlockGraph& graph, const BuiltHypergraph& buil
   std::vector<DeviceId> device(static_cast<size_t>(hg.num_vertices()), 0);
   double total_cost = 0.0;
   bool balanced = true;
+  PartitionStageSeconds stages;
 
   if (num_devices == 1) {
     // Single device: nothing to place.
@@ -97,6 +98,7 @@ PlacementResult PlaceBlocks(const BlockGraph& graph, const BuiltHypergraph& buil
     }
     total_cost = result.connectivity_cost;
     balanced = result.balanced;
+    stages.Accumulate(result.stages);
   } else {
     // Level 1: machines.
     PartitionConfig node_config;
@@ -107,6 +109,7 @@ PlacementResult PlaceBlocks(const BlockGraph& graph, const BuiltHypergraph& buil
     PartitionResult node_result = partitioner->Run(hg, node_config);
     total_cost += node_result.connectivity_cost;
     balanced = node_result.balanced;
+    stages.Accumulate(node_result.stages);
 
     // Level 2: devices within each machine.
     for (int node = 0; node < options.num_nodes; ++node) {
@@ -130,6 +133,7 @@ PlacementResult PlaceBlocks(const BlockGraph& graph, const BuiltHypergraph& buil
       PartitionResult dev_result = partitioner->Run(sub, dev_config);
       total_cost += dev_result.connectivity_cost;
       balanced = balanced && dev_result.balanced;
+      stages.Accumulate(dev_result.stages);
       for (size_t i = 0; i < members.size(); ++i) {
         device[static_cast<size_t>(members[i])] =
             node * options.devices_per_node + dev_result.part[i];
@@ -140,6 +144,7 @@ PlacementResult PlaceBlocks(const BlockGraph& graph, const BuiltHypergraph& buil
   PlacementResult result;
   result.device_level_cost = total_cost;
   result.balanced = balanced;
+  result.stages = stages;
   result.chunk_device.resize(static_cast<size_t>(graph.num_chunks()));
   for (int gc = 0; gc < graph.num_chunks(); ++gc) {
     result.chunk_device[static_cast<size_t>(gc)] =

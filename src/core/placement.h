@@ -39,6 +39,9 @@ struct PlacementResult {
   std::vector<DeviceId> comp_device;   // Per computation block index.
   double device_level_cost = 0.0;      // Sum of connectivity objectives actually solved.
   bool balanced = true;
+  // Stage decomposition summed over every partitioner run (both hierarchy
+  // levels); feeds the plan_coarsen/plan_initial/plan_refine trace phases.
+  PartitionStageSeconds stages;
 };
 
 PlacementResult PlaceBlocks(const BlockGraph& graph, const BuiltHypergraph& built,

@@ -182,7 +182,8 @@ StatusOr<std::pair<PlanSignature, BatchPlan>> PlanStore::DecodeRecord(
   return std::make_pair(sig, std::move(plan).value());
 }
 
-StatusOr<std::unique_ptr<PlanStore>> PlanStore::Open(const std::string& directory) {
+StatusOr<std::unique_ptr<PlanStore>> PlanStore::Open(const std::string& directory,
+                                                     metrics::Registry* registry) {
   std::error_code ec;
   fs::create_directories(directory, ec);
   if (ec) {
@@ -190,6 +191,24 @@ StatusOr<std::unique_ptr<PlanStore>> PlanStore::Open(const std::string& director
                             ec.message());
   }
   std::unique_ptr<PlanStore> store(new PlanStore(directory));
+  if (registry != nullptr) {
+    store->hits_ = registry->GetCounter("dcp_store_hits_total", {},
+                                        "Plan records loaded and validated");
+    store->writes_ = registry->GetCounter("dcp_store_writes_total", {},
+                                          "Plan records written (Put + import)");
+    store->corrupt_skipped_ = registry->GetCounter(
+        "dcp_store_corrupt_skipped_total", {},
+        "Records dropped after failing validation");
+    store->read_latency_us_ = registry->GetHistogram(
+        "dcp_store_read_us", {}, "Record load latency: file read + decode");
+    store->write_latency_us_ = registry->GetHistogram(
+        "dcp_store_write_us", {}, "Record put latency: encode + atomic write");
+  } else {
+    store->owned_cells_ = std::make_unique<metrics::Counter[]>(3);
+    store->hits_ = &store->owned_cells_[0];
+    store->writes_ = &store->owned_cells_[1];
+    store->corrupt_skipped_ = &store->owned_cells_[2];
+  }
   // Error-code filesystem overloads throughout: a store failure must never throw out
   // of the Engine constructor — the contract is degrade-to-storeless, not crash.
   fs::directory_iterator it(directory, ec);
@@ -226,6 +245,7 @@ bool PlanStore::Contains(const PlanSignature& sig) const {
 }
 
 StatusOr<BatchPlan> PlanStore::Load(const PlanSignature& sig) {
+  metrics::ScopedLatencyTimer timer(read_latency_us_);
   {
     MutexLock lock(mu_);
     if (index_.find(sig) == index_.end()) {
@@ -252,7 +272,7 @@ StatusOr<BatchPlan> PlanStore::Load(const PlanSignature& sig) {
                         " does not match key " + sig.ToHex());
     } else {
       MutexLock lock(mu_);
-      ++hits_;
+      hits_->Increment();
       return std::move(record).value().second;
     }
   }
@@ -260,7 +280,7 @@ StatusOr<BatchPlan> PlanStore::Load(const PlanSignature& sig) {
   // to replanning instead of re-validating known-bad bytes. The file is left on disk
   // for inspection (`dcpctl cache stats` reports it as corrupt).
   MutexLock lock(mu_);
-  ++corrupt_skipped_;
+  corrupt_skipped_->Increment();
   index_.erase(sig);
   return failure;
 }
@@ -304,10 +324,11 @@ Status PlanStore::Put(const PlanSignature& sig, const BatchPlan& plan) {
   if (sig.IsZero()) {
     return Status::InvalidArgument("cannot store a plan under the zero signature");
   }
+  metrics::ScopedLatencyTimer timer(write_latency_us_);
   const std::string path = RecordPath(sig);
   DCP_RETURN_IF_ERROR(AtomicWrite(path, EncodeRecord(sig, plan)));
   MutexLock lock(mu_);
-  ++writes_;
+  writes_->Increment();
   index_[sig] = fs::path(path).filename().string();
   return Status::Ok();
 }
@@ -335,9 +356,9 @@ PlanStoreStats PlanStore::stats() const {
   MutexLock lock(mu_);
   PlanStoreStats stats;
   stats.entries = static_cast<int64_t>(index_.size());
-  stats.hits = hits_;
-  stats.writes = writes_;
-  stats.corrupt_skipped = corrupt_skipped_;
+  stats.hits = hits_->value();
+  stats.writes = writes_->value();
+  stats.corrupt_skipped = corrupt_skipped_->value();
   return stats;
 }
 
@@ -352,7 +373,7 @@ StatusOr<int> PlanStore::ExportBundle(const std::string& file) {
     StatusOr<std::string> bytes = ReadFileBytes(RecordPath(sig));
     if (!bytes.ok() || !DecodeRecord(bytes.value()).ok()) {
       MutexLock lock(mu_);
-      ++corrupt_skipped_;
+      corrupt_skipped_->Increment();
       continue;
     }
     AppendU64(out, bytes.value().size());
@@ -400,14 +421,14 @@ StatusOr<int> PlanStore::ImportBundle(const std::string& file) {
     StatusOr<std::pair<PlanSignature, BatchPlan>> decoded = DecodeRecord(record);
     if (!decoded.ok()) {
       MutexLock lock(mu_);
-      ++corrupt_skipped_;
+      corrupt_skipped_->Increment();
       continue;
     }
     const PlanSignature& sig = decoded.value().first;
     DCP_RETURN_IF_ERROR(AtomicWrite(RecordPath(sig), record));
     {
       MutexLock lock(mu_);
-      ++writes_;
+      writes_->Increment();
       index_[sig] = sig.ToHex() + kRecordSuffix;
     }
     ++imported;

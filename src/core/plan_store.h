@@ -44,6 +44,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
 #include "core/plan_signature.h"
@@ -62,8 +63,13 @@ class PlanStore {
  public:
   // Opens (creating if needed) the store directory and warm-loads the signature index
   // from the record filenames — records themselves stream in lazily on Load. Fails only
-  // on filesystem errors; unparseable filenames are ignored.
-  static StatusOr<std::unique_ptr<PlanStore>> Open(const std::string& directory);
+  // on filesystem errors; unparseable filenames are ignored. When `registry` is
+  // non-null (the Engine passes its child registry) the store's counters and
+  // record-IO latency histograms register there, so they appear in the process
+  // scrape; otherwise the counters are standalone cells owned by the store.
+  // PlanStoreStats is a thin view over them either way.
+  static StatusOr<std::unique_ptr<PlanStore>> Open(const std::string& directory,
+                                                   metrics::Registry* registry = nullptr);
 
   PlanStore(const PlanStore&) = delete;
   PlanStore& operator=(const PlanStore&) = delete;
@@ -112,9 +118,15 @@ class PlanStore {
   // Signature -> record filename (basename).
   std::unordered_map<PlanSignature, std::string, PlanSignatureHash> index_
       DCP_GUARDED_BY(mu_);
-  int64_t hits_ DCP_GUARDED_BY(mu_) = 0;
-  int64_t writes_ DCP_GUARDED_BY(mu_) = 0;
-  int64_t corrupt_skipped_ DCP_GUARDED_BY(mu_) = 0;
+  // Pointers set once in Open before the store is published; every Add happens
+  // with mu_ held so stats() snapshots stay coherent (atomic cells keep the
+  // reads tear-free).
+  metrics::Counter* hits_ = nullptr;
+  metrics::Counter* writes_ = nullptr;
+  metrics::Counter* corrupt_skipped_ = nullptr;
+  std::unique_ptr<metrics::Counter[]> owned_cells_;  // Backing when registry-less.
+  metrics::Histogram* read_latency_us_ = nullptr;   // Load: file read + decode.
+  metrics::Histogram* write_latency_us_ = nullptr;  // Put: encode + atomic write.
   int64_t temp_counter_ DCP_GUARDED_BY(mu_) = 0;
 };
 

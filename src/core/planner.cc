@@ -1,9 +1,9 @@
 #include "core/planner.h"
 
-#include <chrono>
 #include <functional>
 
 #include "common/check.h"
+#include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "core/block_gen.h"
 #include "core/hypergraph_build.h"
@@ -28,7 +28,7 @@ BatchLayout PlannerOptions::MakeLayout(const std::vector<int64_t>& seqlens) cons
 BatchPlan PlanBatch(const std::vector<int64_t>& seqlens,
                     const std::vector<SequenceMask>& masks, const ClusterSpec& cluster,
                     const PlannerOptions& options) {
-  const auto start = std::chrono::steady_clock::now();
+  const int64_t start_ns = metrics::MonotonicNanos();
 
   const BatchLayout layout = options.MakeLayout(seqlens);
   const BlockGraph graph = GenerateBlocks(layout, masks);
@@ -63,7 +63,23 @@ BatchPlan PlanBatch(const std::vector<int64_t>& seqlens,
   DCP_CHECK(validation.ok) << "planner produced an invalid plan: " << validation.Summary();
 
   plan.stats.planning_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+      static_cast<double>(metrics::MonotonicNanos() - start_ns) * 1e-9;
+
+  // Phase decomposition for the ambient trace and the global phase counters:
+  // the partitioner's multilevel stages, plus everything else PlanBatch did
+  // (block generation, hypergraph build, scheduling, compile, validation).
+  const auto to_us = [](double seconds) {
+    return seconds > 0.0 ? static_cast<int64_t>(seconds * 1e6) : 0;
+  };
+  metrics::RecordPhase(metrics::TracePhase::kPlanCoarsen,
+                       to_us(placement.stages.coarsen));
+  metrics::RecordPhase(metrics::TracePhase::kPlanInitial,
+                       to_us(placement.stages.initial));
+  metrics::RecordPhase(metrics::TracePhase::kPlanRefine,
+                       to_us(placement.stages.refine));
+  metrics::RecordPhase(
+      metrics::TracePhase::kPlanOther,
+      to_us(plan.stats.planning_seconds - placement.stages.Total()));
   return plan;
 }
 

@@ -14,6 +14,7 @@
 #include <functional>
 
 #include "common/check.h"
+#include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "hypergraph/internal.h"
 #include "hypergraph/metrics.h"
@@ -70,15 +71,28 @@ CoarsenChain BuildCoarsenChain(const Hypergraph& hg, const PartitionConfig& conf
   return chain;
 }
 
+// Seconds elapsed since `start_ns`, advancing `start_ns` to now — the one-line
+// idiom the stage decomposition below uses between pipeline steps.
+double TakeSeconds(int64_t& start_ns) {
+  const int64_t now_ns = metrics::MonotonicNanos();
+  const double seconds = static_cast<double>(now_ns - start_ns) * 1e-9;
+  start_ns = now_ns;
+  return seconds;
+}
+
 class MultilevelPartitioner final : public Partitioner {
  public:
   // One multilevel V-cycle: coarsen, initial-partition, uncoarsen with refinement.
-  static Partition VCycle(const Hypergraph& hg, const PartitionConfig& config, Rng& rng) {
+  static Partition VCycle(const Hypergraph& hg, const PartitionConfig& config, Rng& rng,
+                          PartitionStageSeconds* stages) {
+    int64_t mark_ns = metrics::MonotonicNanos();
     CoarsenChain chain = BuildCoarsenChain(hg, config, rng, nullptr);
     const Hypergraph& coarsest =
         chain.levels.empty() ? hg : chain.levels.back().coarse;
+    stages->coarsen += TakeSeconds(mark_ns);
 
     Partition part = ComputeInitialPartition(coarsest, config, rng);
+    stages->initial += TakeSeconds(mark_ns);
     FmRefine(coarsest, config, part, rng);
 
     for (size_t i = chain.levels.size(); i-- > 0;) {
@@ -92,6 +106,7 @@ class MultilevelPartitioner final : public Partitioner {
       part = std::move(projected);
       FmRefine(finer, config, part, rng);
     }
+    stages->refine += TakeSeconds(mark_ns);
     return part;
   }
 
@@ -101,10 +116,14 @@ class MultilevelPartitioner final : public Partitioner {
   // moves, so the result is never worse than the input; coarse-level moves relocate whole
   // clusters at once, escaping local optima the flat refinement cannot.
   static void IteratedVCycle(const Hypergraph& hg, const PartitionConfig& config,
-                             Partition& part, Rng& rng) {
+                             Partition& part, Rng& rng,
+                             PartitionStageSeconds* stages) {
+    int64_t mark_ns = metrics::MonotonicNanos();
     CoarsenChain chain = BuildCoarsenChain(hg, config, rng, &part);
+    stages->coarsen += TakeSeconds(mark_ns);
     if (chain.levels.empty()) {
       FmRefine(hg, config, part, rng);
+      stages->refine += TakeSeconds(mark_ns);
       return;
     }
 
@@ -119,6 +138,7 @@ class MultilevelPartitioner final : public Partitioner {
       }
       FmRefine(finer, config, finer_part, rng);
     }
+    stages->refine += TakeSeconds(mark_ns);
   }
 
   PartitionResult Run(const Hypergraph& hg, const PartitionConfig& original) const override {
@@ -169,26 +189,45 @@ class MultilevelPartitioner final : public Partitioner {
 
     const int extras = large_k ? 1 : 2;
     std::vector<Partition> candidates(static_cast<size_t>(vcycles + extras));
+    // Each concurrent candidate times its own stages into a private slot; the
+    // slots are summed after the join, so the decomposition is a CPU-span sum
+    // (it can exceed the portfolio's wall clock) and stays race-free.
+    std::vector<PartitionStageSeconds> candidate_stages(candidates.size());
     std::vector<std::function<void()>> tasks;
     tasks.reserve(candidates.size());
     for (int c = 0; c < vcycles; ++c) {
-      tasks.emplace_back([&hg, &config, &vcycle_rngs, &candidates, c]() {
+      tasks.emplace_back([&hg, &config, &vcycle_rngs, &candidates,
+                          &candidate_stages, c]() {
         candidates[static_cast<size_t>(c)] =
-            VCycle(hg, config, vcycle_rngs[static_cast<size_t>(c)]);
+            VCycle(hg, config, vcycle_rngs[static_cast<size_t>(c)],
+                   &candidate_stages[static_cast<size_t>(c)]);
       });
     }
     if (!large_k) {
-      tasks.emplace_back([&hg, &config, &direct_rng, &candidates, vcycles]() {
+      tasks.emplace_back([&hg, &config, &direct_rng, &candidates,
+                          &candidate_stages, vcycles]() {
+        // The direct candidate's greedy solve is an initial partition and its
+        // flat FM pass is refinement — bill them to the matching stages.
+        PartitionStageSeconds& stages = candidate_stages[static_cast<size_t>(vcycles)];
+        int64_t mark_ns = metrics::MonotonicNanos();
         Partition& direct = candidates[static_cast<size_t>(vcycles)];
         direct = GreedyAffinityPartition(hg, config, direct_rng);
+        stages.initial += TakeSeconds(mark_ns);
         FmRefine(hg, config, direct, direct_rng);
+        stages.refine += TakeSeconds(mark_ns);
       });
     }
-    tasks.emplace_back([&hg, &config, &packed_rng, &candidates, vcycles, extras]() {
-      candidates[static_cast<size_t>(vcycles + extras - 1)] =
-          ComponentPackingPartition(hg, config, packed_rng);
+    tasks.emplace_back([&hg, &config, &packed_rng, &candidates, &candidate_stages,
+                        vcycles, extras]() {
+      const size_t slot = static_cast<size_t>(vcycles + extras - 1);
+      int64_t mark_ns = metrics::MonotonicNanos();
+      candidates[slot] = ComponentPackingPartition(hg, config, packed_rng);
+      candidate_stages[slot].initial += TakeSeconds(mark_ns);
     });
     GlobalThreadPool().ParallelInvoke(std::move(tasks));
+    for (const PartitionStageSeconds& stages : candidate_stages) {
+      result.stages.Accumulate(stages);
+    }
 
     // Fixed-order selection: feasibility first, then connectivity cost, earlier
     // candidate winning ties. The V-cycles are listed first so the multilevel result is
@@ -213,7 +252,7 @@ class MultilevelPartitioner final : public Partitioner {
     // stalls, so converged instances pay for exactly one extra (cheap) cycle.
     for (int round = 0; round < config.vcycle_iterations; ++round) {
       Partition trial = result.part;
-      IteratedVCycle(hg, config, trial, iterate_rng);
+      IteratedVCycle(hg, config, trial, iterate_rng, &result.stages);
       auto trial_score = score(trial);
       if (trial_score < best_score) {
         result.part = std::move(trial);

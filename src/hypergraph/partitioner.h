@@ -49,10 +49,28 @@ struct PartitionConfig {
   int vcycle_iterations = 3;
 };
 
+// Wall-clock decomposition of a partitioner run into the paper's multilevel
+// stages. Portfolio candidates run concurrently, so the stage sums are CPU
+// spans and can exceed the run's wall clock; the greedy partitioner leaves
+// them zero. Feeds the plan_coarsen/plan_initial/plan_refine trace phases.
+struct PartitionStageSeconds {
+  double coarsen = 0.0;
+  double initial = 0.0;
+  double refine = 0.0;
+
+  void Accumulate(const PartitionStageSeconds& other) {
+    coarsen += other.coarsen;
+    initial += other.initial;
+    refine += other.refine;
+  }
+  double Total() const { return coarsen + initial + refine; }
+};
+
 struct PartitionResult {
   Partition part;
   double connectivity_cost = 0.0;  // Connectivity-minus-one objective.
   bool balanced = false;
+  PartitionStageSeconds stages;
 };
 
 class Partitioner {

@@ -987,13 +987,17 @@ StatusOr<BatchPlan> DeserializePlanBinary(std::string_view bytes) {
 namespace {
 
 // v2 added the request deadline, the replica-sync (anti-entropy) messages, and the
-// shed/sync counters in the stats response.
-constexpr uint32_t kServiceMessageVersion = 2;
+// shed/sync counters in the stats response. v3 added the plan request's trailing
+// trace_id and the metrics scrape messages; every v2 body parses unchanged under v3
+// (the request reader treats the trace_id as optional), so old clients keep working.
+constexpr uint32_t kServiceMessageVersion = 3;
+constexpr uint32_t kMinServiceMessageVersion = 2;
 constexpr uint8_t kMaxMaskKind = static_cast<uint8_t>(MaskKind::kSharedQuestion);
 constexpr uint8_t kMaxServeSource =
     static_cast<uint8_t>(PlanServeSource::kReplicaCache);
 constexpr size_t kMaxTenantNameBytes = 256;
 constexpr size_t kMaxStatusMessageBytes = 1 << 14;
+constexpr size_t kMaxMetricNameBytes = 256;
 // One tenant stats entry is at least a 1-byte name length plus ten 1-byte varints.
 constexpr size_t kMinTenantStatsBytes = 11;
 // One signature in a sync request is two fixed-width u64 lanes.
@@ -1030,14 +1034,18 @@ Status ReadMaskSpecBin(ByteReader& r, MaskSpec* spec) {
 
 // Every message body leads with the shared wire version; requests and responses evolve
 // in lockstep with the service.
-Status ReadMessageVersion(ByteReader& r, const char* what) {
+Status ReadMessageVersion(ByteReader& r, const char* what,
+                          uint32_t* version_out = nullptr) {
   const uint32_t version = r.U32();
   if (r.failed()) {
     return r.TakeStatus();
   }
-  if (version != kServiceMessageVersion) {
+  if (version < kMinServiceMessageVersion || version > kServiceMessageVersion) {
     return Status::DataLoss(std::string(what) + ": unsupported message version " +
                             std::to_string(version));
+  }
+  if (version_out != nullptr) {
+    *version_out = version;
   }
   return Status::Ok();
 }
@@ -1093,12 +1101,14 @@ std::string SerializePlanServiceRequest(const PlanServiceRequest& request) {
   WriteMaskSpecBin(w, request.mask_spec);
   w.Zig(request.block_size);
   w.Zig(request.deadline_ms);
+  w.U64(request.trace_id);
   return w.Take();
 }
 
 StatusOr<PlanServiceRequest> DeserializePlanServiceRequest(std::string_view bytes) {
   ByteReader r(bytes);
-  DCP_RETURN_IF_ERROR(ReadMessageVersion(r, "plan request"));
+  uint32_t version = 0;
+  DCP_RETURN_IF_ERROR(ReadMessageVersion(r, "plan request", &version));
   PlanServiceRequest request;
   request.tenant = r.Str(kMaxTenantNameBytes, "tenant name too long");
   const uint32_t num_seqs = r.BoundedCount(1, "request sequence count");
@@ -1115,6 +1125,9 @@ StatusOr<PlanServiceRequest> DeserializePlanServiceRequest(std::string_view byte
   if (!r.failed() && request.deadline_ms < 0) {
     return r.Fail("negative request deadline");
   }
+  if (version >= 3) {
+    request.trace_id = r.U64();
+  }
   DCP_RETURN_IF_ERROR(RejectTrailing(r, "plan request"));
   return request;
 }
@@ -1122,7 +1135,8 @@ StatusOr<PlanServiceRequest> DeserializePlanServiceRequest(std::string_view byte
 StatusOr<PlanServiceRequestView> DeserializePlanServiceRequestView(
     std::string_view bytes, Arena* arena) {
   ByteReader r(bytes);
-  DCP_RETURN_IF_ERROR(ReadMessageVersion(r, "plan request"));
+  uint32_t version = 0;
+  DCP_RETURN_IF_ERROR(ReadMessageVersion(r, "plan request", &version));
   PlanServiceRequestView request;
   request.tenant = r.StrView(kMaxTenantNameBytes, "tenant name too long");
   const uint32_t num_seqs = r.BoundedCount(1, "request sequence count");
@@ -1141,6 +1155,9 @@ StatusOr<PlanServiceRequestView> DeserializePlanServiceRequestView(
   request.deadline_ms = r.Zig();
   if (!r.failed() && request.deadline_ms < 0) {
     return r.Fail("negative request deadline");
+  }
+  if (version >= 3) {
+    request.trace_id = r.U64();
   }
   DCP_RETURN_IF_ERROR(RejectTrailing(r, "plan request"));
   return request;
@@ -1285,6 +1302,47 @@ StatusOr<PlanServiceStatsResponse> DeserializePlanServiceStatsResponse(
     response.tenants.push_back(std::move(t));
   }
   DCP_RETURN_IF_ERROR(RejectTrailing(r, "stats response"));
+  return response;
+}
+
+std::string SerializePlanServiceMetricsRequest(
+    const PlanServiceMetricsRequest& request) {
+  ByteWriter w;
+  w.U32(kServiceMessageVersion);
+  w.Str(request.name_prefix);
+  return w.Take();
+}
+
+StatusOr<PlanServiceMetricsRequest> DeserializePlanServiceMetricsRequest(
+    std::string_view bytes) {
+  ByteReader r(bytes);
+  DCP_RETURN_IF_ERROR(ReadMessageVersion(r, "metrics request"));
+  PlanServiceMetricsRequest request;
+  request.name_prefix = r.Str(kMaxMetricNameBytes, "metric name prefix too long");
+  DCP_RETURN_IF_ERROR(RejectTrailing(r, "metrics request"));
+  return request;
+}
+
+std::string SerializePlanServiceMetricsResponse(
+    const PlanServiceMetricsResponse& response) {
+  ByteWriter w;
+  w.U32(kServiceMessageVersion);
+  w.U8(static_cast<uint8_t>(response.code));
+  w.Str(response.message);
+  w.Str(response.text);
+  return w.Take();
+}
+
+StatusOr<PlanServiceMetricsResponse> DeserializePlanServiceMetricsResponse(
+    std::string_view bytes) {
+  ByteReader r(bytes);
+  DCP_RETURN_IF_ERROR(ReadMessageVersion(r, "metrics response"));
+  PlanServiceMetricsResponse response;
+  DCP_RETURN_IF_ERROR(ReadStatusCodeBin(r, &response.code));
+  response.message = r.Str(kMaxStatusMessageBytes, "status message too long");
+  // The rendered exposition only needs to fit in the frame payload.
+  response.text = r.Str(bytes.size(), "metrics text exceeds message");
+  DCP_RETURN_IF_ERROR(RejectTrailing(r, "metrics response"));
   return response;
 }
 

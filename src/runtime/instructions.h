@@ -229,6 +229,10 @@ struct PlanServiceRequest {
   // the request (DEADLINE_EXCEEDED, no planning) once the budget has already expired —
   // planning dead work would only steal workers from live requests.
   int64_t deadline_ms = 0;
+  // Trace id for per-request phase tracing (v3 field, 0 = untraced). Written after
+  // every v2 field so a v2 body is exactly a v3 body minus this trailer, and a v3
+  // reader accepts both.
+  uint64_t trace_id = 0;
 };
 
 struct PlanServiceResponse {
@@ -294,6 +298,28 @@ struct PlanSyncResponse {
   std::vector<std::string> records;  // Validated by the receiver before adoption.
 };
 
+// Live metrics scrape (v3): the caller optionally narrows the families by name
+// prefix; the callee replies with its process-global registry rendered in Prometheus
+// text exposition format. Text on purpose — the scrape format is the stable contract,
+// so the wire layer needs no per-instrument schema.
+struct PlanServiceMetricsRequest {
+  std::string name_prefix;  // Empty: every family.
+};
+
+struct PlanServiceMetricsResponse {
+  StatusCode code = StatusCode::kOk;
+  std::string message;
+  std::string text;  // Prometheus text exposition.
+};
+
+std::string SerializePlanServiceMetricsRequest(const PlanServiceMetricsRequest& request);
+StatusOr<PlanServiceMetricsRequest> DeserializePlanServiceMetricsRequest(
+    std::string_view bytes);
+std::string SerializePlanServiceMetricsResponse(
+    const PlanServiceMetricsResponse& response);
+StatusOr<PlanServiceMetricsResponse> DeserializePlanServiceMetricsResponse(
+    std::string_view bytes);
+
 std::string SerializePlanSyncRequest(const PlanSyncRequest& request);
 StatusOr<PlanSyncRequest> DeserializePlanSyncRequest(std::string_view bytes);
 std::string SerializePlanSyncResponse(const PlanSyncResponse& response);
@@ -315,6 +341,7 @@ struct PlanServiceRequestView {
   MaskSpec mask_spec;
   int64_t block_size = 0;
   int64_t deadline_ms = 0;
+  uint64_t trace_id = 0;  // v3 field; 0 when absent (v2 body) or untraced.
 };
 
 // Wire-compatible with DeserializePlanServiceRequest (same validation, same errors);

@@ -40,7 +40,7 @@ uint64_t ReadU64At(const char* bytes) {
 
 bool IsKnownFrameType(uint32_t type) {
   return type >= static_cast<uint32_t>(FrameType::kPlanRequest) &&
-         type <= static_cast<uint32_t>(FrameType::kSyncResponse);
+         type <= static_cast<uint32_t>(FrameType::kMetricsResponse);
 }
 
 }  // namespace

@@ -39,6 +39,11 @@ enum class FrameType : uint32_t {
   // answered with a PlanSyncResponse shipping the records the requester lacked.
   kSyncRequest = 6,
   kSyncResponse = 7,
+  // Live observability scrape: a PlanServiceMetricsRequest (optional name-prefix
+  // filter), answered with a PlanServiceMetricsResponse carrying the registry
+  // rendered in Prometheus text exposition format.
+  kMetricsRequest = 8,
+  kMetricsResponse = 9,
 };
 
 struct Frame {

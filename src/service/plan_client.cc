@@ -65,6 +65,13 @@ PlanSignature PlanRequestCacheKey(const std::string& tenant,
 PlanClient::PlanClient(ServiceAddress address, PlanClientOptions options)
     : address_(std::move(address)), options_(std::move(options)) {
   pool_ = std::make_unique<ThreadPool>(std::max(1, options_.planner_threads));
+  metrics_ = metrics::Registry::NewAttached({{"tenant", options_.tenant}});
+  for (int s = 0; s < 5; ++s) {
+    serve_latency_us_[s] = metrics_->GetHistogram(
+        "dcp_client_plan_latency_us",
+        {{"source", PlanServeSourceName(static_cast<PlanServeSource>(s))}},
+        "Client-observed plan latency by serve source, microseconds.");
+  }
 }
 
 PlanClient::~PlanClient() = default;
@@ -211,14 +218,26 @@ void PlanClient::CacheInsert(const PlanSignature& key, PlanHandle handle) {
 StatusOr<PlanHandle> PlanClient::PlanWithBlockSize(const std::vector<int64_t>& seqlens,
                                                    const MaskSpec& mask_spec,
                                                    int64_t block_size) {
+  // Latency is attributed to the serve source only once it is known (the cache
+  // probe resolves it immediately; an RPC resolves it from the response).
+  const bool timed = metrics::RecordingEnabled();
+  const int64_t start_us = timed ? metrics::MonotonicMicros() : 0;
   const PlanSignature key = CacheKey(seqlens, mask_spec, block_size);
   if (PlanHandle cached = CacheLookup(key)) {
     {
       MutexLock lock(cache_mu_);
       last_source_ = PlanServeSource::kClientCache;
     }
-    MutexLock lock(stats_mu_);
-    ++stats_.cache_hits;
+    {
+      MutexLock lock(stats_mu_);
+      ++stats_.cache_hits;
+    }
+    if (timed) {
+      const int64_t probe_us = metrics::MonotonicMicros() - start_us;
+      metrics::RecordPhase(metrics::TracePhase::kCacheProbe, probe_us);
+      serve_latency_us_[static_cast<int>(PlanServeSource::kClientCache)]->Record(
+          probe_us);
+    }
     return cached;
   }
 
@@ -228,6 +247,10 @@ StatusOr<PlanHandle> PlanClient::PlanWithBlockSize(const std::vector<int64_t>& s
   request.mask_spec = mask_spec;
   request.block_size = block_size;
   request.deadline_ms = options_.deadline_ms;
+  // Propagate the ambient trace id (or mint one) so the server's trace ring and
+  // slow-request log correlate with this caller. v2 servers ignore the trailer.
+  metrics::Trace* trace = metrics::TraceContext::Current();
+  request.trace_id = trace != nullptr ? trace->trace_id : metrics::NextTraceId();
   StatusOr<Frame> reply =
       Roundtrip(FrameType::kPlanRequest, SerializePlanServiceRequest(request),
                 FrameType::kPlanResponse);
@@ -274,6 +297,10 @@ StatusOr<PlanHandle> PlanClient::PlanWithBlockSize(const std::vector<int64_t>& s
     MutexLock lock(cache_mu_);
     last_source_ = response.value().source;
   }
+  const int source_index = static_cast<int>(response.value().source);
+  if (timed && source_index >= 0 && source_index < 5) {
+    serve_latency_us_[source_index]->Record(metrics::MonotonicMicros() - start_us);
+  }
   return handle;
 }
 
@@ -306,6 +333,31 @@ StatusOr<PlanServiceStatsResponse> PlanClient::ServerStats(
     return DecodeErrorFrame(reply.value());
   }
   return DeserializePlanServiceStatsResponse(reply.value().payload);
+}
+
+StatusOr<PlanServiceMetricsResponse> PlanClient::ServerMetrics(
+    const std::string& name_prefix) {
+  PlanServiceMetricsRequest request;
+  request.name_prefix = name_prefix;
+  StatusOr<Frame> reply =
+      Roundtrip(FrameType::kMetricsRequest,
+                SerializePlanServiceMetricsRequest(request),
+                FrameType::kMetricsResponse);
+  if (!reply.ok()) {
+    return reply.status();
+  }
+  if (reply.value().type == FrameType::kErrorResponse) {
+    return DecodeErrorFrame(reply.value());
+  }
+  StatusOr<PlanServiceMetricsResponse> response =
+      DeserializePlanServiceMetricsResponse(reply.value().payload);
+  if (!response.ok()) {
+    return response.status();
+  }
+  if (response.value().code != StatusCode::kOk) {
+    return Status(response.value().code, response.value().message);
+  }
+  return response;
 }
 
 PlanClientStats PlanClient::stats() const {

@@ -23,6 +23,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
 #include "common/thread_pool.h"
@@ -120,6 +121,11 @@ class PlanClient : public Planner {
 
   StatusOr<PlanServiceStatsResponse> ServerStats(const std::string& tenant_filter = "");
 
+  // One metrics scrape from the server: Prometheus text for every series whose
+  // name starts with `name_prefix` ("" for everything). Requires a v3 server.
+  StatusOr<PlanServiceMetricsResponse> ServerMetrics(
+      const std::string& name_prefix = "");
+
   const ServiceAddress& address() const { return address_; }
   const PlanClientOptions& options() const { return options_; }
   PlanClientStats stats() const;
@@ -165,6 +171,12 @@ class PlanClient : public Planner {
 
   mutable Mutex stats_mu_;
   PlanClientStats stats_ DCP_GUARDED_BY(stats_mu_);
+
+  // Client-observed plan latency per serve source, {tenant=, source=}. This is
+  // the only place kClientCache can be measured (the server never sees those
+  // requests), completing the per-source latency picture a scrape shows.
+  std::shared_ptr<metrics::Registry> metrics_;
+  metrics::Histogram* serve_latency_us_[5] = {};
 };
 
 }  // namespace dcp

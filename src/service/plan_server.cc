@@ -16,16 +16,13 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/metrics.h"
 #include "core/plan_store.h"
 
 namespace dcp {
 namespace {
 
-int64_t NowMs() {
-  return std::chrono::duration_cast<std::chrono::milliseconds>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
+int64_t NowMs() { return metrics::MonotonicMillis(); }
 
 PlanServeSource SourceFromOrigin(PlanOrigin origin) {
   switch (origin) {
@@ -61,14 +58,52 @@ struct PlanServer::PlanJob {
   PlanServiceRequestView view;
   std::string tenant;  // Owned copy: registry / quota / counter keys outlive payload.
   int64_t arrival_ms = 0;
+  int64_t arrival_us = 0;  // Same instant as arrival_ms; trace/phase resolution.
   bool quota_held = false;
 };
 
 PlanServer::PlanServer(std::shared_ptr<TenantRegistry> registry,
                        PlanServerOptions options)
-    : registry_(std::move(registry)), options_(options) {
+    : registry_(std::move(registry)),
+      options_(options),
+      trace_ring_(std::max(1, options.trace_ring_capacity)) {
   DCP_CHECK(registry_ != nullptr);
   DCP_CHECK_GE(options_.max_queue, 0);
+  metrics_ = metrics::Registry::NewAttached({});
+  const auto counter = [this](const char* name, const char* help) {
+    return metrics_->GetCounter(name, {}, help);
+  };
+  counters_.connections_accepted =
+      counter("dcp_server_connections_accepted_total", "Accepted connections");
+  counters_.requests_received = counter("dcp_server_requests_received_total",
+                                        "Well-formed request frames received");
+  counters_.responses_sent =
+      counter("dcp_server_responses_sent_total", "Response frames fully written");
+  counters_.plan_ok = counter("dcp_server_plan_ok_total", "Plan requests served OK");
+  counters_.plan_errors = counter("dcp_server_plan_errors_total",
+                                  "Plan requests answered with a non-OK status");
+  counters_.rejected_overload = counter("dcp_server_rejected_overload_total",
+                                        "Requests rejected at the in-flight bound");
+  counters_.malformed_frames =
+      counter("dcp_server_malformed_frames_total", "Malformed or torn frames");
+  counters_.shed_quota = counter("dcp_server_shed_quota_total",
+                                 "Requests rejected over a tenant's quota");
+  counters_.shed_deadline = counter("dcp_server_shed_deadline_total",
+                                    "Requests dropped with an expired deadline");
+  counters_.replica_cache_hits = counter(
+      "dcp_server_replica_cache_hits_total", "Served from gossip-adopted records");
+  counters_.sync_records_shipped = counter("dcp_server_sync_records_shipped_total",
+                                           "Records shipped to gossip peers");
+  counters_.sync_records_adopted = counter("dcp_server_sync_records_adopted_total",
+                                           "Peer records validated and adopted");
+  counters_.sync_records_rejected = counter("dcp_server_sync_records_rejected_total",
+                                            "Peer records that failed validation");
+  counters_.accept_soft_errors = counter("dcp_server_accept_soft_errors_total",
+                                         "Transient accept failures (backoff+retry)");
+  counters_.zero_copy_serves = counter("dcp_server_zero_copy_serves_total",
+                                       "Responses written from shared record bytes");
+  counters_.slow_reader_closes = counter("dcp_server_slow_reader_closes_total",
+                                         "Connections shed at the outbox bound");
 }
 
 PlanServer::~PlanServer() { Stop(); }
@@ -95,6 +130,13 @@ Status PlanServer::Start(const ServiceAddress& address) {
   for (int i = 0; i < num_loops; ++i) {
     auto loop = std::make_unique<IoLoop>(!options_.force_poll_backend);
     loop->index = i;
+    const std::vector<metrics::Label> loop_labels = {{"loop", std::to_string(i)}};
+    loop->queue_depth = metrics_->GetGauge(
+        "dcp_server_loop_queue_depth", loop_labels,
+        "Response frames queued across this IO loop's connections");
+    loop->output_queue_bytes = metrics_->GetGauge(
+        "dcp_server_loop_output_queue_bytes", loop_labels,
+        "Response bytes queued across this IO loop's connections");
     loop->wake_fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
     if (loop->wake_fd < 0) {
       loops_.clear();
@@ -260,10 +302,7 @@ void PlanServer::DoAccept(IoLoop& loop) {
       if (fault.action == FaultAction::kFail || fault.action == FaultAction::kTear) {
         // Simulated transient accept-path pressure (EMFILE/ECONNABORTED). The pending
         // connection is NOT consumed — it stays in the backlog for the retry.
-        {
-          MutexLock lock(stats_mu_);
-          ++stats_.accept_soft_errors;
-        }
+        counters_.accept_soft_errors->Increment();
         PauseAccept(loop);
         return;
       }
@@ -281,10 +320,7 @@ void PlanServer::DoAccept(IoLoop& loop) {
       // transient operational pressure, not a programming error. Count it, back off,
       // retry — the one thing an accept loop must never do is exit and turn a full fd
       // table into a permanently deaf server.
-      {
-        MutexLock lock(stats_mu_);
-        ++stats_.accept_soft_errors;
-      }
+      counters_.accept_soft_errors->Increment();
       PauseAccept(loop);
       return;
     }
@@ -295,10 +331,7 @@ void PlanServer::DoAccept(IoLoop& loop) {
       const int one = 1;
       (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     }
-    {
-      MutexLock lock(stats_mu_);
-      ++stats_.connections_accepted;
-    }
+    counters_.connections_accepted->Increment();
     auto conn = std::make_unique<Connection>(options_.max_frame_payload_bytes);
     conn->socket = Socket(fd);
     // Chaos mode (dcpctl serve --chaos) faults server-side IO too.
@@ -401,8 +434,7 @@ void PlanServer::OnReadable(IoLoop& loop, Connection* conn) {
       case IoResult::Kind::kEof:
         if (conn->assembler.buffered_bytes() > 0 && !conn->assembler.failed()) {
           // The peer closed mid-frame: a torn frame, counted like any other.
-          MutexLock lock(stats_mu_);
-          ++stats_.malformed_frames;
+          counters_.malformed_frames->Increment();
         }
         conn->read_open = false;
         (void)loop.poller.Modify(conn->fd, /*want_read=*/false,
@@ -425,10 +457,7 @@ void PlanServer::ProcessInbound(IoLoop& loop, Connection* conn) {
       }
       // Corrupt or oversized frame: count it, answer, and drain-then-close — framing
       // sync is gone, but queued responses still go out first.
-      {
-        MutexLock lock(stats_mu_);
-        ++stats_.malformed_frames;
-      }
+      counters_.malformed_frames->Increment();
       QueueResponse(conn, EncodeFrameParts(FrameType::kErrorResponse,
                                            SerializePlanServiceResponse(ErrorResponse(
                                                StatusCode::kDataLoss,
@@ -442,10 +471,7 @@ void PlanServer::ProcessInbound(IoLoop& loop, Connection* conn) {
 
 void PlanServer::HandleInboundFrame(IoLoop& loop, Connection* conn, Frame frame) {
   (void)loop;
-  {
-    MutexLock lock(stats_mu_);
-    ++stats_.requests_received;
-  }
+  counters_.requests_received->Increment();
   // Backpressure: admit the request only if the in-flight budget allows. The loop
   // answers overload itself so a saturated worker pool still rejects promptly. The
   // rejection frame matches the request's frame type — a kSyncRequest must never be
@@ -453,10 +479,7 @@ void PlanServer::HandleInboundFrame(IoLoop& loop, Connection* conn, Frame frame)
   const int admitted = in_flight_.fetch_add(1, std::memory_order_acq_rel);
   if (admitted >= options_.max_queue) {
     in_flight_.fetch_sub(1, std::memory_order_acq_rel);
-    {
-      MutexLock lock(stats_mu_);
-      ++stats_.rejected_overload;
-    }
+    counters_.rejected_overload->Increment();
     const std::string message = "server overloaded: " +
                                 std::to_string(options_.max_queue) +
                                 " requests already in flight";
@@ -478,6 +501,15 @@ void PlanServer::HandleInboundFrame(IoLoop& loop, Connection* conn, Frame frame)
                                              SerializePlanSyncResponse(overload)));
         break;
       }
+      case FrameType::kMetricsRequest: {
+        PlanServiceMetricsResponse overload;
+        overload.code = StatusCode::kUnavailable;
+        overload.message = message;
+        QueueResponse(
+            conn, EncodeFrameParts(FrameType::kMetricsResponse,
+                                   SerializePlanServiceMetricsResponse(overload)));
+        break;
+      }
       default:
         QueueResponse(conn,
                       EncodeFrameParts(FrameType::kPlanResponse,
@@ -494,15 +526,13 @@ void PlanServer::HandleInboundFrame(IoLoop& loop, Connection* conn, Frame frame)
     // is views + one arena array over the payload — no per-field allocations.
     auto job = std::make_shared<PlanJob>();
     job->payload = std::move(frame.payload);
-    job->arrival_ms = NowMs();
+    job->arrival_us = metrics::MonotonicMicros();
+    job->arrival_ms = job->arrival_us / 1000;
     StatusOr<PlanServiceRequestView> view =
         DeserializePlanServiceRequestView(job->payload, &job->arena);
     if (!view.ok()) {
       in_flight_.fetch_sub(1, std::memory_order_acq_rel);
-      {
-        MutexLock lock(stats_mu_);
-        ++stats_.malformed_frames;
-      }
+      counters_.malformed_frames->Increment();
       QueueResponse(conn, EncodeFrameParts(FrameType::kPlanResponse,
                                            SerializePlanServiceResponse(ErrorResponse(
                                                view.status().code(),
@@ -513,15 +543,23 @@ void PlanServer::HandleInboundFrame(IoLoop& loop, Connection* conn, Frame frame)
     job->tenant = std::string(job->view.tenant);
     if (options_.max_inflight_per_tenant > 0 &&
         registry_->Find(job->tenant) != nullptr) {
-      MutexLock lock(quota_mu_);
-      int& inflight = tenant_inflight_[job->tenant];
-      if (inflight >= options_.max_inflight_per_tenant) {
-        in_flight_.fetch_sub(1, std::memory_order_acq_rel);
-        {
-          MutexLock stats_lock(stats_mu_);
-          ++stats_.shed_quota;
-          ++tenant_counters_[job->tenant].shed_quota;
+      bool over_quota = false;
+      {
+        MutexLock lock(quota_mu_);
+        int& inflight = tenant_inflight_[job->tenant];
+        if (inflight >= options_.max_inflight_per_tenant) {
+          over_quota = true;
+        } else {
+          ++inflight;
+          job->quota_held = true;
         }
+      }
+      // Counters and the rejection frame run outside quota_mu_: the counter path
+      // takes stats_mu_ and the registry mutex, and quota_mu_ stays a leaf.
+      if (over_quota) {
+        in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+        counters_.shed_quota->Increment();
+        TenantCountersFor(job->tenant).shed_quota->Increment();
         QueueResponse(
             conn, EncodeFrameParts(
                       FrameType::kPlanResponse,
@@ -532,8 +570,6 @@ void PlanServer::HandleInboundFrame(IoLoop& loop, Connection* conn, Frame frame)
                               " requests already in flight"))));
         return;
       }
-      ++inflight;
-      job->quota_held = true;
     }
     conn->pending_jobs.fetch_add(1, std::memory_order_acq_rel);
     pool_->Submit([this, conn, job] {
@@ -616,6 +652,8 @@ void PlanServer::FlushWrites(IoLoop& loop, Connection* conn) {
     switch (r.kind) {
       case IoResult::Kind::kProgress: {
         size_t completed = 0;
+        size_t completed_bytes = 0;
+        std::vector<PendingResponseTrace> drained_traces;
         {
           MutexLock lock(conn->mu);
           conn->front_offset += r.bytes;
@@ -623,13 +661,24 @@ void PlanServer::FlushWrites(IoLoop& loop, Connection* conn) {
                  conn->front_offset >= conn->outbox.front().TotalBytes()) {
             conn->front_offset -= conn->outbox.front().TotalBytes();
             conn->outbox_bytes -= conn->outbox.front().TotalBytes();
+            completed_bytes += conn->outbox.front().TotalBytes();
             conn->outbox.pop_front();
+            if (conn->outbox_traces.front().armed()) {
+              drained_traces.push_back(std::move(conn->outbox_traces.front()));
+            }
+            conn->outbox_traces.pop_front();
             ++completed;
           }
         }
         if (completed > 0) {
-          MutexLock lock(stats_mu_);
-          stats_.responses_sent += static_cast<int64_t>(completed);
+          counters_.responses_sent->Add(static_cast<int64_t>(completed));
+          loop.queue_depth->Add(-static_cast<int64_t>(completed));
+          loop.output_queue_bytes->Add(-static_cast<int64_t>(completed_bytes));
+        }
+        // Finalized outside conn->mu: the slow log and histogram lookups must not
+        // ride under a lock QueueResponse contends for.
+        for (PendingResponseTrace& pending : drained_traces) {
+          FinalizeResponseTrace(pending, /*drained=*/true);
         }
         continue;
       }
@@ -648,11 +697,27 @@ void PlanServer::FlushWrites(IoLoop& loop, Connection* conn) {
 }
 
 void PlanServer::CloseConn(IoLoop& loop, Connection* conn) {
+  std::vector<PendingResponseTrace> discarded;
   {
     MutexLock lock(conn->mu);
     conn->dead = true;
+    if (!conn->outbox.empty()) {
+      loop.queue_depth->Add(-static_cast<int64_t>(conn->outbox.size()));
+      loop.output_queue_bytes->Add(-static_cast<int64_t>(conn->outbox_bytes));
+    }
     conn->outbox.clear();
+    for (PendingResponseTrace& pending : conn->outbox_traces) {
+      if (pending.armed()) {
+        discarded.push_back(std::move(pending));
+      }
+    }
+    conn->outbox_traces.clear();
     conn->outbox_bytes = 0;
+  }
+  // Undelivered responses still leave a trace (ok stays as served; the write-drain
+  // phase just ends at the close instant) so a shed request remains diagnosable.
+  for (PendingResponseTrace& pending : discarded) {
+    FinalizeResponseTrace(pending, /*drained=*/false);
   }
   auto it = loop.conns.find(conn->fd);
   if (it == loop.conns.end() || it->second.get() != conn) {
@@ -700,33 +765,41 @@ void PlanServer::Reap(IoLoop& loop) {
   }
 }
 
-void PlanServer::QueueResponse(Connection* conn, FrameParts parts) {
+void PlanServer::QueueResponse(Connection* conn, FrameParts parts,
+                               PendingResponseTrace trace) {
   IoLoop& loop = *loops_[static_cast<size_t>(conn->loop_index)];
+  const size_t total_bytes = parts.TotalBytes();
   bool notify = false;
   bool shed = false;
+  bool queued = false;
   {
     MutexLock lock(conn->mu);
     if (conn->dead) {
       return;  // Closing; the response is undeliverable.
     }
-    if (conn->outbox_bytes + parts.TotalBytes() > options_.max_output_queue_bytes) {
+    if (conn->outbox_bytes + total_bytes > options_.max_output_queue_bytes) {
       // Slow-reader shedding closes the whole connection rather than dropping one
       // response: the protocol is strictly request-response ordered, and a silently
       // missing response would desynchronize every later reply on the stream.
       conn->dead = true;
       shed = true;
     } else {
-      conn->outbox_bytes += parts.TotalBytes();
+      conn->outbox_bytes += total_bytes;
       conn->outbox.push_back(std::move(parts));
+      conn->outbox_traces.push_back(std::move(trace));
+      queued = true;
     }
     if (!conn->notified) {
       conn->notified = true;
       notify = true;
     }
   }
+  if (queued) {
+    loop.queue_depth->Add(1);
+    loop.output_queue_bytes->Add(static_cast<int64_t>(total_bytes));
+  }
   if (shed) {
-    MutexLock lock(stats_mu_);
-    ++stats_.slow_reader_closes;
+    counters_.slow_reader_closes->Increment();
   }
   if (notify) {
     {
@@ -739,15 +812,45 @@ void PlanServer::QueueResponse(Connection* conn, FrameParts parts) {
 
 void PlanServer::QueuePlanResponse(Connection* conn,
                                    const PlanServiceResponse& response,
-                                   std::shared_ptr<const std::string> record) {
+                                   std::shared_ptr<const std::string> record,
+                                   std::shared_ptr<metrics::Trace> trace) {
   const size_t record_size = record == nullptr ? 0 : record->size();
   std::string head = SerializePlanServiceResponseHead(response, record_size);
   if (record_size > 0) {
-    MutexLock lock(stats_mu_);
-    ++stats_.zero_copy_serves;
+    counters_.zero_copy_serves->Increment();
+  }
+  PendingResponseTrace pending{};
+  if (trace != nullptr) {
+    pending.trace = std::move(trace);
+    // Resolved here on the worker thread, where tenant and serve source are both
+    // known, so the loop thread finalizes with one histogram Record().
+    pending.latency_hist =
+        ServeHistogramFor(pending.trace->tenant, response.source);
+    pending.enqueue_us = metrics::MonotonicMicros();
   }
   QueueResponse(conn, EncodeFrameParts(FrameType::kPlanResponse, head,
-                                       std::move(record)));
+                                       std::move(record)),
+                std::move(pending));
+}
+
+void PlanServer::FinalizeResponseTrace(PendingResponseTrace& pending, bool drained) {
+  metrics::Trace& trace = *pending.trace;
+  const int64_t end_us = metrics::MonotonicMicros();
+  metrics::RecordPhase(&trace, metrics::TracePhase::kWriteDrain,
+                       end_us - pending.enqueue_us);
+  trace.total_us = end_us - trace.start_us;
+  if (!drained) {
+    trace.ok = false;  // The response never reached the peer.
+  }
+  if (pending.latency_hist != nullptr) {
+    pending.latency_hist->Record(trace.total_us);
+  }
+  if (options_.slow_request_log_ms > 0 &&
+      trace.total_us >= options_.slow_request_log_ms * 1000) {
+    std::fprintf(stderr, "dcp::PlanServer: slow request: %s\n",
+                 metrics::FormatTrace(trace).c_str());
+  }
+  trace_ring_.Push(trace);
 }
 
 void PlanServer::HandlePlanJob(Connection* conn,
@@ -758,6 +861,18 @@ void PlanServer::HandlePlanJob(Connection* conn,
       --tenant_inflight_[job->tenant];
     }
   };
+  // Every plan request gets a trace; the client's id (v3 wire field) keys it when
+  // present so client and server logs line up, otherwise a fresh id is minted. The
+  // scope makes it ambient for this worker thread: the engine's cache-probe /
+  // store-read / plan-stage phases all land in it without further plumbing.
+  auto trace = std::make_shared<metrics::Trace>();
+  trace->trace_id =
+      job->view.trace_id != 0 ? job->view.trace_id : metrics::NextTraceId();
+  trace->tenant = job->tenant;
+  trace->start_us = job->arrival_us;
+  metrics::TraceContext::Scope scope(trace.get());
+  metrics::RecordPhase(metrics::TracePhase::kQueueWait,
+                       metrics::MonotonicMicros() - job->arrival_us);
   if (options_.fault_injector != nullptr) {
     const FaultDecision fault = options_.fault_injector->Decide(FaultPoint::kServe);
     if (fault.action == FaultAction::kDelay) {
@@ -775,22 +890,23 @@ void PlanServer::HandlePlanJob(Connection* conn,
       NowMs() - job->arrival_ms >= job->view.deadline_ms) {
     // The caller's budget is already gone (it has timed out, failed over, or hedged
     // away); planning now would only steal workers from live requests.
-    {
-      MutexLock lock(stats_mu_);
-      ++stats_.shed_deadline;
-    }
+    counters_.shed_deadline->Increment();
+    trace->ok = false;
+    trace->source = "shed-deadline";
     QueuePlanResponse(
         conn,
         ErrorResponse(StatusCode::kDeadlineExceeded,
                       "deadline of " + std::to_string(job->view.deadline_ms) +
                           "ms expired before planning started"),
-        nullptr);
+        nullptr, trace);
     release_quota();
     return;
   }
   ServeResult served = HandlePlanRequest(job->tenant, job->view.seqlens,
                                          job->view.mask_spec, job->view.block_size);
-  QueuePlanResponse(conn, served.response, std::move(served.record));
+  trace->ok = served.response.code == StatusCode::kOk;
+  trace->source = PlanServeSourceName(served.response.source);
+  QueuePlanResponse(conn, served.response, std::move(served.record), trace);
   release_quota();
 }
 
@@ -800,8 +916,7 @@ void PlanServer::HandleFrame(Connection* conn, Frame frame) {
       StatusOr<PlanSyncRequest> request = DeserializePlanSyncRequest(frame.payload);
       PlanSyncResponse response;
       if (!request.ok()) {
-        MutexLock lock(stats_mu_);
-        ++stats_.malformed_frames;
+        counters_.malformed_frames->Increment();
         response.code = request.status().code();
         response.message = request.status().message();
       } else {
@@ -816,8 +931,7 @@ void PlanServer::HandleFrame(Connection* conn, Frame frame) {
           DeserializePlanServiceStatsRequest(frame.payload);
       PlanServiceStatsResponse response;
       if (!request.ok()) {
-        MutexLock lock(stats_mu_);
-        ++stats_.malformed_frames;
+        counters_.malformed_frames->Increment();
         response.code = request.status().code();
         response.message = request.status().message();
       } else {
@@ -828,13 +942,29 @@ void PlanServer::HandleFrame(Connection* conn, Frame frame) {
                                      SerializePlanServiceStatsResponse(response)));
       return;
     }
+    case FrameType::kMetricsRequest: {
+      StatusOr<PlanServiceMetricsRequest> request =
+          DeserializePlanServiceMetricsRequest(frame.payload);
+      PlanServiceMetricsResponse response;
+      if (!request.ok()) {
+        counters_.malformed_frames->Increment();
+        response.code = request.status().code();
+        response.message = request.status().message();
+      } else {
+        // The process-global registry, not just this server's child: one scrape
+        // shows the engines, stores, replica sets, and server in one exposition.
+        response.text = metrics::Registry::Global().RenderPrometheus(
+            request.value().name_prefix);
+      }
+      QueueResponse(
+          conn, EncodeFrameParts(FrameType::kMetricsResponse,
+                                 SerializePlanServiceMetricsResponse(response)));
+      return;
+    }
     default: {
       // Well-framed but not a request type: answer with an error and keep the
       // connection (framing is intact, the client just sent nonsense).
-      {
-        MutexLock lock(stats_mu_);
-        ++stats_.malformed_frames;
-      }
+      counters_.malformed_frames->Increment();
       QueueResponse(
           conn,
           EncodeFrameParts(
@@ -860,10 +990,7 @@ PlanServer::ServeResult PlanServer::HandlePlanRequest(
     result.response =
         ErrorResponse(StatusCode::kNotFound, "unknown tenant '" + tenant + "'");
   } else {
-    {
-      MutexLock lock(stats_mu_);
-      ++tenant_counters_[tenant].requests;
-    }
+    TenantCountersFor(tenant).requests->Increment();
     // Gossip-adopted warm tier: a peer may have planned this exact shape already. The
     // signature is computable without planning, except under auto-tune with block 0
     // (the chosen block size — part of the signature — is only known after tuning).
@@ -877,9 +1004,8 @@ PlanServer::ServeResult PlanServer::HandlePlanRequest(
           result.response.signature_lo = sig.value().lo;
           result.response.signature_hi = sig.value().hi;
           result.record = std::move(record);  // Shared bytes; never copied.
-          MutexLock lock(stats_mu_);
-          ++stats_.replica_cache_hits;
-          ++stats_.plan_ok;
+          counters_.replica_cache_hits->Increment();
+          counters_.plan_ok->Increment();
           return result;
         }
       }
@@ -900,16 +1026,49 @@ PlanServer::ServeResult PlanServer::HandlePlanRequest(
       result.record = EncodedRecordFor(handle);
     }
   }
-  MutexLock lock(stats_mu_);
   if (result.response.code == StatusCode::kOk) {
-    ++stats_.plan_ok;
+    counters_.plan_ok->Increment();
   } else {
-    ++stats_.plan_errors;
+    counters_.plan_errors->Increment();
     if (engine != nullptr) {
-      ++tenant_counters_[tenant].plan_errors;
+      TenantCountersFor(tenant).plan_errors->Increment();
     }
   }
   return result;
+}
+
+PlanServer::TenantCounters& PlanServer::TenantCountersFor(const std::string& tenant) {
+  {
+    MutexLock lock(stats_mu_);
+    const auto it = tenant_counters_.find(tenant);
+    if (it != tenant_counters_.end()) {
+      return it->second;
+    }
+  }
+  // Resolve outside stats_mu_ so the registry mutex never nests under it; racing
+  // resolvers get identical pointers (GetCounter is idempotent) and emplace keeps
+  // whichever entry landed first. References stay valid: unordered_map never
+  // invalidates them on rehash.
+  TenantCounters fresh;
+  const std::vector<metrics::Label> labels = {{"tenant", tenant}};
+  fresh.requests = metrics_->GetCounter("dcp_server_tenant_requests_total", labels,
+                                        "Plan RPCs routed to the tenant");
+  fresh.plan_errors =
+      metrics_->GetCounter("dcp_server_tenant_plan_errors_total", labels,
+                           "Plan RPCs answered non-OK for the tenant");
+  fresh.shed_quota =
+      metrics_->GetCounter("dcp_server_tenant_shed_quota_total", labels,
+                           "Plan RPCs rejected over the tenant's quota");
+  MutexLock lock(stats_mu_);
+  return tenant_counters_.emplace(tenant, fresh).first->second;
+}
+
+metrics::Histogram* PlanServer::ServeHistogramFor(const std::string& tenant,
+                                                  PlanServeSource source) {
+  return metrics_->GetHistogram(
+      "dcp_server_serve_latency_us",
+      {{"tenant", tenant}, {"source", PlanServeSourceName(source)}},
+      "Plan request latency, arrival to last response byte written");
 }
 
 std::shared_ptr<const std::string> PlanServer::EncodedRecordFor(
@@ -924,8 +1083,12 @@ std::shared_ptr<const std::string> PlanServer::EncodedRecordFor(
   }
   // Encode outside the lock: it is the expensive part, and two racing encoders of the
   // same signature produce identical bytes anyway.
-  auto record = std::make_shared<const std::string>(
-      PlanStore::EncodeRecord(handle->signature, handle->plan));
+  std::shared_ptr<const std::string> record;
+  {
+    metrics::ScopedPhase encode_phase(metrics::TracePhase::kEncode);
+    record = std::make_shared<const std::string>(
+        PlanStore::EncodeRecord(handle->signature, handle->plan));
+  }
   if (options_.record_cache_capacity > 0) {
     MutexLock lock(record_cache_mu_);
     if (record_cache_.find(handle->signature) == record_cache_.end()) {
@@ -1023,8 +1186,8 @@ PlanSyncResponse PlanServer::HandleSyncRequest(const PlanSyncRequest& request) {
       }
     }
   }
-  MutexLock lock(stats_mu_);
-  stats_.sync_records_shipped += static_cast<int64_t>(response.records.size());
+  counters_.sync_records_shipped->Add(
+      static_cast<int64_t>(response.records.size()));
   return response;
 }
 
@@ -1047,15 +1210,14 @@ void PlanServer::GossipLoop() {
       // Interruptible interval sleep: Stop() flips running_ then notifies. Inline
       // deadline loop (not a predicate lambda) so the analysis follows the lock.
       MutexLock lock(gossip_mu_);
-      const auto deadline =
-          std::chrono::steady_clock::now() +
-          std::chrono::milliseconds(options_.gossip_interval_ms);
+      const int64_t deadline_ms =
+          metrics::MonotonicMillis() + options_.gossip_interval_ms;
       while (running()) {
-        const auto now = std::chrono::steady_clock::now();
-        if (now >= deadline) {
+        const int64_t remaining_ms = deadline_ms - metrics::MonotonicMillis();
+        if (remaining_ms <= 0) {
           break;
         }
-        gossip_cv_.WaitFor(gossip_mu_, deadline - now);
+        gossip_cv_.WaitFor(gossip_mu_, std::chrono::milliseconds(remaining_ms));
       }
     }
     if (!running()) {
@@ -1109,8 +1271,7 @@ void PlanServer::GossipWithPeer(const ServiceAddress& peer) {
       StatusOr<std::pair<PlanSignature, BatchPlan>> decoded =
           PlanStore::DecodeRecord(record);
       if (!decoded.ok()) {
-        MutexLock lock(stats_mu_);
-        ++stats_.sync_records_rejected;
+        counters_.sync_records_rejected->Increment();
         continue;
       }
       if (ReplicaRecordLookup(decoded.value().first) != nullptr) {
@@ -1118,31 +1279,45 @@ void PlanServer::GossipWithPeer(const ServiceAddress& peer) {
       }
       ReplicaRecordAdopt(decoded.value().first,
                          std::make_shared<const std::string>(record));
-      MutexLock lock(stats_mu_);
-      ++stats_.sync_records_adopted;
+      counters_.sync_records_adopted->Increment();
     }
   }
 }
 
 PlanServerStats PlanServer::stats() const {
-  MutexLock lock(stats_mu_);
-  return stats_;
+  // Thin view over the registry counters: each read is an atomic load, so the
+  // snapshot is exact at quiescence and never lies about any individual counter.
+  PlanServerStats stats;
+  stats.connections_accepted = counters_.connections_accepted->value();
+  stats.requests_received = counters_.requests_received->value();
+  stats.responses_sent = counters_.responses_sent->value();
+  stats.plan_ok = counters_.plan_ok->value();
+  stats.plan_errors = counters_.plan_errors->value();
+  stats.rejected_overload = counters_.rejected_overload->value();
+  stats.malformed_frames = counters_.malformed_frames->value();
+  stats.shed_quota = counters_.shed_quota->value();
+  stats.shed_deadline = counters_.shed_deadline->value();
+  stats.replica_cache_hits = counters_.replica_cache_hits->value();
+  stats.sync_records_shipped = counters_.sync_records_shipped->value();
+  stats.sync_records_adopted = counters_.sync_records_adopted->value();
+  stats.sync_records_rejected = counters_.sync_records_rejected->value();
+  stats.accept_soft_errors = counters_.accept_soft_errors->value();
+  stats.zero_copy_serves = counters_.zero_copy_serves->value();
+  stats.slow_reader_closes = counters_.slow_reader_closes->value();
+  return stats;
 }
 
 PlanServiceStatsResponse PlanServer::BuildStatsResponse(
     const std::string& tenant_filter) const {
   PlanServiceStatsResponse response;
-  {
-    MutexLock lock(stats_mu_);
-    response.connections_accepted = stats_.connections_accepted;
-    response.requests_received = stats_.requests_received;
-    response.responses_sent = stats_.responses_sent;
-    response.rejected_overload = stats_.rejected_overload;
-    response.malformed_frames = stats_.malformed_frames;
-    response.shed_deadline = stats_.shed_deadline;
-    response.sync_records_shipped = stats_.sync_records_shipped;
-    response.sync_records_adopted = stats_.sync_records_adopted;
-  }
+  response.connections_accepted = counters_.connections_accepted->value();
+  response.requests_received = counters_.requests_received->value();
+  response.responses_sent = counters_.responses_sent->value();
+  response.rejected_overload = counters_.rejected_overload->value();
+  response.malformed_frames = counters_.malformed_frames->value();
+  response.shed_deadline = counters_.shed_deadline->value();
+  response.sync_records_shipped = counters_.sync_records_shipped->value();
+  response.sync_records_adopted = counters_.sync_records_adopted->value();
   for (const std::string& name : registry_->Names()) {
     if (!tenant_filter.empty() && name != tenant_filter) {
       continue;
@@ -1158,9 +1333,9 @@ PlanServiceStatsResponse PlanServer::BuildStatsResponse(
       MutexLock lock(stats_mu_);
       const auto it = tenant_counters_.find(name);
       if (it != tenant_counters_.end()) {
-        tenant.requests = it->second.requests;
-        tenant.plan_errors = it->second.plan_errors;
-        tenant.shed_quota = it->second.shed_quota;
+        tenant.requests = it->second.requests->value();
+        tenant.plan_errors = it->second.plan_errors->value();
+        tenant.shed_quota = it->second.shed_quota->value();
       }
     }
     tenant.cache_hits = cache.hits;

@@ -38,6 +38,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
 #include "common/thread_pool.h"
@@ -95,6 +96,14 @@ struct PlanServerOptions {
   // key — the plan signature — fully determines the plan bytes, so the tier is shared
   // across tenants by construction.
   int replica_record_cache_capacity = 1024;
+  // Per-request phase tracing: every completed plan request leaves a trace
+  // (queue-wait / cache-probe / store-read / plan stages / encode / write-drain)
+  // in a bounded in-memory ring, newest first. Requests slower than
+  // slow_request_log_ms end to end (arrival to last response byte handed to the
+  // kernel) are additionally logged to stderr with their phase breakdown; 0
+  // disables the slow log.
+  int trace_ring_capacity = 256;
+  int64_t slow_request_log_ms = 1000;
   // When set, this server consults the injector at FaultPoint::kServe before planning
   // (straggler delays, chaos-mode failures), at kAccept on each accept attempt
   // (simulated EMFILE/ECONNABORTED pressure), and at kSyncRecord when shipping gossip
@@ -147,6 +156,8 @@ class PlanServer {
   void Stop();
 
   PlanServerStats stats() const;
+  // Recent completed plan-request traces, newest first (see trace_ring_capacity).
+  std::vector<metrics::Trace> recent_traces() const { return trace_ring_.Snapshot(); }
   // The stats RPC's view: server counters + per-tenant engine cache counters.
   PlanServiceStatsResponse BuildStatsResponse(const std::string& tenant_filter) const;
 
@@ -165,6 +176,20 @@ class PlanServer {
   }
 
  private:
+  // Write-drain bookkeeping riding 1:1 with one outbox entry. The trace (null for
+  // non-plan frames) is finalized — write-drain phase, total latency into the
+  // serve-source histogram, ring push, slow log — when its frame's last byte is
+  // handed to the kernel, or when the connection dies with the frame still queued.
+  // No default member initializers: the enclosing class's QueueResponse default
+  // argument value-initializes one, which the language forbids before PlanServer is
+  // complete if NSDMIs are present — construct with {} everywhere instead.
+  struct PendingResponseTrace {
+    std::shared_ptr<metrics::Trace> trace;
+    metrics::Histogram* latency_hist;  // Resolved by the enqueuing worker.
+    int64_t enqueue_us;
+    bool armed() const { return trace != nullptr; }
+  };
+
   // One accepted connection. The fields below `mu` are shared between the owning loop
   // thread and worker threads; everything above it is loop-thread-only.
   struct Connection {
@@ -184,6 +209,8 @@ class PlanServer {
     Mutex mu;
     // Only the loop thread pops; workers only push.
     std::deque<FrameParts> outbox DCP_GUARDED_BY(mu);
+    // Element i annotates outbox[i]; pushed and popped in lockstep with it.
+    std::deque<PendingResponseTrace> outbox_traces DCP_GUARDED_BY(mu);
     size_t outbox_bytes DCP_GUARDED_BY(mu) = 0;
     // A pointer to this conn sits in the loop's notify queue.
     bool notified DCP_GUARDED_BY(mu) = false;
@@ -203,6 +230,11 @@ class PlanServer {
     Poller poller;
     int wake_fd = -1;  // eventfd; workers and Stop() write, the loop drains.
     std::thread thread;
+    // Live per-loop gauges (labeled loop="<index>"): frames and bytes currently
+    // queued across this loop's connection outboxes. Adjusted wherever outbox
+    // entries are pushed, drained, or discarded.
+    metrics::Gauge* queue_depth = nullptr;
+    metrics::Gauge* output_queue_bytes = nullptr;
 
     // Innermost: held only around queue push/swap, nothing acquired under it.
     // dcp-analyze: allow(lock-order): leaf lock.
@@ -225,6 +257,7 @@ class PlanServer {
   // A decoded plan request in flight to a worker: the wire payload plus the arena the
   // request view's spans point into, so the worker plans straight off the wire bytes.
   struct PlanJob;
+
 
   struct ServeResult {
     PlanServiceResponse response;  // record always empty; the bytes travel separately.
@@ -252,10 +285,15 @@ class PlanServer {
 
   // Queues one encoded frame for the owning loop to write; sheds the connection if the
   // outbox bound is exceeded. Callable from any thread.
-  void QueueResponse(Connection* conn, FrameParts parts);
+  void QueueResponse(Connection* conn, FrameParts parts,
+                     PendingResponseTrace trace = PendingResponseTrace());
   // Frames a plan response as head + shared record bytes (zero-copy on the hit path).
   void QueuePlanResponse(Connection* conn, const PlanServiceResponse& response,
-                         std::shared_ptr<const std::string> record);
+                         std::shared_ptr<const std::string> record,
+                         std::shared_ptr<metrics::Trace> trace = nullptr);
+  // Closes out a drained (or discarded) response's trace: write-drain phase, total
+  // latency, histogram record, ring push, slow-request log.
+  void FinalizeResponseTrace(PendingResponseTrace& pending, bool drained);
 
   // Decodes and executes one non-plan request frame on a worker thread.
   void HandleFrame(Connection* conn, Frame frame);
@@ -318,13 +356,43 @@ class PlanServer {
   Mutex quota_mu_ DCP_ACQUIRED_BEFORE(stats_mu_);
   std::unordered_map<std::string, int> tenant_inflight_ DCP_GUARDED_BY(quota_mu_);
 
-  mutable Mutex stats_mu_;
-  PlanServerStats stats_ DCP_GUARDED_BY(stats_mu_);
-  struct TenantCounters {
-    int64_t requests = 0;
-    int64_t plan_errors = 0;
-    int64_t shed_quota = 0;
+  // Tentpole observability (common/metrics.h): every server counter lives in a
+  // child registry attached to the process-global one, and PlanServerStats is a
+  // thin view assembled from the counters' atomic cells — stats() and the scrape
+  // can never disagree. Pointers resolved once in the constructor.
+  std::shared_ptr<metrics::Registry> metrics_;
+  struct ServerCounters {
+    metrics::Counter* connections_accepted = nullptr;
+    metrics::Counter* requests_received = nullptr;
+    metrics::Counter* responses_sent = nullptr;
+    metrics::Counter* plan_ok = nullptr;
+    metrics::Counter* plan_errors = nullptr;
+    metrics::Counter* rejected_overload = nullptr;
+    metrics::Counter* malformed_frames = nullptr;
+    metrics::Counter* shed_quota = nullptr;
+    metrics::Counter* shed_deadline = nullptr;
+    metrics::Counter* replica_cache_hits = nullptr;
+    metrics::Counter* sync_records_shipped = nullptr;
+    metrics::Counter* sync_records_adopted = nullptr;
+    metrics::Counter* sync_records_rejected = nullptr;
+    metrics::Counter* accept_soft_errors = nullptr;
+    metrics::Counter* zero_copy_serves = nullptr;
+    metrics::Counter* slow_reader_closes = nullptr;
   };
+  ServerCounters counters_;
+  metrics::TraceRing trace_ring_;
+
+  // Per-tenant request counters, registry-backed (labeled tenant="<name>"); the map
+  // only caches the pointer lookups. Keyed only for registered tenants.
+  struct TenantCounters {
+    metrics::Counter* requests = nullptr;
+    metrics::Counter* plan_errors = nullptr;
+    metrics::Counter* shed_quota = nullptr;
+  };
+  TenantCounters& TenantCountersFor(const std::string& tenant);
+  metrics::Histogram* ServeHistogramFor(const std::string& tenant,
+                                        PlanServeSource source);
+  mutable Mutex stats_mu_;
   std::unordered_map<std::string, TenantCounters> tenant_counters_
       DCP_GUARDED_BY(stats_mu_);
 };

@@ -6,16 +6,13 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/metrics.h"
 #include "common/thread_annotations.h"
 
 namespace dcp {
 namespace {
 
-int64_t NowMs() {
-  return std::chrono::duration_cast<std::chrono::milliseconds>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
+int64_t NowMs() { return metrics::MonotonicMillis(); }
 
 uint64_t SplitMix64(uint64_t z) {
   z += 0x9e3779b97f4a7c15ULL;
@@ -35,6 +32,17 @@ uint64_t HashAddress(const ServiceAddress& address) {
 constexpr size_t kLatencyRingSize = 64;
 // Below this many samples the p99 estimate is noise; hedge at the configured max.
 constexpr size_t kMinLatencySamples = 8;
+
+// Nearest-rank quantile over a scratch copy of the latency ring (reorders it).
+int64_t QuantileMs(std::vector<int64_t>& samples, double q) {
+  if (samples.empty()) {
+    return 0;
+  }
+  const size_t rank = std::min(
+      samples.size() - 1, static_cast<size_t>(static_cast<double>(samples.size()) * q));
+  std::nth_element(samples.begin(), samples.begin() + rank, samples.end());
+  return samples[rank];
+}
 
 }  // namespace
 
@@ -100,12 +108,40 @@ ReplicaSet::ReplicaSet(std::vector<ServiceAddress> addresses,
                        ReplicaSetOptions options)
     : options_(std::move(options)), outstanding_(std::make_shared<Outstanding>()) {
   pool_ = std::make_unique<ThreadPool>(std::max(1, options_.planner_threads));
+  metrics_ = metrics::Registry::NewAttached(
+      {{"tenant", options_.tenant}});
+  const auto counter = [&](const char* name, const char* help) {
+    return metrics_->GetCounter(name, {}, help);
+  };
+  counters_.requests = counter("dcp_replica_set_requests_total",
+                               "Logical plan requests issued to the replica set.");
+  counters_.cache_hits = counter("dcp_replica_set_cache_hits_total",
+                                 "Requests served from the set's LRU without an RPC.");
+  counters_.rpcs_sent = counter("dcp_replica_set_rpcs_sent_total",
+                                "Attempts launched across all replicas.");
+  counters_.failovers = counter("dcp_replica_set_failovers_total",
+                                "Launches forced by a failed prior attempt.");
+  counters_.hedges_sent = counter("dcp_replica_set_hedges_sent_total",
+                                  "Hedge attempts fired after the p99 delay.");
+  counters_.hedge_wins = counter("dcp_replica_set_hedge_wins_total",
+                                 "Requests whose winning response came from a hedge.");
+  counters_.hedge_waste = counter(
+      "dcp_replica_set_hedge_waste_total",
+      "Hedge attempts that finished without winning their request.");
+  counters_.cooldowns_entered = counter("dcp_replica_set_cooldowns_entered_total",
+                                        "Replica transitions into cooldown.");
+  counters_.local_fallbacks = counter(
+      "dcp_replica_set_local_fallbacks_total",
+      "Requests planned by the in-process fallback engine.");
   replicas_.reserve(addresses.size());
   for (ServiceAddress& address : addresses) {
     auto replica = std::make_shared<Replica>();
     replica->address = std::move(address);
     replica->addr_hash = HashAddress(replica->address);
     replica->cooldown = ReplicaCooldown(options_.cooldown, replica->addr_hash);
+    replica->rpc_latency_us = metrics_->GetHistogram(
+        "dcp_replica_rpc_latency_us", {{"replica", replica->address.ToString()}},
+        "Successful plan RPC latency per replica, microseconds.");
     replicas_.push_back(std::move(replica));
   }
 }
@@ -173,65 +209,79 @@ int64_t ReplicaSet::HedgeDelayMs(const Replica& replica) const {
   if (samples.size() < kMinLatencySamples) {
     return options_.hedge_max_delay_ms;
   }
-  const size_t rank =
-      std::min(samples.size() - 1,
-               static_cast<size_t>(static_cast<double>(samples.size()) * 0.99));
-  std::nth_element(samples.begin(), samples.begin() + rank, samples.end());
-  const int64_t p99 = samples[rank];
+  const int64_t p99 = QuantileMs(samples, 0.99);
   return std::max<int64_t>(options_.hedge_min_delay_ms,
                            std::min<int64_t>(options_.hedge_max_delay_ms, p99));
 }
 
 bool ReplicaSet::HedgeBudgetAllows() {
-  MutexLock lock(stats_mu_);
+  // Counter reads are independent relaxed loads; a hedge slipping in on a stale
+  // read overshoots the budget by at most one, which the burst term already
+  // tolerates.
   const double allowance =
       static_cast<double>(options_.hedge_budget_burst) +
-      options_.hedge_budget_fraction * static_cast<double>(stats_.requests);
-  return static_cast<double>(stats_.hedges_sent) < allowance;
+      options_.hedge_budget_fraction *
+          static_cast<double>(counters_.requests->value());
+  return static_cast<double>(counters_.hedges_sent->value()) < allowance;
 }
 
 StatusOr<PlanHandle> ReplicaSet::AttemptOnReplica(Replica& replica,
                                                   const std::vector<int64_t>& seqlens,
                                                   const MaskSpec& mask_spec,
                                                   int64_t block_size) {
-  const int64_t started_ms = NowMs();
-  // Lazy connect under the replica lock; the RPC itself runs outside it (PlanClient
-  // serializes its own I/O), so a slow exchange never blocks health snapshots.
+  const int64_t started_us = metrics::MonotonicMicros();
+  // Lazy connect OUTSIDE the replica lock: PlanClient's constructor resolves metrics
+  // instruments (the Registry mutex is a leaf, never taken under Replica::mu) and the
+  // TCP connect can block for connect_timeout_ms — neither belongs under the lock
+  // health snapshots take. Two attempts may race to connect; the loser's socket is
+  // discarded after the lock is released.
   PlanClient* client = nullptr;
   {
     MutexLock lock(replica.mu);
     ++replica.rpcs;
-    if (replica.client == nullptr) {
-      PlanClientOptions client_options;
-      client_options.tenant = options_.tenant;
-      client_options.cache_capacity = 0;  // The set's LRU is the only cache tier here.
-      client_options.planner_threads = 1;
-      client_options.connect_timeout_ms = options_.connect_timeout_ms;
-      client_options.io_timeout_ms = options_.request_timeout_ms;
-      client_options.deadline_ms = options_.request_timeout_ms;
-      client_options.retry = options_.retry;
-      StatusOr<std::unique_ptr<PlanClient>> connected =
-          PlanClient::Connect(replica.address, std::move(client_options));
-      if (!connected.ok()) {
-        ++replica.failures;
-        const bool entering = replica.cooldown.consecutive_failures() == 0;
-        replica.cooldown.RecordFailure(NowMs());
-        if (entering) {
-          ++replica.cooldowns_entered;
-        }
-        return connected.status();
-      }
-      replica.client = std::move(connected).value();
-    }
     client = replica.client.get();
+  }
+  if (client == nullptr) {
+    PlanClientOptions client_options;
+    client_options.tenant = options_.tenant;
+    client_options.cache_capacity = 0;  // The set's LRU is the only cache tier here.
+    client_options.planner_threads = 1;
+    client_options.connect_timeout_ms = options_.connect_timeout_ms;
+    client_options.io_timeout_ms = options_.request_timeout_ms;
+    client_options.deadline_ms = options_.request_timeout_ms;
+    client_options.retry = options_.retry;
+    StatusOr<std::unique_ptr<PlanClient>> connected =
+        PlanClient::Connect(replica.address, std::move(client_options));
+    if (!connected.ok()) {
+      MutexLock lock(replica.mu);
+      ++replica.failures;
+      const bool entering = replica.cooldown.consecutive_failures() == 0;
+      replica.cooldown.RecordFailure(NowMs());
+      if (entering) {
+        counters_.cooldowns_entered->Increment();
+      }
+      return connected.status();
+    }
+    std::unique_ptr<PlanClient> fresh = std::move(connected).value();
+    {
+      MutexLock lock(replica.mu);
+      if (replica.client == nullptr) {
+        replica.client = std::move(fresh);
+      }
+      client = replica.client.get();
+    }
+    // A lost race destroys `fresh` here, outside the lock (~PlanClient closes a
+    // socket and drops its child registry).
   }
 
   StatusOr<PlanHandle> result =
       client->PlanWithBlockSize(seqlens, mask_spec, block_size);
-  const int64_t elapsed_ms = NowMs() - started_ms;
+  const int64_t elapsed_us = metrics::MonotonicMicros() - started_us;
+  const int64_t elapsed_ms = elapsed_us / 1000;
   MutexLock lock(replica.mu);
   if (result.ok()) {
     replica.cooldown.RecordSuccess();
+    replica.rpc_latency_us->Record(elapsed_us);
     if (replica.latencies_ms.size() < kLatencyRingSize) {
       replica.latencies_ms.push_back(elapsed_ms);
     } else {
@@ -245,7 +295,7 @@ StatusOr<PlanHandle> ReplicaSet::AttemptOnReplica(Replica& replica,
     const bool entering = replica.cooldown.consecutive_failures() == 0;
     replica.cooldown.RecordFailure(NowMs());
     if (entering) {
-      ++replica.cooldowns_entered;
+      counters_.cooldowns_entered->Increment();
     }
   }
   return result;
@@ -254,10 +304,7 @@ StatusOr<PlanHandle> ReplicaSet::AttemptOnReplica(Replica& replica,
 void ReplicaSet::LaunchAttempt(const std::shared_ptr<HedgedCall>& call,
                                const std::shared_ptr<Replica>& replica,
                                bool is_hedge) {
-  {
-    MutexLock lock(stats_mu_);
-    ++stats_.rpcs_sent;
-  }
+  counters_.rpcs_sent->Increment();
   {
     MutexLock lock(outstanding_->mu);
     ++outstanding_->count;
@@ -265,6 +312,7 @@ void ReplicaSet::LaunchAttempt(const std::shared_ptr<HedgedCall>& call,
   std::thread([this, call, replica, is_hedge, outstanding = outstanding_] {
     StatusOr<PlanHandle> result = AttemptOnReplica(
         *replica, call->seqlens, call->mask_spec, call->block_size);
+    bool won = false;
     {
       MutexLock lock(call->mu);
       ++call->finished;
@@ -273,6 +321,7 @@ void ReplicaSet::LaunchAttempt(const std::shared_ptr<HedgedCall>& call,
           call->done = true;
           call->result = std::move(result).value();
           call->winner_was_hedge = is_hedge;
+          won = true;
         }
       } else if (!IsRetryableStatus(result.status())) {
         call->fatal = result.status();
@@ -280,6 +329,11 @@ void ReplicaSet::LaunchAttempt(const std::shared_ptr<HedgedCall>& call,
         call->last_error = result.status();
       }
       call->cv.NotifyAll();
+    }
+    if (is_hedge && !won) {
+      // The hedge lost its race (or failed outright): pure extra load. `this` is
+      // still valid — the destructor blocks on `outstanding` below.
+      counters_.hedge_waste->Increment();
     }
     // Past this point only `outstanding` (shared_ptr) is touched: the set's destructor
     // may run as soon as count hits zero.
@@ -297,10 +351,7 @@ StatusOr<PlanHandle> ReplicaSet::LocalFallbackPlan(
     fallback_engine_ = std::make_unique<Engine>(options_.fallback_cluster,
                                                 options_.fallback_options);
   }
-  {
-    MutexLock stats_lock(stats_mu_);
-    ++stats_.local_fallbacks;
-  }
+  counters_.local_fallbacks->Increment();
   // Fallback planning is deliberately serialized under fallback_mu_: the embedded
   // Engine's internal locks (tune/shard/store/pool) nest strictly under it and no
   // path acquires fallback_mu_ under any of them.
@@ -316,15 +367,11 @@ StatusOr<PlanHandle> ReplicaSet::LocalFallbackPlan(
 StatusOr<PlanHandle> ReplicaSet::PlanWithBlockSize(
     const std::vector<int64_t>& seqlens, const MaskSpec& mask_spec,
     int64_t block_size) {
-  {
-    MutexLock lock(stats_mu_);
-    ++stats_.requests;
-  }
+  counters_.requests->Increment();
   const PlanSignature key =
       PlanRequestCacheKey(options_.tenant, seqlens, mask_spec, block_size);
   if (PlanHandle cached = CacheLookup(key)) {
-    MutexLock lock(stats_mu_);
-    ++stats_.cache_hits;
+    counters_.cache_hits->Increment();
     return cached;
   }
 
@@ -370,22 +417,18 @@ StatusOr<PlanHandle> ReplicaSet::PlanWithBlockSize(
     // Hedge window: give the routed replica its p99 budget, then (once, budget
     // permitting) race the next replica in hash order.
     if (options_.hedging && cursor < live.size()) {
-      const auto deadline = std::chrono::steady_clock::now() +
-                            std::chrono::milliseconds(hedge_delay);
+      const int64_t deadline_ms = metrics::MonotonicMillis() + hedge_delay;
       while (!call->done && call->fatal.ok() && call->finished != call->launched) {
-        const auto now = std::chrono::steady_clock::now();
-        if (now >= deadline) {
+        const int64_t remaining_ms = deadline_ms - metrics::MonotonicMillis();
+        if (remaining_ms <= 0) {
           break;
         }
-        call->cv.WaitFor(call->mu, deadline - now);
+        call->cv.WaitFor(call->mu, std::chrono::milliseconds(remaining_ms));
       }
       const bool resolved =
           call->done || !call->fatal.ok() || call->finished == call->launched;
       if (!resolved && HedgeBudgetAllows()) {
-        {
-          MutexLock stats_lock(stats_mu_);
-          ++stats_.hedges_sent;
-        }
+        counters_.hedges_sent->Increment();
         ++call->launched;
         LaunchAttempt(call, replicas_[live[cursor]], /*is_hedge=*/true);
         ++cursor;
@@ -403,18 +446,14 @@ StatusOr<PlanHandle> ReplicaSet::PlanWithBlockSize(
       if (cursor >= live.size()) {
         break;
       }
-      {
-        MutexLock stats_lock(stats_mu_);
-        ++stats_.failovers;
-      }
+      counters_.failovers->Increment();
       ++call->launched;
       LaunchAttempt(call, replicas_[live[cursor]], /*is_hedge=*/false);
       ++cursor;
     }
     if (call->done) {
       if (call->winner_was_hedge) {
-        MutexLock stats_lock(stats_mu_);
-        ++stats_.hedge_wins;
+        counters_.hedge_wins->Increment();
       }
       PlanHandle handle = call->result;
       lock.Unlock();
@@ -477,6 +516,7 @@ ReplicaHealth ReplicaSet::health(size_t index) const {
   ReplicaHealth health;
   health.address = replica.address;
   const int64_t now = NowMs();
+  std::vector<int64_t> samples;
   {
     MutexLock lock(replica.mu);
     health.available = replica.cooldown.Available(now);
@@ -484,24 +524,27 @@ ReplicaHealth ReplicaSet::health(size_t index) const {
     health.backoff_ms = replica.cooldown.backoff_ms();
     health.rpcs = replica.rpcs;
     health.failures = replica.failures;
+    samples = replica.latencies_ms;
   }
+  health.latency_samples = static_cast<int64_t>(samples.size());
+  health.p50_ms = QuantileMs(samples, 0.50);
+  health.p95_ms = QuantileMs(samples, 0.95);
+  health.p99_ms = QuantileMs(samples, 0.99);
   health.p99_estimate_ms = HedgeDelayMs(replica);  // Takes the lock itself.
   return health;
 }
 
 ReplicaSetStats ReplicaSet::stats() const {
-  // Snapshot the counters first, then visit replicas lock-free of stats_mu_:
-  // stats_mu_ is a leaf everywhere else, and holding it across per-replica
-  // locks was the one edge out of it.
   ReplicaSetStats snapshot;
-  {
-    MutexLock lock(stats_mu_);
-    snapshot = stats_;
-  }
-  for (const auto& replica : replicas_) {
-    MutexLock replica_lock(replica->mu);
-    snapshot.cooldowns_entered += replica->cooldowns_entered;
-  }
+  snapshot.requests = counters_.requests->value();
+  snapshot.cache_hits = counters_.cache_hits->value();
+  snapshot.rpcs_sent = counters_.rpcs_sent->value();
+  snapshot.failovers = counters_.failovers->value();
+  snapshot.hedges_sent = counters_.hedges_sent->value();
+  snapshot.hedge_wins = counters_.hedge_wins->value();
+  snapshot.hedge_waste = counters_.hedge_waste->value();
+  snapshot.cooldowns_entered = counters_.cooldowns_entered->value();
+  snapshot.local_fallbacks = counters_.local_fallbacks->value();
   return snapshot;
 }
 

@@ -34,6 +34,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
 #include "common/thread_pool.h"
@@ -118,6 +119,8 @@ struct ReplicaSetOptions {
   EngineOptions fallback_options;
 };
 
+// Assembled on demand from the set's registry counters (dcp_replica_set_*_total),
+// so callers keep a plain-struct snapshot while scrapers see the live series.
 struct ReplicaSetStats {
   int64_t requests = 0;
   int64_t cache_hits = 0;       // Served from the set's LRU without any RPC.
@@ -125,6 +128,7 @@ struct ReplicaSetStats {
   int64_t failovers = 0;        // Launches forced by a failed prior attempt.
   int64_t hedges_sent = 0;
   int64_t hedge_wins = 0;       // Requests whose winning response came from a hedge.
+  int64_t hedge_waste = 0;      // Hedges that finished without winning their request.
   int64_t cooldowns_entered = 0;
   int64_t local_fallbacks = 0;  // Requests planned by the in-process fallback engine.
 };
@@ -137,6 +141,14 @@ struct ReplicaHealth {
   int64_t backoff_ms = 0;
   int64_t rpcs = 0;
   int64_t failures = 0;
+  // Raw quantiles over the replica's latency ring (up to the last 64 successful
+  // RPCs), in milliseconds; all zero until the first success lands.
+  int64_t latency_samples = 0;
+  int64_t p50_ms = 0;
+  int64_t p95_ms = 0;
+  int64_t p99_ms = 0;
+  // The hedge delay this replica would get: ring p99 clamped to the configured
+  // [min, max] window, or max until enough samples exist.
   int64_t p99_estimate_ms = 0;
 };
 
@@ -180,6 +192,9 @@ class ReplicaSet : public Planner {
   struct Replica {
     ServiceAddress address;      // Immutable after construction.
     uint64_t addr_hash = 0;      // Immutable after construction.
+    // Registry series {replica=<address>}; resolved once at construction, then
+    // only atomically recorded into (safe from detached attempt threads).
+    metrics::Histogram* rpc_latency_us = nullptr;
     mutable Mutex mu;
     std::unique_ptr<PlanClient> client DCP_GUARDED_BY(mu);
     ReplicaCooldown cooldown DCP_GUARDED_BY(mu);
@@ -188,7 +203,6 @@ class ReplicaSet : public Planner {
     size_t latency_next DCP_GUARDED_BY(mu) = 0;
     int64_t rpcs DCP_GUARDED_BY(mu) = 0;
     int64_t failures DCP_GUARDED_BY(mu) = 0;
-    int64_t cooldowns_entered DCP_GUARDED_BY(mu) = 0;
   };
 
   // Shared state of one (possibly hedged, possibly failed-over) logical request.
@@ -231,11 +245,25 @@ class ReplicaSet : public Planner {
                      PlanSignatureHash>
       cache_ DCP_GUARDED_BY(cache_mu_);
 
-  Mutex fallback_mu_ DCP_ACQUIRED_BEFORE(stats_mu_);
+  Mutex fallback_mu_;
   std::unique_ptr<Engine> fallback_engine_ DCP_GUARDED_BY(fallback_mu_);
 
-  mutable Mutex stats_mu_;
-  ReplicaSetStats stats_ DCP_GUARDED_BY(stats_mu_);
+  // Set-level counters, resolved once at construction from a child registry
+  // labeled {tenant=<options.tenant>}. Plain atomics after that: attempt
+  // threads bump them with no set-level lock, and stats() reads them back.
+  std::shared_ptr<metrics::Registry> metrics_;
+  struct SetCounters {
+    metrics::Counter* requests = nullptr;
+    metrics::Counter* cache_hits = nullptr;
+    metrics::Counter* rpcs_sent = nullptr;
+    metrics::Counter* failovers = nullptr;
+    metrics::Counter* hedges_sent = nullptr;
+    metrics::Counter* hedge_wins = nullptr;
+    metrics::Counter* hedge_waste = nullptr;
+    metrics::Counter* cooldowns_entered = nullptr;
+    metrics::Counter* local_fallbacks = nullptr;
+  };
+  SetCounters counters_;
 };
 
 }  // namespace dcp

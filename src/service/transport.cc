@@ -18,6 +18,7 @@
 #include <thread>
 #include <utility>
 
+#include "common/metrics.h"
 #include "service/fault_injection.h"
 
 namespace dcp {
@@ -52,11 +53,7 @@ StatusOr<socklen_t> FillSockaddr(const ServiceAddress& address,
   return static_cast<socklen_t>(sizeof(sockaddr_un));
 }
 
-int64_t NowMs() {
-  return std::chrono::duration_cast<std::chrono::milliseconds>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
+int64_t NowMs() { return metrics::MonotonicMillis(); }
 
 }  // namespace
 

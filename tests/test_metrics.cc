@@ -1,0 +1,373 @@
+#include "common/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace dcp {
+namespace metrics {
+namespace {
+
+TEST(HistogramBuckets, BoundariesAreHalfOpenPowersOfTwo) {
+  // Bucket i holds (2^(i-1), 2^i]; bucket 0 additionally absorbs v <= 1.
+  EXPECT_EQ(HistogramBucketFor(-5), 0);
+  EXPECT_EQ(HistogramBucketFor(0), 0);
+  EXPECT_EQ(HistogramBucketFor(1), 0);
+  EXPECT_EQ(HistogramBucketFor(2), 1);
+  EXPECT_EQ(HistogramBucketFor(3), 2);
+  EXPECT_EQ(HistogramBucketFor(4), 2);
+  EXPECT_EQ(HistogramBucketFor(5), 3);
+  EXPECT_EQ(HistogramBucketFor(1024), 10);
+  EXPECT_EQ(HistogramBucketFor(1025), 11);
+  // Everything past the last finite bound lands in the +Inf bucket.
+  EXPECT_EQ(HistogramBucketFor(int64_t{1} << 40), kHistogramBuckets - 1);
+  EXPECT_EQ(HistogramBucketUpperMicros(0), 1);
+  EXPECT_EQ(HistogramBucketUpperMicros(10), 1024);
+}
+
+TEST(Histogram, SnapshotCountsAndSum) {
+  Histogram hist;
+  hist.Record(1);
+  hist.Record(3);
+  hist.Record(3);
+  hist.Record(100);
+  const HistogramSnapshot snap = hist.Snapshot();
+  EXPECT_EQ(snap.count(), 4);
+  EXPECT_EQ(snap.sum_micros, 107);
+  EXPECT_EQ(snap.buckets[0], 1);
+  EXPECT_EQ(snap.buckets[2], 2);
+  EXPECT_EQ(snap.buckets[HistogramBucketFor(100)], 1);
+}
+
+TEST(Histogram, PercentileInterpolatesWithinBucket) {
+  Histogram hist;
+  // 100 samples uniformly "at" 3us: all land in bucket 2 = (2, 4].
+  for (int i = 0; i < 100; ++i) hist.Record(3);
+  const HistogramSnapshot snap = hist.Snapshot();
+  const double p50 = snap.PercentileMicros(50);
+  EXPECT_GT(p50, 2.0);
+  EXPECT_LE(p50, 4.0);
+  // p100 must be the bucket's upper edge, p~0 near its lower edge.
+  EXPECT_DOUBLE_EQ(snap.PercentileMicros(100), 4.0);
+  EXPECT_LE(snap.PercentileMicros(0.0001), 2.1);
+}
+
+TEST(Histogram, PercentileOrderingAcrossBuckets) {
+  Histogram hist;
+  for (int i = 0; i < 90; ++i) hist.Record(3);     // bucket (2,4]
+  for (int i = 0; i < 9; ++i) hist.Record(100);    // bucket (64,128]
+  hist.Record(5000);                               // bucket (4096,8192]
+  const HistogramSnapshot snap = hist.Snapshot();
+  const double p50 = snap.PercentileMicros(50);
+  const double p95 = snap.PercentileMicros(95);
+  const double p99 = snap.PercentileMicros(99);
+  EXPECT_LE(p50, 4.0);
+  EXPECT_GT(p95, 64.0);
+  EXPECT_LE(p95, 128.0);
+  EXPECT_LE(p99, 128.0);
+  EXPECT_GT(snap.PercentileMicros(99.9), 4096.0);
+  EXPECT_EQ(snap.PercentileMicros(0), snap.PercentileMicros(0.0001));
+}
+
+TEST(Histogram, EmptyPercentileIsZero) {
+  HistogramSnapshot snap;
+  EXPECT_EQ(snap.PercentileMicros(99), 0.0);
+  EXPECT_EQ(snap.count(), 0);
+}
+
+TEST(Histogram, MergeIsElementWise) {
+  Histogram a;
+  Histogram b;
+  for (int i = 0; i < 10; ++i) a.Record(3);
+  for (int i = 0; i < 20; ++i) b.Record(300);
+  HistogramSnapshot merged = a.Snapshot();
+  merged.Merge(b.Snapshot());
+  EXPECT_EQ(merged.count(), 30);
+  EXPECT_EQ(merged.sum_micros, 10 * 3 + 20 * 300);
+  // Merged distribution's p50 sits in b's bucket (20 of 30 samples).
+  EXPECT_GT(merged.PercentileMicros(50), 256.0);
+}
+
+TEST(Registry, SamePointerForSameNameAndLabels) {
+  Registry registry;
+  Counter* a = registry.GetCounter("x_total", {{"t", "a"}});
+  Counter* b = registry.GetCounter("x_total", {{"t", "a"}});
+  Counter* c = registry.GetCounter("x_total", {{"t", "b"}});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  // Label order must not matter: labels are sorted at registration.
+  Counter* d = registry.GetCounter("y_total", {{"k1", "v"}, {"k2", "w"}});
+  Counter* e = registry.GetCounter("y_total", {{"k2", "w"}, {"k1", "v"}});
+  EXPECT_EQ(d, e);
+}
+
+TEST(Registry, CountersGaugesRecord) {
+  Registry registry;
+  Counter* counter = registry.GetCounter("c_total");
+  counter->Increment();
+  counter->Add(4);
+  EXPECT_EQ(counter->value(), 5);
+  Gauge* gauge = registry.GetGauge("g");
+  gauge->Set(7);
+  gauge->Add(-2);
+  EXPECT_EQ(gauge->value(), 5);
+}
+
+TEST(Registry, RenderPrometheusBasics) {
+  Registry registry;
+  registry.GetCounter("dcp_test_requests_total", {{"tenant", "alpha"}},
+                      "requests")->Add(3);
+  registry.GetGauge("dcp_test_depth", {}, "queue depth")->Set(2);
+  const std::string text = registry.RenderPrometheus();
+  EXPECT_NE(text.find("# HELP dcp_test_requests_total requests"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE dcp_test_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("dcp_test_requests_total{tenant=\"alpha\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE dcp_test_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("dcp_test_depth 2"), std::string::npos);
+}
+
+TEST(Registry, RenderPrometheusHistogramInvariants) {
+  Registry registry;
+  Histogram* hist =
+      registry.GetHistogram("dcp_test_lat_us", {{"source", "planned"}}, "lat");
+  hist->Record(3);
+  hist->Record(3);
+  hist->Record(1000);
+  const std::string text = registry.RenderPrometheus();
+  EXPECT_NE(text.find("# TYPE dcp_test_lat_us histogram"), std::string::npos);
+  // Cumulative buckets: le="4" already holds both 3us samples.
+  EXPECT_NE(text.find("dcp_test_lat_us_bucket{source=\"planned\",le=\"4\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("dcp_test_lat_us_bucket{source=\"planned\",le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("dcp_test_lat_us_count{source=\"planned\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("dcp_test_lat_us_sum{source=\"planned\"} 1006"),
+            std::string::npos);
+}
+
+TEST(Registry, ChildrenMergeWithConstLabels) {
+  Registry parent;
+  auto child_a = std::make_shared<Registry>(
+      std::vector<Label>{{"tenant", "a"}});
+  auto child_b = std::make_shared<Registry>(
+      std::vector<Label>{{"tenant", "b"}});
+  parent.Attach(child_a);
+  parent.Attach(child_b);
+  child_a->GetCounter("dcp_test_hits_total")->Add(2);
+  child_b->GetCounter("dcp_test_hits_total")->Add(5);
+  const std::string text = parent.RenderPrometheus();
+  EXPECT_NE(text.find("dcp_test_hits_total{tenant=\"a\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("dcp_test_hits_total{tenant=\"b\"} 5"), std::string::npos);
+
+  // Identical (name, labels) series from two children merge by summing.
+  auto twin = std::make_shared<Registry>(std::vector<Label>{{"tenant", "a"}});
+  parent.Attach(twin);
+  twin->GetCounter("dcp_test_hits_total")->Add(10);
+  const std::string merged = parent.RenderPrometheus();
+  EXPECT_NE(merged.find("dcp_test_hits_total{tenant=\"a\"} 12"),
+            std::string::npos);
+
+  // Dropping the only strong ref removes the child from future scrapes.
+  child_b.reset();
+  const std::string after = parent.RenderPrometheus();
+  EXPECT_EQ(after.find("tenant=\"b\""), std::string::npos);
+}
+
+TEST(Registry, NameFilterIsPrefixMatch) {
+  Registry registry;
+  registry.GetCounter("dcp_server_requests_total")->Add(1);
+  registry.GetCounter("dcp_engine_hits_total")->Add(1);
+  const std::string text = registry.RenderPrometheus("dcp_server");
+  EXPECT_NE(text.find("dcp_server_requests_total"), std::string::npos);
+  EXPECT_EQ(text.find("dcp_engine_hits_total"), std::string::npos);
+}
+
+TEST(Registry, LabelValuesAreEscaped) {
+  Registry registry;
+  registry.GetCounter("dcp_test_esc_total", {{"k", "a\"b\\c\nd"}})->Add(1);
+  const std::string text = registry.RenderPrometheus();
+  EXPECT_NE(text.find("k=\"a\\\"b\\\\c\\nd\""), std::string::npos);
+}
+
+TEST(RecordingFlag, DisabledTimerRecordsNothing) {
+  Registry registry;
+  Histogram* hist = registry.GetHistogram("dcp_test_t_us");
+  SetRecordingEnabled(false);
+  { ScopedLatencyTimer timer(hist); }
+  EXPECT_EQ(hist->Snapshot().count(), 0);
+  SetRecordingEnabled(true);
+  { ScopedLatencyTimer timer(hist); }
+  EXPECT_EQ(hist->Snapshot().count(), 1);
+  // Null histogram is always a no-op.
+  { ScopedLatencyTimer timer(nullptr); }
+}
+
+TEST(TraceIds, NonZeroAndDistinct) {
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t id = NextTraceId();
+    EXPECT_NE(id, 0u);
+    seen.insert(id);
+  }
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(TraceContext, ScopeInstallsAndRestores) {
+  EXPECT_EQ(TraceContext::Current(), nullptr);
+  Trace outer;
+  {
+    TraceContext::Scope scope(&outer);
+    EXPECT_EQ(TraceContext::Current(), &outer);
+    Trace inner;
+    {
+      TraceContext::Scope nested(&inner);
+      EXPECT_EQ(TraceContext::Current(), &inner);
+    }
+    EXPECT_EQ(TraceContext::Current(), &outer);
+  }
+  EXPECT_EQ(TraceContext::Current(), nullptr);
+}
+
+TEST(TraceContext, RecordPhaseFeedsTraceAndGlobalCounter) {
+  Trace trace;
+  const std::string before =
+      Registry::Global().RenderPrometheus("dcp_phase_us_total");
+  {
+    TraceContext::Scope scope(&trace);
+    RecordPhase(TracePhase::kCacheProbe, 25);
+    RecordPhase(TracePhase::kCacheProbe, 5);
+  }
+  EXPECT_EQ(trace.phase_us[static_cast<int>(TracePhase::kCacheProbe)], 30);
+  const std::string after =
+      Registry::Global().RenderPrometheus("dcp_phase_us_total");
+  EXPECT_NE(after.find("phase=\"cache_probe\""), std::string::npos);
+  EXPECT_NE(after, before);
+}
+
+TEST(TraceContext, ScopedPhaseTimesIntoCurrentTrace) {
+  Trace trace;
+  TraceContext::Scope scope(&trace);
+  {
+    ScopedPhase span(TracePhase::kEncode);
+    const int64_t begin = MonotonicMicros();
+    while (MonotonicMicros() - begin < 2) {
+    }
+  }
+  EXPECT_GE(trace.phase_us[static_cast<int>(TracePhase::kEncode)], 1);
+}
+
+TEST(TraceFormat, OneLineWithNonZeroPhases) {
+  Trace trace;
+  trace.trace_id = 0xabcdef;
+  trace.tenant = "alpha";
+  trace.source = "memory_cache";
+  trace.total_us = 1234;
+  trace.AddPhase(TracePhase::kQueueWait, 200);
+  const std::string line = FormatTrace(trace);
+  EXPECT_NE(line.find("trace=0000000000abcdef"), std::string::npos);
+  EXPECT_NE(line.find("tenant=alpha"), std::string::npos);
+  EXPECT_NE(line.find("source=memory_cache"), std::string::npos);
+  EXPECT_NE(line.find("total_us=1234"), std::string::npos);
+  EXPECT_NE(line.find("queue_wait_us=200"), std::string::npos);
+  EXPECT_EQ(line.find("encode_us"), std::string::npos);
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+}
+
+TEST(TraceRing, KeepsNewestUpToCapacity) {
+  TraceRing ring(4);
+  for (uint64_t i = 1; i <= 10; ++i) {
+    Trace trace;
+    trace.trace_id = i;
+    ring.Push(trace);
+  }
+  EXPECT_EQ(ring.total_pushed(), 10);
+  const std::vector<Trace> snap = ring.Snapshot();
+  ASSERT_EQ(snap.size(), 4u);
+  EXPECT_EQ(snap[0].trace_id, 10u);
+  EXPECT_EQ(snap[1].trace_id, 9u);
+  EXPECT_EQ(snap[3].trace_id, 7u);
+}
+
+TEST(Clocks, MonotonicAndConsistentUnits) {
+  const int64_t ns = MonotonicNanos();
+  const int64_t us = MonotonicMicros();
+  const int64_t ms = MonotonicMillis();
+  EXPECT_GT(ns, 0);
+  EXPECT_GE(us, ms * 1000 - 1000000);
+  EXPECT_GE(MonotonicNanos(), ns);
+}
+
+TEST(MetricsStress, ConcurrentRecordingSnapshotScrapeAndToggle) {
+  // TSan target: recorders, snapshotters, scrapers, trace pushers, and the
+  // recording toggle all race on one registry. Correctness bar: no data race,
+  // and the one countable invariant — the counter ends at exactly the sum of
+  // increments — holds despite everything else churning.
+  auto child = Registry::NewAttached({{"tenant", "stress"}});
+  Counter* counter = child->GetCounter("dcp_stress_ops_total", {}, "stress ops");
+  Gauge* gauge = child->GetGauge("dcp_stress_depth", {}, "stress depth");
+  Histogram* hist = child->GetHistogram("dcp_stress_lat_us", {}, "stress latency");
+  TraceRing ring(16);
+  constexpr int kRecorders = 4;
+  constexpr int kOpsPerRecorder = 5000;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kRecorders; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kOpsPerRecorder; ++i) {
+        counter->Increment();
+        gauge->Add(t % 2 == 0 ? 1 : -1);
+        hist->Record(i % 257);
+        if (i % 64 == 0) {
+          Trace trace;
+          trace.trace_id = NextTraceId();
+          trace.tenant = "stress";
+          TraceContext::Scope scope(&trace);
+          RecordPhase(TracePhase::kCacheProbe, i % 31);
+          ring.Push(trace);
+        }
+      }
+    });
+  }
+  threads.emplace_back([&] {  // Scraper: full renders + snapshots.
+    while (!stop.load(std::memory_order_relaxed)) {
+      const std::string text = Registry::Global().RenderPrometheus("dcp_stress");
+      EXPECT_NE(text.find("dcp_stress_ops_total"), std::string::npos);
+      const HistogramSnapshot snap = hist->Snapshot();
+      int64_t bucket_total = 0;
+      for (int64_t b : snap.buckets) {
+        bucket_total += b;
+      }
+      EXPECT_EQ(bucket_total, snap.count());  // +Inf-cumulative == _count.
+      (void)ring.Snapshot();
+    }
+  });
+  threads.emplace_back([&] {  // Toggle: latency recording flips on and off.
+    while (!stop.load(std::memory_order_relaxed)) {
+      SetRecordingEnabled(false);
+      std::this_thread::yield();
+      SetRecordingEnabled(true);
+    }
+  });
+  for (int t = 0; t < kRecorders; ++t) {
+    threads[static_cast<size_t>(t)].join();
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (size_t t = kRecorders; t < threads.size(); ++t) {
+    threads[t].join();
+  }
+  SetRecordingEnabled(true);
+  EXPECT_EQ(counter->value(), int64_t{kRecorders} * kOpsPerRecorder);
+  EXPECT_EQ(hist->Snapshot().count(), int64_t{kRecorders} * kOpsPerRecorder);
+}
+
+}  // namespace
+}  // namespace metrics
+}  // namespace dcp

@@ -12,11 +12,13 @@
 
 #include <atomic>
 #include <chrono>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/rng.h"
 #include "core/dataloader.h"
 #include "core/engine.h"
@@ -770,6 +772,134 @@ TEST(PlanService, WarmServesAreZeroCopy) {
     ASSERT_TRUE(client->Plan({64, 32}, MaskSpec::Causal()).ok());
   }
   EXPECT_GE(service.server->stats().zero_copy_serves, 2);
+}
+
+TEST(PlanService, MetricsScrapeShowsEverySourceAndPhaseTotals) {
+  // The tentpole acceptance check, in-process: drive a request through every serve
+  // source reachable here, then take ONE wire scrape and assert each source shows
+  // up as a labeled per-tenant serve-latency series, alongside per-phase totals.
+  // All servers stay alive until the scrape — a dead server's child registry
+  // (correctly) drops out of the global render.
+  namespace fs = std::filesystem;
+  const fs::path store_dir =
+      fs::path(::testing::TempDir()) / "dcp_metrics_e2e_store";
+  fs::remove_all(store_dir);
+  fs::create_directories(store_dir);
+  const ClusterSpec cluster = SmallCluster(2, 2);
+  EngineOptions options = SmallEngineOptions(16);
+  options.plan_store_path = store_dir.string();
+  const std::vector<int64_t> warm = {60, 33, 18};
+  const std::vector<int64_t> fresh_shape = {44, 21};
+  const MaskSpec mask = MaskSpec::Lambda(4, 13);
+
+  // Seed the store from a throwaway server, so the live one can store-hit.
+  {
+    ServiceFixture seeder({{"metrics-e2e", cluster, options}});
+    ASSERT_TRUE(seeder.Client("metrics-e2e")->Plan(warm, mask).ok());
+  }
+
+  ServiceFixture service({{"metrics-e2e", cluster, options}});
+  std::unique_ptr<PlanClient> client = service.Client("metrics-e2e");
+  // Memory cache is cold but the store is warm: store-cache.
+  ASSERT_TRUE(client->Plan(warm, mask).ok());
+  EXPECT_EQ(client->last_source(), PlanServeSource::kStoreCache);
+  // A shape the fleet has never seen: planned.
+  ASSERT_TRUE(client->Plan(fresh_shape, mask).ok());
+  EXPECT_EQ(client->last_source(), PlanServeSource::kPlanned);
+  // Same client, same shape: client-cache (no RPC — only the client can see it).
+  ASSERT_TRUE(client->Plan(fresh_shape, mask).ok());
+  EXPECT_EQ(client->last_source(), PlanServeSource::kClientCache);
+  // Fresh client, warm server: memory-cache.
+  std::unique_ptr<PlanClient> second = service.Client("metrics-e2e");
+  ASSERT_TRUE(second->Plan(fresh_shape, mask).ok());
+  EXPECT_EQ(second->last_source(), PlanServeSource::kMemoryCache);
+
+  // Replica-cache: a peer adopts the record via anti-entropy and serves from it.
+  PlanServerOptions peer_options;
+  peer_options.peers = {service.server->bound_address()};
+  peer_options.gossip_interval_ms = 20;
+  ServiceFixture peer({{"metrics-e2e", cluster, SmallEngineOptions(16)}},
+                      peer_options);
+  bool adopted = false;
+  for (int i = 0; i < 250 && !adopted; ++i) {
+    adopted = peer.server->stats().sync_records_adopted >= 1;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  ASSERT_TRUE(adopted) << "peer never adopted a gossip record";
+  std::unique_ptr<PlanClient> peer_client = peer.Client("metrics-e2e");
+  ASSERT_TRUE(peer_client->Plan(fresh_shape, mask).ok());
+  EXPECT_EQ(peer_client->last_source(), PlanServeSource::kReplicaCache);
+
+  StatusOr<PlanServiceMetricsResponse> scrape = client->ServerMetrics("dcp_");
+  ASSERT_TRUE(scrape.ok()) << scrape.status().ToString();
+  ASSERT_EQ(scrape.value().code, StatusCode::kOk);
+  const std::string& text = scrape.value().text;
+  // Server-observed sources, per tenant (labels render alphabetically).
+  for (const char* source : {"planned", "memory-cache", "store-cache",
+                             "replica-cache"}) {
+    const std::string needle = std::string(
+        "dcp_server_serve_latency_us_count{source=\"") + source +
+        "\",tenant=\"metrics-e2e\"}";
+    EXPECT_NE(text.find(needle), std::string::npos) << needle;
+  }
+  // Client-cache never reaches a server; the client-side histogram carries it.
+  EXPECT_NE(
+      text.find("dcp_client_plan_latency_us_count{source=\"client-cache\","
+                "tenant=\"metrics-e2e\"}"),
+      std::string::npos);
+  // Per-phase totals accumulated across the requests above.
+  for (const char* phase : {"queue_wait", "cache_probe", "store_read",
+                            "plan_initial", "encode", "write_drain"}) {
+    const std::string needle =
+        std::string("dcp_phase_us_total{phase=\"") + phase + "\"}";
+    EXPECT_NE(text.find(needle), std::string::npos) << needle;
+  }
+  // The server kept per-request traces: the ring holds completed plan serves
+  // carrying the tenant and a non-zero trace id (stamped client-side).
+  const std::vector<metrics::Trace> traces = service.server->recent_traces();
+  ASSERT_FALSE(traces.empty());
+  EXPECT_EQ(traces.front().tenant, "metrics-e2e");
+  EXPECT_NE(traces.front().trace_id, 0u);
+}
+
+TEST(PlanService, MetricsScrapeSurvivesConcurrentTrafficAndStop) {
+  // TSan target: scraping (registry snapshot + render) races real recording
+  // (workers planning, IO loops draining, gauges moving) and finally Stop().
+  // Nothing here asserts counts — the assertion is "no data race, no torn
+  // scrape, no crash".
+  ServiceFixture service({{"prod", SmallCluster(1, 2), SmallEngineOptions(16)}});
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([&, t] {
+      std::unique_ptr<PlanClient> client = service.Client("prod");
+      Rng rng(0x5ca1ab1eULL + static_cast<uint64_t>(t));
+      while (!stop.load(std::memory_order_relaxed)) {
+        std::vector<int64_t> seqlens = {rng.NextInt(16, 80), rng.NextInt(16, 80)};
+        (void)client->Plan(seqlens, MaskSpec::Causal());
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    std::unique_ptr<PlanClient> scraper = service.Client("prod");
+    while (!stop.load(std::memory_order_relaxed)) {
+      StatusOr<PlanServiceMetricsResponse> scrape = scraper->ServerMetrics("dcp_");
+      if (scrape.ok()) {
+        EXPECT_EQ(scrape.value().code, StatusCode::kOk);
+        EXPECT_FALSE(scrape.value().text.empty());
+      }
+      (void)service.server->recent_traces();
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  // Stop the server while clients and the scraper are still firing; they see
+  // clean transport errors, never torn state.
+  service.server->Stop();
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
 }
 
 }  // namespace

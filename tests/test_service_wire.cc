@@ -402,6 +402,100 @@ TEST(ServiceFrame, AssemblerRejectsBadHeaderBeforePayloadArrives) {
   EXPECT_EQ(frame.status().code(), StatusCode::kDataLoss);
 }
 
+TEST(ServiceMessages, PlanRequestTraceIdRoundTripsAndV2StillParses) {
+  PlanServiceRequest request = MakeRequest();
+  request.trace_id = 0xabcdef0123456789ULL;
+  const std::string bytes = SerializePlanServiceRequest(request);
+  StatusOr<PlanServiceRequest> decoded = DeserializePlanServiceRequest(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded.value().trace_id, request.trace_id);
+
+  // A v2 peer's encoding is exactly the v3 body minus the trailing trace id,
+  // with the leading version word patched down. It must still parse, with
+  // trace_id defaulting to 0 (= "untraced").
+  ASSERT_GT(bytes.size(), 12u);
+  std::string v2 = bytes.substr(0, bytes.size() - 8);
+  v2[0] = 2;
+  v2[1] = v2[2] = v2[3] = 0;
+  StatusOr<PlanServiceRequest> old = DeserializePlanServiceRequest(v2);
+  ASSERT_TRUE(old.ok()) << old.status().ToString();
+  ExpectRequestsEqual(request, old.value());
+  EXPECT_EQ(old.value().trace_id, 0u);
+
+  // The zero-copy view decoder applies the same version gate.
+  Arena arena;
+  StatusOr<PlanServiceRequestView> view =
+      DeserializePlanServiceRequestView(v2, &arena);
+  ASSERT_TRUE(view.ok()) << view.status().ToString();
+  EXPECT_EQ(view.value().trace_id, 0u);
+  Arena arena_v3;
+  StatusOr<PlanServiceRequestView> view_v3 =
+      DeserializePlanServiceRequestView(bytes, &arena_v3);
+  ASSERT_TRUE(view_v3.ok());
+  EXPECT_EQ(view_v3.value().trace_id, request.trace_id);
+
+  // A message claiming v2 but carrying the v3 trailer has trailing garbage.
+  std::string v2_with_trailer = bytes;
+  v2_with_trailer[0] = 2;
+  EXPECT_FALSE(DeserializePlanServiceRequest(v2_with_trailer).ok());
+
+  // Versions outside [min, current] are rejected in both directions.
+  std::string v1 = v2;
+  v1[0] = 1;
+  EXPECT_FALSE(DeserializePlanServiceRequest(v1).ok());
+  std::string v4 = bytes;
+  v4[0] = 4;
+  EXPECT_FALSE(DeserializePlanServiceRequest(v4).ok());
+}
+
+TEST(ServiceMessages, MetricsMessagesRoundTripAndRejectTruncation) {
+  PlanServiceMetricsRequest request;
+  request.name_prefix = "dcp_server_";
+  const std::string request_bytes = SerializePlanServiceMetricsRequest(request);
+  StatusOr<PlanServiceMetricsRequest> decoded_request =
+      DeserializePlanServiceMetricsRequest(request_bytes);
+  ASSERT_TRUE(decoded_request.ok()) << decoded_request.status().ToString();
+  EXPECT_EQ(decoded_request.value().name_prefix, request.name_prefix);
+  for (size_t len = 0; len < request_bytes.size(); ++len) {
+    EXPECT_FALSE(
+        DeserializePlanServiceMetricsRequest(request_bytes.substr(0, len)).ok());
+  }
+  EXPECT_FALSE(DeserializePlanServiceMetricsRequest(request_bytes + "x").ok());
+  // The prefix is a metric name, not a document: oversized prefixes rejected.
+  PlanServiceMetricsRequest oversized;
+  oversized.name_prefix.assign(10000, 'a');
+  EXPECT_FALSE(DeserializePlanServiceMetricsRequest(
+                   SerializePlanServiceMetricsRequest(oversized))
+                   .ok());
+
+  PlanServiceMetricsResponse response;
+  response.code = StatusCode::kOk;
+  response.text = "# HELP dcp_x_total x\n# TYPE dcp_x_total counter\ndcp_x_total 7\n";
+  const std::string response_bytes = SerializePlanServiceMetricsResponse(response);
+  StatusOr<PlanServiceMetricsResponse> decoded_response =
+      DeserializePlanServiceMetricsResponse(response_bytes);
+  ASSERT_TRUE(decoded_response.ok()) << decoded_response.status().ToString();
+  EXPECT_EQ(decoded_response.value().code, StatusCode::kOk);
+  EXPECT_EQ(decoded_response.value().text, response.text);
+  for (size_t len = 0; len < response_bytes.size(); ++len) {
+    EXPECT_FALSE(
+        DeserializePlanServiceMetricsResponse(response_bytes.substr(0, len)).ok());
+  }
+  EXPECT_FALSE(DeserializePlanServiceMetricsResponse(response_bytes + "y").ok());
+
+  // Error shape: a non-OK code with a message and no text.
+  PlanServiceMetricsResponse error;
+  error.code = StatusCode::kFailedPrecondition;
+  error.message = "metrics disabled";
+  StatusOr<PlanServiceMetricsResponse> decoded_error =
+      DeserializePlanServiceMetricsResponse(
+          SerializePlanServiceMetricsResponse(error));
+  ASSERT_TRUE(decoded_error.ok());
+  EXPECT_EQ(decoded_error.value().code, StatusCode::kFailedPrecondition);
+  EXPECT_EQ(decoded_error.value().message, "metrics disabled");
+  EXPECT_TRUE(decoded_error.value().text.empty());
+}
+
 TEST(ServiceTransport, ConnectToDeadEndpointIsUnavailable) {
   // Bind (grabbing a port) and immediately close, then connect to the dead port.
   StatusOr<Listener> listener = Listener::Bind(ServiceAddress::Tcp("127.0.0.1", 0));
